@@ -1,0 +1,241 @@
+//! Single event-data automaton (one SLIM process).
+
+use crate::expr::{Expr, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a location within an automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocId(pub usize);
+
+/// Index of a transition within an automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransId(pub usize);
+
+/// Index of an automaton (process) within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub usize);
+
+/// Index of an action in the network's action table.
+///
+/// Index `0` is always the internal action τ, which never synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionId(pub usize);
+
+impl ActionId {
+    /// The internal action τ.
+    pub const TAU: ActionId = ActionId(0);
+
+    /// True for the internal action.
+    pub fn is_tau(self) -> bool {
+        self == ActionId::TAU
+    }
+}
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// How a transition is triggered: by a Boolean guard (possibly over clocks
+/// and continuous variables) or by an exponential delay with the given rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GuardKind {
+    /// Enabled whenever the expression holds (time-dependent).
+    Boolean(Expr),
+    /// Fires after an exponentially distributed delay with this rate.
+    ///
+    /// Markovian transitions carry the internal action τ and never
+    /// synchronize (§II-E of the paper).
+    Markovian(f64),
+}
+
+impl GuardKind {
+    /// True for [`GuardKind::Markovian`].
+    pub fn is_markovian(&self) -> bool {
+        matches!(self, GuardKind::Markovian(_))
+    }
+}
+
+/// A variable update `var := expr` executed when a transition fires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Effect {
+    /// Target variable.
+    pub var: VarId,
+    /// Right-hand side, evaluated in the pre-state.
+    pub expr: Expr,
+}
+
+impl Effect {
+    /// Convenience constructor.
+    pub fn assign(var: VarId, expr: Expr) -> Effect {
+        Effect { var, expr }
+    }
+}
+
+/// A discrete transition of one automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source location.
+    pub from: LocId,
+    /// Action label; [`ActionId::TAU`] for internal steps.
+    pub action: ActionId,
+    /// Boolean guard or exponential rate.
+    pub guard: GuardKind,
+    /// Effects applied (simultaneously, reading the pre-state) on firing.
+    pub effects: Vec<Effect>,
+    /// Target location.
+    pub to: LocId,
+    /// Urgent (eager) transition: time may not pass beyond the first
+    /// instant it becomes enabled. This models AADL's immediate mode
+    /// transitions; only meaningful for Boolean guards.
+    #[serde(default)]
+    pub urgent: bool,
+}
+
+/// A location (SLIM *mode*) of an automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// Human-readable name.
+    pub name: String,
+    /// Invariant restricting residence time; `Expr::TRUE` when absent.
+    pub invariant: Expr,
+    /// Constant derivatives of continuous variables while in this location.
+    /// Clocks implicitly have derivative 1 everywhere and are not listed.
+    pub rates: Vec<(VarId, f64)>,
+}
+
+impl Location {
+    /// A location with trivial invariant and no continuous dynamics.
+    pub fn simple(name: impl Into<String>) -> Location {
+        Location { name: name.into(), invariant: Expr::TRUE, rates: Vec::new() }
+    }
+
+    /// The derivative this location assigns to `var`, if any.
+    pub fn rate_of(&self, var: VarId) -> Option<f64> {
+        self.rates.iter().find(|(v, _)| *v == var).map(|(_, r)| *r)
+    }
+}
+
+/// One event-data automaton: locations, transitions and an action alphabet.
+///
+/// Automata are built through [`crate::network::NetworkBuilder`]; the fields are
+/// public for inspection by analysis backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Automaton {
+    /// Name (instance path of the SLIM component).
+    pub name: String,
+    /// Locations; index = [`LocId`].
+    pub locations: Vec<Location>,
+    /// Initial location.
+    pub init: LocId,
+    /// Transitions; index = [`TransId`].
+    pub transitions: Vec<Transition>,
+}
+
+impl Automaton {
+    /// Creates an automaton; see [`crate::network::NetworkBuilder`] for the
+    /// validated construction path.
+    pub fn new(name: impl Into<String>) -> Automaton {
+        Automaton { name: name.into(), locations: Vec::new(), init: LocId(0), transitions: Vec::new() }
+    }
+
+    /// The synchronizing alphabet: all non-τ actions on transitions.
+    pub fn alphabet(&self) -> BTreeSet<ActionId> {
+        self.transitions.iter().map(|t| t.action).filter(|a| !a.is_tau()).collect()
+    }
+
+    /// Transitions leaving `loc`.
+    pub fn outgoing(&self, loc: LocId) -> impl Iterator<Item = (TransId, &Transition)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.from == loc)
+            .map(|(i, t)| (TransId(i), t))
+    }
+
+    /// Looks up a location by name.
+    pub fn loc_by_name(&self, name: &str) -> Option<LocId> {
+        self.locations.iter().position(|l| l.name == name).map(LocId)
+    }
+
+    /// True if `loc` has at least one Markovian outgoing transition.
+    pub fn is_markovian_loc(&self, loc: LocId) -> bool {
+        self.outgoing(loc).any(|(_, t)| t.guard.is_markovian())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_loc_automaton() -> Automaton {
+        let mut a = Automaton::new("A");
+        a.locations.push(Location::simple("l0"));
+        a.locations.push(Location::simple("l1"));
+        a.transitions.push(Transition {
+            from: LocId(0),
+            action: ActionId(1),
+            guard: GuardKind::Boolean(Expr::TRUE),
+            effects: vec![],
+            to: LocId(1),
+            urgent: false,
+        });
+        a.transitions.push(Transition {
+            from: LocId(1),
+            action: ActionId::TAU,
+            guard: GuardKind::Markovian(0.5),
+            effects: vec![],
+            to: LocId(0),
+            urgent: false,
+        });
+        a
+    }
+
+    #[test]
+    fn alphabet_excludes_tau() {
+        let a = two_loc_automaton();
+        let alpha = a.alphabet();
+        assert_eq!(alpha.len(), 1);
+        assert!(alpha.contains(&ActionId(1)));
+    }
+
+    #[test]
+    fn outgoing_filters_by_source() {
+        let a = two_loc_automaton();
+        let out: Vec<_> = a.outgoing(LocId(0)).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, TransId(0));
+        assert!(a.is_markovian_loc(LocId(1)));
+        assert!(!a.is_markovian_loc(LocId(0)));
+    }
+
+    #[test]
+    fn loc_by_name_finds() {
+        let a = two_loc_automaton();
+        assert_eq!(a.loc_by_name("l1"), Some(LocId(1)));
+        assert_eq!(a.loc_by_name("nope"), None);
+    }
+
+    #[test]
+    fn location_rate_lookup() {
+        let mut l = Location::simple("l");
+        l.rates.push((VarId(2), -1.5));
+        assert_eq!(l.rate_of(VarId(2)), Some(-1.5));
+        assert_eq!(l.rate_of(VarId(0)), None);
+    }
+
+    #[test]
+    fn tau_is_action_zero() {
+        assert!(ActionId::TAU.is_tau());
+        assert!(!ActionId(3).is_tau());
+    }
+}

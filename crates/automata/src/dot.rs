@@ -1,0 +1,144 @@
+//! Graphviz (DOT) export of a network's automata — the textual stand-in
+//! for the paper's automata figures (Fig. 2).
+
+use crate::automaton::GuardKind;
+use crate::network::Network;
+use std::fmt::Write;
+
+/// Renders the network as a Graphviz digraph, one cluster per automaton.
+///
+/// Locations are nodes (initial ones double-circled), transitions are
+/// edges labeled with `action [guard|rate] / effects`; urgent transitions
+/// are drawn bold, Markovian ones dashed.
+///
+/// # Examples
+///
+/// ```
+/// use slim_automata::prelude::*;
+/// use slim_automata::dot::to_dot;
+///
+/// let mut b = NetworkBuilder::new();
+/// let mut a = AutomatonBuilder::new("unit");
+/// let ok = a.location("ok");
+/// let dead = a.location("dead");
+/// a.markovian(ok, 0.1, [], dead);
+/// b.add_automaton(a);
+/// let net = b.build()?;
+/// let dot = to_dot(&net);
+/// assert!(dot.contains("digraph") && dot.contains("ok") && dot.contains("0.1"));
+/// # Ok::<(), slim_automata::error::ModelError>(())
+/// ```
+pub fn to_dot(net: &Network) -> String {
+    let mut out = String::from("digraph network {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+    for (p, a) in net.automata().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{p} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(&a.name));
+        for (l, loc) in a.locations.iter().enumerate() {
+            let shape = if l == a.init.0 { "doublecircle" } else { "ellipse" };
+            let mut label = loc.name.clone();
+            if !loc.invariant.is_const_true() {
+                let _ = write!(label, "\\nwhile {}", net.render_expr(&loc.invariant));
+            }
+            for (v, r) in &loc.rates {
+                let _ = write!(label, "\\nder {} = {r}", net.name_of(*v));
+            }
+            let _ = writeln!(
+                out,
+                "    n{p}_{l} [shape={shape}, label=\"{}\"];",
+                escape(&label)
+            );
+        }
+        for t in &a.transitions {
+            let mut label = String::new();
+            if !t.action.is_tau() {
+                let _ = write!(label, "{} ", net.actions()[t.action.0].name);
+            }
+            match &t.guard {
+                GuardKind::Markovian(r) => {
+                    let _ = write!(label, "λ={r}");
+                }
+                GuardKind::Boolean(g) if g.is_const_true() => {}
+                GuardKind::Boolean(g) => {
+                    let _ = write!(label, "when {}", net.render_expr(g));
+                }
+            }
+            for eff in &t.effects {
+                let _ = write!(
+                    label,
+                    "\\n{} := {}",
+                    net.name_of(eff.var),
+                    net.render_expr(&eff.expr)
+                );
+            }
+            let style = match (&t.guard, t.urgent) {
+                (GuardKind::Markovian(_), _) => ", style=dashed",
+                (_, true) => ", style=bold",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "    n{p}_{} -> n{p}_{} [label=\"{}\"{style}];",
+                t.from.0,
+                t.to.0,
+                escape(&label)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Effect;
+    use crate::prelude::*;
+
+    fn sample() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let go = b.action("go");
+        let mut a = AutomatonBuilder::new("proc");
+        let l0 = a.location_with("wait", Expr::var(x).le(Expr::real(5.0)), []);
+        let l1 = a.location("done");
+        a.guarded_urgent(
+            l0,
+            go,
+            Expr::var(x).ge(Expr::real(2.0)),
+            [Effect::assign(x, Expr::real(0.0))],
+            l1,
+        );
+        a.markovian(l1, 0.5, [], l0);
+        let mut peer = AutomatonBuilder::new("peer");
+        let p0 = peer.location("p0");
+        peer.guarded(p0, go, Expr::TRUE, [], p0);
+        b.add_automaton(a);
+        b.add_automaton(peer);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_0") && dot.contains("cluster_1"));
+        assert!(dot.contains("doublecircle"), "initial location marked");
+        assert!(dot.contains("while (x <= 5)"), "invariant rendered");
+        assert!(dot.contains("λ=0.5"), "rate rendered");
+        assert!(dot.contains("style=dashed"), "Markovian dashed");
+        assert!(dot.contains("style=bold"), "urgent bold");
+        assert!(dot.contains("x := 0"), "effect rendered");
+        assert!(dot.contains("go "), "action name rendered");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

@@ -1,0 +1,205 @@
+//! Error types for the automata substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating a [`crate::network::Network`].
+///
+/// These are *modeling* errors: the input specification violates a
+/// well-formedness rule of the SLIM semantics (see DESIGN.md §4), such as
+/// mixing guarded and Markovian transitions in one location.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ModelError {
+    /// A name was declared twice in the same namespace.
+    DuplicateName(String),
+    /// A referenced name does not exist.
+    UnknownName(String),
+    /// A location mixes Boolean-guarded and Markovian (rate) transitions.
+    ///
+    /// The SLIM semantics forbid this to keep probabilistic transitions
+    /// well-defined (§II-E of the paper).
+    MixedTransitionKinds { automaton: String, location: String },
+    /// A Markovian transition is labeled with a synchronizing action.
+    ///
+    /// Rate transitions carry the internal action τ and may never
+    /// synchronize.
+    MarkovianNotInternal { automaton: String, location: String },
+    /// A location with Markovian transitions has a non-trivial invariant.
+    MarkovianInvariant { automaton: String, location: String },
+    /// A Markovian transition has a non-positive rate.
+    NonPositiveRate { automaton: String, rate: f64 },
+    /// Two automata assign a derivative to the same continuous variable.
+    RateConflict { variable: String },
+    /// A derivative was assigned to a variable that is not continuous.
+    RateOnDiscrete { variable: String },
+    /// The data-flow assignments contain a dependency cycle.
+    FlowCycle { involving: String },
+    /// A flow targets a variable that is also written by transition effects
+    /// or has a derivative; flow targets must be pure outputs.
+    FlowTargetConflict { variable: String },
+    /// An expression failed to type-check.
+    Type(TypeError),
+    /// An initial value does not match its variable's declared type/range.
+    BadInit { variable: String, detail: String },
+    /// The model has no automata.
+    Empty,
+    /// An automaton has no locations.
+    NoLocations { automaton: String },
+    /// An index (location, transition, variable, action) is out of range.
+    IndexOutOfRange { what: &'static str, index: usize, len: usize },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            ModelError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            ModelError::MixedTransitionKinds { automaton, location } => write!(
+                f,
+                "location `{location}` of `{automaton}` mixes guarded and Markovian transitions"
+            ),
+            ModelError::MarkovianNotInternal { automaton, location } => write!(
+                f,
+                "Markovian transition in location `{location}` of `{automaton}` must use the internal action"
+            ),
+            ModelError::MarkovianInvariant { automaton, location } => write!(
+                f,
+                "location `{location}` of `{automaton}` has Markovian transitions but a non-trivial invariant"
+            ),
+            ModelError::NonPositiveRate { automaton, rate } => {
+                write!(f, "non-positive exponential rate {rate} in `{automaton}`")
+            }
+            ModelError::RateConflict { variable } => {
+                write!(f, "conflicting derivative assignments for continuous variable `{variable}`")
+            }
+            ModelError::RateOnDiscrete { variable } => {
+                write!(f, "derivative assigned to non-continuous variable `{variable}`")
+            }
+            ModelError::FlowCycle { involving } => {
+                write!(f, "data-flow cycle involving `{involving}`")
+            }
+            ModelError::FlowTargetConflict { variable } => {
+                write!(f, "flow target `{variable}` is also written by effects or has a derivative")
+            }
+            ModelError::Type(e) => write!(f, "type error: {e}"),
+            ModelError::BadInit { variable, detail } => {
+                write!(f, "bad initial value for `{variable}`: {detail}")
+            }
+            ModelError::Empty => write!(f, "network contains no automata"),
+            ModelError::NoLocations { automaton } => {
+                write!(f, "automaton `{automaton}` has no locations")
+            }
+            ModelError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<TypeError> for ModelError {
+    fn from(e: TypeError) -> Self {
+        ModelError::Type(e)
+    }
+}
+
+/// Static type errors for expressions.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum TypeError {
+    /// Operands of an operator have incompatible types.
+    Mismatch { context: String },
+    /// A Boolean was used where a number was expected, or vice versa.
+    Expected { expected: &'static str, found: &'static str, context: String },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Mismatch { context } => write!(f, "operand type mismatch in {context}"),
+            TypeError::Expected { expected, found, context } => {
+                write!(f, "expected {expected} but found {found} in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Runtime errors raised while evaluating expressions or stepping a network.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum EvalError {
+    /// Division by zero.
+    DivisionByZero,
+    /// A value fell outside its integer range declaration.
+    IntOutOfRange { variable: String, value: i64, lo: i64, hi: i64 },
+    /// Integer overflow in arithmetic.
+    Overflow,
+    /// Dynamic type confusion (should be prevented by validation).
+    TypeConfusion { context: String },
+    /// An expression over the delay variable is not linear.
+    ///
+    /// The SLIM subset supports *linear* hybrid dynamics; products or
+    /// quotients of two delay-dependent quantities are rejected.
+    NonLinear { context: String },
+    /// Attempted to advance time in a state whose invariant is already
+    /// violated.
+    InvariantViolated { automaton: String, location: String },
+    /// Attempted to advance time beyond the allowed delay window.
+    DelayNotAllowed { requested: f64, allowed_up_to: f64 },
+    /// A variable index was out of range for the valuation.
+    BadVarIndex(usize),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::IntOutOfRange { variable, value, lo, hi } => {
+                write!(f, "value {value} for `{variable}` outside range [{lo}, {hi}]")
+            }
+            EvalError::Overflow => write!(f, "integer overflow"),
+            EvalError::TypeConfusion { context } => write!(f, "dynamic type confusion in {context}"),
+            EvalError::NonLinear { context } => {
+                write!(f, "expression is not linear in the delay: {context}")
+            }
+            EvalError::InvariantViolated { automaton, location } => {
+                write!(f, "invariant of `{automaton}`/`{location}` violated")
+            }
+            EvalError::DelayNotAllowed { requested, allowed_up_to } => {
+                write!(f, "delay {requested} exceeds allowed window (up to {allowed_up_to})")
+            }
+            EvalError::BadVarIndex(i) => write!(f, "variable index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(ModelError::DuplicateName("x".into())),
+            Box::new(ModelError::Empty),
+            Box::new(TypeError::Mismatch { context: "plus".into() }),
+            Box::new(EvalError::DivisionByZero),
+            Box::new(EvalError::NonLinear { context: "d*d".into() }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn type_error_converts_to_model_error() {
+        let te = TypeError::Mismatch { context: "test".into() };
+        let me: ModelError = te.clone().into();
+        assert_eq!(me, ModelError::Type(te));
+    }
+}

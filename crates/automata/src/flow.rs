@@ -1,0 +1,213 @@
+//! Data-port flows.
+//!
+//! SLIM data connections make output data ports *expressions over input
+//! values* (§II-D of the paper). After flattening, each such connection is
+//! a [`Flow`] assignment `target := expr` that must be re-established after
+//! every discrete and timed step. Flows may read other flow targets, so
+//! they are ordered topologically; cyclic data connections are rejected.
+
+use crate::error::ModelError;
+use crate::eval::{eval, Valuation};
+use crate::expr::{Expr, VarId};
+use crate::value::VarType;
+use serde::{Deserialize, Serialize};
+
+/// A single data-flow assignment `target := expr`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// The written variable (a data output port).
+    pub target: VarId,
+    /// Defining expression (over input ports / component data).
+    pub expr: Expr,
+}
+
+impl Flow {
+    /// Convenience constructor.
+    pub fn new(target: VarId, expr: Expr) -> Flow {
+        Flow { target, expr }
+    }
+}
+
+/// Orders flows so that every flow runs after the flows defining the
+/// variables it reads.
+///
+/// # Errors
+/// [`ModelError::DuplicateName`] if two flows write the same target, and
+/// [`ModelError::FlowCycle`] on cyclic dependencies. `name_of` is used for
+/// diagnostics only.
+pub fn toposort_flows(
+    flows: Vec<Flow>,
+    name_of: &dyn Fn(VarId) -> String,
+) -> Result<Vec<Flow>, ModelError> {
+    use std::collections::HashMap;
+
+    let mut by_target: HashMap<VarId, usize> = HashMap::new();
+    for (i, f) in flows.iter().enumerate() {
+        if by_target.insert(f.target, i).is_some() {
+            return Err(ModelError::DuplicateName(format!(
+                "flow target {}",
+                name_of(f.target)
+            )));
+        }
+    }
+
+    // DFS-based topological sort over the flow dependency graph.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; flows.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(flows.len());
+
+    fn visit(
+        i: usize,
+        flows: &[Flow],
+        by_target: &std::collections::HashMap<VarId, usize>,
+        marks: &mut [Mark],
+        order: &mut Vec<usize>,
+        name_of: &dyn Fn(VarId) -> String,
+    ) -> Result<(), ModelError> {
+        match marks[i] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => {
+                return Err(ModelError::FlowCycle { involving: name_of(flows[i].target) })
+            }
+            Mark::White => {}
+        }
+        marks[i] = Mark::Grey;
+        for dep in flows[i].expr.vars() {
+            if let Some(&j) = by_target.get(&dep) {
+                visit(j, flows, by_target, marks, order, name_of)?;
+            }
+        }
+        marks[i] = Mark::Black;
+        order.push(i);
+        Ok(())
+    }
+
+    for i in 0..flows.len() {
+        visit(i, &flows, &by_target, &mut marks, &mut order, name_of)?;
+    }
+    Ok(order.into_iter().map(|i| flows[i].clone()).collect())
+}
+
+/// Re-establishes all flows on the valuation, in the given (topological)
+/// order, canonicalizing values to the targets' types.
+///
+/// # Errors
+/// Propagates evaluation errors; range violations surface as
+/// [`crate::error::EvalError::IntOutOfRange`].
+pub fn run_flows(
+    flows: &[Flow],
+    nu: &mut Valuation,
+    ty_of: &dyn Fn(VarId) -> VarType,
+    name_of: &dyn Fn(VarId) -> String,
+) -> Result<(), crate::error::EvalError> {
+    for f in flows {
+        let v = eval(&f.expr, nu)?;
+        let ty = ty_of(f.target);
+        let v = ty.canonicalize(v);
+        if !ty.admits(v) {
+            if let (VarType::Int { lo, hi }, crate::value::Value::Int(i)) = (ty, v) {
+                return Err(crate::error::EvalError::IntOutOfRange {
+                    variable: name_of(f.target),
+                    value: i,
+                    lo,
+                    hi,
+                });
+            }
+            return Err(crate::error::EvalError::TypeConfusion {
+                context: format!("flow into {} produced {}", name_of(f.target), v.kind()),
+            });
+        }
+        nu.set(f.target, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn names(v: VarId) -> String {
+        format!("x{}", v.0)
+    }
+
+    #[test]
+    fn toposort_orders_dependencies() {
+        // f0: x0 := x1 + 1 ; f1: x1 := x2 * 2 — f1 must run first.
+        let flows = vec![
+            Flow::new(VarId(0), Expr::var(VarId(1)).add(Expr::int(1))),
+            Flow::new(VarId(1), Expr::var(VarId(2)).mul(Expr::int(2))),
+        ];
+        let sorted = toposort_flows(flows, &names).unwrap();
+        assert_eq!(sorted[0].target, VarId(1));
+        assert_eq!(sorted[1].target, VarId(0));
+    }
+
+    #[test]
+    fn toposort_rejects_cycles() {
+        let flows = vec![
+            Flow::new(VarId(0), Expr::var(VarId(1))),
+            Flow::new(VarId(1), Expr::var(VarId(0))),
+        ];
+        assert!(matches!(
+            toposort_flows(flows, &names),
+            Err(ModelError::FlowCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn toposort_rejects_duplicate_targets() {
+        let flows = vec![
+            Flow::new(VarId(0), Expr::int(1)),
+            Flow::new(VarId(0), Expr::int(2)),
+        ];
+        assert!(matches!(toposort_flows(flows, &names), Err(ModelError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let flows = vec![Flow::new(VarId(0), Expr::var(VarId(0)).add(Expr::int(1)))];
+        assert!(matches!(toposort_flows(flows, &names), Err(ModelError::FlowCycle { .. })));
+    }
+
+    #[test]
+    fn run_flows_chains_values() {
+        let flows = toposort_flows(
+            vec![
+                Flow::new(VarId(0), Expr::var(VarId(1)).add(Expr::int(1))),
+                Flow::new(VarId(1), Expr::var(VarId(2)).mul(Expr::int(2))),
+            ],
+            &names,
+        )
+        .unwrap();
+        let mut nu =
+            Valuation::new(vec![Value::Int(0), Value::Int(0), Value::Int(5)]);
+        let ty = |_v: VarId| VarType::INT;
+        run_flows(&flows, &mut nu, &ty, &names).unwrap();
+        assert_eq!(nu.get(VarId(1)), Ok(Value::Int(10)));
+        assert_eq!(nu.get(VarId(0)), Ok(Value::Int(11)));
+    }
+
+    #[test]
+    fn run_flows_checks_ranges() {
+        let flows = vec![Flow::new(VarId(0), Expr::int(9))];
+        let mut nu = Valuation::new(vec![Value::Int(0)]);
+        let ty = |_v: VarId| VarType::Int { lo: 0, hi: 5 };
+        let err = run_flows(&flows, &mut nu, &ty, &names).unwrap_err();
+        assert!(matches!(err, crate::error::EvalError::IntOutOfRange { value: 9, .. }));
+    }
+
+    #[test]
+    fn run_flows_canonicalizes_int_to_real() {
+        let flows = vec![Flow::new(VarId(0), Expr::int(3))];
+        let mut nu = Valuation::new(vec![Value::Real(0.0)]);
+        let ty = |_v: VarId| VarType::Real;
+        run_flows(&flows, &mut nu, &ty, &names).unwrap();
+        assert_eq!(nu.get(VarId(0)), Ok(Value::Real(3.0)));
+    }
+}

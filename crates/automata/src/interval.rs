@@ -1,0 +1,574 @@
+//! Sets of time intervals over the delay axis `[0, ∞)`.
+//!
+//! Guards and invariants of linear-hybrid SLIM models induce, for a fixed
+//! state, a set of *delays* `d ≥ 0` at which a transition is enabled (or an
+//! invariant satisfied). Because the dynamics are linear and guards are
+//! Boolean combinations of linear inequalities, these sets are finite unions
+//! of intervals with open/closed endpoints — exactly what [`IntervalSet`]
+//! represents.
+//!
+//! The simulator's strategies pick delays out of these sets: ASAP takes the
+//! earliest point, MaxTime the supremum, Progressive/Local sample uniformly
+//! by Lebesgue measure (see `slimsim-core`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tolerance used when nudging into half-open intervals (e.g. the earliest
+/// representable point of `(200, 300]`).
+pub const OPEN_NUDGE: f64 = 1e-9;
+
+/// A single interval with independently open/closed endpoints.
+///
+/// Invariant: `lo <= hi`, and if `lo == hi` both endpoints are closed (a
+/// point). `hi` may be `f64::INFINITY` (then `hi_closed` is `false`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+    lo_closed: bool,
+    hi_closed: bool,
+}
+
+impl Interval {
+    /// Closed interval `[lo, hi]`. Returns `None` when empty (`lo > hi`).
+    pub fn closed(lo: f64, hi: f64) -> Option<Interval> {
+        Interval::new(lo, hi, true, true)
+    }
+
+    /// Open interval `(lo, hi)`.
+    pub fn open(lo: f64, hi: f64) -> Option<Interval> {
+        Interval::new(lo, hi, false, false)
+    }
+
+    /// Left-closed right-open interval `[lo, hi)`.
+    pub fn closed_open(lo: f64, hi: f64) -> Option<Interval> {
+        Interval::new(lo, hi, true, false)
+    }
+
+    /// Left-open right-closed interval `(lo, hi]`.
+    pub fn open_closed(lo: f64, hi: f64) -> Option<Interval> {
+        Interval::new(lo, hi, false, true)
+    }
+
+    /// The single point `[x, x]`.
+    pub fn point(x: f64) -> Interval {
+        Interval { lo: x, hi: x, lo_closed: true, hi_closed: true }
+    }
+
+    /// General constructor; normalizes infinite endpoints to open and
+    /// returns `None` for empty intervals.
+    pub fn new(lo: f64, hi: f64, lo_closed: bool, hi_closed: bool) -> Option<Interval> {
+        if lo.is_nan() || hi.is_nan() {
+            return None;
+        }
+        let lo_closed = lo_closed && lo.is_finite();
+        let hi_closed = hi_closed && hi.is_finite();
+        if lo > hi || (lo == hi && !(lo_closed && hi_closed)) {
+            return None;
+        }
+        Some(Interval { lo, hi, lo_closed, hi_closed })
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint (may be `f64::INFINITY`).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether the lower endpoint belongs to the interval.
+    pub fn lo_closed(&self) -> bool {
+        self.lo_closed
+    }
+
+    /// Whether the upper endpoint belongs to the interval.
+    pub fn hi_closed(&self) -> bool {
+        self.hi_closed
+    }
+
+    /// True if the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Lebesgue measure (length); `INFINITY` for unbounded intervals.
+    pub fn measure(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: f64) -> bool {
+        (x > self.lo || (x == self.lo && self.lo_closed))
+            && (x < self.hi || (x == self.hi && self.hi_closed))
+    }
+
+    /// Intersection of two intervals, `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let (lo, lo_closed) = if self.lo > other.lo {
+            (self.lo, self.lo_closed)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_closed)
+        } else {
+            (self.lo, self.lo_closed && other.lo_closed)
+        };
+        let (hi, hi_closed) = if self.hi < other.hi {
+            (self.hi, self.hi_closed)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_closed)
+        } else {
+            (self.hi, self.hi_closed && other.hi_closed)
+        };
+        Interval::new(lo, hi, lo_closed, hi_closed)
+    }
+
+    /// True if the two intervals overlap or touch such that their union is
+    /// a single interval.
+    fn merges_with(&self, other: &Interval) -> bool {
+        debug_assert!(self.lo <= other.lo);
+        self.hi > other.lo || (self.hi == other.lo && (self.hi_closed || other.lo_closed))
+    }
+
+    /// The earliest point of the interval that is actually attainable: the
+    /// lower endpoint if closed, otherwise a point nudged in by
+    /// [`OPEN_NUDGE`] (capped at the interval's midpoint for tiny intervals).
+    pub fn earliest_point(&self) -> f64 {
+        if self.lo_closed {
+            self.lo
+        } else if self.hi.is_finite() {
+            let mid = 0.5 * (self.lo + self.hi);
+            (self.lo + OPEN_NUDGE).min(mid)
+        } else {
+            self.lo + OPEN_NUDGE
+        }
+    }
+
+    /// The latest attainable point: the upper endpoint if closed, otherwise
+    /// nudged in; `None` for unbounded intervals.
+    pub fn latest_point(&self) -> Option<f64> {
+        if !self.hi.is_finite() {
+            return None;
+        }
+        if self.hi_closed {
+            Some(self.hi)
+        } else {
+            let mid = 0.5 * (self.lo + self.hi);
+            Some((self.hi - OPEN_NUDGE).max(mid))
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = if self.lo_closed { '[' } else { '(' };
+        let r = if self.hi_closed { ']' } else { ')' };
+        write!(f, "{l}{}, {}{r}", self.lo, self.hi)
+    }
+}
+
+/// A normalized finite union of disjoint, non-mergeable [`Interval`]s,
+/// sorted by lower endpoint.
+///
+/// # Examples
+///
+/// ```
+/// use slim_automata::interval::{Interval, IntervalSet};
+///
+/// let a = IntervalSet::from(Interval::closed(0.0, 2.0).unwrap());
+/// let b = IntervalSet::from(Interval::closed(1.0, 3.0).unwrap());
+/// let u = a.union(&b);
+/// assert_eq!(u.measure(), 3.0);
+/// assert!(u.contains(2.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet { intervals: Vec::new() }
+    }
+
+    /// The full delay axis `[0, ∞)`.
+    pub fn all() -> IntervalSet {
+        IntervalSet {
+            intervals: vec![Interval { lo: 0.0, hi: f64::INFINITY, lo_closed: true, hi_closed: false }],
+        }
+    }
+
+    /// Builds a normalized set from arbitrary intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> IntervalSet {
+        let mut v: Vec<Interval> = iter.into_iter().collect();
+        v.sort_by(|a, b| {
+            a.lo.partial_cmp(&b.lo)
+                .expect("no NaN endpoints")
+                .then_with(|| b.lo_closed.cmp(&a.lo_closed))
+        });
+        let mut out: Vec<Interval> = Vec::with_capacity(v.len());
+        for iv in v {
+            match out.last_mut() {
+                Some(last) if last.merges_with(&iv) => {
+                    if iv.hi > last.hi {
+                        last.hi = iv.hi;
+                        last.hi_closed = iv.hi_closed;
+                    } else if iv.hi == last.hi {
+                        last.hi_closed = last.hi_closed || iv.hi_closed;
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// The member intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: f64) -> bool {
+        self.intervals.iter().any(|iv| iv.contains(x))
+    }
+
+    /// Total Lebesgue measure.
+    pub fn measure(&self) -> f64 {
+        self.intervals.iter().map(Interval::measure).sum()
+    }
+
+    /// Infimum of the set (`None` when empty).
+    pub fn inf(&self) -> Option<f64> {
+        self.intervals.first().map(Interval::lo)
+    }
+
+    /// Supremum of the set (`None` when empty, may be `INFINITY`).
+    pub fn sup(&self) -> Option<f64> {
+        self.intervals.last().map(Interval::hi)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(
+            self.intervals.iter().chain(other.intervals.iter()).copied(),
+        )
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                if b.lo > a.hi {
+                    break;
+                }
+                if let Some(iv) = a.intersect(b) {
+                    out.push(iv);
+                }
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Complement with respect to `[0, ∞)`.
+    pub fn complement(&self) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut cursor = 0.0f64;
+        let mut cursor_closed = true; // whether `cursor` itself is still outside the set
+        for iv in &self.intervals {
+            if iv.hi < cursor || (iv.hi == cursor && !iv.hi_closed && !cursor_closed) {
+                continue;
+            }
+            if let Some(gap) = Interval::new(cursor, iv.lo.max(cursor), cursor_closed, !iv.lo_closed)
+            {
+                // Guard against degenerate gaps swallowed by max().
+                if gap.lo < iv.lo || (gap.is_point() && !iv.contains(gap.lo)) {
+                    out.push(gap);
+                }
+            }
+            if iv.hi > cursor || (iv.hi == cursor && (iv.hi_closed || !cursor_closed)) {
+                cursor = iv.hi;
+                cursor_closed = !iv.hi_closed;
+            }
+        }
+        if cursor.is_finite() {
+            if let Some(tail) = Interval::new(cursor, f64::INFINITY, cursor_closed, false) {
+                out.push(tail);
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Intersects the set with `[0, hi]`.
+    pub fn truncate(&self, hi: f64) -> IntervalSet {
+        match Interval::closed(0.0, hi) {
+            Some(cap) => self.intersect(&IntervalSet::from(cap)),
+            None => IntervalSet::empty(),
+        }
+    }
+
+    /// The largest `d` such that the whole prefix `[0, d]` lies in the set,
+    /// together with whether `d` itself is attainable. Returns `None` when
+    /// `0` is not in the set, and `(INFINITY, false)` when the prefix is
+    /// unbounded.
+    ///
+    /// Used to turn invariant-satisfaction sets into the *allowed delay
+    /// window* of a state: time may pass only while the invariant keeps
+    /// holding.
+    pub fn prefix_from_zero(&self) -> Option<(f64, bool)> {
+        let first = self.intervals.first()?;
+        if !first.contains(0.0) {
+            return None;
+        }
+        Some((first.hi, first.hi_closed))
+    }
+
+    /// The earliest attainable point of the set (`None` when empty).
+    pub fn earliest_point(&self) -> Option<f64> {
+        self.intervals.first().map(Interval::earliest_point)
+    }
+
+    /// The latest attainable point of the set (`None` when empty or
+    /// unbounded).
+    pub fn latest_point(&self) -> Option<f64> {
+        self.intervals.last().and_then(Interval::latest_point)
+    }
+
+    /// Picks a point of the set from a uniform fraction `u ∈ [0, 1)`.
+    ///
+    /// If the set has positive measure, the point is chosen uniformly by
+    /// Lebesgue measure over the bounded part (unbounded sets must be
+    /// [`truncate`](Self::truncate)d first; the infinite tail is ignored
+    /// here). If the set consists only of points, one is selected uniformly.
+    /// Returns `None` for the empty set.
+    ///
+    /// Keeping the randomness outside (callers pass `u`) keeps this crate
+    /// RNG-free and strategies deterministic under seeded streams.
+    pub fn pick(&self, u: f64) -> Option<f64> {
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let finite: Vec<&Interval> = self.intervals.iter().filter(|iv| iv.hi.is_finite()).collect();
+        let total: f64 = finite.iter().map(|iv| iv.measure()).sum();
+        if total > 0.0 {
+            let mut target = u * total;
+            for iv in &finite {
+                let m = iv.measure();
+                if target <= m || std::ptr::eq(*iv, *finite.last().unwrap()) {
+                    let x = iv.lo + target.min(m);
+                    // Respect open endpoints.
+                    if x == iv.lo && !iv.lo_closed {
+                        return Some(iv.earliest_point());
+                    }
+                    if x == iv.hi && !iv.hi_closed {
+                        return iv.latest_point();
+                    }
+                    return Some(x);
+                }
+                target -= m;
+            }
+            unreachable!("target exhausted within total measure");
+        }
+        // Measure-zero set: uniform over the points (all finite intervals
+        // are points here).
+        if finite.is_empty() {
+            // Only an unbounded interval: fall back to its earliest point.
+            return self.earliest_point();
+        }
+        let idx = ((u * finite.len() as f64) as usize).min(finite.len() - 1);
+        Some(finite[idx].lo)
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(iv: Interval) -> Self {
+        IntervalSet { intervals: vec![iv] }
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cl(a: f64, b: f64) -> Interval {
+        Interval::closed(a, b).unwrap()
+    }
+
+    #[test]
+    fn empty_interval_constructions() {
+        assert!(Interval::closed(2.0, 1.0).is_none());
+        assert!(Interval::open(1.0, 1.0).is_none());
+        assert!(Interval::closed_open(1.0, 1.0).is_none());
+        assert!(Interval::closed(1.0, 1.0).is_some());
+        assert!(Interval::new(f64::NAN, 1.0, true, true).is_none());
+    }
+
+    #[test]
+    fn infinite_endpoints_forced_open() {
+        let iv = Interval::new(0.0, f64::INFINITY, true, true).unwrap();
+        assert!(!iv.hi_closed());
+    }
+
+    #[test]
+    fn interval_contains_respects_openness() {
+        let iv = Interval::open_closed(200.0, 300.0).unwrap();
+        assert!(!iv.contains(200.0));
+        assert!(iv.contains(200.0001));
+        assert!(iv.contains(300.0));
+        assert!(!iv.contains(300.0001));
+    }
+
+    #[test]
+    fn union_merges_touching() {
+        let s = IntervalSet::from_intervals([cl(0.0, 1.0), Interval::open_closed(1.0, 2.0).unwrap()]);
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.measure(), 2.0);
+        // Open-open touch does NOT merge: [0,1) ∪ (1,2] leaves out 1.
+        let s2 = IntervalSet::from_intervals([
+            Interval::closed_open(0.0, 1.0).unwrap(),
+            Interval::open_closed(1.0, 2.0).unwrap(),
+        ]);
+        assert_eq!(s2.intervals().len(), 2);
+        assert!(!s2.contains(1.0));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = IntervalSet::from_intervals([cl(0.0, 2.0), cl(5.0, 8.0)]);
+        let b = IntervalSet::from_intervals([cl(1.0, 6.0)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.intervals().len(), 2);
+        assert!(i.contains(1.5) && i.contains(5.5));
+        assert!(!i.contains(3.0));
+        assert_eq!(i.measure(), 1.0 + 1.0);
+    }
+
+    #[test]
+    fn intersection_endpoint_openness() {
+        let a = IntervalSet::from(Interval::closed_open(0.0, 2.0).unwrap());
+        let b = IntervalSet::from(Interval::open_closed(0.0, 2.0).unwrap());
+        let i = a.intersect(&b);
+        assert_eq!(i.intervals().len(), 1);
+        assert!(!i.contains(0.0) && !i.contains(2.0) && i.contains(1.0));
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let s = IntervalSet::from_intervals([
+            Interval::open_closed(1.0, 2.0).unwrap(),
+            cl(4.0, 5.0),
+        ]);
+        let c = s.complement();
+        assert!(c.contains(0.0) && c.contains(1.0) && !c.contains(1.5));
+        assert!(c.contains(3.0) && !c.contains(4.0) && !c.contains(5.0) && c.contains(6.0));
+        let cc = c.complement();
+        for x in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5, 5.0, 7.0] {
+            assert_eq!(cc.contains(x), s.contains(x), "at {x}");
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_and_all() {
+        assert_eq!(IntervalSet::empty().complement(), IntervalSet::all());
+        assert!(IntervalSet::all().complement().is_empty());
+    }
+
+    #[test]
+    fn complement_of_point() {
+        let s = IntervalSet::from(Interval::point(2.0));
+        let c = s.complement();
+        assert!(c.contains(0.0) && c.contains(1.999) && !c.contains(2.0) && c.contains(2.001));
+    }
+
+    #[test]
+    fn prefix_from_zero() {
+        let s = IntervalSet::from_intervals([cl(0.0, 3.0), cl(5.0, 6.0)]);
+        assert_eq!(s.prefix_from_zero(), Some((3.0, true)));
+        let s2 = IntervalSet::from(Interval::open_closed(0.0, 3.0).unwrap());
+        assert_eq!(s2.prefix_from_zero(), None);
+        assert_eq!(IntervalSet::all().prefix_from_zero(), Some((f64::INFINITY, false)));
+        assert_eq!(IntervalSet::empty().prefix_from_zero(), None);
+    }
+
+    #[test]
+    fn truncate_caps() {
+        let s = IntervalSet::all().truncate(10.0);
+        assert_eq!(s.sup(), Some(10.0));
+        assert_eq!(s.measure(), 10.0);
+        assert!(IntervalSet::all().truncate(-1.0).is_empty());
+    }
+
+    #[test]
+    fn earliest_and_latest_points() {
+        let s = IntervalSet::from(Interval::open_closed(200.0, 300.0).unwrap());
+        let e = s.earliest_point().unwrap();
+        assert!(e > 200.0 && e < 201.0);
+        assert_eq!(s.latest_point(), Some(300.0));
+        let o = IntervalSet::from(Interval::closed_open(0.0, 5.0).unwrap());
+        assert_eq!(o.earliest_point(), Some(0.0));
+        let l = o.latest_point().unwrap();
+        assert!(l < 5.0 && l > 4.0);
+        assert_eq!(IntervalSet::all().latest_point(), None);
+    }
+
+    #[test]
+    fn pick_uniform_measure() {
+        let s = IntervalSet::from_intervals([cl(0.0, 1.0), cl(10.0, 11.0)]);
+        let a = s.pick(0.25).unwrap();
+        assert!((0.0..=1.0).contains(&a));
+        let b = s.pick(0.75).unwrap();
+        assert!((10.0..=11.0).contains(&b));
+        assert!(s.contains(a) && s.contains(b));
+    }
+
+    #[test]
+    fn pick_point_set() {
+        let s = IntervalSet::from_intervals([Interval::point(1.0), Interval::point(5.0)]);
+        assert_eq!(s.pick(0.1), Some(1.0));
+        assert_eq!(s.pick(0.9), Some(5.0));
+    }
+
+    #[test]
+    fn pick_respects_open_endpoints() {
+        let s = IntervalSet::from(Interval::open(2.0, 3.0).unwrap());
+        let x = s.pick(0.0).unwrap();
+        assert!(s.contains(x), "picked {x} outside open set");
+    }
+
+    #[test]
+    fn pick_empty_is_none() {
+        assert_eq!(IntervalSet::empty().pick(0.5), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntervalSet::empty().to_string(), "∅");
+        let s = IntervalSet::from_intervals([cl(0.0, 1.0), Interval::open(2.0, 3.0).unwrap()]);
+        assert_eq!(s.to_string(), "[0, 1] ∪ (2, 3)");
+    }
+}

@@ -1,0 +1,461 @@
+//! Symbolic evaluation of expressions as *linear functions of a delay*.
+//!
+//! For a fixed state, every clock/continuous variable evolves linearly in
+//! the prospective delay `d`: `v(d) = ν(v) + rate(v)·d`. Numeric expressions
+//! therefore evaluate to affine forms `k + m·d` ([`Aff`]), and Boolean
+//! guards/invariants evaluate to [`IntervalSet`]s of delays at which they
+//! hold ([`solve`]). This is the exact-interval machinery behind the
+//! Progressive/Local/ASAP/MaxTime strategies (§III-B of the paper).
+//!
+//! The SLIM subset has *linear* hybrid dynamics: products or quotients of
+//! two delay-dependent quantities, and `min`/`max`/`if` over delay-dependent
+//! numeric operands, are rejected with [`EvalError::NonLinear`].
+
+use crate::error::EvalError;
+use crate::eval::Valuation;
+use crate::expr::{BinOp, Expr, VarId};
+use crate::interval::{Interval, IntervalSet};
+use crate::value::Value;
+
+/// An affine form `k + m·d` over the delay `d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aff {
+    /// Constant coefficient (value at `d = 0`).
+    pub k: f64,
+    /// Slope with respect to the delay.
+    pub m: f64,
+}
+
+impl Aff {
+    /// A constant (delay-independent) form.
+    pub fn constant(k: f64) -> Aff {
+        Aff { k, m: 0.0 }
+    }
+
+    /// True if the form does not depend on the delay.
+    pub fn is_constant(&self) -> bool {
+        self.m == 0.0
+    }
+
+    /// Value of the form at delay `d`.
+    pub fn at(&self, d: f64) -> f64 {
+        self.k + self.m * d
+    }
+}
+
+/// Evaluation context for delay-dependent evaluation: the current valuation
+/// plus the active derivative of every variable (1 for clocks, the current
+/// location's rate for continuous variables, 0 for discrete data).
+pub struct DelayEnv<'a> {
+    /// Current valuation (values at `d = 0`).
+    pub nu: &'a Valuation,
+    /// Active derivative of each variable.
+    pub rate: &'a dyn Fn(VarId) -> f64,
+}
+
+impl std::fmt::Debug for DelayEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayEnv").field("nu", &self.nu).finish_non_exhaustive()
+    }
+}
+
+impl<'a> DelayEnv<'a> {
+    /// Convenience constructor.
+    pub fn new(nu: &'a Valuation, rate: &'a dyn Fn(VarId) -> f64) -> Self {
+        DelayEnv { nu, rate }
+    }
+}
+
+/// Evaluates a numeric expression to an affine form over the delay.
+///
+/// # Errors
+/// [`EvalError::NonLinear`] for delay-dependent products, quotients,
+/// `min`/`max` or `if`; other [`EvalError`]s as in concrete evaluation.
+pub fn lin_eval(expr: &Expr, env: &DelayEnv<'_>) -> Result<Aff, EvalError> {
+    match expr {
+        Expr::Const(v) => Ok(Aff::constant(v.as_real()?)),
+        Expr::Var(v) => {
+            let base = env.nu.get(*v)?.as_real()?;
+            Ok(Aff { k: base, m: (env.rate)(*v) })
+        }
+        Expr::Neg(e) => {
+            let a = lin_eval(e, env)?;
+            Ok(Aff { k: -a.k, m: -a.m })
+        }
+        Expr::Not(_) => {
+            Err(EvalError::TypeConfusion { context: "boolean `not` in numeric position".into() })
+        }
+        Expr::Bin(op, a, b) => {
+            let fa = lin_eval(a, env)?;
+            let fb = lin_eval(b, env)?;
+            match op {
+                BinOp::Add => Ok(Aff { k: fa.k + fb.k, m: fa.m + fb.m }),
+                BinOp::Sub => Ok(Aff { k: fa.k - fb.k, m: fa.m - fb.m }),
+                BinOp::Mul => {
+                    if fa.is_constant() {
+                        Ok(Aff { k: fa.k * fb.k, m: fa.k * fb.m })
+                    } else if fb.is_constant() {
+                        Ok(Aff { k: fa.k * fb.k, m: fa.m * fb.k })
+                    } else {
+                        Err(EvalError::NonLinear { context: format!("{expr}") })
+                    }
+                }
+                BinOp::Div => {
+                    if !fb.is_constant() {
+                        return Err(EvalError::NonLinear { context: format!("{expr}") });
+                    }
+                    if fb.k == 0.0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    Ok(Aff { k: fa.k / fb.k, m: fa.m / fb.k })
+                }
+                BinOp::Min | BinOp::Max => {
+                    if fa.is_constant() && fb.is_constant() {
+                        let k = if *op == BinOp::Min { fa.k.min(fb.k) } else { fa.k.max(fb.k) };
+                        Ok(Aff::constant(k))
+                    } else if fa.m == fb.m {
+                        // Parallel lines: min/max decided by intercepts.
+                        let k = if *op == BinOp::Min { fa.k.min(fb.k) } else { fa.k.max(fb.k) };
+                        Ok(Aff { k, m: fa.m })
+                    } else {
+                        Err(EvalError::NonLinear { context: format!("{expr}") })
+                    }
+                }
+                _ => Err(EvalError::TypeConfusion {
+                    context: format!("boolean operator `{}` in numeric position", op.symbol()),
+                }),
+            }
+        }
+        Expr::Ite(c, t, e) => {
+            // Exact only when the condition is delay-independent.
+            let cond = solve(c, env)?;
+            if cond == IntervalSet::all() {
+                lin_eval(t, env)
+            } else if cond.is_empty() {
+                lin_eval(e, env)
+            } else {
+                Err(EvalError::NonLinear { context: format!("delay-dependent condition in {expr}") })
+            }
+        }
+    }
+}
+
+/// Solves a Boolean expression for the set of delays `d ∈ [0, ∞)` at which
+/// it holds.
+///
+/// # Errors
+/// See [`lin_eval`]; additionally fails on dynamic type confusion (e.g.
+/// comparing a Boolean to a number), which validated models never exhibit.
+pub fn solve(expr: &Expr, env: &DelayEnv<'_>) -> Result<IntervalSet, EvalError> {
+    match expr {
+        Expr::Const(Value::Bool(true)) => Ok(IntervalSet::all()),
+        Expr::Const(Value::Bool(false)) => Ok(IntervalSet::empty()),
+        Expr::Const(v) => {
+            Err(EvalError::TypeConfusion { context: format!("numeric constant {v} as guard") })
+        }
+        Expr::Var(v) => match env.nu.get(*v)? {
+            Value::Bool(true) => Ok(IntervalSet::all()),
+            Value::Bool(false) => Ok(IntervalSet::empty()),
+            other => {
+                Err(EvalError::TypeConfusion { context: format!("numeric variable {other} as guard") })
+            }
+        },
+        Expr::Not(e) => Ok(solve(e, env)?.complement()),
+        Expr::Neg(_) => {
+            Err(EvalError::TypeConfusion { context: "numeric negation as guard".into() })
+        }
+        Expr::Bin(op, a, b) => match op {
+            BinOp::And => Ok(solve(a, env)?.intersect(&solve(b, env)?)),
+            BinOp::Or => Ok(solve(a, env)?.union(&solve(b, env)?)),
+            BinOp::Implies => Ok(solve(a, env)?.complement().union(&solve(b, env)?)),
+            BinOp::Xor => {
+                let sa = solve(a, env)?;
+                let sb = solve(b, env)?;
+                Ok(sa.intersect(&sb.complement()).union(&sb.intersect(&sa.complement())))
+            }
+            BinOp::Eq | BinOp::Ne if is_boolish(a, env) && is_boolish(b, env) => {
+                let sa = solve(a, env)?;
+                let sb = solve(b, env)?;
+                let eq = sa.intersect(&sb).union(&sa.complement().intersect(&sb.complement()));
+                if *op == BinOp::Eq {
+                    Ok(eq)
+                } else {
+                    Ok(eq.complement())
+                }
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let fa = lin_eval(a, env)?;
+                let fb = lin_eval(b, env)?;
+                Ok(solve_cmp(*op, Aff { k: fa.k - fb.k, m: fa.m - fb.m }))
+            }
+            _ => Err(EvalError::TypeConfusion {
+                context: format!("arithmetic operator `{}` as guard", op.symbol()),
+            }),
+        },
+        Expr::Ite(c, t, e) => {
+            let sc = solve(c, env)?;
+            let st = solve(t, env)?;
+            let se = solve(e, env)?;
+            Ok(st.intersect(&sc).union(&se.intersect(&sc.complement())))
+        }
+    }
+}
+
+/// Heuristic: does the expression denote a Boolean under this environment?
+/// Used to dispatch `=`/`!=` between Boolean and numeric semantics.
+fn is_boolish(expr: &Expr, env: &DelayEnv<'_>) -> bool {
+    match expr {
+        Expr::Const(Value::Bool(_)) => true,
+        Expr::Var(v) => matches!(env.nu.get(*v), Ok(Value::Bool(_))),
+        Expr::Not(_) => true,
+        Expr::Bin(op, ..) => op.is_logical() || op.is_comparison(),
+        Expr::Ite(_, t, _) => is_boolish(t, env),
+        _ => false,
+    }
+}
+
+/// Solves `f(d) cmp 0` for the affine form `f = k + m·d`, intersected with
+/// `[0, ∞)`.
+fn solve_cmp(op: BinOp, f: Aff) -> IntervalSet {
+    if f.m == 0.0 {
+        let truth = match op {
+            BinOp::Eq => f.k == 0.0,
+            BinOp::Ne => f.k != 0.0,
+            BinOp::Lt => f.k < 0.0,
+            BinOp::Le => f.k <= 0.0,
+            BinOp::Gt => f.k > 0.0,
+            BinOp::Ge => f.k >= 0.0,
+            _ => unreachable!("caller dispatches comparisons only"),
+        };
+        return if truth { IntervalSet::all() } else { IntervalSet::empty() };
+    }
+    let root = -f.k / f.m;
+    // Normalize to `m > 0` by flipping the comparison when m < 0.
+    let (op, root) = if f.m > 0.0 {
+        (op, root)
+    } else {
+        let flipped = match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        };
+        (flipped, root)
+    };
+    // Now f is increasing with zero at `root`.
+    let set = match op {
+        BinOp::Eq => {
+            if root >= 0.0 {
+                IntervalSet::from(Interval::point(root))
+            } else {
+                IntervalSet::empty()
+            }
+        }
+        BinOp::Ne => {
+            if root >= 0.0 {
+                IntervalSet::from(Interval::point(root)).complement()
+            } else {
+                IntervalSet::all()
+            }
+        }
+        BinOp::Lt => interval_or_empty(Interval::closed_open(0.0, root)),
+        BinOp::Le => interval_or_empty(Interval::closed(0.0, root)),
+        BinOp::Gt => interval_or_empty(Interval::new(root.max(0.0), f64::INFINITY, root < 0.0, false)),
+        BinOp::Ge => {
+            interval_or_empty(Interval::new(root.max(0.0), f64::INFINITY, true, false))
+        }
+        _ => unreachable!(),
+    };
+    set
+}
+
+fn interval_or_empty(iv: Option<Interval>) -> IntervalSet {
+    match iv {
+        Some(iv) => IntervalSet::from(iv),
+        None => IntervalSet::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Valuation;
+
+    /// Environment with one clock `x` (rate 1) at value `x0` and one
+    /// discrete int `n`.
+    fn env_with(x0: f64, n: i64) -> (Valuation, &'static dyn Fn(VarId) -> f64) {
+        let nu = Valuation::new(vec![Value::Real(x0), Value::Int(n)]);
+        fn rate(v: VarId) -> f64 {
+            if v.0 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (nu, &rate)
+    }
+
+    fn x() -> Expr {
+        Expr::var(VarId(0))
+    }
+
+    fn n() -> Expr {
+        Expr::var(VarId(1))
+    }
+
+    #[test]
+    fn lin_eval_clock_is_affine() {
+        let (nu, rate) = env_with(5.0, 3);
+        let env = DelayEnv::new(&nu, rate);
+        let a = lin_eval(&x(), &env).unwrap();
+        assert_eq!(a, Aff { k: 5.0, m: 1.0 });
+        let b = lin_eval(&x().mul(Expr::real(2.0)).add(n()), &env).unwrap();
+        assert_eq!(b, Aff { k: 13.0, m: 2.0 });
+        assert_eq!(b.at(1.5), 16.0);
+    }
+
+    #[test]
+    fn lin_eval_rejects_nonlinear() {
+        let (nu, rate) = env_with(5.0, 3);
+        let env = DelayEnv::new(&nu, rate);
+        assert!(matches!(
+            lin_eval(&x().mul(x()), &env),
+            Err(EvalError::NonLinear { .. })
+        ));
+        assert!(matches!(
+            lin_eval(&Expr::real(1.0).div(x()), &env),
+            Err(EvalError::NonLinear { .. })
+        ));
+        assert!(matches!(
+            lin_eval(&x().min(Expr::real(3.0)), &env),
+            Err(EvalError::NonLinear { .. })
+        ));
+    }
+
+    #[test]
+    fn lin_eval_parallel_min_ok() {
+        let (nu, rate) = env_with(5.0, 3);
+        let env = DelayEnv::new(&nu, rate);
+        let e = x().min(x().add(Expr::real(2.0)));
+        assert_eq!(lin_eval(&e, &env).unwrap(), Aff { k: 5.0, m: 1.0 });
+    }
+
+    #[test]
+    fn solve_simple_window() {
+        // x in [5, +1/d]; guard: x >= 200 and x <= 300 with x0 = 0.
+        let (nu, rate) = env_with(0.0, 0);
+        let env = DelayEnv::new(&nu, rate);
+        let g = x().ge(Expr::real(200.0)).and(x().le(Expr::real(300.0)));
+        let s = solve(&g, &env).unwrap();
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.contains(200.0) && s.contains(300.0));
+        assert!(!s.contains(199.999) && !s.contains(300.001));
+    }
+
+    #[test]
+    fn solve_accounts_for_elapsed_clock() {
+        // Same guard but the clock already reads 250.
+        let (nu, rate) = env_with(250.0, 0);
+        let env = DelayEnv::new(&nu, rate);
+        let g = x().ge(Expr::real(200.0)).and(x().le(Expr::real(300.0)));
+        let s = solve(&g, &env).unwrap();
+        assert_eq!(s.prefix_from_zero(), Some((50.0, true)));
+    }
+
+    #[test]
+    fn solve_strict_bounds_open() {
+        let (nu, rate) = env_with(0.0, 0);
+        let env = DelayEnv::new(&nu, rate);
+        let s = solve(&x().gt(Expr::real(2.0)).and(x().lt(Expr::real(3.0))), &env).unwrap();
+        assert!(!s.contains(2.0) && s.contains(2.5) && !s.contains(3.0));
+    }
+
+    #[test]
+    fn solve_equality_is_point() {
+        let (nu, rate) = env_with(0.0, 0);
+        let env = DelayEnv::new(&nu, rate);
+        let s = solve(&x().eq(Expr::real(7.0)), &env).unwrap();
+        assert_eq!(s.measure(), 0.0);
+        assert!(s.contains(7.0) && !s.contains(7.1));
+        let ne = solve(&x().ne(Expr::real(7.0)), &env).unwrap();
+        assert!(!ne.contains(7.0) && ne.contains(7.1) && ne.contains(0.0));
+    }
+
+    #[test]
+    fn solve_negative_root_clamps() {
+        // x >= -3 always true for x0=0, rate 1.
+        let (nu, rate) = env_with(0.0, 0);
+        let env = DelayEnv::new(&nu, rate);
+        assert_eq!(solve(&x().ge(Expr::real(-3.0)), &env).unwrap(), IntervalSet::all());
+        assert!(solve(&x().lt(Expr::real(-3.0)), &env).unwrap().is_empty());
+        assert!(solve(&x().eq(Expr::real(-3.0)), &env).unwrap().is_empty());
+    }
+
+    #[test]
+    fn solve_decreasing_variable() {
+        // Continuous var with rate -2 starting at 10; guard v <= 4 ⇒ d >= 3.
+        let nu = Valuation::new(vec![Value::Real(10.0)]);
+        fn rate(_: VarId) -> f64 {
+            -2.0
+        }
+        let env = DelayEnv::new(&nu, &rate);
+        let s = solve(&Expr::var(VarId(0)).le(Expr::real(4.0)), &env).unwrap();
+        assert!(!s.contains(2.999) && s.contains(3.0) && s.contains(100.0));
+    }
+
+    #[test]
+    fn solve_discrete_guard_constant() {
+        let (nu, rate) = env_with(0.0, 3);
+        let env = DelayEnv::new(&nu, rate);
+        assert_eq!(solve(&n().ge(Expr::int(2)), &env).unwrap(), IntervalSet::all());
+        assert!(solve(&n().ge(Expr::int(4)), &env).unwrap().is_empty());
+    }
+
+    #[test]
+    fn solve_boolean_structure() {
+        let (nu, rate) = env_with(0.0, 0);
+        let env = DelayEnv::new(&nu, rate);
+        // not (x <= 5) == x > 5
+        let s = solve(&x().le(Expr::real(5.0)).not(), &env).unwrap();
+        assert!(!s.contains(5.0) && s.contains(5.1));
+        // xor of overlapping windows
+        let a = x().le(Expr::real(10.0));
+        let b = x().ge(Expr::real(5.0));
+        let s = solve(&a.xor(b), &env).unwrap();
+        assert!(s.contains(2.0) && !s.contains(7.0) && s.contains(12.0));
+    }
+
+    #[test]
+    fn solve_bool_var_equality() {
+        let nu = Valuation::new(vec![Value::Bool(true), Value::Bool(false)]);
+        fn rate(_: VarId) -> f64 {
+            0.0
+        }
+        let env = DelayEnv::new(&nu, &rate);
+        let e = Expr::var(VarId(0)).eq(Expr::var(VarId(1)));
+        assert!(solve(&e, &env).unwrap().is_empty());
+        let e = Expr::var(VarId(0)).ne(Expr::var(VarId(1)));
+        assert_eq!(solve(&e, &env).unwrap(), IntervalSet::all());
+    }
+
+    #[test]
+    fn solve_ite_guard() {
+        // if n >= 2 then x <= 5 else x <= 1   with n = 3
+        let (nu, rate) = env_with(0.0, 3);
+        let env = DelayEnv::new(&nu, rate);
+        let e = Expr::ite(n().ge(Expr::int(2)), x().le(Expr::real(5.0)), x().le(Expr::real(1.0)));
+        let s = solve(&e, &env).unwrap();
+        assert!(s.contains(5.0) && !s.contains(5.1));
+    }
+
+    #[test]
+    fn ite_numeric_constant_condition_ok() {
+        let (nu, rate) = env_with(0.0, 3);
+        let env = DelayEnv::new(&nu, rate);
+        let e = Expr::ite(n().ge(Expr::int(2)), Expr::real(10.0), Expr::real(20.0));
+        let g = x().le(e);
+        let s = solve(&g, &env).unwrap();
+        assert_eq!(s.prefix_from_zero(), Some((10.0, true)));
+    }
+}

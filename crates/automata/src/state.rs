@@ -1,0 +1,112 @@
+//! Global state of a network of event-data automata.
+
+use crate::automaton::LocId;
+use crate::eval::Valuation;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A global state: one current location per automaton, a valuation of all
+/// variables, and the absolute model time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetState {
+    /// Current location of each automaton (indexed by `ProcId`).
+    pub locs: Vec<LocId>,
+    /// Valuation of all network variables.
+    pub nu: Valuation,
+    /// Absolute elapsed model time.
+    pub time: f64,
+}
+
+impl NetState {
+    /// Creates a state at time zero.
+    pub fn new(locs: Vec<LocId>, nu: Valuation) -> NetState {
+        NetState { locs, nu, time: 0.0 }
+    }
+
+    /// A hashable key over locations and *discrete* variable values.
+    ///
+    /// Returns `None` if any variable holds a real value — such models have
+    /// uncountable state spaces and cannot be explicitly explored. Used by
+    /// the CTMC backend, which requires untimed (discrete-data) models.
+    pub fn discrete_key(&self) -> Option<DiscreteKey> {
+        let mut vals = Vec::with_capacity(self.nu.len());
+        for (_, v) in self.nu.iter() {
+            match v {
+                Value::Bool(b) => vals.push(DiscreteVal::Bool(b)),
+                Value::Int(i) => vals.push(DiscreteVal::Int(i)),
+                Value::Real(_) => return None,
+            }
+        }
+        Some(DiscreteKey { locs: self.locs.clone(), vals })
+    }
+}
+
+impl fmt::Display for NetState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} locs=[", self.time)?;
+        for (i, l) in self.locs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "] ν=[")?;
+        for (i, (_, v)) in self.nu.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A discrete variable value (hashable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscreteVal {
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+}
+
+/// Hashable identity of a discrete state (locations + discrete values).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DiscreteKey {
+    /// Current locations.
+    pub locs: Vec<LocId>,
+    /// Discrete variable values in `VarId` order.
+    pub vals: Vec<DiscreteVal>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_key_rejects_reals() {
+        let s = NetState::new(
+            vec![LocId(0)],
+            Valuation::new(vec![Value::Int(1), Value::Real(0.5)]),
+        );
+        assert!(s.discrete_key().is_none());
+    }
+
+    #[test]
+    fn discrete_key_equality() {
+        let a = NetState::new(vec![LocId(0)], Valuation::new(vec![Value::Int(1)]));
+        let mut b = a.clone();
+        b.time = 42.0; // time is not part of the key
+        assert_eq!(a.discrete_key().unwrap(), b.discrete_key().unwrap());
+        let c = NetState::new(vec![LocId(1)], Valuation::new(vec![Value::Int(1)]));
+        assert_ne!(a.discrete_key().unwrap(), c.discrete_key().unwrap());
+    }
+
+    #[test]
+    fn display_mentions_time_and_values() {
+        let s = NetState::new(vec![LocId(2)], Valuation::new(vec![Value::Bool(true)]));
+        let txt = s.to_string();
+        assert!(txt.contains("t=0") && txt.contains("l2") && txt.contains("true"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Well-formedness validation of networks (DESIGN.md §4 rule set).
+
+use crate::automaton::{GuardKind, LocId, ProcId};
+use crate::error::ModelError;
+use crate::expr::{Expr, TypeKind, VarId};
+use crate::network::Network;
+use crate::value::VarType;
+use std::collections::{HashMap, HashSet};
+
+/// Validates a network against the SLIM well-formedness rules:
+///
+/// 1. The network has at least one automaton; every automaton has at least
+///    one location and an in-range initial location.
+/// 2. Transition endpoints and actions are in range; Markovian transitions
+///    are τ-labeled with positive rate; no location mixes guarded and
+///    Markovian transitions; Markovian locations have trivial invariants.
+/// 3. Guards and invariants type-check to Boolean; effect right-hand sides
+///    type-check compatibly with their target's type.
+/// 4. Location rates target continuous variables only; no two *automata*
+///    assign rates to the same continuous variable.
+/// 5. Flow targets are not written by effects, have no rates, are not
+///    clocks/continuous, and flow expressions type-check (cycles and
+///    duplicates are rejected earlier, during flow toposort).
+/// 6. Variable names are unique; initial values inhabit their types.
+///
+/// # Errors
+/// The first violated rule as a [`ModelError`].
+pub fn validate_network(n: &Network) -> Result<(), ModelError> {
+    if n.automata().is_empty() {
+        return Err(ModelError::Empty);
+    }
+
+    // Rule 6: unique names, valid initials.
+    let mut seen = HashSet::new();
+    for decl in n.vars() {
+        if !seen.insert(decl.name.as_str()) {
+            return Err(ModelError::DuplicateName(decl.name.clone()));
+        }
+        let canon = decl.ty.canonicalize(decl.init);
+        if !decl.ty.admits(canon) {
+            return Err(ModelError::BadInit {
+                variable: decl.name.clone(),
+                detail: format!("{} does not inhabit {}", decl.init, decl.ty),
+            });
+        }
+    }
+    let mut seen_autos = HashSet::new();
+    for a in n.automata() {
+        if !seen_autos.insert(a.name.as_str()) {
+            return Err(ModelError::DuplicateName(a.name.clone()));
+        }
+    }
+
+    let ty_of = |v: VarId| n.ty_of(v);
+    let n_vars = n.vars().len();
+    let check_var = |v: VarId| -> Result<(), ModelError> {
+        if v.0 >= n_vars {
+            Err(ModelError::IndexOutOfRange { what: "variable", index: v.0, len: n_vars })
+        } else {
+            Ok(())
+        }
+    };
+    let check_expr_vars = |e: &Expr| -> Result<(), ModelError> {
+        for v in e.vars() {
+            check_var(v)?;
+        }
+        Ok(())
+    };
+
+    // Rule 4 precompute: continuous-rate ownership across automata.
+    let mut rate_owner: HashMap<VarId, ProcId> = HashMap::new();
+
+    for (p, a) in n.automata().iter().enumerate() {
+        if a.locations.is_empty() {
+            return Err(ModelError::NoLocations { automaton: a.name.clone() });
+        }
+        if a.init.0 >= a.locations.len() {
+            return Err(ModelError::IndexOutOfRange {
+                what: "initial location",
+                index: a.init.0,
+                len: a.locations.len(),
+            });
+        }
+
+        for loc in &a.locations {
+            // Rule 3: invariant types.
+            check_expr_vars(&loc.invariant)?;
+            let k = loc.invariant.check(&ty_of)?;
+            if k != TypeKind::Bool {
+                return Err(ModelError::Type(crate::error::TypeError::Expected {
+                    expected: "bool",
+                    found: k.name(),
+                    context: format!("invariant of {}/{}", a.name, loc.name),
+                }));
+            }
+            // Rule 4: rates on continuous vars, unique across automata.
+            for &(v, _r) in &loc.rates {
+                check_var(v)?;
+                if n.ty_of(v) != VarType::Continuous {
+                    return Err(ModelError::RateOnDiscrete { variable: n.name_of(v) });
+                }
+                match rate_owner.get(&v) {
+                    Some(owner) if owner.0 != p => {
+                        return Err(ModelError::RateConflict { variable: n.name_of(v) })
+                    }
+                    _ => {
+                        rate_owner.insert(v, ProcId(p));
+                    }
+                }
+            }
+        }
+
+        // Rule 2: transitions.
+        for t in &a.transitions {
+            for endpoint in [t.from, t.to] {
+                if endpoint.0 >= a.locations.len() {
+                    return Err(ModelError::IndexOutOfRange {
+                        what: "location",
+                        index: endpoint.0,
+                        len: a.locations.len(),
+                    });
+                }
+            }
+            if t.action.0 >= n.actions().len() {
+                return Err(ModelError::IndexOutOfRange {
+                    what: "action",
+                    index: t.action.0,
+                    len: n.actions().len(),
+                });
+            }
+            match &t.guard {
+                GuardKind::Markovian(rate) => {
+                    if !t.action.is_tau() {
+                        return Err(ModelError::MarkovianNotInternal {
+                            automaton: a.name.clone(),
+                            location: a.locations[t.from.0].name.clone(),
+                        });
+                    }
+                    if !(*rate > 0.0) || !rate.is_finite() {
+                        return Err(ModelError::NonPositiveRate {
+                            automaton: a.name.clone(),
+                            rate: *rate,
+                        });
+                    }
+                }
+                GuardKind::Boolean(g) => {
+                    check_expr_vars(g)?;
+                    let k = g.check(&ty_of)?;
+                    if k != TypeKind::Bool {
+                        return Err(ModelError::Type(crate::error::TypeError::Expected {
+                            expected: "bool",
+                            found: k.name(),
+                            context: format!("guard in {}", a.name),
+                        }));
+                    }
+                }
+            }
+            // Rule 3: effects.
+            for eff in &t.effects {
+                check_var(eff.var)?;
+                check_expr_vars(&eff.expr)?;
+                let k = eff.expr.check(&ty_of)?;
+                let target = n.ty_of(eff.var);
+                let compatible = match target {
+                    VarType::Bool => k == TypeKind::Bool,
+                    VarType::Int { .. } => k == TypeKind::Int,
+                    VarType::Real | VarType::Clock | VarType::Continuous => k.is_numeric(),
+                };
+                if !compatible {
+                    return Err(ModelError::Type(crate::error::TypeError::Expected {
+                        expected: match target {
+                            VarType::Bool => "bool",
+                            VarType::Int { .. } => "int",
+                            _ => "number",
+                        },
+                        found: k.name(),
+                        context: format!("effect on {} in {}", n.name_of(eff.var), a.name),
+                    }));
+                }
+            }
+        }
+
+        // Rule 2: no mixed locations; Markovian locations have trivial
+        // invariants.
+        for (l_idx, loc) in a.locations.iter().enumerate() {
+            let loc_id = LocId(l_idx);
+            let mut has_guarded = false;
+            let mut has_markov = false;
+            for (_, t) in a.outgoing(loc_id) {
+                match t.guard {
+                    GuardKind::Boolean(_) => has_guarded = true,
+                    GuardKind::Markovian(_) => has_markov = true,
+                }
+            }
+            if has_guarded && has_markov {
+                return Err(ModelError::MixedTransitionKinds {
+                    automaton: a.name.clone(),
+                    location: loc.name.clone(),
+                });
+            }
+            if has_markov && !loc.invariant.is_const_true() {
+                return Err(ModelError::MarkovianInvariant {
+                    automaton: a.name.clone(),
+                    location: loc.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Rule 5: flow targets.
+    let mut effect_targets: HashSet<VarId> = HashSet::new();
+    for a in n.automata() {
+        for t in &a.transitions {
+            for eff in &t.effects {
+                effect_targets.insert(eff.var);
+            }
+        }
+    }
+    for f in n.flows() {
+        check_var(f.target)?;
+        check_expr_vars(&f.expr)?;
+        if effect_targets.contains(&f.target)
+            || rate_owner.contains_key(&f.target)
+            || n.ty_of(f.target).is_timed()
+        {
+            return Err(ModelError::FlowTargetConflict { variable: n.name_of(f.target) });
+        }
+        let k = f.expr.check(&ty_of)?;
+        let target = n.ty_of(f.target);
+        let compatible = match target {
+            VarType::Bool => k == TypeKind::Bool,
+            VarType::Int { .. } => k == TypeKind::Int,
+            VarType::Real => k.is_numeric(),
+            VarType::Clock | VarType::Continuous => false,
+        };
+        if !compatible {
+            return Err(ModelError::Type(crate::error::TypeError::Expected {
+                expected: "flow-compatible kind",
+                found: k.name(),
+                context: format!("flow into {}", n.name_of(f.target)),
+            }));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{ActionId, Effect};
+    use crate::network::{AutomatonBuilder, NetworkBuilder};
+    use crate::value::Value;
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(NetworkBuilder::new().build().unwrap_err(), ModelError::Empty);
+    }
+
+    #[test]
+    fn automaton_without_locations_rejected() {
+        let mut b = NetworkBuilder::new();
+        b.add_automaton(AutomatonBuilder::new("p"));
+        assert!(matches!(b.build(), Err(ModelError::NoLocations { .. })));
+    }
+
+    #[test]
+    fn mixed_location_rejected() {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [], l1);
+        a.markovian(l0, 1.0, [], l1);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::MixedTransitionKinds { .. })));
+    }
+
+    #[test]
+    fn markovian_location_with_invariant_rejected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("l0", Expr::var(x).le(Expr::real(1.0)), []);
+        let l1 = a.location("l1");
+        a.markovian(l0, 1.0, [], l1);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::MarkovianInvariant { .. })));
+    }
+
+    #[test]
+    fn non_positive_rate_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut b = NetworkBuilder::new();
+            let mut a = AutomatonBuilder::new("p");
+            let l0 = a.location("l0");
+            a.markovian(l0, bad, [], l0);
+            b.add_automaton(a);
+            assert!(
+                matches!(b.build(), Err(ModelError::NonPositiveRate { .. })),
+                "rate {bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_var_names_rejected() {
+        let mut b = NetworkBuilder::new();
+        b.var("x", VarType::Bool, Value::Bool(false));
+        b.var("x", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("l");
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn duplicate_automaton_names_rejected() {
+        let mut b = NetworkBuilder::new();
+        let mut a1 = AutomatonBuilder::new("p");
+        a1.location("l");
+        let mut a2 = AutomatonBuilder::new("p");
+        a2.location("l");
+        b.add_automaton(a1);
+        b.add_automaton(a2);
+        assert!(matches!(b.build(), Err(ModelError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn bad_init_rejected() {
+        let mut b = NetworkBuilder::new();
+        b.var("n", VarType::Int { lo: 1, hi: 5 }, Value::Int(9));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("l");
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::BadInit { .. })));
+    }
+
+    #[test]
+    fn non_bool_guard_rejected() {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::int(1), [], l0);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::Type(_))));
+    }
+
+    #[test]
+    fn effect_kind_mismatch_rejected() {
+        let mut b = NetworkBuilder::new();
+        let flag = b.var("flag", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(flag, Expr::int(1))], l0);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::Type(_))));
+    }
+
+    #[test]
+    fn int_effect_on_real_ok() {
+        let mut b = NetworkBuilder::new();
+        let r = b.var("r", VarType::Real, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(r, Expr::int(1))], l0);
+        b.add_automaton(a);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rate_on_clock_rejected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location_with("l", Expr::TRUE, [(x, 2.0)]);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::RateOnDiscrete { .. })));
+    }
+
+    #[test]
+    fn cross_automata_rate_conflict_rejected() {
+        let mut b = NetworkBuilder::new();
+        let e = b.var("e", VarType::Continuous, Value::Real(0.0));
+        let mut a1 = AutomatonBuilder::new("p1");
+        a1.location_with("l", Expr::TRUE, [(e, 1.0)]);
+        let mut a2 = AutomatonBuilder::new("p2");
+        a2.location_with("l", Expr::TRUE, [(e, 2.0)]);
+        b.add_automaton(a1);
+        b.add_automaton(a2);
+        assert!(matches!(b.build(), Err(ModelError::RateConflict { .. })));
+    }
+
+    #[test]
+    fn same_automaton_rates_in_two_locations_ok() {
+        let mut b = NetworkBuilder::new();
+        let e = b.var("e", VarType::Continuous, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location_with("charge", Expr::TRUE, [(e, 1.0)]);
+        a.location_with("drain", Expr::TRUE, [(e, -1.0)]);
+        b.add_automaton(a);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn flow_into_effect_target_rejected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::INT, Value::Int(0));
+        b.flow(x, Expr::int(1));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(x, Expr::int(2))], l0);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::FlowTargetConflict { .. })));
+    }
+
+    #[test]
+    fn flow_into_clock_rejected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        b.flow(x, Expr::real(1.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("l0");
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::FlowTargetConflict { .. })));
+    }
+
+    #[test]
+    fn out_of_range_variable_in_guard_rejected() {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::var(VarId(7)).eq(Expr::bool(true)), [], l0);
+        b.add_automaton(a);
+        assert!(matches!(b.build(), Err(ModelError::IndexOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,104 @@
+//! Ablation for the §III-C parallel-collection protocol: demonstrates the
+//! completion-order bias of "accept samples as they arrive" (the paper's
+//! \[21\]) and that the buffered round-robin protocol (the paper's \[22\])
+//! removes it.
+//!
+//! Setup: a multi-worker simulation where the *outcome correlates with the
+//! completion time* — exactly the situation in statistical model
+//! checking, where paths that hit the goal early finish sooner than
+//! paths that must run to the time bound. Successful paths take 1 time
+//! unit, failing paths take 10. A sequential stopping rule (Gauss) reads
+//! the stream:
+//!
+//! * accept-on-arrival: early samples over-represent successes ⇒ the
+//!   stopping rule sees a *biased prefix*;
+//! * round-robin rounds: each consumed round is one sample per worker in
+//!   a fixed order ⇒ the prefix is exchangeable and unbiased.
+//!
+//! ```text
+//! cargo run -p slimsim-bench --release --bin bias_ablation
+//! ```
+
+use slim_stats::estimator::Generator;
+use slim_stats::parallel::RoundRobinCollector;
+use slim_stats::rng::derive_seed;
+use slim_stats::sequential::Gauss;
+use slim_stats::Accuracy;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const TRUE_P: f64 = 0.3;
+const FAST: f64 = 1.0; // completion time of a success
+const SLOW: f64 = 10.0; // completion time of a failure
+const WORKERS: usize = 16;
+
+fn uniform(x: &mut u64) -> f64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (*x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Simulates `WORKERS` workers producing Bernoulli(p) samples whose
+/// completion time depends on the outcome, delivering them in completion
+/// order. Returns the estimate a sequential Gauss rule reaches under the
+/// chosen collection scheme.
+fn run(seed: u64, round_robin: bool) -> (f64, u64) {
+    let mut gen = Gauss::new(Accuracy::new(0.1, 0.05).expect("valid accuracy"));
+    let mut collector = RoundRobinCollector::new(WORKERS);
+
+    // Event queue: (finish_time, worker, outcome).
+    let mut heap: BinaryHeap<Reverse<(u64, usize, bool)>> = BinaryHeap::new();
+    let mut rngs: Vec<u64> = (0..WORKERS).map(|w| derive_seed(seed, w as u64)).collect();
+    let mut clock = vec![0f64; WORKERS];
+    for w in 0..WORKERS {
+        let s = uniform(&mut rngs[w]) < TRUE_P;
+        clock[w] += if s { FAST } else { SLOW };
+        heap.push(Reverse(((clock[w] * 1e6) as u64, w, s)));
+    }
+
+    while !gen.is_complete() {
+        let Reverse((_, w, outcome)) = heap.pop().expect("workers keep producing");
+        if round_robin {
+            collector.push(w, outcome);
+            for s in collector.drain_rounds() {
+                if !gen.is_complete() {
+                    gen.add(s);
+                }
+            }
+        } else {
+            gen.add(outcome); // accept on arrival — the biased protocol
+        }
+        // The worker starts its next sample.
+        let s = uniform(&mut rngs[w]) < TRUE_P;
+        clock[w] += if s { FAST } else { SLOW };
+        heap.push(Reverse(((clock[w] * 1e6) as u64, w, s)));
+    }
+    let e = gen.estimate();
+    (e.mean, e.samples)
+}
+
+fn main() {
+    println!("§III-C collection-bias ablation");
+    println!(
+        "true p = {TRUE_P}; successes finish in {FAST} t.u., failures in {SLOW} t.u.; {WORKERS} workers"
+    );
+    println!("sequential Gauss stopping rule (ε = 0.1, δ = 0.05 — small samples,");
+    println!("where the arrival-order transient matters), 400 repetitions\n");
+
+    let mut naive_sum = 0.0;
+    let mut rr_sum = 0.0;
+    let reps = 400;
+    for seed in 0..reps {
+        let (naive, _) = run(seed, false);
+        let (rr, _) = run(seed, true);
+        naive_sum += naive;
+        rr_sum += rr;
+    }
+    let naive_mean = naive_sum / reps as f64;
+    let rr_mean = rr_sum / reps as f64;
+    println!("{:<22} {:>10} {:>12}", "protocol", "mean p̂", "bias");
+    println!("{:<22} {:>10.4} {:>+12.4}", "accept-on-arrival", naive_mean, naive_mean - TRUE_P);
+    println!("{:<22} {:>10.4} {:>+12.4}", "round-robin rounds", rr_mean, rr_mean - TRUE_P);
+    println!("\nAccept-on-arrival over-weights fast (successful) paths in every");
+    println!("prefix the stopping rule examines; the round-robin protocol's");
+    println!("estimate is centered on the true probability.");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 5** (§V-d): launcher failure probability
+//! `P(◇[0,u] failure)` as a function of the time bound `u`, per strategy,
+//! for the permanent (left graph) and recoverable (right graph) DPU fault
+//! variants.
+//!
+//! ```text
+//! cargo run -p slimsim-bench --release --bin fig5 [-- permanent|recoverable]
+//! ```
+//!
+//! The paper ran with ε = 0.005; we default to ε = 0.02 to keep the
+//! regeneration minutes-scale (pass `--paper-accuracy` for the original).
+
+use slim_models::launcher::DpuFaultMode;
+use slim_stats::Accuracy;
+use slimsim_bench::fig5_series;
+use slimsim_core::prelude::StrategyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_accuracy = args.iter().any(|a| a == "--paper-accuracy");
+    let accuracy = if paper_accuracy {
+        Accuracy::new(0.005, 0.1).expect("paper accuracy") // §V-d parameters
+    } else {
+        Accuracy::new(0.02, 0.05).expect("default accuracy")
+    };
+    let which: Vec<DpuFaultMode> = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(s) if s == "permanent" => vec![DpuFaultMode::Permanent],
+        Some(s) if s == "recoverable" => vec![DpuFaultMode::Recoverable],
+        Some(s) if s == "three-class" => vec![DpuFaultMode::ThreeClass],
+        _ => vec![DpuFaultMode::Permanent, DpuFaultMode::Recoverable],
+    };
+    let bounds = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    for mode in which {
+        let label = match mode {
+            DpuFaultMode::Permanent => "Fig. 5 LEFT — permanent DPU faults",
+            DpuFaultMode::Recoverable => "Fig. 5 RIGHT — recoverable DPU faults",
+            DpuFaultMode::ThreeClass => "extension — all three fault classes (§V-c)",
+        };
+        println!("{label}  ({accuracy}, {workers} workers)");
+        print!("{:>6}", "u (h)");
+        for s in StrategyKind::ALL {
+            print!(" {:>12}", s.to_string());
+        }
+        println!();
+        let series = fig5_series(mode, &bounds, accuracy, workers, 0xF16_5);
+        for &bound in &bounds {
+            print!("{bound:>6}");
+            for s in StrategyKind::ALL {
+                let p = series
+                    .iter()
+                    .find(|pt| pt.bound == bound && pt.strategy == s)
+                    .expect("point exists");
+                print!(" {:>12.4}", p.probability);
+            }
+            println!();
+        }
+        match mode {
+            DpuFaultMode::Permanent => {
+                println!("shape check: all four columns coincide (within ε) — no timed");
+                println!("non-determinism, so the strategy cannot matter.\n");
+            }
+            DpuFaultMode::Recoverable => {
+                println!("shape check: ASAP (always restarts too early) is the highest");
+                println!("curve, MaxTime (never too early) the lowest, with Progressive");
+                println!("and Local in between — the paper's ordering.\n");
+            }
+            DpuFaultMode::ThreeClass => {
+                println!("extension: self-healing transients dominate, so every curve");
+                println!("sits below the permanent variant; the strategy ordering of");
+                println!("the recoverable variant persists through the hot faults.\n");
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates the §III-B synthetic strategy study on the GPS error model
+//! (Fig. 2): how each strategy resolves the `[200, 300]` ms repair window
+//! and what that does to the escalation probability.
+//!
+//! ```text
+//! cargo run -p slimsim-bench --release --bin strategies
+//! ```
+
+use slim_models::gps::{gps_network, GpsParams};
+use slim_stats::Accuracy;
+use slimsim_core::prelude::*;
+
+fn main() {
+    // Hot faults dominate so the repair window drives the outcome; one
+    // fault episode fits in the bound.
+    let params = GpsParams {
+        lambda_transient: 0.02,
+        lambda_hot: 20.0,
+        lambda_permanent: 0.001,
+        ..GpsParams::default()
+    };
+    let net = gps_network(&params);
+    let goal = Goal::in_location(&net, "gps.error_GpsError", "permanent")
+        .expect("error automaton exists");
+    let accuracy = Accuracy::new(0.01, 0.05).expect("valid accuracy");
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    println!("GPS strategy study (§III-B): repair window [{}, {}], cool-down {}",
+        params.repair_earliest, params.repair_latest, params.cooldown);
+    println!("P(◇[0,0.4] permanent), {accuracy}, {workers} workers\n");
+    println!("{:<14} {:>12} {:>10} {:>12} {:>10}", "strategy", "P(escalate)", "paths", "mean steps", "time");
+    let property = TimedReach::new(goal, 0.4);
+    for strategy in StrategyKind::ALL {
+        let config = SimConfig::default()
+            .with_accuracy(accuracy)
+            .with_strategy(strategy)
+            .with_workers(workers);
+        let r = analyze(&net, &property, &config).expect("simulation succeeds");
+        println!(
+            "{:<14} {:>12.4} {:>10} {:>12.1} {:>10.2?}",
+            strategy.to_string(),
+            r.probability(),
+            r.estimate.samples,
+            r.stats.mean_steps(),
+            r.wall
+        );
+    }
+    println!("\nASAP fires at the window start (200 ms < 250 ms cool-down) and");
+    println!("escalates nearly every episode; MaxTime fires at 300 ms and never");
+    println!("escalates; Progressive samples the window uniformly (~0.5 per");
+    println!("episode); Local samples the invariant window and re-waits, landing");
+    println!("close to Progressive — the §III-B semantics, measured.");
+}

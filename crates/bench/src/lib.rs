@@ -1,0 +1,246 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see EXPERIMENTS.md for the index and the recorded runs).
+//!
+//! The binaries under `src/bin/` print the same rows/series the paper
+//! reports:
+//!
+//! * `table1` — §IV Table I: CTMC pipeline vs simulator over model size;
+//! * `epsilon_sweep` — §IV's claim that simulation time grows
+//!   quadratically as the error bound shrinks;
+//! * `fig5` — §V-d Fig. 5: launcher failure probability vs time bound per
+//!   strategy, permanent and recoverable variants;
+//! * `strategies` — §III-B: the GPS strategy study.
+
+#![warn(missing_docs)]
+
+use slim_automata::prelude::{Expr, NetState, Network};
+use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
+use slim_ctmc::error::CtmcError;
+use slim_ctmc::explore::ExploreConfig;
+use slim_models::launcher::{launcher_network, DpuFaultMode, LauncherParams, FAILURE_VAR};
+use slim_models::sensor_filter::{sensor_filter_network, SensorFilterParams, GOAL_VAR};
+use slim_stats::Accuracy;
+use slimsim_core::prelude::*;
+use std::time::Duration;
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Redundancy per bank (the paper's model-size axis).
+    pub size: usize,
+    /// CTMC pipeline measurements, or the failure reason (state limit).
+    pub ctmc: Result<CtmcCols, String>,
+    /// Simulator measurements.
+    pub sim: SimCols,
+}
+
+/// CTMC-side columns of Table I.
+#[derive(Debug, Clone)]
+pub struct CtmcCols {
+    /// Reachable states explored.
+    pub states: usize,
+    /// Quotient states after lumping.
+    pub lumped: usize,
+    /// Wall-clock time of the pipeline.
+    pub time: Duration,
+    /// Approximate stored-state-space memory (bytes).
+    pub memory_bytes: usize,
+    /// The (exact) probability.
+    pub probability: f64,
+}
+
+/// Simulator-side columns of Table I.
+#[derive(Debug, Clone)]
+pub struct SimCols {
+    /// Wall-clock time of the analysis.
+    pub time: Duration,
+    /// Approximate memory (bytes) — flat in model size.
+    pub memory_bytes: usize,
+    /// The estimate.
+    pub probability: f64,
+    /// Paths generated.
+    pub paths: u64,
+}
+
+/// Table I defaults: property horizon and simulator accuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Config {
+    /// Property time bound `T`.
+    pub horizon: f64,
+    /// Simulator accuracy.
+    pub accuracy: Accuracy,
+    /// CTMC exploration state limit (the "out of memory" bar).
+    pub state_limit: usize,
+    /// Simulator worker threads.
+    pub workers: usize,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Table1Config {
+            horizon: 2.0,
+            accuracy: Accuracy::new(0.01, 0.05).expect("valid defaults"),
+            state_limit: 2_000_000,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// Runs one row of Table I for bank redundancy `size`.
+pub fn table1_row(size: usize, cfg: &Table1Config) -> Table1Row {
+    let params = SensorFilterParams { redundancy: size, ..Default::default() };
+    let net = sensor_filter_network(&params);
+    let failed = net.var_id(GOAL_VAR).expect("goal variable");
+
+    // CTMC pipeline (may exhaust the state limit — that is the result).
+    let goal_fn = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
+    let pipeline = PipelineConfig {
+        explore: ExploreConfig { state_limit: cfg.state_limit },
+        ..Default::default()
+    };
+    let ctmc = match check_timed_reachability(&net, &goal_fn, cfg.horizon, &pipeline) {
+        Ok(r) => Ok(CtmcCols {
+            states: r.states,
+            lumped: r.lumped_states,
+            time: r.wall,
+            memory_bytes: r.approx_memory_bytes,
+            probability: r.probability,
+        }),
+        Err(CtmcError::StateLimitExceeded { limit }) => {
+            Err(format!("memout (> {limit} states)"))
+        }
+        Err(e) => Err(e.to_string()),
+    };
+
+    let sim = simulate(&net, failed, cfg.horizon, cfg.accuracy, StrategyKind::Asap, cfg.workers);
+    Table1Row { size, ctmc, sim }
+}
+
+/// Runs the simulator side only (used by the ε sweep too).
+pub fn simulate(
+    net: &Network,
+    goal_var: slim_automata::expr::VarId,
+    horizon: f64,
+    accuracy: Accuracy,
+    strategy: StrategyKind,
+    workers: usize,
+) -> SimCols {
+    let property = TimedReach::new(Goal::expr(Expr::var(goal_var)), horizon);
+    let config = SimConfig::default()
+        .with_accuracy(accuracy)
+        .with_strategy(strategy)
+        .with_workers(workers.max(1));
+    let r = analyze(net, &property, &config).expect("simulation succeeds");
+    SimCols {
+        time: r.wall,
+        memory_bytes: r.approx_memory_bytes,
+        probability: r.probability(),
+        paths: r.estimate.samples,
+    }
+}
+
+/// One series point of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Point {
+    /// Time bound `u`.
+    pub bound: f64,
+    /// Strategy.
+    pub strategy: StrategyKind,
+    /// Estimated `P(◇[0,u] failure)`.
+    pub probability: f64,
+    /// Paths used.
+    pub paths: u64,
+}
+
+/// Runs the Fig. 5 experiment for one launcher variant.
+pub fn fig5_series(
+    mode: DpuFaultMode,
+    bounds: &[f64],
+    accuracy: Accuracy,
+    workers: usize,
+    seed: u64,
+) -> Vec<Fig5Point> {
+    let params = LauncherParams { dpu_faults: mode, ..Default::default() };
+    let net = launcher_network(&params);
+    let failure = net.var_id(FAILURE_VAR).expect("failure flow");
+    let mut out = Vec::new();
+    for &bound in bounds {
+        let property = TimedReach::new(Goal::expr(Expr::var(failure)), bound);
+        for strategy in StrategyKind::ALL {
+            let config = SimConfig::default()
+                .with_accuracy(accuracy)
+                .with_strategy(strategy)
+                .with_workers(workers.max(1))
+                .with_seed(seed);
+            let r = analyze(&net, &property, &config).expect("simulation succeeds");
+            out.push(Fig5Point {
+                bound,
+                strategy,
+                probability: r.probability(),
+                paths: r.estimate.samples,
+            });
+        }
+    }
+    out
+}
+
+/// Formats a byte count as MiB with two decimals.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a duration as seconds with two decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_smoke() {
+        let cfg = Table1Config {
+            horizon: 1.0,
+            accuracy: Accuracy::new(0.1, 0.2).unwrap(),
+            state_limit: 100_000,
+            workers: 2,
+        };
+        let row = table1_row(2, &cfg);
+        let ctmc = row.ctmc.expect("size 2 fits easily");
+        assert!(ctmc.states > 10);
+        assert!((ctmc.probability - row.sim.probability).abs() < 0.15);
+    }
+
+    #[test]
+    fn table1_state_limit_reported() {
+        let cfg = Table1Config {
+            horizon: 1.0,
+            accuracy: Accuracy::new(0.2, 0.2).unwrap(),
+            state_limit: 10,
+            workers: 1,
+        };
+        let row = table1_row(3, &cfg);
+        assert!(row.ctmc.is_err(), "limit 10 must trip");
+        assert!(row.sim.paths > 0, "simulator unaffected by state limit");
+    }
+
+    #[test]
+    fn fig5_series_shapes() {
+        let pts = fig5_series(
+            DpuFaultMode::Permanent,
+            &[0.5],
+            Accuracy::new(0.2, 0.2).unwrap(),
+            2,
+            7,
+        );
+        assert_eq!(pts.len(), StrategyKind::ALL.len());
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.probability)));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mib(1024 * 1024), "1.00");
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50");
+    }
+}

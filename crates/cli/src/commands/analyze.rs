@@ -1,0 +1,133 @@
+//! `slimsim analyze` — Monte Carlo timed-reachability analysis.
+
+use crate::args::Args;
+use crate::common::{load_bound, load_config, load_goal, load_hold, load_network};
+use slim_stats::rng::path_rng;
+use slimsim_core::prelude::*;
+
+/// Runs the analysis and prints the estimate.
+pub fn run(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let goal = load_goal(args, &net)?;
+    let hold = load_hold(args, &net)?;
+    let bound = load_bound(args)?;
+    let config = load_config(args)?;
+    let property = match hold {
+        None => TimedReach::new(goal, bound),
+        Some(h) => TimedReach::until(h, goal, bound),
+    };
+
+    if args.has_flag("trace") {
+        print_sample_path(&net, &property, &config, None)?;
+    } else if let Some(path) = args.options.get("trace-csv") {
+        print_sample_path(&net, &property, &config, Some(path))?;
+    }
+
+    let result = analyze(&net, &property, &config).map_err(|e| e.to_string())?;
+    if !args.has_flag("quiet") {
+        println!("model      : {} automata, {} variables", net.automata().len(), net.vars().len());
+        if property.hold.is_some() {
+            println!("property   : P(hold U[0,{bound}] goal)");
+        } else {
+            println!("property   : P(◇[0,{bound}] goal)");
+        }
+        println!("strategy   : {}", config.strategy);
+        println!("generator  : {}", config.generator);
+        println!("workers    : {}", config.workers);
+        println!(
+            "paths      : {} (satisfied {}, bound-exceeded {}, hold-violated {}, deadlock {}, timelock {})",
+            result.stats.total(),
+            result.stats.satisfied,
+            result.stats.time_bound_exceeded,
+            result.stats.hold_violated,
+            result.stats.deadlocks,
+            result.stats.timelocks,
+        );
+        println!("mean steps : {:.1}", result.stats.mean_steps());
+        if let Some(mean_t) = result.stats.mean_satisfaction_time() {
+            println!(
+                "goal hits  : mean t={:.4}, min t={:.4}, max t={:.4}",
+                mean_t,
+                result.stats.min_satisfaction_time().unwrap_or(0.0),
+                result.stats.max_satisfaction_time().unwrap_or(0.0)
+            );
+        }
+        println!("wall time  : {:?}", result.wall);
+        println!("memory     : ~{} KiB", result.approx_memory_bytes / 1024);
+    }
+    println!("{}", result.estimate);
+    Ok(())
+}
+
+/// Generates and prints one seeded path (the `--trace` flag).
+fn print_sample_path(
+    net: &slim_automata::prelude::Network,
+    property: &TimedReach,
+    config: &SimConfig,
+    csv_path: Option<&str>,
+) -> Result<(), String> {
+    let gen = PathGenerator::new(net, property, config.max_steps);
+    let mut strategy = config.strategy.instantiate();
+    let mut rng = path_rng(config.seed, 0);
+    let mut trace = VecTrace::default();
+    let outcome = gen
+        .generate_traced(strategy.as_mut(), &mut rng, &mut trace)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = csv_path {
+        std::fs::write(path, trace.to_csv())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("sample path (seed {}, path 0) written to {path}", config.seed);
+        return Ok(());
+    }
+    println!("--- sample path (seed {}, path 0) ---", config.seed);
+    for event in &trace.events {
+        println!("  {event}");
+    }
+    println!("  verdict: {} at t={:.6} after {} steps", outcome.verdict, outcome.end_time, outcome.steps);
+    println!("--------------------------------------");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn analyze_builtin_runs() {
+        let a = args(
+            "analyze sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet",
+        );
+        run(&a).expect("analysis succeeds");
+    }
+
+    #[test]
+    fn analyze_until_runs() {
+        let a = args(
+            "analyze launcher --bound 0.5 --epsilon 0.2 --delta 0.2 --hold-var nav.ok --quiet",
+        );
+        run(&a).expect("until analysis succeeds");
+    }
+
+    #[test]
+    fn analyze_requires_bound() {
+        let a = args("analyze gps --goal-var gps.measurement");
+        assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn trace_csv_written() {
+        let path = std::env::temp_dir().join("slimsim_test_trace.csv");
+        let a = args(&format!(
+            "analyze gps --bound 1.0 --goal-var gps.measurement --epsilon 0.2 --delta 0.2 --quiet --trace-csv {}",
+            path.display()
+        ));
+        run(&a).expect("analysis with trace succeeds");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("time,kind"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

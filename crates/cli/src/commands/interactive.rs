@@ -1,0 +1,133 @@
+//! `slimsim interactive` — step a path manually with the Input strategy
+//! (the paper's GUI/manual mode, §III-B).
+
+use crate::args::Args;
+use crate::common::{load_bound, load_goal, load_network};
+use slim_stats::rng::path_rng;
+use slimsim_core::prelude::*;
+use std::io::{BufRead, Write};
+
+/// An oracle that prints the alternatives and reads decisions from stdin.
+struct StdinOracle;
+
+impl InputOracle for StdinOracle {
+    fn choose(&mut self, view: &StepView<'_>) -> Result<InputChoice, SimError> {
+        println!("\nstate: {}", view.state);
+        println!("allowed delay window: {}", view.window);
+        if view.guarded.is_empty() {
+            println!("no guarded transitions are schedulable from here");
+        }
+        for (i, c) in view.guarded.iter().enumerate() {
+            let action = &view.net.actions()[c.transition.action.0].name;
+            let participants: Vec<String> = c
+                .transition
+                .parts
+                .iter()
+                .map(|(p, _)| view.net.automata()[p.0].name.clone())
+                .collect();
+            println!(
+                "  [{i}] {action} ({}) enabled at delays {}",
+                participants.join("∥"),
+                c.window
+            );
+        }
+        loop {
+            print!("> fire <i> <delay> | wait <delay> | abort: ");
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if std::io::stdin().lock().read_line(&mut line).unwrap_or(0) == 0 {
+                return Ok(InputChoice::Abort);
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["abort"] | ["quit"] | ["q"] => return Ok(InputChoice::Abort),
+                ["wait", d] => {
+                    if let Ok(delay) = d.parse() {
+                        return Ok(InputChoice::Wait { delay });
+                    }
+                }
+                ["fire", i, d] => {
+                    if let (Ok(candidate), Ok(delay)) = (i.parse(), d.parse()) {
+                        return Ok(InputChoice::Fire { candidate, delay });
+                    }
+                }
+                _ => {}
+            }
+            println!("could not parse that — try again");
+        }
+    }
+}
+
+/// Parses a decision script: one `fire <i> <delay>` / `wait <delay>` /
+/// `abort` per line (`#` comments and blank lines ignored).
+fn parse_script(text: &str) -> Result<Vec<InputChoice>, String> {
+    let mut out = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let choice = match parts.as_slice() {
+            ["abort"] => InputChoice::Abort,
+            ["wait", d] => InputChoice::Wait {
+                delay: d.parse().map_err(|_| format!("line {}: bad delay `{d}`", no + 1))?,
+            },
+            ["fire", i, d] => InputChoice::Fire {
+                candidate: i.parse().map_err(|_| format!("line {}: bad index `{i}`", no + 1))?,
+                delay: d.parse().map_err(|_| format!("line {}: bad delay `{d}`", no + 1))?,
+            },
+            _ => return Err(format!("line {}: cannot parse `{line}`", no + 1)),
+        };
+        out.push(choice);
+    }
+    Ok(out)
+}
+
+/// Runs one interactively-driven path (or replays a `--script` file).
+pub fn run(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let goal = load_goal(args, &net)?;
+    let bound = load_bound(args)?;
+    let property = TimedReach::new(goal, bound);
+    let seed = args.opt_u64("seed", 0xC0FFEE)?;
+
+    let gen = PathGenerator::new(&net, &property, 1_000_000);
+    let mut rng = path_rng(seed, 0);
+    let mut trace = VecTrace::default();
+
+    let result = if let Some(path) = args.options.get("script") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let choices = parse_script(&text)?;
+        println!("replaying {} scripted decisions from {path}", choices.len());
+        let mut strategy = Input::new(ScriptedOracle::new(choices));
+        gen.generate_traced(&mut strategy, &mut rng, &mut trace)
+    } else {
+        println!("interactive simulation — P(◇[0,{bound}] goal); you are the strategy.");
+        println!("(Markovian transitions still race with your schedule.)");
+        let mut strategy = Input::new(StdinOracle);
+        gen.generate_traced(&mut strategy, &mut rng, &mut trace)
+    };
+    match result {
+        Ok(outcome) => {
+            println!("\n--- path ---");
+            for e in &trace.events {
+                println!("  {e}");
+            }
+            println!(
+                "verdict: {} at t={:.6} after {} steps — the property is {}",
+                outcome.verdict,
+                outcome.end_time,
+                outcome.steps,
+                if outcome.verdict.is_success() { "satisfied" } else { "falsified" }
+            );
+            Ok(())
+        }
+        Err(SimError::InputAborted) => {
+            println!("aborted.");
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}

@@ -1,0 +1,8 @@
+//! CLI subcommands.
+
+pub mod analyze;
+pub mod ctmc;
+pub mod info;
+pub mod interactive;
+pub mod rare;
+pub mod validate;

@@ -1,0 +1,207 @@
+//! Shared plumbing for the CLI commands: model loading, goal parsing,
+//! configuration assembly.
+
+use crate::args::Args;
+use slim_automata::prelude::{Expr, Network};
+use slim_lang::{lower, parse};
+use slim_models::{
+    gps_network, launcher_network, power_system_network, sensor_filter_network, DpuFaultMode,
+    GpsParams, LauncherParams, PowerSystemParams, SensorFilterParams,
+};
+use slimsim_core::prelude::*;
+use slim_stats::{Accuracy, GeneratorKind};
+
+/// Loads the analyzed network: either a SLIM file (with `--root Type.Impl`)
+/// or a built-in model (`gps`, `launcher`, `launcher-permanent`,
+/// `sensor-filter`, with optional `--size n`).
+pub fn load_network(args: &Args) -> Result<Network, String> {
+    let target = args
+        .positional
+        .first()
+        .ok_or("expected a model: a .slim file or gps|launcher|launcher-permanent|launcher-threeclass|power-system|sensor-filter")?;
+    match target.as_str() {
+        "gps" => Ok(gps_network(&GpsParams::default())),
+        "launcher" => Ok(launcher_network(&LauncherParams::default())),
+        "launcher-permanent" => Ok(launcher_network(&LauncherParams {
+            dpu_faults: DpuFaultMode::Permanent,
+            ..Default::default()
+        })),
+        "launcher-threeclass" => Ok(launcher_network(&LauncherParams {
+            dpu_faults: DpuFaultMode::ThreeClass,
+            ..Default::default()
+        })),
+        "power-system" => Ok(power_system_network(&PowerSystemParams::default())),
+        "sensor-filter" => {
+            let size = args.opt_usize("size", 2)?;
+            Ok(sensor_filter_network(&SensorFilterParams { redundancy: size, ..Default::default() }))
+        }
+        path => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let model = parse(&src).map_err(|e| format!("{path}: {e}"))?;
+            let root = args.required("root")?;
+            let (ty, im) = root
+                .split_once('.')
+                .ok_or_else(|| format!("--root must be Type.Impl, got `{root}`"))?;
+            let name = args.opt("name", "root");
+            Ok(lower(&model, ty, im, name).map_err(|e| format!("{path}: {e}"))?.network)
+        }
+    }
+}
+
+/// Builds the goal from `--goal-var <name>` (Boolean variable) and/or
+/// `--goal-loc <automaton>@<location>`; defaults to the model's `failure`
+/// variable if present.
+pub fn load_goal(args: &Args, net: &Network) -> Result<Goal, String> {
+    let mut goals: Vec<Goal> = Vec::new();
+    if let Some(var) = args.options.get("goal-var") {
+        let id = net.var_id(var).ok_or_else(|| format!("unknown variable `{var}`"))?;
+        goals.push(Goal::expr(Expr::var(id)));
+    }
+    if let Some(loc) = args.options.get("goal-loc") {
+        let (proc, l) = loc
+            .split_once('@')
+            .ok_or_else(|| format!("--goal-loc must be automaton@location, got `{loc}`"))?;
+        goals.push(Goal::in_location(net, proc, l).map_err(|n| format!("unknown location `{n}`"))?);
+    }
+    if goals.is_empty() {
+        // Convention: models expose a Boolean `failure` (launcher) or
+        // `monitor.system_failed` (sensor-filter).
+        for candidate in ["failure", "monitor.system_failed", "sys.failed", "plant.ctrl.failed"] {
+            if let Some(id) = net.var_id(candidate) {
+                return Ok(Goal::expr(Expr::var(id)));
+            }
+        }
+        return Err("no goal: pass --goal-var <name> or --goal-loc <automaton>@<location>".into());
+    }
+    let mut it = goals.into_iter();
+    let first = it.next().expect("nonempty");
+    Ok(it.fold(first, Goal::or))
+}
+
+/// Assembles the simulation configuration from the common options.
+pub fn load_config(args: &Args) -> Result<SimConfig, String> {
+    let epsilon = args.opt_f64("epsilon", 0.01)?;
+    let delta = args.opt_f64("delta", 0.05)?;
+    let accuracy = Accuracy::new(epsilon, delta).map_err(|e| e.to_string())?;
+    let strategy = StrategyKind::parse(args.opt("strategy", "progressive"))
+        .ok_or_else(|| format!("unknown strategy `{}`", args.opt("strategy", "")))?;
+    let generator = match args.opt("generator", "chernoff-hoeffding") {
+        "chernoff-hoeffding" | "ch" => GeneratorKind::ChernoffHoeffding,
+        "gauss" => GeneratorKind::Gauss,
+        "chow-robbins" | "cr" => GeneratorKind::ChowRobbins,
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    let deadlock_policy = match args.opt("deadlock", "falsify") {
+        "falsify" => DeadlockPolicy::Falsify,
+        "error" => DeadlockPolicy::Error,
+        other => return Err(format!("unknown deadlock policy `{other}`")),
+    };
+    Ok(SimConfig::default()
+        .with_accuracy(accuracy)
+        .with_strategy(strategy)
+        .with_generator(generator)
+        .with_deadlock_policy(deadlock_policy)
+        .with_seed(args.opt_u64("seed", 0xC0FFEE)?)
+        .with_workers(args.opt_usize("workers", 1)?.max(1)))
+}
+
+/// Builds the optional `hold` predicate (`--hold-var` / `--hold-loc`) of
+/// a bounded-until property `P(hold U[0,u] goal)`.
+pub fn load_hold(args: &Args, net: &Network) -> Result<Option<Goal>, String> {
+    let mut goals: Vec<Goal> = Vec::new();
+    if let Some(var) = args.options.get("hold-var") {
+        let id = net.var_id(var).ok_or_else(|| format!("unknown variable `{var}`"))?;
+        goals.push(Goal::expr(Expr::var(id)));
+    }
+    if let Some(loc) = args.options.get("hold-loc") {
+        let (proc, l) = loc
+            .split_once('@')
+            .ok_or_else(|| format!("--hold-loc must be automaton@location, got `{loc}`"))?;
+        goals.push(Goal::in_location(net, proc, l).map_err(|n| format!("unknown location `{n}`"))?);
+    }
+    let mut it = goals.into_iter();
+    match it.next() {
+        None => Ok(None),
+        Some(first) => Ok(Some(it.fold(first, Goal::and))),
+    }
+}
+
+/// The property bound `--bound u` (required).
+pub fn load_bound(args: &Args) -> Result<f64, String> {
+    let bound = args.opt_f64("bound", f64::NAN)?;
+    if bound.is_nan() || bound < 0.0 {
+        Err("missing or invalid --bound <u>".into())
+    } else {
+        Ok(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn builtin_models_load() {
+        for name in ["gps", "launcher", "launcher-permanent", "launcher-threeclass", "power-system"] {
+            let a = args(&format!("analyze {name}"));
+            assert!(load_network(&a).is_ok(), "{name}");
+        }
+        let a = args("analyze sensor-filter --size 3");
+        let net = load_network(&a).unwrap();
+        assert_eq!(net.automata().len(), 7);
+    }
+
+    #[test]
+    fn unknown_file_is_error() {
+        let a = args("analyze /nonexistent/model.slim --root A.B");
+        assert!(load_network(&a).is_err());
+    }
+
+    #[test]
+    fn goal_resolution() {
+        let a = args("analyze launcher");
+        let net = load_network(&a).unwrap();
+        // Default goal convention: the launcher's `failure` flow.
+        assert!(load_goal(&a, &net).is_ok());
+        let bad = args("analyze launcher --goal-var nosuch");
+        assert!(load_goal(&bad, &net).is_err());
+        let loc = args("analyze launcher --goal-loc mission@flight");
+        assert!(load_goal(&loc, &net).is_ok());
+        let badloc = args("analyze launcher --goal-loc missionflight");
+        assert!(load_goal(&badloc, &net).is_err());
+    }
+
+    #[test]
+    fn hold_resolution() {
+        let a = args("analyze launcher");
+        let net = load_network(&a).unwrap();
+        assert_eq!(load_hold(&a, &net).unwrap(), None);
+        let h = args("analyze launcher --hold-var nav.ok");
+        assert!(load_hold(&h, &net).unwrap().is_some());
+    }
+
+    #[test]
+    fn config_assembly_and_errors() {
+        let a = args("analyze gps --epsilon 0.02 --strategy max-time --generator gauss --workers 3 --deadlock error");
+        let c = load_config(&a).unwrap();
+        assert_eq!(c.strategy, StrategyKind::MaxTime);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.deadlock_policy, DeadlockPolicy::Error);
+        assert!(load_config(&args("x --strategy bogus")).is_err());
+        assert!(load_config(&args("x --generator bogus")).is_err());
+        assert!(load_config(&args("x --epsilon 2.0")).is_err());
+        assert!(load_config(&args("x --deadlock maybe")).is_err());
+    }
+
+    #[test]
+    fn bound_required() {
+        assert!(load_bound(&args("analyze gps")).is_err());
+        assert!(load_bound(&args("analyze gps --bound -1")).is_err());
+        assert_eq!(load_bound(&args("analyze gps --bound 2.5")).unwrap(), 2.5);
+    }
+}

@@ -1,0 +1,81 @@
+//! `slimsim` — statistical model checking for SLIM/AADL models.
+//!
+//! A reproduction of the tool from *"A Statistical Approach for Timed
+//! Reachability in AADL Models"* (DSN 2015). Commands:
+//!
+//! ```text
+//! slimsim analyze <model> --bound u [--goal-var v] [--strategy s] [...]
+//! slimsim ctmc <model> --bound u [--goal-var v]           (baseline pipeline)
+//! slimsim interactive <model> --bound u [--goal-var v]    (Input strategy)
+//! slimsim info <model>                                    (network summary)
+//! ```
+//!
+//! `<model>` is a `.slim` file (with `--root Type.Impl`) or a built-in:
+//! `gps`, `launcher`, `launcher-permanent`, `sensor-filter [--size n]`.
+
+mod args;
+mod commands;
+mod common;
+
+use args::Args;
+
+const USAGE: &str = "\
+slimsim — statistical model checking for SLIM/AADL models
+
+USAGE:
+  slimsim analyze <model> --bound <u> [options]   Monte Carlo analysis
+  slimsim ctmc <model> --bound <u> [options]      CTMC pipeline (untimed models)
+  slimsim rare <model> --bound <u> --boost <k>    rare events (importance sampling)
+  slimsim interactive <model> --bound <u>         step a path manually
+                      [--script <file>]           (or replay decisions)
+  slimsim info <model> [--dot]                    print the lowered network
+  slimsim validate <file.slim> [--root Type.Impl] static analysis + lowering check
+
+MODELS:
+  a .slim file (requires --root Type.Impl [--name instance]) or a built-in:
+  gps | launcher | launcher-permanent | launcher-threeclass |
+  power-system | sensor-filter [--size n]
+
+GOAL (analyze/ctmc/interactive):
+  --goal-var <variable>            Boolean variable that must become true
+  --goal-loc <automaton>@<loc>     location to reach (may combine; ORed)
+  --hold-var / --hold-loc          optional: bounded until P(hold U[0,u] goal)
+
+OPTIONS:
+  --bound <u>            time bound of P(<> [0,u] goal)   (required)
+  --epsilon <e>          error bound epsilon    [0.01]
+  --delta <d>            significance delta     [0.05]
+  --strategy <s>         asap|progressive|local|max-time  [progressive]
+  --generator <g>        chernoff-hoeffding|gauss|chow-robbins [chernoff-hoeffding]
+  --deadlock <p>         falsify|error          [falsify]
+  --workers <k>          worker threads         [1]
+  --seed <n>             RNG master seed
+  --size <n>             sensor-filter redundancy [2]
+  --boost <k>            (rare) fault-rate multiplier          [100]
+  --rel-err <r>          (rare) target relative half-width     [0.1]
+  --max-paths <n>        (rare) path cap                       [1e6]
+  --skip-lumping         (ctmc) skip the bisimulation reduction
+  --trace                (analyze) print the first generated path
+  --trace-csv <file>     (analyze) write the first path as CSV
+";
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    if args.command.is_empty() || args.has_flag("help") || args.command == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let result = match args.command.as_str() {
+        "analyze" => commands::analyze::run(&args),
+        "ctmc" => commands::ctmc::run(&args),
+        "rare" => commands::rare::run(&args),
+        "interactive" => commands::interactive::run(&args),
+        "info" => commands::info::run(&args),
+        "validate" => commands::validate::run(&args),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

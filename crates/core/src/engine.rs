@@ -1,0 +1,797 @@
+//! The discrete-event path generation engine (§III-A of the paper).
+//!
+//! A path alternates timed and discrete transitions. Guarded transitions
+//! are scheduled by the configured [`Strategy`]; Markovian transitions race
+//! against that schedule with exponentially sampled firing times; the
+//! invariants bound how far time may pass. Paths end when
+//!
+//! * the goal holds (also *during* a delay — timed goals are checked
+//!   against the exact goal window, not just at discrete instants),
+//! * the property's time bound elapses,
+//! * a deadlock or timelock is reached (§III-D), or
+//! * the per-path step limit trips (Zeno guard).
+
+use crate::error::SimError;
+use crate::property::TimedReach;
+use crate::strategy::{Decision, ScheduledCandidate, StepView, Strategy};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::verdict::{PathOutcome, Verdict};
+use rand::rngs::StdRng;
+use rand::Rng;
+use slim_automata::interval::IntervalSet;
+use slim_automata::network::GlobalTransition;
+use slim_automata::prelude::Network;
+use slim_stats::rng::exponential_from_uniform;
+
+/// Generates sample paths for one (network, property) pair.
+#[derive(Debug, Clone)]
+pub struct PathGenerator<'a> {
+    net: &'a Network,
+    property: &'a TimedReach,
+    max_steps: u64,
+}
+
+/// How a step resolved after racing the strategy's schedule against the
+/// Markovian transitions.
+enum Resolved {
+    Fire { delay: f64, transition: GlobalTransition, markovian: bool },
+    Wait { delay: f64 },
+    Lock { verdict: Verdict, horizon: f64 },
+}
+
+impl<'a> PathGenerator<'a> {
+    /// Creates a generator.
+    pub fn new(net: &'a Network, property: &'a TimedReach, max_steps: u64) -> Self {
+        PathGenerator { net, property, max_steps }
+    }
+
+    /// The network under simulation.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The property being checked.
+    pub fn property(&self) -> &TimedReach {
+        self.property
+    }
+
+    /// Generates one path.
+    ///
+    /// # Errors
+    /// Evaluation errors (invariant already violated, non-linear guards)
+    /// and input-strategy errors.
+    pub fn generate(
+        &self,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+    ) -> Result<PathOutcome, SimError> {
+        self.generate_traced(strategy, rng, &mut crate::trace::NullTrace)
+    }
+
+    /// Generates one path, reporting every delay and firing to `sink`.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    pub fn generate_traced(
+        &self,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        sink: &mut dyn TraceSink,
+    ) -> Result<PathOutcome, SimError> {
+        self.run(strategy, rng, sink, 1.0).map(|(outcome, _)| outcome)
+    }
+
+    /// Generates one path under an **importance-sampling bias**: every
+    /// Markovian rate is multiplied by `bias` during simulation, and the
+    /// returned weight is the likelihood ratio of the generated
+    /// trajectory (true measure over biased measure). With `bias > 1`
+    /// rare fault-driven events become frequent; the weighted indicator
+    /// `w·1[success]` remains an unbiased estimate of the true
+    /// probability (see `rare_event`).
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    ///
+    /// # Panics
+    /// Panics unless `bias > 0`.
+    pub fn generate_biased(
+        &self,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        bias: f64,
+    ) -> Result<(PathOutcome, f64), SimError> {
+        assert!(bias > 0.0 && bias.is_finite(), "bias must be positive, got {bias}");
+        self.run(strategy, rng, &mut crate::trace::NullTrace, bias)
+    }
+
+    /// The common engine loop; returns the outcome and the likelihood
+    /// ratio `exp(log_weight)` of the path under rate bias `bias`.
+    fn run(
+        &self,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        sink: &mut dyn TraceSink,
+        bias: f64,
+    ) -> Result<(PathOutcome, f64), SimError> {
+        let mut log_weight = 0.0f64;
+        let finish = |outcome: PathOutcome, log_weight: f64| Ok((outcome, log_weight.exp()));
+        let mut state = self.net.initial_state().map_err(SimError::Eval)?;
+        let mut steps: u64 = 0;
+        // Margin past the horizon for truncating unbounded enabling
+        // windows: any delay beyond `remaining` is verdict-equivalent, so
+        // the exact cap does not affect outcomes (see docs/semantics.md).
+        let margin = (0.1 * self.property.bound).max(1.0);
+
+        loop {
+            if steps >= self.max_steps {
+                return finish(PathOutcome { verdict: Verdict::StepLimit, steps, end_time: state.time }, log_weight);
+            }
+            steps += 1;
+
+            let remaining = self.property.remaining(&state);
+            let goal_win = self.property.goal.window(self.net, &state).map_err(SimError::Eval)?;
+            // For bounded until: the set of delays at which `hold` is
+            // violated (empty for plain reachability).
+            let viol_win = match &self.property.hold {
+                None => IntervalSet::empty(),
+                Some(h) => h.window(self.net, &state).map_err(SimError::Eval)?.complement(),
+            };
+            if goal_win.contains(0.0) {
+                return finish(PathOutcome {
+                    verdict: Verdict::Satisfied,
+                    steps: steps - 1,
+                    end_time: state.time,
+                }, log_weight);
+            }
+            if viol_win.contains(0.0) {
+                return finish(PathOutcome {
+                    verdict: Verdict::HoldViolated,
+                    steps: steps - 1,
+                    end_time: state.time,
+                }, log_weight);
+            }
+            if remaining <= 0.0 {
+                return finish(PathOutcome {
+                    verdict: Verdict::TimeBoundExceeded,
+                    steps: steps - 1,
+                    end_time: state.time,
+                }, log_weight);
+            }
+
+            let invariant_window = self.net.delay_window(&state).map_err(SimError::Eval)?;
+            let cap = remaining + margin;
+
+            let raw = self.net.guarded_candidates(&state).map_err(SimError::Eval)?;
+
+            // Urgency (AADL-eager transitions): time may not pass beyond
+            // the first instant an urgent candidate becomes enabled.
+            let mut urgency_cutoff = f64::INFINITY;
+            for c in &raw {
+                if c.urgent {
+                    if let Some(inf) = c.window.intersect(&invariant_window).inf() {
+                        urgency_cutoff = urgency_cutoff.min(inf);
+                    }
+                }
+            }
+            let window = if urgency_cutoff.is_finite() {
+                invariant_window.truncate(urgency_cutoff)
+            } else {
+                invariant_window
+            };
+
+            // Guarded candidates: windows ∩ effective delay window,
+            // infinite tails capped at the horizon.
+            let mut guarded: Vec<ScheduledCandidate> = Vec::new();
+            for c in raw {
+                let w = c.window.intersect(&window);
+                let w = cap_infinite(&w, cap);
+                if !w.is_empty() {
+                    guarded.push(ScheduledCandidate { transition: c.transition, window: w });
+                }
+            }
+            let markovian = self.net.markovian_candidates(&state);
+
+            let decision = strategy.decide(
+                &StepView { net: self.net, state: &state, window: &window, guarded: &guarded, cap },
+                rng,
+            )?;
+
+            // Markovian race: total-rate exponential + categorical winner.
+            // Under importance sampling all rates are scaled by `bias`
+            // (the winner distribution is unchanged — scaling is uniform).
+            let m_sample: Option<(f64, &GlobalTransition, f64)> = if markovian.is_empty() {
+                None
+            } else {
+                let total: f64 = markovian.iter().map(|m| m.rate).sum();
+                let t = exponential_from_uniform(rng.gen::<f64>(), total * bias);
+                let mut pick = rng.gen::<f64>() * total;
+                let mut winner = &markovian[markovian.len() - 1].transition;
+                for m in &markovian {
+                    if pick < m.rate {
+                        winner = &m.transition;
+                        break;
+                    }
+                    pick -= m.rate;
+                }
+                Some((t, winner, total))
+            };
+
+            // Likelihood-ratio bookkeeping for importance sampling:
+            // a Markovian firing at t contributes (1/bias)·e^{(bias−1)Λt};
+            // observing *no* Markovian event up to a delay d (censoring)
+            // contributes e^{(bias−1)Λd}.
+            let lr_fire = |t: f64, total: f64| -bias.ln() + (bias - 1.0) * total * t;
+            let lr_censor = |d: f64, total: f64| (bias - 1.0) * total * d;
+
+            let resolved = match decision {
+                Decision::Abort => return Err(SimError::InputAborted),
+                Decision::Fire { delay, candidate } => match m_sample {
+                    Some((t, gt, total)) if t < delay => {
+                        log_weight += lr_fire(t, total);
+                        Resolved::Fire { delay: t, transition: gt.clone(), markovian: true }
+                    }
+                    m => {
+                        if let Some((_, _, total)) = m {
+                            log_weight += lr_censor(delay, total);
+                        }
+                        Resolved::Fire {
+                            delay,
+                            transition: guarded[candidate].transition.clone(),
+                            markovian: false,
+                        }
+                    }
+                },
+                Decision::Wait { delay } => match m_sample {
+                    Some((t, gt, total)) if t < delay => {
+                        log_weight += lr_fire(t, total);
+                        Resolved::Fire { delay: t, transition: gt.clone(), markovian: true }
+                    }
+                    m => {
+                        if let Some((_, _, total)) = m {
+                            log_weight += lr_censor(delay, total);
+                        }
+                        Resolved::Wait { delay }
+                    }
+                },
+                Decision::Stuck => match m_sample {
+                    Some((t, gt, total)) if window.contains(t) => {
+                        log_weight += lr_fire(t, total);
+                        Resolved::Fire { delay: t, transition: gt.clone(), markovian: true }
+                    }
+                    Some((_, _, total)) => {
+                        let horizon = window.sup().unwrap_or(0.0);
+                        log_weight += lr_censor(horizon, total);
+                        Resolved::Lock { verdict: Verdict::Timelock, horizon }
+                    }
+                    None => {
+                        let bounded = window.sup().map_or(true, f64::is_finite);
+                        if bounded {
+                            Resolved::Lock {
+                                verdict: Verdict::Timelock,
+                                horizon: window.sup().unwrap_or(0.0),
+                            }
+                        } else {
+                            Resolved::Lock { verdict: Verdict::Deadlock, horizon: remaining }
+                        }
+                    }
+                },
+            };
+
+            match resolved {
+                Resolved::Fire { delay, transition, markovian } => {
+                    match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
+                        Scan::Goal(hit) => {
+                            return finish(PathOutcome {
+                                verdict: Verdict::Satisfied,
+                                steps,
+                                end_time: state.time + hit,
+                            }, log_weight)
+                        }
+                        Scan::Violated(at) => {
+                            return finish(PathOutcome {
+                                verdict: Verdict::HoldViolated,
+                                steps,
+                                end_time: state.time + at,
+                            }, log_weight)
+                        }
+                        Scan::Clear => {}
+                    }
+                    if delay > remaining {
+                        return finish(PathOutcome {
+                            verdict: Verdict::TimeBoundExceeded,
+                            steps,
+                            end_time: self.property.bound,
+                        }, log_weight);
+                    }
+                    if delay > 0.0 {
+                        sink.event(TraceEvent::Delay { at: state.time, duration: delay });
+                        state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
+                    }
+                    sink.event(TraceEvent::fire(self.net, &state, &transition, markovian));
+                    state = self.net.apply(&state, &transition).map_err(SimError::Eval)?;
+                }
+                Resolved::Wait { delay } => {
+                    match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
+                        Scan::Goal(hit) => {
+                            return finish(PathOutcome {
+                                verdict: Verdict::Satisfied,
+                                steps,
+                                end_time: state.time + hit,
+                            }, log_weight)
+                        }
+                        Scan::Violated(at) => {
+                            return finish(PathOutcome {
+                                verdict: Verdict::HoldViolated,
+                                steps,
+                                end_time: state.time + at,
+                            }, log_weight)
+                        }
+                        Scan::Clear => {}
+                    }
+                    if delay > remaining {
+                        return finish(PathOutcome {
+                            verdict: Verdict::TimeBoundExceeded,
+                            steps,
+                            end_time: self.property.bound,
+                        }, log_weight);
+                    }
+                    sink.event(TraceEvent::Delay { at: state.time, duration: delay });
+                    state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
+                }
+                Resolved::Lock { verdict, horizon } => {
+                    match scan_delay(&goal_win, &viol_win, horizon.min(remaining)) {
+                        Scan::Goal(hit) => {
+                            return finish(PathOutcome {
+                                verdict: Verdict::Satisfied,
+                                steps,
+                                end_time: state.time + hit,
+                            }, log_weight)
+                        }
+                        Scan::Violated(at) => {
+                            return finish(PathOutcome {
+                                verdict: Verdict::HoldViolated,
+                                steps,
+                                end_time: state.time + at,
+                            }, log_weight)
+                        }
+                        Scan::Clear => {}
+                    }
+                    return finish(PathOutcome { verdict, steps, end_time: state.time }, log_weight);
+                }
+            }
+        }
+    }
+}
+
+/// What happens first along a delay of length `up_to`.
+enum Scan {
+    /// The goal is hit (first) at this delay.
+    Goal(f64),
+    /// The hold predicate is violated (strictly first) at this delay.
+    Violated(f64),
+    /// Neither occurs within the scanned prefix.
+    Clear,
+}
+
+/// Scans `[0, up_to]` for the first goal hit and the first hold
+/// violation; a tie counts as satisfaction (at the goal instant `hold`
+/// need not hold any more — standard until semantics).
+fn scan_delay(goal_win: &IntervalSet, viol_win: &IntervalSet, up_to: f64) -> Scan {
+    let goal_at = goal_win.truncate(up_to).inf();
+    let viol_at = viol_win.truncate(up_to).inf();
+    match (goal_at, viol_at) {
+        (Some(g), Some(v)) if g <= v => Scan::Goal(g),
+        (Some(g), None) => Scan::Goal(g),
+        (_, Some(v)) => Scan::Violated(v),
+        (None, None) => Scan::Clear,
+    }
+}
+
+/// Replaces an infinite tail by a bounded one ending at `cap`.
+fn cap_infinite(set: &IntervalSet, cap: f64) -> IntervalSet {
+    match set.sup() {
+        Some(s) if s.is_finite() => set.clone(),
+        Some(_) => set.truncate(cap.max(set.inf().unwrap_or(0.0))),
+        None => IntervalSet::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Goal;
+    use crate::strategy::{Asap, MaxTime, Progressive, StrategyKind};
+    use crate::trace::VecTrace;
+    use rand::SeedableRng;
+    use slim_automata::prelude::*;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Clock-driven one-shot: fires between 2 and 4, sets `done`.
+    fn window_net() -> (Network, Expr) {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let done = b.var("done", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("wait", Expr::var(x).le(Expr::real(4.0)), []);
+        let l1 = a.location("done");
+        let g = Expr::var(x).ge(Expr::real(2.0)).and(Expr::var(x).le(Expr::real(4.0)));
+        a.guarded(l0, ActionId::TAU, g, [Effect::assign(done, Expr::bool(true))], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Expr::var(net.var_id("done").unwrap());
+        (net, goal)
+    }
+
+    #[test]
+    fn asap_hits_earliest_instant() {
+        let (net, goal) = window_net();
+        let prop = TimedReach::new(Goal::expr(goal), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+        assert!((out.end_time - 2.0).abs() < 1e-9, "end {}", out.end_time);
+    }
+
+    #[test]
+    fn maxtime_hits_boundary_instant() {
+        let (net, goal) = window_net();
+        let prop = TimedReach::new(Goal::expr(goal), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut MaxTime, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+        assert!((out.end_time - 4.0).abs() < 1e-9, "end {}", out.end_time);
+    }
+
+    #[test]
+    fn progressive_hits_inside_window() {
+        let (net, goal) = window_net();
+        let prop = TimedReach::new(Goal::expr(goal), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        for seed in 0..20 {
+            let out = gen.generate(&mut Progressive, &mut rng(seed)).unwrap();
+            assert_eq!(out.verdict, Verdict::Satisfied);
+            assert!(
+                (2.0 - 1e-9..=4.0 + 1e-9).contains(&out.end_time),
+                "end {}",
+                out.end_time
+            );
+        }
+    }
+
+    #[test]
+    fn bound_too_small_fails() {
+        let (net, goal) = window_net();
+        let prop = TimedReach::new(Goal::expr(goal), 1.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::TimeBoundExceeded);
+    }
+
+    #[test]
+    fn goal_at_exact_bound_satisfied() {
+        let (net, goal) = window_net();
+        // Goal becomes reachable exactly at t = 2 with bound 2 (inclusive).
+        let prop = TimedReach::new(Goal::expr(goal), 2.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+    }
+
+    #[test]
+    fn timed_goal_detected_mid_delay() {
+        // Goal is a pure clock condition hit during a long delay, with no
+        // discrete transition at that instant.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("only", Expr::var(x).le(Expr::real(100.0)), []);
+        let _ = l0;
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(net.var_id("x").unwrap()).ge(Expr::real(7.0)));
+        let prop = TimedReach::new(goal, 50.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        // MaxTime would delay to 100 — the goal is hit at 7 on the way.
+        let out = gen.generate(&mut MaxTime, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+        assert!((out.end_time - 7.0).abs() < 1e-9, "end {}", out.end_time);
+    }
+
+    #[test]
+    fn deadlock_classified() {
+        // Single location, no transitions, no invariant: time diverges.
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        a.location("sink");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let prop = TimedReach::new(Goal::expr(Expr::FALSE), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Deadlock);
+        assert!(!out.verdict.is_success());
+    }
+
+    #[test]
+    fn timelock_classified() {
+        // Invariant x <= 3 but the only transition needs x >= 5.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("trap", Expr::var(x).le(Expr::real(3.0)), []);
+        let l1 = a.location("free");
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::real(5.0)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let prop = TimedReach::new(Goal::expr(Expr::FALSE), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Timelock);
+    }
+
+    #[test]
+    fn goal_during_lock_window_still_satisfied() {
+        // Timelock at x = 3, but the goal (x >= 2) is hit on the way.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location_with("trap", Expr::var(x).le(Expr::real(3.0)), []);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(net.var_id("x").unwrap()).ge(Expr::real(2.0)));
+        let prop = TimedReach::new(goal, 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+        assert!((out.end_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markovian_transition_fires() {
+        // ok --(λ=2)--> failed; goal = failed location.
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("err");
+        let ok = a.location("ok");
+        let failed = a.location("failed");
+        a.markovian(ok, 2.0, [], failed);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::in_location(&net, "err", "failed").unwrap();
+        let prop = TimedReach::new(goal, 100.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let mut times = Vec::new();
+        for seed in 0..200 {
+            let out = gen.generate(&mut Asap, &mut rng(seed)).unwrap();
+            assert_eq!(out.verdict, Verdict::Satisfied);
+            times.push(out.end_time);
+        }
+        let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+        assert!((mean - 0.5).abs() < 0.12, "mean exp delay {mean} (expect 1/λ = 0.5)");
+    }
+
+    #[test]
+    fn markovian_race_preempts_guarded_schedule() {
+        // Guarded transition at exactly x = 10 vs a fast fault (λ = 10):
+        // the fault almost always wins.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut p = AutomatonBuilder::new("worker");
+        let w0 = p.location("w0");
+        let w1 = p.location("w1");
+        p.guarded(w0, ActionId::TAU, Expr::var(x).ge(Expr::real(10.0)), [], w1);
+        b.add_automaton(p);
+        let mut e = AutomatonBuilder::new("fault");
+        let ok = e.location("ok");
+        let dead = e.location("dead");
+        e.markovian(ok, 10.0, [], dead);
+        b.add_automaton(e);
+        let net = b.build().unwrap();
+        let goal = Goal::in_location(&net, "fault", "dead").unwrap();
+        let prop = TimedReach::new(goal, 100.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let mut fault_first = 0;
+        for seed in 0..100 {
+            let out = gen.generate(&mut Asap, &mut rng(seed)).unwrap();
+            if out.verdict == Verdict::Satisfied && out.end_time < 10.0 {
+                fault_first += 1;
+            }
+        }
+        assert!(fault_first >= 95, "fault won only {fault_first}/100 races");
+    }
+
+    #[test]
+    fn step_limit_trips_on_zeno() {
+        // Self-loop always enabled at delay 0 (ASAP fires it forever).
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("zeno");
+        let l0 = a.location("l");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [], l0);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let prop = TimedReach::new(Goal::expr(Expr::FALSE), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 50);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::StepLimit);
+        assert_eq!(out.steps, 50);
+    }
+
+    #[test]
+    fn trace_records_delays_and_fires() {
+        let (net, goal) = window_net();
+        // Use a goal that requires the discrete transition to fire.
+        let prop = TimedReach::new(Goal::expr(goal), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let mut trace = VecTrace::default();
+        let out = gen.generate_traced(&mut Asap, &mut rng(1), &mut trace).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+        // Goal is hit exactly when firing; the trace contains the delay.
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Delay { duration, .. } if (*duration - 2.0).abs() < 1e-9)));
+    }
+
+    #[test]
+    fn until_hold_violation_fails_path() {
+        // Clock model: goal at x >= 5, hold requires x <= 3 — the hold is
+        // violated (strictly) before the goal can be reached.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("only");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(x).ge(Expr::real(5.0)));
+        let hold = Goal::expr(Expr::var(x).le(Expr::real(3.0)));
+        let prop = TimedReach::until(hold, goal, 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::HoldViolated);
+        assert!((out.end_time - 3.0).abs() < 1e-9, "violated at {}", out.end_time);
+    }
+
+    #[test]
+    fn until_goal_before_violation_succeeds() {
+        // Goal at x >= 2, hold until x <= 4: goal wins.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("only");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(x).ge(Expr::real(2.0)));
+        let hold = Goal::expr(Expr::var(x).le(Expr::real(4.0)));
+        let prop = TimedReach::until(hold, goal, 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+        assert!((out.end_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn until_tie_counts_as_satisfaction() {
+        // Goal and violation at the same instant x = 2: satisfied.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("only");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(x).ge(Expr::real(2.0)));
+        let hold = Goal::expr(Expr::var(x).lt(Expr::real(2.0)));
+        let prop = TimedReach::until(hold, goal, 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(1)).unwrap();
+        assert_eq!(out.verdict, Verdict::Satisfied);
+    }
+
+    #[test]
+    fn until_hold_violated_by_discrete_effect() {
+        // A Markovian fault flips `ok` to false before the (late) goal.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let ok = b.var("ok", VarType::Bool, Value::Bool(true));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("up");
+        let l1 = a.location("down");
+        a.markovian(l0, 100.0, [Effect::assign(ok, Expr::bool(false))], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(x).ge(Expr::real(50.0)));
+        let hold = Goal::expr(Expr::var(ok));
+        let prop = TimedReach::until(hold, goal, 100.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let out = gen.generate(&mut Asap, &mut rng(7)).unwrap();
+        assert_eq!(out.verdict, Verdict::HoldViolated);
+        assert!(out.end_time < 1.0, "fault should hit quickly, got {}", out.end_time);
+    }
+
+    #[test]
+    fn urgent_transition_forces_immediate_firing() {
+        // An urgent always-enabled transition: even MaxTime must fire it
+        // at delay 0 rather than drifting to the horizon.
+        let mut b = NetworkBuilder::new();
+        let hit = b.var("hit", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded_urgent(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(hit, Expr::bool(true))], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let prop = TimedReach::new(Goal::expr(Expr::var(hit)), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        for kind in StrategyKind::ALL {
+            let out = gen.generate(kind.instantiate().as_mut(), &mut rng(3)).unwrap();
+            assert_eq!(out.verdict, Verdict::Satisfied, "{kind}");
+            assert_eq!(out.end_time, 0.0, "{kind} delayed an urgent transition");
+        }
+    }
+
+    #[test]
+    fn urgent_cutoff_bounds_other_candidates() {
+        // A non-urgent transition enabled from 1.0 and an urgent one
+        // enabled from 2.0: no strategy may fire the non-urgent one later
+        // than 2.0.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let late = b.var("late", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(x).ge(Expr::real(1.0)),
+            [Effect::assign(late, Expr::var(x).gt(Expr::real(2.0)))],
+            l1,
+        );
+        let mut w = AutomatonBuilder::new("watchdog");
+        let w0 = w.location("armed");
+        let w1 = w.location("tripped");
+        w.guarded_urgent(w0, ActionId::TAU, Expr::var(x).ge(Expr::real(2.0)), [], w1);
+        b.add_automaton(a);
+        b.add_automaton(w);
+        let net = b.build().unwrap();
+        let goal = Goal::in_location(&net, "p", "l1").unwrap();
+        let prop = TimedReach::new(goal, 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        for kind in StrategyKind::ALL {
+            for seed in 0..10 {
+                let mut r = rng(seed);
+                let mut strategy = kind.instantiate();
+                let mut trace = VecTrace::default();
+                let _ = gen.generate_traced(strategy.as_mut(), &mut r, &mut trace).unwrap();
+                // Until the urgent watchdog has fired, time must not pass
+                // its 2.0 enabling instant — so the FIRST discrete event
+                // of every path happens no later than 2.0.
+                let first_fire_at = trace
+                    .events
+                    .iter()
+                    .find_map(|e| match e {
+                        TraceEvent::Fire { at, .. } => Some(*at),
+                        TraceEvent::Delay { .. } => None,
+                    })
+                    .expect("some transition fires");
+                assert!(
+                    first_fire_at <= 2.0 + 1e-9,
+                    "{kind}/{seed}: first event at {first_fire_at} past the urgency cutoff"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let (net, goal) = window_net();
+        let prop = TimedReach::new(Goal::expr(goal), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        for kind in StrategyKind::ALL {
+            let a = gen.generate(kind.instantiate().as_mut(), &mut rng(42)).unwrap();
+            let b = gen.generate(kind.instantiate().as_mut(), &mut rng(42)).unwrap();
+            assert_eq!(a, b, "strategy {kind} not reproducible");
+        }
+    }
+}

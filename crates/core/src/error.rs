@@ -1,0 +1,73 @@
+//! Simulator error types.
+
+use slim_automata::error::EvalError;
+use std::fmt;
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum SimError {
+    /// A runtime evaluation error in a guard, invariant, effect or goal.
+    Eval(EvalError),
+    /// A deadlock was reached and the configuration demands an error
+    /// (§III-D of the paper: `slimsim` can be configured to generate an
+    /// error upon detection of a deadlock).
+    DeadlockDetected { time: f64, description: String },
+    /// A path exceeded the configured maximum number of steps — usually a
+    /// Zeno model or a `Local` strategy stuck re-sampling delays.
+    StepLimitExceeded { limit: u64 },
+    /// The input oracle (interactive strategy) aborted the simulation.
+    InputAborted,
+    /// The input oracle returned an invalid choice.
+    InvalidInput { detail: String },
+    /// A worker thread panicked or disconnected.
+    WorkerFailed { detail: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SimError::DeadlockDetected { time, description } => {
+                write!(f, "deadlock detected at t={time}: {description}")
+            }
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "path exceeded the step limit of {limit}")
+            }
+            SimError::InputAborted => write!(f, "interactive input aborted"),
+            SimError::InvalidInput { detail } => write!(f, "invalid input choice: {detail}"),
+            SimError::WorkerFailed { detail } => write!(f, "worker failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_source() {
+        use std::error::Error;
+        let e = SimError::from(EvalError::DivisionByZero);
+        assert!(e.to_string().contains("division"));
+        assert!(e.source().is_some());
+        let d = SimError::DeadlockDetected { time: 1.5, description: "no moves".into() };
+        assert!(d.to_string().contains("t=1.5"));
+        assert!(d.source().is_none());
+    }
+}

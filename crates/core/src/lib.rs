@@ -1,0 +1,66 @@
+//! # slimsim-core
+//!
+//! A Monte Carlo simulator for timed reachability on SLIM/AADL models —
+//! the core contribution of *"A Statistical Approach for Timed
+//! Reachability in AADL Models"* (Bruintjes, Katoen, Lesens; DSN 2015),
+//! reproduced in Rust.
+//!
+//! The simulator estimates `P(◇[0,u] goal)` on networks of event-data
+//! automata with linear-hybrid dynamics, exponential fault rates and
+//! event synchronization. Non-determinism (which transition, which delay)
+//! is resolved by pluggable [`strategy::Strategy`] implementations — ASAP,
+//! Progressive, Local, MaxTime and an interactive Input strategy — because
+//! different resolutions yield different probability measures (§III-B).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use slim_automata::prelude::*;
+//! use slimsim_core::prelude::*;
+//!
+//! // A component that fails with rate λ = 1 per time unit.
+//! let mut b = NetworkBuilder::new();
+//! let mut a = AutomatonBuilder::new("unit");
+//! let ok = a.location("ok");
+//! let failed = a.location("failed");
+//! a.markovian(ok, 1.0, [], failed);
+//! b.add_automaton(a);
+//! let net = b.build()?;
+//!
+//! // P(◇[0,1] failed) = 1 − e⁻¹ ≈ 0.632.
+//! let goal = Goal::in_location(&net, "unit", "failed").unwrap();
+//! let property = TimedReach::new(goal, 1.0);
+//! let config = SimConfig::default()
+//!     .with_accuracy(slim_stats::Accuracy::new(0.05, 0.05)?);
+//! let result = analyze(&net, &property, &config)?;
+//! assert!((result.probability() - 0.632).abs() < 0.06);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod property;
+pub mod rare_event;
+pub mod runner;
+pub mod strategy;
+pub mod trace;
+pub mod verdict;
+
+/// Convenient glob-import of the simulator API.
+pub mod prelude {
+    pub use crate::config::{DeadlockPolicy, SimConfig};
+    pub use crate::engine::PathGenerator;
+    pub use crate::error::SimError;
+    pub use crate::property::{Goal, TimedReach};
+    pub use crate::rare_event::{analyze_rare, RareEventConfig, RareEventResult};
+    pub use crate::runner::{analyze, AnalysisResult};
+    pub use crate::strategy::{
+        Asap, Decision, Input, InputChoice, InputOracle, Local, MaxTime, Progressive,
+        ScheduledCandidate, ScriptedOracle, StepView, Strategy, StrategyKind,
+    };
+    pub use crate::trace::{NullTrace, TraceEvent, TraceSink, VecTrace};
+    pub use crate::verdict::{PathOutcome, PathStats, Verdict};
+}

@@ -1,0 +1,332 @@
+//! Analysis orchestration: drives the path generator until the statistical
+//! generator is satisfied, sequentially or in parallel (§III-C).
+//!
+//! Reproducibility: path `i` always consumes RNG stream `derive(seed, i)`,
+//! so the set of generated paths is identical for any worker count; with
+//! sequential stopping rules the *order* samples are consumed in is fixed
+//! by the round-robin collector, making results deterministic given
+//! `(seed, workers)`.
+
+use crate::config::{DeadlockPolicy, SimConfig};
+use crate::engine::PathGenerator;
+use crate::error::SimError;
+use crate::property::TimedReach;
+use crate::verdict::{PathOutcome, PathStats};
+use slim_automata::prelude::Network;
+use slim_stats::estimator::Estimate;
+use slim_stats::parallel::{split_workload, RoundRobinCollector};
+use slim_stats::rng::path_rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Result of a statistical analysis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResult {
+    /// The probability estimate with its accuracy.
+    pub estimate: Estimate,
+    /// Path verdict counters.
+    pub stats: PathStats,
+    /// Wall-clock duration of the analysis.
+    pub wall: Duration,
+    /// Approximate peak memory attributable to the analysis (state size +
+    /// bookkeeping), in bytes — the simulator's memory column of Table I.
+    pub approx_memory_bytes: usize,
+}
+
+impl AnalysisResult {
+    /// The estimated probability.
+    pub fn probability(&self) -> f64 {
+        self.estimate.mean
+    }
+}
+
+/// Runs the statistical analysis described by `config`.
+///
+/// # Errors
+/// * [`SimError::DeadlockDetected`] under [`DeadlockPolicy::Error`];
+/// * evaluation errors from ill-formed dynamic behavior;
+/// * worker failures in parallel mode.
+pub fn analyze(
+    net: &Network,
+    property: &TimedReach,
+    config: &SimConfig,
+) -> Result<AnalysisResult, SimError> {
+    if config.workers <= 1 {
+        analyze_sequential(net, property, config)
+    } else {
+        analyze_parallel(net, property, config)
+    }
+}
+
+fn check_deadlock_policy(config: &SimConfig, outcome: &PathOutcome) -> Result<(), SimError> {
+    if config.deadlock_policy == DeadlockPolicy::Error && outcome.verdict.is_lock() {
+        return Err(SimError::DeadlockDetected {
+            time: outcome.end_time,
+            description: format!("{} after {} steps", outcome.verdict, outcome.steps),
+        });
+    }
+    Ok(())
+}
+
+fn analyze_sequential(
+    net: &Network,
+    property: &TimedReach,
+    config: &SimConfig,
+) -> Result<AnalysisResult, SimError> {
+    let start = Instant::now();
+    let mut generator = config.generator.instantiate(config.accuracy);
+    let mut strategy = config.strategy.instantiate();
+    let gen = PathGenerator::new(net, property, config.max_steps);
+    let mut stats = PathStats::default();
+    let mut index: u64 = 0;
+
+    while !generator.is_complete() {
+        let mut rng = path_rng(config.seed, index);
+        let outcome = gen.generate(strategy.as_mut(), &mut rng)?;
+        check_deadlock_policy(config, &outcome)?;
+        stats.record(&outcome);
+        generator.add(outcome.verdict.is_success());
+        index += 1;
+    }
+
+    Ok(AnalysisResult {
+        estimate: generator.estimate(),
+        stats,
+        wall: start.elapsed(),
+        approx_memory_bytes: approx_memory(net, &stats),
+    })
+}
+
+fn analyze_parallel(
+    net: &Network,
+    property: &TimedReach,
+    config: &SimConfig,
+) -> Result<AnalysisResult, SimError> {
+    let start = Instant::now();
+    let mut generator = config.generator.instantiate(config.accuracy);
+    let workers = config.workers;
+    let stop = AtomicBool::new(false);
+
+    // With an a-priori known sample count (CH bound), split statically:
+    // each worker computes its share (§III-C's trivial solution). With
+    // sequential generators the workers run until told to stop, and the
+    // round-robin collector removes arrival-order bias.
+    let quota: Option<Vec<u64>> =
+        generator.known_target().map(|n| split_workload(n, workers));
+
+    let mut collector = RoundRobinCollector::new(workers);
+    let mut stats = PathStats::default();
+
+    let result: Result<(), SimError> = crossbeam::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<PathOutcome, SimError>)>(
+            workers * 64,
+        );
+        for w in 0..workers {
+            let tx = tx.clone();
+            let stop = &stop;
+            let quota = quota.as_ref().map(|q| q[w]);
+            let gen = PathGenerator::new(net, property, config.max_steps);
+            let strategy_kind = config.strategy;
+            let seed = config.seed;
+            scope.spawn(move |_| {
+                let mut strategy = strategy_kind.instantiate();
+                // Worker w handles path indices w, w + k, w + 2k, …
+                let mut index = w as u64;
+                let mut produced: u64 = 0;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(q) = quota {
+                        if produced >= q {
+                            break;
+                        }
+                    }
+                    let mut rng = path_rng(seed, index);
+                    let out = gen.generate(strategy.as_mut(), &mut rng);
+                    let failed = out.is_err();
+                    if tx.send((w, out)).is_err() || failed {
+                        break;
+                    }
+                    produced += 1;
+                    index += workers as u64;
+                }
+            });
+        }
+        drop(tx);
+
+        loop {
+            match rx.recv() {
+                Ok((w, Ok(outcome))) => {
+                    check_deadlock_policy(config, &outcome)?;
+                    stats.record(&outcome);
+                    collector.push(w, outcome.verdict.is_success());
+                    for s in collector.drain_rounds() {
+                        if !generator.is_complete() {
+                            generator.add(s);
+                        }
+                    }
+                    if generator.is_complete() {
+                        stop.store(true, Ordering::Relaxed);
+                        // Keep draining the channel so workers can exit.
+                    }
+                }
+                Ok((_, Err(e))) => {
+                    stop.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Err(_) => break, // all senders dropped
+            }
+        }
+        // Channel closed: all workers exited. Mark them finished and
+        // consume any leftover complete rounds.
+        for w in 0..workers {
+            collector.finish_worker(w);
+        }
+        for s in collector.drain_rounds() {
+            if !generator.is_complete() {
+                generator.add(s);
+            }
+        }
+        Ok(())
+    })
+    .map_err(|_| SimError::WorkerFailed { detail: "worker thread panicked".into() })?;
+    result?;
+
+    Ok(AnalysisResult {
+        estimate: generator.estimate(),
+        stats,
+        wall: start.elapsed(),
+        approx_memory_bytes: approx_memory(net, &stats),
+    })
+}
+
+/// The simulator's memory story (§IV): the per-state footprint plus the
+/// recorded outcomes — it does *not* grow with the reachable state space.
+fn approx_memory(net: &Network, stats: &PathStats) -> usize {
+    net.state_size_bytes() * 2 // current + scratch state per worker
+        + std::mem::size_of::<PathStats>()
+        + stats.total() as usize / 8 // one bit per sample, amortized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Goal;
+    use crate::strategy::StrategyKind;
+    use slim_automata::prelude::*;
+    use slim_stats::chernoff::Accuracy;
+    use slim_stats::sequential::GeneratorKind;
+
+    /// ok --λ--> failed: P(◇[0,t] failed) = 1 − e^{−λt}, analytically.
+    fn exp_net(lambda: f64) -> (Network, TimedReach) {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("err");
+        let ok = a.location("ok");
+        let failed = a.location("failed");
+        a.markovian(ok, lambda, [], failed);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::in_location(&net, "err", "failed").unwrap();
+        (net, TimedReach::new(goal, 1.0))
+    }
+
+    fn loose() -> SimConfig {
+        SimConfig::default()
+            .with_accuracy(Accuracy::new(0.03, 0.05).unwrap())
+            .with_strategy(StrategyKind::Asap)
+    }
+
+    #[test]
+    fn sequential_matches_analytic_exponential() {
+        let (net, prop) = exp_net(1.0);
+        let r = analyze(&net, &prop, &loose()).unwrap();
+        let exact = 1.0 - (-1.0f64).exp(); // ≈ 0.632
+        assert!(
+            (r.probability() - exact).abs() < 0.03 + 0.01,
+            "estimate {} vs exact {exact}",
+            r.probability()
+        );
+        assert_eq!(r.stats.total(), r.estimate.samples);
+    }
+
+    #[test]
+    fn parallel_agrees_with_analytic() {
+        let (net, prop) = exp_net(2.0);
+        let cfg = loose().with_workers(4);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        let exact = 1.0 - (-2.0f64).exp();
+        assert!(
+            (r.probability() - exact).abs() < 0.03 + 0.01,
+            "estimate {} vs exact {exact}",
+            r.probability()
+        );
+        // All quota'd samples accounted for.
+        assert_eq!(r.estimate.samples, cfg.accuracy.chernoff_samples());
+    }
+
+    #[test]
+    fn deadlock_policy_error_aborts() {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        a.location("sink");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let prop = TimedReach::new(Goal::expr(Expr::FALSE), 1.0);
+        let cfg = loose().with_deadlock_policy(DeadlockPolicy::Error);
+        assert!(matches!(
+            analyze(&net, &prop, &cfg),
+            Err(SimError::DeadlockDetected { .. })
+        ));
+        // Falsify counts them as false samples instead.
+        let cfg = loose().with_deadlock_policy(DeadlockPolicy::Falsify);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        assert_eq!(r.probability(), 0.0);
+        assert_eq!(r.stats.deadlocks, r.stats.total());
+    }
+
+    #[test]
+    fn seeded_reproducibility_across_worker_counts() {
+        // CH bound: the sample *set* is identical for 1 and 3 workers, so
+        // the estimate (a count) matches exactly.
+        let (net, prop) = exp_net(1.0);
+        let acc = Accuracy::new(0.05, 0.1).unwrap();
+        let c1 = loose().with_accuracy(acc).with_workers(1).with_seed(7);
+        let c3 = loose().with_accuracy(acc).with_workers(3).with_seed(7);
+        let r1 = analyze(&net, &prop, &c1).unwrap();
+        let r3 = analyze(&net, &prop, &c3).unwrap();
+        assert_eq!(r1.estimate.successes, r3.estimate.successes);
+        assert_eq!(r1.estimate.samples, r3.estimate.samples);
+    }
+
+    #[test]
+    fn sequential_generator_stops_early_on_rare_events() {
+        let (net, prop) = exp_net(0.01); // p ≈ 0.00995
+        let cfg = loose().with_generator(GeneratorKind::ChowRobbins);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        let ch = cfg.accuracy.chernoff_samples();
+        assert!(
+            r.estimate.samples < ch,
+            "sequential rule used {} >= CH {ch}",
+            r.estimate.samples
+        );
+        assert!(r.probability() < 0.05);
+    }
+
+    #[test]
+    fn parallel_sequential_generator_completes() {
+        let (net, prop) = exp_net(1.0);
+        let cfg = loose().with_generator(GeneratorKind::Gauss).with_workers(3);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        let exact = 1.0 - (-1.0f64).exp();
+        assert!((r.probability() - exact).abs() < 0.06, "estimate {}", r.probability());
+    }
+
+    #[test]
+    fn memory_estimate_positive_and_flat() {
+        let (net, prop) = exp_net(1.0);
+        let r = analyze(&net, &prop, &loose()).unwrap();
+        assert!(r.approx_memory_bytes > 0);
+        assert!(r.approx_memory_bytes < 1_000_000, "simulator memory should be tiny");
+    }
+}

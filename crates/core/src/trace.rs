@@ -1,0 +1,153 @@
+//! Path trace recording (for the interactive mode and debugging).
+
+use serde::{Deserialize, Serialize};
+use slim_automata::network::GlobalTransition;
+use slim_automata::prelude::{NetState, Network};
+use std::fmt;
+
+/// One event along a generated path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Time passed.
+    Delay {
+        /// Model time at the start of the delay.
+        at: f64,
+        /// Delay length.
+        duration: f64,
+    },
+    /// A discrete transition fired.
+    Fire {
+        /// Model time of the firing.
+        at: f64,
+        /// Action name (`"tau"` for internal/Markovian moves).
+        action: String,
+        /// Names of the participating automata.
+        participants: Vec<String>,
+        /// Whether the transition was Markovian.
+        markovian: bool,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Delay { at, duration } => write!(f, "t={at:.6}: delay {duration:.6}"),
+            TraceEvent::Fire { at, action, participants, markovian } => {
+                let kind = if *markovian { "markovian" } else { "guarded" };
+                write!(f, "t={at:.6}: fire {action} ({kind}; {})", participants.join("∥"))
+            }
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Builds a fire event from a global transition.
+    pub fn fire(net: &Network, state: &NetState, gt: &GlobalTransition, markovian: bool) -> Self {
+        TraceEvent::Fire {
+            at: state.time,
+            action: net.actions()[gt.action.0].name.clone(),
+            participants: gt
+                .parts
+                .iter()
+                .map(|(p, _)| net.automata()[p.0].name.clone())
+                .collect(),
+            markovian,
+        }
+    }
+}
+
+impl VecTrace {
+    /// Renders the recorded events as CSV
+    /// (`time,kind,action,markovian,participants`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,kind,action,markovian,participants\n");
+        for e in &self.events {
+            match e {
+                TraceEvent::Delay { at, duration } => {
+                    out.push_str(&format!("{at},delay,{duration},,\n"));
+                }
+                TraceEvent::Fire { at, action, participants, markovian } => {
+                    out.push_str(&format!(
+                        "{at},fire,{action},{markovian},{}\n",
+                        participants.join("|")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A sink receiving trace events; [`NullTrace`] discards, [`VecTrace`]
+/// records.
+pub trait TraceSink {
+    /// Receives one event.
+    fn event(&mut self, event: TraceEvent);
+}
+
+/// Discards all events (the fast path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    fn event(&mut self, _event: TraceEvent) {}
+}
+
+/// Records all events in memory.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    /// Recorded events in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecTrace {
+    fn event(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_records_in_order() {
+        let mut t = VecTrace::default();
+        t.event(TraceEvent::Delay { at: 0.0, duration: 1.5 });
+        t.event(TraceEvent::Fire {
+            at: 1.5,
+            action: "go".into(),
+            participants: vec!["a".into(), "b".into()],
+            markovian: false,
+        });
+        assert_eq!(t.events.len(), 2);
+        assert!(t.events[0].to_string().contains("delay"));
+        assert!(t.events[1].to_string().contains("go"));
+        assert!(t.events[1].to_string().contains("a∥b"));
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut t = VecTrace::default();
+        t.event(TraceEvent::Delay { at: 0.0, duration: 1.5 });
+        t.event(TraceEvent::Fire {
+            at: 1.5,
+            action: "tau".into(),
+            participants: vec!["a".into(), "b".into()],
+            markovian: true,
+        });
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time,kind"));
+        assert!(lines[1].contains("delay"));
+        assert!(lines[2].contains("tau") && lines[2].contains("true") && lines[2].contains("a|b"));
+    }
+
+    #[test]
+    fn null_trace_discards() {
+        let mut t = NullTrace;
+        t.event(TraceEvent::Delay { at: 0.0, duration: 1.0 });
+        // nothing observable — just exercising the impl
+    }
+}

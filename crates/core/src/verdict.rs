@@ -1,0 +1,242 @@
+//! Path verdicts and aggregated path statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a generated path ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The goal was reached within the time bound — the sample is `true`.
+    Satisfied,
+    /// The time bound elapsed without reaching the goal.
+    TimeBoundExceeded,
+    /// The `hold` predicate of a bounded-until property was violated
+    /// before the goal was reached.
+    HoldViolated,
+    /// No discrete transition will ever be possible and time may diverge —
+    /// a *deadlock* in the sense of §III-D.
+    Deadlock,
+    /// An invariant forces progress but no transition is enabled at the
+    /// boundary — a *timelock* (the actionlocks MaxTime hunts for, §III-B).
+    Timelock,
+    /// The per-path step limit was hit (Zeno behavior guard).
+    StepLimit,
+}
+
+impl Verdict {
+    /// Whether this path satisfies the reachability property.
+    ///
+    /// Per §III-D, dead- and timelocked paths falsify the property: a goal
+    /// state can no longer be reached from them.
+    pub fn is_success(self) -> bool {
+        matches!(self, Verdict::Satisfied)
+    }
+
+    /// Whether this verdict is a dead- or timelock (relevant for the
+    /// deadlock policy).
+    pub fn is_lock(self) -> bool {
+        matches!(self, Verdict::Deadlock | Verdict::Timelock)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Satisfied => "satisfied",
+            Verdict::TimeBoundExceeded => "time bound exceeded",
+            Verdict::HoldViolated => "hold predicate violated",
+            Verdict::Deadlock => "deadlock",
+            Verdict::Timelock => "timelock",
+            Verdict::StepLimit => "step limit",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Outcome of generating one path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathOutcome {
+    /// Terminal classification.
+    pub verdict: Verdict,
+    /// Number of discrete steps taken.
+    pub steps: u64,
+    /// Model time at which the path ended (goal hit, bound, or lock).
+    pub end_time: f64,
+}
+
+/// Aggregate counters over many paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStats {
+    /// Paths satisfying the property.
+    pub satisfied: u64,
+    /// Paths exceeding the time bound.
+    pub time_bound_exceeded: u64,
+    /// Paths violating the until-property's hold predicate.
+    pub hold_violated: u64,
+    /// Deadlocked paths.
+    pub deadlocks: u64,
+    /// Timelocked paths.
+    pub timelocks: u64,
+    /// Step-limited paths.
+    pub step_limited: u64,
+    /// Total discrete steps across all paths.
+    pub total_steps: u64,
+    /// Satisfaction-time accumulators over satisfied paths (×1e6 fixed
+    /// point, keeping `PathStats` hashable/Eq): sum, min, max.
+    sat_time_sum_micros: u64,
+    sat_time_min_micros: u64,
+    sat_time_max_micros: u64,
+}
+
+impl PathStats {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: &PathOutcome) {
+        match outcome.verdict {
+            Verdict::Satisfied => {
+                self.satisfied += 1;
+                let micros = (outcome.end_time.max(0.0) * 1e6) as u64;
+                self.sat_time_sum_micros += micros;
+                if self.satisfied == 1 || micros < self.sat_time_min_micros {
+                    self.sat_time_min_micros = micros;
+                }
+                if micros > self.sat_time_max_micros {
+                    self.sat_time_max_micros = micros;
+                }
+            }
+            Verdict::TimeBoundExceeded => self.time_bound_exceeded += 1,
+            Verdict::HoldViolated => self.hold_violated += 1,
+            Verdict::Deadlock => self.deadlocks += 1,
+            Verdict::Timelock => self.timelocks += 1,
+            Verdict::StepLimit => self.step_limited += 1,
+        }
+        self.total_steps += outcome.steps;
+    }
+
+    /// Total number of paths recorded.
+    pub fn total(&self) -> u64 {
+        self.satisfied
+            + self.time_bound_exceeded
+            + self.hold_violated
+            + self.deadlocks
+            + self.timelocks
+            + self.step_limited
+    }
+
+    /// Merges another stats block (parallel workers).
+    pub fn merge(&mut self, other: &PathStats) {
+        self.satisfied += other.satisfied;
+        self.time_bound_exceeded += other.time_bound_exceeded;
+        self.hold_violated += other.hold_violated;
+        self.deadlocks += other.deadlocks;
+        self.timelocks += other.timelocks;
+        self.step_limited += other.step_limited;
+        self.total_steps += other.total_steps;
+        self.sat_time_sum_micros += other.sat_time_sum_micros;
+        if other.satisfied > 0 {
+            // `self.satisfied` already includes `other`'s; if they are
+            // equal, `self` had no satisfied paths of its own before.
+            let self_had_none = self.satisfied == other.satisfied;
+            self.sat_time_min_micros = if self_had_none {
+                other.sat_time_min_micros
+            } else {
+                self.sat_time_min_micros.min(other.sat_time_min_micros)
+            };
+            self.sat_time_max_micros = self.sat_time_max_micros.max(other.sat_time_max_micros);
+        }
+    }
+
+    /// Mean model time at which satisfied paths hit the goal
+    /// (time-to-failure summary; `None` without satisfied paths).
+    pub fn mean_satisfaction_time(&self) -> Option<f64> {
+        if self.satisfied == 0 {
+            None
+        } else {
+            Some(self.sat_time_sum_micros as f64 / 1e6 / self.satisfied as f64)
+        }
+    }
+
+    /// Earliest goal-hit time over satisfied paths.
+    pub fn min_satisfaction_time(&self) -> Option<f64> {
+        (self.satisfied > 0).then(|| self.sat_time_min_micros as f64 / 1e6)
+    }
+
+    /// Latest goal-hit time over satisfied paths.
+    pub fn max_satisfaction_time(&self) -> Option<f64> {
+        (self.satisfied > 0).then(|| self.sat_time_max_micros as f64 / 1e6)
+    }
+
+    /// Mean discrete steps per path.
+    pub fn mean_steps(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_classification() {
+        assert!(Verdict::Satisfied.is_success());
+        for v in [Verdict::TimeBoundExceeded, Verdict::HoldViolated, Verdict::Deadlock, Verdict::Timelock, Verdict::StepLimit] {
+            assert!(!v.is_success(), "{v}");
+        }
+        assert!(Verdict::Deadlock.is_lock());
+        assert!(Verdict::Timelock.is_lock());
+        assert!(!Verdict::Satisfied.is_lock());
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut a = PathStats::default();
+        a.record(&PathOutcome { verdict: Verdict::Satisfied, steps: 3, end_time: 1.0 });
+        a.record(&PathOutcome { verdict: Verdict::Deadlock, steps: 5, end_time: 2.0 });
+        let mut b = PathStats::default();
+        b.record(&PathOutcome { verdict: Verdict::TimeBoundExceeded, steps: 2, end_time: 9.0 });
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.satisfied, 1);
+        assert_eq!(a.deadlocks, 1);
+        assert_eq!(a.time_bound_exceeded, 1);
+        assert_eq!(a.total_steps, 10);
+        assert!((a.mean_steps() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfaction_time_summaries() {
+        let mut a = PathStats::default();
+        assert_eq!(a.mean_satisfaction_time(), None);
+        a.record(&PathOutcome { verdict: Verdict::Satisfied, steps: 1, end_time: 2.0 });
+        a.record(&PathOutcome { verdict: Verdict::Satisfied, steps: 1, end_time: 4.0 });
+        a.record(&PathOutcome { verdict: Verdict::TimeBoundExceeded, steps: 1, end_time: 9.0 });
+        assert!((a.mean_satisfaction_time().unwrap() - 3.0).abs() < 1e-6);
+        assert!((a.min_satisfaction_time().unwrap() - 2.0).abs() < 1e-6);
+        assert!((a.max_satisfaction_time().unwrap() - 4.0).abs() < 1e-6);
+
+        // Merge: min/max propagate across blocks, including from/into
+        // blocks without satisfied paths.
+        let mut b = PathStats::default();
+        b.record(&PathOutcome { verdict: Verdict::Satisfied, steps: 1, end_time: 1.0 });
+        a.merge(&b);
+        assert!((a.min_satisfaction_time().unwrap() - 1.0).abs() < 1e-6);
+        assert!((a.max_satisfaction_time().unwrap() - 4.0).abs() < 1e-6);
+        let mut empty = PathStats::default();
+        empty.merge(&a);
+        assert!((empty.min_satisfaction_time().unwrap() - 1.0).abs() < 1e-6);
+        let before = a.clone();
+        a.merge(&PathStats::default());
+        assert_eq!(a.min_satisfaction_time(), before.min_satisfaction_time());
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = PathStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.mean_steps(), 0.0);
+    }
+}

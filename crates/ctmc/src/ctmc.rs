@@ -1,0 +1,133 @@
+//! Continuous-time Markov chains.
+
+use serde::{Deserialize, Serialize};
+
+/// A CTMC in sparse form with a goal labeling and an initial distribution
+/// (the initial state of the model may be vanishing, dissolving into a
+/// distribution over tangible states).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctmc {
+    /// Per-state sparse rate rows: `rates[s] = [(target, λ), …]`.
+    pub rates: Vec<Vec<(usize, f64)>>,
+    /// Goal labeling.
+    pub goal: Vec<bool>,
+    /// Initial probability distribution `[(state, p), …]`, summing to 1.
+    pub initial: Vec<(usize, f64)>,
+}
+
+impl Ctmc {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Number of (non-zero) transitions.
+    pub fn transition_count(&self) -> usize {
+        self.rates.iter().map(Vec::len).sum()
+    }
+
+    /// Total exit rate of state `s`.
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.rates[s].iter().map(|(_, r)| r).sum()
+    }
+
+    /// The maximal exit rate (uniformization constant basis).
+    pub fn max_exit_rate(&self) -> f64 {
+        (0..self.len()).map(|s| self.exit_rate(s)).fold(0.0, f64::max)
+    }
+
+    /// A copy with all goal states made absorbing — the standard reduction
+    /// of time-bounded reachability to transient analysis.
+    pub fn goal_absorbing(&self) -> Ctmc {
+        let mut c = self.clone();
+        for (s, is_goal) in c.goal.iter().enumerate() {
+            if *is_goal {
+                c.rates[s].clear();
+            }
+        }
+        c
+    }
+
+    /// Validates structural sanity (used by tests and debug assertions):
+    /// targets in range, rates positive, initial distribution normalized.
+    pub fn check_valid(&self) -> Result<(), String> {
+        let n = self.len();
+        if self.goal.len() != n {
+            return Err(format!("goal labeling has {} entries for {n} states", self.goal.len()));
+        }
+        for (s, row) in self.rates.iter().enumerate() {
+            for &(t, r) in row {
+                if t >= n {
+                    return Err(format!("transition {s}→{t} out of range"));
+                }
+                if !(r > 0.0) || !r.is_finite() {
+                    return Err(format!("non-positive rate {r} on {s}→{t}"));
+                }
+            }
+        }
+        let mass: f64 = self.initial.iter().map(|(_, p)| p).sum();
+        if (mass - 1.0).abs() > 1e-9 {
+            return Err(format!("initial distribution sums to {mass}"));
+        }
+        for &(s, p) in &self.initial {
+            if s >= n || p < 0.0 {
+                return Err(format!("bad initial entry ({s}, {p})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Ctmc {
+        Ctmc {
+            rates: vec![vec![(1, 2.0)], vec![(0, 1.0), (2, 3.0)], vec![]],
+            goal: vec![false, false, true],
+            initial: vec![(0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let c = chain();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.transition_count(), 3);
+        assert_eq!(c.exit_rate(1), 4.0);
+        assert_eq!(c.max_exit_rate(), 4.0);
+        assert!(c.check_valid().is_ok());
+    }
+
+    #[test]
+    fn goal_absorbing_clears_goal_rows() {
+        let mut c = chain();
+        c.rates[2] = vec![(0, 5.0)];
+        let g = c.goal_absorbing();
+        assert!(g.rates[2].is_empty());
+        assert_eq!(g.rates[0], c.rates[0]);
+    }
+
+    #[test]
+    fn validity_catches_errors() {
+        let mut c = chain();
+        c.rates[0][0].0 = 9;
+        assert!(c.check_valid().is_err());
+        let mut c = chain();
+        c.rates[0][0].1 = -1.0;
+        assert!(c.check_valid().is_err());
+        let mut c = chain();
+        c.initial = vec![(0, 0.5)];
+        assert!(c.check_valid().is_err());
+        let mut c = chain();
+        c.goal.pop();
+        assert!(c.check_valid().is_err());
+    }
+}

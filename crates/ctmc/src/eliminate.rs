@@ -1,0 +1,259 @@
+//! Vanishing-state elimination: IMC → CTMC.
+//!
+//! Under *maximal progress*, immediate (interactive) transitions preempt
+//! Markovian ones, so states with interactive successors ("vanishing"
+//! states) are left instantaneously. Non-determinism among the immediate
+//! successors is resolved **uniformly** — the equiprobability rule the
+//! simulator also applies; this closes the IMC into a CTMC (the role of
+//! the weak-bisimulation step in the COMPASS chain, which likewise must
+//! rid the model of interactive transitions before MRMC can run).
+
+use crate::ctmc::Ctmc;
+use crate::error::CtmcError;
+use crate::imc::Imc;
+use std::collections::HashMap;
+
+/// Eliminates vanishing states, producing a CTMC over the tangible states.
+///
+/// Goal-labeled vanishing states are preserved by *absorption semantics*:
+/// if a vanishing state on the way is a goal state, probability flowing
+/// through it is redirected to a fresh absorbing goal state — passing
+/// through a goal instantaneously still means the goal was reached.
+///
+/// # Errors
+/// [`CtmcError::VanishingCycle`] on immediate-transition cycles and
+/// [`CtmcError::Empty`] on empty input.
+pub fn eliminate(imc: &Imc) -> Result<Ctmc, CtmcError> {
+    if imc.is_empty() {
+        return Err(CtmcError::Empty);
+    }
+    let n = imc.len();
+
+    // Map tangible states to compact CTMC indices.
+    let mut tangible_index: HashMap<usize, usize> = HashMap::new();
+    for (i, s) in imc.states.iter().enumerate() {
+        if !s.is_vanishing() {
+            let idx = tangible_index.len();
+            tangible_index.insert(i, idx);
+        }
+    }
+    // A synthetic absorbing goal state collects probability that reaches
+    // the goal *inside* a vanishing chain.
+    let goal_sink = tangible_index.len();
+    let mut uses_goal_sink = false;
+
+    // Memoized resolution: distribution over CTMC indices reached from an
+    // IMC state by following immediate transitions to quiescence.
+    let mut memo: Vec<Option<Vec<(usize, f64)>>> = vec![None; n];
+    let mut on_stack = vec![false; n];
+
+    fn resolve(
+        i: usize,
+        imc: &Imc,
+        tangible_index: &HashMap<usize, usize>,
+        goal_sink: usize,
+        uses_goal_sink: &mut bool,
+        memo: &mut Vec<Option<Vec<(usize, f64)>>>,
+        on_stack: &mut Vec<bool>,
+    ) -> Result<Vec<(usize, f64)>, CtmcError> {
+        if let Some(d) = &memo[i] {
+            return Ok(d.clone());
+        }
+        if on_stack[i] {
+            return Err(CtmcError::VanishingCycle { state_index: i });
+        }
+        let s = &imc.states[i];
+        let dist = if !s.is_vanishing() {
+            vec![(tangible_index[&i], 1.0)]
+        } else if s.goal {
+            // Goal reached instantaneously on the way through.
+            *uses_goal_sink = true;
+            vec![(goal_sink, 1.0)]
+        } else {
+            on_stack[i] = true;
+            let k = s.interactive.len() as f64;
+            let mut acc: HashMap<usize, f64> = HashMap::new();
+            for &succ in &s.interactive {
+                let sub = resolve(succ, imc, tangible_index, goal_sink, uses_goal_sink, memo, on_stack)?;
+                for (t, p) in sub {
+                    *acc.entry(t).or_insert(0.0) += p / k;
+                }
+            }
+            on_stack[i] = false;
+            let mut v: Vec<(usize, f64)> = acc.into_iter().collect();
+            v.sort_by_key(|&(t, _)| t);
+            v
+        };
+        memo[i] = Some(dist.clone());
+        Ok(dist)
+    }
+
+    // Build rows for tangible states.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); tangible_index.len()];
+    let mut goal: Vec<bool> = vec![false; tangible_index.len()];
+    for (&imc_i, &ctmc_i) in &tangible_index {
+        goal[ctmc_i] = imc.states[imc_i].goal;
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for &(target, rate) in &imc.states[imc_i].markovian {
+            let dist = resolve(
+                target,
+                imc,
+                &tangible_index,
+                goal_sink,
+                &mut uses_goal_sink,
+                &mut memo,
+                &mut on_stack,
+            )?;
+            for (t, p) in dist {
+                *acc.entry(t).or_insert(0.0) += rate * p;
+            }
+        }
+        let mut row: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, r)| r > 0.0).collect();
+        row.sort_by_key(|&(t, _)| t);
+        rows[ctmc_i] = row;
+    }
+
+    // Initial distribution: resolve state 0.
+    let initial = resolve(
+        0,
+        imc,
+        &tangible_index,
+        goal_sink,
+        &mut uses_goal_sink,
+        &mut memo,
+        &mut on_stack,
+    )?;
+
+    if uses_goal_sink {
+        rows.push(Vec::new());
+        goal.push(true);
+    } else {
+        // No row references the sink; nothing to add.
+    }
+
+    let ctmc = Ctmc { rates: rows, goal, initial };
+    debug_assert!(ctmc.check_valid().is_ok(), "{:?}", ctmc.check_valid());
+    Ok(ctmc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imc::ImcState;
+
+    fn tangible(markovian: Vec<(usize, f64)>, goal: bool) -> ImcState {
+        ImcState { interactive: vec![], markovian, goal }
+    }
+
+    fn vanishing(interactive: Vec<usize>, goal: bool) -> ImcState {
+        ImcState { interactive, markovian: vec![], goal }
+    }
+
+    #[test]
+    fn pure_markovian_chain_passes_through() {
+        let imc = Imc {
+            states: vec![tangible(vec![(1, 2.0)], false), tangible(vec![], true)],
+        };
+        let c = eliminate(&imc).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.rates[0], vec![(1, 2.0)]);
+        assert_eq!(c.initial, vec![(0, 1.0)]);
+        assert_eq!(c.goal, vec![false, true]);
+    }
+
+    #[test]
+    fn vanishing_state_splits_uniformly() {
+        // 0 --2.0--> 1 (vanishing) --> {2, 3} uniformly.
+        let imc = Imc {
+            states: vec![
+                tangible(vec![(1, 2.0)], false),
+                vanishing(vec![2, 3], false),
+                tangible(vec![], false),
+                tangible(vec![], true),
+            ],
+        };
+        let c = eliminate(&imc).unwrap();
+        // Tangible states: 0, 2, 3 → indices 0.. in insertion order by map;
+        // find rates from the initial state.
+        let row0: f64 = c.rates[find_initial(&c)].iter().map(|(_, r)| r).sum();
+        assert!((row0 - 2.0).abs() < 1e-12);
+        let rates: Vec<f64> = c.rates[find_initial(&c)].iter().map(|&(_, r)| r).collect();
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0] - 1.0).abs() < 1e-12 && (rates[1] - 1.0).abs() < 1e-12);
+    }
+
+    fn find_initial(c: &Ctmc) -> usize {
+        assert_eq!(c.initial.len(), 1);
+        c.initial[0].0
+    }
+
+    #[test]
+    fn chained_vanishing_states_compose() {
+        // 0 --1.0--> 1 (vanishing) --> 2 (vanishing) --> 3 tangible.
+        let imc = Imc {
+            states: vec![
+                tangible(vec![(1, 1.0)], false),
+                vanishing(vec![2], false),
+                vanishing(vec![3], false),
+                tangible(vec![], true),
+            ],
+        };
+        let c = eliminate(&imc).unwrap();
+        let init = find_initial(&c);
+        assert_eq!(c.rates[init].len(), 1);
+        let (t, r) = c.rates[init][0];
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!(c.goal[t]);
+    }
+
+    #[test]
+    fn vanishing_initial_state_gives_distribution() {
+        let imc = Imc {
+            states: vec![
+                vanishing(vec![1, 2], false),
+                tangible(vec![], false),
+                tangible(vec![], true),
+            ],
+        };
+        let c = eliminate(&imc).unwrap();
+        assert_eq!(c.initial.len(), 2);
+        let mass: f64 = c.initial.iter().map(|(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+        assert!((c.initial[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goal_inside_vanishing_chain_is_preserved() {
+        // 0 --1.0--> 1 (vanishing, GOAL) --> 2 tangible (not goal).
+        let imc = Imc {
+            states: vec![
+                tangible(vec![(1, 1.0)], false),
+                ImcState { interactive: vec![2], markovian: vec![], goal: true },
+                tangible(vec![], false),
+            ],
+        };
+        let c = eliminate(&imc).unwrap();
+        // Probability must flow to an absorbing goal sink, not to state 2.
+        let init = find_initial(&c);
+        let (t, _) = c.rates[init][0];
+        assert!(c.goal[t], "goal hit mid-chain must be preserved");
+        assert!(c.rates[t].is_empty(), "sink is absorbing");
+    }
+
+    #[test]
+    fn vanishing_cycle_detected() {
+        let imc = Imc {
+            states: vec![
+                tangible(vec![(1, 1.0)], false),
+                vanishing(vec![2], false),
+                vanishing(vec![1], false),
+            ],
+        };
+        assert!(matches!(eliminate(&imc), Err(CtmcError::VanishingCycle { .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(eliminate(&Imc { states: vec![] }), Err(CtmcError::Empty)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Explicit reachable-state-space exploration of untimed models.
+//!
+//! This substitutes the NuSMV BDD reachability step of the COMPASS
+//! pipeline (§IV): the same artifact — the reachable state graph — is
+//! produced, and its cost scales with the number of reachable states,
+//! which is what makes the CTMC column of Table I blow up with model size.
+
+use crate::error::CtmcError;
+use crate::imc::{Imc, ImcState};
+use slim_automata::prelude::{NetState, Network};
+use slim_automata::state::DiscreteKey;
+use std::collections::HashMap;
+
+/// Exploration configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Hard cap on explored states (the "out of memory / time" guard that
+    /// makes large Table I instances infeasible for the CTMC pipeline).
+    pub state_limit: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { state_limit: 5_000_000 }
+    }
+}
+
+/// The exploration product: the IMC plus bookkeeping for reporting.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// The interactive Markov chain over reachable discrete states.
+    pub imc: Imc,
+    /// Number of stored states (= `imc.len()`).
+    pub states: usize,
+    /// Rough memory footprint of the stored state space in bytes.
+    pub approx_memory_bytes: usize,
+}
+
+/// Explores the reachable discrete state space of an *untimed* network.
+///
+/// `goal` labels each state; it is evaluated once per stored state.
+///
+/// # Errors
+/// * [`CtmcError::TimedModel`] if the network declares clocks or
+///   continuous variables;
+/// * [`CtmcError::StateLimitExceeded`] past `config.state_limit`;
+/// * evaluation errors from guards/effects.
+pub fn explore(
+    net: &Network,
+    goal: &dyn Fn(&NetState) -> Result<bool, slim_automata::error::EvalError>,
+    config: &ExploreConfig,
+) -> Result<Explored, CtmcError> {
+    for decl in net.vars() {
+        if decl.ty.is_timed() {
+            return Err(CtmcError::TimedModel { variable: decl.name.clone() });
+        }
+    }
+
+    let initial = net.initial_state()?;
+    let key0 = initial.discrete_key().expect("untimed model has discrete key");
+
+    let mut index: HashMap<DiscreteKey, usize> = HashMap::new();
+    let mut states: Vec<ImcState> = Vec::new();
+    let mut frontier: Vec<NetState> = Vec::new();
+    let mut key_bytes = 0usize;
+
+    index.insert(key0.clone(), 0);
+    key_bytes += key_size(&key0);
+    states.push(ImcState { interactive: vec![], markovian: vec![], goal: goal(&initial)? });
+    frontier.push(initial);
+
+    let mut cursor = 0usize;
+    while cursor < frontier.len() {
+        let state = frontier[cursor].clone();
+        let here = cursor;
+        cursor += 1;
+
+        // Immediate (interactive) transitions: guarded transitions enabled
+        // *now*. In an untimed model guards are delay-free, so the window
+        // is either everything or nothing.
+        let mut interactive = Vec::new();
+        for cand in net.guarded_candidates(&state)? {
+            if !cand.window.contains(0.0) {
+                continue;
+            }
+            let next = net.apply(&state, &cand.transition)?;
+            let idx = intern(
+                net,
+                goal,
+                config,
+                &mut index,
+                &mut states,
+                &mut frontier,
+                &mut key_bytes,
+                next,
+            )?;
+            interactive.push(idx);
+        }
+
+        let mut markovian = Vec::new();
+        for cand in net.markovian_candidates(&state) {
+            let next = net.apply(&state, &cand.transition)?;
+            let idx = intern(
+                net,
+                goal,
+                config,
+                &mut index,
+                &mut states,
+                &mut frontier,
+                &mut key_bytes,
+                next,
+            )?;
+            markovian.push((idx, cand.rate));
+        }
+
+        states[here].interactive = interactive;
+        states[here].markovian = markovian;
+    }
+
+    let n = states.len();
+    let transitions: usize = states.iter().map(|s| s.interactive.len() + s.markovian.len()).sum();
+    let approx = key_bytes
+        + n * std::mem::size_of::<ImcState>()
+        + transitions * std::mem::size_of::<(usize, f64)>();
+    Ok(Explored { imc: Imc { states }, states: n, approx_memory_bytes: approx })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn intern(
+    _net: &Network,
+    goal: &dyn Fn(&NetState) -> Result<bool, slim_automata::error::EvalError>,
+    config: &ExploreConfig,
+    index: &mut HashMap<DiscreteKey, usize>,
+    states: &mut Vec<ImcState>,
+    frontier: &mut Vec<NetState>,
+    key_bytes: &mut usize,
+    state: NetState,
+) -> Result<usize, CtmcError> {
+    let key = state.discrete_key().expect("untimed model has discrete key");
+    if let Some(&i) = index.get(&key) {
+        return Ok(i);
+    }
+    if states.len() >= config.state_limit {
+        return Err(CtmcError::StateLimitExceeded { limit: config.state_limit });
+    }
+    let i = states.len();
+    *key_bytes += key_size(&key);
+    index.insert(key, i);
+    states.push(ImcState { interactive: vec![], markovian: vec![], goal: goal(&state)? });
+    frontier.push(state);
+    Ok(i)
+}
+
+fn key_size(key: &DiscreteKey) -> usize {
+    std::mem::size_of::<DiscreteKey>()
+        + key.locs.len() * std::mem::size_of::<slim_automata::automaton::LocId>()
+        + key.vals.len() * std::mem::size_of::<slim_automata::state::DiscreteVal>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_automata::prelude::*;
+
+    fn goal_false(
+    ) -> impl Fn(&NetState) -> Result<bool, slim_automata::error::EvalError> {
+        |_s: &NetState| Ok(false)
+    }
+
+    /// Two-state failure model with repair: ok ⇄ failed.
+    fn two_state() -> Network {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("m");
+        let ok = a.location("ok");
+        let failed = a.location("failed");
+        a.markovian(ok, 0.1, [], failed);
+        a.markovian(failed, 1.0, [], ok);
+        b.add_automaton(a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explores_two_states() {
+        let net = two_state();
+        let e = explore(&net, &goal_false(), &ExploreConfig::default()).unwrap();
+        assert_eq!(e.states, 2);
+        assert_eq!(e.imc.transition_count(), 2);
+        assert!(e.approx_memory_bytes > 0);
+    }
+
+    #[test]
+    fn rejects_timed_models() {
+        let mut b = NetworkBuilder::new();
+        b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("l");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        assert!(matches!(
+            explore(&net, &goal_false(), &ExploreConfig::default()),
+            Err(CtmcError::TimedModel { .. })
+        ));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        // Counter 0..=100 via guarded increments: 101 states.
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 100 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l = a.location("l");
+        a.guarded(
+            l,
+            ActionId::TAU,
+            Expr::var(n).lt(Expr::int(100)),
+            [Effect::assign(n, Expr::var(n).add(Expr::int(1)))],
+            l,
+        );
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let ok = explore(&net, &goal_false(), &ExploreConfig { state_limit: 200 }).unwrap();
+        assert_eq!(ok.states, 101);
+        assert!(matches!(
+            explore(&net, &goal_false(), &ExploreConfig { state_limit: 50 }),
+            Err(CtmcError::StateLimitExceeded { limit: 50 })
+        ));
+    }
+
+    #[test]
+    fn goal_labels_applied() {
+        let net = two_state();
+        let goal = |s: &NetState| Ok(s.locs[0] == LocId(1));
+        let e = explore(&net, &goal, &ExploreConfig::default()).unwrap();
+        assert!(!e.imc.states[0].goal);
+        assert!(e.imc.states[1].goal);
+    }
+
+    #[test]
+    fn synchronization_explored() {
+        // Two automata synchronizing: product has 2 reachable states, not 4.
+        let mut b = NetworkBuilder::new();
+        let go = b.action("go");
+        for name in ["a", "b"] {
+            let mut ab = AutomatonBuilder::new(name);
+            let l0 = ab.location("l0");
+            let l1 = ab.location("l1");
+            ab.guarded(l0, go, Expr::TRUE, [], l1);
+            b.add_automaton(ab);
+        }
+        let net = b.build().unwrap();
+        let e = explore(&net, &goal_false(), &ExploreConfig::default()).unwrap();
+        assert_eq!(e.states, 2);
+        assert!(e.imc.states[0].is_vanishing());
+        assert!(e.imc.states[1].is_absorbing());
+    }
+}

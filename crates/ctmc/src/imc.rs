@@ -1,0 +1,89 @@
+//! Interactive Markov chains — the intermediate representation between
+//! state-space exploration and the CTMC (the role NuSMV's reachable state
+//! graph plays in the COMPASS pipeline, §IV).
+
+use serde::{Deserialize, Serialize};
+
+/// One explored state of an [`Imc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImcState {
+    /// Immediate (interactive) successors: indices of target states.
+    /// Non-empty ⇒ the state is *vanishing* under maximal progress.
+    pub interactive: Vec<usize>,
+    /// Markovian successors `(target, rate)`.
+    pub markovian: Vec<(usize, f64)>,
+    /// Whether the goal predicate holds in this state.
+    pub goal: bool,
+}
+
+impl ImcState {
+    /// True if immediate transitions leave this state (maximal progress
+    /// makes Markovian transitions from it unreachable).
+    pub fn is_vanishing(&self) -> bool {
+        !self.interactive.is_empty()
+    }
+
+    /// True if no transition leaves this state.
+    pub fn is_absorbing(&self) -> bool {
+        self.interactive.is_empty() && self.markovian.is_empty()
+    }
+}
+
+/// An interactive Markov chain over explored discrete states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Imc {
+    /// States; index 0 is the initial state.
+    pub states: Vec<ImcState>,
+}
+
+impl Imc {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if there are no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of transitions (interactive + Markovian).
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.interactive.len() + s.markovian.len()).sum()
+    }
+
+    /// Number of vanishing states.
+    pub fn vanishing_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_vanishing()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let v = ImcState { interactive: vec![1], markovian: vec![(2, 1.0)], goal: false };
+        assert!(v.is_vanishing() && !v.is_absorbing());
+        let t = ImcState { interactive: vec![], markovian: vec![(2, 1.0)], goal: false };
+        assert!(!t.is_vanishing() && !t.is_absorbing());
+        let a = ImcState { interactive: vec![], markovian: vec![], goal: true };
+        assert!(a.is_absorbing());
+    }
+
+    #[test]
+    fn counts() {
+        let imc = Imc {
+            states: vec![
+                ImcState { interactive: vec![1, 2], markovian: vec![], goal: false },
+                ImcState { interactive: vec![], markovian: vec![(2, 0.5)], goal: false },
+                ImcState { interactive: vec![], markovian: vec![], goal: true },
+            ],
+        };
+        assert_eq!(imc.len(), 3);
+        assert_eq!(imc.transition_count(), 3);
+        assert_eq!(imc.vanishing_count(), 1);
+        assert!(!imc.is_empty());
+    }
+}

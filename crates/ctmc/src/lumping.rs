@@ -1,0 +1,210 @@
+//! Ordinary-lumpability bisimulation minimization of CTMCs.
+//!
+//! This substitutes the sigref weak-bisimulation reduction of the COMPASS
+//! pipeline (§IV): the quotient chain is (usually much) smaller and
+//! preserves time-bounded reachability of the goal label exactly.
+//!
+//! Algorithm: classical partition refinement — start from the partition
+//! induced by the goal label, repeatedly split blocks whose states have
+//! different cumulative rates into some block, until stable.
+
+use crate::ctmc::Ctmc;
+use std::collections::HashMap;
+
+/// Result of lumping: the quotient chain plus the state-to-block map.
+#[derive(Debug, Clone)]
+pub struct Lumped {
+    /// The quotient CTMC.
+    pub quotient: Ctmc,
+    /// `block_of[s]` is the quotient state of original state `s`.
+    pub block_of: Vec<usize>,
+}
+
+/// Computes the coarsest ordinary lumping of `ctmc` that respects the goal
+/// labeling.
+pub fn lump(ctmc: &Ctmc) -> Lumped {
+    let n = ctmc.len();
+    if n == 0 {
+        return Lumped { quotient: ctmc.clone(), block_of: vec![] };
+    }
+
+    // Initial partition by goal label.
+    let mut block_of: Vec<usize> = ctmc.goal.iter().map(|&g| usize::from(g)).collect();
+    let mut block_count = if ctmc.goal.iter().any(|&g| g) && ctmc.goal.iter().any(|&g| !g) {
+        2
+    } else {
+        // Single block: relabel everyone to block 0.
+        for b in &mut block_of {
+            *b = 0;
+        }
+        1
+    };
+
+    loop {
+        // Signature of a state: sorted vector of (target block, total rate).
+        let mut signatures: Vec<Vec<(usize, u64)>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut acc: HashMap<usize, f64> = HashMap::new();
+            for &(t, r) in &ctmc.rates[s] {
+                *acc.entry(block_of[t]).or_insert(0.0) += r;
+            }
+            let mut sig: Vec<(usize, u64)> =
+                acc.into_iter().map(|(b, r)| (b, quantize(r))).collect();
+            sig.sort_unstable();
+            signatures.push(sig);
+        }
+
+        // Re-number blocks by (old block, signature).
+        let mut renum: HashMap<(usize, &[(usize, u64)]), usize> = HashMap::new();
+        let mut next: Vec<usize> = Vec::with_capacity(n);
+        for s in 0..n {
+            let key = (block_of[s], signatures[s].as_slice());
+            let id = match renum.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = renum.len();
+                    renum.insert(key, id);
+                    id
+                }
+            };
+            next.push(id);
+        }
+        let new_count = renum.len();
+        if new_count == block_count {
+            break;
+        }
+        block_count = new_count;
+        block_of = next;
+    }
+
+    // Build the quotient: pick one representative per block (ordinary
+    // lumpability guarantees all members agree on block-cumulative rates).
+    let mut representative: Vec<Option<usize>> = vec![None; block_count];
+    for s in 0..n {
+        if representative[block_of[s]].is_none() {
+            representative[block_of[s]] = Some(s);
+        }
+    }
+    let mut rates: Vec<Vec<(usize, f64)>> = Vec::with_capacity(block_count);
+    let mut goal: Vec<bool> = Vec::with_capacity(block_count);
+    for b in 0..block_count {
+        let rep = representative[b].expect("every block has a member");
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for &(t, r) in &ctmc.rates[rep] {
+            *acc.entry(block_of[t]).or_insert(0.0) += r;
+        }
+        let mut row: Vec<(usize, f64)> = acc.into_iter().collect();
+        row.sort_by_key(|&(t, _)| t);
+        rates.push(row);
+        goal.push(ctmc.goal[rep]);
+    }
+    let mut init_acc: HashMap<usize, f64> = HashMap::new();
+    for &(s, p) in &ctmc.initial {
+        *init_acc.entry(block_of[s]).or_insert(0.0) += p;
+    }
+    let mut initial: Vec<(usize, f64)> = init_acc.into_iter().collect();
+    initial.sort_by_key(|&(s, _)| s);
+
+    let quotient = Ctmc { rates, goal, initial };
+    debug_assert!(quotient.check_valid().is_ok(), "{:?}", quotient.check_valid());
+    Lumped { quotient, block_of }
+}
+
+/// Quantizes a rate for signature comparison (lumping is exact up to
+/// floating-point noise; 1e-12 relative granularity).
+fn quantize(r: f64) -> u64 {
+    (r * 1e12).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two interchangeable redundant units: states (up,up), (up,down),
+    /// (down,up), (down,down); the two mixed states are lumpable.
+    fn redundant_pair(lambda: f64, mu: f64) -> Ctmc {
+        // 0 = uu, 1 = ud, 2 = du, 3 = dd
+        Ctmc {
+            rates: vec![
+                vec![(1, lambda), (2, lambda)],
+                vec![(0, mu), (3, lambda)],
+                vec![(0, mu), (3, lambda)],
+                vec![],
+            ],
+            goal: vec![false, false, false, true],
+            initial: vec![(0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn symmetric_states_lump() {
+        let l = lump(&redundant_pair(0.1, 1.0));
+        assert_eq!(l.quotient.len(), 3, "uu | {{ud, du}} | dd");
+        assert_eq!(l.block_of[1], l.block_of[2]);
+        assert_ne!(l.block_of[0], l.block_of[1]);
+        assert_ne!(l.block_of[0], l.block_of[3]);
+        // Rates from uu to the merged block sum: 2λ.
+        let uu = l.block_of[0];
+        let merged = l.block_of[1];
+        let rate: f64 = l.quotient.rates[uu]
+            .iter()
+            .filter(|&&(t, _)| t == merged)
+            .map(|&(_, r)| r)
+            .sum();
+        assert!((rate - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goal_labels_never_merge() {
+        let c = Ctmc {
+            rates: vec![vec![], vec![]],
+            goal: vec![false, true],
+            initial: vec![(0, 1.0)],
+        };
+        let l = lump(&c);
+        assert_eq!(l.quotient.len(), 2);
+    }
+
+    #[test]
+    fn identical_absorbing_states_merge() {
+        let c = Ctmc {
+            rates: vec![vec![(1, 1.0), (2, 1.0)], vec![], vec![]],
+            goal: vec![false, false, false],
+            initial: vec![(0, 1.0)],
+        };
+        let l = lump(&c);
+        assert_eq!(l.quotient.len(), 2);
+        assert_eq!(l.block_of[1], l.block_of[2]);
+    }
+
+    #[test]
+    fn asymmetric_rates_do_not_merge() {
+        let c = Ctmc {
+            rates: vec![vec![(1, 1.0), (2, 1.0)], vec![(3, 1.0)], vec![(3, 2.0)], vec![]],
+            goal: vec![false, false, false, true],
+            initial: vec![(0, 1.0)],
+        };
+        let l = lump(&c);
+        assert_ne!(l.block_of[1], l.block_of[2], "different rates to goal");
+        assert_eq!(l.quotient.len(), 4);
+    }
+
+    #[test]
+    fn initial_distribution_projected() {
+        let c = Ctmc {
+            rates: vec![vec![], vec![]],
+            goal: vec![false, false],
+            initial: vec![(0, 0.5), (1, 0.5)],
+        };
+        let l = lump(&c);
+        assert_eq!(l.quotient.len(), 1);
+        assert_eq!(l.quotient.initial, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let c = Ctmc { rates: vec![], goal: vec![], initial: vec![] };
+        let l = lump(&c);
+        assert_eq!(l.quotient.len(), 0);
+    }
+}

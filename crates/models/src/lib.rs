@@ -1,0 +1,33 @@
+//! # slim-models
+//!
+//! The model zoo of the `slimsim` reproduction — every system the paper's
+//! evaluation uses:
+//!
+//! * [`gps`] — the GPS unit of Listings 1–2 / Fig. 2, written in SLIM and
+//!   lowered through the full front-end; the §III-B strategy study model.
+//! * [`sensor_filter`] — the parameterized sensor–filter redundancy
+//!   benchmark of §IV (Fig. 3, Table I), untimed so both the simulator
+//!   and the CTMC pipeline can analyze it.
+//! * [`launcher`] — the Airbus launcher case study of §V (Fig. 4, Fig. 5)
+//!   with permanent and recoverable DPU fault variants.
+//! * [`power_system`] — a COMPASS-benchmark-style redundant power
+//!   distribution system, written entirely in SLIM (generator wear with
+//!   linear voltage decay, battery backup, urgent switch-over).
+//! * [`slim_sources`] — ready-made SLIM sources for tests and the CLI.
+
+#![warn(missing_docs)]
+
+pub mod gps;
+pub mod launcher;
+pub mod power_system;
+pub mod sensor_filter;
+pub mod slim_sources;
+
+pub use gps::{gps_network, gps_slim_source, GpsParams};
+pub use launcher::{launcher_network, DpuFaultMode, LauncherParams, FAILURE_VAR};
+pub use power_system::{
+    power_system_network, power_system_slim_source, PowerSystemParams, POWER_FAILED_VAR,
+};
+pub use sensor_filter::{
+    analytic_failure_probability, sensor_filter_network, SensorFilterParams, GOAL_VAR,
+};

@@ -1,0 +1,326 @@
+//! The sensor–filter redundancy benchmark of §IV (Fig. 3, Table I).
+//!
+//! A bank of `n` redundant sensors feeds a bank of `n` redundant filters.
+//! The active sensor outputs a value in `1..5`; the filter multiplies it
+//! by a constant factor. A failed sensor drives its output out of range
+//! (`> 5`); a failed filter outputs `0`. The monitor distinguishes the
+//! two failure signatures from the filtered value and switches the
+//! affected bank to its next healthy unit. When a bank is exhausted, the
+//! whole system has failed. The benchmark property is
+//! `P(◇[0,T] system_failed)`.
+//!
+//! The model is *untimed* (no clocks) so both the simulator and the CTMC
+//! pipeline can analyze it — exactly the §IV setup. Its reachable state
+//! space grows like `4^n`, which is what blows up the CTMC columns of
+//! Table I while the simulator's cost stays flat.
+//!
+//! All units are powered ("warm redundancy"), so any unit can fail at any
+//! time; the system fails once every unit of one bank has failed, giving
+//! the closed form used by the tests:
+//! `P = 1 − (1 − Ps)(1 − Pf)` with `P_bank = (1 − e^{−λT})^n`.
+
+use slim_automata::automaton::Effect;
+use slim_automata::prelude::*;
+
+/// Parameters of the benchmark (time unit: hours).
+#[derive(Debug, Clone, Copy)]
+pub struct SensorFilterParams {
+    /// Redundant units per bank (the paper's "model size" axis).
+    pub redundancy: usize,
+    /// Sensor failure rate.
+    pub lambda_sensor: f64,
+    /// Filter failure rate.
+    pub lambda_filter: f64,
+    /// Nominal sensor reading (1..5).
+    pub sensor_value: i64,
+    /// Filter gain.
+    pub filter_factor: i64,
+}
+
+impl Default for SensorFilterParams {
+    fn default() -> Self {
+        SensorFilterParams {
+            redundancy: 2,
+            lambda_sensor: 0.5,
+            lambda_filter: 0.4,
+            sensor_value: 3,
+            filter_factor: 2,
+        }
+    }
+}
+
+/// Analytic `P(◇[0,t] system_failed)` for cross-checking both engines.
+pub fn analytic_failure_probability(p: &SensorFilterParams, t: f64) -> f64 {
+    let ps = (1.0 - (-p.lambda_sensor * t).exp()).powi(p.redundancy as i32);
+    let pf = (1.0 - (-p.lambda_filter * t).exp()).powi(p.redundancy as i32);
+    1.0 - (1.0 - ps) * (1.0 - pf)
+}
+
+/// Builds the sensor–filter network.
+///
+/// Variables of interest:
+/// * `monitor.system_failed` — the goal flag;
+/// * `monitor.filtered` — the filtered output the monitor observes;
+/// * `sensors.active` / `filters.active` — the switch positions.
+///
+/// # Panics
+/// Panics if `redundancy == 0` or the (internally constructed) model
+/// fails validation — a bug, covered by tests.
+pub fn sensor_filter_network(p: &SensorFilterParams) -> Network {
+    assert!(p.redundancy > 0, "need at least one unit per bank");
+    let n = p.redundancy;
+    let mut b = NetworkBuilder::new();
+
+    // Per-unit health flags.
+    let sensor_ok: Vec<VarId> = (0..n)
+        .map(|i| b.var(format!("sensors.s{i}.ok"), VarType::Bool, Value::Bool(true)))
+        .collect();
+    let filter_ok: Vec<VarId> = (0..n)
+        .map(|i| b.var(format!("filters.f{i}.ok"), VarType::Bool, Value::Bool(true)))
+        .collect();
+    // Switch positions; `n` is the exhausted sentinel.
+    let active_s =
+        b.var("sensors.active", VarType::Int { lo: 0, hi: n as i64 }, Value::Int(0));
+    let active_f =
+        b.var("filters.active", VarType::Int { lo: 0, hi: n as i64 }, Value::Int(0));
+    let failed = b.var("monitor.system_failed", VarType::Bool, Value::Bool(false));
+
+    // Data path (Fig. 3): the active sensor's reading, the filtered value.
+    let max_raw = 6.max(p.sensor_value + 1);
+    let raw = b.var("sensors.out", VarType::Int { lo: 0, hi: max_raw }, Value::Int(p.sensor_value));
+    let filtered = b.var(
+        "monitor.filtered",
+        VarType::Int { lo: 0, hi: max_raw * p.filter_factor.max(1) },
+        Value::Int(0),
+    );
+
+    // The active sensor's output: nominal value while healthy, out of
+    // range (> 5) when the active sensor has failed, 0 when exhausted.
+    let mut raw_expr = Expr::int(0);
+    for i in (0..n).rev() {
+        raw_expr = Expr::ite(
+            Expr::var(active_s).eq(Expr::int(i as i64)),
+            Expr::ite(Expr::var(sensor_ok[i]), Expr::int(p.sensor_value), Expr::int(6)),
+            raw_expr,
+        );
+    }
+    b.flow(raw, raw_expr);
+    // The filter multiplies; a failed active filter outputs 0.
+    let mut filter_healthy = Expr::FALSE;
+    for i in (0..n).rev() {
+        filter_healthy = Expr::ite(
+            Expr::var(active_f).eq(Expr::int(i as i64)),
+            Expr::var(filter_ok[i]),
+            filter_healthy,
+        );
+    }
+    b.flow(
+        filtered,
+        Expr::ite(filter_healthy, Expr::var(raw).mul(Expr::int(p.filter_factor)), Expr::int(0)),
+    );
+
+    // Unit automata: warm-redundant units fail independently.
+    for (i, &ok) in sensor_ok.iter().enumerate() {
+        let mut a = AutomatonBuilder::new(format!("sensors.s{i}"));
+        let l_ok = a.location("ok");
+        let l_failed = a.location("failed");
+        a.markovian(l_ok, p.lambda_sensor, [Effect::assign(ok, Expr::bool(false))], l_failed);
+        b.add_automaton(a);
+    }
+    for (i, &ok) in filter_ok.iter().enumerate() {
+        let mut a = AutomatonBuilder::new(format!("filters.f{i}"));
+        let l_ok = a.location("ok");
+        let l_failed = a.location("failed");
+        a.markovian(l_ok, p.lambda_filter, [Effect::assign(ok, Expr::bool(false))], l_failed);
+        b.add_automaton(a);
+    }
+
+    // The monitor: detects the failure signature of the *active* units
+    // from the filtered value and switches the affected bank (immediate,
+    // urgent under every strategy because the guards are delay-free).
+    let mut mon = AutomatonBuilder::new("monitor");
+    let watch = mon.location("watching");
+    let dead = mon.location("dead");
+    for i in 0..n {
+        // Sensor signature: filtered value too high (raw > 5 times gain)
+        // — i.e. the active sensor failed.
+        let sig_sensor = Expr::var(filtered).gt(Expr::int(5 * p.filter_factor));
+        let guard = Expr::var(active_s).eq(Expr::int(i as i64)).and(sig_sensor);
+        let next = next_healthy_expr(&sensor_ok, i, n);
+        mon.guarded_urgent(watch, ActionId::TAU, guard, [Effect::assign(active_s, next)], watch);
+
+        // Filter signature: filtered value dropped to 0 while the sensor
+        // side still delivers (raw > 0).
+        let sig_filter =
+            Expr::var(filtered).eq(Expr::int(0)).and(Expr::var(raw).gt(Expr::int(0)));
+        let guard = Expr::var(active_f).eq(Expr::int(i as i64)).and(sig_filter);
+        let next = next_healthy_expr(&filter_ok, i, n);
+        mon.guarded_urgent(watch, ActionId::TAU, guard, [Effect::assign(active_f, next)], watch);
+    }
+    // Exhaustion of either bank fails the system.
+    let exhausted = Expr::var(active_s)
+        .ge(Expr::int(n as i64))
+        .or(Expr::var(active_f).ge(Expr::int(n as i64)));
+    mon.guarded_urgent(
+        watch,
+        ActionId::TAU,
+        exhausted,
+        [Effect::assign(failed, Expr::bool(true))],
+        dead,
+    );
+    b.add_automaton(mon);
+
+    b.build().expect("sensor-filter model is well-formed")
+}
+
+/// Expression for the lowest healthy unit index above `from` (sentinel
+/// `n` when none remains).
+fn next_healthy_expr(ok: &[VarId], from: usize, n: usize) -> Expr {
+    let mut e = Expr::int(n as i64);
+    for j in ((from + 1)..n).rev() {
+        e = Expr::ite(Expr::var(ok[j]), Expr::int(j as i64), e);
+    }
+    e
+}
+
+/// The goal variable name for properties on this model.
+pub const GOAL_VAR: &str = "monitor.system_failed";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
+    use slim_stats::chernoff::Accuracy;
+    use slimsim_core::prelude::*;
+
+    fn goal_expr(net: &Network) -> Expr {
+        Expr::var(net.var_id(GOAL_VAR).unwrap())
+    }
+
+    #[test]
+    fn shape_scales_with_redundancy() {
+        for n in [1, 2, 3] {
+            let p = SensorFilterParams { redundancy: n, ..Default::default() };
+            let net = sensor_filter_network(&p);
+            assert_eq!(net.automata().len(), 2 * n + 1);
+        }
+    }
+
+    #[test]
+    fn initial_data_path_consistent() {
+        let net = sensor_filter_network(&SensorFilterParams::default());
+        let s = net.initial_state().unwrap();
+        let filtered = net.var_id("monitor.filtered").unwrap();
+        assert_eq!(s.nu.get(filtered).unwrap(), Value::Int(6), "3 * 2");
+    }
+
+    #[test]
+    fn monitor_switches_on_sensor_failure() {
+        let p = SensorFilterParams::default();
+        let net = sensor_filter_network(&p);
+        let s0 = net.initial_state().unwrap();
+        // Fail sensor 0 by firing its Markovian transition.
+        let m = net
+            .markovian_candidates(&s0)
+            .into_iter()
+            .find(|c| net.automata()[c.transition.parts[0].0 .0].name == "sensors.s0")
+            .unwrap();
+        let s1 = net.apply(&s0, &m.transition).unwrap();
+        // The monitor's switch transition is now enabled at delay 0.
+        let cands = net.guarded_candidates(&s1).unwrap();
+        assert_eq!(cands.len(), 1);
+        let s2 = net.apply(&s1, &cands[0].transition).unwrap();
+        let active = net.var_id("sensors.active").unwrap();
+        assert_eq!(s2.nu.get(active).unwrap(), Value::Int(1));
+        // Output restored after the switch.
+        let filtered = net.var_id("monitor.filtered").unwrap();
+        assert_eq!(s2.nu.get(filtered).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn ctmc_pipeline_matches_analytic() {
+        let p = SensorFilterParams { redundancy: 2, ..Default::default() };
+        let net = sensor_filter_network(&p);
+        let failed = net.var_id(GOAL_VAR).unwrap();
+        let goal = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
+        let t = 2.0;
+        let r = check_timed_reachability(&net, &goal, t, &PipelineConfig::default()).unwrap();
+        let exact = analytic_failure_probability(&p, t);
+        assert!(
+            (r.probability - exact).abs() < 1e-6,
+            "CTMC {} vs analytic {exact}",
+            r.probability
+        );
+    }
+
+    #[test]
+    fn simulator_matches_analytic() {
+        let p = SensorFilterParams { redundancy: 2, ..Default::default() };
+        let net = sensor_filter_network(&p);
+        let prop = TimedReach::new(Goal::expr(goal_expr(&net)), 2.0);
+        let cfg = SimConfig::default()
+            .with_accuracy(Accuracy::new(0.03, 0.05).unwrap())
+            .with_strategy(StrategyKind::Asap);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        let exact = analytic_failure_probability(&p, 2.0);
+        assert!(
+            (r.probability() - exact).abs() < 0.04,
+            "simulator {} vs analytic {exact}",
+            r.probability()
+        );
+    }
+
+    #[test]
+    fn strategies_agree_on_untimed_model() {
+        // §V-d (left graph): without timed non-determinism all strategies
+        // coincide — this model's guards are delay-free.
+        let p = SensorFilterParams { redundancy: 2, ..Default::default() };
+        let net = sensor_filter_network(&p);
+        let prop = TimedReach::new(Goal::expr(goal_expr(&net)), 2.0);
+        let exact = analytic_failure_probability(&p, 2.0);
+        for kind in StrategyKind::ALL {
+            let cfg = SimConfig::default()
+                .with_accuracy(Accuracy::new(0.04, 0.1).unwrap())
+                .with_strategy(kind);
+            let r = analyze(&net, &prop, &cfg).unwrap();
+            assert!(
+                (r.probability() - exact).abs() < 0.05,
+                "strategy {kind}: {} vs {exact}",
+                r.probability()
+            );
+        }
+    }
+
+    #[test]
+    fn state_space_grows_exponentially() {
+        let count = |n: usize| {
+            let p = SensorFilterParams { redundancy: n, ..Default::default() };
+            let net = sensor_filter_network(&p);
+            let failed = net.var_id(GOAL_VAR).unwrap();
+            let goal =
+                move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
+            slim_ctmc::explore(&net, &goal, &slim_ctmc::ExploreConfig::default())
+                .unwrap()
+                .states
+        };
+        let s2 = count(2);
+        let s3 = count(3);
+        let s4 = count(4);
+        assert!(s3 > 2 * s2, "s2={s2} s3={s3}");
+        assert!(s4 > 2 * s3, "s3={s3} s4={s4}");
+    }
+
+    #[test]
+    fn analytic_formula_sane() {
+        let p = SensorFilterParams::default();
+        assert_eq!(analytic_failure_probability(&p, 0.0), 0.0);
+        let p_small = analytic_failure_probability(&p, 0.5);
+        let p_big = analytic_failure_probability(&p, 5.0);
+        assert!(p_small < p_big && p_big < 1.0);
+        let more = SensorFilterParams { redundancy: 4, ..p };
+        assert!(
+            analytic_failure_probability(&more, 2.0) < analytic_failure_probability(&p, 2.0),
+            "more redundancy, lower failure probability"
+        );
+    }
+}

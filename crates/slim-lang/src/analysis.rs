@@ -1,0 +1,385 @@
+//! Model-level static analysis: non-fatal diagnostics about a parsed
+//! model, before instantiation — the kind of validation the COMPASS
+//! front-end performs when loading a specification (§II-F).
+
+use crate::ast::{Model, Subcomponent, Trigger};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Definitely wrong; lowering would fail.
+    Error,
+    /// Suspicious but legal (dead code, unused declarations).
+    Warning,
+}
+
+/// A non-fatal finding about the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+fn warn(message: String) -> Diagnostic {
+    Diagnostic { severity: Severity::Warning, message }
+}
+
+fn error(message: String) -> Diagnostic {
+    Diagnostic { severity: Severity::Error, message }
+}
+
+/// Analyzes a parsed model, returning diagnostics (empty = clean).
+pub fn analyze_model(model: &Model) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Duplicate declarations.
+    let mut seen = HashSet::new();
+    for t in &model.types {
+        if !seen.insert(("type", t.name.clone())) {
+            out.push(error(format!("component type `{}` declared twice", t.name)));
+        }
+    }
+    let mut seen_impl = HashSet::new();
+    for i in &model.impls {
+        if !seen_impl.insert(i.name.clone()) {
+            out.push(error(format!(
+                "implementation `{}.{}` declared twice",
+                i.name.0, i.name.1
+            )));
+        }
+    }
+    let mut seen_em = HashSet::new();
+    for e in &model.error_models {
+        if !seen_em.insert(e.name.clone()) {
+            out.push(error(format!("error model `{}` declared twice", e.name)));
+        }
+    }
+
+    // Implementations without a matching type, and vice versa.
+    let type_names: HashSet<&str> = model.types.iter().map(|t| t.name.as_str()).collect();
+    for i in &model.impls {
+        if !type_names.contains(i.name.0.as_str()) {
+            out.push(error(format!(
+                "implementation `{}.{}` has no component type `{}`",
+                i.name.0, i.name.1, i.name.0
+            )));
+        }
+    }
+    let implemented: HashSet<&str> = model.impls.iter().map(|i| i.name.0.as_str()).collect();
+    for t in &model.types {
+        if !implemented.contains(t.name.as_str()) {
+            out.push(warn(format!("component type `{}` has no implementation", t.name)));
+        }
+    }
+
+    // Per-implementation structural checks.
+    for i in &model.impls {
+        let impl_name = format!("{}.{}", i.name.0, i.name.1);
+        // Subcomponent name clashes with a feature of the type.
+        if let Some(t) = model.find_type(&i.name.0) {
+            let feature_names: HashSet<&str> =
+                t.features.iter().map(|f| f.name.as_str()).collect();
+            for s in &i.subcomponents {
+                if feature_names.contains(s.name()) {
+                    out.push(error(format!(
+                        "`{impl_name}`: subcomponent `{}` shadows a feature of `{}`",
+                        s.name(),
+                        t.name
+                    )));
+                }
+            }
+        }
+        // Referenced child implementations exist.
+        for s in &i.subcomponents {
+            if let Subcomponent::Instance { name, impl_ref, .. } = s {
+                if model.find_impl(&impl_ref.0, &impl_ref.1).is_none() {
+                    out.push(error(format!(
+                        "`{impl_name}`: subcomponent `{name}` references unknown `{}.{}`",
+                        impl_ref.0, impl_ref.1
+                    )));
+                }
+            }
+        }
+        // Mode structure.
+        let initials = i.modes.iter().filter(|m| m.initial).count();
+        if !i.modes.is_empty() && initials == 0 {
+            out.push(error(format!("`{impl_name}`: no initial mode")));
+        }
+        if initials > 1 {
+            out.push(error(format!("`{impl_name}`: {initials} initial modes")));
+        }
+        if i.modes.is_empty() && !i.transitions.is_empty() {
+            out.push(error(format!("`{impl_name}`: transitions without modes")));
+        }
+        // Transitions reference existing modes; unreachable modes.
+        let mode_names: HashSet<&str> = i.modes.iter().map(|m| m.name.as_str()).collect();
+        let mut targeted: HashSet<&str> = HashSet::new();
+        for t in &i.transitions {
+            for end in [&t.from, &t.to] {
+                if !mode_names.contains(end.as_str()) {
+                    out.push(error(format!("`{impl_name}`: unknown mode `{end}`")));
+                }
+            }
+            targeted.insert(t.to.as_str());
+            if let Trigger::Rate(r) = t.trigger {
+                if r <= 0.0 {
+                    out.push(error(format!("`{impl_name}`: non-positive rate {r}")));
+                }
+            }
+        }
+        for m in &i.modes {
+            if !m.initial && !targeted.contains(m.name.as_str()) {
+                out.push(warn(format!(
+                    "`{impl_name}`: mode `{}` is unreachable (no transition targets it)",
+                    m.name
+                )));
+            }
+        }
+    }
+
+    // Error models: initial states, referenced states, reachability.
+    for e in &model.error_models {
+        let initials = e.states.iter().filter(|s| s.initial).count();
+        if initials != 1 {
+            out.push(error(format!(
+                "error model `{}`: {} initial states (need exactly 1)",
+                e.name, initials
+            )));
+        }
+        let state_names: HashSet<&str> = e.states.iter().map(|s| s.name.as_str()).collect();
+        let mut targeted: HashSet<&str> = HashSet::new();
+        for t in &e.transitions {
+            for end in [&t.from, &t.to] {
+                if !state_names.contains(end.as_str()) {
+                    out.push(error(format!(
+                        "error model `{}`: unknown state `{end}`",
+                        e.name
+                    )));
+                }
+            }
+            targeted.insert(t.to.as_str());
+        }
+        for s in &e.states {
+            if !s.initial && !targeted.contains(s.name.as_str()) {
+                out.push(warn(format!(
+                    "error model `{}`: state `{}` is unreachable",
+                    e.name, s.name
+                )));
+            }
+        }
+    }
+
+    // Injections reference existing error models and states.
+    let em_names: HashSet<&str> =
+        model.error_models.iter().map(|e| e.name.as_str()).collect();
+    for inj in &model.injections {
+        if !em_names.contains(inj.error_model.as_str()) {
+            out.push(error(format!(
+                "injection on `{}`: unknown error model `{}`",
+                inj.target, inj.error_model
+            )));
+        } else if let Some(em) = model.find_error_model(&inj.error_model) {
+            for (state, var, _) in &inj.effects {
+                if !em.states.iter().any(|s| &s.name == state) {
+                    out.push(error(format!(
+                        "injection on `{}`: error model `{}` has no state `{state}` (effect on `{var}`)",
+                        inj.target, inj.error_model
+                    )));
+                }
+            }
+        }
+    }
+
+    // Unused error models.
+    let used: HashSet<&str> =
+        model.injections.iter().map(|i| i.error_model.as_str()).collect();
+    for e in &model.error_models {
+        if !used.contains(e.name.as_str()) {
+            out.push(warn(format!(
+                "error model `{}` is never bound by a fault injection",
+                e.name
+            )));
+        }
+    }
+
+    out
+}
+
+/// True if the diagnostics contain no [`Severity::Error`].
+pub fn is_lowerable(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        analyze_model(&parse(src).unwrap())
+    }
+
+    fn errors(ds: &[Diagnostic]) -> usize {
+        ds.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    #[test]
+    fn clean_model_is_clean() {
+        let ds = diags(
+            r#"
+            device D end D;
+            device implementation D.I
+              modes
+                a: initial mode;
+                b: mode;
+              transitions
+                a -[ ]-> b;
+            end D.I;
+            "#,
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn missing_type_and_unimplemented_type() {
+        let ds = diags("device implementation D.I end D.I; device E end E;");
+        assert_eq!(errors(&ds), 1, "{ds:?}");
+        assert!(ds.iter().any(|d| d.message.contains("no component type")));
+        assert!(ds.iter().any(|d| d.message.contains("no implementation")));
+    }
+
+    #[test]
+    fn unreachable_mode_warned() {
+        let ds = diags(
+            r#"
+            device D end D;
+            device implementation D.I
+              modes
+                a: initial mode;
+                orphan: mode;
+            end D.I;
+            "#,
+        );
+        assert_eq!(errors(&ds), 0);
+        assert!(ds.iter().any(|d| d.message.contains("unreachable")));
+        assert!(is_lowerable(&ds));
+    }
+
+    #[test]
+    fn unknown_mode_reference_is_error() {
+        let ds = diags(
+            r#"
+            device D end D;
+            device implementation D.I
+              modes
+                a: initial mode;
+              transitions
+                a -[ ]-> nonexistent;
+            end D.I;
+            "#,
+        );
+        assert!(errors(&ds) >= 1);
+        assert!(!is_lowerable(&ds));
+    }
+
+    #[test]
+    fn initial_mode_counting() {
+        let none = diags("device D end D; device implementation D.I modes a: mode; end D.I;");
+        assert!(none.iter().any(|d| d.message.contains("no initial mode")));
+        let two = diags(
+            "device D end D; device implementation D.I modes a: initial mode; b: initial mode; end D.I;",
+        );
+        assert!(two.iter().any(|d| d.message.contains("2 initial modes")));
+    }
+
+    #[test]
+    fn error_model_checks() {
+        let ds = diags(
+            r#"
+            error model E
+              states
+                ok: initial state;
+                lost: state;
+              transitions
+                ok -[ rate 1.0 ]-> missing;
+            end E;
+            "#,
+        );
+        assert!(ds.iter().any(|d| d.message.contains("unknown state `missing`")));
+        assert!(ds.iter().any(|d| d.message.contains("`lost` is unreachable")));
+        assert!(ds.iter().any(|d| d.message.contains("never bound")));
+    }
+
+    #[test]
+    fn injection_checks() {
+        let ds = diags(
+            r#"
+            device D end D;
+            device implementation D.I
+              modes
+                a: initial mode;
+            end D.I;
+            error model E
+              states
+                ok: initial state;
+              transitions
+            end E;
+            fault injection on root using Nope end;
+            fault injection on root using E
+              effect ghost: root.x := true;
+            end;
+            "#,
+        );
+        assert!(ds.iter().any(|d| d.message.contains("unknown error model `Nope`")));
+        assert!(ds.iter().any(|d| d.message.contains("no state `ghost`")));
+    }
+
+    #[test]
+    fn subcomponent_shadowing_feature() {
+        let ds = diags(
+            r#"
+            device D
+              features
+                x: out data port bool;
+            end D;
+            device implementation D.I
+              subcomponents
+                x: data bool;
+              modes
+                a: initial mode;
+            end D.I;
+            "#,
+        );
+        assert!(ds.iter().any(|d| d.message.contains("shadows a feature")));
+    }
+
+    #[test]
+    fn non_positive_rate_flagged() {
+        let ds = diags(
+            r#"
+            device D end D;
+            device implementation D.I
+              modes
+                a: initial mode;
+              transitions
+                a -[ rate -2.0 ]-> a;
+            end D.I;
+            "#,
+        );
+        assert!(ds.iter().any(|d| d.message.contains("non-positive rate")));
+    }
+}

@@ -1,0 +1,385 @@
+//! Lexer for the SLIM subset.
+
+use crate::error::{LangError, LangErrorKind};
+use crate::token::{Keyword, Pos, Token, TokenKind};
+
+/// Lexes a complete source string into tokens (ending with
+/// [`TokenKind::Eof`]).
+///
+/// # Errors
+/// [`LangError`] on unexpected characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), at: 0, pos: Pos::START }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, kind: LangErrorKind) -> LangError {
+        LangError { kind, pos: self.pos }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let pos = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, pos });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => {
+                    // `]->` closes a transition label.
+                    if self.src[self.at..].starts_with(b"]->") {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        TokenKind::TransClose
+                    } else {
+                        self.single(TokenKind::RBracket)
+                    }
+                }
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'+' => self.single(TokenKind::Plus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Assign
+                    } else {
+                        TokenKind::Colon
+                    }
+                }
+                b'.' => {
+                    self.bump();
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        TokenKind::DotDot
+                    } else {
+                        TokenKind::Dot
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'[') => {
+                            self.bump();
+                            TokenKind::TransOpen
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::Arrow
+                        }
+                        _ => TokenKind::Minus,
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Implies
+                    } else {
+                        TokenKind::Eq
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        return Err(self.error(LangErrorKind::UnexpectedChar('!')));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'0'..=b'9' => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                other => {
+                    return Err(self.error(LangErrorKind::UnexpectedChar(other as char)));
+                }
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // `--` line comment.
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LangError> {
+        let start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        // A fractional part — but `..` is the range operator, not a dot.
+        let mut is_real = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_real = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = (self.at, self.pos);
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                is_real = true;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. identifier follows).
+                self.at = save.0;
+                self.pos = save.1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("ASCII digits");
+        if is_real {
+            text.parse::<f64>()
+                .map(TokenKind::Real)
+                .map_err(|_| self.error(LangErrorKind::BadNumber(text.to_string())))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| self.error(LangErrorKind::BadNumber(text.to_string())))
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.at;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).expect("ASCII word");
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x := 3;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(3),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn transition_brackets() {
+        assert_eq!(
+            kinds("m1 -[ go ]-> m2"),
+            vec![
+                TokenKind::Ident("m1".into()),
+                TokenKind::TransOpen,
+                TokenKind::Ident("go".into()),
+                TokenKind::TransClose,
+                TokenKind::Ident("m2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("a -> b - c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_real_exponent() {
+        assert_eq!(
+            kinds("42 3.5 1e-3 7"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Real(3.5),
+                TokenKind::Real(0.001),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_range_dots_not_real() {
+        assert_eq!(
+            kinds("int [1..5]"),
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::LBracket,
+                TokenKind::Int(1),
+                TokenKind::DotDot,
+                TokenKind::Int(5),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x -- this is a comment\ny"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(
+            kinds("system implementation rate when"),
+            vec![
+                TokenKind::Keyword(Keyword::System),
+                TokenKind::Keyword(Keyword::Implementation),
+                TokenKind::Keyword(Keyword::Rate),
+                TokenKind::Keyword(Keyword::When),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c != d = e => f"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Implies,
+                TokenKind::Ident("f".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn identifier_with_e_suffix_after_number() {
+        // `2e` is not an exponent — lexed as int then identifier.
+        assert_eq!(
+            kinds("2e"),
+            vec![TokenKind::Int(2), TokenKind::Ident("e".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # slim-lang
+//!
+//! Front-end for the SLIM subset (the COMPASS dialect of AADL, §II-D of
+//! *"A Statistical Approach for Timed Reachability in AADL Models"*,
+//! DSN 2015): lexer, parser, component instantiation, model extension
+//! (error-model weaving with fault injections) and lowering to the
+//! event-data automata of [`slim_automata`].
+//!
+//! The concrete grammar is documented in `docs/slim-grammar.md`.
+//!
+//! ## Example
+//!
+//! ```
+//! use slim_lang::{parser::parse, lower::lower};
+//!
+//! let model = parse(r#"
+//!     device GPS
+//!       features
+//!         fix: out data port bool := false;
+//!     end GPS;
+//!     device implementation GPS.Impl
+//!       subcomponents
+//!         c: data clock;
+//!       modes
+//!         acq: initial mode while c <= 120.0;
+//!         active: mode;
+//!       transitions
+//!         acq -[ when c >= 10.0 then fix := true ]-> active;
+//!     end GPS.Impl;
+//! "#)?;
+//! let lowered = lower(&model, "GPS", "Impl", "gps")?;
+//! assert_eq!(lowered.network.automata().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod instance;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use analysis::{analyze_model, is_lowerable, Diagnostic, Severity};
+pub use error::LangError;
+pub use lower::{lower, Lowered};
+pub use parser::parse;
+pub use pretty::pretty;

@@ -1,0 +1,319 @@
+//! Pretty-printer: AST back to concrete SLIM syntax.
+//!
+//! `parse(pretty(m)) == m` (round-trip), which the property tests in
+//! `tests/` exercise.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole model.
+pub fn pretty(model: &Model) -> String {
+    let mut out = String::new();
+    for t in &model.types {
+        pretty_type(&mut out, t);
+    }
+    for i in &model.impls {
+        pretty_impl(&mut out, i);
+    }
+    for e in &model.error_models {
+        pretty_error_model(&mut out, e);
+    }
+    for fi in &model.injections {
+        pretty_injection(&mut out, fi);
+    }
+    out
+}
+
+fn pretty_type(out: &mut String, t: &ComponentType) {
+    let _ = writeln!(out, "{} {}", t.category, t.name);
+    if !t.features.is_empty() {
+        let _ = writeln!(out, "  features");
+        for f in &t.features {
+            let dir = match f.direction {
+                Direction::In => "in",
+                Direction::Out => "out",
+            };
+            match (&f.data, &f.default) {
+                (None, _) => {
+                    let _ = writeln!(out, "    {}: {} event port;", f.name, dir);
+                }
+                (Some(ty), None) => {
+                    let _ = writeln!(out, "    {}: {} data port {};", f.name, dir, ty_str(*ty));
+                }
+                (Some(ty), Some(d)) => {
+                    let _ = writeln!(
+                        out,
+                        "    {}: {} data port {} := {};",
+                        f.name,
+                        dir,
+                        ty_str(*ty),
+                        lit_str(*d)
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "end {};", t.name);
+}
+
+fn pretty_impl(out: &mut String, i: &ComponentImpl) {
+    let _ = writeln!(out, "{} implementation {}.{}", i.category, i.name.0, i.name.1);
+    if !i.subcomponents.is_empty() {
+        let _ = writeln!(out, "  subcomponents");
+        for s in &i.subcomponents {
+            match s {
+                Subcomponent::Data { name, ty, init } => match init {
+                    Some(v) => {
+                        let _ = writeln!(out, "    {name}: data {} := {};", ty_str(*ty), lit_str(*v));
+                    }
+                    None => {
+                        let _ = writeln!(out, "    {name}: data {};", ty_str(*ty));
+                    }
+                },
+                Subcomponent::Instance { name, category, impl_ref } => {
+                    let _ =
+                        writeln!(out, "    {name}: {category} {}.{};", impl_ref.0, impl_ref.1);
+                }
+            }
+        }
+    }
+    if !i.connections.is_empty() {
+        let _ = writeln!(out, "  connections");
+        for c in &i.connections {
+            let _ = writeln!(out, "    port {} -> {};", c.from, c.to);
+        }
+    }
+    if !i.flows.is_empty() {
+        let _ = writeln!(out, "  flows");
+        for f in &i.flows {
+            let _ = writeln!(out, "    {} := {};", f.target, expr_str(&f.expr));
+        }
+    }
+    if !i.modes.is_empty() {
+        let _ = writeln!(out, "  modes");
+        for m in &i.modes {
+            let mut line = format!("    {}: ", m.name);
+            if m.initial {
+                line.push_str("initial ");
+            }
+            line.push_str("mode");
+            if let Some(inv) = &m.invariant {
+                let _ = write!(line, " while {}", expr_str(inv));
+            }
+            for (v, r) in &m.derivatives {
+                let _ = write!(line, " der {v} = {}", num_str(*r));
+            }
+            let _ = writeln!(out, "{line};");
+        }
+    }
+    if !i.transitions.is_empty() {
+        let _ = writeln!(out, "  transitions");
+        for t in &i.transitions {
+            let mut label = String::new();
+            if t.urgent {
+                label.push_str("urgent");
+            }
+            match &t.trigger {
+                Trigger::Internal => {}
+                Trigger::Port(q) => {
+                    if !label.is_empty() {
+                        label.push(' ');
+                    }
+                    let _ = write!(label, "{q}");
+                }
+                Trigger::Rate(r) => {
+                    if !label.is_empty() {
+                        label.push(' ');
+                    }
+                    let _ = write!(label, "rate {}", num_str(*r));
+                }
+            }
+            if let Some(g) = &t.guard {
+                if !label.is_empty() {
+                    label.push(' ');
+                }
+                let _ = write!(label, "when {}", expr_str(g));
+            }
+            if !t.effects.is_empty() {
+                if !label.is_empty() {
+                    label.push(' ');
+                }
+                label.push_str("then ");
+                for (k, (q, e)) in t.effects.iter().enumerate() {
+                    if k > 0 {
+                        label.push_str(", ");
+                    }
+                    let _ = write!(label, "{q} := {}", expr_str(e));
+                }
+            }
+            let _ = writeln!(out, "    {} -[ {} ]-> {};", t.from, label, t.to);
+        }
+    }
+    let _ = writeln!(out, "end {}.{};", i.name.0, i.name.1);
+}
+
+fn pretty_error_model(out: &mut String, e: &ErrorModel) {
+    let _ = writeln!(out, "error model {}", e.name);
+    let _ = writeln!(out, "  states");
+    for s in &e.states {
+        let mut line = format!("    {}: ", s.name);
+        if s.initial {
+            line.push_str("initial ");
+        }
+        line.push_str("state");
+        if let Some(inv) = &s.invariant {
+            let _ = write!(line, " while {}", expr_str(inv));
+        }
+        let _ = writeln!(out, "{line};");
+    }
+    let _ = writeln!(out, "  transitions");
+    for t in &e.transitions {
+        let trig = match &t.trigger {
+            ErrorTrigger::Rate(r) => format!("rate {}", num_str(*r)),
+            ErrorTrigger::When(g) => format!("when {}", expr_str(g)),
+            ErrorTrigger::Propagation(p) => p.clone(),
+        };
+        let _ = writeln!(out, "    {} -[ {} ]-> {};", t.from, trig, t.to);
+    }
+    let _ = writeln!(out, "end {};", e.name);
+}
+
+fn pretty_injection(out: &mut String, fi: &FaultInjection) {
+    let _ = writeln!(out, "fault injection on {} using {}", fi.target, fi.error_model);
+    for (state, var, value) in &fi.effects {
+        let _ = writeln!(out, "  effect {state}: {var} := {};", lit_str(*value));
+    }
+    let _ = writeln!(out, "end;");
+}
+
+fn ty_str(ty: DataType) -> String {
+    match ty {
+        DataType::Bool => "bool".into(),
+        DataType::Int(None) => "int".into(),
+        DataType::Int(Some((lo, hi))) => format!("int [{lo}..{hi}]"),
+        DataType::Real => "real".into(),
+        DataType::Clock => "clock".into(),
+        DataType::Continuous => "continuous".into(),
+    }
+}
+
+fn lit_str(l: Literal) -> String {
+    match l {
+        Literal::Bool(b) => b.to_string(),
+        Literal::Int(i) => i.to_string(),
+        Literal::Real(r) => num_str(r),
+    }
+}
+
+/// Formats a real so it re-lexes as a real (forces a decimal point).
+fn num_str(r: f64) -> String {
+    if r == r.trunc() && r.abs() < 1e15 {
+        format!("{r:.1}")
+    } else {
+        format!("{r}")
+    }
+}
+
+/// Renders an expression (fully parenthesized to stay precedence-safe).
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Lit(l) => lit_str(*l),
+        Expr::Name(q) => q.to_string(),
+        Expr::Not(x) => format!("(not {})", expr_str(x)),
+        Expr::Neg(x) => format!("(-{})", expr_str(x)),
+        Expr::Bin(BinOp::Min, a, b) => format!("min({}, {})", expr_str(a), expr_str(b)),
+        Expr::Bin(BinOp::Max, a, b) => format!("max({}, {})", expr_str(a), expr_str(b)),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+                BinOp::Xor => "xor",
+                BinOp::Implies => "=>",
+                BinOp::Eq => "=",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Min | BinOp::Max => unreachable!("handled above"),
+            };
+            format!("({} {} {})", expr_str(a), sym, expr_str(b))
+        }
+        Expr::Ite(c, t, els) => {
+            format!("(if {} then {} else {})", expr_str(c), expr_str(t), expr_str(els))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SAMPLE: &str = r#"
+        device GPS
+          features
+            activate: in event port;
+            fix: out data port bool := false;
+        end GPS;
+        device implementation GPS.Impl
+          subcomponents
+            c: data clock;
+          modes
+            acq: initial mode while c <= 120.0;
+            active: mode;
+          transitions
+            acq -[ when c >= 10.0 then fix := true ]-> active;
+            active -[ rate 0.5 ]-> acq;
+        end GPS.Impl;
+        error model E
+          states
+            ok: initial state;
+            bad: state while c <= 300.0;
+          transitions
+            ok -[ rate 0.1 ]-> bad;
+            bad -[ when c >= 200.0 ]-> ok;
+            bad -[ boom ]-> ok;
+        end E;
+        fault injection on root using E
+          effect bad: root.fix := false;
+        end;
+    "#;
+
+    #[test]
+    fn round_trip_sample() {
+        let m1 = parse(SAMPLE).unwrap();
+        let printed = pretty(&m1);
+        let m2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn double_round_trip_is_fixed_point() {
+        let m1 = parse(SAMPLE).unwrap();
+        let p1 = pretty(&m1);
+        let p2 = pretty(&parse(&p1).unwrap());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn reals_keep_decimal_point() {
+        assert_eq!(num_str(3.0), "3.0");
+        assert_eq!(num_str(0.001), "0.001");
+        assert_eq!(lit_str(Literal::Real(2.0)), "2.0");
+    }
+
+    #[test]
+    fn expr_rendering_parenthesized() {
+        let m = parse(
+            "system implementation T.I flows x := a + b * c; end T.I;",
+        )
+        .unwrap();
+        let s = expr_str(&m.impls[0].flows[0].expr);
+        assert_eq!(s, "(a + (b * c))");
+    }
+}

@@ -1,0 +1,241 @@
+//! Tokens of the SLIM subset.
+
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of a file.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexed token with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Keyword.
+    Keyword(Keyword),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `:`.
+    Colon,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `..`.
+    DotDot,
+    /// `:=`.
+    Assign,
+    /// `->`.
+    Arrow,
+    /// `-[`.
+    TransOpen,
+    /// `]->`.
+    TransClose,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `=>`.
+    Implies,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Real(r) => write!(f, "real {r}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::TransOpen => write!(f, "`-[`"),
+            TokenKind::TransClose => write!(f, "`]->`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Implies => write!(f, "`=>`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words of the SLIM subset.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Parses a keyword from identifier text.
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The concrete spelling.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text),+
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    System => "system",
+    Device => "device",
+    Process => "process",
+    Processor => "processor",
+    Bus => "bus",
+    Thread => "thread",
+    Memory => "memory",
+    Abstract => "abstract",
+    Implementation => "implementation",
+    Features => "features",
+    Subcomponents => "subcomponents",
+    Connections => "connections",
+    Flows => "flows",
+    Modes => "modes",
+    Transitions => "transitions",
+    End => "end",
+    In => "in",
+    Out => "out",
+    Event => "event",
+    Data => "data",
+    Port => "port",
+    Bool => "bool",
+    Int => "int",
+    Real => "real",
+    Clock => "clock",
+    Continuous => "continuous",
+    Initial => "initial",
+    Mode => "mode",
+    While => "while",
+    Der => "der",
+    When => "when",
+    Urgent => "urgent",
+    Then => "then",
+    Rate => "rate",
+    Error => "error",
+    Model => "model",
+    States => "states",
+    State => "state",
+    Fault => "fault",
+    Injection => "injection",
+    On => "on",
+    Using => "using",
+    Effect => "effect",
+    True => "true",
+    False => "false",
+    And => "and",
+    Or => "or",
+    Xor => "xor",
+    Not => "not",
+    Min => "min",
+    Max => "max",
+    If => "if",
+    Else => "else",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::System, Keyword::Rate, Keyword::Else, Keyword::Continuous] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("notakeyword"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::TransClose.to_string(), "`]->`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(Pos { line: 3, col: 7 }.to_string(), "3:7");
+    }
+}

@@ -1,0 +1,270 @@
+//! Sequential generators: Gauss (CLT) and Chow–Robbins stopping rules.
+//!
+//! §III-A of the paper names Chow–Robbins and Gauss as future alternatives
+//! to the Chernoff–Hoeffding bound (citing its \[20\]); the parallel
+//! collector (§III-C) is explicitly designed so these *sequential* rules —
+//! whose total sample count is not known a priori — stay unbiased. We
+//! implement both.
+
+use crate::chernoff::Accuracy;
+use crate::estimator::{Estimate, Generator};
+use crate::math::normal_quantile;
+
+/// Minimum samples before a sequential rule may stop (guards against
+/// degenerate early stopping when the first few samples agree).
+pub const MIN_SAMPLES: u64 = 50;
+
+/// CLT-based ("Gauss") sequential generator: stops once the normal-theory
+/// confidence interval half-width drops below ε.
+///
+/// The half-width is `z · σ̂ / √n` with `σ̂² = p̂(1−p̂)` (plus a continuity
+/// floor so all-equal prefixes do not stop instantly).
+#[derive(Debug, Clone)]
+pub struct Gauss {
+    accuracy: Accuracy,
+    z: f64,
+    samples: u64,
+    successes: u64,
+}
+
+impl Gauss {
+    /// Creates the generator for the given accuracy.
+    pub fn new(accuracy: Accuracy) -> Gauss {
+        let z = normal_quantile(1.0 - accuracy.delta() / 2.0);
+        Gauss { accuracy, z, samples: 0, successes: 0 }
+    }
+
+    fn half_width(&self) -> f64 {
+        if self.samples == 0 {
+            return f64::INFINITY;
+        }
+        let n = self.samples as f64;
+        let p = self.successes as f64 / n;
+        // Variance floor 1/n keeps the rule honest on all-0/all-1 prefixes
+        // (same device as the Chow–Robbins rule below).
+        let var = (p * (1.0 - p)).max(1.0 / n);
+        self.z * (var / n).sqrt()
+    }
+}
+
+impl Generator for Gauss {
+    fn add(&mut self, success: bool) {
+        self.samples += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.samples >= MIN_SAMPLES && self.half_width() <= self.accuracy.epsilon()
+    }
+
+    fn estimate(&self) -> Estimate {
+        let mean =
+            if self.samples == 0 { 0.0 } else { self.successes as f64 / self.samples as f64 };
+        Estimate {
+            mean,
+            samples: self.samples,
+            successes: self.successes,
+            epsilon: self.half_width().min(self.accuracy.epsilon()),
+            confidence: self.accuracy.confidence(),
+        }
+    }
+
+    fn known_target(&self) -> Option<u64> {
+        None
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Chow–Robbins (1965) sequential fixed-width interval rule: stop at the
+/// first `n ≥ MIN_SAMPLES` with
+///
+/// ```text
+/// n ≥ (z/ε)² · (S²_n + 1/n)
+/// ```
+///
+/// where `S²_n` is the sample variance. Asymptotically the interval
+/// `p̂ ± ε` has the requested coverage.
+#[derive(Debug, Clone)]
+pub struct ChowRobbins {
+    accuracy: Accuracy,
+    z: f64,
+    samples: u64,
+    successes: u64,
+}
+
+impl ChowRobbins {
+    /// Creates the generator for the given accuracy.
+    pub fn new(accuracy: Accuracy) -> ChowRobbins {
+        let z = normal_quantile(1.0 - accuracy.delta() / 2.0);
+        ChowRobbins { accuracy, z, samples: 0, successes: 0 }
+    }
+
+    fn sample_variance(&self) -> f64 {
+        if self.samples < 2 {
+            return 0.25; // Bernoulli worst case until we know better
+        }
+        let n = self.samples as f64;
+        let p = self.successes as f64 / n;
+        // For Bernoulli data, S² = n/(n−1) · p(1−p).
+        n / (n - 1.0) * p * (1.0 - p)
+    }
+}
+
+impl Generator for ChowRobbins {
+    fn add(&mut self, success: bool) {
+        self.samples += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        if self.samples < MIN_SAMPLES {
+            return false;
+        }
+        let n = self.samples as f64;
+        let bound = (self.z / self.accuracy.epsilon()).powi(2) * (self.sample_variance() + 1.0 / n);
+        n >= bound
+    }
+
+    fn estimate(&self) -> Estimate {
+        let mean =
+            if self.samples == 0 { 0.0 } else { self.successes as f64 / self.samples as f64 };
+        Estimate {
+            mean,
+            samples: self.samples,
+            successes: self.successes,
+            epsilon: self.accuracy.epsilon(),
+            confidence: self.accuracy.confidence(),
+        }
+    }
+
+    fn known_target(&self) -> Option<u64> {
+        None
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Which generator to use — the user-facing knob mirroring the paper's
+/// tool options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// Chernoff–Hoeffding fixed-sample bound (the paper's implementation).
+    ChernoffHoeffding,
+    /// CLT-based sequential stopping.
+    Gauss,
+    /// Chow–Robbins sequential fixed-width rule.
+    ChowRobbins,
+}
+
+impl GeneratorKind {
+    /// Instantiates the generator.
+    pub fn instantiate(self, accuracy: Accuracy) -> Box<dyn Generator> {
+        match self {
+            GeneratorKind::ChernoffHoeffding => {
+                Box::new(crate::estimator::ChernoffHoeffding::new(accuracy))
+            }
+            GeneratorKind::Gauss => Box::new(Gauss::new(accuracy)),
+            GeneratorKind::ChowRobbins => Box::new(ChowRobbins::new(accuracy)),
+        }
+    }
+
+    /// All kinds, for sweeps.
+    pub const ALL: [GeneratorKind; 3] =
+        [GeneratorKind::ChernoffHoeffding, GeneratorKind::Gauss, GeneratorKind::ChowRobbins];
+}
+
+impl std::fmt::Display for GeneratorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeneratorKind::ChernoffHoeffding => write!(f, "chernoff-hoeffding"),
+            GeneratorKind::Gauss => write!(f, "gauss"),
+            GeneratorKind::ChowRobbins => write!(f, "chow-robbins"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_bernoulli(g: &mut dyn Generator, p: f64, seed: u64, cap: u64) -> u64 {
+        // Tiny deterministic LCG; good enough to drive stopping rules.
+        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut n = 0;
+        while !g.is_complete() && n < cap {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            g.add(u < p);
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn gauss_stops_and_is_accurate() {
+        let acc = Accuracy::new(0.02, 0.05).unwrap();
+        let mut g = Gauss::new(acc);
+        let n = feed_bernoulli(&mut g, 0.3, 42, 1_000_000);
+        assert!(g.is_complete(), "did not stop within cap");
+        let e = g.estimate();
+        assert!((e.mean - 0.3).abs() < 0.03, "mean {}", e.mean);
+        // CLT should need far fewer samples than CH for mid-range p.
+        let ch = acc.chernoff_samples();
+        assert!(n < ch, "gauss used {n} >= CH {ch}");
+    }
+
+    #[test]
+    fn gauss_does_not_stop_before_min_samples() {
+        let acc = Accuracy::new(0.5, 0.5).unwrap();
+        let mut g = Gauss::new(acc);
+        for _ in 0..(MIN_SAMPLES - 1) {
+            g.add(true);
+            assert!(!g.is_complete());
+        }
+    }
+
+    #[test]
+    fn chow_robbins_stops_with_small_variance_faster() {
+        let acc = Accuracy::new(0.02, 0.05).unwrap();
+        let mut low = ChowRobbins::new(acc);
+        let n_low = feed_bernoulli(&mut low, 0.02, 7, 1_000_000);
+        let mut mid = ChowRobbins::new(acc);
+        let n_mid = feed_bernoulli(&mut mid, 0.5, 7, 1_000_000);
+        assert!(low.is_complete() && mid.is_complete());
+        assert!(n_low < n_mid, "variance-adaptive: {n_low} !< {n_mid}");
+    }
+
+    #[test]
+    fn chow_robbins_estimate_reasonable() {
+        let acc = Accuracy::new(0.02, 0.05).unwrap();
+        let mut g = ChowRobbins::new(acc);
+        feed_bernoulli(&mut g, 0.7, 99, 1_000_000);
+        let e = g.estimate();
+        assert!((e.mean - 0.7).abs() < 0.05, "mean {}", e.mean);
+        assert!(e.samples >= MIN_SAMPLES);
+    }
+
+    #[test]
+    fn kinds_instantiate() {
+        for kind in GeneratorKind::ALL {
+            let mut g = kind.instantiate(Accuracy::default());
+            g.add(true);
+            assert_eq!(g.samples(), 1);
+            assert!(!kind.to_string().is_empty());
+        }
+        assert_eq!(
+            GeneratorKind::ChernoffHoeffding.instantiate(Accuracy::default()).known_target(),
+            Some(Accuracy::default().chernoff_samples())
+        );
+        assert_eq!(GeneratorKind::Gauss.instantiate(Accuracy::default()).known_target(), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! Weighted (importance-sampling) estimation with a relative-precision
+//! stopping rule.
+//!
+//! Rare events (§VI of the paper) are out of reach for plain Monte Carlo:
+//! at `p ≈ 10⁻⁷` an absolute ε of 0.01 says nothing. Importance sampling
+//! biases the model to make the event likely and corrects each sample
+//! with its likelihood ratio `w`; the estimator is `p̂ = (1/N) Σ wᵢXᵢ`,
+//! unbiased for the true probability. Accuracy is then controlled
+//! *relatively*: stop when the CLT half-width drops below
+//! `rel_err · p̂`.
+
+use crate::math::normal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// Result of a weighted estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedEstimate {
+    /// Point estimate `p̂ = (1/N) Σ wᵢXᵢ`.
+    pub mean: f64,
+    /// Total samples.
+    pub samples: u64,
+    /// Samples with `X = 1` (event observed under the biased measure).
+    pub hits: u64,
+    /// CLT half-width of the confidence interval.
+    pub half_width: f64,
+    /// Confidence level used for the half-width.
+    pub confidence: f64,
+    /// Effective sample size `(Σw)²/Σw²` over the *contributing* weights —
+    /// a diagnostic for degenerate weight distributions.
+    pub effective_samples: f64,
+}
+
+impl WeightedEstimate {
+    /// Relative half-width (`∞` while the mean is zero).
+    pub fn relative_error(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.half_width / self.mean
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for WeightedEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p ≈ {:.6e} ± {:.2e} ({} samples, {} hits, {:.1}% confidence, ESS {:.0})",
+            self.mean,
+            self.half_width,
+            self.samples,
+            self.hits,
+            self.confidence * 100.0,
+            self.effective_samples
+        )
+    }
+}
+
+/// Sequential weighted estimator with relative-precision stopping.
+#[derive(Debug, Clone)]
+pub struct WeightedEstimator {
+    rel_err: f64,
+    confidence: f64,
+    z: f64,
+    min_samples: u64,
+    n: u64,
+    hits: u64,
+    sum: f64,    // Σ wᵢXᵢ
+    sum_sq: f64, // Σ (wᵢXᵢ)²
+}
+
+impl WeightedEstimator {
+    /// Creates the estimator.
+    ///
+    /// # Panics
+    /// Panics unless `0 < rel_err` and `0 < confidence < 1`.
+    pub fn new(rel_err: f64, confidence: f64) -> WeightedEstimator {
+        assert!(rel_err > 0.0, "relative error must be positive");
+        assert!(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+        WeightedEstimator {
+            rel_err,
+            confidence,
+            z: normal_quantile(0.5 + confidence / 2.0),
+            min_samples: 100,
+            n: 0,
+            hits: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Feeds one sample: event indicator and its likelihood ratio.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite weights.
+    pub fn add(&mut self, success: bool, weight: f64) {
+        assert!(weight.is_finite() && weight >= 0.0, "bad weight {weight}");
+        self.n += 1;
+        if success {
+            self.hits += 1;
+            self.sum += weight;
+            self.sum_sq += weight * weight;
+        }
+    }
+
+    /// Samples fed so far.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// True once the relative precision target is met (needs a handful of
+    /// hits first; a single hit cannot certify anything).
+    pub fn is_complete(&self) -> bool {
+        self.n >= self.min_samples && self.hits >= 10 && {
+            let e = self.estimate();
+            e.relative_error() <= self.rel_err
+        }
+    }
+
+    /// Current estimate.
+    pub fn estimate(&self) -> WeightedEstimate {
+        let n = self.n.max(1) as f64;
+        let mean = self.sum / n;
+        let var = (self.sum_sq / n - mean * mean).max(0.0);
+        let half_width = self.z * (var / n).sqrt();
+        let effective_samples = if self.sum_sq > 0.0 {
+            self.sum * self.sum / self.sum_sq
+        } else {
+            0.0
+        };
+        WeightedEstimate {
+            mean,
+            samples: self.n,
+            hits: self.hits,
+            half_width,
+            confidence: self.confidence,
+            effective_samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_matches_plain_mean() {
+        let mut e = WeightedEstimator::new(0.5, 0.95);
+        for i in 0..1000 {
+            e.add(i % 4 == 0, 1.0);
+        }
+        let est = e.estimate();
+        assert!((est.mean - 0.25).abs() < 1e-9);
+        assert_eq!(est.hits, 250);
+        assert!((est.effective_samples - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_scale_the_estimate() {
+        // Every hit carries weight 0.01: estimating a rare probability
+        // from a boosted measure where the event happens half the time.
+        let mut e = WeightedEstimator::new(0.5, 0.95);
+        for i in 0..10_000 {
+            e.add(i % 2 == 0, 0.01);
+        }
+        let est = e.estimate();
+        assert!((est.mean - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopping_requires_hits_and_precision() {
+        let mut e = WeightedEstimator::new(0.1, 0.95);
+        for _ in 0..99 {
+            e.add(true, 1.0);
+        }
+        assert!(!e.is_complete(), "needs min samples");
+        for _ in 0..500 {
+            e.add(true, 1.0);
+        }
+        // Zero variance: complete as soon as the floors are passed.
+        assert!(e.is_complete());
+
+        let mut never = WeightedEstimator::new(0.1, 0.95);
+        for _ in 0..10_000 {
+            never.add(false, 1.0);
+        }
+        assert!(!never.is_complete(), "no hits, no certificate");
+        assert_eq!(never.estimate().relative_error(), f64::INFINITY);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_samples() {
+        let mut a = WeightedEstimator::new(0.01, 0.95);
+        let mut b = WeightedEstimator::new(0.01, 0.95);
+        let mut x = 7u64;
+        let mut coin = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 30) & 1 == 0
+        };
+        for _ in 0..1_000 {
+            a.add(coin(), 0.5);
+        }
+        for _ in 0..100_000 {
+            b.add(coin(), 0.5);
+        }
+        assert!(b.estimate().half_width < a.estimate().half_width / 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_bad_weight() {
+        WeightedEstimator::new(0.1, 0.95).add(true, f64::NAN);
+    }
+
+    #[test]
+    fn display_mentions_ess() {
+        let mut e = WeightedEstimator::new(0.1, 0.95);
+        e.add(true, 0.5);
+        assert!(e.estimate().to_string().contains("ESS"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a tiny stochastic timed model with the API, check a
+//! timed reachability property with every strategy, and compare against
+//! the analytic answer.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use slimsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- model -----------------------------------------------------------
+    // A pump that fails with rate λ = 0.5/h. After a fault the repair crew
+    // fixes it within 1 to 2 hours (a non-deterministic window). We ask:
+    // what is the probability the pump is ever down for observation at
+    // some point within the first 4 hours? (Trivially linked to the first
+    // fault: P = 1 − e^{−λu}.)
+    let mut b = NetworkBuilder::new();
+    let down = b.var("pump.down", VarType::Bool, Value::Bool(false));
+    let c = b.var("pump.repair_clock", VarType::Clock, Value::Real(0.0));
+
+    let mut pump = AutomatonBuilder::new("pump");
+    let running = pump.location("running");
+    let broken =
+        pump.location_with("broken", Expr::var(c).le(Expr::real(2.0)), []);
+    pump.markovian(
+        running,
+        0.5,
+        [Effect::assign(down, Expr::bool(true)), Effect::assign(c, Expr::real(0.0))],
+        broken,
+    );
+    let repair_window =
+        Expr::var(c).ge(Expr::real(1.0)).and(Expr::var(c).le(Expr::real(2.0)));
+    pump.guarded(
+        broken,
+        ActionId::TAU,
+        repair_window,
+        [Effect::assign(down, Expr::bool(false))],
+        running,
+    );
+    b.add_automaton(pump);
+    let net = b.build()?;
+
+    // --- property ---------------------------------------------------------
+    let property = TimedReach::new(Goal::expr(Expr::var(down)), 4.0);
+    let exact = 1.0 - (-0.5f64 * 4.0).exp();
+
+    // --- analysis ----------------------------------------------------------
+    println!("P(◇[0,4] pump.down), exact = {exact:.4}");
+    println!("{:<14} {:>10} {:>10} {:>12}", "strategy", "estimate", "paths", "wall");
+    for strategy in StrategyKind::ALL {
+        let config = SimConfig::default()
+            .with_accuracy(Accuracy::new(0.01, 0.05)?)
+            .with_strategy(strategy)
+            .with_workers(4);
+        let result = analyze(&net, &property, &config)?;
+        println!(
+            "{:<14} {:>10.4} {:>10} {:>10.0?}",
+            strategy.to_string(),
+            result.probability(),
+            result.estimate.samples,
+            result.wall
+        );
+    }
+    println!("\n(The goal only depends on the Markovian fault, so all four");
+    println!(" strategies estimate the same probability — §V-d left graph.)");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Rare-event analysis (§VI): estimating a ~10⁻⁹ failure probability by
+//! importance sampling — boosted fault rates with exact likelihood-ratio
+//! correction — where plain Monte Carlo would need billions of paths.
+//!
+//! Run with `cargo run --release --example rare_event`.
+
+use slim_models::sensor_filter::{
+    analytic_failure_probability, sensor_filter_network, SensorFilterParams, GOAL_VAR,
+};
+use slimsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Short mission, quadruple redundancy: failure needs 4 near-simultaneous
+    // faults per bank — astronomically rare.
+    let params = SensorFilterParams { redundancy: 4, ..Default::default() };
+    let net = sensor_filter_network(&params);
+    let failed = net.var_id(GOAL_VAR).expect("goal variable");
+    let bound = 0.01;
+    let property = TimedReach::new(Goal::expr(Expr::var(failed)), bound);
+    let exact = analytic_failure_probability(&params, bound);
+    println!("P(◇[0,{bound}] system_failed), analytic = {exact:.3e}");
+    println!("(plain Monte Carlo at this p needs ~{:.0e} paths per hit)\n", 1.0 / exact);
+
+    println!(
+        "{:>8} {:>12} {:>8} {:>14} {:>10} {:>10}",
+        "boost", "paths", "hits", "estimate", "rel.err", "ESS"
+    );
+    for boost in [100.0, 300.0, 1000.0] {
+        let config = RareEventConfig {
+            boost,
+            rel_err: 0.15,
+            max_paths: 200_000,
+            seed: 42,
+            ..Default::default()
+        };
+        let r = analyze_rare(&net, &property, &config)?;
+        println!(
+            "{:>8} {:>12} {:>8} {:>14.3e} {:>10.3} {:>10.0}{}",
+            boost,
+            r.estimate.samples,
+            r.estimate.hits,
+            r.estimate.mean,
+            (r.estimate.mean - exact).abs() / exact,
+            r.estimate.effective_samples,
+            if r.converged { "" } else { "  (not converged)" },
+        );
+    }
+    println!("\nAll boosts estimate the same true probability (unbiasedness);");
+    println!("too large a boost degrades the effective sample size (weight");
+    println!("degeneracy) — the classic importance-sampling trade-off.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # slimsim
+//!
+//! A Rust reproduction of **slimsim** — the statistical model checker for
+//! AADL/SLIM models from *"A Statistical Approach for Timed Reachability
+//! in AADL Models"* (Bruintjes, Katoen, Lesens; DSN 2015).
+//!
+//! `slimsim` estimates timed reachability probabilities `P(◇[0,u] goal)`
+//! on linear-hybrid, stochastic models by Monte Carlo simulation, with
+//! pluggable strategies resolving the model's non-determinism and
+//! Chernoff–Hoeffding (or sequential) stopping rules. This umbrella crate
+//! re-exports the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`automata`] | event-data automata, interval solver, network semantics |
+//! | [`stats`] | CH bound, Gauss/Chow–Robbins generators, bias-free parallel collection |
+//! | [`core`] | the simulator: strategies, path generation, runner |
+//! | [`ctmc`] | the CTMC baseline pipeline (explore → lump → uniformization) |
+//! | [`lang`] | the SLIM front-end: parser, model extension, lowering |
+//! | [`models`] | the paper's models: GPS, sensor–filter, launcher |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use slimsim::prelude::*;
+//!
+//! // A component that fails with rate 1 per hour.
+//! let mut b = NetworkBuilder::new();
+//! let mut a = AutomatonBuilder::new("unit");
+//! let ok = a.location("ok");
+//! let failed = a.location("failed");
+//! a.markovian(ok, 1.0, [], failed);
+//! b.add_automaton(a);
+//! let net = b.build()?;
+//!
+//! let goal = Goal::in_location(&net, "unit", "failed").unwrap();
+//! let property = TimedReach::new(goal, 1.0);
+//! let result = analyze(&net, &property, &SimConfig::default())?;
+//! println!("{}", result.estimate); // ≈ 1 − e⁻¹
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and
+//! `EXPERIMENTS.md` for the paper-reproduction harness.
+
+#![warn(missing_docs)]
+
+pub use slim_automata as automata;
+pub use slim_ctmc as ctmc;
+pub use slim_lang as lang;
+pub use slim_models as models;
+pub use slim_stats as stats;
+pub use slimsim_core as core;
+
+/// One-stop import for applications: network building, simulation,
+/// properties and statistics.
+pub mod prelude {
+    pub use slim_automata::prelude::*;
+    pub use slim_stats::{Accuracy, Estimate, GeneratorKind};
+    pub use slimsim_core::prelude::*;
+}

@@ -1,0 +1,202 @@
+//! Closed-form validation: models whose timed reachability probability is
+//! known analytically, checked against the simulator (and, where the
+//! model is untimed, the CTMC pipeline).
+
+use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
+use slimsim::prelude::*;
+
+fn analyze_with(net: &Network, prop: &TimedReach, strategy: StrategyKind, eps: f64) -> f64 {
+    let cfg = SimConfig::default()
+        .with_accuracy(Accuracy::new(eps, 0.05).unwrap())
+        .with_strategy(strategy)
+        .with_seed(2024);
+    analyze(net, prop, &cfg).unwrap().probability()
+}
+
+/// Erlang-2 first passage through two chained automata coupled by a flag:
+/// stage 2 only starts after stage 1 completes.
+#[test]
+fn erlang_two_stage_first_passage() {
+    let lambda = 2.0;
+    let mut b = NetworkBuilder::new();
+    let stage1_done = b.var("stage1_done", VarType::Bool, Value::Bool(false));
+
+    let mut s1 = AutomatonBuilder::new("stage1");
+    let a0 = s1.location("running");
+    let a1 = s1.location("done");
+    s1.markovian(a0, lambda, [Effect::assign(stage1_done, Expr::bool(true))], a1);
+    b.add_automaton(s1);
+
+    // Stage 2: an urgent guard releases it once stage 1 completes; its
+    // own exponential then runs.
+    let mut s2 = AutomatonBuilder::new("stage2");
+    let w0 = s2.location("waiting");
+    let w1 = s2.location("running");
+    let w2 = s2.location("done");
+    s2.guarded_urgent(w0, ActionId::TAU, Expr::var(stage1_done), [], w1);
+    s2.markovian(w1, lambda, [], w2);
+    b.add_automaton(s2);
+    let net = b.build().unwrap();
+
+    let goal = Goal::in_location(&net, "stage2", "done").unwrap();
+    for t in [0.5, 1.0, 2.0] {
+        let prop = TimedReach::new(goal.clone(), t);
+        let exact = 1.0 - (-lambda * t as f64).exp() * (1.0 + lambda * t);
+        let p = analyze_with(&net, &prop, StrategyKind::Asap, 0.02);
+        assert!((p - exact).abs() < 0.03, "t={t}: {p} vs Erlang {exact}");
+
+        // The model is untimed — the CTMC pipeline must agree exactly.
+        let done = net.loc_id("stage2", "done").unwrap();
+        let goal_fn = move |s: &NetState| Ok(s.locs[done.0 .0] == done.1);
+        let ctmc =
+            check_timed_reachability(&net, &goal_fn, t, &PipelineConfig::default()).unwrap();
+        assert!((ctmc.probability - exact).abs() < 1e-7, "t={t}: ctmc {}", ctmc.probability);
+    }
+}
+
+/// Parallel independent faults: P(any fails by t) = 1 − ∏ e^{−λᵢt}.
+#[test]
+fn independent_fault_race() {
+    let rates = [0.3, 0.7, 1.1];
+    let mut b = NetworkBuilder::new();
+    let mut flags = Vec::new();
+    for (i, &r) in rates.iter().enumerate() {
+        let flag = b.var(format!("f{i}"), VarType::Bool, Value::Bool(false));
+        flags.push(flag);
+        let mut a = AutomatonBuilder::new(format!("unit{i}"));
+        let ok = a.location("ok");
+        let dead = a.location("dead");
+        a.markovian(ok, r, [Effect::assign(flag, Expr::bool(true))], dead);
+        b.add_automaton(a);
+    }
+    let net = b.build().unwrap();
+    let any = Goal::expr(Expr::any(flags.iter().map(|&f| Expr::var(f))));
+    let t = 0.8;
+    let prop = TimedReach::new(any, t);
+    let exact = 1.0 - (-(rates.iter().sum::<f64>()) * t).exp();
+    let p = analyze_with(&net, &prop, StrategyKind::Progressive, 0.02);
+    assert!((p - exact).abs() < 0.03, "{p} vs {exact}");
+}
+
+/// Exponential fault racing a deterministic repair deadline at d:
+/// P(fault before the deadline) = 1 − e^{−λd}.
+#[test]
+fn exponential_vs_deterministic_deadline() {
+    let lambda = 0.9;
+    let d = 1.3;
+    let mut b = NetworkBuilder::new();
+    let x = b.var("x", VarType::Clock, Value::Real(0.0));
+    let failed = b.var("failed", VarType::Bool, Value::Bool(false));
+    let safe = b.var("safe", VarType::Bool, Value::Bool(false));
+
+    // The hazard: a fault with rate λ.
+    let mut h = AutomatonBuilder::new("hazard");
+    let armed = h.location("armed");
+    let fired = h.location("fired");
+    h.markovian(armed, lambda, [Effect::assign(failed, Expr::bool(true))], fired);
+    b.add_automaton(h);
+
+    // The shield: deterministically engages at time d (urgent).
+    let mut sgd = AutomatonBuilder::new("shield");
+    let off = sgd.location("off");
+    let on = sgd.location("on");
+    sgd.guarded_urgent(
+        off,
+        ActionId::TAU,
+        Expr::var(x).ge(Expr::real(d)),
+        [Effect::assign(safe, Expr::bool(true))],
+        on,
+    );
+    b.add_automaton(sgd);
+    let net = b.build().unwrap();
+
+    // "Fault strictly before the shield" = bounded until:
+    // P(not safe U[0,10] failed) — once `safe` flips first, failure
+    // afterwards does not count.
+    let goal = Goal::expr(Expr::var(failed));
+    let hold = Goal::expr(Expr::var(safe)).not();
+    let prop = TimedReach::until(hold, goal, 10.0);
+    let exact = 1.0 - (-lambda * d as f64).exp();
+    for strategy in StrategyKind::ALL {
+        let p = analyze_with(&net, &prop, strategy, 0.02);
+        assert!((p - exact).abs() < 0.03, "{strategy}: {p} vs {exact}");
+    }
+}
+
+/// Until with a probabilistic hold violation: two competing exponentials,
+/// success only if the goal one fires first.
+/// P(hold U goal) → λ_g / (λ_g + λ_v) for large bounds.
+#[test]
+fn until_competing_exponentials() {
+    let (lg, lv) = (1.0, 3.0);
+    let mut b = NetworkBuilder::new();
+    let good = b.var("good", VarType::Bool, Value::Bool(false));
+    let bad = b.var("bad", VarType::Bool, Value::Bool(false));
+    let mut g = AutomatonBuilder::new("goal_proc");
+    let g0 = g.location("l");
+    let g1 = g.location("hit");
+    g.markovian(g0, lg, [Effect::assign(good, Expr::bool(true))], g1);
+    b.add_automaton(g);
+    let mut v = AutomatonBuilder::new("viol_proc");
+    let v0 = v.location("l");
+    let v1 = v.location("hit");
+    v.markovian(v0, lv, [Effect::assign(bad, Expr::bool(true))], v1);
+    b.add_automaton(v);
+    let net = b.build().unwrap();
+
+    let prop = TimedReach::until(
+        Goal::expr(Expr::var(bad)).not(),
+        Goal::expr(Expr::var(good)),
+        50.0, // effectively unbounded at these rates
+    );
+    let exact = lg / (lg + lv);
+    let p = analyze_with(&net, &prop, StrategyKind::Asap, 0.02);
+    assert!((p - exact).abs() < 0.03, "{p} vs {exact}");
+
+    // The verdict counters classify the losing paths as hold violations.
+    let cfg = SimConfig::default()
+        .with_accuracy(Accuracy::new(0.05, 0.1).unwrap())
+        .with_strategy(StrategyKind::Asap);
+    let r = analyze(&net, &prop, &cfg).unwrap();
+    assert!(r.stats.hold_violated > 0);
+    assert_eq!(r.stats.hold_violated + r.stats.satisfied, r.stats.total());
+}
+
+/// The strategy-window textbook case: guard [a, b] with uniform
+/// (Progressive) resolution racing an exponential.
+/// P(exp fires before the scheduled instant) has the closed form
+/// (1/(b−a)) ∫_a^b (1 − e^{−λs}) ds.
+#[test]
+fn progressive_uniform_vs_exponential_race() {
+    let (a, bb, lambda) = (1.0, 3.0, 0.8);
+    let mut b = NetworkBuilder::new();
+    let x = b.var("x", VarType::Clock, Value::Real(0.0));
+    let fault = b.var("fault", VarType::Bool, Value::Bool(false));
+
+    let mut win = AutomatonBuilder::new("window");
+    let w0 = win.location_with("open", Expr::var(x).le(Expr::real(bb)), []);
+    let w1 = win.location("closed");
+    win.guarded(
+        w0,
+        ActionId::TAU,
+        Expr::var(x).ge(Expr::real(a)).and(Expr::var(x).le(Expr::real(bb))),
+        [],
+        w1,
+    );
+    b.add_automaton(win);
+    let mut h = AutomatonBuilder::new("hazard");
+    let h0 = h.location("armed");
+    let h1 = h.location("fired");
+    h.markovian(h0, lambda, [Effect::assign(fault, Expr::bool(true))], h1);
+    b.add_automaton(h);
+    let net = b.build().unwrap();
+
+    // Fault strictly before the window transition fires.
+    let hold = Goal::in_location(&net, "window", "open").unwrap();
+    let prop = TimedReach::until(hold, Goal::expr(Expr::var(fault)), 10.0);
+    // ∫_a^b (1 − e^{−λs}) ds / (b−a)
+    let integral = (bb - a) - ((-lambda * a as f64).exp() - (-lambda * bb).exp()) / lambda;
+    let exact = integral / (bb - a);
+    let p = analyze_with(&net, &prop, StrategyKind::Progressive, 0.02);
+    assert!((p - exact).abs() < 0.03, "{p} vs {exact}");
+}

@@ -1,0 +1,94 @@
+//! Cross-validation property test: on randomly generated *untimed*
+//! (Markovian) networks, the Monte Carlo simulator and the exact CTMC
+//! pipeline must agree within the statistical error bound. This is the
+//! strongest end-to-end correctness check the two independent engines
+//! give each other.
+
+use proptest::prelude::*;
+use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
+use slimsim::prelude::*;
+
+/// One random Markovian automaton: a chain of `n` locations with forward
+/// rates, optional back edges, setting its flag on reaching the last
+/// location.
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    forward: Vec<f64>,
+    back: Option<(usize, f64)>,
+}
+
+fn arb_chain() -> impl Strategy<Value = ChainSpec> {
+    (
+        prop::collection::vec(0.2f64..4.0, 1..4),
+        prop::option::of((any::<prop::sample::Index>(), 0.2f64..4.0)),
+    )
+        .prop_map(|(forward, back)| ChainSpec {
+            back: back.map(|(idx, r)| (idx.index(forward.len()), r)),
+            forward,
+        })
+}
+
+fn build(chains: &[ChainSpec]) -> (Network, Expr) {
+    let mut b = NetworkBuilder::new();
+    let mut flags = Vec::new();
+    for (i, spec) in chains.iter().enumerate() {
+        let flag = b.var(format!("flag{i}"), VarType::Bool, Value::Bool(false));
+        flags.push(flag);
+        let mut a = AutomatonBuilder::new(format!("chain{i}"));
+        let n = spec.forward.len();
+        let locs: Vec<_> = (0..=n).map(|l| a.location(format!("l{l}"))).collect();
+        for (k, &rate) in spec.forward.iter().enumerate() {
+            let effects = if k + 1 == n {
+                vec![Effect::assign(flag, Expr::bool(true))]
+            } else {
+                vec![]
+            };
+            a.markovian(locs[k], rate, effects, locs[k + 1]);
+        }
+        if let Some((target, rate)) = spec.back {
+            // A back edge from the end makes the chain cyclic (the flag
+            // stays set — reachability is monotone).
+            a.markovian(locs[n], rate, [], locs[target.min(n - 1)]);
+        }
+        b.add_automaton(a);
+    }
+    let net = b.build().expect("generated chain network is well-formed");
+    let goal = Expr::any(flags.iter().map(|&f| Expr::var(f)));
+    (net, goal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulator_agrees_with_ctmc_pipeline(
+        chains in prop::collection::vec(arb_chain(), 1..3),
+        bound in 0.2f64..3.0,
+    ) {
+        let (net, goal_expr) = build(&chains);
+
+        // Exact answer.
+        let goal_for_ctmc = goal_expr.clone();
+        let net_ref = &net;
+        let goal_fn = move |s: &NetState| net_ref.eval_bool(s, &goal_for_ctmc);
+        let exact = check_timed_reachability(&net, &goal_fn, bound, &PipelineConfig::default())
+            .expect("untimed model explores")
+            .probability;
+
+        // Statistical answer.
+        let prop = TimedReach::new(Goal::expr(goal_expr), bound);
+        let acc = Accuracy::new(0.05, 0.05).unwrap();
+        let cfg = SimConfig::default()
+            .with_accuracy(acc)
+            .with_strategy(StrategyKind::Asap)
+            .with_seed(1234);
+        let est = analyze(&net, &prop, &cfg).unwrap().probability();
+
+        // Agreement within ε plus slack for the δ failure probability
+        // across many proptest cases.
+        prop_assert!(
+            (est - exact).abs() < 0.05 + 0.03,
+            "simulator {est} vs CTMC {exact} (bound {bound})"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the interval-set algebra — the foundation the exact
+//! strategy windows are built on.
+
+use proptest::prelude::*;
+use slimsim::automata::interval::{Interval, IntervalSet};
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0.0f64..100.0, 0.0f64..20.0, any::<bool>(), any::<bool>(), any::<bool>()).prop_filter_map(
+        "nonempty",
+        |(lo, len, lo_closed, hi_closed, unbounded)| {
+            if unbounded {
+                Interval::new(lo, f64::INFINITY, lo_closed, false)
+            } else {
+                Interval::new(lo, lo + len, lo_closed, hi_closed)
+            }
+        },
+    )
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec(arb_interval(), 0..6).prop_map(IntervalSet::from_intervals)
+}
+
+/// Sample points to probe membership with (includes the interesting
+/// boundary region).
+fn probes() -> Vec<f64> {
+    let mut v: Vec<f64> = (0..60).map(|i| i as f64 * 2.3).collect();
+    v.extend([0.0, 0.5, 1.0, 99.9, 100.0, 119.9, 1e6]);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        for x in probes() {
+            prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "at {}", x);
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+        let i = a.intersect(&b);
+        for x in probes() {
+            prop_assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "at {}", x);
+        }
+    }
+
+    #[test]
+    fn complement_is_pointwise_not(a in arb_set()) {
+        let c = a.complement();
+        for x in probes() {
+            prop_assert_eq!(c.contains(x), !a.contains(x), "at {}", x);
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity_pointwise(a in arb_set()) {
+        let cc = a.complement().complement();
+        for x in probes() {
+            prop_assert_eq!(cc.contains(x), a.contains(x), "at {}", x);
+        }
+    }
+
+    #[test]
+    fn de_morgan(a in arb_set(), b in arb_set()) {
+        let lhs = a.union(&b).complement();
+        let rhs = a.complement().intersect(&b.complement());
+        for x in probes() {
+            prop_assert_eq!(lhs.contains(x), rhs.contains(x), "at {}", x);
+        }
+    }
+
+    #[test]
+    fn measure_additivity_bounds(a in arb_set(), b in arb_set()) {
+        // |A ∪ B| + |A ∩ B| = |A| + |B| for finite-measure parts.
+        let lhs = a.union(&b).measure() + a.intersect(&b).measure();
+        let rhs = a.measure() + b.measure();
+        if lhs.is_finite() && rhs.is_finite() {
+            prop_assert!((lhs - rhs).abs() < 1e-6, "{} vs {}", lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn normalization_sorted_disjoint(a in arb_set()) {
+        let ivs = a.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].hi() <= w[1].lo(), "overlap: {} then {}", w[0], w[1]);
+            if w[0].hi() == w[1].lo() {
+                prop_assert!(
+                    !w[0].hi_closed() && !w[1].lo_closed(),
+                    "mergeable neighbors kept apart: {} | {}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn picked_points_are_members(a in arb_set(), u in 0.0f64..1.0) {
+        // Unbounded sets are truncated the way the engine does it.
+        let capped = if a.sup().map_or(false, f64::is_infinite) { a.truncate(1e4) } else { a.clone() };
+        if let Some(x) = capped.pick(u) {
+            prop_assert!(capped.contains(x), "picked {} outside {}", x, capped);
+        } else {
+            prop_assert!(capped.is_empty());
+        }
+    }
+
+    #[test]
+    fn earliest_and_latest_are_members(a in arb_set()) {
+        if let Some(e) = a.earliest_point() {
+            prop_assert!(a.contains(e), "earliest {} outside {}", e, a);
+        }
+        if let Some(l) = a.latest_point() {
+            prop_assert!(a.contains(l), "latest {} outside {}", l, a);
+        }
+    }
+
+    #[test]
+    fn truncate_caps_sup(a in arb_set(), cap in 0.0f64..150.0) {
+        let t = a.truncate(cap);
+        if let Some(s) = t.sup() {
+            prop_assert!(s <= cap + 1e-12);
+        }
+        for x in probes() {
+            prop_assert_eq!(t.contains(x), a.contains(x) && x <= cap, "at {}", x);
+        }
+    }
+
+    #[test]
+    fn prefix_from_zero_is_prefix(a in arb_set()) {
+        if let Some((hi, closed)) = a.prefix_from_zero() {
+            prop_assert!(a.contains(0.0));
+            // Everything strictly inside [0, hi) is in the set.
+            for x in probes() {
+                if x < hi {
+                    prop_assert!(a.contains(x), "gap at {} before {}", x, hi);
+                }
+            }
+            if closed && hi.is_finite() {
+                prop_assert!(a.contains(hi));
+            }
+        } else {
+            prop_assert!(!a.contains(0.0));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the linear delay solver: the symbolic enabling
+//! window must agree with brute-force concrete evaluation of the guard at
+//! sampled delays.
+
+use proptest::prelude::*;
+use slimsim::automata::eval::{eval_bool, Valuation};
+use slimsim::automata::expr::{Expr, VarId};
+use slimsim::automata::linear::{solve, DelayEnv};
+use slimsim::automata::value::Value;
+
+/// Environment: x0 = clock (rate 1), x1 = continuous (rate −2),
+/// x2 = discrete int, x3 = bool.
+const RATES: [f64; 4] = [1.0, -2.0, 0.0, 0.0];
+
+fn rate(v: VarId) -> f64 {
+    RATES[v.0]
+}
+
+fn arb_valuation() -> impl Strategy<Value = Valuation> {
+    (0.0f64..50.0, -20.0f64..20.0, -5i64..5, any::<bool>()).prop_map(|(x, y, n, b)| {
+        Valuation::new(vec![Value::Real(x), Value::Real(y), Value::Int(n), Value::Bool(b)])
+    })
+}
+
+/// Guard grammar: comparisons of linear combinations, boolean structure.
+fn arb_guard() -> impl Strategy<Value = Expr> {
+    let numeric_leaf = prop_oneof![
+        Just(Expr::var(VarId(0))),
+        Just(Expr::var(VarId(1))),
+        Just(Expr::var(VarId(2))),
+        (-30.0f64..30.0).prop_map(Expr::real),
+    ];
+    let numeric = (numeric_leaf.clone(), numeric_leaf, -3.0f64..3.0).prop_map(
+        |(a, b, k)| a.mul(Expr::real(k)).add(b),
+    );
+    let atom = prop_oneof![
+        (numeric.clone(), numeric.clone()).prop_map(|(a, b)| a.le(b)),
+        (numeric.clone(), numeric.clone()).prop_map(|(a, b)| a.lt(b)),
+        (numeric.clone(), numeric.clone()).prop_map(|(a, b)| a.ge(b)),
+        (numeric.clone(), numeric).prop_map(|(a, b)| a.gt(b)),
+        Just(Expr::var(VarId(3))),
+        Just(Expr::TRUE),
+        Just(Expr::FALSE),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.prop_map(Expr::not),
+        ]
+    })
+}
+
+/// Concretely evaluates the guard after an exact delay `d`.
+fn eval_after_delay(guard: &Expr, nu: &Valuation, d: f64) -> bool {
+    let shifted = Valuation::new(
+        nu.iter()
+            .map(|(v, val)| match val {
+                Value::Real(r) => Value::Real(r + RATES[v.0] * d),
+                other => other,
+            })
+            .collect(),
+    );
+    eval_bool(guard, &shifted).expect("guard evaluates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn solver_agrees_with_concrete_evaluation(guard in arb_guard(), nu in arb_valuation()) {
+        let env = DelayEnv::new(&nu, &rate);
+        let window = solve(&guard, &env).expect("linear guard solves");
+        // Probe a spread of delays, avoiding the exact interval endpoints
+        // where float tie-breaking is ambiguous.
+        for i in 0..80 {
+            let d = i as f64 * 0.637 + 0.0131;
+            let symbolic = window.contains(d);
+            let concrete = eval_after_delay(&guard, &nu, d);
+            // Skip probes that sit numerically on a window boundary.
+            let near_boundary = window.intervals().iter().any(|iv| {
+                (iv.lo() - d).abs() < 1e-6 || (iv.hi() - d).abs() < 1e-6
+            });
+            if !near_boundary {
+                prop_assert_eq!(symbolic, concrete, "delay {} guard {} window {}", d, guard, window);
+            }
+        }
+    }
+
+    #[test]
+    fn window_zero_matches_now(guard in arb_guard(), nu in arb_valuation()) {
+        let env = DelayEnv::new(&nu, &rate);
+        let window = solve(&guard, &env).expect("linear guard solves");
+        let now = eval_bool(&guard, &nu).expect("guard evaluates");
+        // `contains(0)` must agree with plain evaluation unless 0 is a
+        // boundary point of the window (measure-zero fp ambiguity).
+        let boundary = window
+            .intervals()
+            .iter()
+            .any(|iv| iv.lo().abs() < 1e-9 && !iv.lo_closed());
+        if !boundary {
+            prop_assert_eq!(window.contains(0.0), now, "guard {} window {}", guard, window);
+        }
+    }
+}

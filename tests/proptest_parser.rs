@@ -1,0 +1,190 @@
+//! Property tests for the SLIM front-end: pretty-print → parse is the
+//! identity on generated models.
+
+use proptest::prelude::*;
+use slimsim::lang::ast::*;
+use slimsim::lang::{parse, pretty};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        slimsim::lang::token::Keyword::from_str(s).is_none()
+    })
+}
+
+fn arb_qname() -> impl Strategy<Value = QName> {
+    prop::collection::vec(arb_ident(), 1..3).prop_map(QName)
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<bool>().prop_map(Literal::Bool),
+        (-1000i64..1000).prop_map(Literal::Int),
+        (-100.0f64..100.0).prop_map(|r| Literal::Real((r * 64.0).round() / 64.0)),
+    ]
+}
+
+fn arb_datatype() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Bool),
+        Just(DataType::Int(None)),
+        (-50i64..0, 1i64..50).prop_map(|(lo, hi)| DataType::Int(Some((lo, hi)))),
+        Just(DataType::Real),
+        Just(DataType::Clock),
+        Just(DataType::Continuous),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // Expression literals are non-negative: the concrete syntax produces
+    // `Neg(Lit(5))` for `-5`, never `Lit(-5)` (negative literals only
+    // occur in initializer/default positions).
+    let expr_literal = prop_oneof![
+        any::<bool>().prop_map(Literal::Bool),
+        (0i64..1000).prop_map(Literal::Int),
+        (0.0f64..100.0).prop_map(|r| Literal::Real((r * 64.0).round() / 64.0)),
+    ];
+    let leaf = prop_oneof![
+        expr_literal.prop_map(Expr::Lit),
+        arb_qname().prop_map(Expr::Name),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Min),
+            Just(BinOp::Max),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Implies),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+        ];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::Ite(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+fn arb_feature() -> impl Strategy<Value = Feature> {
+    (
+        arb_ident(),
+        prop_oneof![Just(Direction::In), Just(Direction::Out)],
+        prop::option::of((arb_datatype(), prop::option::of(arb_literal()))),
+    )
+        .prop_map(|(name, direction, data)| match data {
+            None => Feature { name, direction, data: None, default: None },
+            Some((ty, default)) => Feature { name, direction, data: Some(ty), default },
+        })
+}
+
+fn arb_mode() -> impl Strategy<Value = ModeDecl> {
+    (
+        arb_ident(),
+        any::<bool>(),
+        prop::option::of(arb_expr()),
+        prop::collection::vec((arb_qname(), -10.0f64..10.0), 0..2),
+    )
+        .prop_map(|(name, initial, invariant, ders)| ModeDecl {
+            name,
+            initial,
+            invariant,
+            derivatives: ders
+                .into_iter()
+                .map(|(q, r)| (q, (r * 16.0).round() / 16.0))
+                .collect(),
+        })
+}
+
+fn arb_transition() -> impl Strategy<Value = TransitionDecl> {
+    (
+        arb_ident(),
+        any::<bool>(),
+        prop_oneof![
+            Just(Trigger::Internal),
+            arb_qname().prop_map(Trigger::Port),
+            (0.01f64..10.0).prop_map(|r| Trigger::Rate((r * 64.0).round() / 64.0)),
+        ],
+        prop::option::of(arb_expr()),
+        prop::collection::vec((arb_qname(), arb_expr()), 0..3),
+        arb_ident(),
+    )
+        .prop_map(|(from, urgent, trigger, guard, effects, to)| {
+            // `rate` and `urgent` are mutually exclusive in the grammar's
+            // semantics; the printer would still emit them, so normalize.
+            let urgent = urgent && !matches!(trigger, Trigger::Rate(_));
+            TransitionDecl { from, urgent, trigger, guard, effects, to }
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    (
+        (arb_ident(), prop::collection::vec(arb_feature(), 0..4)),
+        (
+            prop::collection::vec(
+                (arb_ident(), arb_datatype(), prop::option::of(arb_literal())),
+                0..3,
+            ),
+            prop::collection::vec((arb_qname(), arb_expr()), 0..2),
+            prop::collection::vec(arb_mode(), 0..3),
+            prop::collection::vec(arb_transition(), 0..3),
+        ),
+    )
+        .prop_map(|((tname, features), (datas, flows, modes, transitions))| {
+            let tname = format!("T{tname}");
+            let mut m = Model::default();
+            m.types.push(ComponentType {
+                category: Category::Device,
+                name: tname.clone(),
+                features,
+            });
+            m.impls.push(ComponentImpl {
+                category: Category::Device,
+                name: (tname, "I".into()),
+                subcomponents: datas
+                    .into_iter()
+                    .map(|(name, ty, init)| Subcomponent::Data { name, ty, init })
+                    .collect(),
+                connections: vec![],
+                flows: flows
+                    .into_iter()
+                    .map(|(target, expr)| FlowDef { target, expr })
+                    .collect(),
+                modes,
+                transitions,
+            });
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pretty_then_parse_round_trips(m in arb_model()) {
+        let printed = pretty(&m);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert_eq!(&reparsed, &m, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn pretty_is_a_fixed_point(m in arb_model()) {
+        let p1 = pretty(&m);
+        if let Ok(m2) = parse(&p1) {
+            let p2 = pretty(&m2);
+            prop_assert_eq!(p1, p2);
+        }
+    }
+}

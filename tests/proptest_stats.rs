@@ -1,0 +1,101 @@
+//! Property tests for the statistics engine: order-unbiased parallel
+//! collection, workload splitting, and stopping-rule sanity.
+
+use proptest::prelude::*;
+use slimsim::stats::chernoff::Accuracy;
+use slimsim::stats::estimator::Generator;
+use slimsim::stats::parallel::{split_workload, RoundRobinCollector};
+use slimsim::stats::sequential::GeneratorKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Drained output only depends on the per-worker streams, not on the
+    /// interleaving of arrivals — the §III-C bias fix.
+    #[test]
+    fn collector_is_arrival_order_invariant(
+        streams in prop::collection::vec(prop::collection::vec(any::<bool>(), 0..12), 1..5),
+        schedule in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let workers = streams.len();
+
+        // Reference: deliver stream-by-stream.
+        let mut reference = RoundRobinCollector::new(workers);
+        for (w, s) in streams.iter().enumerate() {
+            for &b in s {
+                reference.push(w, b);
+            }
+            reference.finish_worker(w);
+        }
+        let expected = reference.drain_rounds();
+
+        // Interleaved delivery following a random schedule.
+        let mut collector = RoundRobinCollector::new(workers);
+        let mut cursors = vec![0usize; workers];
+        let mut drained = Vec::new();
+        for idx in schedule {
+            let w = idx.index(workers);
+            if cursors[w] < streams[w].len() {
+                collector.push(w, streams[w][cursors[w]]);
+                cursors[w] += 1;
+                drained.extend(collector.drain_rounds());
+            }
+        }
+        // Deliver the rest.
+        for w in 0..workers {
+            while cursors[w] < streams[w].len() {
+                collector.push(w, streams[w][cursors[w]]);
+                cursors[w] += 1;
+            }
+            collector.finish_worker(w);
+        }
+        drained.extend(collector.drain_rounds());
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn workload_split_total_and_balance(n in 0u64..1_000_000, k in 1usize..64) {
+        let parts = split_workload(n, k);
+        prop_assert_eq!(parts.len(), k);
+        prop_assert_eq!(parts.iter().sum::<u64>(), n);
+        let min = *parts.iter().min().unwrap();
+        let max = *parts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "imbalance {}", max - min);
+    }
+
+    /// Every generator eventually stops and reports consistent counters.
+    #[test]
+    fn generators_terminate_and_count(
+        kind_idx in 0usize..3,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let kind = GeneratorKind::ALL[kind_idx];
+        let acc = Accuracy::new(0.05, 0.1).unwrap();
+        let mut g = kind.instantiate(acc);
+        let mut x = seed | 1;
+        let mut fed: u64 = 0;
+        let cap = acc.chernoff_samples() + 10;
+        while !g.is_complete() && fed < cap {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            g.add(u < p);
+            fed += 1;
+        }
+        prop_assert!(g.is_complete(), "{} did not stop within CH bound + 10", kind);
+        let e = g.estimate();
+        prop_assert_eq!(e.samples, fed);
+        prop_assert!(e.successes <= e.samples);
+        prop_assert!((0.0..=1.0).contains(&e.mean));
+    }
+
+    /// The CH sample count is monotone: tighter ε or δ never needs fewer
+    /// samples.
+    #[test]
+    fn chernoff_monotone(e1 in 0.001f64..0.5, e2 in 0.001f64..0.5, d in 0.001f64..0.5) {
+        let (tight, loose) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        let n_tight = Accuracy::new(tight, d).unwrap().chernoff_samples();
+        let n_loose = Accuracy::new(loose, d).unwrap().chernoff_samples();
+        prop_assert!(n_tight >= n_loose);
+    }
+}
