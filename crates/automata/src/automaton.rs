@@ -1,26 +1,25 @@
 //! Single event-data automaton (one SLIM process).
 
 use crate::expr::{Expr, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Index of a location within an automaton.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocId(pub usize);
 
 /// Index of a transition within an automaton.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransId(pub usize);
 
 /// Index of an automaton (process) within a network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub usize);
 
 /// Index of an action in the network's action table.
 ///
 /// Index `0` is always the internal action τ, which never synchronizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActionId(pub usize);
 
 impl ActionId {
@@ -47,7 +46,7 @@ impl fmt::Display for ProcId {
 
 /// How a transition is triggered: by a Boolean guard (possibly over clocks
 /// and continuous variables) or by an exponential delay with the given rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GuardKind {
     /// Enabled whenever the expression holds (time-dependent).
     Boolean(Expr),
@@ -66,7 +65,7 @@ impl GuardKind {
 }
 
 /// A variable update `var := expr` executed when a transition fires.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Effect {
     /// Target variable.
     pub var: VarId,
@@ -82,7 +81,7 @@ impl Effect {
 }
 
 /// A discrete transition of one automaton.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Source location.
     pub from: LocId,
@@ -97,12 +96,11 @@ pub struct Transition {
     /// Urgent (eager) transition: time may not pass beyond the first
     /// instant it becomes enabled. This models AADL's immediate mode
     /// transitions; only meaningful for Boolean guards.
-    #[serde(default)]
     pub urgent: bool,
 }
 
 /// A location (SLIM *mode*) of an automaton.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Location {
     /// Human-readable name.
     pub name: String,
@@ -129,7 +127,7 @@ impl Location {
 ///
 /// Automata are built through [`crate::network::NetworkBuilder`]; the fields are
 /// public for inspection by analysis backends.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Automaton {
     /// Name (instance path of the SLIM component).
     pub name: String,
@@ -145,7 +143,12 @@ impl Automaton {
     /// Creates an automaton; see [`crate::network::NetworkBuilder`] for the
     /// validated construction path.
     pub fn new(name: impl Into<String>) -> Automaton {
-        Automaton { name: name.into(), locations: Vec::new(), init: LocId(0), transitions: Vec::new() }
+        Automaton {
+            name: name.into(),
+            locations: Vec::new(),
+            init: LocId(0),
+            transitions: Vec::new(),
+        }
     }
 
     /// The synchronizing alphabet: all non-τ actions on transitions.

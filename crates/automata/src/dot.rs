@@ -42,11 +42,7 @@ pub fn to_dot(net: &Network) -> String {
             for (v, r) in &loc.rates {
                 let _ = write!(label, "\\nder {} = {r}", net.name_of(*v));
             }
-            let _ = writeln!(
-                out,
-                "    n{p}_{l} [shape={shape}, label=\"{}\"];",
-                escape(&label)
-            );
+            let _ = writeln!(out, "    n{p}_{l} [shape={shape}, label=\"{}\"];", escape(&label));
         }
         for t in &a.transitions {
             let mut label = String::new();
@@ -63,12 +59,8 @@ pub fn to_dot(net: &Network) -> String {
                 }
             }
             for eff in &t.effects {
-                let _ = write!(
-                    label,
-                    "\\n{} := {}",
-                    net.name_of(eff.var),
-                    net.render_expr(&eff.expr)
-                );
+                let _ =
+                    write!(label, "\\n{} := {}", net.name_of(eff.var), net.render_expr(&eff.expr));
             }
             let style = match (&t.guard, t.urgent) {
                 (GuardKind::Markovian(_), _) => ", style=dashed",

@@ -161,7 +161,9 @@ impl fmt::Display for EvalError {
                 write!(f, "value {value} for `{variable}` outside range [{lo}, {hi}]")
             }
             EvalError::Overflow => write!(f, "integer overflow"),
-            EvalError::TypeConfusion { context } => write!(f, "dynamic type confusion in {context}"),
+            EvalError::TypeConfusion { context } => {
+                write!(f, "dynamic type confusion in {context}")
+            }
             EvalError::NonLinear { context } => {
                 write!(f, "expression is not linear in the delay: {context}")
             }

@@ -3,11 +3,10 @@
 use crate::error::EvalError;
 use crate::expr::{BinOp, Expr, VarId};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// A valuation `ν : Var → V` assigning a value to every variable of the
 /// network, indexed by [`VarId`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Valuation {
     values: Vec<Value>,
 }
@@ -90,19 +89,13 @@ pub fn eval(expr: &Expr, nu: &Valuation) -> Result<Value, EvalError> {
             // Short-circuit logical operators first.
             match op {
                 BinOp::And => {
-                    return Ok(Value::Bool(
-                        eval(a, nu)?.as_bool()? && eval(b, nu)?.as_bool()?,
-                    ))
+                    return Ok(Value::Bool(eval(a, nu)?.as_bool()? && eval(b, nu)?.as_bool()?))
                 }
                 BinOp::Or => {
-                    return Ok(Value::Bool(
-                        eval(a, nu)?.as_bool()? || eval(b, nu)?.as_bool()?,
-                    ))
+                    return Ok(Value::Bool(eval(a, nu)?.as_bool()? || eval(b, nu)?.as_bool()?))
                 }
                 BinOp::Implies => {
-                    return Ok(Value::Bool(
-                        !eval(a, nu)?.as_bool()? || eval(b, nu)?.as_bool()?,
-                    ))
+                    return Ok(Value::Bool(!eval(a, nu)?.as_bool()? || eval(b, nu)?.as_bool()?))
                 }
                 BinOp::Xor => {
                     return Ok(Value::Bool(eval(a, nu)?.as_bool()? ^ eval(b, nu)?.as_bool()?))

@@ -7,11 +7,10 @@
 
 use crate::error::TypeError;
 use crate::value::{Value, VarType};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a variable in the network's global variable table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub usize);
 
 impl fmt::Display for VarId {
@@ -21,7 +20,7 @@ impl fmt::Display for VarId {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
     /// Numeric addition.
     Add,
@@ -108,7 +107,7 @@ impl BinOp {
 /// let guard = x.clone().ge(Expr::real(200.0)).and(x.le(Expr::real(300.0)));
 /// assert!(guard.to_string().contains("and"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal constant.
     Const(Value),
@@ -151,21 +150,25 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
     }
 
     /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Div, Box::new(self), Box::new(rhs))
     }
@@ -299,7 +302,7 @@ impl Expr {
 
     /// True if the expression reads any variable for which `pred` holds.
     pub fn reads_any_var(&self, pred: &dyn Fn(VarId) -> bool) -> bool {
-        self.vars().into_iter().any(|v| pred(v))
+        self.vars().into_iter().any(pred)
     }
 
     /// Rewrites every variable reference through `map` (used when merging
@@ -551,7 +554,9 @@ mod tests {
 
     #[test]
     fn display_round_trips_symbols() {
-        let e = Expr::var(VarId(0)).ge(Expr::real(200.0)).and(Expr::var(VarId(0)).le(Expr::real(300.0)));
+        let e = Expr::var(VarId(0))
+            .ge(Expr::real(200.0))
+            .and(Expr::var(VarId(0)).le(Expr::real(300.0)));
         let s = e.to_string();
         assert!(s.contains(">=") && s.contains("<=") && s.contains("and"));
     }

@@ -10,10 +10,9 @@ use crate::error::ModelError;
 use crate::eval::{eval, Valuation};
 use crate::expr::{Expr, VarId};
 use crate::value::VarType;
-use serde::{Deserialize, Serialize};
 
 /// A single data-flow assignment `target := expr`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flow {
     /// The written variable (a data output port).
     pub target: VarId,
@@ -44,10 +43,7 @@ pub fn toposort_flows(
     let mut by_target: HashMap<VarId, usize> = HashMap::new();
     for (i, f) in flows.iter().enumerate() {
         if by_target.insert(f.target, i).is_some() {
-            return Err(ModelError::DuplicateName(format!(
-                "flow target {}",
-                name_of(f.target)
-            )));
+            return Err(ModelError::DuplicateName(format!("flow target {}", name_of(f.target))));
         }
     }
 
@@ -154,18 +150,12 @@ mod tests {
             Flow::new(VarId(0), Expr::var(VarId(1))),
             Flow::new(VarId(1), Expr::var(VarId(0))),
         ];
-        assert!(matches!(
-            toposort_flows(flows, &names),
-            Err(ModelError::FlowCycle { .. })
-        ));
+        assert!(matches!(toposort_flows(flows, &names), Err(ModelError::FlowCycle { .. })));
     }
 
     #[test]
     fn toposort_rejects_duplicate_targets() {
-        let flows = vec![
-            Flow::new(VarId(0), Expr::int(1)),
-            Flow::new(VarId(0), Expr::int(2)),
-        ];
+        let flows = vec![Flow::new(VarId(0), Expr::int(1)), Flow::new(VarId(0), Expr::int(2))];
         assert!(matches!(toposort_flows(flows, &names), Err(ModelError::DuplicateName(_))));
     }
 
@@ -185,8 +175,7 @@ mod tests {
             &names,
         )
         .unwrap();
-        let mut nu =
-            Valuation::new(vec![Value::Int(0), Value::Int(0), Value::Int(5)]);
+        let mut nu = Valuation::new(vec![Value::Int(0), Value::Int(0), Value::Int(5)]);
         let ty = |_v: VarId| VarType::INT;
         run_flows(&flows, &mut nu, &ty, &names).unwrap();
         assert_eq!(nu.get(VarId(1)), Ok(Value::Int(10)));

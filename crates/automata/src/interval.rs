@@ -11,7 +11,6 @@
 //! earliest point, MaxTime the supremum, Progressive/Local sample uniformly
 //! by Lebesgue measure (see `slimsim-core`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Tolerance used when nudging into half-open intervals (e.g. the earliest
@@ -22,7 +21,7 @@ pub const OPEN_NUDGE: f64 = 1e-9;
 ///
 /// Invariant: `lo <= hi`, and if `lo == hi` both endpoints are closed (a
 /// point). `hi` may be `f64::INFINITY` (then `hi_closed` is `false`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     lo: f64,
     hi: f64,
@@ -183,7 +182,7 @@ impl fmt::Display for Interval {
 /// assert_eq!(u.measure(), 3.0);
 /// assert!(u.contains(2.5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IntervalSet {
     intervals: Vec<Interval>,
 }
@@ -197,7 +196,12 @@ impl IntervalSet {
     /// The full delay axis `[0, ∞)`.
     pub fn all() -> IntervalSet {
         IntervalSet {
-            intervals: vec![Interval { lo: 0.0, hi: f64::INFINITY, lo_closed: true, hi_closed: false }],
+            intervals: vec![Interval {
+                lo: 0.0,
+                hi: f64::INFINITY,
+                lo_closed: true,
+                hi_closed: false,
+            }],
         }
     }
 
@@ -258,9 +262,7 @@ impl IntervalSet {
 
     /// Set union.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        IntervalSet::from_intervals(
-            self.intervals.iter().chain(other.intervals.iter()).copied(),
-        )
+        IntervalSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
     }
 
     /// Set intersection.
@@ -288,7 +290,8 @@ impl IntervalSet {
             if iv.hi < cursor || (iv.hi == cursor && !iv.hi_closed && !cursor_closed) {
                 continue;
             }
-            if let Some(gap) = Interval::new(cursor, iv.lo.max(cursor), cursor_closed, !iv.lo_closed)
+            if let Some(gap) =
+                Interval::new(cursor, iv.lo.max(cursor), cursor_closed, !iv.lo_closed)
             {
                 // Guard against degenerate gaps swallowed by max().
                 if gap.lo < iv.lo || (gap.is_point() && !iv.contains(gap.lo)) {
@@ -445,7 +448,8 @@ mod tests {
 
     #[test]
     fn union_merges_touching() {
-        let s = IntervalSet::from_intervals([cl(0.0, 1.0), Interval::open_closed(1.0, 2.0).unwrap()]);
+        let s =
+            IntervalSet::from_intervals([cl(0.0, 1.0), Interval::open_closed(1.0, 2.0).unwrap()]);
         assert_eq!(s.intervals().len(), 1);
         assert_eq!(s.measure(), 2.0);
         // Open-open touch does NOT merge: [0,1) ∪ (1,2] leaves out 1.
@@ -479,10 +483,8 @@ mod tests {
 
     #[test]
     fn complement_round_trip() {
-        let s = IntervalSet::from_intervals([
-            Interval::open_closed(1.0, 2.0).unwrap(),
-            cl(4.0, 5.0),
-        ]);
+        let s =
+            IntervalSet::from_intervals([Interval::open_closed(1.0, 2.0).unwrap(), cl(4.0, 5.0)]);
         let c = s.complement();
         assert!(c.contains(0.0) && c.contains(1.0) && !c.contains(1.5));
         assert!(c.contains(3.0) && !c.contains(4.0) && !c.contains(5.0) && c.contains(6.0));

@@ -134,7 +134,9 @@ pub fn lin_eval(expr: &Expr, env: &DelayEnv<'_>) -> Result<Aff, EvalError> {
             } else if cond.is_empty() {
                 lin_eval(e, env)
             } else {
-                Err(EvalError::NonLinear { context: format!("delay-dependent condition in {expr}") })
+                Err(EvalError::NonLinear {
+                    context: format!("delay-dependent condition in {expr}"),
+                })
             }
         }
     }
@@ -156,9 +158,9 @@ pub fn solve(expr: &Expr, env: &DelayEnv<'_>) -> Result<IntervalSet, EvalError> 
         Expr::Var(v) => match env.nu.get(*v)? {
             Value::Bool(true) => Ok(IntervalSet::all()),
             Value::Bool(false) => Ok(IntervalSet::empty()),
-            other => {
-                Err(EvalError::TypeConfusion { context: format!("numeric variable {other} as guard") })
-            }
+            other => Err(EvalError::TypeConfusion {
+                context: format!("numeric variable {other} as guard"),
+            }),
         },
         Expr::Not(e) => Ok(solve(e, env)?.complement()),
         Expr::Neg(_) => {
@@ -244,7 +246,7 @@ fn solve_cmp(op: BinOp, f: Aff) -> IntervalSet {
         (flipped, root)
     };
     // Now f is increasing with zero at `root`.
-    let set = match op {
+    match op {
         BinOp::Eq => {
             if root >= 0.0 {
                 IntervalSet::from(Interval::point(root))
@@ -261,13 +263,12 @@ fn solve_cmp(op: BinOp, f: Aff) -> IntervalSet {
         }
         BinOp::Lt => interval_or_empty(Interval::closed_open(0.0, root)),
         BinOp::Le => interval_or_empty(Interval::closed(0.0, root)),
-        BinOp::Gt => interval_or_empty(Interval::new(root.max(0.0), f64::INFINITY, root < 0.0, false)),
-        BinOp::Ge => {
-            interval_or_empty(Interval::new(root.max(0.0), f64::INFINITY, true, false))
+        BinOp::Gt => {
+            interval_or_empty(Interval::new(root.max(0.0), f64::INFINITY, root < 0.0, false))
         }
+        BinOp::Ge => interval_or_empty(Interval::new(root.max(0.0), f64::INFINITY, true, false)),
         _ => unreachable!(),
-    };
-    set
+    }
 }
 
 fn interval_or_empty(iv: Option<Interval>) -> IntervalSet {
@@ -319,10 +320,7 @@ mod tests {
     fn lin_eval_rejects_nonlinear() {
         let (nu, rate) = env_with(5.0, 3);
         let env = DelayEnv::new(&nu, rate);
-        assert!(matches!(
-            lin_eval(&x().mul(x()), &env),
-            Err(EvalError::NonLinear { .. })
-        ));
+        assert!(matches!(lin_eval(&x().mul(x()), &env), Err(EvalError::NonLinear { .. })));
         assert!(matches!(
             lin_eval(&Expr::real(1.0).div(x()), &env),
             Err(EvalError::NonLinear { .. })

@@ -22,17 +22,16 @@ use crate::linear::{solve, DelayEnv};
 use crate::state::NetState;
 use crate::validate::validate_network;
 use crate::value::{Value, VarType};
-use serde::{Deserialize, Serialize};
 
 /// An entry of the network's action table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActionDecl {
     /// Action name; index 0 is always `"tau"`.
     pub name: String,
 }
 
 /// An entry of the network's variable table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VarDecl {
     /// Fully qualified name (instance path).
     pub name: String,
@@ -47,7 +46,7 @@ pub struct VarDecl {
 
 /// A global discrete transition: one local transition per participating
 /// automaton, all labeled with `action` (or a single τ-transition).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalTransition {
     /// The synchronizing action ([`ActionId::TAU`] for internal moves).
     pub action: ActionId,
@@ -84,7 +83,7 @@ pub struct MarkovianCandidate {
 pub const INVARIANT_TOLERANCE: f64 = 1e-9;
 
 /// A validated network of event-data automata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     pub(crate) actions: Vec<ActionDecl>,
     pub(crate) vars: Vec<VarDecl>,
@@ -159,8 +158,7 @@ impl Network {
     /// Propagates flow-evaluation errors.
     pub fn initial_state(&self) -> Result<NetState, EvalError> {
         let locs = self.automata.iter().map(|a| a.init).collect();
-        let mut nu: Valuation =
-            self.vars.iter().map(|v| v.ty.canonicalize(v.init)).collect();
+        let mut nu: Valuation = self.vars.iter().map(|v| v.ty.canonicalize(v.init)).collect();
         let ty = |v: VarId| self.ty_of(v);
         let name = |v: VarId| self.name_of(v);
         run_flows(&self.flows, &mut nu, &ty, &name)?;
@@ -208,8 +206,8 @@ impl Network {
                 continue;
             }
             let sat = solve(&loc.invariant, &env)?;
-            let holds_now = sat.contains(0.0)
-                || sat.inf().is_some_and(|lo| lo <= INVARIANT_TOLERANCE);
+            let holds_now =
+                sat.contains(0.0) || sat.inf().is_some_and(|lo| lo <= INVARIANT_TOLERANCE);
             if !holds_now {
                 return Err(EvalError::InvariantViolated {
                     automaton: a.name.clone(),
@@ -309,9 +307,10 @@ impl Network {
             if !possible {
                 continue;
             }
-            // Cross product of the participants' choices.
-            let mut combos: Vec<(Vec<(ProcId, TransId)>, IntervalSet, bool)> =
-                vec![(Vec::new(), IntervalSet::all(), false)];
+            // Cross product of the participants' choices:
+            // (participants so far, joint time window, any urgent).
+            type Combo = (Vec<(ProcId, TransId)>, IntervalSet, bool);
+            let mut combos: Vec<Combo> = vec![(Vec::new(), IntervalSet::all(), false)];
             for (&p, opts) in procs.iter().zip(&local) {
                 let mut next = Vec::with_capacity(combos.len() * opts.len());
                 for (parts, window, urgent) in &combos {
@@ -478,11 +477,9 @@ impl Network {
         use crate::expr::BinOp;
         match e {
             Expr::Const(v) => v.to_string(),
-            Expr::Var(v) => self
-                .vars
-                .get(v.0)
-                .map(|d| d.name.clone())
-                .unwrap_or_else(|| format!("v{}", v.0)),
+            Expr::Var(v) => {
+                self.vars.get(v.0).map(|d| d.name.clone()).unwrap_or_else(|| format!("v{}", v.0))
+            }
             Expr::Not(x) => format!("(not {})", self.render_expr(x)),
             Expr::Neg(x) => format!("(-{})", self.render_expr(x)),
             Expr::Bin(BinOp::Min, a, b) => {
@@ -729,6 +726,27 @@ impl NetworkBuilder {
     /// Any [`ModelError`] describing a well-formedness violation; see the
     /// crate documentation for the full rule set.
     pub fn build(self) -> Result<Network, ModelError> {
+        let network = self.assemble_for_validation()?;
+        validate_network(&network)?;
+        Ok(network)
+    }
+
+    /// Assembles the network *without* running [`validate_network`]:
+    /// orders the flows, computes the per-action participant lists, and
+    /// returns the raw [`Network`].
+    ///
+    /// This is the entry point for tooling that wants to report **all**
+    /// well-formedness violations (via [`crate::validate::validate_all`])
+    /// instead of failing on the first one, and for tests that need to
+    /// construct deliberately broken networks. Simulation of an
+    /// unvalidated network may panic or return evaluation errors.
+    ///
+    /// # Errors
+    /// Only the errors that make assembly itself impossible: duplicate
+    /// flow targets and flow cycles (the flow order would be undefined),
+    /// and out-of-range action indices (the participant table cannot be
+    /// sized).
+    pub fn assemble_for_validation(self) -> Result<Network, ModelError> {
         let NetworkBuilder { actions, vars, automata, flows } = self;
         // Topologically order flows first (also checks duplicates/cycles).
         let names: Vec<String> = vars.iter().map(|v| v.name.clone()).collect();
@@ -752,9 +770,7 @@ impl NetworkBuilder {
             }
         }
 
-        let network = Network { actions, vars, automata, flows, participants };
-        validate_network(&network)?;
-        Ok(network)
+        Ok(Network { actions, vars, automata, flows, participants })
     }
 }
 
@@ -837,10 +853,7 @@ mod tests {
         let s0 = n.initial_state().unwrap();
         let s1 = n.advance(&s0, 10.0).unwrap();
         assert_eq!(s1.nu.get(VarId(0)), Ok(Value::Real(10.0)));
-        assert!(matches!(
-            n.advance(&s0, 10.5),
-            Err(EvalError::DelayNotAllowed { .. })
-        ));
+        assert!(matches!(n.advance(&s0, 10.5), Err(EvalError::DelayNotAllowed { .. })));
     }
 
     #[test]
@@ -953,9 +966,6 @@ mod tests {
         b.add_automaton(a);
         let n = b.build().unwrap();
         let s = n.initial_state().unwrap();
-        assert!(matches!(
-            n.delay_window(&s),
-            Err(EvalError::InvariantViolated { .. })
-        ));
+        assert!(matches!(n.delay_window(&s), Err(EvalError::InvariantViolated { .. })));
     }
 }

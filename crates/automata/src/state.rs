@@ -3,12 +3,11 @@
 use crate::automaton::LocId;
 use crate::eval::Valuation;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A global state: one current location per automaton, a valuation of all
 /// variables, and the absolute model time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetState {
     /// Current location of each automaton (indexed by `ProcId`).
     pub locs: Vec<LocId>,
@@ -63,7 +62,7 @@ impl fmt::Display for NetState {
 }
 
 /// A discrete variable value (hashable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiscreteVal {
     /// Boolean value.
     Bool(bool),
@@ -72,7 +71,7 @@ pub enum DiscreteVal {
 }
 
 /// Hashable identity of a discrete state (locations + discrete values).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DiscreteKey {
     /// Current locations.
     pub locs: Vec<LocId>,
@@ -86,10 +85,8 @@ mod tests {
 
     #[test]
     fn discrete_key_rejects_reals() {
-        let s = NetState::new(
-            vec![LocId(0)],
-            Valuation::new(vec![Value::Int(1), Value::Real(0.5)]),
-        );
+        let s =
+            NetState::new(vec![LocId(0)], Valuation::new(vec![Value::Int(1), Value::Real(0.5)]));
         assert!(s.discrete_key().is_none());
     }
 

@@ -7,7 +7,9 @@ use crate::network::Network;
 use crate::value::VarType;
 use std::collections::{HashMap, HashSet};
 
-/// Validates a network against the SLIM well-formedness rules:
+/// Collects *all* well-formedness violations of a network.
+///
+/// The rule set (numbered as in DESIGN.md §4):
 ///
 /// 1. The network has at least one automaton; every automaton has at least
 ///    one location and an in-range initial location.
@@ -23,226 +25,304 @@ use std::collections::{HashMap, HashSet};
 ///    duplicates are rejected earlier, during flow toposort).
 /// 6. Variable names are unique; initial values inhabit their types.
 ///
+/// Unlike [`validate_network`], this function does not stop at the first
+/// violation: it visits every rule and returns the full list, in
+/// deterministic traversal order. Checks that depend on an already-violated
+/// precondition (e.g. type-checking an expression that references an
+/// out-of-range variable) are skipped rather than reported twice.
+pub fn validate_all(n: &Network) -> Vec<ModelError> {
+    let mut v = Validator { n, errs: Vec::new() };
+    v.run();
+    v.errs
+}
+
+/// Validates a network against the SLIM well-formedness rules (see
+/// [`validate_all`] for the rule set).
+///
 /// # Errors
 /// The first violated rule as a [`ModelError`].
 pub fn validate_network(n: &Network) -> Result<(), ModelError> {
-    if n.automata().is_empty() {
-        return Err(ModelError::Empty);
+    match validate_all(n).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
+}
 
-    // Rule 6: unique names, valid initials.
-    let mut seen = HashSet::new();
-    for decl in n.vars() {
-        if !seen.insert(decl.name.as_str()) {
-            return Err(ModelError::DuplicateName(decl.name.clone()));
-        }
-        let canon = decl.ty.canonicalize(decl.init);
-        if !decl.ty.admits(canon) {
-            return Err(ModelError::BadInit {
-                variable: decl.name.clone(),
-                detail: format!("{} does not inhabit {}", decl.init, decl.ty),
-            });
-        }
-    }
-    let mut seen_autos = HashSet::new();
-    for a in n.automata() {
-        if !seen_autos.insert(a.name.as_str()) {
-            return Err(ModelError::DuplicateName(a.name.clone()));
-        }
-    }
+struct Validator<'a> {
+    n: &'a Network,
+    errs: Vec<ModelError>,
+}
 
-    let ty_of = |v: VarId| n.ty_of(v);
-    let n_vars = n.vars().len();
-    let check_var = |v: VarId| -> Result<(), ModelError> {
-        if v.0 >= n_vars {
-            Err(ModelError::IndexOutOfRange { what: "variable", index: v.0, len: n_vars })
-        } else {
-            Ok(())
-        }
-    };
-    let check_expr_vars = |e: &Expr| -> Result<(), ModelError> {
+impl Validator<'_> {
+    /// Checks that all variables read by `e` are in range; reports and
+    /// returns `false` otherwise (type checks must then be skipped, since
+    /// the typing function indexes the variable table).
+    fn vars_in_range(&mut self, e: &Expr) -> bool {
+        let n_vars = self.n.vars().len();
+        let mut ok = true;
         for v in e.vars() {
-            check_var(v)?;
-        }
-        Ok(())
-    };
-
-    // Rule 4 precompute: continuous-rate ownership across automata.
-    let mut rate_owner: HashMap<VarId, ProcId> = HashMap::new();
-
-    for (p, a) in n.automata().iter().enumerate() {
-        if a.locations.is_empty() {
-            return Err(ModelError::NoLocations { automaton: a.name.clone() });
-        }
-        if a.init.0 >= a.locations.len() {
-            return Err(ModelError::IndexOutOfRange {
-                what: "initial location",
-                index: a.init.0,
-                len: a.locations.len(),
-            });
-        }
-
-        for loc in &a.locations {
-            // Rule 3: invariant types.
-            check_expr_vars(&loc.invariant)?;
-            let k = loc.invariant.check(&ty_of)?;
-            if k != TypeKind::Bool {
-                return Err(ModelError::Type(crate::error::TypeError::Expected {
-                    expected: "bool",
-                    found: k.name(),
-                    context: format!("invariant of {}/{}", a.name, loc.name),
-                }));
-            }
-            // Rule 4: rates on continuous vars, unique across automata.
-            for &(v, _r) in &loc.rates {
-                check_var(v)?;
-                if n.ty_of(v) != VarType::Continuous {
-                    return Err(ModelError::RateOnDiscrete { variable: n.name_of(v) });
-                }
-                match rate_owner.get(&v) {
-                    Some(owner) if owner.0 != p => {
-                        return Err(ModelError::RateConflict { variable: n.name_of(v) })
-                    }
-                    _ => {
-                        rate_owner.insert(v, ProcId(p));
-                    }
-                }
+            if v.0 >= n_vars {
+                self.errs.push(ModelError::IndexOutOfRange {
+                    what: "variable",
+                    index: v.0,
+                    len: n_vars,
+                });
+                ok = false;
             }
         }
+        ok
+    }
 
-        // Rule 2: transitions.
-        for t in &a.transitions {
-            for endpoint in [t.from, t.to] {
-                if endpoint.0 >= a.locations.len() {
-                    return Err(ModelError::IndexOutOfRange {
-                        what: "location",
-                        index: endpoint.0,
-                        len: a.locations.len(),
-                    });
-                }
+    /// Rule 3 for Boolean positions (guards, invariants): the expression
+    /// must type-check to `bool`.
+    fn check_bool(&mut self, e: &Expr, context: impl FnOnce() -> String) {
+        if !self.vars_in_range(e) {
+            return;
+        }
+        let n = self.n;
+        match e.check(&|v| n.ty_of(v)) {
+            Err(te) => self.errs.push(ModelError::Type(te)),
+            Ok(TypeKind::Bool) => {}
+            Ok(k) => self.errs.push(ModelError::Type(crate::error::TypeError::Expected {
+                expected: "bool",
+                found: k.name(),
+                context: context(),
+            })),
+        }
+    }
+
+    fn run(&mut self) {
+        let n = self.n;
+        if n.automata().is_empty() {
+            self.errs.push(ModelError::Empty);
+        }
+
+        // Rule 6: unique names, valid initials.
+        let mut seen = HashSet::new();
+        for decl in n.vars() {
+            if !seen.insert(decl.name.as_str()) {
+                self.errs.push(ModelError::DuplicateName(decl.name.clone()));
             }
-            if t.action.0 >= n.actions().len() {
-                return Err(ModelError::IndexOutOfRange {
-                    what: "action",
-                    index: t.action.0,
-                    len: n.actions().len(),
+            let canon = decl.ty.canonicalize(decl.init);
+            if !decl.ty.admits(canon) {
+                self.errs.push(ModelError::BadInit {
+                    variable: decl.name.clone(),
+                    detail: format!("{} does not inhabit {}", decl.init, decl.ty),
                 });
             }
-            match &t.guard {
-                GuardKind::Markovian(rate) => {
-                    if !t.action.is_tau() {
-                        return Err(ModelError::MarkovianNotInternal {
-                            automaton: a.name.clone(),
-                            location: a.locations[t.from.0].name.clone(),
+        }
+        let mut seen_autos = HashSet::new();
+        for a in n.automata() {
+            if !seen_autos.insert(a.name.as_str()) {
+                self.errs.push(ModelError::DuplicateName(a.name.clone()));
+            }
+        }
+
+        // Rule 4 precompute: continuous-rate ownership across automata.
+        let mut rate_owner: HashMap<VarId, ProcId> = HashMap::new();
+
+        for (p, a) in n.automata().iter().enumerate() {
+            if a.locations.is_empty() {
+                self.errs.push(ModelError::NoLocations { automaton: a.name.clone() });
+                continue;
+            }
+            if a.init.0 >= a.locations.len() {
+                self.errs.push(ModelError::IndexOutOfRange {
+                    what: "initial location",
+                    index: a.init.0,
+                    len: a.locations.len(),
+                });
+            }
+
+            for loc in &a.locations {
+                // Rule 3: invariant types.
+                let a_name = &a.name;
+                let loc_name = &loc.name;
+                self.check_bool(&loc.invariant, || format!("invariant of {a_name}/{loc_name}"));
+                // Rule 4: rates on continuous vars, unique across automata.
+                for &(v, _r) in &loc.rates {
+                    if v.0 >= n.vars().len() {
+                        self.errs.push(ModelError::IndexOutOfRange {
+                            what: "variable",
+                            index: v.0,
+                            len: n.vars().len(),
                         });
+                        continue;
                     }
-                    if !(*rate > 0.0) || !rate.is_finite() {
-                        return Err(ModelError::NonPositiveRate {
-                            automaton: a.name.clone(),
-                            rate: *rate,
+                    if n.ty_of(v) != VarType::Continuous {
+                        self.errs.push(ModelError::RateOnDiscrete { variable: n.name_of(v) });
+                    }
+                    match rate_owner.get(&v) {
+                        Some(owner) if owner.0 != p => {
+                            self.errs.push(ModelError::RateConflict { variable: n.name_of(v) });
+                        }
+                        _ => {
+                            rate_owner.insert(v, ProcId(p));
+                        }
+                    }
+                }
+            }
+
+            // Rule 2: transitions.
+            for t in &a.transitions {
+                for endpoint in [t.from, t.to] {
+                    if endpoint.0 >= a.locations.len() {
+                        self.errs.push(ModelError::IndexOutOfRange {
+                            what: "location",
+                            index: endpoint.0,
+                            len: a.locations.len(),
                         });
                     }
                 }
-                GuardKind::Boolean(g) => {
-                    check_expr_vars(g)?;
-                    let k = g.check(&ty_of)?;
-                    if k != TypeKind::Bool {
-                        return Err(ModelError::Type(crate::error::TypeError::Expected {
-                            expected: "bool",
+                if t.action.0 >= n.actions().len() {
+                    self.errs.push(ModelError::IndexOutOfRange {
+                        what: "action",
+                        index: t.action.0,
+                        len: n.actions().len(),
+                    });
+                }
+                match &t.guard {
+                    GuardKind::Markovian(rate) => {
+                        if !t.action.is_tau() {
+                            let location = a
+                                .locations
+                                .get(t.from.0)
+                                .map(|l| l.name.clone())
+                                .unwrap_or_else(|| format!("<loc {}>", t.from.0));
+                            self.errs.push(ModelError::MarkovianNotInternal {
+                                automaton: a.name.clone(),
+                                location,
+                            });
+                        }
+                        if !rate.is_finite() || *rate <= 0.0 {
+                            self.errs.push(ModelError::NonPositiveRate {
+                                automaton: a.name.clone(),
+                                rate: *rate,
+                            });
+                        }
+                    }
+                    GuardKind::Boolean(g) => {
+                        let a_name = &a.name;
+                        self.check_bool(g, || format!("guard in {a_name}"));
+                    }
+                }
+                // Rule 3: effects.
+                for eff in &t.effects {
+                    if eff.var.0 >= n.vars().len() {
+                        self.errs.push(ModelError::IndexOutOfRange {
+                            what: "variable",
+                            index: eff.var.0,
+                            len: n.vars().len(),
+                        });
+                        continue;
+                    }
+                    if !self.vars_in_range(&eff.expr) {
+                        continue;
+                    }
+                    let k = match eff.expr.check(&|v| n.ty_of(v)) {
+                        Ok(k) => k,
+                        Err(te) => {
+                            self.errs.push(ModelError::Type(te));
+                            continue;
+                        }
+                    };
+                    let target = n.ty_of(eff.var);
+                    let compatible = match target {
+                        VarType::Bool => k == TypeKind::Bool,
+                        VarType::Int { .. } => k == TypeKind::Int,
+                        VarType::Real | VarType::Clock | VarType::Continuous => k.is_numeric(),
+                    };
+                    if !compatible {
+                        self.errs.push(ModelError::Type(crate::error::TypeError::Expected {
+                            expected: match target {
+                                VarType::Bool => "bool",
+                                VarType::Int { .. } => "int",
+                                _ => "number",
+                            },
                             found: k.name(),
-                            context: format!("guard in {}", a.name),
+                            context: format!("effect on {} in {}", n.name_of(eff.var), a.name),
                         }));
                     }
                 }
             }
-            // Rule 3: effects.
-            for eff in &t.effects {
-                check_var(eff.var)?;
-                check_expr_vars(&eff.expr)?;
-                let k = eff.expr.check(&ty_of)?;
-                let target = n.ty_of(eff.var);
-                let compatible = match target {
-                    VarType::Bool => k == TypeKind::Bool,
-                    VarType::Int { .. } => k == TypeKind::Int,
-                    VarType::Real | VarType::Clock | VarType::Continuous => k.is_numeric(),
-                };
-                if !compatible {
-                    return Err(ModelError::Type(crate::error::TypeError::Expected {
-                        expected: match target {
-                            VarType::Bool => "bool",
-                            VarType::Int { .. } => "int",
-                            _ => "number",
-                        },
-                        found: k.name(),
-                        context: format!("effect on {} in {}", n.name_of(eff.var), a.name),
-                    }));
+
+            // Rule 2: no mixed locations; Markovian locations have trivial
+            // invariants.
+            for (l_idx, loc) in a.locations.iter().enumerate() {
+                let loc_id = LocId(l_idx);
+                let mut has_guarded = false;
+                let mut has_markov = false;
+                for (_, t) in a.outgoing(loc_id) {
+                    match t.guard {
+                        GuardKind::Boolean(_) => has_guarded = true,
+                        GuardKind::Markovian(_) => has_markov = true,
+                    }
+                }
+                if has_guarded && has_markov {
+                    self.errs.push(ModelError::MixedTransitionKinds {
+                        automaton: a.name.clone(),
+                        location: loc.name.clone(),
+                    });
+                }
+                if has_markov && !loc.invariant.is_const_true() {
+                    self.errs.push(ModelError::MarkovianInvariant {
+                        automaton: a.name.clone(),
+                        location: loc.name.clone(),
+                    });
                 }
             }
         }
 
-        // Rule 2: no mixed locations; Markovian locations have trivial
-        // invariants.
-        for (l_idx, loc) in a.locations.iter().enumerate() {
-            let loc_id = LocId(l_idx);
-            let mut has_guarded = false;
-            let mut has_markov = false;
-            for (_, t) in a.outgoing(loc_id) {
-                match t.guard {
-                    GuardKind::Boolean(_) => has_guarded = true,
-                    GuardKind::Markovian(_) => has_markov = true,
+        // Rule 5: flow targets.
+        let mut effect_targets: HashSet<VarId> = HashSet::new();
+        for a in n.automata() {
+            for t in &a.transitions {
+                for eff in &t.effects {
+                    effect_targets.insert(eff.var);
                 }
             }
-            if has_guarded && has_markov {
-                return Err(ModelError::MixedTransitionKinds {
-                    automaton: a.name.clone(),
-                    location: loc.name.clone(),
+        }
+        for f in n.flows() {
+            if f.target.0 >= n.vars().len() {
+                self.errs.push(ModelError::IndexOutOfRange {
+                    what: "variable",
+                    index: f.target.0,
+                    len: n.vars().len(),
                 });
+                continue;
             }
-            if has_markov && !loc.invariant.is_const_true() {
-                return Err(ModelError::MarkovianInvariant {
-                    automaton: a.name.clone(),
-                    location: loc.name.clone(),
-                });
+            if !self.vars_in_range(&f.expr) {
+                continue;
+            }
+            if effect_targets.contains(&f.target)
+                || rate_owner.contains_key(&f.target)
+                || n.ty_of(f.target).is_timed()
+            {
+                self.errs.push(ModelError::FlowTargetConflict { variable: n.name_of(f.target) });
+            }
+            let k = match f.expr.check(&|v| n.ty_of(v)) {
+                Ok(k) => k,
+                Err(te) => {
+                    self.errs.push(ModelError::Type(te));
+                    continue;
+                }
+            };
+            let target = n.ty_of(f.target);
+            let compatible = match target {
+                VarType::Bool => k == TypeKind::Bool,
+                VarType::Int { .. } => k == TypeKind::Int,
+                VarType::Real => k.is_numeric(),
+                VarType::Clock | VarType::Continuous => false,
+            };
+            if !compatible {
+                self.errs.push(ModelError::Type(crate::error::TypeError::Expected {
+                    expected: "flow-compatible kind",
+                    found: k.name(),
+                    context: format!("flow into {}", n.name_of(f.target)),
+                }));
             }
         }
     }
-
-    // Rule 5: flow targets.
-    let mut effect_targets: HashSet<VarId> = HashSet::new();
-    for a in n.automata() {
-        for t in &a.transitions {
-            for eff in &t.effects {
-                effect_targets.insert(eff.var);
-            }
-        }
-    }
-    for f in n.flows() {
-        check_var(f.target)?;
-        check_expr_vars(&f.expr)?;
-        if effect_targets.contains(&f.target)
-            || rate_owner.contains_key(&f.target)
-            || n.ty_of(f.target).is_timed()
-        {
-            return Err(ModelError::FlowTargetConflict { variable: n.name_of(f.target) });
-        }
-        let k = f.expr.check(&ty_of)?;
-        let target = n.ty_of(f.target);
-        let compatible = match target {
-            VarType::Bool => k == TypeKind::Bool,
-            VarType::Int { .. } => k == TypeKind::Int,
-            VarType::Real => k.is_numeric(),
-            VarType::Clock | VarType::Continuous => false,
-        };
-        if !compatible {
-            return Err(ModelError::Type(crate::error::TypeError::Expected {
-                expected: "flow-compatible kind",
-                found: k.name(),
-                context: format!("flow into {}", n.name_of(f.target)),
-            }));
-        }
-    }
-
-    Ok(())
 }
 
 #[cfg(test)]
@@ -433,5 +513,80 @@ mod tests {
         a.guarded(l0, ActionId::TAU, Expr::var(VarId(7)).eq(Expr::bool(true)), [], l0);
         b.add_automaton(a);
         assert!(matches!(b.build(), Err(ModelError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn markovian_on_sync_action_rejected() {
+        let mut b = NetworkBuilder::new();
+        let act = b.action("sync");
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, act, Expr::bool(true), [], l0);
+        b.add_automaton(a);
+        // The builder API cannot produce a non-τ Markovian transition, so
+        // assemble first and rewrite the guard kind underneath it.
+        let NetworkBuilderParts { mut net } = assemble_unchecked(b);
+        net.automata[0].transitions[0].guard = GuardKind::Markovian(1.0);
+        assert!(matches!(validate_network(&net), Err(ModelError::MarkovianNotInternal { .. })));
+    }
+
+    /// `validate_all` keeps going after the first violation and reports
+    /// every broken rule exactly once.
+    #[test]
+    fn validate_all_collects_multiple_violations() {
+        let mut b = NetworkBuilder::new();
+        // Two violations in the variable table...
+        b.var("x", VarType::Bool, Value::Bool(false));
+        b.var("x", VarType::Bool, Value::Bool(false));
+        b.var("n", VarType::Int { lo: 1, hi: 5 }, Value::Int(9));
+        // ...one in each of two automata.
+        let mut a1 = AutomatonBuilder::new("p1");
+        let l0 = a1.location("l0");
+        a1.guarded(l0, ActionId::TAU, Expr::int(1), [], l0);
+        b.add_automaton(a1);
+        let mut a2 = AutomatonBuilder::new("p2");
+        let m0 = a2.location("m0");
+        a2.markovian(m0, -1.0, [], m0);
+        b.add_automaton(a2);
+
+        // build() stops at the first error...
+        let first = b.clone().build().unwrap_err();
+        assert!(matches!(first, ModelError::DuplicateName(_)));
+
+        // ...but validate_all reports all four.
+        let NetworkBuilderParts { net } = assemble_unchecked(b);
+        let errs = validate_all(&net);
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        assert!(matches!(errs[0], ModelError::DuplicateName(_)));
+        assert!(matches!(errs[1], ModelError::BadInit { .. }));
+        assert!(matches!(errs[2], ModelError::Type(_)));
+        assert!(matches!(errs[3], ModelError::NonPositiveRate { .. }));
+    }
+
+    /// The first element of `validate_all` is exactly what
+    /// `validate_network` reports.
+    #[test]
+    fn first_of_validate_all_matches_validate_network() {
+        let mut b = NetworkBuilder::new();
+        b.var("n", VarType::Int { lo: 1, hi: 5 }, Value::Int(9));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::int(1), [], l0);
+        b.add_automaton(a);
+        let NetworkBuilderParts { net } = assemble_unchecked(b);
+        let all = validate_all(&net);
+        let first = validate_network(&net).unwrap_err();
+        assert_eq!(all.first(), Some(&first));
+        assert_eq!(all.len(), 2);
+    }
+
+    /// Helper: assembles an (invalid) network, bypassing `build()`'s
+    /// validation so `validate_all` can be exercised on broken inputs.
+    struct NetworkBuilderParts {
+        net: Network,
+    }
+
+    fn assemble_unchecked(b: NetworkBuilder) -> NetworkBuilderParts {
+        NetworkBuilderParts { net: b.assemble_for_validation().expect("flow toposort") }
     }
 }

@@ -1,14 +1,13 @@
 //! Runtime values and variable types.
 
 use crate::error::EvalError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A runtime value of a SLIM data component.
 ///
 /// Clocks and continuous variables hold [`Value::Real`] values; the type
 /// distinction lives in [`VarType`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// Boolean value.
     Bool(bool),
@@ -112,7 +111,7 @@ impl From<f64> for Value {
 }
 
 /// The declared type of a variable (SLIM data component).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VarType {
     /// Boolean data component.
     Bool,

@@ -1,52 +1,46 @@
-//! Criterion micro-benchmarks of the CTMC baseline pipeline phases —
-//! the per-state costs that blow up Table I's CTMC columns.
+//! Micro-benchmarks of the CTMC baseline pipeline phases — the per-state
+//! costs that blow up Table I's CTMC columns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slim_automata::prelude::NetState;
 use slim_ctmc::eliminate::eliminate;
 use slim_ctmc::explore::{explore, ExploreConfig};
 use slim_ctmc::lumping::lump;
 use slim_ctmc::transient::{timed_reachability, TransientConfig};
 use slim_models::sensor_filter::{sensor_filter_network, SensorFilterParams, GOAL_VAR};
+use slimsim_bench::harness::Harness;
 
-fn bench_pipeline_phases(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ctmc_pipeline");
-    group.sample_size(10);
+fn bench_pipeline_phases(h: &mut Harness) {
+    h.group("ctmc_pipeline");
 
     for size in [2usize, 4] {
-        let net = sensor_filter_network(&SensorFilterParams {
-            redundancy: size,
-            ..Default::default()
-        });
+        let net =
+            sensor_filter_network(&SensorFilterParams { redundancy: size, ..Default::default() });
         let failed = net.var_id(GOAL_VAR).unwrap();
         let goal = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
 
-        group.bench_with_input(BenchmarkId::new("explore", size), &size, |b, _| {
-            b.iter(|| explore(&net, &goal, &ExploreConfig::default()).unwrap())
+        h.bench(&format!("explore/{size}"), || {
+            explore(&net, &goal, &ExploreConfig::default()).unwrap()
         });
 
         let explored = explore(&net, &goal, &ExploreConfig::default()).unwrap();
-        group.bench_with_input(BenchmarkId::new("eliminate", size), &size, |b, _| {
-            b.iter(|| eliminate(&explored.imc).unwrap())
-        });
+        h.bench(&format!("eliminate/{size}"), || eliminate(&explored.imc).unwrap());
 
         let ctmc = eliminate(&explored.imc).unwrap();
-        group.bench_with_input(BenchmarkId::new("lump", size), &size, |b, _| {
-            b.iter(|| lump(&ctmc))
-        });
+        h.bench(&format!("lump/{size}"), || lump(&ctmc));
 
         let lumped = lump(&ctmc).quotient;
-        group.bench_with_input(BenchmarkId::new("transient", size), &size, |b, _| {
-            b.iter(|| timed_reachability(&lumped, 2.0, &TransientConfig::default()))
+        h.bench(&format!("transient/{size}"), || {
+            timed_reachability(&lumped, 2.0, &TransientConfig::default())
         });
 
         // Ablation: transient analysis without the lumping reduction.
-        group.bench_with_input(BenchmarkId::new("transient_unlumped", size), &size, |b, _| {
-            b.iter(|| timed_reachability(&ctmc, 2.0, &TransientConfig::default()))
+        h.bench(&format!("transient_unlumped/{size}"), || {
+            timed_reachability(&ctmc, 2.0, &TransientConfig::default())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_phases);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_pipeline_phases(&mut h);
+}

@@ -1,27 +1,23 @@
-//! Criterion micro-benchmarks of the SLIM front-end: lexing, parsing,
+//! Micro-benchmarks of the SLIM front-end: lexing, parsing,
 //! pretty-printing and lowering.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use slim_lang::{lexer::lex, lower, parse, pretty};
 use slim_models::gps::{gps_slim_source, GpsParams};
+use slimsim_bench::harness::Harness;
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(h: &mut Harness) {
     let src = gps_slim_source(&GpsParams::default());
     let model = parse(&src).unwrap();
 
-    let mut group = c.benchmark_group("frontend");
-    group.throughput(Throughput::Bytes(src.len() as u64));
-    group.bench_function("lex", |b| b.iter(|| lex(&src).unwrap()));
-    group.bench_function("parse", |b| b.iter(|| parse(&src).unwrap()));
-    group.bench_function("pretty", |b| b.iter(|| pretty(&model)));
-    group.bench_function("lower", |b| {
-        b.iter(|| lower(&model, "GPS", "Impl", "gps").unwrap())
-    });
-    group.bench_function("parse_and_lower", |b| {
-        b.iter(|| lower(&parse(&src).unwrap(), "GPS", "Impl", "gps").unwrap())
-    });
-    group.finish();
+    h.group("frontend");
+    h.bench("lex", || lex(&src).unwrap());
+    h.bench("parse", || parse(&src).unwrap());
+    h.bench("pretty", || pretty(&model));
+    h.bench("lower", || lower(&model, "GPS", "Impl", "gps").unwrap());
+    h.bench("parse_and_lower", || lower(&parse(&src).unwrap(), "GPS", "Impl", "gps").unwrap());
 }
 
-criterion_group!(benches, bench_frontend);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_frontend(&mut h);
+}

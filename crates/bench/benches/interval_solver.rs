@@ -1,51 +1,44 @@
-//! Criterion micro-benchmarks of the exact enabling-window machinery:
-//! interval-set algebra and the linear delay solver.
+//! Micro-benchmarks of the exact enabling-window machinery: interval-set
+//! algebra and the linear delay solver.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use slim_automata::eval::Valuation;
 use slim_automata::expr::{Expr, VarId};
 use slim_automata::interval::{Interval, IntervalSet};
 use slim_automata::linear::{solve, DelayEnv};
 use slim_automata::value::Value;
+use slimsim_bench::harness::Harness;
 
 fn set_a() -> IntervalSet {
-    IntervalSet::from_intervals((0..12).map(|i| {
-        Interval::closed(i as f64 * 3.0, i as f64 * 3.0 + 2.0).unwrap()
-    }))
+    IntervalSet::from_intervals(
+        (0..12).map(|i| Interval::closed(i as f64 * 3.0, i as f64 * 3.0 + 2.0).unwrap()),
+    )
 }
 
 fn set_b() -> IntervalSet {
-    IntervalSet::from_intervals((0..12).map(|i| {
-        Interval::open_closed(i as f64 * 2.5 + 1.0, i as f64 * 2.5 + 2.4).unwrap()
-    }))
+    IntervalSet::from_intervals(
+        (0..12).map(|i| Interval::open_closed(i as f64 * 2.5 + 1.0, i as f64 * 2.5 + 2.4).unwrap()),
+    )
 }
 
-fn bench_interval_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interval_sets");
+fn bench_interval_ops(h: &mut Harness) {
+    h.group("interval_sets");
     let a = set_a();
     let b = set_b();
-    group.bench_function("union", |bch| bch.iter(|| a.union(&b)));
-    group.bench_function("intersect", |bch| bch.iter(|| a.intersect(&b)));
-    group.bench_function("complement", |bch| bch.iter(|| a.complement()));
-    group.bench_function("pick", |bch| {
-        let mut u = 0.1;
-        bch.iter(|| {
-            u = (u + 0.618) % 1.0;
-            a.pick(u)
-        })
+    h.bench("union", || a.union(&b));
+    h.bench("intersect", || a.intersect(&b));
+    h.bench("complement", || a.complement());
+    let mut u = 0.1;
+    h.bench("pick", || {
+        u = (u + 0.618) % 1.0;
+        a.pick(u)
     });
-    group.finish();
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linear_solver");
+fn bench_solver(h: &mut Harness) {
+    h.group("linear_solver");
     // Two clocks, one continuous variable, one discrete int.
-    let nu = Valuation::new(vec![
-        Value::Real(12.0),
-        Value::Real(3.0),
-        Value::Real(80.0),
-        Value::Int(3),
-    ]);
+    let nu =
+        Valuation::new(vec![Value::Real(12.0), Value::Real(3.0), Value::Real(80.0), Value::Int(3)]);
     const RATES: [f64; 4] = [1.0, 1.0, -2.0, 0.0];
     fn rate(v: VarId) -> f64 {
         RATES[v.0]
@@ -63,18 +56,17 @@ fn bench_solver(c: &mut Criterion) {
         .and(y().lt(Expr::real(50.0)))
         .or(e().le(Expr::real(10.0)).and(n().ge(Expr::int(2))))
         .and(x().add(y()).le(Expr::real(500.0)));
-    let with_ite = Expr::ite(
-        n().ge(Expr::int(2)),
-        x().le(Expr::real(100.0)),
-        x().le(Expr::real(50.0)),
-    )
-    .and(e().gt(Expr::real(0.0)));
+    let with_ite =
+        Expr::ite(n().ge(Expr::int(2)), x().le(Expr::real(100.0)), x().le(Expr::real(50.0)))
+            .and(e().gt(Expr::real(0.0)));
 
-    group.bench_function("window_guard", |b| b.iter(|| solve(&simple, &env).unwrap()));
-    group.bench_function("nested_guard", |b| b.iter(|| solve(&nested, &env).unwrap()));
-    group.bench_function("ite_guard", |b| b.iter(|| solve(&with_ite, &env).unwrap()));
-    group.finish();
+    h.bench("window_guard", || solve(&simple, &env).unwrap());
+    h.bench("nested_guard", || solve(&nested, &env).unwrap());
+    h.bench("ite_guard", || solve(&with_ite, &env).unwrap());
 }
 
-criterion_group!(benches, bench_interval_ops, bench_solver);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_interval_ops(&mut h);
+    bench_solver(&mut h);
+}

@@ -1,41 +1,32 @@
-//! Criterion micro-benchmarks of the simulation engine: path-generation
-//! throughput per model and strategy (the per-path cost that makes the
-//! simulator's Table I columns flat).
+//! Micro-benchmarks of the simulation engine: path-generation throughput
+//! per model and strategy (the per-path cost that makes the simulator's
+//! Table I columns flat).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slim_automata::prelude::Expr;
 use slim_models::gps::{gps_network, GpsParams};
 use slim_models::launcher::{launcher_network, LauncherParams};
 use slim_models::sensor_filter::{sensor_filter_network, SensorFilterParams, GOAL_VAR};
 use slim_stats::rng::path_rng;
-use slim_automata::prelude::Expr;
+use slimsim_bench::harness::Harness;
 use slimsim_core::prelude::*;
 
-fn bench_path_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("path_generation");
-    group.sample_size(20);
+fn bench_path_generation(h: &mut Harness) {
+    h.group("path_generation");
 
     // Sensor–filter (untimed, Markovian) at two sizes.
     for size in [2, 6] {
-        let net = sensor_filter_network(&SensorFilterParams {
-            redundancy: size,
-            ..Default::default()
-        });
+        let net =
+            sensor_filter_network(&SensorFilterParams { redundancy: size, ..Default::default() });
         let failed = net.var_id(GOAL_VAR).unwrap();
         let prop = TimedReach::new(Goal::expr(Expr::var(failed)), 2.0);
         let gen = PathGenerator::new(&net, &prop, 100_000);
-        group.bench_with_input(
-            BenchmarkId::new("sensor_filter", size),
-            &size,
-            |b, _| {
-                let mut strategy = Asap;
-                let mut i = 0u64;
-                b.iter(|| {
-                    let mut rng = path_rng(1, i);
-                    i += 1;
-                    gen.generate(&mut strategy, &mut rng).unwrap()
-                });
-            },
-        );
+        let mut strategy = Asap;
+        let mut i = 0u64;
+        h.bench(&format!("sensor_filter/{size}"), || {
+            let mut rng = path_rng(1, i);
+            i += 1;
+            gen.generate(&mut strategy, &mut rng).unwrap()
+        });
     }
 
     // The launcher (timed, hybrid) per strategy.
@@ -44,19 +35,13 @@ fn bench_path_generation(c: &mut Criterion) {
     let prop = TimedReach::new(Goal::expr(Expr::var(failure)), 2.0);
     let gen = PathGenerator::new(&net, &prop, 100_000);
     for kind in StrategyKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("launcher", kind.to_string()),
-            &kind,
-            |b, &kind| {
-                let mut strategy = kind.instantiate();
-                let mut i = 0u64;
-                b.iter(|| {
-                    let mut rng = path_rng(2, i);
-                    i += 1;
-                    gen.generate(strategy.as_mut(), &mut rng).unwrap()
-                });
-            },
-        );
+        let mut strategy = kind.instantiate();
+        let mut i = 0u64;
+        h.bench(&format!("launcher/{kind}"), || {
+            let mut rng = path_rng(2, i);
+            i += 1;
+            gen.generate(strategy.as_mut(), &mut rng).unwrap()
+        });
     }
 
     // GPS (clock windows through the SLIM front-end).
@@ -64,35 +49,28 @@ fn bench_path_generation(c: &mut Criterion) {
     let goal = Goal::in_location(&net, "gps.error_GpsError", "permanent").unwrap();
     let prop = TimedReach::new(goal, 10.0);
     let gen = PathGenerator::new(&net, &prop, 100_000);
-    group.bench_function("gps/progressive", |b| {
-        let mut strategy = Progressive;
-        let mut i = 0u64;
-        b.iter(|| {
-            let mut rng = path_rng(3, i);
-            i += 1;
-            gen.generate(&mut strategy, &mut rng).unwrap()
-        });
+    let mut strategy = Progressive;
+    let mut i = 0u64;
+    h.bench("gps/progressive", || {
+        let mut rng = path_rng(3, i);
+        i += 1;
+        gen.generate(&mut strategy, &mut rng).unwrap()
     });
-
-    group.finish();
 }
 
-fn bench_step_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step_primitives");
-    group.sample_size(30);
+fn bench_step_primitives(h: &mut Harness) {
+    h.group("step_primitives");
     let net = launcher_network(&LauncherParams::default());
     let state = net.initial_state().unwrap();
 
-    group.bench_function("guarded_candidates", |b| {
-        b.iter(|| net.guarded_candidates(&state).unwrap())
-    });
-    group.bench_function("markovian_candidates", |b| {
-        b.iter(|| net.markovian_candidates(&state))
-    });
-    group.bench_function("delay_window", |b| b.iter(|| net.delay_window(&state).unwrap()));
-    group.bench_function("advance", |b| b.iter(|| net.advance(&state, 0.05).unwrap()));
-    group.finish();
+    h.bench("guarded_candidates", || net.guarded_candidates(&state).unwrap());
+    h.bench("markovian_candidates", || net.markovian_candidates(&state));
+    h.bench("delay_window", || net.delay_window(&state).unwrap());
+    h.bench("advance", || net.advance(&state, 0.05).unwrap());
 }
 
-criterion_group!(benches, bench_path_generation, bench_step_primitives);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_path_generation(&mut h);
+    bench_step_primitives(&mut h);
+}

@@ -1,82 +1,67 @@
-//! Criterion micro-benchmarks of the statistics engine: generator feeds,
-//! the round-robin collector, and the parallel runner's scaling on the
+//! Micro-benchmarks of the statistics engine: generator feeds, the
+//! round-robin collector, and the parallel runner's scaling on the
 //! sensor–filter model (§III-C).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slim_automata::prelude::Expr;
 use slim_models::sensor_filter::{sensor_filter_network, SensorFilterParams, GOAL_VAR};
-use slim_stats::estimator::Generator;
 use slim_stats::parallel::RoundRobinCollector;
 use slim_stats::sequential::GeneratorKind;
 use slim_stats::Accuracy;
-use slim_automata::prelude::Expr;
+use slimsim_bench::harness::Harness;
 use slimsim_core::prelude::*;
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
+fn bench_generators(h: &mut Harness) {
+    h.group("generators");
     let acc = Accuracy::new(0.01, 0.05).unwrap();
     for kind in GeneratorKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("feed_10k", kind.to_string()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut g = kind.instantiate(acc);
-                    for i in 0..10_000u32 {
-                        g.add(i % 3 == 0);
-                    }
-                    g.estimate()
-                })
-            },
-        );
+        h.bench(&format!("feed_10k/{kind}"), || {
+            let mut g = kind.instantiate(acc);
+            for i in 0..10_000u32 {
+                g.add(i % 3 == 0);
+            }
+            g.estimate()
+        });
     }
-    group.finish();
 }
 
-fn bench_collector(c: &mut Criterion) {
-    let mut group = c.benchmark_group("round_robin_collector");
+fn bench_collector(h: &mut Harness) {
+    h.group("round_robin_collector");
     for workers in [2usize, 8, 48] {
-        group.bench_with_input(
-            BenchmarkId::new("push_drain_10k", workers),
-            &workers,
-            |b, &workers| {
-                b.iter(|| {
-                    let mut col = RoundRobinCollector::new(workers);
-                    let mut total = 0usize;
-                    for i in 0..10_000usize {
-                        col.push(i % workers, i % 7 == 0);
-                        if i % 64 == 0 {
-                            total += col.drain_rounds().len();
-                        }
-                    }
-                    for w in 0..workers {
-                        col.finish_worker(w);
-                    }
-                    total + col.drain_rounds().len()
-                })
-            },
-        );
+        h.bench(&format!("push_drain_10k/{workers}"), || {
+            let mut col = RoundRobinCollector::new(workers);
+            let mut total = 0usize;
+            for i in 0..10_000usize {
+                col.push(i % workers, i % 7 == 0);
+                if i % 64 == 0 {
+                    total += col.drain_rounds().len();
+                }
+            }
+            for w in 0..workers {
+                col.finish_worker(w);
+            }
+            total + col.drain_rounds().len()
+        });
     }
-    group.finish();
 }
 
-fn bench_parallel_runner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_runner");
-    group.sample_size(10);
+fn bench_parallel_runner(h: &mut Harness) {
+    h.group("parallel_runner");
     let net = sensor_filter_network(&SensorFilterParams::default());
     let failed = net.var_id(GOAL_VAR).unwrap();
     let prop = TimedReach::new(Goal::expr(Expr::var(failed)), 2.0);
     let acc = Accuracy::new(0.05, 0.1).unwrap();
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("analyze", workers), &workers, |b, &w| {
-            let cfg = SimConfig::default()
-                .with_accuracy(acc)
-                .with_strategy(StrategyKind::Asap)
-                .with_workers(w);
-            b.iter(|| analyze(&net, &prop, &cfg).unwrap())
-        });
+        let cfg = SimConfig::default()
+            .with_accuracy(acc)
+            .with_strategy(StrategyKind::Asap)
+            .with_workers(workers);
+        h.bench(&format!("analyze/{workers}"), || analyze(&net, &prop, &cfg).unwrap());
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_generators, bench_collector, bench_parallel_runner);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_generators(&mut h);
+    bench_collector(&mut h);
+    bench_parallel_runner(&mut h);
+}

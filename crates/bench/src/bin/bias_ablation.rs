@@ -48,7 +48,7 @@ fn run(seed: u64, round_robin: bool) -> (f64, u64) {
     // Event queue: (finish_time, worker, outcome).
     let mut heap: BinaryHeap<Reverse<(u64, usize, bool)>> = BinaryHeap::new();
     let mut rngs: Vec<u64> = (0..WORKERS).map(|w| derive_seed(seed, w as u64)).collect();
-    let mut clock = vec![0f64; WORKERS];
+    let mut clock = [0f64; WORKERS];
     for w in 0..WORKERS {
         let s = uniform(&mut rngs[w]) < TRUE_P;
         clock[w] += if s { FAST } else { SLOW };

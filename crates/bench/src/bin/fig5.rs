@@ -44,7 +44,7 @@ fn main() {
             print!(" {:>12}", s.to_string());
         }
         println!();
-        let series = fig5_series(mode, &bounds, accuracy, workers, 0xF16_5);
+        let series = fig5_series(mode, &bounds, accuracy, workers, 0xF165);
         for &bound in &bounds {
             print!("{bound:>6}");
             for s in StrategyKind::ALL {

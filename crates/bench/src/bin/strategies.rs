@@ -20,15 +20,20 @@ fn main() {
         ..GpsParams::default()
     };
     let net = gps_network(&params);
-    let goal = Goal::in_location(&net, "gps.error_GpsError", "permanent")
-        .expect("error automaton exists");
+    let goal =
+        Goal::in_location(&net, "gps.error_GpsError", "permanent").expect("error automaton exists");
     let accuracy = Accuracy::new(0.01, 0.05).expect("valid accuracy");
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
 
-    println!("GPS strategy study (§III-B): repair window [{}, {}], cool-down {}",
-        params.repair_earliest, params.repair_latest, params.cooldown);
+    println!(
+        "GPS strategy study (§III-B): repair window [{}, {}], cool-down {}",
+        params.repair_earliest, params.repair_latest, params.cooldown
+    );
     println!("P(◇[0,0.4] permanent), {accuracy}, {workers} workers\n");
-    println!("{:<14} {:>12} {:>10} {:>12} {:>10}", "strategy", "P(escalate)", "paths", "mean steps", "time");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>10}",
+        "strategy", "P(escalate)", "paths", "mean steps", "time"
+    );
     let property = TimedReach::new(goal, 0.4);
     for strategy in StrategyKind::ALL {
         let config = SimConfig::default()

@@ -25,10 +25,22 @@ fn main() {
         ..Default::default()
     };
     println!("Table I — sensor–filter benchmark, P(◇[0,{}] failed), {}", cfg.horizon, cfg.accuracy);
-    println!("(simulator: ASAP strategy, {} workers; CTMC state limit {})\n", cfg.workers, cfg.state_limit);
+    println!(
+        "(simulator: ASAP strategy, {} workers; CTMC state limit {})\n",
+        cfg.workers, cfg.state_limit
+    );
     println!(
         "{:>4} | {:>9} {:>7} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>8}",
-        "size", "states", "lumped", "ctmc s", "ctmc MiB", "ctmc P", "sim s", "sim MiB", "sim P", "paths"
+        "size",
+        "states",
+        "lumped",
+        "ctmc s",
+        "ctmc MiB",
+        "ctmc P",
+        "sim s",
+        "sim MiB",
+        "sim P",
+        "paths"
     );
     println!("{}", "-".repeat(108));
     for size in sizes {

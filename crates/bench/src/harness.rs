@@ -1,0 +1,129 @@
+//! A minimal, dependency-free micro-benchmark harness for the
+//! `[[bench]]` targets (`harness = false`).
+//!
+//! Each benchmark calibrates an iteration count from a short warm-up,
+//! takes a handful of timed samples, and reports the median time per
+//! iteration. `cargo bench -- <filter>` runs only matching benchmarks;
+//! `cargo test --benches` compiles them and runs each body once, so CI
+//! keeps the benches honest without paying measurement time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Timed samples per benchmark (the median is reported).
+const SAMPLES: usize = 5;
+
+/// Collects and prints benchmark measurements.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    test_mode: bool,
+    group: String,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments (`[filter]`,
+    /// `--test`); ignores the flags cargo's bench runner passes.
+    pub fn from_args() -> Harness {
+        let mut filter = None;
+        let mut test_mode = false;
+        for a in std::env::args().skip(1) {
+            if a == "--test" {
+                test_mode = true;
+            } else if !a.starts_with('-') {
+                filter = Some(a);
+            }
+        }
+        Harness { filter, test_mode, group: String::new() }
+    }
+
+    /// Sets the group prefix for subsequent benchmark names.
+    pub fn group(&mut self, name: &str) {
+        self.group = name.to_string();
+    }
+
+    /// Measures `f`, reporting median ns/iteration under `name`.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let full =
+            if self.group.is_empty() { name.to_string() } else { format!("{}/{name}", self.group) };
+        if let Some(fi) = &self.filter {
+            if !full.contains(fi.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            // `cargo test --benches`: run once for correctness only.
+            black_box(f());
+            println!("test {full} ... ok");
+            return;
+        }
+
+        // Warm-up: find how many iterations fill the sample target.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= SAMPLE_TARGET / 4 || iters >= 1 << 30 {
+                let per = el.as_nanos().max(1) as f64 / iters as f64;
+                iters = ((SAMPLE_TARGET.as_nanos() as f64 / per).ceil() as u64).max(1);
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!("{full:<48} {:>12}/iter  (range {} … {})", fmt_ns(median), fmt_ns(lo), fmt_ns(hi));
+    }
+}
+
+/// Formats nanoseconds human-readably.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.50 s");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness { filter: Some("other".into()), test_mode: true, group: String::new() };
+        let mut ran = false;
+        h.bench("this", || ran = true);
+        assert!(!ran);
+        h.bench("other/x", || ran = true);
+        assert!(ran);
+    }
+}

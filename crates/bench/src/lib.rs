@@ -11,7 +11,7 @@
 //!   strategy, permanent and recoverable variants;
 //! * `strategies` — §III-B: the GPS strategy study.
 
-#![warn(missing_docs)]
+pub mod harness;
 
 use slim_automata::prelude::{Expr, NetState, Network};
 use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
@@ -106,9 +106,7 @@ pub fn table1_row(size: usize, cfg: &Table1Config) -> Table1Row {
             memory_bytes: r.approx_memory_bytes,
             probability: r.probability,
         }),
-        Err(CtmcError::StateLimitExceeded { limit }) => {
-            Err(format!("memout (> {limit} states)"))
-        }
+        Err(CtmcError::StateLimitExceeded { limit }) => Err(format!("memout (> {limit} states)")),
         Err(e) => Err(e.to_string()),
     };
 
@@ -227,13 +225,8 @@ mod tests {
 
     #[test]
     fn fig5_series_shapes() {
-        let pts = fig5_series(
-            DpuFaultMode::Permanent,
-            &[0.5],
-            Accuracy::new(0.2, 0.2).unwrap(),
-            2,
-            7,
-        );
+        let pts =
+            fig5_series(DpuFaultMode::Permanent, &[0.5], Accuracy::new(0.2, 0.2).unwrap(), 2, 7);
         assert_eq!(pts.len(), StrategyKind::ALL.len());
         assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.probability)));
     }

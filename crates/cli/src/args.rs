@@ -17,7 +17,17 @@ pub struct Args {
 }
 
 /// Option keys that take no value.
-const FLAG_KEYS: &[&str] = &["help", "trace", "skip-lumping", "quiet", "dot", "paper-accuracy"];
+const FLAG_KEYS: &[&str] = &[
+    "help",
+    "trace",
+    "skip-lumping",
+    "quiet",
+    "dot",
+    "paper-accuracy",
+    "no-lint",
+    "deny-lints",
+    "json",
+];
 
 impl Args {
     /// Parses an iterator of arguments (without the program name).

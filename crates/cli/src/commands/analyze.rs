@@ -8,6 +8,24 @@ use slimsim_core::prelude::*;
 /// Runs the analysis and prints the estimate.
 pub fn run(args: &Args) -> Result<(), String> {
     let net = load_network(args)?;
+
+    // Pre-flight lint stage: surface suspicious model structure before
+    // spending simulation time. `--no-lint` skips it, `--deny-lints`
+    // escalates warnings to hard errors.
+    if !args.has_flag("no-lint") {
+        let cfg = super::lint::load_lint_config(args)?;
+        let diags = slim_lint::lint_network(&net, &cfg);
+        if !diags.is_empty() && !args.has_flag("quiet") {
+            eprintln!("{}", slim_lint::render_text_all(&diags, None));
+        }
+        let errors = slim_lint::error_count(&diags);
+        if errors > 0 {
+            return Err(format!(
+                "{errors} error-level lint(s); fix the model or pass --no-lint to proceed anyway"
+            ));
+        }
+    }
+
     let goal = load_goal(args, &net)?;
     let hold = load_hold(args, &net)?;
     let bound = load_bound(args)?;
@@ -70,12 +88,10 @@ fn print_sample_path(
     let mut strategy = config.strategy.instantiate();
     let mut rng = path_rng(config.seed, 0);
     let mut trace = VecTrace::default();
-    let outcome = gen
-        .generate_traced(strategy.as_mut(), &mut rng, &mut trace)
-        .map_err(|e| e.to_string())?;
+    let outcome =
+        gen.generate_traced(strategy.as_mut(), &mut rng, &mut trace).map_err(|e| e.to_string())?;
     if let Some(path) = csv_path {
-        std::fs::write(path, trace.to_csv())
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, trace.to_csv()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("sample path (seed {}, path 0) written to {path}", config.seed);
         return Ok(());
     }
@@ -83,7 +99,10 @@ fn print_sample_path(
     for event in &trace.events {
         println!("  {event}");
     }
-    println!("  verdict: {} at t={:.6} after {} steps", outcome.verdict, outcome.end_time, outcome.steps);
+    println!(
+        "  verdict: {} at t={:.6} after {} steps",
+        outcome.verdict, outcome.end_time, outcome.steps
+    );
     println!("--------------------------------------");
     Ok(())
 }
@@ -98,9 +117,8 @@ mod tests {
 
     #[test]
     fn analyze_builtin_runs() {
-        let a = args(
-            "analyze sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet",
-        );
+        let a =
+            args("analyze sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet");
         run(&a).expect("analysis succeeds");
     }
 

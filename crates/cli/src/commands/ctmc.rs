@@ -10,15 +10,12 @@ pub fn run(args: &Args) -> Result<(), String> {
     let net = load_network(args)?;
     let goal = load_goal(args, &net)?;
     let bound = load_bound(args)?;
-    let config = PipelineConfig {
-        skip_lumping: args.has_flag("skip-lumping"),
-        ..Default::default()
-    };
+    let config =
+        PipelineConfig { skip_lumping: args.has_flag("skip-lumping"), ..Default::default() };
 
     let net_ref = &net;
     let goal_fn = move |s: &NetState| goal.holds(net_ref, s);
-    let r = check_timed_reachability(&net, &goal_fn, bound, &config)
-        .map_err(|e| e.to_string())?;
+    let r = check_timed_reachability(&net, &goal_fn, bound, &config).map_err(|e| e.to_string())?;
 
     if !args.has_flag("quiet") {
         println!("states     : {} reachable, {} transitions", r.states, r.transitions);

@@ -73,9 +73,7 @@ mod tests {
     #[test]
     fn info_runs_on_builtins() {
         for model in ["gps", "launcher", "power-system"] {
-            let a = crate::args::Args::parse(
-                ["info", model].iter().map(|s| s.to_string()),
-            );
+            let a = crate::args::Args::parse(["info", model].iter().map(|s| s.to_string()));
             run(&a).expect(model);
         }
     }
@@ -83,9 +81,7 @@ mod tests {
     #[test]
     fn dot_flag_produces_digraph() {
         // `run` prints; just ensure it succeeds with the flag set.
-        let a = crate::args::Args::parse(
-            ["info", "gps", "--dot"].iter().map(|s| s.to_string()),
-        );
+        let a = crate::args::Args::parse(["info", "gps", "--dot"].iter().map(|s| s.to_string()));
         run(&a).expect("dot output");
     }
 }

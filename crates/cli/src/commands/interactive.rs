@@ -97,8 +97,8 @@ pub fn run(args: &Args) -> Result<(), String> {
     let mut trace = VecTrace::default();
 
     let result = if let Some(path) = args.options.get("script") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         let choices = parse_script(&text)?;
         println!("replaying {} scripted decisions from {path}", choices.len());
         let mut strategy = Input::new(ScriptedOracle::new(choices));

@@ -4,5 +4,6 @@ pub mod analyze;
 pub mod ctmc;
 pub mod info;
 pub mod interactive;
+pub mod lint;
 pub mod rare;
 pub mod validate;

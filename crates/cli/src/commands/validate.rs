@@ -1,14 +1,14 @@
 //! `slimsim validate` — parse and statically analyze a SLIM file.
 
 use crate::args::Args;
-use slim_lang::{analyze_model, is_lowerable, lower, parse, Severity};
+use slim_lang::{analyze_model, is_lowerable, lower, parse};
+use slim_lint::{error_count, render_text_all, SourceFile};
 
 /// Parses the file, prints diagnostics, and (if a `--root` is given and
 /// no errors were found) attempts full lowering.
 pub fn run(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("expected a .slim file")?;
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let model = parse(&src).map_err(|e| format!("{path}: {e}"))?;
     println!(
         "parsed `{path}`: {} types, {} implementations, {} error models, {} injections",
@@ -19,12 +19,11 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
 
     let diags = analyze_model(&model);
-    for d in &diags {
-        println!("  {d}");
+    let source = SourceFile::new(path, &src);
+    if !diags.is_empty() {
+        println!("{}", render_text_all(&diags, Some(&source)));
     }
-    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
-    let warnings = diags.len() - errors;
-    println!("{errors} error(s), {warnings} warning(s)");
+    let errors = error_count(&diags);
 
     if let Some(root) = args.options.get("root") {
         if !is_lowerable(&diags) {

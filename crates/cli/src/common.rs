@@ -8,8 +8,8 @@ use slim_models::{
     gps_network, launcher_network, power_system_network, sensor_filter_network, DpuFaultMode,
     GpsParams, LauncherParams, PowerSystemParams, SensorFilterParams,
 };
-use slimsim_core::prelude::*;
 use slim_stats::{Accuracy, GeneratorKind};
+use slimsim_core::prelude::*;
 
 /// Loads the analyzed network: either a SLIM file (with `--root Type.Impl`)
 /// or a built-in model (`gps`, `launcher`, `launcher-permanent`,
@@ -33,11 +33,14 @@ pub fn load_network(args: &Args) -> Result<Network, String> {
         "power-system" => Ok(power_system_network(&PowerSystemParams::default())),
         "sensor-filter" => {
             let size = args.opt_usize("size", 2)?;
-            Ok(sensor_filter_network(&SensorFilterParams { redundancy: size, ..Default::default() }))
+            Ok(sensor_filter_network(&SensorFilterParams {
+                redundancy: size,
+                ..Default::default()
+            }))
         }
         path => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let model = parse(&src).map_err(|e| format!("{path}: {e}"))?;
             let root = args.required("root")?;
             let (ty, im) = root
@@ -147,7 +150,8 @@ mod tests {
 
     #[test]
     fn builtin_models_load() {
-        for name in ["gps", "launcher", "launcher-permanent", "launcher-threeclass", "power-system"] {
+        for name in ["gps", "launcher", "launcher-permanent", "launcher-threeclass", "power-system"]
+        {
             let a = args(&format!("analyze {name}"));
             assert!(load_network(&a).is_ok(), "{name}");
         }

@@ -29,6 +29,7 @@ USAGE:
   slimsim interactive <model> --bound <u>         step a path manually
                       [--script <file>]           (or replay decisions)
   slimsim info <model> [--dot]                    print the lowered network
+  slimsim lint <model> [--json]                   static lint passes (S0xx/S1xx/S2xx)
   slimsim validate <file.slim> [--root Type.Impl] static analysis + lowering check
 
 MODELS:
@@ -57,6 +58,12 @@ OPTIONS:
   --skip-lumping         (ctmc) skip the bisimulation reduction
   --trace                (analyze) print the first generated path
   --trace-csv <file>     (analyze) write the first path as CSV
+
+LINTS (lint/analyze):
+  --json                 (lint) one JSON object per diagnostic, one per line
+  --allow/--warn/--deny <codes>  comma-separated lint codes or names
+  --deny-lints           treat warning-level lints as errors
+  --no-lint              (analyze) skip the pre-flight lint stage
 ";
 
 fn main() {
@@ -71,6 +78,7 @@ fn main() {
         "rare" => commands::rare::run(&args),
         "interactive" => commands::interactive::run(&args),
         "info" => commands::info::run(&args),
+        "lint" => commands::lint::run(&args),
         "validate" => commands::validate::run(&args),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };

@@ -16,12 +16,11 @@ use crate::property::TimedReach;
 use crate::strategy::{Decision, ScheduledCandidate, StepView, Strategy};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::verdict::{PathOutcome, Verdict};
-use rand::rngs::StdRng;
-use rand::Rng;
 use slim_automata::interval::IntervalSet;
 use slim_automata::network::GlobalTransition;
 use slim_automata::prelude::Network;
 use slim_stats::rng::exponential_from_uniform;
+use slim_stats::rng::StdRng;
 
 /// Generates sample paths for one (network, property) pair.
 #[derive(Debug, Clone)]
@@ -124,7 +123,10 @@ impl<'a> PathGenerator<'a> {
 
         loop {
             if steps >= self.max_steps {
-                return finish(PathOutcome { verdict: Verdict::StepLimit, steps, end_time: state.time }, log_weight);
+                return finish(
+                    PathOutcome { verdict: Verdict::StepLimit, steps, end_time: state.time },
+                    log_weight,
+                );
             }
             steps += 1;
 
@@ -137,25 +139,34 @@ impl<'a> PathGenerator<'a> {
                 Some(h) => h.window(self.net, &state).map_err(SimError::Eval)?.complement(),
             };
             if goal_win.contains(0.0) {
-                return finish(PathOutcome {
-                    verdict: Verdict::Satisfied,
-                    steps: steps - 1,
-                    end_time: state.time,
-                }, log_weight);
+                return finish(
+                    PathOutcome {
+                        verdict: Verdict::Satisfied,
+                        steps: steps - 1,
+                        end_time: state.time,
+                    },
+                    log_weight,
+                );
             }
             if viol_win.contains(0.0) {
-                return finish(PathOutcome {
-                    verdict: Verdict::HoldViolated,
-                    steps: steps - 1,
-                    end_time: state.time,
-                }, log_weight);
+                return finish(
+                    PathOutcome {
+                        verdict: Verdict::HoldViolated,
+                        steps: steps - 1,
+                        end_time: state.time,
+                    },
+                    log_weight,
+                );
             }
             if remaining <= 0.0 {
-                return finish(PathOutcome {
-                    verdict: Verdict::TimeBoundExceeded,
-                    steps: steps - 1,
-                    end_time: state.time,
-                }, log_weight);
+                return finish(
+                    PathOutcome {
+                        verdict: Verdict::TimeBoundExceeded,
+                        steps: steps - 1,
+                        end_time: state.time,
+                    },
+                    log_weight,
+                );
             }
 
             let invariant_window = self.net.delay_window(&state).map_err(SimError::Eval)?;
@@ -264,7 +275,7 @@ impl<'a> PathGenerator<'a> {
                         Resolved::Lock { verdict: Verdict::Timelock, horizon }
                     }
                     None => {
-                        let bounded = window.sup().map_or(true, f64::is_finite);
+                        let bounded = window.sup().is_none_or(f64::is_finite);
                         if bounded {
                             Resolved::Lock {
                                 verdict: Verdict::Timelock,
@@ -281,27 +292,36 @@ impl<'a> PathGenerator<'a> {
                 Resolved::Fire { delay, transition, markovian } => {
                     match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
                         Scan::Goal(hit) => {
-                            return finish(PathOutcome {
-                                verdict: Verdict::Satisfied,
-                                steps,
-                                end_time: state.time + hit,
-                            }, log_weight)
+                            return finish(
+                                PathOutcome {
+                                    verdict: Verdict::Satisfied,
+                                    steps,
+                                    end_time: state.time + hit,
+                                },
+                                log_weight,
+                            )
                         }
                         Scan::Violated(at) => {
-                            return finish(PathOutcome {
-                                verdict: Verdict::HoldViolated,
-                                steps,
-                                end_time: state.time + at,
-                            }, log_weight)
+                            return finish(
+                                PathOutcome {
+                                    verdict: Verdict::HoldViolated,
+                                    steps,
+                                    end_time: state.time + at,
+                                },
+                                log_weight,
+                            )
                         }
                         Scan::Clear => {}
                     }
                     if delay > remaining {
-                        return finish(PathOutcome {
-                            verdict: Verdict::TimeBoundExceeded,
-                            steps,
-                            end_time: self.property.bound,
-                        }, log_weight);
+                        return finish(
+                            PathOutcome {
+                                verdict: Verdict::TimeBoundExceeded,
+                                steps,
+                                end_time: self.property.bound,
+                            },
+                            log_weight,
+                        );
                     }
                     if delay > 0.0 {
                         sink.event(TraceEvent::Delay { at: state.time, duration: delay });
@@ -313,27 +333,36 @@ impl<'a> PathGenerator<'a> {
                 Resolved::Wait { delay } => {
                     match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
                         Scan::Goal(hit) => {
-                            return finish(PathOutcome {
-                                verdict: Verdict::Satisfied,
-                                steps,
-                                end_time: state.time + hit,
-                            }, log_weight)
+                            return finish(
+                                PathOutcome {
+                                    verdict: Verdict::Satisfied,
+                                    steps,
+                                    end_time: state.time + hit,
+                                },
+                                log_weight,
+                            )
                         }
                         Scan::Violated(at) => {
-                            return finish(PathOutcome {
-                                verdict: Verdict::HoldViolated,
-                                steps,
-                                end_time: state.time + at,
-                            }, log_weight)
+                            return finish(
+                                PathOutcome {
+                                    verdict: Verdict::HoldViolated,
+                                    steps,
+                                    end_time: state.time + at,
+                                },
+                                log_weight,
+                            )
                         }
                         Scan::Clear => {}
                     }
                     if delay > remaining {
-                        return finish(PathOutcome {
-                            verdict: Verdict::TimeBoundExceeded,
-                            steps,
-                            end_time: self.property.bound,
-                        }, log_weight);
+                        return finish(
+                            PathOutcome {
+                                verdict: Verdict::TimeBoundExceeded,
+                                steps,
+                                end_time: self.property.bound,
+                            },
+                            log_weight,
+                        );
                     }
                     sink.event(TraceEvent::Delay { at: state.time, duration: delay });
                     state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
@@ -341,22 +370,31 @@ impl<'a> PathGenerator<'a> {
                 Resolved::Lock { verdict, horizon } => {
                     match scan_delay(&goal_win, &viol_win, horizon.min(remaining)) {
                         Scan::Goal(hit) => {
-                            return finish(PathOutcome {
-                                verdict: Verdict::Satisfied,
-                                steps,
-                                end_time: state.time + hit,
-                            }, log_weight)
+                            return finish(
+                                PathOutcome {
+                                    verdict: Verdict::Satisfied,
+                                    steps,
+                                    end_time: state.time + hit,
+                                },
+                                log_weight,
+                            )
                         }
                         Scan::Violated(at) => {
-                            return finish(PathOutcome {
-                                verdict: Verdict::HoldViolated,
-                                steps,
-                                end_time: state.time + at,
-                            }, log_weight)
+                            return finish(
+                                PathOutcome {
+                                    verdict: Verdict::HoldViolated,
+                                    steps,
+                                    end_time: state.time + at,
+                                },
+                                log_weight,
+                            )
                         }
                         Scan::Clear => {}
                     }
-                    return finish(PathOutcome { verdict, steps, end_time: state.time }, log_weight);
+                    return finish(
+                        PathOutcome { verdict, steps, end_time: state.time },
+                        log_weight,
+                    );
                 }
             }
         }
@@ -402,7 +440,6 @@ mod tests {
     use crate::property::Goal;
     use crate::strategy::{Asap, MaxTime, Progressive, StrategyKind};
     use crate::trace::VecTrace;
-    use rand::SeedableRng;
     use slim_automata::prelude::*;
 
     fn rng(seed: u64) -> StdRng {
@@ -453,11 +490,7 @@ mod tests {
         for seed in 0..20 {
             let out = gen.generate(&mut Progressive, &mut rng(seed)).unwrap();
             assert_eq!(out.verdict, Verdict::Satisfied);
-            assert!(
-                (2.0 - 1e-9..=4.0 + 1e-9).contains(&out.end_time),
-                "end {}",
-                out.end_time
-            );
+            assert!((2.0 - 1e-9..=4.0 + 1e-9).contains(&out.end_time), "end {}", out.end_time);
         }
     }
 
@@ -628,10 +661,9 @@ mod tests {
         let out = gen.generate_traced(&mut Asap, &mut rng(1), &mut trace).unwrap();
         assert_eq!(out.verdict, Verdict::Satisfied);
         // Goal is hit exactly when firing; the trace contains the delay.
-        assert!(trace
-            .events
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Delay { duration, .. } if (*duration - 2.0).abs() < 1e-9)));
+        assert!(trace.events.iter().any(
+            |e| matches!(e, TraceEvent::Delay { duration, .. } if (*duration - 2.0).abs() < 1e-9)
+        ));
     }
 
     #[test]
@@ -718,7 +750,13 @@ mod tests {
         let mut a = AutomatonBuilder::new("p");
         let l0 = a.location("l0");
         let l1 = a.location("l1");
-        a.guarded_urgent(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(hit, Expr::bool(true))], l1);
+        a.guarded_urgent(
+            l0,
+            ActionId::TAU,
+            Expr::TRUE,
+            [Effect::assign(hit, Expr::bool(true))],
+            l1,
+        );
         b.add_automaton(a);
         let net = b.build().unwrap();
         let prop = TimedReach::new(Goal::expr(Expr::var(hit)), 10.0);

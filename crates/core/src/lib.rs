@@ -37,8 +37,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod engine;
 pub mod error;

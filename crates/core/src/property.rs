@@ -89,11 +89,9 @@ impl Goal {
     fn window_in(&self, env: &DelayEnv<'_>, state: &NetState) -> Result<IntervalSet, EvalError> {
         match self {
             Goal::Expr(e) => solve(e, env),
-            Goal::InLocation(p, l) => Ok(if state.locs[p.0] == *l {
-                IntervalSet::all()
-            } else {
-                IntervalSet::empty()
-            }),
+            Goal::InLocation(p, l) => {
+                Ok(if state.locs[p.0] == *l { IntervalSet::all() } else { IntervalSet::empty() })
+            }
             Goal::And(a, b) => Ok(a.window_in(env, state)?.intersect(&b.window_in(env, state)?)),
             Goal::Or(a, b) => Ok(a.window_in(env, state)?.union(&b.window_in(env, state)?)),
             Goal::Not(a) => Ok(a.window_in(env, state)?.complement()),
@@ -156,7 +154,13 @@ mod tests {
         let mut a = AutomatonBuilder::new("p");
         let l0 = a.location("zero");
         let l1 = a.location("one");
-        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::real(5.0)), [Effect::assign(f, Expr::bool(true))], l1);
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(x).ge(Expr::real(5.0)),
+            [Effect::assign(f, Expr::bool(true))],
+            l1,
+        );
         b.add_automaton(a);
         b.build().unwrap()
     }
@@ -182,7 +186,7 @@ mod tests {
         let yes = Goal::in_location(&net, "p", "zero").unwrap();
         let no = Goal::in_location(&net, "p", "one").unwrap();
         assert!(yes.clone().or(no.clone()).holds(&net, &s).unwrap());
-        assert!(!yes.clone().and(no.clone()).holds(&net, &s).unwrap());
+        assert!(!yes.and(no.clone()).holds(&net, &s).unwrap());
         assert!(no.not().holds(&net, &s).unwrap());
     }
 

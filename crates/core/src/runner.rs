@@ -111,86 +111,90 @@ fn analyze_parallel(
     // each worker computes its share (§III-C's trivial solution). With
     // sequential generators the workers run until told to stop, and the
     // round-robin collector removes arrival-order bias.
-    let quota: Option<Vec<u64>> =
-        generator.known_target().map(|n| split_workload(n, workers));
+    let quota: Option<Vec<u64>> = generator.known_target().map(|n| split_workload(n, workers));
 
     let mut collector = RoundRobinCollector::new(workers);
     let mut stats = PathStats::default();
 
-    let result: Result<(), SimError> = crossbeam::thread::scope(|scope| {
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<PathOutcome, SimError>)>(
-            workers * 64,
-        );
-        for w in 0..workers {
-            let tx = tx.clone();
-            let stop = &stop;
-            let quota = quota.as_ref().map(|q| q[w]);
-            let gen = PathGenerator::new(net, property, config.max_steps);
-            let strategy_kind = config.strategy;
-            let seed = config.seed;
-            scope.spawn(move |_| {
-                let mut strategy = strategy_kind.instantiate();
-                // Worker w handles path indices w, w + k, w + 2k, …
-                let mut index = w as u64;
-                let mut produced: u64 = 0;
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Some(q) = quota {
-                        if produced >= q {
+    // A panicking worker propagates out of `std::thread::scope`; map that to
+    // a structured error like the sequential path's failures.
+    let scoped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| -> Result<(), SimError> {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Result<PathOutcome, SimError>)>(
+                workers * 64,
+            );
+            for w in 0..workers {
+                let tx = tx.clone();
+                let stop = &stop;
+                let quota = quota.as_ref().map(|q| q[w]);
+                let gen = PathGenerator::new(net, property, config.max_steps);
+                let strategy_kind = config.strategy;
+                let seed = config.seed;
+                scope.spawn(move || {
+                    let mut strategy = strategy_kind.instantiate();
+                    // Worker w handles path indices w, w + k, w + 2k, …
+                    let mut index = w as u64;
+                    let mut produced: u64 = 0;
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
                             break;
                         }
+                        if let Some(q) = quota {
+                            if produced >= q {
+                                break;
+                            }
+                        }
+                        let mut rng = path_rng(seed, index);
+                        let out = gen.generate(strategy.as_mut(), &mut rng);
+                        let failed = out.is_err();
+                        if tx.send((w, out)).is_err() || failed {
+                            break;
+                        }
+                        produced += 1;
+                        index += workers as u64;
                     }
-                    let mut rng = path_rng(seed, index);
-                    let out = gen.generate(strategy.as_mut(), &mut rng);
-                    let failed = out.is_err();
-                    if tx.send((w, out)).is_err() || failed {
-                        break;
-                    }
-                    produced += 1;
-                    index += workers as u64;
-                }
-            });
-        }
-        drop(tx);
+                });
+            }
+            drop(tx);
 
-        loop {
-            match rx.recv() {
-                Ok((w, Ok(outcome))) => {
-                    check_deadlock_policy(config, &outcome)?;
-                    stats.record(&outcome);
-                    collector.push(w, outcome.verdict.is_success());
-                    for s in collector.drain_rounds() {
-                        if !generator.is_complete() {
-                            generator.add(s);
+            loop {
+                match rx.recv() {
+                    Ok((w, Ok(outcome))) => {
+                        check_deadlock_policy(config, &outcome)?;
+                        stats.record(&outcome);
+                        collector.push(w, outcome.verdict.is_success());
+                        for s in collector.drain_rounds() {
+                            if !generator.is_complete() {
+                                generator.add(s);
+                            }
+                        }
+                        if generator.is_complete() {
+                            stop.store(true, Ordering::Relaxed);
+                            // Keep draining the channel so workers can exit.
                         }
                     }
-                    if generator.is_complete() {
+                    Ok((_, Err(e))) => {
                         stop.store(true, Ordering::Relaxed);
-                        // Keep draining the channel so workers can exit.
+                        return Err(e);
                     }
+                    Err(_) => break, // all senders dropped
                 }
-                Ok((_, Err(e))) => {
-                    stop.store(true, Ordering::Relaxed);
-                    return Err(e);
+            }
+            // Channel closed: all workers exited. Mark them finished and
+            // consume any leftover complete rounds.
+            for w in 0..workers {
+                collector.finish_worker(w);
+            }
+            for s in collector.drain_rounds() {
+                if !generator.is_complete() {
+                    generator.add(s);
                 }
-                Err(_) => break, // all senders dropped
             }
-        }
-        // Channel closed: all workers exited. Mark them finished and
-        // consume any leftover complete rounds.
-        for w in 0..workers {
-            collector.finish_worker(w);
-        }
-        for s in collector.drain_rounds() {
-            if !generator.is_complete() {
-                generator.add(s);
-            }
-        }
-        Ok(())
-    })
-    .map_err(|_| SimError::WorkerFailed { detail: "worker thread panicked".into() })?;
+            Ok(())
+        })
+    }));
+    let result: Result<(), SimError> =
+        scoped.map_err(|_| SimError::WorkerFailed { detail: "worker thread panicked".into() })?;
     result?;
 
     Ok(AnalysisResult {
@@ -274,10 +278,7 @@ mod tests {
         let net = b.build().unwrap();
         let prop = TimedReach::new(Goal::expr(Expr::FALSE), 1.0);
         let cfg = loose().with_deadlock_policy(DeadlockPolicy::Error);
-        assert!(matches!(
-            analyze(&net, &prop, &cfg),
-            Err(SimError::DeadlockDetected { .. })
-        ));
+        assert!(matches!(analyze(&net, &prop, &cfg), Err(SimError::DeadlockDetected { .. })));
         // Falsify counts them as false samples instead.
         let cfg = loose().with_deadlock_policy(DeadlockPolicy::Falsify);
         let r = analyze(&net, &prop, &cfg).unwrap();
@@ -305,11 +306,7 @@ mod tests {
         let cfg = loose().with_generator(GeneratorKind::ChowRobbins);
         let r = analyze(&net, &prop, &cfg).unwrap();
         let ch = cfg.accuracy.chernoff_samples();
-        assert!(
-            r.estimate.samples < ch,
-            "sequential rule used {} >= CH {ch}",
-            r.estimate.samples
-        );
+        assert!(r.estimate.samples < ch, "sequential rule used {} >= CH {ch}", r.estimate.samples);
         assert!(r.probability() < 0.05);
     }
 

@@ -18,11 +18,10 @@
 //! equiprobability rule.
 
 use crate::error::SimError;
-use rand::rngs::StdRng;
-use rand::Rng;
 use slim_automata::interval::IntervalSet;
 use slim_automata::network::GlobalTransition;
 use slim_automata::prelude::{NetState, Network};
+use slim_stats::rng::StdRng;
 
 /// A guarded candidate as seen by strategies: enabling window already
 /// intersected with the invariant-allowed delay window and (for infinite
@@ -91,17 +90,9 @@ pub trait Strategy: Send {
 
 /// Uniformly picks one index among the candidates enabled at delay `d`
 /// (the equiprobability rule). Returns `None` if none is enabled at `d`.
-fn uniform_enabled_at(
-    guarded: &[ScheduledCandidate],
-    d: f64,
-    rng: &mut StdRng,
-) -> Option<usize> {
-    let enabled: Vec<usize> = guarded
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.window.contains(d))
-        .map(|(i, _)| i)
-        .collect();
+fn uniform_enabled_at(guarded: &[ScheduledCandidate], d: f64, rng: &mut StdRng) -> Option<usize> {
+    let enabled: Vec<usize> =
+        guarded.iter().enumerate().filter(|(_, c)| c.window.contains(d)).map(|(i, _)| i).collect();
     match enabled.len() {
         0 => None,
         1 => Some(enabled[0]),
@@ -452,7 +443,6 @@ impl std::fmt::Display for StrategyKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use slim_automata::interval::Interval;
     use slim_automata::prelude::*;
 
@@ -472,7 +462,10 @@ mod tests {
             Interval::open_closed(lo, hi).unwrap()
         };
         ScheduledCandidate {
-            transition: GlobalTransition { action: ActionId::TAU, parts: vec![(ProcId(0), TransId(0))] },
+            transition: GlobalTransition {
+                action: ActionId::TAU,
+                parts: vec![(ProcId(0), TransId(0))],
+            },
             window: IntervalSet::from(iv),
         }
     }
@@ -653,27 +646,22 @@ mod tests {
         let cands = [cand(200.0, 300.0, true)];
         let mut rng = StdRng::seed_from_u64(0);
 
-        let mut ok = Input::new(ScriptedOracle::new([InputChoice::Fire {
-            candidate: 0,
-            delay: 250.0,
-        }]));
+        let mut ok =
+            Input::new(ScriptedOracle::new([InputChoice::Fire { candidate: 0, delay: 250.0 }]));
         assert_eq!(
             ok.decide(&view(&net, &s, &w, &cands), &mut rng).unwrap(),
             Decision::Fire { delay: 250.0, candidate: 0 }
         );
 
-        let mut bad_delay = Input::new(ScriptedOracle::new([InputChoice::Fire {
-            candidate: 0,
-            delay: 100.0,
-        }]));
+        let mut bad_delay =
+            Input::new(ScriptedOracle::new([InputChoice::Fire { candidate: 0, delay: 100.0 }]));
         assert!(bad_delay.decide(&view(&net, &s, &w, &cands), &mut rng).is_err());
 
         let mut bad_idx =
             Input::new(ScriptedOracle::new([InputChoice::Fire { candidate: 5, delay: 250.0 }]));
         assert!(bad_idx.decide(&view(&net, &s, &w, &cands), &mut rng).is_err());
 
-        let mut wait_bad =
-            Input::new(ScriptedOracle::new([InputChoice::Wait { delay: 500.0 }]));
+        let mut wait_bad = Input::new(ScriptedOracle::new([InputChoice::Wait { delay: 500.0 }]));
         assert!(wait_bad.decide(&view(&net, &s, &w, &cands), &mut rng).is_err());
 
         let mut dry = Input::new(ScriptedOracle::new([]));

@@ -1,12 +1,11 @@
 //! Path trace recording (for the interactive mode and debugging).
 
-use serde::{Deserialize, Serialize};
 use slim_automata::network::GlobalTransition;
 use slim_automata::prelude::{NetState, Network};
 use std::fmt;
 
 /// One event along a generated path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// Time passed.
     Delay {
@@ -46,11 +45,7 @@ impl TraceEvent {
         TraceEvent::Fire {
             at: state.time,
             action: net.actions()[gt.action.0].name.clone(),
-            participants: gt
-                .parts
-                .iter()
-                .map(|(p, _)| net.automata()[p.0].name.clone())
-                .collect(),
+            participants: gt.parts.iter().map(|(p, _)| net.automata()[p.0].name.clone()).collect(),
             markovian,
         }
     }

@@ -1,10 +1,9 @@
 //! Path verdicts and aggregated path statistics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a generated path ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// The goal was reached within the time bound — the sample is `true`.
     Satisfied,
@@ -54,7 +53,7 @@ impl fmt::Display for Verdict {
 }
 
 /// Outcome of generating one path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathOutcome {
     /// Terminal classification.
     pub verdict: Verdict,
@@ -65,7 +64,7 @@ pub struct PathOutcome {
 }
 
 /// Aggregate counters over many paths.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PathStats {
     /// Paths satisfying the property.
     pub satisfied: u64,
@@ -183,7 +182,13 @@ mod tests {
     #[test]
     fn success_classification() {
         assert!(Verdict::Satisfied.is_success());
-        for v in [Verdict::TimeBoundExceeded, Verdict::HoldViolated, Verdict::Deadlock, Verdict::Timelock, Verdict::StepLimit] {
+        for v in [
+            Verdict::TimeBoundExceeded,
+            Verdict::HoldViolated,
+            Verdict::Deadlock,
+            Verdict::Timelock,
+            Verdict::StepLimit,
+        ] {
             assert!(!v.is_success(), "{v}");
         }
         assert!(Verdict::Deadlock.is_lock());
@@ -228,7 +233,7 @@ mod tests {
         let mut empty = PathStats::default();
         empty.merge(&a);
         assert!((empty.min_satisfaction_time().unwrap() - 1.0).abs() < 1e-6);
-        let before = a.clone();
+        let before = a;
         a.merge(&PathStats::default());
         assert_eq!(a.min_satisfaction_time(), before.min_satisfaction_time());
     }

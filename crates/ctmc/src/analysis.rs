@@ -153,7 +153,13 @@ mod tests {
         let tripped = a.location("tripped");
         let down = a.location("down");
         a.markovian(ok, 1.0, [], tripped);
-        a.guarded(tripped, ActionId::TAU, Expr::TRUE, [Effect::assign(failed_flag, Expr::bool(true))], down);
+        a.guarded(
+            tripped,
+            ActionId::TAU,
+            Expr::TRUE,
+            [Effect::assign(failed_flag, Expr::bool(true))],
+            down,
+        );
         b.add_automaton(a);
         let net = b.build().unwrap();
         let fv = net.var_id("failed").unwrap();

@@ -1,11 +1,9 @@
 //! Continuous-time Markov chains.
 
-use serde::{Deserialize, Serialize};
-
 /// A CTMC in sparse form with a goal labeling and an initial distribution
 /// (the initial state of the model may be vanishing, dissolving into a
 /// distribution over tangible states).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ctmc {
     /// Per-state sparse rate rows: `rates[s] = [(target, λ), …]`.
     pub rates: Vec<Vec<(usize, f64)>>,
@@ -65,7 +63,7 @@ impl Ctmc {
                 if t >= n {
                     return Err(format!("transition {s}→{t} out of range"));
                 }
-                if !(r > 0.0) || !r.is_finite() {
+                if !r.is_finite() || r <= 0.0 {
                     return Err(format!("non-positive rate {r} on {s}→{t}"));
                 }
             }

@@ -74,7 +74,8 @@ pub fn eliminate(imc: &Imc) -> Result<Ctmc, CtmcError> {
             let k = s.interactive.len() as f64;
             let mut acc: HashMap<usize, f64> = HashMap::new();
             for &succ in &s.interactive {
-                let sub = resolve(succ, imc, tangible_index, goal_sink, uses_goal_sink, memo, on_stack)?;
+                let sub =
+                    resolve(succ, imc, tangible_index, goal_sink, uses_goal_sink, memo, on_stack)?;
                 for (t, p) in sub {
                     *acc.entry(t).or_insert(0.0) += p / k;
                 }
@@ -114,15 +115,8 @@ pub fn eliminate(imc: &Imc) -> Result<Ctmc, CtmcError> {
     }
 
     // Initial distribution: resolve state 0.
-    let initial = resolve(
-        0,
-        imc,
-        &tangible_index,
-        goal_sink,
-        &mut uses_goal_sink,
-        &mut memo,
-        &mut on_stack,
-    )?;
+    let initial =
+        resolve(0, imc, &tangible_index, goal_sink, &mut uses_goal_sink, &mut memo, &mut on_stack)?;
 
     if uses_goal_sink {
         rows.push(Vec::new());
@@ -151,9 +145,7 @@ mod tests {
 
     #[test]
     fn pure_markovian_chain_passes_through() {
-        let imc = Imc {
-            states: vec![tangible(vec![(1, 2.0)], false), tangible(vec![], true)],
-        };
+        let imc = Imc { states: vec![tangible(vec![(1, 2.0)], false), tangible(vec![], true)] };
         let c = eliminate(&imc).unwrap();
         assert_eq!(c.len(), 2);
         assert_eq!(c.rates[0], vec![(1, 2.0)]);

@@ -29,7 +29,10 @@ impl fmt::Display for CtmcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CtmcError::TimedModel { variable } => {
-                write!(f, "model is timed (variable `{variable}`); CTMC analysis requires untimed models")
+                write!(
+                    f,
+                    "model is timed (variable `{variable}`); CTMC analysis requires untimed models"
+                )
             }
             CtmcError::Eval(e) => write!(f, "evaluation error during exploration: {e}"),
             CtmcError::StateLimitExceeded { limit } => {

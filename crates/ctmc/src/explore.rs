@@ -162,8 +162,7 @@ mod tests {
     use super::*;
     use slim_automata::prelude::*;
 
-    fn goal_false(
-    ) -> impl Fn(&NetState) -> Result<bool, slim_automata::error::EvalError> {
+    fn goal_false() -> impl Fn(&NetState) -> Result<bool, slim_automata::error::EvalError> {
         |_s: &NetState| Ok(false)
     }
 

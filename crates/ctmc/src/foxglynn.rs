@@ -64,8 +64,7 @@ impl PoissonWeights {
 
         // Assemble and normalize: Σ w_k = 1 exactly (removes the scaling
         // constant e^{−λ} λ^m / m! along the way).
-        let mut weights: Vec<f64> =
-            left_terms.iter().rev().copied().chain(right_terms).collect();
+        let mut weights: Vec<f64> = left_terms.iter().rev().copied().chain(right_terms).collect();
         let sum: f64 = weights.iter().sum();
         for v in &mut weights {
             *v /= sum;

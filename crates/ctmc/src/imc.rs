@@ -2,10 +2,8 @@
 //! state-space exploration and the CTMC (the role NuSMV's reachable state
 //! graph plays in the COMPASS pipeline, §IV).
 
-use serde::{Deserialize, Serialize};
-
 /// One explored state of an [`Imc`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImcState {
     /// Immediate (interactive) successors: indices of target states.
     /// Non-empty ⇒ the state is *vanishing* under maximal progress.
@@ -30,7 +28,7 @@ impl ImcState {
 }
 
 /// An interactive Markov chain over explored discrete states.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Imc {
     /// States; index 0 is the initial state.
     pub states: Vec<ImcState>,

@@ -33,8 +33,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod ctmc;
 pub mod eliminate;

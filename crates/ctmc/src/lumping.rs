@@ -34,9 +34,7 @@ pub fn lump(ctmc: &Ctmc) -> Lumped {
         2
     } else {
         // Single block: relabel everyone to block 0.
-        for b in &mut block_of {
-            *b = 0;
-        }
+        block_of.fill(0);
         1
     };
 
@@ -55,7 +53,8 @@ pub fn lump(ctmc: &Ctmc) -> Lumped {
         }
 
         // Re-number blocks by (old block, signature).
-        let mut renum: HashMap<(usize, &[(usize, u64)]), usize> = HashMap::new();
+        type BlockKey<'a> = (usize, &'a [(usize, u64)]);
+        let mut renum: HashMap<BlockKey<'_>, usize> = HashMap::new();
         let mut next: Vec<usize> = Vec::with_capacity(n);
         for s in 0..n {
             let key = (block_of[s], signatures[s].as_slice());
@@ -87,8 +86,8 @@ pub fn lump(ctmc: &Ctmc) -> Lumped {
     }
     let mut rates: Vec<Vec<(usize, f64)>> = Vec::with_capacity(block_count);
     let mut goal: Vec<bool> = Vec::with_capacity(block_count);
-    for b in 0..block_count {
-        let rep = representative[b].expect("every block has a member");
+    for &rep in &representative {
+        let rep = rep.expect("every block has a member");
         let mut acc: HashMap<usize, f64> = HashMap::new();
         for &(t, r) in &ctmc.rates[rep] {
             *acc.entry(block_of[t]).or_insert(0.0) += r;
@@ -146,21 +145,15 @@ mod tests {
         // Rates from uu to the merged block sum: 2λ.
         let uu = l.block_of[0];
         let merged = l.block_of[1];
-        let rate: f64 = l.quotient.rates[uu]
-            .iter()
-            .filter(|&&(t, _)| t == merged)
-            .map(|&(_, r)| r)
-            .sum();
+        let rate: f64 =
+            l.quotient.rates[uu].iter().filter(|&&(t, _)| t == merged).map(|&(_, r)| r).sum();
         assert!((rate - 0.2).abs() < 1e-9);
     }
 
     #[test]
     fn goal_labels_never_merge() {
-        let c = Ctmc {
-            rates: vec![vec![], vec![]],
-            goal: vec![false, true],
-            initial: vec![(0, 1.0)],
-        };
+        let c =
+            Ctmc { rates: vec![vec![], vec![]], goal: vec![false, true], initial: vec![(0, 1.0)] };
         let l = lump(&c);
         assert_eq!(l.quotient.len(), 2);
     }

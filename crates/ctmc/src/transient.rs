@@ -91,12 +91,7 @@ pub fn transient_distribution(ctmc: &Ctmc, t: f64, config: &TransientConfig) -> 
 pub fn timed_reachability(ctmc: &Ctmc, t: f64, config: &TransientConfig) -> f64 {
     let absorbing = ctmc.goal_absorbing();
     let pi = transient_distribution(&absorbing, t, config);
-    pi.iter()
-        .zip(&absorbing.goal)
-        .filter(|(_, &g)| g)
-        .map(|(p, _)| p)
-        .sum::<f64>()
-        .clamp(0.0, 1.0)
+    pi.iter().zip(&absorbing.goal).filter(|(_, &g)| g).map(|(p, _)| p).sum::<f64>().clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -121,7 +116,7 @@ mod tests {
         for (lambda, t) in [(1.0, 1.0), (0.1, 5.0), (10.0, 0.3), (2.0, 0.0)] {
             let c = single_exp(lambda);
             let p = timed_reachability(&c, t, &cfg());
-            let exact = 1.0 - (-lambda * t as f64).exp();
+            let exact = 1.0 - (-lambda * t).exp();
             assert!((p - exact).abs() < 1e-8, "λ={lambda} t={t}: {p} vs {exact}");
         }
     }
@@ -137,7 +132,7 @@ mod tests {
         };
         for t in [0.1, 0.5, 1.0, 3.0] {
             let p = timed_reachability(&c, t, &cfg());
-            let exact = 1.0 - (-lambda * t as f64).exp() * (1.0 + lambda * t);
+            let exact = 1.0 - (-lambda * t).exp() * (1.0 + lambda * t);
             assert!((p - exact).abs() < 1e-8, "t={t}: {p} vs {exact}");
         }
     }
@@ -154,7 +149,7 @@ mod tests {
         };
         let t = 2.0;
         let p = timed_reachability(&c, t, &cfg());
-        let exact = a / (a + b) * (1.0 - (-(a + b) * t as f64).exp());
+        let exact = a / (a + b) * (1.0 - (-(a + b) * t).exp());
         assert!((p - exact).abs() < 1e-8, "{p} vs {exact}");
     }
 
@@ -189,11 +184,7 @@ mod tests {
 
     #[test]
     fn initial_goal_state_counts_immediately() {
-        let c = Ctmc {
-            rates: vec![vec![]],
-            goal: vec![true],
-            initial: vec![(0, 1.0)],
-        };
+        let c = Ctmc { rates: vec![vec![]], goal: vec![true], initial: vec![(0, 1.0)] };
         assert!((timed_reachability(&c, 0.0, &cfg()) - 1.0).abs() < 1e-12);
     }
 

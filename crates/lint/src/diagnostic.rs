@@ -1,0 +1,191 @@
+//! The [`Diagnostic`] type: a single finding with a stable lint code,
+//! severity, message, optional source location and optional help text.
+
+use crate::registry::{Code, Level};
+use std::fmt;
+
+/// A source position (1-based line and column) attached to a diagnostic.
+///
+/// Mirrors the front-end's token positions without depending on it: the
+/// front-end converts its `Pos` into a `Span` when emitting diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span from 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Severity of a reported diagnostic.
+///
+/// The severity a diagnostic is *emitted* with comes from the effective
+/// [`Level`] of its lint code (see [`crate::registry::LintConfig`]); passes
+/// construct diagnostics at their code's default severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, not suspicious by itself.
+    Note,
+    /// Suspicious but legal; the model can still be analyzed.
+    Warning,
+    /// Definitely wrong; analysis results would be meaningless.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase tag used by both renderers ("note", "warning", "error").
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// The severity corresponding to a lint level (`Allow` has no
+    /// severity; diagnostics at that level are dropped before rendering,
+    /// so this maps it to `Note` defensively).
+    pub fn from_level(level: Level) -> Severity {
+        match level {
+            Level::Allow | Level::Note => Severity::Note,
+            Level::Warn => Severity::Warning,
+            Level::Deny => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A single finding: lint code, severity, message, optional source span
+/// and optional help text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable lint code (`S0xx` front-end, `S1xx` network passes, `S2xx`
+    /// well-formedness).
+    pub code: Code,
+    /// Severity this diagnostic is reported at.
+    pub severity: Severity,
+    /// Human-readable, single-sentence message.
+    pub message: String,
+    /// Source location, when the finding maps to a concrete source
+    /// position (front-end lints only; network-level findings have none).
+    pub span: Option<Span>,
+    /// Optional help text suggesting a fix.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::from_level(code.default_level()),
+            message: message.into(),
+            span: None,
+            help: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a source span given as line/column.
+    pub fn at(self, line: u32, col: u32) -> Diagnostic {
+        self.with_span(Span::new(line, col))
+    }
+
+    /// Attaches help text.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// True if this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code.as_str(), self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " ({span})")?;
+        }
+        Ok(())
+    }
+}
+
+/// True if any diagnostic in the slice is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// Number of error-severity diagnostics in the slice.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags.iter().filter(|d| d.is_error()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_tags() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.tag(), "warning");
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn builder_chains() {
+        let d = Diagnostic::new(Code::UnreachableLocation, "loc `x` unreachable")
+            .at(3, 7)
+            .with_help("remove it");
+        assert_eq!(d.span, Some(Span::new(3, 7)));
+        assert_eq!(d.help.as_deref(), Some("remove it"));
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!d.is_error());
+        let s = d.to_string();
+        assert!(s.contains("warning[S100]") && s.contains("3:7"), "{s}");
+    }
+
+    #[test]
+    fn error_helpers() {
+        let diags = vec![
+            Diagnostic::new(Code::UnreachableLocation, "w"),
+            Diagnostic::new(Code::WfEmpty, "e"),
+        ];
+        assert!(has_errors(&diags));
+        assert_eq!(error_count(&diags), 1);
+        assert!(!has_errors(&diags[..1]));
+    }
+
+    #[test]
+    fn severity_from_level() {
+        assert_eq!(Severity::from_level(Level::Note), Severity::Note);
+        assert_eq!(Severity::from_level(Level::Warn), Severity::Warning);
+        assert_eq!(Severity::from_level(Level::Deny), Severity::Error);
+        assert_eq!(Severity::from_level(Level::Allow), Severity::Note);
+    }
+}

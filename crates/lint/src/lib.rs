@@ -1,0 +1,104 @@
+//! # slim-lint
+//!
+//! Unified diagnostics subsystem for the slimsim toolchain: the
+//! [`Diagnostic`] type with stable lint codes, a registry of lints with
+//! per-lint allow/warn/deny levels ([`LintConfig`]), human-readable and
+//! JSON-lines renderers, and the network-level static passes.
+//!
+//! Lint codes are grouped by layer:
+//!
+//! * **`S0xx`** — front-end lints over the parsed SLIM model (emitted by
+//!   `slim-lang`'s analysis, which depends on this crate);
+//! * **`S1xx`** — static passes over the instantiated automata network:
+//!   unreachable locations, dead guards, entry-unsatisfiable invariants,
+//!   absorbing/timelocked locations, unmatched events, unused
+//!   variables/events ([`passes`]);
+//! * **`S2xx`** — network well-formedness rules, i.e. the
+//!   [`slim_automata::validate::validate_all`] violations re-expressed as
+//!   diagnostics ([`wellformed`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use slim_automata::prelude::*;
+//! use slim_lint::{lint_network, Code, LintConfig};
+//!
+//! let mut b = NetworkBuilder::new();
+//! let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+//! let mut a = AutomatonBuilder::new("p");
+//! let l0 = a.location("l0");
+//! let l1 = a.location("l1");
+//! // Dead guard: n is at most 5.
+//! a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(10)), [], l1);
+//! b.add_automaton(a);
+//! let net = b.build()?;
+//!
+//! let diags = lint_network(&net, &LintConfig::new());
+//! assert!(diags.iter().any(|d| d.code == Code::UnsatisfiableGuard));
+//! # Ok::<(), slim_automata::error::ModelError>(())
+//! ```
+
+pub mod diagnostic;
+pub mod passes;
+pub mod registry;
+pub mod render;
+pub mod wellformed;
+
+pub use diagnostic::{error_count, has_errors, Diagnostic, Severity, Span};
+pub use registry::{Code, Level, LintConfig};
+pub use render::{render_json, render_json_all, render_text, render_text_all, SourceFile};
+
+use slim_automata::network::Network;
+
+/// Lints an instantiated network: first the `S2xx` well-formedness rules
+/// (collecting **all** violations), then — only when the network is
+/// well-formed — the `S1xx` static passes, whose algorithms assume
+/// in-range indices and Boolean guards. The given configuration is
+/// applied (allow-filtering and severity remapping) before returning.
+pub fn lint_network(net: &Network, config: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = wellformed::wellformedness(net);
+    if diags.is_empty() {
+        diags = passes::network_passes(net);
+    }
+    config.apply(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_automata::network::{AutomatonBuilder, NetworkBuilder};
+    use slim_automata::prelude::{ActionId, Expr};
+
+    #[test]
+    fn wellformedness_gates_the_passes() {
+        // Invalid network (non-Boolean guard): only S2xx reported, the
+        // S1xx passes (which would flag the unreachable `l1`) don't run.
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let _l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::int(1), [], l0);
+        b.add_automaton(a);
+        let net = b.assemble_for_validation().unwrap();
+        let diags = lint_network(&net, &LintConfig::new());
+        assert!(diags.iter().all(|d| d.code == Code::WfType), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn config_is_applied() {
+        let mut b = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("p");
+        let _ = a.location("l0");
+        let _ = a.location("orphan");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let mut cfg = LintConfig::new();
+        cfg.set(Code::UnreachableLocation, Level::Allow);
+        cfg.set(Code::AbsorbingLocation, Level::Allow);
+        assert!(lint_network(&net, &cfg).is_empty());
+        cfg.set(Code::UnreachableLocation, Level::Deny);
+        let diags = lint_network(&net, &cfg);
+        assert!(has_errors(&diags), "{diags:?}");
+    }
+}

@@ -1,0 +1,747 @@
+//! Network-level static lint passes (`S1xx`) over an instantiated,
+//! well-formed [`Network`].
+//!
+//! The passes are conservative: they only report what can be established
+//! from the static structure (graph reachability through transitions and
+//! sync vectors, abstract ranges derived from variable types, the linear
+//! delay solver at the initial state). A reported `S10x` is a definite
+//! structural fact about the network; the *interpretation* (deadlock,
+//! timelock) is a possibility, which is why those lints default to notes.
+//!
+//! **Precondition:** the network passed [`slim_automata::validate`]
+//! well-formedness (all indices in range, guards Boolean). Call
+//! [`crate::lint_network`] rather than [`network_passes`] directly to get
+//! that gating for free.
+
+use crate::diagnostic::Diagnostic;
+use crate::registry::Code;
+use slim_automata::automaton::GuardKind;
+use slim_automata::expr::{BinOp, Expr, VarId};
+use slim_automata::linear::{solve, DelayEnv};
+use slim_automata::network::Network;
+use slim_automata::value::{Value, VarType};
+
+/// Runs every network-level pass, returning diagnostics at their codes'
+/// default severities (apply a [`crate::LintConfig`] afterwards).
+pub fn network_passes(net: &Network) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let reach = reachable_locations(net);
+    unreachable_locations(net, &reach, &mut out);
+    unsatisfiable_guards(net, &mut out);
+    entry_invariants(net, &mut out);
+    absorbing_and_timelock(net, &reach, &mut out);
+    sync_mismatches(net, &mut out);
+    unused_variables(net, &mut out);
+    unused_actions(net, &mut out);
+    out
+}
+
+/// Per-automaton location reachability, over-approximating synchronization:
+/// a transition labeled with a sync action is considered usable once every
+/// participant of that action has the action available from some location
+/// currently known reachable. Internal (τ) and Markovian transitions are
+/// always usable from a reachable source. Guards are ignored (any location
+/// this fixpoint misses is unreachable under *every* valuation).
+fn reachable_locations(net: &Network) -> Vec<Vec<bool>> {
+    let automata = net.automata();
+    let mut reach: Vec<Vec<bool>> = automata
+        .iter()
+        .map(|a| {
+            let mut r = vec![false; a.locations.len()];
+            if a.init.0 < r.len() {
+                r[a.init.0] = true;
+            }
+            r
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (p, a) in automata.iter().enumerate() {
+            for t in &a.transitions {
+                if !reach[p][t.from.0] || reach[p][t.to.0] {
+                    continue;
+                }
+                let usable = match &t.guard {
+                    GuardKind::Markovian(_) => true,
+                    GuardKind::Boolean(_) => {
+                        t.action.is_tau()
+                            || net.participants(t.action).iter().all(|&q| {
+                                q.0 == p
+                                    || automata[q.0]
+                                        .transitions
+                                        .iter()
+                                        .any(|u| u.action == t.action && reach[q.0][u.from.0])
+                            })
+                    }
+                };
+                if usable {
+                    reach[p][t.to.0] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    reach
+}
+
+/// S100: locations the reachability fixpoint never marks.
+fn unreachable_locations(net: &Network, reach: &[Vec<bool>], out: &mut Vec<Diagnostic>) {
+    for (p, a) in net.automata().iter().enumerate() {
+        for (l, loc) in a.locations.iter().enumerate() {
+            if !reach[p][l] {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnreachableLocation,
+                        format!("location `{}` of automaton `{}` is unreachable", loc.name, a.name),
+                    )
+                    .with_help(
+                        "no sequence of internal, Markovian, or synchronizable \
+                         transitions can reach it from the initial location",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// S101: Boolean guards that are false for every valuation admitted by
+/// the variables' declared types (abstract interval evaluation).
+fn unsatisfiable_guards(net: &Network, out: &mut Vec<Diagnostic>) {
+    let ty_of = |v: VarId| net.ty_of(v);
+    for a in net.automata() {
+        for t in &a.transitions {
+            let GuardKind::Boolean(g) = &t.guard else { continue };
+            if abs_eval(g, &ty_of) == Abs::Bool(Some(false)) {
+                let from = &a.locations[t.from.0].name;
+                let to = &a.locations[t.to.0].name;
+                out.push(
+                    Diagnostic::new(
+                        Code::UnsatisfiableGuard,
+                        format!(
+                            "guard `{}` on transition `{from}` -> `{to}` of `{}` can never be true",
+                            net.render_expr(g),
+                            a.name
+                        ),
+                    )
+                    .with_help(
+                        "the guard is unsatisfiable for every valuation within \
+                         the variables' declared ranges; the transition is dead",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// S102: initial-location invariants that do not hold on entry, checked
+/// with the linear delay solver at the initial state (delay 0 must lie in
+/// the satisfying set).
+fn entry_invariants(net: &Network, out: &mut Vec<Diagnostic>) {
+    let Ok(init) = net.initial_state() else { return };
+    let rates = net.active_rates(&init);
+    let rate = |v: VarId| rates[v.0];
+    let env = DelayEnv::new(&init.nu, &rate);
+    for a in net.automata() {
+        let loc = &a.locations[a.init.0];
+        if loc.invariant.is_const_true() {
+            continue;
+        }
+        // Non-linear invariants are out of the solver's fragment; skip.
+        let Ok(sat) = solve(&loc.invariant, &env) else { continue };
+        if !sat.contains(0.0) {
+            out.push(
+                Diagnostic::new(
+                    Code::EntryUnsatInvariant,
+                    format!(
+                        "invariant `{}` of initial location `{}` of `{}` does not hold on entry",
+                        net.render_expr(&loc.invariant),
+                        loc.name,
+                        a.name
+                    ),
+                )
+                .with_help(
+                    "the initial valuation violates the invariant; every run \
+                     fails immediately at time 0",
+                ),
+            );
+        }
+    }
+}
+
+/// S103/S104: reachable locations with no outgoing transition at all.
+/// With a time-bounded invariant that is a potential timelock (S104:
+/// time cannot pass beyond the bound and there is no escape); otherwise a
+/// potential deadlock (S103, often an intentional failure sink).
+fn absorbing_and_timelock(net: &Network, reach: &[Vec<bool>], out: &mut Vec<Diagnostic>) {
+    for (p, a) in net.automata().iter().enumerate() {
+        for (l, loc) in a.locations.iter().enumerate() {
+            if !reach[p][l] || a.transitions.iter().any(|t| t.from.0 == l) {
+                continue;
+            }
+            let time_bounded = !loc.invariant.is_const_true()
+                && loc.invariant.reads_any_var(&|v| net.ty_of(v).is_timed());
+            if time_bounded {
+                out.push(
+                    Diagnostic::new(
+                        Code::InvariantWithoutEscape,
+                        format!(
+                            "location `{}` of `{}` has time-bounded invariant `{}` but no \
+                             escaping transition (potential timelock)",
+                            loc.name,
+                            a.name,
+                            net.render_expr(&loc.invariant)
+                        ),
+                    )
+                    .with_help(
+                        "once the invariant's time bound is hit, neither delaying nor \
+                         firing a transition is possible",
+                    ),
+                );
+            } else {
+                out.push(
+                    Diagnostic::new(
+                        Code::AbsorbingLocation,
+                        format!(
+                            "location `{}` of `{}` has no outgoing transition \
+                             (absorbing; potential deadlock)",
+                            loc.name, a.name
+                        ),
+                    )
+                    .with_help(
+                        "harmless for intentional sinks (goal/failure states); \
+                         otherwise add an exit",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// S105: synchronizing actions with exactly one participant. Such an
+/// event degenerates to an internal step — usually a connection that was
+/// meant to have a peer on the other side.
+fn sync_mismatches(net: &Network, out: &mut Vec<Diagnostic>) {
+    for (i, decl) in net.actions().iter().enumerate().skip(1) {
+        let parts = net.participants(slim_automata::automaton::ActionId(i));
+        if parts.len() == 1 {
+            let only = &net.automata()[parts[0].0].name;
+            out.push(
+                Diagnostic::new(
+                    Code::UnmatchedSync,
+                    format!(
+                        "event `{}` is used only by `{only}`; it synchronizes with no \
+                         other component",
+                        decl.name
+                    ),
+                )
+                .with_help(
+                    "an event with a single participant behaves like an internal \
+                     action; connect a receiver or drop the event",
+                ),
+            );
+        }
+    }
+}
+
+/// S106: variables that appear nowhere after lowering — not in a guard,
+/// invariant, effect (either side), flow (either side), or rate.
+fn unused_variables(net: &Network, out: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; net.vars().len()];
+    let mark_expr = |e: &Expr, used: &mut Vec<bool>| {
+        for v in e.vars() {
+            used[v.0] = true;
+        }
+    };
+    for a in net.automata() {
+        for loc in &a.locations {
+            mark_expr(&loc.invariant, &mut used);
+            for &(v, _) in &loc.rates {
+                used[v.0] = true;
+            }
+        }
+        for t in &a.transitions {
+            if let GuardKind::Boolean(g) = &t.guard {
+                mark_expr(g, &mut used);
+            }
+            for eff in &t.effects {
+                used[eff.var.0] = true;
+                mark_expr(&eff.expr, &mut used);
+            }
+        }
+    }
+    for f in net.flows() {
+        used[f.target.0] = true;
+        mark_expr(&f.expr, &mut used);
+    }
+    for (i, decl) in net.vars().iter().enumerate() {
+        if !used[i] {
+            out.push(
+                Diagnostic::new(
+                    Code::UnusedVariable,
+                    format!("variable `{}` is never used", decl.name),
+                )
+                .with_help(
+                    "it appears in no guard, invariant, effect, flow, or rate; \
+                     remove the declaration",
+                ),
+            );
+        }
+    }
+}
+
+/// S107: declared events that label no transition in any automaton.
+fn unused_actions(net: &Network, out: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; net.actions().len()];
+    for a in net.automata() {
+        for t in &a.transitions {
+            used[t.action.0] = true;
+        }
+    }
+    for (i, decl) in net.actions().iter().enumerate().skip(1) {
+        if !used[i] {
+            out.push(
+                Diagnostic::new(
+                    Code::UnusedAction,
+                    format!("event `{}` is declared but never used on any transition", decl.name),
+                )
+                .with_help("remove the declaration or add the missing transition"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract interval evaluation over declared variable ranges (for S101).
+// ---------------------------------------------------------------------------
+
+/// Abstract value: a three-valued Boolean or a numeric interval (bounds
+/// may be infinite). Sound over-approximation of every concrete valuation
+/// admitted by the variables' declared types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Abs {
+    /// `Some(b)` = definitely `b`; `None` = unknown.
+    Bool(Option<bool>),
+    /// All values in `[lo, hi]`.
+    Num(f64, f64),
+}
+
+const UNKNOWN: Abs = Abs::Bool(None);
+const TOP_NUM: Abs = Abs::Num(f64::NEG_INFINITY, f64::INFINITY);
+
+/// Sanitizing constructor: NaN bounds (from ∞ − ∞ and friends) widen to
+/// the corresponding infinity.
+fn num(lo: f64, hi: f64) -> Abs {
+    let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+    let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+    Abs::Num(lo, hi)
+}
+
+fn range_of(ty: VarType) -> Abs {
+    match ty {
+        VarType::Bool => Abs::Bool(None),
+        VarType::Int { lo, hi } => Abs::Num(lo as f64, hi as f64),
+        VarType::Real | VarType::Clock | VarType::Continuous => TOP_NUM,
+    }
+}
+
+/// Evaluates `e` over the abstract ranges of its variables' types.
+fn abs_eval(e: &Expr, ty_of: &dyn Fn(VarId) -> VarType) -> Abs {
+    match e {
+        Expr::Const(Value::Bool(b)) => Abs::Bool(Some(*b)),
+        Expr::Const(Value::Int(i)) => Abs::Num(*i as f64, *i as f64),
+        Expr::Const(Value::Real(r)) => Abs::Num(*r, *r),
+        Expr::Var(v) => range_of(ty_of(*v)),
+        Expr::Not(x) => match abs_eval(x, ty_of) {
+            Abs::Bool(b) => Abs::Bool(b.map(|b| !b)),
+            Abs::Num(..) => UNKNOWN,
+        },
+        Expr::Neg(x) => match abs_eval(x, ty_of) {
+            Abs::Num(lo, hi) => num(-hi, -lo),
+            Abs::Bool(_) => TOP_NUM,
+        },
+        Expr::Bin(op, a, b) => abs_bin(*op, abs_eval(a, ty_of), abs_eval(b, ty_of)),
+        Expr::Ite(c, t, e) => match abs_eval(c, ty_of) {
+            Abs::Bool(Some(true)) => abs_eval(t, ty_of),
+            Abs::Bool(Some(false)) => abs_eval(e, ty_of),
+            _ => join(abs_eval(t, ty_of), abs_eval(e, ty_of)),
+        },
+    }
+}
+
+/// Least upper bound of two abstract values (for unknown-condition `ite`).
+fn join(a: Abs, b: Abs) -> Abs {
+    match (a, b) {
+        (Abs::Bool(x), Abs::Bool(y)) => Abs::Bool(if x == y { x } else { None }),
+        (Abs::Num(al, ah), Abs::Num(bl, bh)) => Abs::Num(al.min(bl), ah.max(bh)),
+        // Mixed kinds cannot type-check; stay unknown.
+        _ => UNKNOWN,
+    }
+}
+
+fn abs_bin(op: BinOp, a: Abs, b: Abs) -> Abs {
+    use BinOp::*;
+    match op {
+        And | Or | Xor | Implies => {
+            let (Abs::Bool(x), Abs::Bool(y)) = (a, b) else { return UNKNOWN };
+            Abs::Bool(match op {
+                And => match (x, y) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                },
+                Or => match (x, y) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                },
+                Xor => match (x, y) {
+                    (Some(x), Some(y)) => Some(x != y),
+                    _ => None,
+                },
+                Implies => match (x, y) {
+                    (Some(false), _) | (_, Some(true)) => Some(true),
+                    (Some(true), Some(false)) => Some(false),
+                    _ => None,
+                },
+                _ => unreachable!(),
+            })
+        }
+        Eq | Ne => {
+            let eq = match (a, b) {
+                (Abs::Bool(Some(x)), Abs::Bool(Some(y))) => Some(x == y),
+                (Abs::Num(al, ah), Abs::Num(bl, bh)) => {
+                    if al == ah && bl == bh && al == bl {
+                        Some(true)
+                    } else if ah < bl || bh < al {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            Abs::Bool(if op == Ne { eq.map(|e| !e) } else { eq })
+        }
+        Lt | Le | Gt | Ge => {
+            let (Abs::Num(al, ah), Abs::Num(bl, bh)) = (a, b) else { return UNKNOWN };
+            Abs::Bool(match op {
+                Lt => {
+                    if ah < bl {
+                        Some(true)
+                    } else if al >= bh {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Le => {
+                    if ah <= bl {
+                        Some(true)
+                    } else if al > bh {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Gt => {
+                    if al > bh {
+                        Some(true)
+                    } else if ah <= bl {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Ge => {
+                    if al >= bh {
+                        Some(true)
+                    } else if ah < bl {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+        Add | Sub | Mul | Div | Min | Max => {
+            let (Abs::Num(al, ah), Abs::Num(bl, bh)) = (a, b) else { return TOP_NUM };
+            match op {
+                Add => num(al + bl, ah + bh),
+                Sub => num(al - bh, ah - bl),
+                Mul => {
+                    let p = [
+                        mul_bound(al, bl),
+                        mul_bound(al, bh),
+                        mul_bound(ah, bl),
+                        mul_bound(ah, bh),
+                    ];
+                    num(
+                        p.iter().copied().fold(f64::INFINITY, f64::min),
+                        p.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    )
+                }
+                Div => {
+                    if bl <= 0.0 && 0.0 <= bh {
+                        TOP_NUM
+                    } else {
+                        let p = [al / bl, al / bh, ah / bl, ah / bh];
+                        num(
+                            p.iter().copied().fold(f64::INFINITY, f64::min),
+                            p.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        )
+                    }
+                }
+                Min => num(al.min(bl), ah.min(bh)),
+                Max => num(al.max(bl), ah.max(bh)),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Interval-product bound with the convention `0 · ±∞ = 0` (the zero
+/// endpoint is attainable, the infinity is a bound, so their product's
+/// contribution is 0, not NaN).
+fn mul_bound(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_automata::automaton::{ActionId, Effect};
+    use slim_automata::network::{AutomatonBuilder, NetworkBuilder};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn by_code(diags: &[Diagnostic], code: Code) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| d.code == code).collect()
+    }
+
+    // ---- abstract evaluation ----
+
+    #[test]
+    fn abs_eval_decides_range_comparisons() {
+        let ty = |_: VarId| VarType::Int { lo: 0, hi: 5 };
+        let x = || Expr::var(VarId(0));
+        assert_eq!(abs_eval(&x().ge(Expr::int(10)), &ty), Abs::Bool(Some(false)));
+        assert_eq!(abs_eval(&x().le(Expr::int(5)), &ty), Abs::Bool(Some(true)));
+        assert_eq!(abs_eval(&x().ge(Expr::int(3)), &ty), Abs::Bool(None));
+        assert_eq!(abs_eval(&x().lt(Expr::int(0)), &ty), Abs::Bool(Some(false)));
+        assert_eq!(abs_eval(&Expr::FALSE.and(x().ge(Expr::int(0))), &ty), Abs::Bool(Some(false)));
+    }
+
+    #[test]
+    fn abs_eval_arithmetic_ranges() {
+        let ty = |_: VarId| VarType::Int { lo: 1, hi: 3 };
+        let x = || Expr::var(VarId(0));
+        // x + x ∈ [2, 6]; x*x ∈ [1, 9]; -x ∈ [-3, -1].
+        assert_eq!(abs_eval(&x().add(x()).gt(Expr::int(6)), &ty), Abs::Bool(Some(false)));
+        assert_eq!(abs_eval(&x().mul(x()).le(Expr::int(9)), &ty), Abs::Bool(Some(true)));
+        assert_eq!(abs_eval(&x().neg().ge(Expr::int(0)), &ty), Abs::Bool(Some(false)));
+        // Division by a range containing zero is unknown.
+        let zero_div = x().div(x().sub(Expr::int(2))).gt(Expr::int(100));
+        assert_eq!(abs_eval(&zero_div, &ty), Abs::Bool(None));
+        // min/max tighten.
+        assert_eq!(abs_eval(&x().min(Expr::int(0)).le(Expr::int(0)), &ty), Abs::Bool(Some(true)));
+    }
+
+    #[test]
+    fn abs_eval_unbounded_vars_stay_unknown() {
+        let ty = |_: VarId| VarType::Clock;
+        let x = || Expr::var(VarId(0));
+        assert_eq!(abs_eval(&x().ge(Expr::real(1e12)), &ty), Abs::Bool(None));
+        // ... but contradictory conjunctions over the same clock are not
+        // detected (per-atom abstraction): document that as unknown.
+        let e = x().lt(Expr::real(1.0)).and(x().gt(Expr::real(2.0)));
+        assert_eq!(abs_eval(&e, &ty), Abs::Bool(None));
+    }
+
+    #[test]
+    fn abs_eval_ite_joins_branches() {
+        let ty = |v: VarId| if v.0 == 0 { VarType::Bool } else { VarType::Int { lo: 0, hi: 1 } };
+        let e = Expr::ite(Expr::var(VarId(0)), Expr::int(2), Expr::int(5)).gt(Expr::int(1));
+        assert_eq!(abs_eval(&e, &ty), Abs::Bool(Some(true)));
+        let e = Expr::ite(Expr::var(VarId(0)), Expr::int(2), Expr::int(5)).gt(Expr::int(3));
+        assert_eq!(abs_eval(&e, &ty), Abs::Bool(None));
+    }
+
+    // ---- passes over small networks ----
+
+    /// One automaton: init -> mid (sync `go`, but nobody else offers
+    /// `go`... actually a single participant CAN fire alone, so use a
+    /// two-automaton network where the partner never reaches its `go`
+    /// location).
+    #[test]
+    fn s100_sync_blocked_location_is_unreachable() {
+        let mut b = NetworkBuilder::new();
+        let go = b.action("go");
+        let mut a1 = AutomatonBuilder::new("left");
+        let l0 = a1.location("start");
+        let l1 = a1.location("after_go");
+        a1.guarded(l0, go, Expr::TRUE, [], l1);
+        b.add_automaton(a1);
+        let mut a2 = AutomatonBuilder::new("right");
+        let _r0 = a2.location("idle");
+        let r1 = a2.location("offers_go");
+        let r2 = a2.location("done");
+        a2.guarded(r1, go, Expr::TRUE, [], r2); // r1 itself unreachable
+        b.add_automaton(a2);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let unreachable = by_code(&diags, Code::UnreachableLocation);
+        let msgs: Vec<&str> = unreachable.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("`after_go`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`offers_go`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`done`")), "{msgs:?}");
+        assert_eq!(unreachable.len(), 3, "{msgs:?}");
+    }
+
+    #[test]
+    fn s100_sync_reachable_when_partner_arrives() {
+        let mut b = NetworkBuilder::new();
+        let go = b.action("go");
+        let mut a1 = AutomatonBuilder::new("left");
+        let l0 = a1.location("start");
+        let l1 = a1.location("after_go");
+        a1.guarded(l0, go, Expr::TRUE, [], l1);
+        b.add_automaton(a1);
+        let mut a2 = AutomatonBuilder::new("right");
+        let r0 = a2.location("idle");
+        let r1 = a2.location("offers_go");
+        let r2 = a2.location("done");
+        a2.guarded(r0, ActionId::TAU, Expr::TRUE, [], r1);
+        a2.guarded(r1, go, Expr::TRUE, [], r2);
+        b.add_automaton(a2);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert!(by_code(&diags, Code::UnreachableLocation).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn s101_dead_guard_detected() {
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(10)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let dead = by_code(&diags, Code::UnsatisfiableGuard);
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert!(dead[0].message.contains("can never be true"), "{}", dead[0].message);
+        // The target is also unreachable (the dead guard is its only way in).
+        assert!(!by_code(&diags, Code::UnreachableLocation).is_empty());
+    }
+
+    #[test]
+    fn s102_entry_unsat_invariant_detected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(5.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("l0", Expr::var(x).le(Expr::real(3.0)), []);
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert_eq!(by_code(&diags, Code::EntryUnsatInvariant).len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn s103_and_s104_absorbing_vs_timelock() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("start");
+        let sink = a.location("sink");
+        let bounded = a.location_with("bounded", Expr::var(x).le(Expr::real(2.0)), []);
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [], sink);
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [], bounded);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let absorbing = by_code(&diags, Code::AbsorbingLocation);
+        let timelock = by_code(&diags, Code::InvariantWithoutEscape);
+        assert_eq!(absorbing.len(), 1, "{diags:?}");
+        assert!(absorbing[0].message.contains("`sink`"));
+        assert_eq!(timelock.len(), 1, "{diags:?}");
+        assert!(timelock[0].message.contains("`bounded`"));
+    }
+
+    #[test]
+    fn s105_singleton_sync_flagged() {
+        let mut b = NetworkBuilder::new();
+        let ping = b.action("ping");
+        let mut a = AutomatonBuilder::new("lonely");
+        let l0 = a.location("l0");
+        a.guarded(l0, ping, Expr::TRUE, [], l0);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let sync = by_code(&diags, Code::UnmatchedSync);
+        assert_eq!(sync.len(), 1, "{diags:?}");
+        assert!(sync[0].message.contains("`ping`"));
+    }
+
+    #[test]
+    fn s106_s107_unused_var_and_action() {
+        let mut b = NetworkBuilder::new();
+        let _ghost_action = b.action("ghost");
+        let _ghost_var = b.var("ghost_var", VarType::Bool, Value::Bool(false));
+        let used = b.var("used", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(used, Expr::bool(true))], l0);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let unused_v = by_code(&diags, Code::UnusedVariable);
+        assert_eq!(unused_v.len(), 1, "{diags:?}");
+        assert!(unused_v[0].message.contains("`ghost_var`"));
+        let unused_a = by_code(&diags, Code::UnusedAction);
+        assert_eq!(unused_a.len(), 1, "{diags:?}");
+        assert!(unused_a[0].message.contains("`ghost`"));
+    }
+
+    #[test]
+    fn write_only_flow_target_not_flagged_unused() {
+        let mut b = NetworkBuilder::new();
+        let src = b.var("src", VarType::INT, Value::Int(1));
+        let out_port = b.var("out_port", VarType::INT, Value::Int(0));
+        b.flow(out_port, Expr::var(src).add(Expr::int(1)));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("l0");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert!(by_code(&diags, Code::UnusedVariable).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn clean_single_automaton_produces_no_diagnostics() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("l0", Expr::var(x).le(Expr::real(5.0)), []);
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::real(1.0)), [], l1);
+        a.guarded(l1, ActionId::TAU, Expr::TRUE, [Effect::assign(x, Expr::real(0.0))], l0);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert!(diags.is_empty(), "{:?}", codes(&diags));
+    }
+}

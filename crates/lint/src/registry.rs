@@ -1,0 +1,355 @@
+//! The lint registry: the table of stable lint codes with their default
+//! levels, and [`LintConfig`] for per-lint allow/warn/deny overrides.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reporting level of a lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Suppress the lint entirely.
+    Allow,
+    /// Report as an informational note.
+    Note,
+    /// Report as a warning.
+    Warn,
+    /// Report as an error (nonzero exit from the CLI).
+    Deny,
+}
+
+impl Level {
+    /// Parses a level name (`allow`, `note`, `warn`, `deny`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "allow" => Some(Level::Allow),
+            "note" => Some(Level::Note),
+            "warn" => Some(Level::Warn),
+            "deny" => Some(Level::Deny),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Allow => "allow",
+            Level::Note => "note",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+macro_rules! lints {
+    ($($variant:ident => $code:literal, $name:literal, $level:ident, $desc:literal;)+) => {
+        /// A stable lint code.
+        ///
+        /// * `S0xx` — front-end lints over the parsed SLIM model;
+        /// * `S1xx` — static passes over the instantiated network;
+        /// * `S2xx` — network well-formedness rules (from
+        ///   [`slim_automata::validate::validate_all`]).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Code {
+            $(#[doc = $desc] $variant,)+
+        }
+
+        impl Code {
+            /// Every registered lint, in code order.
+            pub const ALL: &'static [Code] = &[$(Code::$variant,)+];
+
+            /// The stable code string, e.g. `"S100"`.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $code,)+
+                }
+            }
+
+            /// The kebab-case lint name, e.g. `"unreachable-location"`.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $name,)+
+                }
+            }
+
+            /// The default reporting level.
+            pub fn default_level(self) -> Level {
+                match self {
+                    $(Code::$variant => Level::$level,)+
+                }
+            }
+
+            /// One-line description of what the lint detects.
+            pub fn description(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $desc,)+
+                }
+            }
+
+            /// Looks a lint up by its code string (`"S100"`) or its
+            /// kebab-case name (`"unreachable-location"`).
+            pub fn parse(s: &str) -> Option<Code> {
+                Code::ALL.iter().copied().find(|c| c.as_str() == s || c.name() == s)
+            }
+        }
+    };
+}
+
+lints! {
+    // ---- S0xx: front-end lints over the parsed SLIM model ----
+    DuplicateDeclaration =>
+        "S001", "duplicate-declaration", Deny,
+        "a component type, implementation or error model is declared twice";
+    ImplWithoutType =>
+        "S002", "impl-without-type", Deny,
+        "a component implementation has no matching component type";
+    TypeWithoutImpl =>
+        "S003", "type-without-impl", Warn,
+        "a component type has no implementation";
+    SubcomponentShadowsFeature =>
+        "S004", "subcomponent-shadows-feature", Deny,
+        "a subcomponent name shadows a feature of the component type";
+    UnknownImplReference =>
+        "S005", "unknown-impl-reference", Deny,
+        "a subcomponent references an implementation that does not exist";
+    InitialModeCount =>
+        "S006", "initial-mode-count", Deny,
+        "an implementation with modes does not have exactly one initial mode";
+    TransitionsWithoutModes =>
+        "S007", "transitions-without-modes", Deny,
+        "an implementation declares transitions but no modes";
+    UnknownMode =>
+        "S008", "unknown-mode", Deny,
+        "a mode transition references a mode that does not exist";
+    NonPositiveRate =>
+        "S009", "non-positive-rate", Deny,
+        "a rate trigger has a non-positive rate";
+    UnreachableMode =>
+        "S010", "unreachable-mode", Warn,
+        "a non-initial mode is targeted by no transition";
+    ErrorModelInitialStates =>
+        "S011", "error-model-initial-states", Deny,
+        "an error model does not have exactly one initial state";
+    UnknownErrorState =>
+        "S012", "unknown-error-state", Deny,
+        "an error-model transition references a state that does not exist";
+    UnreachableErrorState =>
+        "S013", "unreachable-error-state", Warn,
+        "a non-initial error state is targeted by no transition";
+    UnknownErrorModel =>
+        "S014", "unknown-error-model", Deny,
+        "a fault injection references an error model that does not exist";
+    UnknownInjectionState =>
+        "S015", "unknown-injection-state", Deny,
+        "a fault-injection effect references a state the error model lacks";
+    UnusedErrorModel =>
+        "S016", "unused-error-model", Warn,
+        "an error model is never bound by a fault injection";
+
+    // ---- S1xx: static passes over the instantiated network ----
+    UnreachableLocation =>
+        "S100", "unreachable-location", Warn,
+        "a location is unreachable through transitions and sync vectors";
+    UnsatisfiableGuard =>
+        "S101", "unsatisfiable-guard", Warn,
+        "a transition guard can never be true for any variable valuation";
+    EntryUnsatInvariant =>
+        "S102", "entry-unsat-invariant", Warn,
+        "an initial location's invariant does not hold on entry";
+    AbsorbingLocation =>
+        "S103", "absorbing-location", Note,
+        "a reachable location has no exit at all (potential deadlock)";
+    InvariantWithoutEscape =>
+        "S104", "invariant-without-escape", Note,
+        "a time-bounded invariant has no escaping transition (potential timelock)";
+    UnmatchedSync =>
+        "S105", "unmatched-sync", Warn,
+        "an event has a sender but no receiver (or vice versa)";
+    UnusedVariable =>
+        "S106", "unused-variable", Warn,
+        "a variable is never read or written after lowering";
+    UnusedAction =>
+        "S107", "unused-action", Warn,
+        "an event is declared but appears on no transition";
+
+    // ---- S2xx: network well-formedness rules ----
+    WfDuplicateName =>
+        "S200", "wf-duplicate-name", Deny,
+        "a name is declared twice in the same namespace";
+    WfUnknownName =>
+        "S201", "wf-unknown-name", Deny,
+        "a referenced name does not exist";
+    WfMixedTransitionKinds =>
+        "S202", "wf-mixed-transition-kinds", Deny,
+        "a location mixes guarded and Markovian transitions";
+    WfMarkovianNotInternal =>
+        "S203", "wf-markovian-not-internal", Deny,
+        "a Markovian transition is labeled with a synchronizing action";
+    WfMarkovianInvariant =>
+        "S204", "wf-markovian-invariant", Deny,
+        "a location with Markovian transitions has a non-trivial invariant";
+    WfNonPositiveRate =>
+        "S205", "wf-non-positive-rate", Deny,
+        "a Markovian transition has a non-positive rate";
+    WfRateConflict =>
+        "S206", "wf-rate-conflict", Deny,
+        "two automata assign a derivative to the same continuous variable";
+    WfRateOnDiscrete =>
+        "S207", "wf-rate-on-discrete", Deny,
+        "a derivative is assigned to a non-continuous variable";
+    WfFlowCycle =>
+        "S208", "wf-flow-cycle", Deny,
+        "the data-flow assignments contain a dependency cycle";
+    WfFlowTargetConflict =>
+        "S209", "wf-flow-target-conflict", Deny,
+        "a flow target is also written by effects or has a derivative";
+    WfType =>
+        "S210", "wf-type", Deny,
+        "an expression fails to type-check";
+    WfBadInit =>
+        "S211", "wf-bad-init", Deny,
+        "an initial value does not inhabit its variable's declared type";
+    WfEmpty =>
+        "S212", "wf-empty", Deny,
+        "the network has no automata, or an automaton has no locations";
+    WfIndexOutOfRange =>
+        "S213", "wf-index-out-of-range", Deny,
+        "an internal index (location, variable, action) is out of range";
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-lint level configuration: default levels from the registry,
+/// optional per-code overrides, and a global "deny warnings" switch
+/// (the CLI's `--deny-lints`).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: HashMap<Code, Level>,
+    /// Promote every effective `Warn` to `Deny`.
+    pub deny_warnings: bool,
+}
+
+impl LintConfig {
+    /// Configuration with registry defaults and no overrides.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Overrides the level of one lint.
+    pub fn set(&mut self, code: Code, level: Level) {
+        self.overrides.insert(code, level);
+    }
+
+    /// Overrides a lint level by code string or name; returns `false` if
+    /// the lint is unknown.
+    pub fn set_by_name(&mut self, lint: &str, level: Level) -> bool {
+        match Code::parse(lint) {
+            Some(code) => {
+                self.set(code, level);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The effective level of a lint under this configuration.
+    pub fn effective(&self, code: Code) -> Level {
+        let base = self.overrides.get(&code).copied().unwrap_or_else(|| code.default_level());
+        if self.deny_warnings && base == Level::Warn {
+            Level::Deny
+        } else {
+            base
+        }
+    }
+
+    /// Applies the configuration to freshly produced diagnostics: drops
+    /// `Allow`ed ones and rewrites severities to the effective levels.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter_map(|mut d| {
+                let level = self.effective(d.code);
+                if level == Level::Allow {
+                    return None;
+                }
+                d.severity = Severity::from_level(level);
+                Some(d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = "";
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(seen.insert(c.name()), "name collides with a code: {}", c.name());
+            assert!(prev < c.as_str(), "codes out of order at {c}");
+            prev = c.as_str();
+            assert!(!c.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_code_and_name() {
+        assert_eq!(Code::parse("S100"), Some(Code::UnreachableLocation));
+        assert_eq!(Code::parse("unreachable-location"), Some(Code::UnreachableLocation));
+        assert_eq!(Code::parse("S999"), None);
+        assert_eq!(Level::parse("deny"), Some(Level::Deny));
+        assert_eq!(Level::parse("fatal"), None);
+    }
+
+    #[test]
+    fn effective_levels_and_overrides() {
+        let mut cfg = LintConfig::new();
+        assert_eq!(cfg.effective(Code::UnreachableLocation), Level::Warn);
+        assert_eq!(cfg.effective(Code::AbsorbingLocation), Level::Note);
+        cfg.set(Code::UnreachableLocation, Level::Allow);
+        assert_eq!(cfg.effective(Code::UnreachableLocation), Level::Allow);
+        assert!(cfg.set_by_name("absorbing-location", Level::Deny));
+        assert_eq!(cfg.effective(Code::AbsorbingLocation), Level::Deny);
+        assert!(!cfg.set_by_name("nope", Level::Deny));
+    }
+
+    #[test]
+    fn deny_warnings_promotes_only_warnings() {
+        let mut cfg = LintConfig::new();
+        cfg.deny_warnings = true;
+        assert_eq!(cfg.effective(Code::UnreachableLocation), Level::Deny);
+        assert_eq!(cfg.effective(Code::AbsorbingLocation), Level::Note);
+        assert_eq!(cfg.effective(Code::WfEmpty), Level::Deny);
+    }
+
+    #[test]
+    fn apply_filters_and_remaps() {
+        let mut cfg = LintConfig::new();
+        cfg.set(Code::UnusedVariable, Level::Allow);
+        cfg.set(Code::UnusedAction, Level::Deny);
+        let diags = vec![
+            Diagnostic::new(Code::UnusedVariable, "dropped"),
+            Diagnostic::new(Code::UnusedAction, "promoted"),
+            Diagnostic::new(Code::AbsorbingLocation, "kept"),
+        ];
+        let out = cfg.apply(diags);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].code, Code::UnusedAction);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[1].severity, Severity::Note);
+    }
+}

@@ -1,0 +1,225 @@
+//! Rendering diagnostics: a human-readable text form with a source
+//! excerpt and caret, and a machine-readable JSON-lines form.
+//!
+//! The JSON encoder is hand-rolled (one flat object per line, RFC 8259
+//! string escaping) so the crate stays dependency-free.
+
+use crate::diagnostic::Diagnostic;
+use std::fmt::Write as _;
+
+/// A named source text, used by the text renderer to show excerpts and by
+/// both renderers to attribute positions to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceFile<'a> {
+    /// Display name (typically the path the model was read from).
+    pub name: &'a str,
+    /// Full source text.
+    pub text: &'a str,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Pairs a display name with the source text.
+    pub fn new(name: &'a str, text: &'a str) -> SourceFile<'a> {
+        SourceFile { name, text }
+    }
+
+    fn line(&self, line_1based: u32) -> Option<&'a str> {
+        self.text.lines().nth(line_1based.saturating_sub(1) as usize)
+    }
+}
+
+/// Renders one diagnostic in the human-readable form:
+///
+/// ```text
+/// warning[S010]: `D.I`: mode `orphan` is unreachable
+///   --> model.slim:6:5
+///    |
+///  6 |     orphan: mode;
+///    |     ^
+///    = help: add a transition targeting it or remove it
+/// ```
+///
+/// Without a source the excerpt block is omitted; without a span only the
+/// header (and help) is printed.
+pub fn render_text(d: &Diagnostic, src: Option<&SourceFile<'_>>) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}[{}]: {}", d.severity, d.code.as_str(), d.message);
+    if let Some(span) = d.span {
+        let name = src.map(|s| s.name).unwrap_or("<input>");
+        let _ = write!(out, "\n  --> {name}:{span}");
+        if let Some(text) = src.and_then(|s| s.line(span.line)) {
+            let gutter = span.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let caret_indent = " ".repeat(span.col.saturating_sub(1) as usize);
+            let _ = write!(out, "\n {pad} |\n {gutter} | {text}\n {pad} | {caret_indent}^");
+        }
+    }
+    if let Some(help) = &d.help {
+        let _ = write!(out, "\n  = help: {help}");
+    }
+    out
+}
+
+/// Renders all diagnostics in text form, separated by blank lines, with a
+/// trailing summary line (`N errors, M warnings, K notes`). Returns the
+/// empty string for no diagnostics.
+pub fn render_text_all(diags: &[Diagnostic], src: Option<&SourceFile<'_>>) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render_text(d, src));
+        out.push_str("\n\n");
+    }
+    let (mut errors, mut warnings, mut notes) = (0usize, 0usize, 0usize);
+    for d in diags {
+        match d.severity {
+            crate::Severity::Error => errors += 1,
+            crate::Severity::Warning => warnings += 1,
+            crate::Severity::Note => notes += 1,
+        }
+    }
+    let _ = write!(out, "{errors} errors, {warnings} warnings, {notes} notes");
+    out
+}
+
+/// Renders one diagnostic as a single-line JSON object:
+///
+/// ```text
+/// {"code":"S010","name":"unreachable-mode","severity":"warning","message":"...","file":"model.slim","line":6,"col":5,"help":null}
+/// ```
+///
+/// `file` is `null` when no source name is given; `line`/`col` are `null`
+/// without a span.
+pub fn render_json(d: &Diagnostic, file: Option<&str>) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"code\":");
+    push_json_str(&mut out, d.code.as_str());
+    out.push_str(",\"name\":");
+    push_json_str(&mut out, d.code.name());
+    out.push_str(",\"severity\":");
+    push_json_str(&mut out, d.severity.tag());
+    out.push_str(",\"message\":");
+    push_json_str(&mut out, &d.message);
+    out.push_str(",\"file\":");
+    match file {
+        Some(f) => push_json_str(&mut out, f),
+        None => out.push_str("null"),
+    }
+    match d.span {
+        Some(span) => {
+            let _ = write!(out, ",\"line\":{},\"col\":{}", span.line, span.col);
+        }
+        None => out.push_str(",\"line\":null,\"col\":null"),
+    }
+    out.push_str(",\"help\":");
+    match &d.help {
+        Some(h) => push_json_str(&mut out, h),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Renders all diagnostics as JSON lines (one object per line).
+pub fn render_json_all(diags: &[Diagnostic], file: Option<&str>) -> String {
+    diags.iter().map(|d| render_json(d, file)).collect::<Vec<_>>().join("\n")
+}
+
+/// Appends `s` as a JSON string literal (quotes and RFC 8259 escapes).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Code;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(Code::UnreachableMode, "`D.I`: mode `orphan` is unreachable")
+            .at(2, 5)
+            .with_help("add a transition targeting it")
+    }
+
+    #[test]
+    fn text_with_source_shows_caret() {
+        let src = SourceFile::new("model.slim", "line one\n    orphan: mode;\nline three");
+        let s = render_text(&sample(), Some(&src));
+        assert!(s.contains("warning[S010]"), "{s}");
+        assert!(s.contains("--> model.slim:2:5"), "{s}");
+        assert!(s.contains("2 |     orphan: mode;"), "{s}");
+        // Caret under column 5.
+        let caret_line = s.lines().last().unwrap();
+        assert!(s.contains("= help:"), "{s}");
+        let caret = s.lines().find(|l| l.trim_end().ends_with('^')).unwrap();
+        assert_eq!(caret.find('^').unwrap() - caret.find('|').unwrap(), 2 + 4);
+        assert!(!caret_line.is_empty());
+    }
+
+    #[test]
+    fn text_without_source_or_span() {
+        let s = render_text(&sample(), None);
+        assert!(s.contains("--> <input>:2:5"), "{s}");
+        assert!(!s.contains(" | "), "no excerpt without source: {s}");
+        let mut no_span = sample();
+        no_span.span = None;
+        let s = render_text(&no_span, None);
+        assert!(!s.contains("-->"), "{s}");
+    }
+
+    #[test]
+    fn text_all_summarizes() {
+        let diags = vec![sample(), Diagnostic::new(Code::WfEmpty, "no automata")];
+        let s = render_text_all(&diags, None);
+        assert!(s.ends_with("1 errors, 1 warnings, 0 notes"), "{s}");
+        assert_eq!(render_text_all(&[], None), "");
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let d = Diagnostic::new(Code::UnsatisfiableGuard, "guard `x \"q\"\n` is false");
+        let s = render_json(&d, Some("a\\b.slim"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"code\":\"S101\""), "{s}");
+        assert!(s.contains("\"name\":\"unsatisfiable-guard\""), "{s}");
+        assert!(s.contains("\\\"q\\\"\\n"), "{s}");
+        assert!(s.contains("\"file\":\"a\\\\b.slim\""), "{s}");
+        assert!(s.contains("\"line\":null,\"col\":null"), "{s}");
+        assert!(s.contains("\"help\":null"), "{s}");
+        assert!(!s.contains('\n'), "single line: {s}");
+    }
+
+    #[test]
+    fn json_all_is_one_object_per_line() {
+        let diags = vec![sample(), sample()];
+        let s = render_json_all(&diags, None);
+        assert_eq!(s.lines().count(), 2);
+        for line in s.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"line\":2,\"col\":5"));
+        }
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\u{1}b");
+        assert_eq!(out, "\"a\\u0001b\"");
+    }
+}

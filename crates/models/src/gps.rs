@@ -122,9 +122,8 @@ pub fn gps_network(p: &GpsParams) -> Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use slim_automata::prelude::*;
+    use slim_stats::rng::StdRng;
     use slimsim_core::prelude::*;
 
     #[test]
@@ -139,10 +138,8 @@ mod tests {
     #[test]
     fn acquisition_window_respected() {
         let net = gps_network(&GpsParams::default());
-        let prop = TimedReach::new(
-            Goal::expr(Expr::var(net.var_id("gps.measurement").unwrap())),
-            200.0,
-        );
+        let prop =
+            TimedReach::new(Goal::expr(Expr::var(net.var_id("gps.measurement").unwrap())), 200.0);
         let gen = PathGenerator::new(&net, &prop, 100_000);
         // ASAP acquires at exactly 10 s (unless a fault races in first,
         // which at these rates is common — accept either outcome but

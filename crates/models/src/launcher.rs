@@ -98,8 +98,7 @@ pub fn launcher_network(p: &LauncherParams) -> Network {
     // ---- power: two PCDUs with battery dynamics ------------------------
     let mut power_ok = Vec::new();
     for name in ["pcdu_a", "pcdu_b"] {
-        let energy =
-            b.var(format!("{name}.energy"), VarType::Continuous, Value::Real(100.0));
+        let energy = b.var(format!("{name}.energy"), VarType::Continuous, Value::Real(100.0));
         let ok = b.var(format!("{name}.ok"), VarType::Bool, Value::Bool(true));
         power_ok.push(ok);
         // Battery dynamics: linear energy drain with an urgent depletion
@@ -176,19 +175,19 @@ pub fn launcher_network(p: &LauncherParams) -> Network {
                         Expr::var(c).le(Expr::real(p.repair_latest)),
                         [],
                     );
-                    let hot = a.location_with(
-                        "hot",
-                        Expr::var(c).le(Expr::real(p.repair_latest)),
-                        [],
-                    );
+                    let hot =
+                        a.location_with("hot", Expr::var(c).le(Expr::real(p.repair_latest)), []);
                     let bricked = a.location("permanent");
-                    let fault_effects = [
-                        Effect::assign(ok, Expr::bool(false)),
-                        Effect::assign(c, Expr::real(0.0)),
-                    ];
+                    let fault_effects =
+                        [Effect::assign(ok, Expr::bool(false)), Effect::assign(c, Expr::real(0.0))];
                     a.markovian(run, 0.70 * p.lambda_dpu, fault_effects.clone(), transient);
                     a.markovian(run, 0.25 * p.lambda_dpu, fault_effects.clone(), hot);
-                    a.markovian(run, 0.05 * p.lambda_dpu, [Effect::assign(ok, Expr::bool(false))], bricked);
+                    a.markovian(
+                        run,
+                        0.05 * p.lambda_dpu,
+                        [Effect::assign(ok, Expr::bool(false))],
+                        bricked,
+                    );
                     // Transient faults self-heal anywhere in the window.
                     a.guarded(
                         transient,
@@ -222,19 +221,13 @@ pub fn launcher_network(p: &LauncherParams) -> Network {
                 DpuFaultMode::Recoverable => {
                     let c = b.var(format!("{name}.c"), VarType::Clock, Value::Real(0.0));
                     let run = a.location("ok");
-                    let hot = a.location_with(
-                        "hot",
-                        Expr::var(c).le(Expr::real(p.repair_latest)),
-                        [],
-                    );
+                    let hot =
+                        a.location_with("hot", Expr::var(c).le(Expr::real(p.repair_latest)), []);
                     let bricked = a.location("permanent");
                     a.markovian(
                         run,
                         p.lambda_dpu,
-                        [
-                            Effect::assign(ok, Expr::bool(false)),
-                            Effect::assign(c, Expr::real(0.0)),
-                        ],
+                        [Effect::assign(ok, Expr::bool(false)), Effect::assign(c, Expr::real(0.0))],
                         hot,
                     );
                     // Restart too early (before cool-down): bricks.
@@ -268,8 +261,7 @@ pub fn launcher_network(p: &LauncherParams) -> Network {
     let t = b.var("mission.t", VarType::Clock, Value::Real(0.0));
     let in_flight = b.var("mission.in_flight", VarType::Bool, Value::Bool(true));
     let mut mission = AutomatonBuilder::new("mission");
-    let boost =
-        mission.location_with("boost", Expr::var(t).le(Expr::real(p.boost_end)), []);
+    let boost = mission.location_with("boost", Expr::var(t).le(Expr::real(p.boost_end)), []);
     let flight = mission.location("flight");
     mission.guarded_urgent(
         boost,
@@ -288,31 +280,14 @@ pub fn launcher_network(p: &LauncherParams) -> Network {
             .or(Expr::var(u[0]).and(Expr::var(u[2])))
             .or(Expr::var(u[1]).and(Expr::var(u[2])))
     };
-    b.flow(
-        nav,
-        Expr::var(gps_ok[0])
-            .or(Expr::var(gps_ok[1]))
-            .and(two_of_three(&gyro_ok)),
-    );
+    b.flow(nav, Expr::var(gps_ok[0]).or(Expr::var(gps_ok[1])).and(two_of_three(&gyro_ok)));
     let cmd_a = b.var("triplex_a.cmd", VarType::Bool, Value::Bool(true));
     let cmd_b = b.var("triplex_b.cmd", VarType::Bool, Value::Bool(true));
-    b.flow(
-        cmd_a,
-        two_of_three(&triplex_units[0]).and(Expr::var(power_ok[0])).and(Expr::var(nav)),
-    );
-    b.flow(
-        cmd_b,
-        two_of_three(&triplex_units[1]).and(Expr::var(power_ok[1])).and(Expr::var(nav)),
-    );
+    b.flow(cmd_a, two_of_three(&triplex_units[0]).and(Expr::var(power_ok[0])).and(Expr::var(nav)));
+    b.flow(cmd_b, two_of_three(&triplex_units[1]).and(Expr::var(power_ok[1])).and(Expr::var(nav)));
     // Thruster block: loss of control = no command from either triplex.
     let failure = b.var("failure", VarType::Bool, Value::Bool(false));
-    b.flow(
-        failure,
-        Expr::var(cmd_a)
-            .not()
-            .and(Expr::var(cmd_b).not())
-            .and(Expr::var(in_flight)),
-    );
+    b.flow(failure, Expr::var(cmd_a).not().and(Expr::var(cmd_b).not()).and(Expr::var(in_flight)));
 
     b.build().expect("launcher model is well-formed")
 }
@@ -380,10 +355,7 @@ mod tests {
         let progressive = prob(StrategyKind::Progressive);
         let local = prob(StrategyKind::Local);
         let maxtime = prob(StrategyKind::MaxTime);
-        assert!(
-            asap > progressive + 0.02,
-            "ASAP {asap} should exceed Progressive {progressive}"
-        );
+        assert!(asap > progressive + 0.02, "ASAP {asap} should exceed Progressive {progressive}");
         assert!(
             progressive > maxtime + 0.02,
             "Progressive {progressive} should exceed MaxTime {maxtime}"
@@ -435,20 +407,13 @@ mod tests {
     #[test]
     fn mission_phase_changes_deterministically() {
         let net = launcher_network(&LauncherParams::default());
-        let prop = TimedReach::new(
-            Goal::in_location(&net, "mission", "flight").unwrap(),
-            1.0,
-        );
+        let prop = TimedReach::new(Goal::in_location(&net, "mission", "flight").unwrap(), 1.0);
         let gen = PathGenerator::new(&net, &prop, 100_000);
         for kind in StrategyKind::ALL {
-            let mut rng = rand::SeedableRng::seed_from_u64(5);
+            let mut rng = slim_stats::rng::StdRng::seed_from_u64(5);
             let out = gen.generate(kind.instantiate().as_mut(), &mut rng).unwrap();
             assert_eq!(out.verdict, Verdict::Satisfied, "{kind}");
-            assert!(
-                (out.end_time - 0.1).abs() < 1e-9,
-                "{kind} boosts until {}",
-                out.end_time
-            );
+            assert!((out.end_time - 0.1).abs() < 1e-9, "{kind} boosts until {}", out.end_time);
         }
     }
 
@@ -468,7 +433,7 @@ mod tests {
         let net = launcher_network(&p);
         let prop = TimedReach::new(goal(&net), 2.0);
         let gen = PathGenerator::new(&net, &prop, 100_000);
-        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        let mut rng = slim_stats::rng::StdRng::seed_from_u64(9);
         let out = gen.generate(&mut Asap, &mut rng).unwrap();
         assert_eq!(out.verdict, Verdict::Satisfied);
         assert!((out.end_time - 1.0).abs() < 1e-6, "depletion at {}", out.end_time);

@@ -15,8 +15,6 @@
 //!   linear voltage decay, battery backup, urgent switch-over).
 //! * [`slim_sources`] — ready-made SLIM sources for tests and the CLI.
 
-#![warn(missing_docs)]
-
 pub mod gps;
 pub mod launcher;
 pub mod power_system;

@@ -205,9 +205,7 @@ mod tests {
         let wear1 = net
             .markovian_candidates(&s0)
             .into_iter()
-            .find(|c| {
-                net.automata()[c.transition.parts[0].0 .0].name.contains("gen1.error")
-            })
+            .find(|c| net.automata()[c.transition.parts[0].0 .0].name.contains("gen1.error"))
             .expect("gen1 wear fault exists");
         let s1 = net.apply(&s0, &wear1.transition).unwrap();
         // The urgent `fresh -> degrading` transition is now enabled.

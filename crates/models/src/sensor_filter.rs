@@ -79,10 +79,8 @@ pub fn sensor_filter_network(p: &SensorFilterParams) -> Network {
         .map(|i| b.var(format!("filters.f{i}.ok"), VarType::Bool, Value::Bool(true)))
         .collect();
     // Switch positions; `n` is the exhausted sentinel.
-    let active_s =
-        b.var("sensors.active", VarType::Int { lo: 0, hi: n as i64 }, Value::Int(0));
-    let active_f =
-        b.var("filters.active", VarType::Int { lo: 0, hi: n as i64 }, Value::Int(0));
+    let active_s = b.var("sensors.active", VarType::Int { lo: 0, hi: n as i64 }, Value::Int(0));
+    let active_f = b.var("filters.active", VarType::Int { lo: 0, hi: n as i64 }, Value::Int(0));
     let failed = b.var("monitor.system_failed", VarType::Bool, Value::Bool(false));
 
     // Data path (Fig. 3): the active sensor's reading, the filtered value.
@@ -151,16 +149,14 @@ pub fn sensor_filter_network(p: &SensorFilterParams) -> Network {
 
         // Filter signature: filtered value dropped to 0 while the sensor
         // side still delivers (raw > 0).
-        let sig_filter =
-            Expr::var(filtered).eq(Expr::int(0)).and(Expr::var(raw).gt(Expr::int(0)));
+        let sig_filter = Expr::var(filtered).eq(Expr::int(0)).and(Expr::var(raw).gt(Expr::int(0)));
         let guard = Expr::var(active_f).eq(Expr::int(i as i64)).and(sig_filter);
         let next = next_healthy_expr(&filter_ok, i, n);
         mon.guarded_urgent(watch, ActionId::TAU, guard, [Effect::assign(active_f, next)], watch);
     }
     // Exhaustion of either bank fails the system.
-    let exhausted = Expr::var(active_s)
-        .ge(Expr::int(n as i64))
-        .or(Expr::var(active_f).ge(Expr::int(n as i64)));
+    let exhausted =
+        Expr::var(active_s).ge(Expr::int(n as i64)).or(Expr::var(active_f).ge(Expr::int(n as i64)));
     mon.guarded_urgent(
         watch,
         ActionId::TAU,
@@ -246,11 +242,7 @@ mod tests {
         let t = 2.0;
         let r = check_timed_reachability(&net, &goal, t, &PipelineConfig::default()).unwrap();
         let exact = analytic_failure_probability(&p, t);
-        assert!(
-            (r.probability - exact).abs() < 1e-6,
-            "CTMC {} vs analytic {exact}",
-            r.probability
-        );
+        assert!((r.probability - exact).abs() < 1e-6, "CTMC {} vs analytic {exact}", r.probability);
     }
 
     #[test]
@@ -297,11 +289,8 @@ mod tests {
             let p = SensorFilterParams { redundancy: n, ..Default::default() };
             let net = sensor_filter_network(&p);
             let failed = net.var_id(GOAL_VAR).unwrap();
-            let goal =
-                move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
-            slim_ctmc::explore(&net, &goal, &slim_ctmc::ExploreConfig::default())
-                .unwrap()
-                .states
+            let goal = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
+            slim_ctmc::explore(&net, &goal, &slim_ctmc::ExploreConfig::default()).unwrap().states
         };
         let s2 = count(2);
         let s3 = count(3);

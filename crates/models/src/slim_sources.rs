@@ -124,8 +124,10 @@ mod tests {
             .with_accuracy(Accuracy::new(0.04, 0.1).unwrap())
             .with_strategy(StrategyKind::Asap);
         let r = analyze(&net, &prop, &cfg).unwrap();
-        let exact =
-            analytic_failure_probability(&SensorFilterParams { redundancy: 2, ..Default::default() }, 2.0);
+        let exact = analytic_failure_probability(
+            &SensorFilterParams { redundancy: 2, ..Default::default() },
+            2.0,
+        );
         assert!(
             (r.probability() - exact).abs() < 0.05,
             "SLIM variant {} vs analytic {exact}",
@@ -139,7 +141,7 @@ mod tests {
         let served = net.var_id("net.server.served").unwrap();
         let prop = TimedReach::new(Goal::expr(Expr::var(served)), 10.0);
         let gen = PathGenerator::new(&net, &prop, 1000);
-        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        let mut rng = slim_stats::rng::StdRng::seed_from_u64(3);
         let out = gen.generate(&mut Progressive, &mut rng).unwrap();
         assert_eq!(out.verdict, Verdict::Satisfied);
         assert!((1.0..=5.0).contains(&out.end_time), "handshake at {}", out.end_time);

@@ -1,227 +1,273 @@
 //! Model-level static analysis: non-fatal diagnostics about a parsed
 //! model, before instantiation — the kind of validation the COMPASS
 //! front-end performs when loading a specification (§II-F).
+//!
+//! Every finding is a [`slim_lint::Diagnostic`] carrying a stable `S0xx`
+//! lint code and the source position of the offending declaration, so the
+//! CLI can render `file:line:col` excerpts and machine-readable output.
 
 use crate::ast::{Model, Subcomponent, Trigger};
+use crate::token::Pos;
+use slim_lint::{Code, Diagnostic};
 use std::collections::HashSet;
-use std::fmt;
 
-/// Severity of a diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Severity {
-    /// Definitely wrong; lowering would fail.
-    Error,
-    /// Suspicious but legal (dead code, unused declarations).
-    Warning,
+pub use slim_lint::{Severity, Span};
+
+fn at(code: Code, message: String, pos: Pos) -> Diagnostic {
+    Diagnostic::new(code, message).at(pos.line, pos.col)
 }
 
-/// A non-fatal finding about the model.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnostic {
-    /// Severity class.
-    pub severity: Severity,
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let tag = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        write!(f, "{tag}: {}", self.message)
+impl Subcomponent {
+    /// Source position of the declaration.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Subcomponent::Data { pos, .. } | Subcomponent::Instance { pos, .. } => *pos,
+        }
     }
-}
-
-fn warn(message: String) -> Diagnostic {
-    Diagnostic { severity: Severity::Warning, message }
-}
-
-fn error(message: String) -> Diagnostic {
-    Diagnostic { severity: Severity::Error, message }
 }
 
 /// Analyzes a parsed model, returning diagnostics (empty = clean).
 pub fn analyze_model(model: &Model) -> Vec<Diagnostic> {
     let mut out = Vec::new();
 
-    // Duplicate declarations.
+    // S001: duplicate declarations.
     let mut seen = HashSet::new();
     for t in &model.types {
         if !seen.insert(("type", t.name.clone())) {
-            out.push(error(format!("component type `{}` declared twice", t.name)));
+            out.push(at(
+                Code::DuplicateDeclaration,
+                format!("component type `{}` declared twice", t.name),
+                t.pos,
+            ));
         }
     }
     let mut seen_impl = HashSet::new();
     for i in &model.impls {
         if !seen_impl.insert(i.name.clone()) {
-            out.push(error(format!(
-                "implementation `{}.{}` declared twice",
-                i.name.0, i.name.1
-            )));
+            out.push(at(
+                Code::DuplicateDeclaration,
+                format!("implementation `{}.{}` declared twice", i.name.0, i.name.1),
+                i.pos,
+            ));
         }
     }
     let mut seen_em = HashSet::new();
     for e in &model.error_models {
         if !seen_em.insert(e.name.clone()) {
-            out.push(error(format!("error model `{}` declared twice", e.name)));
+            out.push(at(
+                Code::DuplicateDeclaration,
+                format!("error model `{}` declared twice", e.name),
+                e.pos,
+            ));
         }
     }
 
-    // Implementations without a matching type, and vice versa.
+    // S002/S003: implementations without a matching type, and vice versa.
     let type_names: HashSet<&str> = model.types.iter().map(|t| t.name.as_str()).collect();
     for i in &model.impls {
         if !type_names.contains(i.name.0.as_str()) {
-            out.push(error(format!(
-                "implementation `{}.{}` has no component type `{}`",
-                i.name.0, i.name.1, i.name.0
-            )));
+            out.push(at(
+                Code::ImplWithoutType,
+                format!(
+                    "implementation `{}.{}` has no component type `{}`",
+                    i.name.0, i.name.1, i.name.0
+                ),
+                i.pos,
+            ));
         }
     }
     let implemented: HashSet<&str> = model.impls.iter().map(|i| i.name.0.as_str()).collect();
     for t in &model.types {
         if !implemented.contains(t.name.as_str()) {
-            out.push(warn(format!("component type `{}` has no implementation", t.name)));
+            out.push(
+                at(
+                    Code::TypeWithoutImpl,
+                    format!("component type `{}` has no implementation", t.name),
+                    t.pos,
+                )
+                .with_help("add a matching `implementation` block or remove the type"),
+            );
         }
     }
 
     // Per-implementation structural checks.
     for i in &model.impls {
         let impl_name = format!("{}.{}", i.name.0, i.name.1);
-        // Subcomponent name clashes with a feature of the type.
+        // S004: subcomponent name clashes with a feature of the type.
         if let Some(t) = model.find_type(&i.name.0) {
-            let feature_names: HashSet<&str> =
-                t.features.iter().map(|f| f.name.as_str()).collect();
+            let feature_names: HashSet<&str> = t.features.iter().map(|f| f.name.as_str()).collect();
             for s in &i.subcomponents {
                 if feature_names.contains(s.name()) {
-                    out.push(error(format!(
-                        "`{impl_name}`: subcomponent `{}` shadows a feature of `{}`",
-                        s.name(),
-                        t.name
-                    )));
+                    out.push(at(
+                        Code::SubcomponentShadowsFeature,
+                        format!(
+                            "`{impl_name}`: subcomponent `{}` shadows a feature of `{}`",
+                            s.name(),
+                            t.name
+                        ),
+                        s.pos(),
+                    ));
                 }
             }
         }
-        // Referenced child implementations exist.
+        // S005: referenced child implementations exist.
         for s in &i.subcomponents {
-            if let Subcomponent::Instance { name, impl_ref, .. } = s {
+            if let Subcomponent::Instance { name, impl_ref, pos, .. } = s {
                 if model.find_impl(&impl_ref.0, &impl_ref.1).is_none() {
-                    out.push(error(format!(
-                        "`{impl_name}`: subcomponent `{name}` references unknown `{}.{}`",
-                        impl_ref.0, impl_ref.1
-                    )));
+                    out.push(at(
+                        Code::UnknownImplReference,
+                        format!(
+                            "`{impl_name}`: subcomponent `{name}` references unknown `{}.{}`",
+                            impl_ref.0, impl_ref.1
+                        ),
+                        *pos,
+                    ));
                 }
             }
         }
-        // Mode structure.
+        // S006/S007: mode structure.
         let initials = i.modes.iter().filter(|m| m.initial).count();
         if !i.modes.is_empty() && initials == 0 {
-            out.push(error(format!("`{impl_name}`: no initial mode")));
+            out.push(at(Code::InitialModeCount, format!("`{impl_name}`: no initial mode"), i.pos));
         }
         if initials > 1 {
-            out.push(error(format!("`{impl_name}`: {initials} initial modes")));
+            out.push(at(
+                Code::InitialModeCount,
+                format!("`{impl_name}`: {initials} initial modes"),
+                i.pos,
+            ));
         }
         if i.modes.is_empty() && !i.transitions.is_empty() {
-            out.push(error(format!("`{impl_name}`: transitions without modes")));
+            out.push(at(
+                Code::TransitionsWithoutModes,
+                format!("`{impl_name}`: transitions without modes"),
+                i.transitions[0].pos,
+            ));
         }
-        // Transitions reference existing modes; unreachable modes.
+        // S008/S009/S010: transitions reference existing modes; rates are
+        // positive; every non-initial mode is targeted.
         let mode_names: HashSet<&str> = i.modes.iter().map(|m| m.name.as_str()).collect();
         let mut targeted: HashSet<&str> = HashSet::new();
         for t in &i.transitions {
             for end in [&t.from, &t.to] {
                 if !mode_names.contains(end.as_str()) {
-                    out.push(error(format!("`{impl_name}`: unknown mode `{end}`")));
+                    out.push(at(
+                        Code::UnknownMode,
+                        format!("`{impl_name}`: unknown mode `{end}`"),
+                        t.pos,
+                    ));
                 }
             }
             targeted.insert(t.to.as_str());
             if let Trigger::Rate(r) = t.trigger {
                 if r <= 0.0 {
-                    out.push(error(format!("`{impl_name}`: non-positive rate {r}")));
+                    out.push(at(
+                        Code::NonPositiveRate,
+                        format!("`{impl_name}`: non-positive rate {r}"),
+                        t.pos,
+                    ));
                 }
             }
         }
         for m in &i.modes {
             if !m.initial && !targeted.contains(m.name.as_str()) {
-                out.push(warn(format!(
-                    "`{impl_name}`: mode `{}` is unreachable (no transition targets it)",
-                    m.name
-                )));
+                out.push(
+                    at(
+                        Code::UnreachableMode,
+                        format!(
+                            "`{impl_name}`: mode `{}` is unreachable (no transition targets it)",
+                            m.name
+                        ),
+                        m.pos,
+                    )
+                    .with_help("add a transition targeting it or remove the mode"),
+                );
             }
         }
     }
 
-    // Error models: initial states, referenced states, reachability.
+    // S011/S012/S013: error models — initial states, referenced states,
+    // reachability.
     for e in &model.error_models {
         let initials = e.states.iter().filter(|s| s.initial).count();
         if initials != 1 {
-            out.push(error(format!(
-                "error model `{}`: {} initial states (need exactly 1)",
-                e.name, initials
-            )));
+            out.push(at(
+                Code::ErrorModelInitialStates,
+                format!("error model `{}`: {} initial states (need exactly 1)", e.name, initials),
+                e.pos,
+            ));
         }
         let state_names: HashSet<&str> = e.states.iter().map(|s| s.name.as_str()).collect();
         let mut targeted: HashSet<&str> = HashSet::new();
         for t in &e.transitions {
             for end in [&t.from, &t.to] {
                 if !state_names.contains(end.as_str()) {
-                    out.push(error(format!(
-                        "error model `{}`: unknown state `{end}`",
-                        e.name
-                    )));
+                    out.push(at(
+                        Code::UnknownErrorState,
+                        format!("error model `{}`: unknown state `{end}`", e.name),
+                        t.pos,
+                    ));
                 }
             }
             targeted.insert(t.to.as_str());
         }
         for s in &e.states {
             if !s.initial && !targeted.contains(s.name.as_str()) {
-                out.push(warn(format!(
-                    "error model `{}`: state `{}` is unreachable",
-                    e.name, s.name
-                )));
+                out.push(at(
+                    Code::UnreachableErrorState,
+                    format!("error model `{}`: state `{}` is unreachable", e.name, s.name),
+                    s.pos,
+                ));
             }
         }
     }
 
-    // Injections reference existing error models and states.
-    let em_names: HashSet<&str> =
-        model.error_models.iter().map(|e| e.name.as_str()).collect();
+    // S014/S015: injections reference existing error models and states.
+    let em_names: HashSet<&str> = model.error_models.iter().map(|e| e.name.as_str()).collect();
     for inj in &model.injections {
         if !em_names.contains(inj.error_model.as_str()) {
-            out.push(error(format!(
-                "injection on `{}`: unknown error model `{}`",
-                inj.target, inj.error_model
-            )));
+            out.push(at(
+                Code::UnknownErrorModel,
+                format!("injection on `{}`: unknown error model `{}`", inj.target, inj.error_model),
+                inj.pos,
+            ));
         } else if let Some(em) = model.find_error_model(&inj.error_model) {
             for (state, var, _) in &inj.effects {
                 if !em.states.iter().any(|s| &s.name == state) {
-                    out.push(error(format!(
-                        "injection on `{}`: error model `{}` has no state `{state}` (effect on `{var}`)",
-                        inj.target, inj.error_model
-                    )));
+                    out.push(at(
+                        Code::UnknownInjectionState,
+                        format!(
+                            "injection on `{}`: error model `{}` has no state `{state}` (effect on `{var}`)",
+                            inj.target, inj.error_model
+                        ),
+                        inj.pos,
+                    ));
                 }
             }
         }
     }
 
-    // Unused error models.
-    let used: HashSet<&str> =
-        model.injections.iter().map(|i| i.error_model.as_str()).collect();
+    // S016: unused error models.
+    let used: HashSet<&str> = model.injections.iter().map(|i| i.error_model.as_str()).collect();
     for e in &model.error_models {
         if !used.contains(e.name.as_str()) {
-            out.push(warn(format!(
-                "error model `{}` is never bound by a fault injection",
-                e.name
-            )));
+            out.push(
+                at(
+                    Code::UnusedErrorModel,
+                    format!("error model `{}` is never bound by a fault injection", e.name),
+                    e.pos,
+                )
+                .with_help("bind it with a `fault injection` declaration or remove it"),
+            );
         }
     }
 
     out
 }
 
-/// True if the diagnostics contain no [`Severity::Error`].
+/// True if the diagnostics contain no error-severity finding.
 pub fn is_lowerable(diags: &[Diagnostic]) -> bool {
-    diags.iter().all(|d| d.severity != Severity::Error)
+    !slim_lint::has_errors(diags)
 }
 
 #[cfg(test)]
@@ -234,7 +280,7 @@ mod tests {
     }
 
     fn errors(ds: &[Diagnostic]) -> usize {
-        ds.iter().filter(|d| d.severity == Severity::Error).count()
+        ds.iter().filter(|d| d.is_error()).count()
     }
 
     #[test]
@@ -260,6 +306,8 @@ mod tests {
         assert_eq!(errors(&ds), 1, "{ds:?}");
         assert!(ds.iter().any(|d| d.message.contains("no component type")));
         assert!(ds.iter().any(|d| d.message.contains("no implementation")));
+        assert!(ds.iter().any(|d| d.code == Code::ImplWithoutType));
+        assert!(ds.iter().any(|d| d.code == Code::TypeWithoutImpl));
     }
 
     #[test]
@@ -294,6 +342,7 @@ mod tests {
         );
         assert!(errors(&ds) >= 1);
         assert!(!is_lowerable(&ds));
+        assert!(ds.iter().any(|d| d.code == Code::UnknownMode));
     }
 
     #[test]
@@ -304,6 +353,7 @@ mod tests {
             "device D end D; device implementation D.I modes a: initial mode; b: initial mode; end D.I;",
         );
         assert!(two.iter().any(|d| d.message.contains("2 initial modes")));
+        assert!(two.iter().any(|d| d.code == Code::InitialModeCount));
     }
 
     #[test]
@@ -346,6 +396,8 @@ mod tests {
         );
         assert!(ds.iter().any(|d| d.message.contains("unknown error model `Nope`")));
         assert!(ds.iter().any(|d| d.message.contains("no state `ghost`")));
+        assert!(ds.iter().any(|d| d.code == Code::UnknownErrorModel));
+        assert!(ds.iter().any(|d| d.code == Code::UnknownInjectionState));
     }
 
     #[test]
@@ -381,5 +433,24 @@ mod tests {
             "#,
         );
         assert!(ds.iter().any(|d| d.message.contains("non-positive rate")));
+        assert!(ds.iter().any(|d| d.code == Code::NonPositiveRate));
+    }
+
+    #[test]
+    fn diagnostics_carry_spans() {
+        // `orphan` is declared on line 6, column 17 of this snippet.
+        let src = "\
+device D end D;
+device implementation D.I
+  modes
+    a: initial mode;
+    orphan: mode;
+end D.I;
+";
+        let ds = diags(src);
+        let d = ds.iter().find(|d| d.code == Code::UnreachableMode).unwrap();
+        let span = d.span.expect("unreachable-mode diagnostic has a span");
+        assert_eq!(span.line, 5, "{d:?}");
+        assert_eq!(span.col, 5, "{d:?}");
     }
 }

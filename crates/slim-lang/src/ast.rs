@@ -1,5 +1,11 @@
 //! Abstract syntax of the SLIM subset (see `docs/slim-grammar.md`).
+//!
+//! Declaration nodes carry the source position (`pos`) of their first
+//! token so diagnostics can point at `line:col`. Positions are metadata:
+//! they do not participate in equality, so structurally identical models
+//! compare equal regardless of where they were written.
 
+use crate::token::Pos;
 use std::fmt;
 
 /// A dotted name `a.b.c` (component paths, port references).
@@ -167,7 +173,7 @@ impl Feature {
 }
 
 /// A component type declaration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ComponentType {
     /// Category tag.
     pub category: Category,
@@ -175,10 +181,18 @@ pub struct ComponentType {
     pub name: String,
     /// Ports.
     pub features: Vec<Feature>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for ComponentType {
+    fn eq(&self, o: &Self) -> bool {
+        self.category == o.category && self.name == o.name && self.features == o.features
+    }
 }
 
 /// A subcomponent declaration inside an implementation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Subcomponent {
     /// A data component.
     Data {
@@ -188,6 +202,8 @@ pub enum Subcomponent {
         ty: DataType,
         /// Initial value.
         init: Option<Literal>,
+        /// Source position of the declaration.
+        pos: Pos,
     },
     /// A nested component instance.
     Instance {
@@ -197,7 +213,25 @@ pub enum Subcomponent {
         category: Category,
         /// Implementation reference `Type.Impl`.
         impl_ref: (String, String),
+        /// Source position of the declaration.
+        pos: Pos,
     },
+}
+
+impl PartialEq for Subcomponent {
+    fn eq(&self, o: &Self) -> bool {
+        match (self, o) {
+            (
+                Subcomponent::Data { name: an, ty: at, init: ai, .. },
+                Subcomponent::Data { name: bn, ty: bt, init: bi, .. },
+            ) => an == bn && at == bt && ai == bi,
+            (
+                Subcomponent::Instance { name: an, category: ac, impl_ref: ar, .. },
+                Subcomponent::Instance { name: bn, category: bc, impl_ref: br, .. },
+            ) => an == bn && ac == bc && ar == br,
+            _ => false,
+        }
+    }
 }
 
 impl Subcomponent {
@@ -228,7 +262,7 @@ pub struct FlowDef {
 }
 
 /// A mode (location) declaration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ModeDecl {
     /// Mode name.
     pub name: String,
@@ -238,6 +272,17 @@ pub struct ModeDecl {
     pub invariant: Option<Expr>,
     /// Derivatives `der x = r`.
     pub derivatives: Vec<(QName, f64)>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for ModeDecl {
+    fn eq(&self, o: &Self) -> bool {
+        self.name == o.name
+            && self.initial == o.initial
+            && self.invariant == o.invariant
+            && self.derivatives == o.derivatives
+    }
 }
 
 /// A transition trigger.
@@ -252,7 +297,7 @@ pub enum Trigger {
 }
 
 /// A mode transition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TransitionDecl {
     /// Source mode.
     pub from: String,
@@ -267,10 +312,23 @@ pub struct TransitionDecl {
     pub effects: Vec<(QName, Expr)>,
     /// Target mode.
     pub to: String,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for TransitionDecl {
+    fn eq(&self, o: &Self) -> bool {
+        self.from == o.from
+            && self.urgent == o.urgent
+            && self.trigger == o.trigger
+            && self.guard == o.guard
+            && self.effects == o.effects
+            && self.to == o.to
+    }
 }
 
 /// A component implementation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ComponentImpl {
     /// Category tag.
     pub category: Category,
@@ -286,10 +344,24 @@ pub struct ComponentImpl {
     pub modes: Vec<ModeDecl>,
     /// Transitions.
     pub transitions: Vec<TransitionDecl>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for ComponentImpl {
+    fn eq(&self, o: &Self) -> bool {
+        self.category == o.category
+            && self.name == o.name
+            && self.subcomponents == o.subcomponents
+            && self.connections == o.connections
+            && self.flows == o.flows
+            && self.modes == o.modes
+            && self.transitions == o.transitions
+    }
 }
 
 /// An error-model state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ErrorState {
     /// State name.
     pub name: String,
@@ -297,6 +369,14 @@ pub struct ErrorState {
     pub initial: bool,
     /// Invariant over the implicit clock `c`.
     pub invariant: Option<Expr>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for ErrorState {
+    fn eq(&self, o: &Self) -> bool {
+        self.name == o.name && self.initial == o.initial && self.invariant == o.invariant
+    }
 }
 
 /// An error-model transition trigger.
@@ -311,7 +391,7 @@ pub enum ErrorTrigger {
 }
 
 /// An error-model transition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ErrorTransition {
     /// Source state.
     pub from: String,
@@ -319,10 +399,18 @@ pub struct ErrorTransition {
     pub trigger: ErrorTrigger,
     /// Target state.
     pub to: String,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for ErrorTransition {
+    fn eq(&self, o: &Self) -> bool {
+        self.from == o.from && self.trigger == o.trigger && self.to == o.to
+    }
 }
 
 /// An error model (§II-D: states + error events/propagations).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ErrorModel {
     /// Model name.
     pub name: String,
@@ -330,11 +418,19 @@ pub struct ErrorModel {
     pub states: Vec<ErrorState>,
     /// Transitions.
     pub transitions: Vec<ErrorTransition>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for ErrorModel {
+    fn eq(&self, o: &Self) -> bool {
+        self.name == o.name && self.states == o.states && self.transitions == o.transitions
+    }
 }
 
 /// A fault injection binding an error model to a component instance
 /// (model extension, §II-D).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FaultInjection {
     /// Instance path of the affected component (from the root).
     pub target: QName,
@@ -342,6 +438,14 @@ pub struct FaultInjection {
     pub error_model: String,
     /// `(error state, data path, value)` — applied on entering the state.
     pub effects: Vec<(String, QName, Literal)>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+impl PartialEq for FaultInjection {
+    fn eq(&self, o: &Self) -> bool {
+        self.target == o.target && self.error_model == o.error_model && self.effects == o.effects
+    }
 }
 
 /// A parsed model: all declarations of a source file.
@@ -402,7 +506,12 @@ mod tests {
     #[test]
     fn model_lookups() {
         let mut m = Model::default();
-        m.types.push(ComponentType { category: Category::Device, name: "GPS".into(), features: vec![] });
+        m.types.push(ComponentType {
+            category: Category::Device,
+            name: "GPS".into(),
+            features: vec![],
+            pos: Pos::START,
+        });
         m.impls.push(ComponentImpl {
             category: Category::Device,
             name: ("GPS".into(), "Impl".into()),
@@ -411,8 +520,14 @@ mod tests {
             flows: vec![],
             modes: vec![],
             transitions: vec![],
+            pos: Pos::START,
         });
-        m.error_models.push(ErrorModel { name: "E".into(), states: vec![], transitions: vec![] });
+        m.error_models.push(ErrorModel {
+            name: "E".into(),
+            states: vec![],
+            transitions: vec![],
+            pos: Pos::START,
+        });
         assert!(m.find_type("GPS").is_some());
         assert!(m.find_impl("GPS", "Impl").is_some());
         assert!(m.find_impl("GPS", "Other").is_none());
@@ -421,7 +536,12 @@ mod tests {
 
     #[test]
     fn subcomponent_name() {
-        let d = Subcomponent::Data { name: "x".into(), ty: DataType::Real, init: None };
+        let d = Subcomponent::Data {
+            name: "x".into(),
+            ty: DataType::Real,
+            init: None,
+            pos: Pos::START,
+        };
         assert_eq!(d.name(), "x");
     }
 }

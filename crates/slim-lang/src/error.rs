@@ -63,10 +63,8 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = LangError {
-            kind: LangErrorKind::Unknown("gps".into()),
-            pos: Pos { line: 4, col: 2 },
-        };
+        let e =
+            LangError { kind: LangErrorKind::Unknown("gps".into()), pos: Pos { line: 4, col: 2 } };
         let s = e.to_string();
         assert!(s.contains("4:2") && s.contains("gps"));
     }

@@ -80,7 +80,7 @@ fn build(
     stack.push(key);
     let mut children = Vec::new();
     for sub in &ci.subcomponents {
-        if let Subcomponent::Instance { name, category, impl_ref } = sub {
+        if let Subcomponent::Instance { name, category, impl_ref, .. } = sub {
             let child = build(model, &impl_ref.0, &impl_ref.1, path.child(name.clone()), stack)?;
             if child.category != *category {
                 stack.pop();
@@ -97,7 +97,12 @@ fn build(
         }
     }
     stack.pop();
-    Ok(Instance { path, impl_name: (ty.to_string(), im.to_string()), category: ci.category, children })
+    Ok(Instance {
+        path,
+        impl_name: (ty.to_string(), im.to_string()),
+        category: ci.category,
+        children,
+    })
 }
 
 #[cfg(test)]

@@ -33,8 +33,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod ast;
 pub mod error;
@@ -45,8 +43,9 @@ pub mod parser;
 pub mod pretty;
 pub mod token;
 
-pub use analysis::{analyze_model, is_lowerable, Diagnostic, Severity};
+pub use analysis::{analyze_model, is_lowerable};
 pub use error::LangError;
 pub use lower::{lower, Lowered};
 pub use parser::parse;
 pub use pretty::pretty;
+pub use slim_lint::{Diagnostic, Severity};

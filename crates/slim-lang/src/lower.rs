@@ -60,10 +60,7 @@ pub fn lower(
     lw.build_automata(&root)?;
     lw.process_flows(&root)?;
     lw.weave_injections(&root)?;
-    let network = lw
-        .builder
-        .build()
-        .map_err(|e| err(LangErrorKind::Lowering(e.to_string())))?;
+    let network = lw.builder.build().map_err(|e| err(LangErrorKind::Lowering(e.to_string())))?;
     Ok(Lowered { network })
 }
 
@@ -119,9 +116,7 @@ impl<'m> Lowering<'m> {
     }
 
     fn type_of(&self, inst: &Instance) -> &'m ast::ComponentType {
-        self.model
-            .find_type(&inst.impl_name.0)
-            .expect("instantiation verified the type exists")
+        self.model.find_type(&inst.impl_name.0).expect("instantiation verified the type exists")
     }
 
     fn declare_vars(&mut self, root: &Instance) -> Result<(), LangError> {
@@ -135,7 +130,7 @@ impl<'m> Lowering<'m> {
             }
             let ci = self.impl_of(inst);
             for sub in &ci.subcomponents {
-                if let Subcomponent::Data { name, ty, init } = sub {
+                if let Subcomponent::Data { name, ty, init, .. } = sub {
                     let full = inst.path.child(name.clone()).to_string();
                     self.declare_var(&full, *ty, *init)?;
                 }
@@ -906,7 +901,9 @@ mod tests {
             "D",
             "I",
         );
-        assert!(matches!(r.unwrap_err().kind, LangErrorKind::Invalid(msg) if msg.contains("initial")));
+        assert!(
+            matches!(r.unwrap_err().kind, LangErrorKind::Invalid(msg) if msg.contains("initial"))
+        );
     }
 
     #[test]

@@ -224,6 +224,7 @@ impl Parser {
     }
 
     fn component_type(&mut self, category: Category) -> Result<ComponentType, LangError> {
+        let pos = self.pos();
         let name = self.ident()?;
         let mut features = Vec::new();
         if self.eat_kw(Keyword::Features) {
@@ -240,7 +241,7 @@ impl Parser {
             });
         }
         self.expect_kind(TokenKind::Semi)?;
-        Ok(ComponentType { category, name, features })
+        Ok(ComponentType { category, name, features, pos })
     }
 
     fn feature(&mut self) -> Result<Feature, LangError> {
@@ -259,11 +260,8 @@ impl Parser {
         } else if self.eat_kw(Keyword::Data) {
             self.expect_kw(Keyword::Port)?;
             let ty = self.data_type()?;
-            let default = if self.eat_kind(&TokenKind::Assign) {
-                Some(self.literal()?)
-            } else {
-                None
-            };
+            let default =
+                if self.eat_kind(&TokenKind::Assign) { Some(self.literal()?) } else { None };
             Feature { name, direction, data: Some(ty), default }
         } else {
             return Err(self.error("`event port` or `data port`"));
@@ -297,6 +295,7 @@ impl Parser {
     }
 
     fn component_impl(&mut self, category: Category) -> Result<ComponentImpl, LangError> {
+        let pos = self.pos();
         let ty = self.ident()?;
         self.expect_kind(TokenKind::Dot)?;
         let im = self.ident()?;
@@ -308,6 +307,7 @@ impl Parser {
             flows: vec![],
             modes: vec![],
             transitions: vec![],
+            pos,
         };
         // Sections may appear in any order (and repeat, accumulating).
         loop {
@@ -362,38 +362,32 @@ impl Parser {
     }
 
     fn subcomponent(&mut self) -> Result<Subcomponent, LangError> {
+        let pos = self.pos();
         let name = self.ident()?;
         self.expect_kind(TokenKind::Colon)?;
         if self.eat_kw(Keyword::Data) {
             let ty = self.data_type()?;
-            let init = if self.eat_kind(&TokenKind::Assign) {
-                Some(self.literal()?)
-            } else {
-                None
-            };
+            let init = if self.eat_kind(&TokenKind::Assign) { Some(self.literal()?) } else { None };
             self.expect_kind(TokenKind::Semi)?;
-            Ok(Subcomponent::Data { name, ty, init })
+            Ok(Subcomponent::Data { name, ty, init, pos })
         } else if let Some(category) = self.category() {
             let ty = self.ident()?;
             self.expect_kind(TokenKind::Dot)?;
             let im = self.ident()?;
             self.expect_kind(TokenKind::Semi)?;
-            Ok(Subcomponent::Instance { name, category, impl_ref: (ty, im) })
+            Ok(Subcomponent::Instance { name, category, impl_ref: (ty, im), pos })
         } else {
             Err(self.error("`data` or a component category"))
         }
     }
 
     fn mode(&mut self) -> Result<ModeDecl, LangError> {
+        let pos = self.pos();
         let name = self.ident()?;
         self.expect_kind(TokenKind::Colon)?;
         let initial = self.eat_kw(Keyword::Initial);
         self.expect_kw(Keyword::Mode)?;
-        let invariant = if self.eat_kw(Keyword::While) {
-            Some(self.expr()?)
-        } else {
-            None
-        };
+        let invariant = if self.eat_kw(Keyword::While) { Some(self.expr()?) } else { None };
         let mut derivatives = Vec::new();
         while self.eat_kw(Keyword::Der) {
             let var = self.qname()?;
@@ -402,10 +396,11 @@ impl Parser {
             derivatives.push((var, rate));
         }
         self.expect_kind(TokenKind::Semi)?;
-        Ok(ModeDecl { name, initial, invariant, derivatives })
+        Ok(ModeDecl { name, initial, invariant, derivatives, pos })
     }
 
     fn transition(&mut self) -> Result<TransitionDecl, LangError> {
+        let pos = self.pos();
         let from = self.ident()?;
         self.expect_kind(TokenKind::TransOpen)?;
         let urgent = self.eat_kw(Keyword::Urgent);
@@ -432,25 +427,28 @@ impl Parser {
         self.expect_kind(TokenKind::TransClose)?;
         let to = self.ident()?;
         self.expect_kind(TokenKind::Semi)?;
-        Ok(TransitionDecl { from, urgent, trigger, guard, effects, to })
+        Ok(TransitionDecl { from, urgent, trigger, guard, effects, to, pos })
     }
 
     fn error_model(&mut self) -> Result<ErrorModel, LangError> {
+        let pos = self.pos();
         let name = self.ident()?;
         self.expect_kw(Keyword::States)?;
         let mut states = Vec::new();
         while self.peek_ident_like() {
+            let spos = self.pos();
             let sname = self.ident()?;
             self.expect_kind(TokenKind::Colon)?;
             let initial = self.eat_kw(Keyword::Initial);
             self.expect_kw(Keyword::State)?;
             let invariant = if self.eat_kw(Keyword::While) { Some(self.expr()?) } else { None };
             self.expect_kind(TokenKind::Semi)?;
-            states.push(ErrorState { name: sname, initial, invariant });
+            states.push(ErrorState { name: sname, initial, invariant, pos: spos });
         }
         self.expect_kw(Keyword::Transitions)?;
         let mut transitions = Vec::new();
         while self.peek_ident_like() {
+            let tpos = self.pos();
             let from = self.ident()?;
             self.expect_kind(TokenKind::TransOpen)?;
             let trigger = if self.eat_kw(Keyword::Rate) {
@@ -465,7 +463,7 @@ impl Parser {
             self.expect_kind(TokenKind::TransClose)?;
             let to = self.ident()?;
             self.expect_kind(TokenKind::Semi)?;
-            transitions.push(ErrorTransition { from, trigger, to });
+            transitions.push(ErrorTransition { from, trigger, to, pos: tpos });
         }
         self.expect_kw(Keyword::End)?;
         let ended = self.ident()?;
@@ -476,10 +474,11 @@ impl Parser {
             });
         }
         self.expect_kind(TokenKind::Semi)?;
-        Ok(ErrorModel { name, states, transitions })
+        Ok(ErrorModel { name, states, transitions, pos })
     }
 
     fn fault_injection(&mut self) -> Result<FaultInjection, LangError> {
+        let pos = self.pos();
         self.expect_kw(Keyword::On)?;
         let target = self.qname()?;
         self.expect_kw(Keyword::Using)?;
@@ -496,7 +495,7 @@ impl Parser {
         }
         self.expect_kw(Keyword::End)?;
         self.expect_kind(TokenKind::Semi)?;
-        Ok(FaultInjection { target, error_model, effects })
+        Ok(FaultInjection { target, error_model, effects, pos })
     }
 
     // ----- expressions -------------------------------------------------
@@ -712,7 +711,9 @@ mod tests {
         .unwrap();
         let i = &m.impls[0];
         assert_eq!(i.subcomponents.len(), 2);
-        assert!(matches!(&i.subcomponents[0], Subcomponent::Instance { impl_ref, .. } if impl_ref.0 == "GPS"));
+        assert!(
+            matches!(&i.subcomponents[0], Subcomponent::Instance { impl_ref, .. } if impl_ref.0 == "GPS")
+        );
         assert_eq!(i.connections.len(), 1);
         assert_eq!(i.connections[0].from.to_string(), "gps1.fix");
     }
@@ -763,9 +764,13 @@ mod tests {
         assert!(e.states[0].initial);
         assert!(e.states[1].invariant.is_some());
         assert_eq!(e.transitions.len(), 5);
-        assert!(matches!(e.transitions[0].trigger, ErrorTrigger::Rate(r) if (r - 0.1).abs() < 1e-12));
+        assert!(
+            matches!(e.transitions[0].trigger, ErrorTrigger::Rate(r) if (r - 0.1).abs() < 1e-12)
+        );
         assert!(matches!(&e.transitions[3].trigger, ErrorTrigger::When(_)));
-        assert!(matches!(&e.transitions[4].trigger, ErrorTrigger::Propagation(p) if p == "activation"));
+        assert!(
+            matches!(&e.transitions[4].trigger, ErrorTrigger::Propagation(p) if p == "activation")
+        );
     }
 
     #[test]
@@ -848,9 +853,7 @@ mod tests {
     fn end_mismatch_rejected() {
         let r = parse("system S end T;");
         assert!(matches!(r.unwrap_err().kind, LangErrorKind::EndMismatch { .. }));
-        let r = parse(
-            "system implementation A.B end A.C;",
-        );
+        let r = parse("system implementation A.B end A.C;");
         assert!(matches!(r.unwrap_err().kind, LangErrorKind::EndMismatch { .. }));
     }
 
@@ -894,6 +897,8 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert!(matches!(m.error_models[0].transitions[0].trigger, ErrorTrigger::Rate(r) if r < 0.0));
+        assert!(
+            matches!(m.error_models[0].transitions[0].trigger, ErrorTrigger::Rate(r) if r < 0.0)
+        );
     }
 }

@@ -62,17 +62,17 @@ fn pretty_impl(out: &mut String, i: &ComponentImpl) {
         let _ = writeln!(out, "  subcomponents");
         for s in &i.subcomponents {
             match s {
-                Subcomponent::Data { name, ty, init } => match init {
+                Subcomponent::Data { name, ty, init, .. } => match init {
                     Some(v) => {
-                        let _ = writeln!(out, "    {name}: data {} := {};", ty_str(*ty), lit_str(*v));
+                        let _ =
+                            writeln!(out, "    {name}: data {} := {};", ty_str(*ty), lit_str(*v));
                     }
                     None => {
                         let _ = writeln!(out, "    {name}: data {};", ty_str(*ty));
                     }
                 },
-                Subcomponent::Instance { name, category, impl_ref } => {
-                    let _ =
-                        writeln!(out, "    {name}: {category} {}.{};", impl_ref.0, impl_ref.1);
+                Subcomponent::Instance { name, category, impl_ref, .. } => {
+                    let _ = writeln!(out, "    {name}: {category} {}.{};", impl_ref.0, impl_ref.1);
                 }
             }
         }
@@ -309,10 +309,7 @@ mod tests {
 
     #[test]
     fn expr_rendering_parenthesized() {
-        let m = parse(
-            "system implementation T.I flows x := a + b * c; end T.I;",
-        )
-        .unwrap();
+        let m = parse("system implementation T.I flows x := a + b * c; end T.I;").unwrap();
         let s = expr_str(&m.impls[0].flows[0].expr);
         assert_eq!(s, "(a + (b * c))");
     }

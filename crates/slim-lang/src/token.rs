@@ -16,6 +16,13 @@ impl Pos {
     pub const START: Pos = Pos { line: 1, col: 1 };
 }
 
+impl Default for Pos {
+    /// The start of a file (1:1), matching [`Pos::START`].
+    fn default() -> Pos {
+        Pos::START
+    }
+}
+
 impl fmt::Display for Pos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.line, self.col)
@@ -141,6 +148,7 @@ macro_rules! keywords {
 
         impl Keyword {
             /// Parses a keyword from identifier text.
+            #[allow(clippy::should_implement_trait)] // fallible lookup, not `FromStr` (no error type)
             pub fn from_str(s: &str) -> Option<Keyword> {
                 match s {
                     $($text => Some(Keyword::$variant),)+

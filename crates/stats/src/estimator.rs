@@ -3,11 +3,10 @@
 //! produces the final probability estimate.
 
 use crate::chernoff::Accuracy;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The outcome of a statistical analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Point estimate of the probability (`A / N` in the paper).
     pub mean: f64,
@@ -108,11 +107,8 @@ impl Generator for ChernoffHoeffding {
     }
 
     fn estimate(&self) -> Estimate {
-        let mean = if self.samples == 0 {
-            0.0
-        } else {
-            self.successes as f64 / self.samples as f64
-        };
+        let mean =
+            if self.samples == 0 { 0.0 } else { self.successes as f64 / self.samples as f64 };
         Estimate {
             mean,
             samples: self.samples,
@@ -172,7 +168,8 @@ mod tests {
 
     #[test]
     fn interval_clamps() {
-        let e = Estimate { mean: 0.005, samples: 10, successes: 0, epsilon: 0.01, confidence: 0.95 };
+        let e =
+            Estimate { mean: 0.005, samples: 10, successes: 0, epsilon: 0.01, confidence: 0.95 };
         let (lo, hi) = e.interval();
         assert_eq!(lo, 0.0);
         assert!((hi - 0.015).abs() < 1e-12);

@@ -14,18 +14,18 @@
 //! ```
 //! use slim_stats::chernoff::Accuracy;
 //! use slim_stats::estimator::{ChernoffHoeffding, Generator};
+//! use slim_stats::rng::StdRng;
 //!
 //! let acc = Accuracy::new(0.05, 0.05)?;
 //! let mut gen = ChernoffHoeffding::new(acc);
+//! let mut rng = StdRng::seed_from_u64(42);
 //! while !gen.is_complete() {
-//!     gen.add(rand::random::<f64>() < 0.3); // one Monte Carlo sample
+//!     gen.add(rng.gen::<f64>() < 0.3); // one Monte Carlo sample
 //! }
 //! let est = gen.estimate();
 //! assert!(est.samples == acc.chernoff_samples());
 //! # Ok::<(), slim_stats::chernoff::AccuracyError>(())
 //! ```
-
-#![warn(missing_docs)]
 
 pub mod chernoff;
 pub mod estimator;

@@ -9,7 +9,7 @@
 //! worker at a time, in a fixed worker order.
 //!
 //! [`RoundRobinCollector`] implements that protocol. The simulator's
-//! parallel runner feeds it from crossbeam channels and drains complete
+//! parallel runner feeds it from worker channels and drains complete
 //! rounds into the generator.
 
 use std::collections::VecDeque;

@@ -4,9 +4,12 @@
 //! single master seed, so results are reproducible regardless of the
 //! number of worker threads or their scheduling: path `i` always consumes
 //! stream `i`.
+//!
+//! The generator itself ([`StdRng`]) is a vendored xoshiro256++ — the
+//! simulator only needs fast, reproducible uniform streams, not an
+//! external RNG crate.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::ops::Range;
 
 /// Derives a well-mixed 64-bit seed for stream `index` from `master`
 /// (SplitMix64 over `master + golden-ratio · (index+1)`).
@@ -15,6 +18,101 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudo-random generator (xoshiro256++).
+///
+/// Streams seeded with different 64-bit values are statistically
+/// independent for simulation purposes; the same seed always reproduces
+/// the same stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the generator from a single 64-bit value (SplitMix64
+    /// expansion, as recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+
+    /// The next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample of type `T` (`f64` in `[0, 1)`, `u64`, `bool`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform index in `range` (Lemire-style rejection; unbiased).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = (range.end - range.start) as u64;
+        // Rejection sampling over the top bits to avoid modulo bias.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + (v % span) as usize;
+            }
+        }
+    }
+
+    /// A Bernoulli sample with success probability `p` (clamped to [0,1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types that can be sampled uniformly from a [`StdRng`].
+pub trait Sample {
+    /// Draws one uniform sample.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
 }
 
 /// A reproducible RNG for path `index` under `master`.
@@ -36,7 +134,6 @@ pub fn exponential_from_uniform(u: f64, lambda: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn derived_seeds_differ() {
@@ -67,6 +164,31 @@ mod tests {
     }
 
     #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u), "{u} outside [0,1)");
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_unbiased_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!((*c as f64 / 10_000.0 - 1.0).abs() < 0.1, "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
     fn exponential_inversion_properties() {
         assert_eq!(exponential_from_uniform(0.0, 2.0), 0.0);
         let med = exponential_from_uniform(0.5, 2.0);
@@ -84,8 +206,7 @@ mod tests {
         let mut rng = path_rng(11, 0);
         let lambda = 0.25;
         let n = 20_000;
-        let sum: f64 =
-            (0..n).map(|_| exponential_from_uniform(rng.gen::<f64>(), lambda)).sum();
+        let sum: f64 = (0..n).map(|_| exponential_from_uniform(rng.gen::<f64>(), lambda)).sum();
         let mean = sum / n as f64;
         assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
     }

@@ -10,10 +10,9 @@
 //! `rel_err · p̂`.
 
 use crate::math::normal_quantile;
-use serde::{Deserialize, Serialize};
 
 /// Result of a weighted estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedEstimate {
     /// Point estimate `p̂ = (1/N) Σ wᵢXᵢ`.
     pub mean: f64,
@@ -123,11 +122,8 @@ impl WeightedEstimator {
         let mean = self.sum / n;
         let var = (self.sum_sq / n - mean * mean).max(0.0);
         let half_width = self.z * (var / n).sqrt();
-        let effective_samples = if self.sum_sq > 0.0 {
-            self.sum * self.sum / self.sum_sq
-        } else {
-            0.0
-        };
+        let effective_samples =
+            if self.sum_sq > 0.0 { self.sum * self.sum / self.sum_sq } else { 0.0 };
         WeightedEstimate {
             mean,
             samples: self.n,

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.repair_earliest, params.repair_latest, params.cooldown
     );
 
-    let goal = Goal::in_location(&net, "gps.error_GpsError", "permanent")
-        .expect("error automaton exists");
+    let goal =
+        Goal::in_location(&net, "gps.error_GpsError", "permanent").expect("error automaton exists");
 
     println!(
         "{:<6} {:<14} {:>12} {:>10} {:>14}",

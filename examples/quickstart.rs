@@ -19,16 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut pump = AutomatonBuilder::new("pump");
     let running = pump.location("running");
-    let broken =
-        pump.location_with("broken", Expr::var(c).le(Expr::real(2.0)), []);
+    let broken = pump.location_with("broken", Expr::var(c).le(Expr::real(2.0)), []);
     pump.markovian(
         running,
         0.5,
         [Effect::assign(down, Expr::bool(true)), Effect::assign(c, Expr::real(0.0))],
         broken,
     );
-    let repair_window =
-        Expr::var(c).ge(Expr::real(1.0)).and(Expr::var(c).le(Expr::real(2.0)));
+    let repair_window = Expr::var(c).ge(Expr::real(1.0)).and(Expr::var(c).le(Expr::real(2.0)));
     pump.guarded(
         broken,
         ActionId::TAU,

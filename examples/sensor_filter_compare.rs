@@ -23,9 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let failed = net.var_id(GOAL_VAR).expect("goal variable exists");
 
         // CTMC pipeline (explore → eliminate → lump → uniformization).
-        let goal_fn = move |s: &NetState| {
-            s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false))
-        };
+        let goal_fn = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
         let ctmc = check_timed_reachability(&net, &goal_fn, horizon, &PipelineConfig::default())?;
 
         // Monte Carlo simulator.

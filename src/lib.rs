@@ -17,6 +17,7 @@
 //! | [`core`] | the simulator: strategies, path generation, runner |
 //! | [`ctmc`] | the CTMC baseline pipeline (explore → lump → uniformization) |
 //! | [`lang`] | the SLIM front-end: parser, model extension, lowering |
+//! | [`lint`] | diagnostics with stable lint codes, static lint passes |
 //! | [`models`] | the paper's models: GPS, sensor–filter, launcher |
 //!
 //! ## Quick start
@@ -43,11 +44,10 @@
 //! See the `examples/` directory for runnable scenarios and
 //! `EXPERIMENTS.md` for the paper-reproduction harness.
 
-#![warn(missing_docs)]
-
 pub use slim_automata as automata;
 pub use slim_ctmc as ctmc;
 pub use slim_lang as lang;
+pub use slim_lint as lint;
 pub use slim_models as models;
 pub use slim_stats as stats;
 pub use slimsim_core as core;

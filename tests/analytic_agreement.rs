@@ -41,15 +41,14 @@ fn erlang_two_stage_first_passage() {
     let goal = Goal::in_location(&net, "stage2", "done").unwrap();
     for t in [0.5, 1.0, 2.0] {
         let prop = TimedReach::new(goal.clone(), t);
-        let exact = 1.0 - (-lambda * t as f64).exp() * (1.0 + lambda * t);
+        let exact = 1.0 - (-lambda * t).exp() * (1.0 + lambda * t);
         let p = analyze_with(&net, &prop, StrategyKind::Asap, 0.02);
         assert!((p - exact).abs() < 0.03, "t={t}: {p} vs Erlang {exact}");
 
         // The model is untimed — the CTMC pipeline must agree exactly.
         let done = net.loc_id("stage2", "done").unwrap();
         let goal_fn = move |s: &NetState| Ok(s.locs[done.0 .0] == done.1);
-        let ctmc =
-            check_timed_reachability(&net, &goal_fn, t, &PipelineConfig::default()).unwrap();
+        let ctmc = check_timed_reachability(&net, &goal_fn, t, &PipelineConfig::default()).unwrap();
         assert!((ctmc.probability - exact).abs() < 1e-7, "t={t}: ctmc {}", ctmc.probability);
     }
 }
@@ -116,7 +115,7 @@ fn exponential_vs_deterministic_deadline() {
     let goal = Goal::expr(Expr::var(failed));
     let hold = Goal::expr(Expr::var(safe)).not();
     let prop = TimedReach::until(hold, goal, 10.0);
-    let exact = 1.0 - (-lambda * d as f64).exp();
+    let exact = 1.0 - (-lambda * d).exp();
     for strategy in StrategyKind::ALL {
         let p = analyze_with(&net, &prop, strategy, 0.02);
         assert!((p - exact).abs() < 0.03, "{strategy}: {p} vs {exact}");
@@ -195,7 +194,7 @@ fn progressive_uniform_vs_exponential_race() {
     let hold = Goal::in_location(&net, "window", "open").unwrap();
     let prop = TimedReach::until(hold, Goal::expr(Expr::var(fault)), 10.0);
     // ∫_a^b (1 − e^{−λs}) ds / (b−a)
-    let integral = (bb - a) - ((-lambda * a as f64).exp() - (-lambda * bb).exp()) / lambda;
+    let integral = (bb - a) - ((-lambda * a).exp() - (-lambda * bb).exp()) / lambda;
     let exact = integral / (bb - a);
     let p = analyze_with(&net, &prop, StrategyKind::Progressive, 0.02);
     assert!((p - exact).abs() < 0.03, "{p} vs {exact}");

@@ -1,0 +1,48 @@
+//! Shared helpers for the randomized property tests: small sampling
+//! combinators over the workspace's own seeded RNG, so the test suite
+//! needs no external property-testing framework. Every test derives its
+//! cases from a fixed master seed and is fully reproducible.
+
+#![allow(dead_code)]
+
+pub use slimsim::stats::rng::StdRng;
+
+/// Uniform `f64` in `[lo, hi)`.
+pub fn f64_in(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen::<f64>() * (hi - lo)
+}
+
+/// Uniform `i64` in `[lo, hi)`.
+pub fn i64_in(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    lo + rng.gen_range(0..(hi - lo) as usize) as i64
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+pub fn usize_in(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    rng.gen_range(lo..hi)
+}
+
+/// A uniformly chosen element of `items`.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A `Vec` of `len ∈ [lo, hi)` elements drawn from `f`.
+pub fn vec_of<T>(
+    rng: &mut StdRng,
+    lo: usize,
+    hi: usize,
+    mut f: impl FnMut(&mut StdRng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| f(rng)).collect()
+}
+
+/// `Some(f(rng))` with probability 1/2.
+pub fn option_of<T>(rng: &mut StdRng, f: impl FnOnce(&mut StdRng) -> T) -> Option<T> {
+    if rng.gen::<bool>() {
+        Some(f(rng))
+    } else {
+        None
+    }
+}

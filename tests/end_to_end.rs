@@ -32,8 +32,7 @@ fn slim_source_agrees_across_engines() {
     let broken = net.var_id("m.broken").unwrap();
 
     let horizon = 1.0;
-    let goal_fn =
-        move |s: &NetState| s.nu.get(broken).map(|v| v.as_bool().unwrap_or(false));
+    let goal_fn = move |s: &NetState| s.nu.get(broken).map(|v| v.as_bool().unwrap_or(false));
     let exact = check_timed_reachability(&net, &goal_fn, horizon, &PipelineConfig::default())
         .expect("CTMC pipeline")
         .probability;
@@ -163,10 +162,7 @@ fn deadlock_policy_end_to_end() {
     assert_eq!(r.stats.deadlocks, r.stats.total());
 
     let error = falsify.with_deadlock_policy(DeadlockPolicy::Error);
-    assert!(matches!(
-        analyze(&net, &prop, &error),
-        Err(SimError::DeadlockDetected { .. })
-    ));
+    assert!(matches!(analyze(&net, &prop, &error), Err(SimError::DeadlockDetected { .. })));
 }
 
 /// Full determinism: same seed ⇒ identical results, across strategies and
@@ -219,18 +215,15 @@ fn input_strategy_scripted_path() {
         InputChoice::Wait { delay: 1.5 },
         InputChoice::Fire { candidate: 0, delay: 1.5 },
     ]));
-    let mut rng = rand::SeedableRng::seed_from_u64(0);
+    let mut rng = slim_stats::rng::StdRng::seed_from_u64(0);
     let out = gen.generate(&mut strategy, &mut rng).unwrap();
     assert_eq!(out.verdict, Verdict::Satisfied);
     assert!((out.end_time - 3.0).abs() < 1e-9, "fired at {}", out.end_time);
 
     // An aborted script surfaces as an error.
     let mut aborting = Input::new(ScriptedOracle::new([]));
-    let mut rng = rand::SeedableRng::seed_from_u64(0);
-    assert!(matches!(
-        gen.generate(&mut aborting, &mut rng),
-        Err(SimError::InputAborted)
-    ));
+    let mut rng = slim_stats::rng::StdRng::seed_from_u64(0);
+    assert!(matches!(gen.generate(&mut aborting, &mut rng), Err(SimError::InputAborted)));
 }
 
 /// Parallel analysis gives exactly the same sample set as sequential for

@@ -1,0 +1,103 @@
+//! Lint passes over the bundled models: every shipped network must be free
+//! of error-level diagnostics, and the deliberately broken example must
+//! trigger the documented lint codes with source spans.
+
+use slimsim::lint::{
+    error_count, lint_network, render_json_all, render_text_all, Code, LintConfig, Severity,
+    SourceFile,
+};
+use slimsim::models::slim_sources::{handshake_network, sensor_filter_slim_network};
+use slimsim::models::{
+    gps_network, launcher_network, power_system_network, sensor_filter_network, DpuFaultMode,
+    GpsParams, LauncherParams, PowerSystemParams, SensorFilterParams,
+};
+
+#[test]
+fn bundled_networks_have_no_error_level_lints() {
+    let cfg = LintConfig::new();
+    let networks = [
+        ("gps", gps_network(&GpsParams::default())),
+        ("launcher", launcher_network(&LauncherParams::default())),
+        (
+            "launcher-permanent",
+            launcher_network(&LauncherParams {
+                dpu_faults: DpuFaultMode::Permanent,
+                ..Default::default()
+            }),
+        ),
+        (
+            "launcher-threeclass",
+            launcher_network(&LauncherParams {
+                dpu_faults: DpuFaultMode::ThreeClass,
+                ..Default::default()
+            }),
+        ),
+        ("power-system", power_system_network(&PowerSystemParams::default())),
+        ("sensor-filter", sensor_filter_network(&SensorFilterParams::default())),
+        ("sensor-filter-slim", sensor_filter_slim_network()),
+        ("handshake", handshake_network()),
+    ];
+    for (name, net) in &networks {
+        let diags = lint_network(net, &cfg);
+        assert_eq!(
+            error_count(&diags),
+            0,
+            "{name} has error-level lints:\n{}",
+            render_text_all(&diags, None)
+        );
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Note),
+            "{name} has warnings:\n{}",
+            render_text_all(&diags, None)
+        );
+    }
+}
+
+#[test]
+fn broken_example_triggers_expected_lints() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/models/broken.slim");
+    let text = std::fs::read_to_string(path).expect("bundled example exists");
+    let model = slimsim::lang::parse(&text).expect("example parses");
+
+    // Front end: the orphan `goal` mode, with the span of its declaration.
+    let front = slimsim::lang::analyze_model(&model);
+    let orphan = front
+        .iter()
+        .find(|d| d.code == Code::UnreachableMode)
+        .expect("S010 unreachable-mode reported");
+    let span = orphan.span.expect("front-end diagnostics carry spans");
+    assert_eq!((span.line, span.col), (16, 5));
+    assert!(slimsim::lang::is_lowerable(&front), "only warnings, still lowerable");
+
+    // Network passes: unreachable location and unsatisfiable guard.
+    let net = slimsim::lang::lower(&model, "Probe", "Main", "root").expect("lowers").network;
+    let diags = lint_network(&net, &LintConfig::new());
+    assert!(diags.iter().any(|d| d.code == Code::UnreachableLocation), "S100 expected");
+    assert!(diags.iter().any(|d| d.code == Code::UnsatisfiableGuard), "S101 expected");
+
+    // Both renderers attribute the finding to the file (and the span where
+    // one exists).
+    let src = SourceFile::new("broken.slim", &text);
+    let all: Vec<_> = front.iter().chain(&diags).cloned().collect();
+    let text_out = render_text_all(&all, Some(&src));
+    assert!(text_out.contains("broken.slim:16:5"), "{text_out}");
+    assert!(text_out.contains("warning[S010]"), "{text_out}");
+    assert!(text_out.contains("warning[S100]"), "{text_out}");
+    assert!(text_out.contains("warning[S101]"), "{text_out}");
+    let json_out = render_json_all(&all, Some("broken.slim"));
+    let s010 = json_out.lines().find(|l| l.contains("\"code\":\"S010\"")).expect("S010 line");
+    assert!(s010.contains("\"line\":16,\"col\":5"), "{s010}");
+    assert!(json_out.lines().any(|l| l.contains("\"code\":\"S101\"")), "{json_out}");
+}
+
+#[test]
+fn deny_lints_promotes_warnings() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/models/broken.slim");
+    let text = std::fs::read_to_string(path).expect("bundled example exists");
+    let model = slimsim::lang::parse(&text).expect("example parses");
+    let net = slimsim::lang::lower(&model, "Probe", "Main", "root").expect("lowers").network;
+    let mut cfg = LintConfig::new();
+    cfg.deny_warnings = true;
+    let diags = lint_network(&net, &cfg);
+    assert!(error_count(&diags) > 0, "warnings promoted to errors under --deny-lints");
+}

@@ -1,10 +1,12 @@
-//! Cross-validation property test: on randomly generated *untimed*
-//! (Markovian) networks, the Monte Carlo simulator and the exact CTMC
-//! pipeline must agree within the statistical error bound. This is the
-//! strongest end-to-end correctness check the two independent engines
-//! give each other.
+//! Cross-validation test: on randomly generated *untimed* (Markovian)
+//! networks, the Monte Carlo simulator and the exact CTMC pipeline must
+//! agree within the statistical error bound. This is the strongest
+//! end-to-end correctness check the two independent engines give each
+//! other.
 
-use proptest::prelude::*;
+mod common;
+
+use common::*;
 use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
 use slimsim::prelude::*;
 
@@ -17,15 +19,10 @@ struct ChainSpec {
     back: Option<(usize, f64)>,
 }
 
-fn arb_chain() -> impl Strategy<Value = ChainSpec> {
-    (
-        prop::collection::vec(0.2f64..4.0, 1..4),
-        prop::option::of((any::<prop::sample::Index>(), 0.2f64..4.0)),
-    )
-        .prop_map(|(forward, back)| ChainSpec {
-            back: back.map(|(idx, r)| (idx.index(forward.len()), r)),
-            forward,
-        })
+fn chain(rng: &mut StdRng) -> ChainSpec {
+    let forward = vec_of(rng, 1, 4, |rng| f64_in(rng, 0.2, 4.0));
+    let back = option_of(rng, |rng| (rng.gen_range(0..forward.len()), f64_in(rng, 0.2, 4.0)));
+    ChainSpec { forward, back }
 }
 
 fn build(chains: &[ChainSpec]) -> (Network, Expr) {
@@ -38,11 +35,8 @@ fn build(chains: &[ChainSpec]) -> (Network, Expr) {
         let n = spec.forward.len();
         let locs: Vec<_> = (0..=n).map(|l| a.location(format!("l{l}"))).collect();
         for (k, &rate) in spec.forward.iter().enumerate() {
-            let effects = if k + 1 == n {
-                vec![Effect::assign(flag, Expr::bool(true))]
-            } else {
-                vec![]
-            };
+            let effects =
+                if k + 1 == n { vec![Effect::assign(flag, Expr::bool(true))] } else { vec![] };
             a.markovian(locs[k], rate, effects, locs[k + 1]);
         }
         if let Some((target, rate)) = spec.back {
@@ -57,14 +51,12 @@ fn build(chains: &[ChainSpec]) -> (Network, Expr) {
     (net, goal)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn simulator_agrees_with_ctmc_pipeline(
-        chains in prop::collection::vec(arb_chain(), 1..3),
-        bound in 0.2f64..3.0,
-    ) {
+#[test]
+fn simulator_agrees_with_ctmc_pipeline() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_c055);
+    for case in 0..24 {
+        let chains = vec_of(&mut rng, 1, 3, chain);
+        let bound = f64_in(&mut rng, 0.2, 3.0);
         let (net, goal_expr) = build(&chains);
 
         // Exact answer.
@@ -85,10 +77,10 @@ proptest! {
         let est = analyze(&net, &prop, &cfg).unwrap().probability();
 
         // Agreement within ε plus slack for the δ failure probability
-        // across many proptest cases.
-        prop_assert!(
+        // across many random cases.
+        assert!(
             (est - exact).abs() < 0.05 + 0.03,
-            "simulator {est} vs CTMC {exact} (bound {bound})"
+            "case {case}: simulator {est} vs CTMC {exact} (bound {bound})"
         );
     }
 }

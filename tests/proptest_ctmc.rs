@@ -1,84 +1,101 @@
-//! Property tests for the CTMC pipeline: lumping preserves time-bounded
+//! Randomized tests for the CTMC pipeline: lumping preserves time-bounded
 //! reachability on random chains; transient distributions stay stochastic;
 //! vanishing elimination conserves probability.
 
-use proptest::prelude::*;
+mod common;
+
+use common::*;
 use slimsim::ctmc::ctmc::Ctmc;
 use slimsim::ctmc::eliminate::eliminate;
 use slimsim::ctmc::imc::{Imc, ImcState};
 use slimsim::ctmc::lumping::lump;
 use slimsim::ctmc::transient::{timed_reachability, transient_distribution, TransientConfig};
 
-/// A random CTMC with `n` states, sparse random rates, random goal labels.
-fn arb_ctmc(max_n: usize) -> impl Strategy<Value = Ctmc> {
-    (2..=max_n).prop_flat_map(|n| {
-        let rows = prop::collection::vec(
-            prop::collection::vec((0..n, 0.1f64..5.0), 0..4),
-            n,
-        );
-        let goals = prop::collection::vec(any::<bool>(), n);
-        (rows, goals).prop_map(move |(rows, goal)| {
-            let rates: Vec<Vec<(usize, f64)>> = rows
-                .into_iter()
-                .enumerate()
-                .map(|(s, mut row)| {
-                    // No self-loops (they are meaningless in a CTMC) and
-                    // merge duplicate targets.
-                    row.retain(|&(t, _)| t != s);
-                    let mut acc = std::collections::BTreeMap::new();
-                    for (t, r) in row {
-                        *acc.entry(t).or_insert(0.0) += r;
-                    }
-                    acc.into_iter().collect()
-                })
-                .collect();
-            Ctmc { rates, goal, initial: vec![(0, 1.0)] }
+/// A random CTMC with up to `max_n` states, sparse random rates, random
+/// goal labels.
+fn ctmc(rng: &mut StdRng, max_n: usize) -> Ctmc {
+    let n = usize_in(rng, 2, max_n + 1);
+    let rates: Vec<Vec<(usize, f64)>> = (0..n)
+        .map(|s| {
+            let row = vec_of(rng, 0, 4, |rng| (rng.gen_range(0..n), f64_in(rng, 0.1, 5.0)));
+            // No self-loops (they are meaningless in a CTMC) and merge
+            // duplicate targets.
+            let mut acc = std::collections::BTreeMap::new();
+            for (t, r) in row {
+                if t != s {
+                    *acc.entry(t).or_insert(0.0) += r;
+                }
+            }
+            acc.into_iter().collect()
         })
-    })
+        .collect();
+    let goal = (0..n).map(|_| rng.gen::<bool>()).collect();
+    Ctmc { rates, goal, initial: vec![(0, 1.0)] }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn lumping_preserves_timed_reachability(c in arb_ctmc(8), t in 0.1f64..5.0) {
+#[test]
+fn lumping_preserves_timed_reachability() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_c3c1);
+    for case in 0..128 {
+        let c = ctmc(&mut rng, 8);
+        let t = f64_in(&mut rng, 0.1, 5.0);
         let cfg = TransientConfig::default();
         let direct = timed_reachability(&c, t, &cfg);
         let lumped = lump(&c);
         let quotient = timed_reachability(&lumped.quotient, t, &cfg);
-        prop_assert!(
+        assert!(
             (direct - quotient).abs() < 1e-7,
-            "direct {} vs quotient {} ({} -> {} states)",
-            direct, quotient, c.len(), lumped.quotient.len()
+            "case {case}: direct {direct} vs quotient {quotient} ({} -> {} states)",
+            c.len(),
+            lumped.quotient.len()
         );
     }
+}
 
-    #[test]
-    fn lumping_respects_goal_labels(c in arb_ctmc(8)) {
+#[test]
+fn lumping_respects_goal_labels() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_90a1);
+    for case in 0..128 {
+        let c = ctmc(&mut rng, 8);
         let lumped = lump(&c);
         for (s, &b) in lumped.block_of.iter().enumerate() {
-            prop_assert_eq!(c.goal[s], lumped.quotient.goal[b], "state {} block {}", s, b);
+            assert_eq!(c.goal[s], lumped.quotient.goal[b], "case {case}: state {s} block {b}");
         }
     }
+}
 
-    #[test]
-    fn transient_distribution_stochastic(c in arb_ctmc(8), t in 0.0f64..10.0) {
+#[test]
+fn transient_distribution_stochastic() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_d157);
+    for case in 0..128 {
+        let c = ctmc(&mut rng, 8);
+        let t = f64_in(&mut rng, 0.0, 10.0);
         let pi = transient_distribution(&c, t, &TransientConfig::default());
         let mass: f64 = pi.iter().sum();
-        prop_assert!((mass - 1.0).abs() < 1e-7, "mass {}", mass);
-        prop_assert!(pi.iter().all(|&p| p >= -1e-10));
+        assert!((mass - 1.0).abs() < 1e-7, "case {case}: mass {mass}");
+        assert!(pi.iter().all(|&p| p >= -1e-10), "case {case}");
     }
+}
 
-    #[test]
-    fn reachability_monotone_in_time(c in arb_ctmc(6), t in 0.1f64..3.0) {
+#[test]
+fn reachability_monotone_in_time() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0101);
+    for case in 0..128 {
+        let c = ctmc(&mut rng, 6);
+        let t = f64_in(&mut rng, 0.1, 3.0);
         let cfg = TransientConfig::default();
         let p1 = timed_reachability(&c, t, &cfg);
         let p2 = timed_reachability(&c, t * 2.0, &cfg);
-        prop_assert!(p2 >= p1 - 1e-9, "P(◇[0,{}]) = {} > P(◇[0,{}]) = {}", t, p1, t * 2.0, p2);
+        assert!(p2 >= p1 - 1e-9, "case {case}: P(◇[0,{t}]) = {p1} > P(◇[0,{}]) = {p2}", t * 2.0);
     }
+}
 
-    #[test]
-    fn elimination_conserves_probability(n in 3usize..8, fan in 1usize..3) {
+#[test]
+fn elimination_conserves_probability() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_e11a);
+    for case in 0..64 {
+        let n = usize_in(&mut rng, 3, 8);
+        let fan = usize_in(&mut rng, 1, 3);
         // A vanishing chain: tangible 0 --1.0--> vanishing 1..n-2 --> tangible n-1.
         let mut states = Vec::new();
         states.push(ImcState { interactive: vec![], markovian: vec![(1, 1.0)], goal: false });
@@ -90,10 +107,10 @@ proptest! {
         states.push(ImcState { interactive: vec![], markovian: vec![], goal: true });
         let imc = Imc { states };
         let ctmc = eliminate(&imc).expect("acyclic vanishing chain");
-        prop_assert!(ctmc.check_valid().is_ok(), "{:?}", ctmc.check_valid());
+        assert!(ctmc.check_valid().is_ok(), "case {case}: {:?}", ctmc.check_valid());
         // All rate mass of state 0 is conserved (redistributed, not lost).
         let init_ctmc_state = ctmc.initial[0].0;
         let total: f64 = ctmc.rates[init_ctmc_state].iter().map(|&(_, r)| r).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "rate mass {}", total);
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: rate mass {total}");
     }
 }

@@ -1,8 +1,10 @@
-//! Property tests of the simulation engine over randomly generated (but
+//! Randomized tests of the simulation engine over generated (but
 //! well-formed) networks: every strategy must produce verdicts that
 //! respect the path invariants, deterministically under a fixed seed.
 
-use proptest::prelude::*;
+mod common;
+
+use common::*;
 use slimsim::prelude::*;
 use slimsim::stats::rng::path_rng;
 
@@ -16,16 +18,20 @@ enum UnitKind {
     TwoStep { lo: f64, hi: f64, split: f64 },
 }
 
-fn arb_unit() -> impl Strategy<Value = UnitKind> {
-    prop_oneof![
-        (0.1f64..3.0, 0.1f64..3.0).prop_map(|(a, len)| UnitKind::Timed { lo: a, hi: a + len }),
-        (0.05f64..5.0).prop_map(|rate| UnitKind::Markovian { rate }),
-        (0.1f64..2.0, 0.2f64..2.0, 0.0f64..1.0).prop_map(|(a, len, frac)| UnitKind::TwoStep {
-            lo: a,
-            hi: a + len,
-            split: a + len * frac.clamp(0.05, 0.95),
-        }),
-    ]
+fn unit(rng: &mut StdRng) -> UnitKind {
+    match rng.gen_range(0..3) {
+        0 => {
+            let a = f64_in(rng, 0.1, 3.0);
+            UnitKind::Timed { lo: a, hi: a + f64_in(rng, 0.1, 3.0) }
+        }
+        1 => UnitKind::Markovian { rate: f64_in(rng, 0.05, 5.0) },
+        _ => {
+            let a = f64_in(rng, 0.1, 2.0);
+            let len = f64_in(rng, 0.2, 2.0);
+            let frac = f64_in(rng, 0.0, 1.0).clamp(0.05, 0.95);
+            UnitKind::TwoStep { lo: a, hi: a + len, split: a + len * frac }
+        }
+    }
 }
 
 /// Builds a network from unit descriptions; every unit sets its own flag.
@@ -80,20 +86,18 @@ fn build(units: &[UnitKind]) -> Network {
     b.build().expect("generated network is well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn paths_respect_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_e061e);
+    for case in 0..48 {
+        let units = vec_of(&mut rng, 1, 4, unit);
+        let bound = f64_in(&mut rng, 0.5, 8.0);
+        let want_all = rng.gen::<bool>();
+        let seed = rng.gen::<u64>() % 1000;
 
-    #[test]
-    fn paths_respect_invariants(
-        units in prop::collection::vec(arb_unit(), 1..4),
-        bound in 0.5f64..8.0,
-        want_all in any::<bool>(),
-        seed in 0u64..1000,
-    ) {
         let net = build(&units);
-        let flags: Vec<Expr> = (0..units.len())
-            .map(|i| Expr::var(net.var_id(&format!("flag{i}")).unwrap()))
-            .collect();
+        let flags: Vec<Expr> =
+            (0..units.len()).map(|i| Expr::var(net.var_id(&format!("flag{i}")).unwrap())).collect();
         let goal_expr = if want_all {
             Expr::all(flags.iter().cloned())
         } else {
@@ -105,14 +109,15 @@ proptest! {
         for kind in StrategyKind::ALL_EXTENDED {
             let mut s1 = kind.instantiate();
             let mut rng1 = path_rng(seed, 0);
-            let out1 = gen.generate(s1.as_mut(), &mut rng1)
-                .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
-            prop_assert!(out1.end_time >= -1e-12, "{kind}: negative end time");
-            prop_assert!(out1.steps <= 20_000);
+            let out1 = gen
+                .generate(s1.as_mut(), &mut rng1)
+                .unwrap_or_else(|e| panic!("case {case}: {kind} failed: {e}"));
+            assert!(out1.end_time >= -1e-12, "case {case}: {kind}: negative end time");
+            assert!(out1.steps <= 20_000);
             if out1.verdict == Verdict::Satisfied {
-                prop_assert!(
+                assert!(
                     out1.end_time <= bound + 1e-9,
-                    "{kind}: satisfied at {} past bound {bound}",
+                    "case {case}: {kind}: satisfied at {} past bound {bound}",
                     out1.end_time
                 );
             }
@@ -120,40 +125,45 @@ proptest! {
             let mut s2 = kind.instantiate();
             let mut rng2 = path_rng(seed, 0);
             let out2 = gen.generate(s2.as_mut(), &mut rng2).unwrap();
-            prop_assert_eq!(&out1, &out2, "{} not deterministic", kind);
+            assert_eq!(out1, out2, "case {case}: {kind} not deterministic");
         }
     }
+}
 
-    #[test]
-    fn estimates_are_probabilities_and_asap_dominates_for_any_goal(
-        units in prop::collection::vec(arb_unit(), 1..3),
-        bound in 0.5f64..5.0,
-    ) {
-        // For an "any flag" goal on independent units, ASAP fires the
-        // earliest enabled transition, so it reaches SOME flag no later
-        // than MaxTime does on every path prefix — its estimate must not
-        // be (statistically significantly) lower.
+#[test]
+fn estimates_are_probabilities_and_asap_dominates_for_any_goal() {
+    // For an "any flag" goal on independent units, ASAP fires the earliest
+    // enabled transition, so it reaches SOME flag no later than MaxTime
+    // does on every path prefix — its estimate must not be (statistically
+    // significantly) lower.
+    let mut rng = StdRng::seed_from_u64(0x5eed_a5a9);
+    for case in 0..24 {
+        let units = vec_of(&mut rng, 1, 3, unit);
+        let bound = f64_in(&mut rng, 0.5, 5.0);
+
         let net = build(&units);
-        let flags: Vec<Expr> = (0..units.len())
-            .map(|i| Expr::var(net.var_id(&format!("flag{i}")).unwrap()))
-            .collect();
+        let flags: Vec<Expr> =
+            (0..units.len()).map(|i| Expr::var(net.var_id(&format!("flag{i}")).unwrap())).collect();
         let prop = TimedReach::new(Goal::expr(Expr::any(flags.iter().cloned())), bound);
         let acc = Accuracy::new(0.05, 0.1).unwrap();
         let mut probs = Vec::new();
         for kind in StrategyKind::ALL_EXTENDED {
             let cfg = SimConfig::default().with_accuracy(acc).with_strategy(kind).with_seed(7);
             let r = analyze(&net, &prop, &cfg).unwrap();
-            prop_assert!((0.0..=1.0).contains(&r.probability()), "{}: {}", kind, r.probability());
-            prop_assert_eq!(r.stats.total(), r.estimate.samples);
+            assert!(
+                (0.0..=1.0).contains(&r.probability()),
+                "case {case}: {}: {}",
+                kind,
+                r.probability()
+            );
+            assert_eq!(r.stats.total(), r.estimate.samples);
             probs.push((kind, r.probability()));
         }
         let asap = probs.iter().find(|(k, _)| *k == StrategyKind::Asap).unwrap().1;
         let maxtime = probs.iter().find(|(k, _)| *k == StrategyKind::MaxTime).unwrap().1;
-        prop_assert!(
+        assert!(
             asap >= maxtime - 3.0 * 0.05,
-            "ASAP {} should dominate MaxTime {} for an any-flag goal",
-            asap,
-            maxtime
+            "case {case}: ASAP {asap} should dominate MaxTime {maxtime} for an any-flag goal"
         );
     }
 }

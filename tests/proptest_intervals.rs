@@ -1,24 +1,29 @@
-//! Property tests for the interval-set algebra — the foundation the exact
-//! strategy windows are built on.
+//! Randomized tests for the interval-set algebra — the foundation the
+//! exact strategy windows are built on.
 
-use proptest::prelude::*;
+mod common;
+
+use common::*;
 use slimsim::automata::interval::{Interval, IntervalSet};
 
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0.0f64..100.0, 0.0f64..20.0, any::<bool>(), any::<bool>(), any::<bool>()).prop_filter_map(
-        "nonempty",
-        |(lo, len, lo_closed, hi_closed, unbounded)| {
-            if unbounded {
-                Interval::new(lo, f64::INFINITY, lo_closed, false)
-            } else {
-                Interval::new(lo, lo + len, lo_closed, hi_closed)
-            }
-        },
-    )
+fn interval(rng: &mut StdRng) -> Interval {
+    loop {
+        let lo = f64_in(rng, 0.0, 100.0);
+        let lo_closed = rng.gen::<bool>();
+        let cand = if rng.gen::<bool>() {
+            Interval::new(lo, f64::INFINITY, lo_closed, false)
+        } else {
+            let len = f64_in(rng, 0.0, 20.0);
+            Interval::new(lo, lo + len, lo_closed, rng.gen::<bool>())
+        };
+        if let Some(iv) = cand {
+            return iv;
+        }
+    }
 }
 
-fn arb_set() -> impl Strategy<Value = IntervalSet> {
-    prop::collection::vec(arb_interval(), 0..6).prop_map(IntervalSet::from_intervals)
+fn set(rng: &mut StdRng) -> IntervalSet {
+    IntervalSet::from_intervals(vec_of(rng, 0, 6, interval))
 }
 
 /// Sample points to probe membership with (includes the interesting
@@ -29,121 +34,166 @@ fn probes() -> Vec<f64> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+#[test]
+fn union_is_pointwise_or() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0210);
+    for case in 0..256 {
+        let (a, b) = (set(&mut rng), set(&mut rng));
         let u = a.union(&b);
         for x in probes() {
-            prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "at {}", x);
+            assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "case {case} at {x}");
         }
     }
+}
 
-    #[test]
-    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+#[test]
+fn intersection_is_pointwise_and() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1275);
+    for case in 0..256 {
+        let (a, b) = (set(&mut rng), set(&mut rng));
         let i = a.intersect(&b);
         for x in probes() {
-            prop_assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "at {}", x);
+            assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "case {case} at {x}");
         }
     }
+}
 
-    #[test]
-    fn complement_is_pointwise_not(a in arb_set()) {
+#[test]
+fn complement_is_pointwise_not() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_c031);
+    for case in 0..256 {
+        let a = set(&mut rng);
         let c = a.complement();
         for x in probes() {
-            prop_assert_eq!(c.contains(x), !a.contains(x), "at {}", x);
+            assert_eq!(c.contains(x), !a.contains(x), "case {case} at {x}");
         }
     }
+}
 
-    #[test]
-    fn double_complement_is_identity_pointwise(a in arb_set()) {
+#[test]
+fn double_complement_is_identity_pointwise() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_dc01);
+    for case in 0..256 {
+        let a = set(&mut rng);
         let cc = a.complement().complement();
         for x in probes() {
-            prop_assert_eq!(cc.contains(x), a.contains(x), "at {}", x);
+            assert_eq!(cc.contains(x), a.contains(x), "case {case} at {x}");
         }
     }
+}
 
-    #[test]
-    fn de_morgan(a in arb_set(), b in arb_set()) {
+#[test]
+fn de_morgan() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_de40);
+    for case in 0..256 {
+        let (a, b) = (set(&mut rng), set(&mut rng));
         let lhs = a.union(&b).complement();
         let rhs = a.complement().intersect(&b.complement());
         for x in probes() {
-            prop_assert_eq!(lhs.contains(x), rhs.contains(x), "at {}", x);
+            assert_eq!(lhs.contains(x), rhs.contains(x), "case {case} at {x}");
         }
     }
+}
 
-    #[test]
-    fn measure_additivity_bounds(a in arb_set(), b in arb_set()) {
+#[test]
+fn measure_additivity_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_4ea5);
+    for case in 0..256 {
+        let (a, b) = (set(&mut rng), set(&mut rng));
         // |A ∪ B| + |A ∩ B| = |A| + |B| for finite-measure parts.
         let lhs = a.union(&b).measure() + a.intersect(&b).measure();
         let rhs = a.measure() + b.measure();
         if lhs.is_finite() && rhs.is_finite() {
-            prop_assert!((lhs - rhs).abs() < 1e-6, "{} vs {}", lhs, rhs);
+            assert!((lhs - rhs).abs() < 1e-6, "case {case}: {lhs} vs {rhs}");
         }
     }
+}
 
-    #[test]
-    fn normalization_sorted_disjoint(a in arb_set()) {
+#[test]
+fn normalization_sorted_disjoint() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_5047);
+    for case in 0..256 {
+        let a = set(&mut rng);
         let ivs = a.intervals();
         for w in ivs.windows(2) {
-            prop_assert!(w[0].hi() <= w[1].lo(), "overlap: {} then {}", w[0], w[1]);
+            assert!(w[0].hi() <= w[1].lo(), "case {case}: overlap: {} then {}", w[0], w[1]);
             if w[0].hi() == w[1].lo() {
-                prop_assert!(
+                assert!(
                     !w[0].hi_closed() && !w[1].lo_closed(),
-                    "mergeable neighbors kept apart: {} | {}", w[0], w[1]
+                    "case {case}: mergeable neighbors kept apart: {} | {}",
+                    w[0],
+                    w[1]
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn picked_points_are_members(a in arb_set(), u in 0.0f64..1.0) {
+#[test]
+fn picked_points_are_members() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_91c4);
+    for case in 0..256 {
+        let a = set(&mut rng);
+        let u = rng.gen::<f64>();
         // Unbounded sets are truncated the way the engine does it.
-        let capped = if a.sup().map_or(false, f64::is_infinite) { a.truncate(1e4) } else { a.clone() };
+        let capped =
+            if a.sup().is_some_and(f64::is_infinite) { a.truncate(1e4) } else { a.clone() };
         if let Some(x) = capped.pick(u) {
-            prop_assert!(capped.contains(x), "picked {} outside {}", x, capped);
+            assert!(capped.contains(x), "case {case}: picked {x} outside {capped}");
         } else {
-            prop_assert!(capped.is_empty());
+            assert!(capped.is_empty(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn earliest_and_latest_are_members(a in arb_set()) {
+#[test]
+fn earliest_and_latest_are_members() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_ea51);
+    for case in 0..256 {
+        let a = set(&mut rng);
         if let Some(e) = a.earliest_point() {
-            prop_assert!(a.contains(e), "earliest {} outside {}", e, a);
+            assert!(a.contains(e), "case {case}: earliest {e} outside {a}");
         }
         if let Some(l) = a.latest_point() {
-            prop_assert!(a.contains(l), "latest {} outside {}", l, a);
+            assert!(a.contains(l), "case {case}: latest {l} outside {a}");
         }
     }
+}
 
-    #[test]
-    fn truncate_caps_sup(a in arb_set(), cap in 0.0f64..150.0) {
+#[test]
+fn truncate_caps_sup() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_7ca9);
+    for case in 0..256 {
+        let a = set(&mut rng);
+        let cap = f64_in(&mut rng, 0.0, 150.0);
         let t = a.truncate(cap);
         if let Some(s) = t.sup() {
-            prop_assert!(s <= cap + 1e-12);
+            assert!(s <= cap + 1e-12, "case {case}");
         }
         for x in probes() {
-            prop_assert_eq!(t.contains(x), a.contains(x) && x <= cap, "at {}", x);
+            assert_eq!(t.contains(x), a.contains(x) && x <= cap, "case {case} at {x}");
         }
     }
+}
 
-    #[test]
-    fn prefix_from_zero_is_prefix(a in arb_set()) {
+#[test]
+fn prefix_from_zero_is_prefix() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_94e0);
+    for case in 0..256 {
+        let a = set(&mut rng);
         if let Some((hi, closed)) = a.prefix_from_zero() {
-            prop_assert!(a.contains(0.0));
+            assert!(a.contains(0.0), "case {case}");
             // Everything strictly inside [0, hi) is in the set.
             for x in probes() {
                 if x < hi {
-                    prop_assert!(a.contains(x), "gap at {} before {}", x, hi);
+                    assert!(a.contains(x), "case {case}: gap at {x} before {hi}");
                 }
             }
             if closed && hi.is_finite() {
-                prop_assert!(a.contains(hi));
+                assert!(a.contains(hi), "case {case}");
             }
         } else {
-            prop_assert!(!a.contains(0.0));
+            assert!(!a.contains(0.0), "case {case}");
         }
     }
 }

@@ -1,8 +1,10 @@
-//! Property tests for the linear delay solver: the symbolic enabling
+//! Randomized tests for the linear delay solver: the symbolic enabling
 //! window must agree with brute-force concrete evaluation of the guard at
 //! sampled delays.
 
-use proptest::prelude::*;
+mod common;
+
+use common::*;
 use slimsim::automata::eval::{eval_bool, Valuation};
 use slimsim::automata::expr::{Expr, VarId};
 use slimsim::automata::linear::{solve, DelayEnv};
@@ -16,40 +18,47 @@ fn rate(v: VarId) -> f64 {
     RATES[v.0]
 }
 
-fn arb_valuation() -> impl Strategy<Value = Valuation> {
-    (0.0f64..50.0, -20.0f64..20.0, -5i64..5, any::<bool>()).prop_map(|(x, y, n, b)| {
-        Valuation::new(vec![Value::Real(x), Value::Real(y), Value::Int(n), Value::Bool(b)])
-    })
+fn valuation(rng: &mut StdRng) -> Valuation {
+    Valuation::new(vec![
+        Value::Real(f64_in(rng, 0.0, 50.0)),
+        Value::Real(f64_in(rng, -20.0, 20.0)),
+        Value::Int(i64_in(rng, -5, 5)),
+        Value::Bool(rng.gen::<bool>()),
+    ])
+}
+
+fn numeric(rng: &mut StdRng) -> Expr {
+    let leaf = |rng: &mut StdRng| match rng.gen_range(0..4) {
+        0 => Expr::var(VarId(0)),
+        1 => Expr::var(VarId(1)),
+        2 => Expr::var(VarId(2)),
+        _ => Expr::real(f64_in(rng, -30.0, 30.0)),
+    };
+    let a = leaf(rng);
+    let b = leaf(rng);
+    let k = f64_in(rng, -3.0, 3.0);
+    a.mul(Expr::real(k)).add(b)
 }
 
 /// Guard grammar: comparisons of linear combinations, boolean structure.
-fn arb_guard() -> impl Strategy<Value = Expr> {
-    let numeric_leaf = prop_oneof![
-        Just(Expr::var(VarId(0))),
-        Just(Expr::var(VarId(1))),
-        Just(Expr::var(VarId(2))),
-        (-30.0f64..30.0).prop_map(Expr::real),
-    ];
-    let numeric = (numeric_leaf.clone(), numeric_leaf, -3.0f64..3.0).prop_map(
-        |(a, b, k)| a.mul(Expr::real(k)).add(b),
-    );
-    let atom = prop_oneof![
-        (numeric.clone(), numeric.clone()).prop_map(|(a, b)| a.le(b)),
-        (numeric.clone(), numeric.clone()).prop_map(|(a, b)| a.lt(b)),
-        (numeric.clone(), numeric.clone()).prop_map(|(a, b)| a.ge(b)),
-        (numeric.clone(), numeric).prop_map(|(a, b)| a.gt(b)),
-        Just(Expr::var(VarId(3))),
-        Just(Expr::TRUE),
-        Just(Expr::FALSE),
-    ];
-    atom.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            inner.prop_map(Expr::not),
-        ]
-    })
+fn guard(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_range(0..3) == 0 {
+        return match rng.gen_range(0..7) {
+            0 => numeric(rng).le(numeric(rng)),
+            1 => numeric(rng).lt(numeric(rng)),
+            2 => numeric(rng).ge(numeric(rng)),
+            3 => numeric(rng).gt(numeric(rng)),
+            4 => Expr::var(VarId(3)),
+            5 => Expr::TRUE,
+            _ => Expr::FALSE,
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => guard(rng, depth - 1).and(guard(rng, depth - 1)),
+        1 => guard(rng, depth - 1).or(guard(rng, depth - 1)),
+        2 => guard(rng, depth - 1).implies(guard(rng, depth - 1)),
+        _ => guard(rng, depth - 1).not(),
+    }
 }
 
 /// Concretely evaluates the guard after an exact delay `d`.
@@ -65,42 +74,46 @@ fn eval_after_delay(guard: &Expr, nu: &Valuation, d: f64) -> bool {
     eval_bool(guard, &shifted).expect("guard evaluates")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(384))]
-
-    #[test]
-    fn solver_agrees_with_concrete_evaluation(guard in arb_guard(), nu in arb_valuation()) {
+#[test]
+fn solver_agrees_with_concrete_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_11ea1);
+    for case in 0..384 {
+        let g = guard(&mut rng, 3);
+        let nu = valuation(&mut rng);
         let env = DelayEnv::new(&nu, &rate);
-        let window = solve(&guard, &env).expect("linear guard solves");
+        let window = solve(&g, &env).expect("linear guard solves");
         // Probe a spread of delays, avoiding the exact interval endpoints
         // where float tie-breaking is ambiguous.
         for i in 0..80 {
             let d = i as f64 * 0.637 + 0.0131;
             let symbolic = window.contains(d);
-            let concrete = eval_after_delay(&guard, &nu, d);
+            let concrete = eval_after_delay(&g, &nu, d);
             // Skip probes that sit numerically on a window boundary.
-            let near_boundary = window.intervals().iter().any(|iv| {
-                (iv.lo() - d).abs() < 1e-6 || (iv.hi() - d).abs() < 1e-6
-            });
+            let near_boundary = window
+                .intervals()
+                .iter()
+                .any(|iv| (iv.lo() - d).abs() < 1e-6 || (iv.hi() - d).abs() < 1e-6);
             if !near_boundary {
-                prop_assert_eq!(symbolic, concrete, "delay {} guard {} window {}", d, guard, window);
+                assert_eq!(symbolic, concrete, "case {case}: delay {d} guard {g} window {window}");
             }
         }
     }
+}
 
-    #[test]
-    fn window_zero_matches_now(guard in arb_guard(), nu in arb_valuation()) {
+#[test]
+fn window_zero_matches_now() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0000);
+    for case in 0..384 {
+        let g = guard(&mut rng, 3);
+        let nu = valuation(&mut rng);
         let env = DelayEnv::new(&nu, &rate);
-        let window = solve(&guard, &env).expect("linear guard solves");
-        let now = eval_bool(&guard, &nu).expect("guard evaluates");
+        let window = solve(&g, &env).expect("linear guard solves");
+        let now = eval_bool(&g, &nu).expect("guard evaluates");
         // `contains(0)` must agree with plain evaluation unless 0 is a
         // boundary point of the window (measure-zero fp ambiguity).
-        let boundary = window
-            .intervals()
-            .iter()
-            .any(|iv| iv.lo().abs() < 1e-9 && !iv.lo_closed());
+        let boundary = window.intervals().iter().any(|iv| iv.lo().abs() < 1e-9 && !iv.lo_closed());
         if !boundary {
-            prop_assert_eq!(window.contains(0.0), now, "guard {} window {}", guard, window);
+            assert_eq!(window.contains(0.0), now, "case {case}: guard {g} window {window}");
         }
     }
 }

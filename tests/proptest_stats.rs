@@ -1,23 +1,23 @@
-//! Property tests for the statistics engine: order-unbiased parallel
+//! Randomized tests for the statistics engine: order-unbiased parallel
 //! collection, workload splitting, and stopping-rule sanity.
 
-use proptest::prelude::*;
+mod common;
+
+use common::*;
 use slimsim::stats::chernoff::Accuracy;
-use slimsim::stats::estimator::Generator;
 use slimsim::stats::parallel::{split_workload, RoundRobinCollector};
 use slimsim::stats::sequential::GeneratorKind;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Drained output only depends on the per-worker streams, not on the
-    /// interleaving of arrivals — the §III-C bias fix.
-    #[test]
-    fn collector_is_arrival_order_invariant(
-        streams in prop::collection::vec(prop::collection::vec(any::<bool>(), 0..12), 1..5),
-        schedule in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
-    ) {
+/// Drained output only depends on the per-worker streams, not on the
+/// interleaving of arrivals — the §III-C bias fix.
+#[test]
+fn collector_is_arrival_order_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_c011);
+    for case in 0..256 {
+        let streams: Vec<Vec<bool>> =
+            vec_of(&mut rng, 1, 5, |rng| vec_of(rng, 0, 12, |rng| rng.gen::<bool>()));
         let workers = streams.len();
+        let schedule: Vec<usize> = vec_of(&mut rng, 0, 64, |rng| rng.gen_range(0..workers));
 
         // Reference: deliver stream-by-stream.
         let mut reference = RoundRobinCollector::new(workers);
@@ -33,8 +33,7 @@ proptest! {
         let mut collector = RoundRobinCollector::new(workers);
         let mut cursors = vec![0usize; workers];
         let mut drained = Vec::new();
-        for idx in schedule {
-            let w = idx.index(workers);
+        for w in schedule {
             if cursors[w] < streams[w].len() {
                 collector.push(w, streams[w][cursors[w]]);
                 cursors[w] += 1;
@@ -50,27 +49,33 @@ proptest! {
             collector.finish_worker(w);
         }
         drained.extend(collector.drain_rounds());
-        prop_assert_eq!(drained, expected);
+        assert_eq!(drained, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn workload_split_total_and_balance(n in 0u64..1_000_000, k in 1usize..64) {
+#[test]
+fn workload_split_total_and_balance() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_5b11);
+    for case in 0..256 {
+        let n = rng.gen::<u64>() % 1_000_000;
+        let k = usize_in(&mut rng, 1, 64);
         let parts = split_workload(n, k);
-        prop_assert_eq!(parts.len(), k);
-        prop_assert_eq!(parts.iter().sum::<u64>(), n);
+        assert_eq!(parts.len(), k, "case {case}");
+        assert_eq!(parts.iter().sum::<u64>(), n, "case {case}");
         let min = *parts.iter().min().unwrap();
         let max = *parts.iter().max().unwrap();
-        prop_assert!(max - min <= 1, "imbalance {}", max - min);
+        assert!(max - min <= 1, "case {case}: imbalance {}", max - min);
     }
+}
 
-    /// Every generator eventually stops and reports consistent counters.
-    #[test]
-    fn generators_terminate_and_count(
-        kind_idx in 0usize..3,
-        p in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
-        let kind = GeneratorKind::ALL[kind_idx];
+/// Every generator eventually stops and reports consistent counters.
+#[test]
+fn generators_terminate_and_count() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_9e4e);
+    for case in 0..256 {
+        let kind = *pick(&mut rng, &GeneratorKind::ALL);
+        let p = rng.gen::<f64>();
+        let seed = rng.gen::<u64>();
         let acc = Accuracy::new(0.05, 0.1).unwrap();
         let mut g = kind.instantiate(acc);
         let mut x = seed | 1;
@@ -82,20 +87,26 @@ proptest! {
             g.add(u < p);
             fed += 1;
         }
-        prop_assert!(g.is_complete(), "{} did not stop within CH bound + 10", kind);
+        assert!(g.is_complete(), "case {case}: {kind} did not stop within CH bound + 10");
         let e = g.estimate();
-        prop_assert_eq!(e.samples, fed);
-        prop_assert!(e.successes <= e.samples);
-        prop_assert!((0.0..=1.0).contains(&e.mean));
+        assert_eq!(e.samples, fed, "case {case}");
+        assert!(e.successes <= e.samples, "case {case}");
+        assert!((0.0..=1.0).contains(&e.mean), "case {case}");
     }
+}
 
-    /// The CH sample count is monotone: tighter ε or δ never needs fewer
-    /// samples.
-    #[test]
-    fn chernoff_monotone(e1 in 0.001f64..0.5, e2 in 0.001f64..0.5, d in 0.001f64..0.5) {
+/// The CH sample count is monotone: tighter ε or δ never needs fewer
+/// samples.
+#[test]
+fn chernoff_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_307e);
+    for case in 0..256 {
+        let e1 = f64_in(&mut rng, 0.001, 0.5);
+        let e2 = f64_in(&mut rng, 0.001, 0.5);
+        let d = f64_in(&mut rng, 0.001, 0.5);
         let (tight, loose) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
         let n_tight = Accuracy::new(tight, d).unwrap().chernoff_samples();
         let n_loose = Accuracy::new(loose, d).unwrap().chernoff_samples();
-        prop_assert!(n_tight >= n_loose);
+        assert!(n_tight >= n_loose, "case {case}");
     }
 }

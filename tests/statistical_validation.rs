@@ -9,8 +9,6 @@ use slimsim::stats::estimator::Generator as _;
 use slimsim::stats::rng::{derive_seed, path_rng};
 use slimsim::stats::weighted::WeightedEstimator;
 
-use rand::Rng;
-
 /// A Bernoulli stream driven by a seeded RNG.
 fn bernoulli_stream(p: f64, seed: u64) -> impl FnMut() -> bool {
     let mut rng = path_rng(seed, 0);
@@ -38,11 +36,7 @@ fn chernoff_interval_coverage() {
         }
     }
     let coverage = covered as f64 / reps as f64;
-    assert!(
-        coverage >= 1.0 - acc.delta(),
-        "CH coverage {coverage} below {}",
-        1.0 - acc.delta()
-    );
+    assert!(coverage >= 1.0 - acc.delta(), "CH coverage {coverage} below {}", 1.0 - acc.delta());
 }
 
 /// Gauss (CLT) sequential intervals are approximate; their empirical
