@@ -1,0 +1,112 @@
+//! Emits the machine-readable simulator bench artifact
+//! (`BENCH_simulator.json`) used to track throughput across commits.
+//!
+//! ```text
+//! cargo run -p slimsim-bench --release --bin bench_report [-- <out-dir>]
+//! ```
+//!
+//! Runs the instrumented simulator on the three untimed conformance
+//! models (sensor–filter, voting, repairable pair) plus the timed GPS
+//! model, and records per-model throughput, sample counts and estimates
+//! through a [`slim_obs::BenchReport`]. The artifact lands in `<out-dir>`
+//! (default: the current directory).
+
+use slim_models::{
+    gps_network, repair_network, sensor_filter_network, voting_network, GpsParams, RepairParams,
+    SensorFilterParams, VotingParams,
+};
+use slim_obs::BenchReport;
+use slim_stats::Accuracy;
+use slimsim_core::prelude::*;
+
+struct Case {
+    name: &'static str,
+    net: slim_automata::prelude::Network,
+    goal_var: &'static str,
+    bound: f64,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "sensor_filter",
+            net: sensor_filter_network(&SensorFilterParams::default()),
+            goal_var: slim_models::GOAL_VAR,
+            bound: 1.0,
+        },
+        Case {
+            name: "voting",
+            net: voting_network(&VotingParams::default()),
+            goal_var: slim_models::VOTING_GOAL_VAR,
+            bound: 1.0,
+        },
+        Case {
+            name: "repair",
+            net: repair_network(&RepairParams::default()),
+            goal_var: slim_models::REPAIR_GOAL_VAR,
+            bound: 2.0,
+        },
+        Case {
+            name: "gps",
+            net: gps_network(&GpsParams::default()),
+            goal_var: "gps.measurement",
+            bound: 10.0,
+        },
+    ]
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let config = SimConfig::default()
+        .with_accuracy(Accuracy::new(0.02, 0.05).expect("valid accuracy"))
+        .with_strategy(StrategyKind::Asap)
+        .with_workers(workers);
+
+    let mut report = BenchReport::new("simulator");
+    report.push("config.epsilon", config.accuracy.epsilon(), "1");
+    report.push("config.delta", config.accuracy.delta(), "1");
+    report.push("config.workers", config.workers as f64, "threads");
+
+    for case in cases() {
+        let goal =
+            Goal::expr(slim_automata::prelude::Expr::var(case.net.var_id(case.goal_var).unwrap()));
+        let property = TimedReach::new(goal, case.bound);
+        let obs = SimObserver::new(config.workers);
+        let result = analyze_observed(&case.net, &property, &config, Some(&obs))
+            .expect("bench analysis succeeds");
+        let wall_secs = result.wall.as_secs_f64();
+        let samples = result.estimate.samples;
+        let prefix = case.name;
+        report.push(format!("{prefix}.paths"), samples as f64, "paths");
+        report.push(format!("{prefix}.wall_ms"), wall_secs * 1e3, "ms");
+        report.push(
+            format!("{prefix}.paths_per_sec"),
+            if wall_secs > 0.0 { samples as f64 / wall_secs } else { 0.0 },
+            "paths/s",
+        );
+        report.push(format!("{prefix}.probability"), result.estimate.mean, "1");
+        report.push(format!("{prefix}.mean_steps_per_path"), result.stats.mean_steps(), "steps");
+        report.push(
+            format!("{prefix}.approx_memory_kib"),
+            result.approx_memory_bytes as f64 / 1024.0,
+            "KiB",
+        );
+        let snap = obs.snapshot();
+        report.push(
+            format!("{prefix}.path_micros_p99"),
+            snap.histograms["sim.path_micros"].p99,
+            "us",
+        );
+        eprintln!(
+            "{prefix:>14}: {samples} paths in {:.1} ms ({:.0} paths/s), P = {:.5}",
+            wall_secs * 1e3,
+            samples as f64 / wall_secs.max(1e-9),
+            result.estimate.mean,
+        );
+    }
+
+    let path = std::path::Path::new(&out_dir).join(report.filename());
+    std::fs::write(&path, report.to_json().to_pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {}", path.display());
+}

@@ -27,6 +27,7 @@ const FLAG_KEYS: &[&str] = &[
     "no-lint",
     "deny-lints",
     "json",
+    "progress",
 ];
 
 impl Args {

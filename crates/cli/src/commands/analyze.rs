@@ -2,12 +2,20 @@
 
 use crate::args::Args;
 use crate::common::{load_bound, load_config, load_goal, load_hold, load_network};
+use slim_obs::{
+    ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, ProgressMeter, PropertyInfo,
+    RunReport, WorkerInfo, SCHEMA_VERSION,
+};
 use slim_stats::rng::path_rng;
 use slimsim_core::prelude::*;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Runs the analysis and prints the estimate.
 pub fn run(args: &Args) -> Result<(), String> {
+    let load_start = Instant::now();
     let net = load_network(args)?;
+    let load_time = load_start.elapsed();
 
     // Pre-flight lint stage: surface suspicious model structure before
     // spending simulation time. `--no-lint` skips it, `--deny-lints`
@@ -41,7 +49,41 @@ pub fn run(args: &Args) -> Result<(), String> {
         print_sample_path(&net, &property, &config, Some(path))?;
     }
 
-    let result = analyze(&net, &property, &config).map_err(|e| e.to_string())?;
+    // Observability: `--report <path>` captures a full RunReport JSON
+    // document, `--progress` renders a throttled live line on stderr.
+    // Both share one observer; without either, `analyze_observed` gets
+    // `None` and the run is instrumentation-free.
+    let report_path = args.options.get("report");
+    let want_progress = args.has_flag("progress");
+    let observer = if report_path.is_some() || want_progress {
+        let mut obs = SimObserver::new(config.workers.max(1));
+        obs.record_phase("load", load_time);
+        if want_progress {
+            let meter = Mutex::new(ProgressMeter::new(Duration::from_millis(100)));
+            obs = obs.with_progress(Box::new(move |done, target| {
+                if let Some(line) = meter.lock().unwrap().tick(done, target) {
+                    eprint!("\r\x1b[2K{line}");
+                }
+            }));
+        }
+        Some(obs)
+    } else {
+        None
+    };
+
+    let result =
+        analyze_observed(&net, &property, &config, observer.as_ref()).map_err(|e| e.to_string())?;
+    if want_progress {
+        eprintln!();
+    }
+    if let (Some(path), Some(obs)) = (report_path, observer.as_ref()) {
+        let report = build_report(args, &net, &property, &config, &result, obs);
+        let text = report.to_json().to_pretty() + "\n";
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        if !args.has_flag("quiet") {
+            println!("report     : {path}");
+        }
+    }
     if !args.has_flag("quiet") {
         println!("model      : {} automata, {} variables", net.automata().len(), net.vars().len());
         if property.hold.is_some() {
@@ -75,6 +117,100 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
     println!("{}", result.estimate);
     Ok(())
+}
+
+/// Assembles the [`RunReport`] for `--report` from the analysis result
+/// and the observer's metrics, phases, and per-worker stats.
+fn build_report(
+    args: &Args,
+    net: &slim_automata::prelude::Network,
+    property: &TimedReach,
+    config: &SimConfig,
+    result: &AnalysisResult,
+    obs: &SimObserver,
+) -> RunReport {
+    let goal = match (args.options.get("goal-var"), args.options.get("goal-loc")) {
+        (Some(v), Some(l)) => format!("var {v} | loc {l}"),
+        (Some(v), None) => format!("var {v}"),
+        (None, Some(l)) => format!("loc {l}"),
+        (None, None) => "default failure flag".to_string(),
+    };
+    let stats = &result.stats;
+    let workers = obs
+        .worker_stats()
+        .iter()
+        .enumerate()
+        .map(|(w, s)| {
+            let busy_secs = s.busy_nanos as f64 / 1e9;
+            WorkerInfo {
+                worker: w as u64,
+                paths: s.paths,
+                satisfied: s.satisfied,
+                busy_ms: busy_secs * 1e3,
+                paths_per_sec: if busy_secs > 0.0 { s.paths as f64 / busy_secs } else { 0.0 },
+            }
+        })
+        .collect();
+    RunReport {
+        schema_version: SCHEMA_VERSION,
+        tool_name: "slimsim".to_string(),
+        tool_version: env!("CARGO_PKG_VERSION").to_string(),
+        host: HostInfo::current(),
+        model: ModelInfo {
+            name: args.positional.first().cloned().unwrap_or_default(),
+            automata: net.automata().len() as u64,
+            variables: net.vars().len() as u64,
+        },
+        property: PropertyInfo {
+            kind: if property.hold.is_some() { "bounded-until" } else { "timed-reachability" }
+                .to_string(),
+            bound: property.bound,
+            goal,
+        },
+        config: ConfigInfo {
+            epsilon: config.accuracy.epsilon(),
+            delta: config.accuracy.delta(),
+            strategy: config.strategy.to_string(),
+            generator: config.generator.to_string(),
+            deadlock_policy: match config.deadlock_policy {
+                DeadlockPolicy::Falsify => "falsify".to_string(),
+                DeadlockPolicy::Error => "error".to_string(),
+            },
+            max_steps: config.max_steps,
+            seed: config.seed,
+            workers: config.workers as u64,
+        },
+        estimate: EstimateInfo {
+            mean: result.estimate.mean,
+            epsilon: result.estimate.epsilon,
+            confidence: result.estimate.confidence,
+            samples: result.estimate.samples,
+            successes: result.estimate.successes,
+        },
+        paths: PathInfo {
+            satisfied: stats.satisfied,
+            time_bound_exceeded: stats.time_bound_exceeded,
+            hold_violated: stats.hold_violated,
+            deadlock: stats.deadlocks,
+            timelock: stats.timelocks,
+            step_limit: stats.step_limited,
+            total: stats.total(),
+            total_steps: stats.total_steps,
+            mean_steps: stats.mean_steps(),
+            mean_satisfaction_time: stats.mean_satisfaction_time(),
+            min_satisfaction_time: stats.min_satisfaction_time(),
+            max_satisfaction_time: stats.max_satisfaction_time(),
+        },
+        wall_ms: result.wall.as_secs_f64() * 1e3,
+        approx_memory_bytes: result.approx_memory_bytes as u64,
+        phases: obs
+            .phases()
+            .iter()
+            .map(|(name, d)| (name.clone(), d.as_secs_f64() * 1e3))
+            .collect(),
+        workers,
+        metrics: obs.snapshot(),
+    }
 }
 
 /// Generates and prints one seeded path (the `--trace` flag).
@@ -134,6 +270,28 @@ mod tests {
     fn analyze_requires_bound() {
         let a = args("analyze gps --goal-var gps.measurement");
         assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn report_written_and_schema_valid_with_workers() {
+        let path = std::env::temp_dir().join("slimsim_test_analyze_report.json");
+        let a = args(&format!(
+            "analyze voting --bound 1.0 --epsilon 0.2 --delta 0.2 --workers 2 --quiet --report {}",
+            path.display()
+        ));
+        run(&a).expect("analysis with report succeeds");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report =
+            RunReport::from_json(&slim_obs::Json::parse(&text).unwrap()).expect("schema parses");
+        assert_eq!(report.validate(), Vec::<String>::new());
+        assert_eq!(report.config.workers, 2);
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.model.name, "voting");
+        for phase in ["load", "simulate", "estimate"] {
+            assert!(report.phases.iter().any(|(n, _)| n == phase), "missing phase {phase}");
+        }
+        assert!(report.metrics.counters["sim.steps_total"] > 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

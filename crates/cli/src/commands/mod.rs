@@ -6,4 +6,5 @@ pub mod info;
 pub mod interactive;
 pub mod lint;
 pub mod rare;
+pub mod report;
 pub mod validate;

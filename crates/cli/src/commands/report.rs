@@ -1,0 +1,133 @@
+//! `slimsim report` — parse, validate and summarize a run report.
+//!
+//! Reads a JSON document written by `slimsim analyze --report <path>`,
+//! checks it against the schema ([`RunReport::from_json`]) and the
+//! structural validator ([`RunReport::validate`]), and prints a short
+//! summary. Exits non-zero on any schema or consistency problem, which
+//! is what the CI smoke job keys on.
+
+use crate::args::Args;
+use slim_obs::{Json, RunReport};
+
+/// Validates the report file and prints its summary.
+pub fn run(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("expected a report file: slimsim report <path>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let report = RunReport::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    let problems = report.validate();
+    if !problems.is_empty() {
+        let mut msg = format!("{path}: report fails validation:");
+        for p in &problems {
+            msg.push_str("\n  - ");
+            msg.push_str(p);
+        }
+        return Err(msg);
+    }
+    if !args.has_flag("quiet") {
+        print_summary(path, &report);
+    }
+    Ok(())
+}
+
+fn print_summary(path: &str, r: &RunReport) {
+    println!("{path}: valid run report (schema v{})", r.schema_version);
+    println!(
+        "  tool     : {} {} on {}/{} ({} cpus)",
+        r.tool_name, r.tool_version, r.host.os, r.host.arch, r.host.cpus
+    );
+    println!(
+        "  model    : {} ({} automata, {} variables)",
+        r.model.name, r.model.automata, r.model.variables
+    );
+    println!(
+        "  property : {} bound={} goal={}",
+        r.property.kind, r.property.bound, r.property.goal
+    );
+    println!(
+        "  config   : ε={} δ={} {} / {} seed={} workers={}",
+        r.config.epsilon,
+        r.config.delta,
+        r.config.strategy,
+        r.config.generator,
+        r.config.seed,
+        r.config.workers
+    );
+    println!(
+        "  estimate : {:.6} ± {} at {:.1}% confidence ({} samples, {} successes)",
+        r.estimate.mean,
+        r.estimate.epsilon,
+        r.estimate.confidence * 100.0,
+        r.estimate.samples,
+        r.estimate.successes
+    );
+    let phases = r
+        .phases
+        .iter()
+        .map(|(name, ms)| format!("{name} {ms:.1}ms"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("  phases   : {phases} (wall {:.1}ms)", r.wall_ms);
+    for w in &r.workers {
+        println!(
+            "  worker {} : {} paths ({} satisfied), busy {:.1}ms, {:.0} paths/s",
+            w.worker, w.paths, w.satisfied, w.busy_ms, w.paths_per_sec
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn analyze_report_then_validate() {
+        let path = tmp("slimsim_test_report_cmd.json");
+        let a = args(&format!(
+            "analyze sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet --report {}",
+            path.display()
+        ));
+        super::super::analyze::run(&a).expect("analysis with report succeeds");
+        let v = args(&format!("report {} --quiet", path.display()));
+        run(&v).expect("fresh report validates");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_files() {
+        assert!(run(&args("report /nonexistent/report.json")).is_err());
+        let path = tmp("slimsim_test_report_bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = run(&args(&format!("report {}", path.display()))).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+        std::fs::write(&path, "{\"schema_version\": 1}").unwrap();
+        assert!(run(&args(&format!("report {}", path.display()))).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_internally_inconsistent_reports() {
+        let path = tmp("slimsim_test_report_inconsistent.json");
+        let a = args(&format!(
+            "analyze sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet --report {}",
+            path.display()
+        ));
+        super::super::analyze::run(&a).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = Json::parse(&text).unwrap();
+        let mut report = RunReport::from_json(&json).unwrap();
+        report.paths.total += 1;
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap();
+        let err = run(&args(&format!("report {}", path.display()))).unwrap_err();
+        assert!(err.contains("fails validation"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -5,8 +5,9 @@ use crate::args::Args;
 use slim_automata::prelude::{Expr, Network};
 use slim_lang::{lower, parse};
 use slim_models::{
-    gps_network, launcher_network, power_system_network, sensor_filter_network, DpuFaultMode,
-    GpsParams, LauncherParams, PowerSystemParams, SensorFilterParams,
+    gps_network, launcher_network, power_system_network, repair_network, sensor_filter_network,
+    voting_network, DpuFaultMode, GpsParams, LauncherParams, PowerSystemParams, RepairParams,
+    SensorFilterParams, VotingParams,
 };
 use slim_stats::{Accuracy, GeneratorKind};
 use slimsim_core::prelude::*;
@@ -18,7 +19,7 @@ pub fn load_network(args: &Args) -> Result<Network, String> {
     let target = args
         .positional
         .first()
-        .ok_or("expected a model: a .slim file or gps|launcher|launcher-permanent|launcher-threeclass|power-system|sensor-filter")?;
+        .ok_or("expected a model: a .slim file or gps|launcher|launcher-permanent|launcher-threeclass|power-system|sensor-filter|voting|repair")?;
     match target.as_str() {
         "gps" => Ok(gps_network(&GpsParams::default())),
         "launcher" => Ok(launcher_network(&LauncherParams::default())),
@@ -31,6 +32,8 @@ pub fn load_network(args: &Args) -> Result<Network, String> {
             ..Default::default()
         })),
         "power-system" => Ok(power_system_network(&PowerSystemParams::default())),
+        "voting" => Ok(voting_network(&VotingParams::default())),
+        "repair" => Ok(repair_network(&RepairParams::default())),
         "sensor-filter" => {
             let size = args.opt_usize("size", 2)?;
             Ok(sensor_filter_network(&SensorFilterParams {
@@ -70,7 +73,13 @@ pub fn load_goal(args: &Args, net: &Network) -> Result<Goal, String> {
     if goals.is_empty() {
         // Convention: models expose a Boolean `failure` (launcher) or
         // `monitor.system_failed` (sensor-filter).
-        for candidate in ["failure", "monitor.system_failed", "sys.failed", "plant.ctrl.failed"] {
+        for candidate in [
+            "failure",
+            "monitor.system_failed",
+            "voter.system_failed",
+            "sys.failed",
+            "plant.ctrl.failed",
+        ] {
             if let Some(id) = net.var_id(candidate) {
                 return Ok(Goal::expr(Expr::var(id)));
             }
@@ -150,8 +159,15 @@ mod tests {
 
     #[test]
     fn builtin_models_load() {
-        for name in ["gps", "launcher", "launcher-permanent", "launcher-threeclass", "power-system"]
-        {
+        for name in [
+            "gps",
+            "launcher",
+            "launcher-permanent",
+            "launcher-threeclass",
+            "power-system",
+            "voting",
+            "repair",
+        ] {
             let a = args(&format!("analyze {name}"));
             assert!(load_network(&a).is_ok(), "{name}");
         }

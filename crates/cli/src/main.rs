@@ -30,12 +30,13 @@ USAGE:
                       [--script <file>]           (or replay decisions)
   slimsim info <model> [--dot]                    print the lowered network
   slimsim lint <model> [--json]                   static lint passes (S0xx/S1xx/S2xx)
+  slimsim report <file.json>                      validate + summarize a run report
   slimsim validate <file.slim> [--root Type.Impl] static analysis + lowering check
 
 MODELS:
   a .slim file (requires --root Type.Impl [--name instance]) or a built-in:
   gps | launcher | launcher-permanent | launcher-threeclass |
-  power-system | sensor-filter [--size n]
+  power-system | sensor-filter [--size n] | voting | repair
 
 GOAL (analyze/ctmc/interactive):
   --goal-var <variable>            Boolean variable that must become true
@@ -58,6 +59,8 @@ OPTIONS:
   --skip-lumping         (ctmc) skip the bisimulation reduction
   --trace                (analyze) print the first generated path
   --trace-csv <file>     (analyze) write the first path as CSV
+  --report <file>        (analyze) write a JSON run report (see `slimsim report`)
+  --progress             (analyze) live progress line on stderr
 
 LINTS (lint/analyze):
   --json                 (lint) one JSON object per diagnostic, one per line
@@ -79,6 +82,7 @@ fn main() {
         "interactive" => commands::interactive::run(&args),
         "info" => commands::info::run(&args),
         "lint" => commands::lint::run(&args),
+        "report" => commands::report::run(&args),
         "validate" => commands::validate::run(&args),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };

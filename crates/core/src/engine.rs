@@ -12,6 +12,7 @@
 //! * the per-path step limit trips (Zeno guard).
 
 use crate::error::SimError;
+use crate::obs::{PathDetail, SimObserver};
 use crate::property::TimedReach;
 use crate::strategy::{Decision, ScheduledCandidate, StepView, Strategy};
 use crate::trace::{TraceEvent, TraceSink};
@@ -67,6 +68,33 @@ impl<'a> PathGenerator<'a> {
         self.generate_traced(strategy, rng, &mut crate::trace::NullTrace)
     }
 
+    /// Generates one path, flushing per-path metrics (steps, firings,
+    /// strategy decisions, wall time) to `obs` when present. With
+    /// `obs == None` this is exactly [`Self::generate`]: the observer is
+    /// consulted only after the path ends and never touches the RNG, so
+    /// instrumentation cannot perturb seeded reproducibility.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    pub fn generate_observed(
+        &self,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        obs: Option<&SimObserver>,
+    ) -> Result<PathOutcome, SimError> {
+        let Some(obs) = obs else {
+            return self.generate(strategy, rng);
+        };
+        let start = std::time::Instant::now();
+        let mut detail = PathDetail::default();
+        let result = self.run(strategy, rng, &mut crate::trace::NullTrace, 1.0, Some(&mut detail));
+        if let Ok((outcome, _)) = &result {
+            detail.nanos = start.elapsed().as_nanos() as u64;
+            obs.record_path(outcome, &detail);
+        }
+        result.map(|(outcome, _)| outcome)
+    }
+
     /// Generates one path, reporting every delay and firing to `sink`.
     ///
     /// # Errors
@@ -77,7 +105,7 @@ impl<'a> PathGenerator<'a> {
         rng: &mut StdRng,
         sink: &mut dyn TraceSink,
     ) -> Result<PathOutcome, SimError> {
-        self.run(strategy, rng, sink, 1.0).map(|(outcome, _)| outcome)
+        self.run(strategy, rng, sink, 1.0, None).map(|(outcome, _)| outcome)
     }
 
     /// Generates one path under an **importance-sampling bias**: every
@@ -100,7 +128,7 @@ impl<'a> PathGenerator<'a> {
         bias: f64,
     ) -> Result<(PathOutcome, f64), SimError> {
         assert!(bias > 0.0 && bias.is_finite(), "bias must be positive, got {bias}");
-        self.run(strategy, rng, &mut crate::trace::NullTrace, bias)
+        self.run(strategy, rng, &mut crate::trace::NullTrace, bias, None)
     }
 
     /// The common engine loop; returns the outcome and the likelihood
@@ -111,6 +139,7 @@ impl<'a> PathGenerator<'a> {
         rng: &mut StdRng,
         sink: &mut dyn TraceSink,
         bias: f64,
+        mut detail: Option<&mut PathDetail>,
     ) -> Result<(PathOutcome, f64), SimError> {
         let mut log_weight = 0.0f64;
         let finish = |outcome: PathOutcome, log_weight: f64| Ok((outcome, log_weight.exp()));
@@ -206,6 +235,14 @@ impl<'a> PathGenerator<'a> {
                 &StepView { net: self.net, state: &state, window: &window, guarded: &guarded, cap },
                 rng,
             )?;
+            if let Some(d) = detail.as_deref_mut() {
+                match &decision {
+                    Decision::Fire { .. } => d.decisions_fire += 1,
+                    Decision::Wait { .. } => d.decisions_wait += 1,
+                    Decision::Stuck => d.decisions_stuck += 1,
+                    Decision::Abort => {}
+                }
+            }
 
             // Markovian race: total-rate exponential + categorical winner.
             // Under importance sampling all rates are scaled by `bias`
@@ -329,6 +366,13 @@ impl<'a> PathGenerator<'a> {
                     }
                     sink.event(TraceEvent::fire(self.net, &state, &transition, markovian));
                     state = self.net.apply(&state, &transition).map_err(SimError::Eval)?;
+                    if let Some(d) = detail.as_deref_mut() {
+                        if markovian {
+                            d.fires_markovian += 1;
+                        } else {
+                            d.fires_guarded += 1;
+                        }
+                    }
                 }
                 Resolved::Wait { delay } => {
                     match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
@@ -366,6 +410,9 @@ impl<'a> PathGenerator<'a> {
                     }
                     sink.event(TraceEvent::Delay { at: state.time, duration: delay });
                     state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
+                    if let Some(d) = detail.as_deref_mut() {
+                        d.waits += 1;
+                    }
                 }
                 Resolved::Lock { verdict, horizon } => {
                     match scan_delay(&goal_win, &viol_win, horizon.min(remaining)) {

@@ -40,6 +40,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod obs;
 pub mod property;
 pub mod rare_event;
 pub mod runner;
@@ -52,9 +53,10 @@ pub mod prelude {
     pub use crate::config::{DeadlockPolicy, SimConfig};
     pub use crate::engine::PathGenerator;
     pub use crate::error::SimError;
+    pub use crate::obs::{SimObserver, WorkerStat};
     pub use crate::property::{Goal, TimedReach};
     pub use crate::rare_event::{analyze_rare, RareEventConfig, RareEventResult};
-    pub use crate::runner::{analyze, AnalysisResult};
+    pub use crate::runner::{analyze, analyze_observed, AnalysisResult};
     pub use crate::strategy::{
         Asap, Decision, Input, InputChoice, InputOracle, Local, MaxTime, Progressive,
         ScheduledCandidate, ScriptedOracle, StepView, Strategy, StrategyKind,

@@ -6,11 +6,18 @@
 //! sequential stopping rules the *order* samples are consumed in is fixed
 //! by the round-robin collector, making results deterministic given
 //! `(seed, workers)`.
+//!
+//! The runner is written against a small [`PathSource`] seam rather than
+//! the engine directly, so its concurrency protocol — quota splitting,
+//! round-robin collection, completion, failure propagation — is testable
+//! with deterministic mock samplers (panics, locks, slow late paths).
 
 use crate::config::{DeadlockPolicy, SimConfig};
 use crate::engine::PathGenerator;
 use crate::error::SimError;
+use crate::obs::SimObserver;
 use crate::property::TimedReach;
+use crate::strategy::Strategy;
 use crate::verdict::{PathOutcome, PathStats};
 use slim_automata::prelude::Network;
 use slim_stats::estimator::Estimate;
@@ -40,6 +47,46 @@ impl AnalysisResult {
     }
 }
 
+/// Where the runner gets its per-index path samples from.
+///
+/// Production uses [`EngineSource`] (the simulation engine seeded per
+/// index); tests substitute deterministic mocks to pin down the runner's
+/// failure and completion semantics without racing real simulations.
+pub(crate) trait PathSource: Sync {
+    /// Generates the outcome for path `index`.
+    fn sample(
+        &self,
+        index: u64,
+        strategy: &mut dyn Strategy,
+        obs: Option<&SimObserver>,
+    ) -> Result<PathOutcome, SimError>;
+
+    /// Size of one simulation state in bytes (for the memory estimate).
+    fn state_bytes(&self) -> usize;
+}
+
+/// The production source: one seeded engine run per path index.
+struct EngineSource<'a> {
+    gen: PathGenerator<'a>,
+    seed: u64,
+}
+
+impl PathSource for EngineSource<'_> {
+    fn sample(
+        &self,
+        index: u64,
+        strategy: &mut dyn Strategy,
+        obs: Option<&SimObserver>,
+    ) -> Result<PathOutcome, SimError> {
+        let mut rng = path_rng(self.seed, index);
+        self.gen.generate_observed(strategy, &mut rng, obs)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.gen.network().state_size_bytes()
+    }
+}
+
 /// Runs the statistical analysis described by `config`.
 ///
 /// # Errors
@@ -51,10 +98,33 @@ pub fn analyze(
     property: &TimedReach,
     config: &SimConfig,
 ) -> Result<AnalysisResult, SimError> {
+    analyze_observed(net, property, config, None)
+}
+
+/// Runs the statistical analysis with optional instrumentation.
+///
+/// With `obs == Some`, the runner records per-path and per-worker metrics,
+/// `simulate`/`estimate` phase timings, collector depth, and drives the
+/// observer's progress callback. The observer never feeds back into
+/// simulation (it is consulted only after samples are produced and never
+/// touches the RNG), so results are bit-identical with and without it.
+///
+/// # Errors
+/// See [`analyze`].
+pub fn analyze_observed(
+    net: &Network,
+    property: &TimedReach,
+    config: &SimConfig,
+    obs: Option<&SimObserver>,
+) -> Result<AnalysisResult, SimError> {
+    let source = EngineSource {
+        gen: PathGenerator::new(net, property, config.max_steps),
+        seed: config.seed,
+    };
     if config.workers <= 1 {
-        analyze_sequential(net, property, config)
+        analyze_sequential_impl(&source, config, obs)
     } else {
-        analyze_parallel(net, property, config)
+        analyze_parallel_impl(&source, config, obs)
     }
 }
 
@@ -68,39 +138,63 @@ fn check_deadlock_policy(config: &SimConfig, outcome: &PathOutcome) -> Result<()
     Ok(())
 }
 
-fn analyze_sequential(
-    net: &Network,
-    property: &TimedReach,
+fn finish_run(
+    start: Instant,
+    generator: &dyn slim_stats::estimator::Generator,
+    stats: PathStats,
+    state_bytes: usize,
+    obs: Option<&SimObserver>,
+    sim_wall: Duration,
+) -> AnalysisResult {
+    let est_start = Instant::now();
+    let estimate = generator.estimate();
+    if let Some(o) = obs {
+        o.record_phase("simulate", sim_wall);
+        o.record_phase("estimate", est_start.elapsed());
+        o.on_progress(generator.samples(), generator.known_target());
+    }
+    AnalysisResult {
+        estimate,
+        stats,
+        wall: start.elapsed(),
+        approx_memory_bytes: approx_memory(state_bytes, &stats),
+    }
+}
+
+fn analyze_sequential_impl<S: PathSource>(
+    source: &S,
     config: &SimConfig,
+    obs: Option<&SimObserver>,
 ) -> Result<AnalysisResult, SimError> {
     let start = Instant::now();
     let mut generator = config.generator.instantiate(config.accuracy);
     let mut strategy = config.strategy.instantiate();
-    let gen = PathGenerator::new(net, property, config.max_steps);
     let mut stats = PathStats::default();
     let mut index: u64 = 0;
 
     while !generator.is_complete() {
-        let mut rng = path_rng(config.seed, index);
-        let outcome = gen.generate(strategy.as_mut(), &mut rng)?;
+        let sampled_at = obs.map(|_| Instant::now());
+        let outcome = source.sample(index, strategy.as_mut(), obs)?;
         check_deadlock_policy(config, &outcome)?;
+        if let (Some(o), Some(t0)) = (obs, sampled_at) {
+            o.record_worker_path(0, &outcome, t0.elapsed());
+        }
         stats.record(&outcome);
         generator.add(outcome.verdict.is_success());
+        if let Some(o) = obs {
+            o.on_progress(generator.samples(), generator.known_target());
+        }
         index += 1;
     }
 
-    Ok(AnalysisResult {
-        estimate: generator.estimate(),
-        stats,
-        wall: start.elapsed(),
-        approx_memory_bytes: approx_memory(net, &stats),
-    })
+    let sim_wall = start.elapsed();
+    Ok(finish_run(start, generator.as_ref(), stats, source.state_bytes(), obs, sim_wall))
 }
 
-fn analyze_parallel(
-    net: &Network,
-    property: &TimedReach,
+fn analyze_parallel_impl<S: PathSource>(
+    source: &S,
     config: &SimConfig,
+    obs: Option<&SimObserver>,
 ) -> Result<AnalysisResult, SimError> {
     let start = Instant::now();
     let mut generator = config.generator.instantiate(config.accuracy);
@@ -115,9 +209,15 @@ fn analyze_parallel(
 
     let mut collector = RoundRobinCollector::new(workers);
     let mut stats = PathStats::default();
+    // Reused across every drain; the collector appends complete rounds
+    // into it instead of allocating a fresh Vec per received sample.
+    let mut round_buf: Vec<bool> = Vec::new();
+    let mut last_drain = Instant::now();
 
-    // A panicking worker propagates out of `std::thread::scope`; map that to
-    // a structured error like the sequential path's failures.
+    // A panic escaping a worker (or the drain loop) propagates out of
+    // `std::thread::scope`; map that to a structured error as a backstop —
+    // workers additionally catch their own panics below so the estimate
+    // protocol can react *before* the scope unwinds.
     let scoped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         std::thread::scope(|scope| -> Result<(), SimError> {
             let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Result<PathOutcome, SimError>)>(
@@ -127,55 +227,93 @@ fn analyze_parallel(
                 let tx = tx.clone();
                 let stop = &stop;
                 let quota = quota.as_ref().map(|q| q[w]);
-                let gen = PathGenerator::new(net, property, config.max_steps);
                 let strategy_kind = config.strategy;
-                let seed = config.seed;
                 scope.spawn(move || {
-                    let mut strategy = strategy_kind.instantiate();
-                    // Worker w handles path indices w, w + k, w + 2k, …
-                    let mut index = w as u64;
-                    let mut produced: u64 = 0;
-                    loop {
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        if let Some(q) = quota {
-                            if produced >= q {
+                    let body = std::panic::AssertUnwindSafe(|| {
+                        let mut strategy = strategy_kind.instantiate();
+                        // Worker w handles path indices w, w + k, w + 2k, …
+                        let mut index = w as u64;
+                        let mut produced: u64 = 0;
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
                                 break;
                             }
+                            if let Some(q) = quota {
+                                if produced >= q {
+                                    break;
+                                }
+                            }
+                            let sampled_at = obs.map(|_| Instant::now());
+                            let out = source.sample(index, strategy.as_mut(), obs);
+                            if let (Some(o), Some(t0), Ok(outcome)) = (obs, sampled_at, &out) {
+                                o.record_worker_path(w, outcome, t0.elapsed());
+                            }
+                            let failed = out.is_err();
+                            if tx.send((w, out)).is_err() || failed {
+                                break;
+                            }
+                            produced += 1;
+                            index += workers as u64;
                         }
-                        let mut rng = path_rng(seed, index);
-                        let out = gen.generate(strategy.as_mut(), &mut rng);
-                        let failed = out.is_err();
-                        if tx.send((w, out)).is_err() || failed {
-                            break;
-                        }
-                        produced += 1;
-                        index += workers as u64;
+                    });
+                    // A panicking worker reports itself as a structured
+                    // failure instead of silently starving the round-robin
+                    // protocol (its rounds would otherwise never complete
+                    // and sequential generators would spin forever).
+                    if let Err(payload) = std::panic::catch_unwind(body) {
+                        let detail = panic_message(payload.as_ref());
+                        let _ = tx.send((w, Err(SimError::WorkerFailed { detail })));
                     }
                 });
             }
             drop(tx);
 
+            // Once the generator completes, the estimate is finalized:
+            // leftover in-flight outcomes are drained so workers can exit,
+            // but they can no longer fail the run — neither through the
+            // deadlock policy nor through late worker errors.
+            let mut complete = false;
             loop {
                 match rx.recv() {
                     Ok((w, Ok(outcome))) => {
-                        check_deadlock_policy(config, &outcome)?;
+                        if !complete {
+                            check_deadlock_policy(config, &outcome)?;
+                        }
                         stats.record(&outcome);
                         collector.push(w, outcome.verdict.is_success());
-                        for s in collector.drain_rounds() {
-                            if !generator.is_complete() {
-                                generator.add(s);
+                        round_buf.clear();
+                        collector.drain_rounds_into(&mut round_buf);
+                        if !round_buf.is_empty() {
+                            if let Some(o) = obs {
+                                o.record_drain(
+                                    round_buf.len(),
+                                    collector.buffered(),
+                                    last_drain.elapsed(),
+                                );
+                                last_drain = Instant::now();
+                            }
+                            for &s in &round_buf {
+                                if !generator.is_complete() {
+                                    generator.add(s);
+                                }
+                            }
+                            if let Some(o) = obs {
+                                o.on_progress(generator.samples(), generator.known_target());
                             }
                         }
-                        if generator.is_complete() {
+                        if !complete && generator.is_complete() {
+                            complete = true;
                             stop.store(true, Ordering::Relaxed);
                             // Keep draining the channel so workers can exit.
                         }
                     }
                     Ok((_, Err(e))) => {
-                        stop.store(true, Ordering::Relaxed);
-                        return Err(e);
+                        if !complete {
+                            stop.store(true, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                        // Late failure in a path the estimate never needed:
+                        // ignore and keep draining.
                     }
                     Err(_) => break, // all senders dropped
                 }
@@ -185,7 +323,12 @@ fn analyze_parallel(
             for w in 0..workers {
                 collector.finish_worker(w);
             }
-            for s in collector.drain_rounds() {
+            round_buf.clear();
+            collector.drain_rounds_into(&mut round_buf);
+            if let (Some(o), false) = (obs, round_buf.is_empty()) {
+                o.record_drain(round_buf.len(), collector.buffered(), last_drain.elapsed());
+            }
+            for &s in &round_buf {
                 if !generator.is_complete() {
                     generator.add(s);
                 }
@@ -197,18 +340,25 @@ fn analyze_parallel(
         scoped.map_err(|_| SimError::WorkerFailed { detail: "worker thread panicked".into() })?;
     result?;
 
-    Ok(AnalysisResult {
-        estimate: generator.estimate(),
-        stats,
-        wall: start.elapsed(),
-        approx_memory_bytes: approx_memory(net, &stats),
-    })
+    let sim_wall = start.elapsed();
+    Ok(finish_run(start, generator.as_ref(), stats, source.state_bytes(), obs, sim_wall))
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker thread panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker thread panicked: {s}")
+    } else {
+        "worker thread panicked".to_string()
+    }
 }
 
 /// The simulator's memory story (§IV): the per-state footprint plus the
 /// recorded outcomes — it does *not* grow with the reachable state space.
-fn approx_memory(net: &Network, stats: &PathStats) -> usize {
-    net.state_size_bytes() * 2 // current + scratch state per worker
+fn approx_memory(state_bytes: usize, stats: &PathStats) -> usize {
+    state_bytes * 2 // current + scratch state per worker
         + std::mem::size_of::<PathStats>()
         + stats.total() as usize / 8 // one bit per sample, amortized
 }
@@ -218,6 +368,7 @@ mod tests {
     use super::*;
     use crate::property::Goal;
     use crate::strategy::StrategyKind;
+    use crate::verdict::Verdict;
     use slim_automata::prelude::*;
     use slim_stats::chernoff::Accuracy;
     use slim_stats::sequential::GeneratorKind;
@@ -325,5 +476,202 @@ mod tests {
         let r = analyze(&net, &prop, &loose()).unwrap();
         assert!(r.approx_memory_bytes > 0);
         assert!(r.approx_memory_bytes < 1_000_000, "simulator memory should be tiny");
+    }
+
+    #[test]
+    fn observer_does_not_perturb_results() {
+        let (net, prop) = exp_net(1.0);
+        for workers in [1usize, 3] {
+            let cfg = loose()
+                .with_accuracy(Accuracy::new(0.05, 0.1).unwrap())
+                .with_workers(workers)
+                .with_seed(11);
+            let plain = analyze(&net, &prop, &cfg).unwrap();
+            let obs = SimObserver::new(workers);
+            let observed = analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+            assert_eq!(plain.estimate, observed.estimate, "workers={workers}");
+            assert_eq!(plain.stats, observed.stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn observer_accounts_every_path_and_phase() {
+        let (net, prop) = exp_net(1.0);
+        let cfg =
+            loose().with_accuracy(Accuracy::new(0.05, 0.1).unwrap()).with_workers(2).with_seed(3);
+        let obs = SimObserver::new(2);
+        let r = analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+        let snap = obs.snapshot();
+        let verdict_total: u64 = [
+            "paths.satisfied",
+            "paths.time_bound_exceeded",
+            "paths.hold_violated",
+            "paths.deadlock",
+            "paths.timelock",
+            "paths.step_limit",
+        ]
+        .iter()
+        .map(|k| snap.counters[*k])
+        .sum();
+        assert_eq!(verdict_total, r.stats.total());
+        assert_eq!(snap.counters["paths.satisfied"], r.stats.satisfied);
+        assert_eq!(snap.histograms["sim.steps_per_path"].count, r.stats.total());
+        // Every produced path is attributed to exactly one worker.
+        let ws = obs.worker_stats();
+        assert_eq!(ws.iter().map(|w| w.paths).sum::<u64>(), r.stats.total());
+        assert_eq!(ws.iter().map(|w| w.satisfied).sum::<u64>(), r.stats.satisfied);
+        // Consumed (round-robin) samples match the estimate exactly.
+        assert_eq!(snap.counters["collector.samples_consumed"], r.estimate.samples);
+        let phases = obs.phases();
+        let names: Vec<&str> = phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["simulate", "estimate"]);
+    }
+
+    #[test]
+    fn progress_callback_reaches_target() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let (net, prop) = exp_net(1.0);
+        let cfg = loose().with_accuracy(Accuracy::new(0.1, 0.1).unwrap()).with_workers(2);
+        let last = Arc::new(AtomicU64::new(0));
+        let last2 = Arc::clone(&last);
+        let obs = SimObserver::new(2).with_progress(Box::new(move |done, target| {
+            assert!(target.is_some(), "CH bound has a known target");
+            last2.store(done, Ordering::Relaxed);
+        }));
+        let r = analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+        assert_eq!(last.load(Ordering::Relaxed), r.estimate.samples);
+    }
+
+    // --- PathSource mocks: deterministic runner-protocol tests ---------
+
+    fn sat(steps: u64) -> PathOutcome {
+        PathOutcome { verdict: Verdict::Satisfied, steps, end_time: 0.5 }
+    }
+
+    /// Mock whose behavior is a pure function of the path index.
+    struct FnSource<F: Fn(u64) -> Result<PathOutcome, SimError> + Sync>(F);
+
+    impl<F: Fn(u64) -> Result<PathOutcome, SimError> + Sync> PathSource for FnSource<F> {
+        fn sample(
+            &self,
+            index: u64,
+            _strategy: &mut dyn Strategy,
+            _obs: Option<&SimObserver>,
+        ) -> Result<PathOutcome, SimError> {
+            (self.0)(index)
+        }
+
+        fn state_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn worker_panic_maps_to_worker_failed() {
+        // Worker 1 (odd indices) panics on its first path. The runner must
+        // surface a structured error with the panic message — not hang
+        // waiting for rounds that worker will never fill.
+        let source = FnSource(|index| {
+            if index % 2 == 1 {
+                panic!("injected failure on path {index}");
+            }
+            Ok(sat(1))
+        });
+        let cfg =
+            SimConfig::default().with_accuracy(Accuracy::new(0.2, 0.2).unwrap()).with_workers(2);
+        let err = analyze_parallel_impl(&source, &cfg, None).unwrap_err();
+        match err {
+            SimError::WorkerFailed { detail } => {
+                assert!(detail.contains("injected failure"), "detail: {detail}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_with_sequential_generator_does_not_hang() {
+        // The livelock case the structured self-report prevents: a
+        // sequential generator can only complete through full rounds, and
+        // a silently dead worker would stall rounds forever.
+        let source = FnSource(|index| {
+            if index % 2 == 1 {
+                panic!("boom");
+            }
+            Ok(sat(1))
+        });
+        let cfg = SimConfig::default()
+            .with_accuracy(Accuracy::new(0.1, 0.1).unwrap())
+            .with_generator(GeneratorKind::Gauss)
+            .with_workers(2);
+        assert!(matches!(
+            analyze_parallel_impl(&source, &cfg, None),
+            Err(SimError::WorkerFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_deadlock_policy_error_aborts() {
+        let source =
+            FnSource(|_| Ok(PathOutcome { verdict: Verdict::Deadlock, steps: 2, end_time: 0.25 }));
+        let cfg = SimConfig::default()
+            .with_accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .with_workers(2)
+            .with_deadlock_policy(DeadlockPolicy::Error);
+        assert!(matches!(
+            analyze_parallel_impl(&source, &cfg, None),
+            Err(SimError::DeadlockDetected { .. })
+        ));
+    }
+
+    /// Gauss at (ε, δ) = (0.1, 0.1) completes after exactly 50 uniform
+    /// samples (the MIN_SAMPLES floor dominates), i.e. 25 per worker with
+    /// 2 workers. Calls past each worker's 25th sleep long enough that
+    /// their outcome arrives well after the estimate has completed.
+    fn late_outcome_config() -> SimConfig {
+        SimConfig::default()
+            .with_accuracy(Accuracy::new(0.1, 0.1).unwrap())
+            .with_generator(GeneratorKind::Gauss)
+            .with_workers(2)
+    }
+
+    fn late_source(
+        late: impl Fn(u64) -> Result<PathOutcome, SimError> + Sync,
+    ) -> FnSource<impl Fn(u64) -> Result<PathOutcome, SimError> + Sync> {
+        FnSource(move |index| {
+            if index / 2 < 25 {
+                Ok(sat(1))
+            } else {
+                // In flight when the generator completes; deliver late.
+                std::thread::sleep(Duration::from_millis(400));
+                late(index)
+            }
+        })
+    }
+
+    #[test]
+    fn late_worker_error_after_completion_is_ignored() {
+        let source = late_source(|index| {
+            Err(SimError::WorkerFailed { detail: format!("late failure on path {index}") })
+        });
+        let r = analyze_parallel_impl(&source, &late_outcome_config(), None)
+            .expect("completed estimate must survive late worker errors");
+        assert_eq!(r.estimate.samples, 50);
+        assert_eq!(r.estimate.mean, 1.0);
+    }
+
+    #[test]
+    fn late_lock_verdict_after_completion_does_not_abort() {
+        let source = late_source(|_| {
+            Ok(PathOutcome { verdict: Verdict::Deadlock, steps: 3, end_time: 0.75 })
+        });
+        let cfg = late_outcome_config().with_deadlock_policy(DeadlockPolicy::Error);
+        let r = analyze_parallel_impl(&source, &cfg, None)
+            .expect("completed estimate must survive late lock verdicts");
+        assert_eq!(r.estimate.samples, 50);
+        assert_eq!(r.estimate.mean, 1.0);
+        // The late deadlocks are still *counted* (they happened), they
+        // just cannot fail the already-final estimate.
+        assert!(r.stats.deadlocks <= 2);
     }
 }

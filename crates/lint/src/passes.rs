@@ -40,10 +40,14 @@ pub fn network_passes(net: &Network) -> Vec<Diagnostic> {
 /// a transition labeled with a sync action is considered usable once every
 /// participant of that action has the action available from some location
 /// currently known reachable. Internal (τ) and Markovian transitions are
-/// always usable from a reachable source. Guards are ignored (any location
-/// this fixpoint misses is unreachable under *every* valuation).
+/// always usable from a reachable source. Guards that are statically
+/// unsatisfiable (the same abstract interval evaluation S101 reports on)
+/// are non-traversable; all other guards are ignored (any location this
+/// fixpoint misses is unreachable under *every* valuation).
 fn reachable_locations(net: &Network) -> Vec<Vec<bool>> {
     let automata = net.automata();
+    let ty_of = |v: VarId| net.ty_of(v);
+    let dead_guard = |g: &Expr| abs_eval(g, &ty_of) == Abs::Bool(Some(false));
     let mut reach: Vec<Vec<bool>> = automata
         .iter()
         .map(|a| {
@@ -63,6 +67,7 @@ fn reachable_locations(net: &Network) -> Vec<Vec<bool>> {
                 }
                 let usable = match &t.guard {
                     GuardKind::Markovian(_) => true,
+                    GuardKind::Boolean(g) if dead_guard(g) => false,
                     GuardKind::Boolean(_) => {
                         t.action.is_tau()
                             || net.participants(t.action).iter().all(|&q| {

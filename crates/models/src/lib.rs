@@ -13,19 +13,27 @@
 //! * [`power_system`] — a COMPASS-benchmark-style redundant power
 //!   distribution system, written entirely in SLIM (generator wear with
 //!   linear voltage decay, battery backup, urgent switch-over).
+//! * [`voting`] — a k-of-n majority-voting redundancy benchmark, untimed
+//!   with a closed form, for the simulator↔CTMC conformance suite.
+//! * [`repair`] — a repairable redundant pair (cyclic CTMC with a
+//!   first-passage closed form), also conformance-checkable.
 //! * [`slim_sources`] — ready-made SLIM sources for tests and the CLI.
 
 pub mod gps;
 pub mod launcher;
 pub mod power_system;
+pub mod repair;
 pub mod sensor_filter;
 pub mod slim_sources;
+pub mod voting;
 
 pub use gps::{gps_network, gps_slim_source, GpsParams};
 pub use launcher::{launcher_network, DpuFaultMode, LauncherParams, FAILURE_VAR};
 pub use power_system::{
     power_system_network, power_system_slim_source, PowerSystemParams, POWER_FAILED_VAR,
 };
+pub use repair::{repair_failure_probability, repair_network, RepairParams, REPAIR_GOAL_VAR};
 pub use sensor_filter::{
     analytic_failure_probability, sensor_filter_network, SensorFilterParams, GOAL_VAR,
 };
+pub use voting::{voting_failure_probability, voting_network, VotingParams, VOTING_GOAL_VAR};

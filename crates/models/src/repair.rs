@@ -1,0 +1,185 @@
+//! A repairable redundant pair benchmark (untimed, with repair).
+//!
+//! Two warm-redundant units each fail with rate `lambda` and are repaired
+//! with rate `mu` by an always-available repair crew (one crew per unit).
+//! The system fails — latched by an urgent monitor — the first time both
+//! units are down simultaneously. The benchmark property is
+//! `P(◇[0,T] system_failed)`: *first-passage* probability into the
+//! both-down condition, not steady-state unavailability.
+//!
+//! Unlike the pure-death sensor–filter and voting benchmarks, the
+//! underlying CTMC has cycles (fail/repair), which exercises the
+//! transient solver and the simulator on regenerative dynamics. The
+//! closed form comes from the 3-state birth–death chain with an
+//! absorbing both-down state (see [`repair_failure_probability`]).
+
+use slim_automata::automaton::Effect;
+use slim_automata::prelude::*;
+
+/// Parameters of the repairable-pair benchmark (time unit: hours).
+#[derive(Debug, Clone, Copy)]
+pub struct RepairParams {
+    /// Per-unit failure rate.
+    pub lambda: f64,
+    /// Per-unit repair rate.
+    pub mu: f64,
+}
+
+impl Default for RepairParams {
+    fn default() -> Self {
+        RepairParams { lambda: 0.6, mu: 1.2 }
+    }
+}
+
+/// Analytic `P(◇[0,t] both units down)`.
+///
+/// First-passage analysis on the chain `2 up --2λ--> 1 up --λ--> failed`
+/// with repair `1 up --μ--> 2 up` and the failed state absorbing. Writing
+/// `p = (p₂, p₁)` for the survival-state distribution,
+/// `p' = A·p` with `A = [[−2λ, μ], [2λ, −(λ+μ)]]`; the failure
+/// probability is `1 − p₂(t) − p₁(t)`. `A` has distinct real negative
+/// eigenvalues (its discriminant `λ² + 6λμ + μ²` is positive), so the
+/// solution is a sum of two exponentials.
+///
+/// # Panics
+/// Panics unless both rates are positive.
+pub fn repair_failure_probability(p: &RepairParams, t: f64) -> f64 {
+    assert!(p.lambda > 0.0 && p.mu > 0.0, "rates must be positive");
+    let (l, m) = (p.lambda, p.mu);
+    let (a, b) = (-2.0 * l, m);
+    let d = -(l + m);
+    let tr = a + d;
+    let disc = (tr * tr - 4.0 * (a * d - b * 2.0 * l)).sqrt();
+    let s1 = 0.5 * (tr + disc);
+    let s2 = 0.5 * (tr - disc);
+    // p(0) = (1, 0) in the eigenbasis v_i = (b, s_i − a).
+    let beta = (s1 - a) / (b * (s1 - s2));
+    let alpha = 1.0 / b - beta;
+    let p2 = alpha * b * (s1 * t).exp() + beta * b * (s2 * t).exp();
+    let p1 = alpha * (s1 - a) * (s1 * t).exp() + beta * (s2 - a) * (s2 * t).exp();
+    (1.0 - p2 - p1).clamp(0.0, 1.0)
+}
+
+/// The goal variable name for properties on this model.
+pub const REPAIR_GOAL_VAR: &str = "monitor.system_failed";
+
+/// Builds the repairable-pair network.
+///
+/// Variables of interest:
+/// * `monitor.system_failed` — the latched goal flag;
+/// * `units.u0.ok` / `units.u1.ok` — per-unit health.
+pub fn repair_network(p: &RepairParams) -> Network {
+    let mut b = NetworkBuilder::new();
+    let ok: Vec<VarId> =
+        (0..2).map(|i| b.var(format!("units.u{i}.ok"), VarType::Bool, Value::Bool(true))).collect();
+    let failed = b.var(REPAIR_GOAL_VAR, VarType::Bool, Value::Bool(false));
+
+    for (i, &ok) in ok.iter().enumerate() {
+        let mut a = AutomatonBuilder::new(format!("units.u{i}"));
+        let l_up = a.location("up");
+        let l_down = a.location("down");
+        a.markovian(l_up, p.lambda, [Effect::assign(ok, Expr::bool(false))], l_down);
+        a.markovian(l_down, p.mu, [Effect::assign(ok, Expr::bool(true))], l_up);
+        b.add_automaton(a);
+    }
+
+    // First passage into "both down" latches the failure flag; the units
+    // keep failing and repairing afterwards, but the flag never resets.
+    let mut mon = AutomatonBuilder::new("monitor");
+    let watch = mon.location("watching");
+    let tripped = mon.location("tripped");
+    let both_down = Expr::var(ok[0]).not().and(Expr::var(ok[1]).not());
+    mon.guarded_urgent(
+        watch,
+        ActionId::TAU,
+        both_down,
+        [Effect::assign(failed, Expr::bool(true))],
+        tripped,
+    );
+    b.add_automaton(mon);
+
+    b.build().expect("repairable-pair model is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
+    use slim_stats::chernoff::Accuracy;
+    use slimsim_core::prelude::*;
+
+    #[test]
+    fn analytic_formula_sane() {
+        let p = RepairParams::default();
+        assert!(repair_failure_probability(&p, 0.0) < 1e-12);
+        let early = repair_failure_probability(&p, 0.5);
+        let late = repair_failure_probability(&p, 10.0);
+        assert!(0.0 < early && early < late && late <= 1.0);
+        // More repair capacity, lower first-passage probability.
+        let fast_repair = RepairParams { mu: 10.0, ..p };
+        assert!(
+            repair_failure_probability(&fast_repair, 2.0) < repair_failure_probability(&p, 2.0)
+        );
+        // Without meaningful repair the formula approaches the pure-death
+        // two-unit result (1 − e^{−λt})² as μ → 0⁺.
+        let slow = RepairParams { lambda: 0.6, mu: 1e-9 };
+        let pure_death = (1.0 - (-0.6f64 * 2.0).exp()).powi(2);
+        assert!((repair_failure_probability(&slow, 2.0) - pure_death).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ctmc_pipeline_matches_analytic() {
+        let p = RepairParams::default();
+        let net = repair_network(&p);
+        let failed = net.var_id(REPAIR_GOAL_VAR).unwrap();
+        let goal = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
+        let t = 2.0;
+        let r = check_timed_reachability(&net, &goal, t, &PipelineConfig::default()).unwrap();
+        let exact = repair_failure_probability(&p, t);
+        assert!((r.probability - exact).abs() < 1e-6, "CTMC {} vs analytic {exact}", r.probability);
+    }
+
+    #[test]
+    fn simulator_matches_analytic() {
+        let p = RepairParams::default();
+        let net = repair_network(&p);
+        let goal = Goal::expr(Expr::var(net.var_id(REPAIR_GOAL_VAR).unwrap()));
+        let prop = TimedReach::new(goal, 2.0);
+        let cfg = SimConfig::default()
+            .with_accuracy(Accuracy::new(0.03, 0.05).unwrap())
+            .with_strategy(StrategyKind::Asap);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        let exact = repair_failure_probability(&p, 2.0);
+        assert!(
+            (r.probability() - exact).abs() < 0.04,
+            "simulator {} vs analytic {exact}",
+            r.probability()
+        );
+    }
+
+    #[test]
+    fn failure_latches_through_repair() {
+        let p = RepairParams::default();
+        let net = repair_network(&p);
+        let mut s = net.initial_state().unwrap();
+        // Fail both units.
+        for unit in ["units.u0", "units.u1"] {
+            let m = net
+                .markovian_candidates(&s)
+                .into_iter()
+                .find(|c| net.automata()[c.transition.parts[0].0 .0].name == unit)
+                .unwrap();
+            s = net.apply(&s, &m.transition).unwrap();
+        }
+        // The latch fires urgently.
+        let cands = net.guarded_candidates(&s).unwrap();
+        assert_eq!(cands.len(), 1);
+        s = net.apply(&s, &cands[0].transition).unwrap();
+        let failed = net.var_id(REPAIR_GOAL_VAR).unwrap();
+        assert_eq!(s.nu.get(failed).unwrap(), Value::Bool(true));
+        // Repair a unit: the flag must stay latched.
+        let m = net.markovian_candidates(&s).into_iter().next().unwrap();
+        s = net.apply(&s, &m.transition).unwrap();
+        assert_eq!(s.nu.get(failed).unwrap(), Value::Bool(true));
+    }
+}

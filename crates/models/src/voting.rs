@@ -1,0 +1,207 @@
+//! A k-of-n majority-voting redundancy benchmark (untimed).
+//!
+//! `n` warm-redundant processing channels feed a single voter. Each
+//! channel fails with rate `lambda_channel`; the voter itself fails with
+//! rate `lambda_voter` (a single point of failure). The system is
+//! operational while the voter is healthy *and* at least `k` channels
+//! agree; an urgent monitor latches `voter.system_failed` the instant
+//! either condition breaks. The benchmark property is
+//! `P(◇[0,T] system_failed)`.
+//!
+//! Like the sensor–filter benchmark, the model is untimed (no clocks),
+//! so the simulator, the CTMC pipeline, and the closed form below can all
+//! be cross-checked against each other — the conformance suite's job.
+//!
+//! Closed form: with `q = 1 − e^{−λc·T}` the per-channel death
+//! probability and `Pv = 1 − e^{−λv·T}`,
+//! `P = 1 − (1 − Pv) · Σ_{j=k}^{n} C(n,j) (1−q)^j q^{n−j}`.
+
+use slim_automata::automaton::Effect;
+use slim_automata::prelude::*;
+
+/// Parameters of the voting benchmark (time unit: hours).
+#[derive(Debug, Clone, Copy)]
+pub struct VotingParams {
+    /// Total number of channels.
+    pub channels: usize,
+    /// Minimum healthy channels for a usable majority.
+    pub quorum: usize,
+    /// Per-channel failure rate.
+    pub lambda_channel: f64,
+    /// Voter failure rate.
+    pub lambda_voter: f64,
+}
+
+impl Default for VotingParams {
+    fn default() -> Self {
+        // Classic triple-modular redundancy: 2-of-3 with a reliable voter.
+        VotingParams { channels: 3, quorum: 2, lambda_channel: 0.5, lambda_voter: 0.05 }
+    }
+}
+
+/// Analytic `P(◇[0,t] system_failed)` for cross-checking every engine.
+pub fn voting_failure_probability(p: &VotingParams, t: f64) -> f64 {
+    let q = 1.0 - (-p.lambda_channel * t).exp();
+    let pv = 1.0 - (-p.lambda_voter * t).exp();
+    let mut quorum_alive = 0.0;
+    for j in p.quorum..=p.channels {
+        quorum_alive +=
+            binomial(p.channels, j) * (1.0 - q).powi(j as i32) * q.powi((p.channels - j) as i32);
+    }
+    1.0 - (1.0 - pv) * quorum_alive
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut out = 1.0;
+    for i in 0..k.min(n - k) {
+        out = out * (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+/// The goal variable name for properties on this model.
+pub const VOTING_GOAL_VAR: &str = "voter.system_failed";
+
+/// Builds the k-of-n voting network.
+///
+/// Variables of interest:
+/// * `voter.system_failed` — the latched goal flag;
+/// * `channels.c<i>.ok` — per-channel health;
+/// * `voter.ok` — voter health.
+///
+/// # Panics
+/// Panics unless `0 < quorum <= channels`.
+pub fn voting_network(p: &VotingParams) -> Network {
+    assert!(p.quorum > 0 && p.quorum <= p.channels, "need 0 < quorum <= channels");
+    let n = p.channels;
+    let mut b = NetworkBuilder::new();
+
+    let channel_ok: Vec<VarId> = (0..n)
+        .map(|i| b.var(format!("channels.c{i}.ok"), VarType::Bool, Value::Bool(true)))
+        .collect();
+    let voter_ok = b.var("voter.ok", VarType::Bool, Value::Bool(true));
+    let failed = b.var(VOTING_GOAL_VAR, VarType::Bool, Value::Bool(false));
+
+    for (i, &ok) in channel_ok.iter().enumerate() {
+        let mut a = AutomatonBuilder::new(format!("channels.c{i}"));
+        let l_ok = a.location("ok");
+        let l_failed = a.location("failed");
+        a.markovian(l_ok, p.lambda_channel, [Effect::assign(ok, Expr::bool(false))], l_failed);
+        b.add_automaton(a);
+    }
+
+    // The voter hardware is a plain markovian failure source, exactly like
+    // a channel; locations may not mix markovian and guarded transitions,
+    // so the latching logic lives in a separate urgent monitor below.
+    let mut voter = AutomatonBuilder::new("voter");
+    let v_ok = voter.location("ok");
+    let v_failed = voter.location("failed");
+    voter.markovian(v_ok, p.lambda_voter, [Effect::assign(voter_ok, Expr::bool(false))], v_failed);
+    b.add_automaton(voter);
+
+    // The monitor watches the voter and its inputs; a voter fault and the
+    // loss of quorum both latch the system failure. Guards are delay-free,
+    // so the latch fires urgently the instant the condition holds — every
+    // strategy resolves this model identically.
+    let mut mon = AutomatonBuilder::new("monitor");
+    let watch = mon.location("watching");
+    let dead = mon.location("dead");
+    let mut healthy = Expr::int(0);
+    for &ok in &channel_ok {
+        healthy = healthy.add(Expr::ite(Expr::var(ok), Expr::int(1), Expr::int(0)));
+    }
+    let quorum_lost = healthy.lt(Expr::int(p.quorum as i64));
+    let down = Expr::var(voter_ok).not().or(quorum_lost);
+    mon.guarded_urgent(
+        watch,
+        ActionId::TAU,
+        down,
+        [Effect::assign(failed, Expr::bool(true))],
+        dead,
+    );
+    b.add_automaton(mon);
+
+    b.build().expect("voting model is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_ctmc::analysis::{check_timed_reachability, PipelineConfig};
+    use slim_stats::chernoff::Accuracy;
+    use slimsim_core::prelude::*;
+
+    #[test]
+    fn binomial_coefficients() {
+        assert_eq!(binomial(3, 0), 1.0);
+        assert_eq!(binomial(3, 2), 3.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(6, 3), 20.0);
+    }
+
+    #[test]
+    fn analytic_formula_sane() {
+        let p = VotingParams::default();
+        assert_eq!(voting_failure_probability(&p, 0.0), 0.0);
+        let early = voting_failure_probability(&p, 0.5);
+        let late = voting_failure_probability(&p, 5.0);
+        assert!(0.0 < early && early < late && late < 1.0);
+        // 2-of-3 beats a simplex channel with the same voter.
+        let simplex = VotingParams { channels: 1, quorum: 1, ..p };
+        assert!(
+            voting_failure_probability(&p, 1.0) < voting_failure_probability(&simplex, 1.0),
+            "TMR should beat simplex at moderate horizons"
+        );
+    }
+
+    #[test]
+    fn ctmc_pipeline_matches_analytic() {
+        let p = VotingParams::default();
+        let net = voting_network(&p);
+        let failed = net.var_id(VOTING_GOAL_VAR).unwrap();
+        let goal = move |s: &NetState| s.nu.get(failed).map(|v| v.as_bool().unwrap_or(false));
+        let t = 1.0;
+        let r = check_timed_reachability(&net, &goal, t, &PipelineConfig::default()).unwrap();
+        let exact = voting_failure_probability(&p, t);
+        assert!((r.probability - exact).abs() < 1e-6, "CTMC {} vs analytic {exact}", r.probability);
+    }
+
+    #[test]
+    fn simulator_matches_analytic() {
+        let p = VotingParams::default();
+        let net = voting_network(&p);
+        let goal = Goal::expr(Expr::var(net.var_id(VOTING_GOAL_VAR).unwrap()));
+        let prop = TimedReach::new(goal, 1.0);
+        let cfg = SimConfig::default()
+            .with_accuracy(Accuracy::new(0.03, 0.05).unwrap())
+            .with_strategy(StrategyKind::Asap);
+        let r = analyze(&net, &prop, &cfg).unwrap();
+        let exact = voting_failure_probability(&p, 1.0);
+        assert!(
+            (r.probability() - exact).abs() < 0.04,
+            "simulator {} vs analytic {exact}",
+            r.probability()
+        );
+    }
+
+    #[test]
+    fn quorum_loss_latches_failure() {
+        // 2-of-3: after two channel failures the monitor latches.
+        let p = VotingParams::default();
+        let net = voting_network(&p);
+        let mut s = net.initial_state().unwrap();
+        for _ in 0..2 {
+            let m = net
+                .markovian_candidates(&s)
+                .into_iter()
+                .find(|c| net.automata()[c.transition.parts[0].0 .0].name.starts_with("channels"))
+                .unwrap();
+            s = net.apply(&s, &m.transition).unwrap();
+        }
+        let cands = net.guarded_candidates(&s).unwrap();
+        assert_eq!(cands.len(), 1, "quorum-loss latch should be enabled");
+        let s = net.apply(&s, &cands[0].transition).unwrap();
+        let failed = net.var_id(VOTING_GOAL_VAR).unwrap();
+        assert_eq!(s.nu.get(failed).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,146 @@
+//! Machine-readable bench reports (`BENCH_<suite>.json`).
+//!
+//! The bench harness prints human tables; this module gives those runs
+//! a stable machine-readable artifact so performance can be tracked
+//! across commits. One file per suite, a flat list of named scalar
+//! entries — deliberately schema-light so any plotting script can
+//! consume it.
+
+use crate::json::Json;
+use crate::report::HostInfo;
+
+/// One measured scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Dotted metric name, e.g. `sensor_filter.paths_per_sec`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit, e.g. `paths/s`, `ms`, `samples`.
+    pub unit: String,
+}
+
+/// A suite of bench entries plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Suite name; the artifact is written as `BENCH_<suite>.json`.
+    pub suite: String,
+    /// Version of the emitting tool.
+    pub tool_version: String,
+    /// Host the suite ran on.
+    pub host: HostInfo,
+    /// Measured entries.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `suite` on the current host.
+    pub fn new(suite: impl Into<String>) -> BenchReport {
+        BenchReport {
+            suite: suite.into(),
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            host: HostInfo::current(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) {
+        self.entries.push(BenchEntry { name: name.into(), value, unit: unit.into() });
+    }
+
+    /// The canonical artifact filename for this suite.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+
+    /// Serializes to the JSON document format.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::Num(1.0)),
+            ("suite", Json::str(&self.suite)),
+            ("tool_version", Json::str(&self.tool_version)),
+            ("host", self.host.to_json()),
+            (
+                "entries",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("name", Json::str(&e.name)),
+                                ("value", Json::Num(e.value)),
+                                ("unit", Json::str(&e.unit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    /// A message naming the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<BenchReport, String> {
+        let suite = v
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("bench report: missing string `suite`")?
+            .to_string();
+        let tool_version = v
+            .get("tool_version")
+            .and_then(Json::as_str)
+            .ok_or("bench report: missing string `tool_version`")?
+            .to_string();
+        let host = HostInfo::from_json(v.get("host").ok_or("bench report: missing `host`")?)?;
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("bench report: missing array `entries`")?
+            .iter()
+            .map(|e| {
+                Ok(BenchEntry {
+                    name: e
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("bench entry: missing string `name`")?
+                        .to_string(),
+                    value: e
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or("bench entry: missing number `value`")?,
+                    unit: e
+                        .get("unit")
+                        .and_then(Json::as_str)
+                        .ok_or("bench entry: missing string `unit`")?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport { suite, tool_version, host, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut r = BenchReport::new("simulator");
+        r.push("sensor_filter.paths_per_sec", 12345.5, "paths/s");
+        r.push("sensor_filter.wall_ms", 81.0, "ms");
+        let text = r.to_json().to_pretty();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(r.filename(), "BENCH_simulator.json");
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let v = Json::parse(r#"{"suite": "x"}"#).unwrap();
+        assert!(BenchReport::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # slim-obs
+//!
+//! The observability layer of the `slimsim` reproduction: everything the
+//! paper's evaluation (§IV, Table I) needs to *measure* the simulator —
+//! samples drawn, wall time per phase, per-worker throughput — without
+//! perturbing what it measures.
+//!
+//! The crate is dependency-free and deliberately small:
+//!
+//! * [`metrics`] — lock-cheap atomic [`metrics::Counter`]s and
+//!   log-bucketed [`metrics::Histogram`]s behind a
+//!   [`metrics::MetricsRegistry`]. Recording is a relaxed atomic add;
+//!   when no registry is installed the instrumented code pays one
+//!   predictable branch (`Option::None`) — the "no-op recorder".
+//! * [`span`] — wall-clock span timers for pipeline phases
+//!   (parse/lower/instantiate/simulate/estimate).
+//! * [`json`] — a minimal hand-rolled JSON value, writer and parser
+//!   (RFC 8259 string escaping), so reports stay machine-readable
+//!   without external dependencies.
+//! * [`report`] — the [`report::RunReport`] schema: one JSON document
+//!   per analysis run (config, seed, estimate, path stats, per-worker
+//!   metrics, phase timings, host info), with a structural validator.
+//! * [`bench`] — the `BENCH_*.json` emitter used by the bench harness.
+//! * [`progress`] — a throttled live progress line (completed/target,
+//!   paths/sec, ETA when the sample target is known a priori).
+//!
+//! ## Example
+//!
+//! ```
+//! use slim_obs::metrics::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let paths = reg.counter("paths_total");
+//! let steps = reg.histogram("steps_per_path");
+//! // ... shared by reference across worker threads ...
+//! reg.add(paths, 1);
+//! reg.record(steps, 17);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters["paths_total"], 1);
+//! assert_eq!(snap.histograms["steps_per_path"].count, 1);
+//! ```
+
+pub mod bench;
+pub mod json;
+pub mod metrics;
+pub mod progress;
+pub mod report;
+pub mod span;
+
+pub use bench::{BenchEntry, BenchReport};
+pub use json::Json;
+pub use metrics::{Counter, CounterId, Histogram, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use progress::ProgressMeter;
+pub use report::{
+    ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, PropertyInfo, RunReport, WorkerInfo,
+    SCHEMA_VERSION,
+};
+pub use span::PhaseClock;

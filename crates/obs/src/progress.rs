@@ -1,0 +1,100 @@
+//! Throttled live progress line for long analyses.
+//!
+//! The meter is driven by the runner's completion callback and renders
+//! at most once per `min_interval`, so progress output cannot become a
+//! bottleneck (or perturb timings) on fast models.
+
+use std::time::{Duration, Instant};
+
+/// Renders `completed/target` progress lines, rate-limited.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    started: Instant,
+    last_render: Option<Instant>,
+    min_interval: Duration,
+}
+
+impl ProgressMeter {
+    /// Creates a meter that renders at most once per `min_interval`.
+    pub fn new(min_interval: Duration) -> ProgressMeter {
+        ProgressMeter { started: Instant::now(), last_render: None, min_interval }
+    }
+
+    /// Reports progress; returns a rendered line when enough time has
+    /// passed since the previous render, else `None`.
+    ///
+    /// `target` is the a-priori sample target when known (Chernoff
+    /// fixed-sample runs); sequential rules pass `None` and the line
+    /// omits percentage and ETA.
+    pub fn tick(&mut self, completed: u64, target: Option<u64>) -> Option<String> {
+        let now = Instant::now();
+        if let Some(last) = self.last_render {
+            if now.duration_since(last) < self.min_interval {
+                return None;
+            }
+        }
+        self.last_render = Some(now);
+        Some(self.render(completed, target, now.duration_since(self.started)))
+    }
+
+    /// Renders a final line regardless of throttling (for run end).
+    pub fn finish(&self, completed: u64, target: Option<u64>) -> String {
+        self.render(completed, target, self.started.elapsed())
+    }
+
+    fn render(&self, completed: u64, target: Option<u64>, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 { completed as f64 / secs } else { 0.0 };
+        match target {
+            Some(t) if t > 0 => {
+                let pct = 100.0 * completed as f64 / t as f64;
+                let eta = if rate > 0.0 && completed < t {
+                    format!(" · ETA {:.0}s", (t - completed) as f64 / rate)
+                } else {
+                    String::new()
+                };
+                format!("{completed}/{t} paths ({pct:.1}%) · {rate:.0} paths/s{eta}")
+            }
+            _ => format!("{completed} paths · {rate:.0} paths/s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_tick_renders_then_throttles() {
+        let mut m = ProgressMeter::new(Duration::from_secs(3600));
+        assert!(m.tick(10, Some(100)).is_some());
+        assert!(m.tick(20, Some(100)).is_none());
+    }
+
+    #[test]
+    fn renders_target_percentage_and_eta() {
+        let mut m = ProgressMeter::new(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(5));
+        let line = m.tick(50, Some(200)).unwrap();
+        assert!(line.contains("50/200"), "{line}");
+        assert!(line.contains("25.0%"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn unknown_target_omits_percentage() {
+        let mut m = ProgressMeter::new(Duration::ZERO);
+        let line = m.tick(37, None).unwrap();
+        assert!(line.starts_with("37 paths"), "{line}");
+        assert!(!line.contains('%'), "{line}");
+    }
+
+    #[test]
+    fn finish_ignores_throttle() {
+        let mut m = ProgressMeter::new(Duration::from_secs(3600));
+        let _ = m.tick(1, Some(10));
+        let line = m.finish(10, Some(10));
+        assert!(line.contains("10/10"), "{line}");
+        assert!(!line.contains("ETA"), "completed runs have no ETA: {line}");
+    }
+}

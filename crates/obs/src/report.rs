@@ -1,0 +1,707 @@
+//! The run report: one JSON document per analysis run.
+//!
+//! A [`RunReport`] captures everything needed to reproduce and audit a
+//! statistical run: the model and property, the full statistical
+//! configuration (including seed and worker count, the reproducibility
+//! key), the estimate, per-verdict path counts, phase wall times,
+//! per-worker throughput, and the raw metrics snapshot. The schema is
+//! versioned and has a structural [`RunReport::validate`] so CI can
+//! reject malformed artifacts.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Schema version written into every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Host provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available logical CPUs.
+    pub cpus: u64,
+}
+
+impl HostInfo {
+    /// Captures the current host.
+    pub fn current() -> HostInfo {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("os", Json::str(&self.os)),
+            ("arch", Json::str(&self.arch)),
+            ("cpus", Json::Num(self.cpus as f64)),
+        ])
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    /// A message naming the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<HostInfo, String> {
+        Ok(HostInfo {
+            os: req_str(v, "os", "host")?,
+            arch: req_str(v, "arch", "host")?,
+            cpus: req_u64(v, "cpus", "host")?,
+        })
+    }
+}
+
+/// What was analyzed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Model name (builtin name or file path).
+    pub name: String,
+    /// Number of automata in the network.
+    pub automata: u64,
+    /// Number of variables in the network.
+    pub variables: u64,
+}
+
+/// The property that was checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyInfo {
+    /// Property kind, e.g. `timed-reachability`.
+    pub kind: String,
+    /// Time bound `T`.
+    pub bound: f64,
+    /// Goal description, e.g. `var monitor.system_failed`.
+    pub goal: String,
+}
+
+/// The statistical configuration of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigInfo {
+    /// Half-width ε of the confidence interval.
+    pub epsilon: f64,
+    /// Error probability δ.
+    pub delta: f64,
+    /// Resolution strategy name.
+    pub strategy: String,
+    /// Sample-size rule name.
+    pub generator: String,
+    /// Deadlock policy name.
+    pub deadlock_policy: String,
+    /// Per-path step limit.
+    pub max_steps: u64,
+    /// RNG seed (the reproducibility key, with `workers`).
+    pub seed: u64,
+    /// Worker thread count.
+    pub workers: u64,
+}
+
+/// The resulting estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateInfo {
+    /// Point estimate of the reachability probability.
+    pub mean: f64,
+    /// Half-width ε.
+    pub epsilon: f64,
+    /// Confidence `1 − δ`.
+    pub confidence: f64,
+    /// Total samples drawn.
+    pub samples: u64,
+    /// Successful samples.
+    pub successes: u64,
+}
+
+/// Per-verdict path accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathInfo {
+    /// Paths that reached the goal within the bound.
+    pub satisfied: u64,
+    /// Paths that exhausted the time bound.
+    pub time_bound_exceeded: u64,
+    /// Paths that violated a hold condition.
+    pub hold_violated: u64,
+    /// Paths that deadlocked.
+    pub deadlock: u64,
+    /// Paths that timelocked.
+    pub timelock: u64,
+    /// Paths that hit the step limit.
+    pub step_limit: u64,
+    /// Total paths (sum of the above).
+    pub total: u64,
+    /// Total simulation steps across all paths.
+    pub total_steps: u64,
+    /// Mean steps per path.
+    pub mean_steps: f64,
+    /// Mean time-to-goal over satisfied paths, when any.
+    pub mean_satisfaction_time: Option<f64>,
+    /// Earliest time-to-goal over satisfied paths, when any.
+    pub min_satisfaction_time: Option<f64>,
+    /// Latest time-to-goal over satisfied paths, when any.
+    pub max_satisfaction_time: Option<f64>,
+}
+
+/// One worker's contribution to the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerInfo {
+    /// Worker index (0-based).
+    pub worker: u64,
+    /// Paths this worker produced.
+    pub paths: u64,
+    /// Satisfied paths this worker produced.
+    pub satisfied: u64,
+    /// Time this worker spent simulating, in milliseconds.
+    pub busy_ms: f64,
+    /// Paths per second of busy time.
+    pub paths_per_sec: f64,
+}
+
+/// The full run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Emitting tool name.
+    pub tool_name: String,
+    /// Emitting tool version.
+    pub tool_version: String,
+    /// Host provenance.
+    pub host: HostInfo,
+    /// What was analyzed.
+    pub model: ModelInfo,
+    /// The checked property.
+    pub property: PropertyInfo,
+    /// Statistical configuration.
+    pub config: ConfigInfo,
+    /// Resulting estimate.
+    pub estimate: EstimateInfo,
+    /// Per-verdict path accounting.
+    pub paths: PathInfo,
+    /// End-to-end wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Approximate peak memory attributable to the run, in bytes.
+    pub approx_memory_bytes: u64,
+    /// Phase wall times in milliseconds, in pipeline order.
+    pub phases: Vec<(String, f64)>,
+    /// Per-worker throughput.
+    pub workers: Vec<WorkerInfo>,
+    /// Raw metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Serializes the report to its JSON document.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        Json::obj([
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            (
+                "tool",
+                Json::obj([
+                    ("name", Json::str(&self.tool_name)),
+                    ("version", Json::str(&self.tool_version)),
+                ]),
+            ),
+            ("host", self.host.to_json()),
+            (
+                "model",
+                Json::obj([
+                    ("name", Json::str(&self.model.name)),
+                    ("automata", Json::Num(self.model.automata as f64)),
+                    ("variables", Json::Num(self.model.variables as f64)),
+                ]),
+            ),
+            (
+                "property",
+                Json::obj([
+                    ("kind", Json::str(&self.property.kind)),
+                    ("bound", Json::Num(self.property.bound)),
+                    ("goal", Json::str(&self.property.goal)),
+                ]),
+            ),
+            (
+                "config",
+                Json::obj([
+                    ("epsilon", Json::Num(self.config.epsilon)),
+                    ("delta", Json::Num(self.config.delta)),
+                    ("strategy", Json::str(&self.config.strategy)),
+                    ("generator", Json::str(&self.config.generator)),
+                    ("deadlock_policy", Json::str(&self.config.deadlock_policy)),
+                    ("max_steps", Json::Num(self.config.max_steps as f64)),
+                    ("seed", Json::Num(self.config.seed as f64)),
+                    ("workers", Json::Num(self.config.workers as f64)),
+                ]),
+            ),
+            (
+                "estimate",
+                Json::obj([
+                    ("mean", Json::Num(self.estimate.mean)),
+                    ("epsilon", Json::Num(self.estimate.epsilon)),
+                    ("confidence", Json::Num(self.estimate.confidence)),
+                    ("samples", Json::Num(self.estimate.samples as f64)),
+                    ("successes", Json::Num(self.estimate.successes as f64)),
+                ]),
+            ),
+            (
+                "paths",
+                Json::obj([
+                    ("satisfied", Json::Num(self.paths.satisfied as f64)),
+                    ("time_bound_exceeded", Json::Num(self.paths.time_bound_exceeded as f64)),
+                    ("hold_violated", Json::Num(self.paths.hold_violated as f64)),
+                    ("deadlock", Json::Num(self.paths.deadlock as f64)),
+                    ("timelock", Json::Num(self.paths.timelock as f64)),
+                    ("step_limit", Json::Num(self.paths.step_limit as f64)),
+                    ("total", Json::Num(self.paths.total as f64)),
+                    ("total_steps", Json::Num(self.paths.total_steps as f64)),
+                    ("mean_steps", Json::Num(self.paths.mean_steps)),
+                    ("mean_satisfaction_time", opt(self.paths.mean_satisfaction_time)),
+                    ("min_satisfaction_time", opt(self.paths.min_satisfaction_time)),
+                    ("max_satisfaction_time", opt(self.paths.max_satisfaction_time)),
+                ]),
+            ),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("approx_memory_bytes", Json::Num(self.approx_memory_bytes as f64)),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(name, ms)| {
+                            Json::obj([("name", Json::str(name)), ("ms", Json::Num(*ms))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "workers",
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("worker", Json::Num(w.worker as f64)),
+                                ("paths", Json::Num(w.paths as f64)),
+                                ("satisfied", Json::Num(w.satisfied as f64)),
+                                ("busy_ms", Json::Num(w.busy_ms)),
+                                ("paths_per_sec", Json::Num(w.paths_per_sec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics", metrics_to_json(&self.metrics)),
+        ])
+    }
+
+    /// Parses a report from its JSON document.
+    ///
+    /// # Errors
+    /// A message naming the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<RunReport, String> {
+        let tool = v.get("tool").ok_or("report: missing `tool`")?;
+        let model = v.get("model").ok_or("report: missing `model`")?;
+        let property = v.get("property").ok_or("report: missing `property`")?;
+        let config = v.get("config").ok_or("report: missing `config`")?;
+        let estimate = v.get("estimate").ok_or("report: missing `estimate`")?;
+        let paths = v.get("paths").ok_or("report: missing `paths`")?;
+        let opt = |v: &Json, key: &str| -> Result<Option<f64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => {
+                    x.as_f64().map(Some).ok_or(format!("paths: `{key}` must be number or null"))
+                }
+            }
+        };
+        Ok(RunReport {
+            schema_version: req_u64(v, "schema_version", "report")?,
+            tool_name: req_str(tool, "name", "tool")?,
+            tool_version: req_str(tool, "version", "tool")?,
+            host: HostInfo::from_json(v.get("host").ok_or("report: missing `host`")?)?,
+            model: ModelInfo {
+                name: req_str(model, "name", "model")?,
+                automata: req_u64(model, "automata", "model")?,
+                variables: req_u64(model, "variables", "model")?,
+            },
+            property: PropertyInfo {
+                kind: req_str(property, "kind", "property")?,
+                bound: req_f64(property, "bound", "property")?,
+                goal: req_str(property, "goal", "property")?,
+            },
+            config: ConfigInfo {
+                epsilon: req_f64(config, "epsilon", "config")?,
+                delta: req_f64(config, "delta", "config")?,
+                strategy: req_str(config, "strategy", "config")?,
+                generator: req_str(config, "generator", "config")?,
+                deadlock_policy: req_str(config, "deadlock_policy", "config")?,
+                max_steps: req_u64(config, "max_steps", "config")?,
+                seed: req_u64(config, "seed", "config")?,
+                workers: req_u64(config, "workers", "config")?,
+            },
+            estimate: EstimateInfo {
+                mean: req_f64(estimate, "mean", "estimate")?,
+                epsilon: req_f64(estimate, "epsilon", "estimate")?,
+                confidence: req_f64(estimate, "confidence", "estimate")?,
+                samples: req_u64(estimate, "samples", "estimate")?,
+                successes: req_u64(estimate, "successes", "estimate")?,
+            },
+            paths: PathInfo {
+                satisfied: req_u64(paths, "satisfied", "paths")?,
+                time_bound_exceeded: req_u64(paths, "time_bound_exceeded", "paths")?,
+                hold_violated: req_u64(paths, "hold_violated", "paths")?,
+                deadlock: req_u64(paths, "deadlock", "paths")?,
+                timelock: req_u64(paths, "timelock", "paths")?,
+                step_limit: req_u64(paths, "step_limit", "paths")?,
+                total: req_u64(paths, "total", "paths")?,
+                total_steps: req_u64(paths, "total_steps", "paths")?,
+                mean_steps: req_f64(paths, "mean_steps", "paths")?,
+                mean_satisfaction_time: opt(paths, "mean_satisfaction_time")?,
+                min_satisfaction_time: opt(paths, "min_satisfaction_time")?,
+                max_satisfaction_time: opt(paths, "max_satisfaction_time")?,
+            },
+            wall_ms: req_f64(v, "wall_ms", "report")?,
+            approx_memory_bytes: req_u64(v, "approx_memory_bytes", "report")?,
+            phases: v
+                .get("phases")
+                .and_then(Json::as_arr)
+                .ok_or("report: missing array `phases`")?
+                .iter()
+                .map(|p| Ok((req_str(p, "name", "phase")?, req_f64(p, "ms", "phase")?)))
+                .collect::<Result<Vec<_>, String>>()?,
+            workers: v
+                .get("workers")
+                .and_then(Json::as_arr)
+                .ok_or("report: missing array `workers`")?
+                .iter()
+                .map(|w| {
+                    Ok(WorkerInfo {
+                        worker: req_u64(w, "worker", "worker")?,
+                        paths: req_u64(w, "paths", "worker")?,
+                        satisfied: req_u64(w, "satisfied", "worker")?,
+                        busy_ms: req_f64(w, "busy_ms", "worker")?,
+                        paths_per_sec: req_f64(w, "paths_per_sec", "worker")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            metrics: metrics_from_json(v.get("metrics").ok_or("report: missing `metrics`")?)?,
+        })
+    }
+
+    /// Structural validation: returns all problems found (empty when the
+    /// report is internally consistent). Used by `slimsim report` and CI.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.schema_version != SCHEMA_VERSION {
+            problems.push(format!(
+                "schema_version is {} but this tool expects {SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        let verdict_sum = self.paths.satisfied
+            + self.paths.time_bound_exceeded
+            + self.paths.hold_violated
+            + self.paths.deadlock
+            + self.paths.timelock
+            + self.paths.step_limit;
+        if verdict_sum != self.paths.total {
+            problems.push(format!(
+                "verdict counts sum to {verdict_sum} but paths.total is {}",
+                self.paths.total
+            ));
+        }
+        if self.estimate.samples < self.estimate.successes {
+            problems.push(format!(
+                "estimate.successes ({}) exceeds estimate.samples ({})",
+                self.estimate.successes, self.estimate.samples
+            ));
+        }
+        if self.estimate.samples != self.paths.total {
+            problems.push(format!(
+                "estimate.samples ({}) disagrees with paths.total ({})",
+                self.estimate.samples, self.paths.total
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.estimate.mean) {
+            problems.push(format!("estimate.mean {} outside [0, 1]", self.estimate.mean));
+        }
+        if self.config.workers == 0 {
+            problems.push("config.workers must be at least 1".to_string());
+        }
+        if !self.workers.is_empty() {
+            if self.workers.len() as u64 != self.config.workers {
+                problems.push(format!(
+                    "workers array has {} entries but config.workers is {}",
+                    self.workers.len(),
+                    self.config.workers
+                ));
+            }
+            let worker_paths: u64 = self.workers.iter().map(|w| w.paths).sum();
+            if worker_paths != self.paths.total {
+                problems.push(format!(
+                    "per-worker paths sum to {worker_paths} but paths.total is {}",
+                    self.paths.total
+                ));
+            }
+            let worker_sat: u64 = self.workers.iter().map(|w| w.satisfied).sum();
+            if worker_sat != self.paths.satisfied {
+                problems.push(format!(
+                    "per-worker satisfied sum to {worker_sat} but paths.satisfied is {}",
+                    self.paths.satisfied
+                ));
+            }
+        }
+        if self.phases.is_empty() {
+            problems.push("phases is empty; expected at least `simulate`".to_string());
+        }
+        for (name, ms) in &self.phases {
+            if !ms.is_finite() || *ms < 0.0 {
+                problems.push(format!("phase `{name}` has invalid duration {ms}"));
+            }
+        }
+        problems
+    }
+}
+
+fn req_str(v: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(format!("{ctx}: missing string `{key}`"))
+}
+
+fn req_f64(v: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key).and_then(Json::as_f64).ok_or(format!("{ctx}: missing number `{key}`"))
+}
+
+fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key).and_then(Json::as_u64).ok_or(format!("{ctx}: missing integer `{key}`"))
+}
+
+fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+    Json::obj([
+        (
+            "counters",
+            Json::Obj(m.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect()),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                m.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            Json::obj([
+                                ("count", Json::Num(h.count as f64)),
+                                ("sum", Json::Num(h.sum as f64)),
+                                ("min", Json::Num(h.min as f64)),
+                                ("max", Json::Num(h.max as f64)),
+                                ("mean", Json::Num(h.mean)),
+                                ("p50", Json::Num(h.p50)),
+                                ("p90", Json::Num(h.p90)),
+                                ("p99", Json::Num(h.p99)),
+                                (
+                                    "buckets",
+                                    Json::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|&(lo, hi, n)| {
+                                                Json::Arr(vec![
+                                                    Json::Num(lo as f64),
+                                                    Json::Num(hi as f64),
+                                                    Json::Num(n as f64),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn metrics_from_json(v: &Json) -> Result<MetricsSnapshot, String> {
+    let counters = match v.get("counters") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(k, n)| {
+                n.as_u64().map(|n| (k.clone(), n)).ok_or(format!("counter `{k}` not an integer"))
+            })
+            .collect::<Result<BTreeMap<_, _>, String>>()?,
+        _ => return Err("metrics: missing object `counters`".to_string()),
+    };
+    let histograms = match v.get("histograms") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(k, h)| {
+                let ctx = format!("histogram `{k}`");
+                let buckets = h
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or(format!("{ctx}: missing array `buckets`"))?
+                    .iter()
+                    .map(|b| {
+                        let b = b
+                            .as_arr()
+                            .filter(|b| b.len() == 3)
+                            .ok_or(format!("{ctx}: bucket must be a [lo, hi, count] triple"))?;
+                        let lo = b[0].as_u64().ok_or(format!("{ctx}: bucket lo"))?;
+                        // u64::MAX is not exactly representable as f64;
+                        // snap the top bucket bound back.
+                        let hi = b[1].as_u64().unwrap_or(u64::MAX);
+                        let n = b[2].as_u64().ok_or(format!("{ctx}: bucket count"))?;
+                        Ok((lo, hi, n))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok((
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: req_u64(h, "count", &ctx)?,
+                        sum: req_u64(h, "sum", &ctx)?,
+                        min: req_u64(h, "min", &ctx)?,
+                        max: req_u64(h, "max", &ctx)?,
+                        mean: req_f64(h, "mean", &ctx)?,
+                        p50: req_f64(h, "p50", &ctx)?,
+                        p90: req_f64(h, "p90", &ctx)?,
+                        p99: req_f64(h, "p99", &ctx)?,
+                        buckets,
+                    },
+                ))
+            })
+            .collect::<Result<BTreeMap<_, _>, String>>()?,
+        _ => return Err("metrics: missing object `histograms`".to_string()),
+    };
+    Ok(MetricsSnapshot { counters, histograms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_report() -> RunReport {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("sim.steps_total");
+        let h = reg.histogram("sim.steps_per_path");
+        reg.add(c, 1234);
+        for v in [3u64, 5, 9, 200] {
+            reg.record(h, v);
+        }
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            tool_name: "slimsim".to_string(),
+            tool_version: "0.1.0".to_string(),
+            host: HostInfo::current(),
+            model: ModelInfo { name: "sensor-filter".to_string(), automata: 4, variables: 6 },
+            property: PropertyInfo {
+                kind: "timed-reachability".to_string(),
+                bound: 10.0,
+                goal: "var monitor.system_failed".to_string(),
+            },
+            config: ConfigInfo {
+                epsilon: 0.05,
+                delta: 0.05,
+                strategy: "uniform".to_string(),
+                generator: "chernoff-hoeffding".to_string(),
+                deadlock_policy: "falsify".to_string(),
+                max_steps: 100_000,
+                seed: 0xC0_FF_EE,
+                workers: 2,
+            },
+            estimate: EstimateInfo {
+                mean: 0.25,
+                epsilon: 0.05,
+                confidence: 0.95,
+                samples: 738,
+                successes: 184,
+            },
+            paths: PathInfo {
+                satisfied: 184,
+                time_bound_exceeded: 554,
+                total: 738,
+                total_steps: 12345,
+                mean_steps: 12345.0 / 738.0,
+                mean_satisfaction_time: Some(4.25),
+                min_satisfaction_time: Some(0.5),
+                max_satisfaction_time: Some(9.75),
+                ..PathInfo::default()
+            },
+            wall_ms: 81.25,
+            approx_memory_bytes: 4096,
+            phases: vec![
+                ("instantiate".to_string(), 0.5),
+                ("simulate".to_string(), 78.0),
+                ("estimate".to_string(), 0.25),
+            ],
+            workers: vec![
+                WorkerInfo {
+                    worker: 0,
+                    paths: 369,
+                    satisfied: 92,
+                    busy_ms: 70.0,
+                    paths_per_sec: 5271.4,
+                },
+                WorkerInfo {
+                    worker: 1,
+                    paths: 369,
+                    satisfied: 92,
+                    busy_ms: 72.0,
+                    paths_per_sec: 5125.0,
+                },
+            ],
+            metrics: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_field_exact() {
+        let r = sample_report();
+        let text = r.to_json().to_pretty();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn sample_report_validates_clean() {
+        assert_eq!(sample_report().validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        let mut r = sample_report();
+        r.paths.satisfied += 1; // breaks verdict sum, worker sums
+        r.estimate.mean = 1.5;
+        r.schema_version = 99;
+        let problems = r.validate();
+        assert!(problems.iter().any(|p| p.contains("verdict counts")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("outside [0, 1]")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("schema_version")), "{problems:?}");
+    }
+
+    #[test]
+    fn null_satisfaction_times_roundtrip() {
+        let mut r = sample_report();
+        r.paths.mean_satisfaction_time = None;
+        r.paths.min_satisfaction_time = None;
+        r.paths.max_satisfaction_time = None;
+        let text = r.to_json().to_compact();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.paths.mean_satisfaction_time, None);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_names_missing_fields() {
+        let v = Json::parse(r#"{"schema_version": 1}"#).unwrap();
+        let err = RunReport::from_json(&v).unwrap_err();
+        assert!(err.contains("tool"), "{err}");
+    }
+}

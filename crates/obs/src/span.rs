@@ -1,0 +1,95 @@
+//! Span timers for pipeline phases.
+//!
+//! A [`PhaseClock`] accumulates named wall-clock spans — parse, lower,
+//! instantiate, simulate, estimate — in the order they first occur.
+//! Phases recorded twice accumulate, so a clock can be threaded through
+//! retried or chunked work.
+
+use std::time::{Duration, Instant};
+
+/// Ordered, accumulating collection of named wall-clock spans.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseClock {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseClock {
+    /// Creates an empty clock.
+    pub fn new() -> PhaseClock {
+        PhaseClock::default()
+    }
+
+    /// Times `f` and accumulates the elapsed wall time under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Accumulates an externally measured span.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        if let Some((_, total)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            *total += d;
+        } else {
+            self.phases.push((name.to_string(), d));
+        }
+    }
+
+    /// The recorded phases in first-occurrence order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Appends another clock's phases (accumulating shared names).
+    pub fn extend(&mut self, other: &PhaseClock) {
+        for (name, d) in &other.phases {
+            self.record(name, *d);
+        }
+    }
+
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_accumulates() {
+        let mut c = PhaseClock::new();
+        c.record("parse", Duration::from_millis(2));
+        c.record("lower", Duration::from_millis(3));
+        c.record("parse", Duration::from_millis(5));
+        let names: Vec<&str> = c.phases().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["parse", "lower"]);
+        assert_eq!(c.phases()[0].1, Duration::from_millis(7));
+        assert_eq!(c.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn time_measures_closure() {
+        let mut c = PhaseClock::new();
+        let v = c.time("work", || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(c.phases()[0].1 >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = PhaseClock::new();
+        a.record("parse", Duration::from_millis(1));
+        let mut b = PhaseClock::new();
+        b.record("parse", Duration::from_millis(2));
+        b.record("simulate", Duration::from_millis(3));
+        a.extend(&b);
+        assert_eq!(a.phases().len(), 2);
+        assert_eq!(a.phases()[0].1, Duration::from_millis(3));
+    }
+}

@@ -75,8 +75,22 @@ impl RoundRobinCollector {
 
     /// Drains all complete rounds, returning samples in round-robin worker
     /// order (worker 0 first within each round).
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops should prefer
+    /// [`Self::drain_rounds_into`] with a reused buffer.
     pub fn drain_rounds(&mut self) -> Vec<bool> {
         let mut out = Vec::new();
+        self.drain_rounds_into(&mut out);
+        out
+    }
+
+    /// Drains all complete rounds, appending samples to `out` in
+    /// round-robin worker order (worker 0 first within each round).
+    ///
+    /// The allocation-free sibling of [`Self::drain_rounds`]: the parallel
+    /// runner calls this once per received sample, so it reuses one buffer
+    /// across the whole run instead of allocating per call.
+    pub fn drain_rounds_into(&mut self, out: &mut Vec<bool>) {
         while self.round_ready() {
             for buf in &mut self.buffers {
                 if let Some(s) = buf.pop_front() {
@@ -84,7 +98,6 @@ impl RoundRobinCollector {
                 }
             }
         }
-        out
     }
 
     /// Total number of still-buffered samples.
@@ -215,5 +228,37 @@ mod tests {
         }
         let out_b = b.drain_rounds();
         assert_eq!(out_a, out_b);
+
+        // The buffer-reusing variant sees the same order under a third
+        // interleaving (strict alternation, worker 1 first), and appends
+        // rather than clobbering.
+        let mut c = RoundRobinCollector::new(2);
+        let mut out_c = vec![true]; // pre-existing content must survive
+        for i in 0..3 {
+            c.push(1, w1[i]);
+            c.push(0, w0[i]);
+            c.drain_rounds_into(&mut out_c);
+        }
+        assert!(out_c[0]);
+        assert_eq!(&out_c[1..], &out_a[..]);
+    }
+
+    #[test]
+    fn drain_into_incremental_equals_oneshot() {
+        // Draining after every push must yield the same stream as one
+        // final drain.
+        let pushes =
+            [(0, true), (1, false), (0, false), (0, true), (1, true), (1, false), (1, true)];
+        let mut incremental = RoundRobinCollector::new(2);
+        let mut stream = Vec::new();
+        for &(w, s) in &pushes {
+            incremental.push(w, s);
+            incremental.drain_rounds_into(&mut stream);
+        }
+        let mut oneshot = RoundRobinCollector::new(2);
+        for &(w, s) in &pushes {
+            oneshot.push(w, s);
+        }
+        assert_eq!(stream, oneshot.drain_rounds());
     }
 }
