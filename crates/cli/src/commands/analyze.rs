@@ -1,7 +1,7 @@
 //! `slimsim analyze` — Monte Carlo timed-reachability analysis.
 
 use crate::args::Args;
-use crate::common::{load_bound, load_config, load_goal, load_hold, load_network};
+use crate::common::{load_bound, load_config, load_goal, load_hold, load_network, start_event};
 use slim_obs::{
     ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, ProgressMeter, PropertyInfo,
     RunReport, WorkerInfo, SCHEMA_VERSION,
@@ -44,27 +44,33 @@ pub fn run(args: &Args) -> Result<(), String> {
     };
 
     if args.has_flag("trace") {
-        print_sample_path(&net, &property, &config, None)?;
+        print_sample_path(args, &net, &property, &config, None)?;
     } else if let Some(path) = args.options.get("trace-csv") {
-        print_sample_path(&net, &property, &config, Some(path))?;
+        print_sample_path(args, &net, &property, &config, Some(path))?;
     }
 
     // Observability: `--report <path>` captures a full RunReport JSON
-    // document, `--progress` renders a throttled live line on stderr.
-    // Both share one observer; without either, `analyze_observed` gets
-    // `None` and the run is instrumentation-free.
+    // document, `--progress` renders a throttled live line on stderr,
+    // and `--trace-dir`/`--witnesses` selects witness paths for capture.
+    // All share one observer; without any of them, `analyze_observed`
+    // gets `None` and the run is instrumentation-free.
     let report_path = args.options.get("report");
     let want_progress = args.has_flag("progress");
-    let observer = if report_path.is_some() || want_progress {
+    let trace_dir = args.options.get("trace-dir");
+    let want_witnesses = trace_dir.is_some() || args.options.contains_key("witnesses");
+    let observer = if report_path.is_some() || want_progress || want_witnesses {
         let mut obs = SimObserver::new(config.workers.max(1));
         obs.record_phase("load", load_time);
         if want_progress {
             let meter = Mutex::new(ProgressMeter::new(Duration::from_millis(100)));
-            obs = obs.with_progress(Box::new(move |done, target| {
-                if let Some(line) = meter.lock().unwrap().tick(done, target) {
+            obs = obs.with_progress(Box::new(move |done, target, estimate| {
+                if let Some(line) = meter.lock().unwrap().tick(done, target, estimate) {
                     eprint!("\r\x1b[2K{line}");
                 }
             }));
+        }
+        if want_witnesses {
+            obs = obs.with_witness_capture(args.opt_usize("witnesses", 2)?);
         }
         Some(obs)
     } else {
@@ -75,6 +81,10 @@ pub fn run(args: &Args) -> Result<(), String> {
         analyze_observed(&net, &property, &config, observer.as_ref()).map_err(|e| e.to_string())?;
     if want_progress {
         eprintln!();
+    }
+    if want_witnesses {
+        let obs = observer.as_ref().expect("witness capture implies an observer");
+        write_witnesses(args, &net, &property, &config, obs, trace_dir.map(String::as_str))?;
     }
     if let (Some(path), Some(obs)) = (report_path, observer.as_ref()) {
         let report = build_report(args, &net, &property, &config, &result, obs);
@@ -187,6 +197,7 @@ fn build_report(
             samples: result.estimate.samples,
             successes: result.estimate.successes,
         },
+        convergence: obs.convergence(),
         paths: PathInfo {
             satisfied: stats.satisfied,
             time_bound_exceeded: stats.time_bound_exceeded,
@@ -213,8 +224,63 @@ fn build_report(
     }
 }
 
+/// Re-generates the selected witness paths and writes them as JSON-lines
+/// traces into `--trace-dir` (or just summarizes the selection without
+/// one). File names are `witness-{goal|lock}-{index:06}.jsonl`; each file
+/// starts with a self-describing `Start` header so `slimsim replay` can
+/// rebuild the run from the trace alone.
+fn write_witnesses(
+    args: &Args,
+    net: &slim_automata::prelude::Network,
+    property: &TimedReach,
+    config: &SimConfig,
+    obs: &SimObserver,
+    trace_dir: Option<&str>,
+) -> Result<(), String> {
+    let selector = obs.witness_selection().expect("observer was built with witness capture");
+    let witnesses = capture_witnesses(net, property, config, &selector, TraceOptions::default())
+        .map_err(|e| e.to_string())?;
+    let quiet = args.has_flag("quiet");
+    if !quiet {
+        println!(
+            "witnesses  : {} goal, {} lock (first {} per category)",
+            selector.goal().len(),
+            selector.lock().len(),
+            selector.capacity()
+        );
+    }
+    let Some(dir) = trace_dir else {
+        if !quiet && !witnesses.is_empty() {
+            println!("             pass --trace-dir <dir> to write witness traces");
+        }
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    for w in &witnesses {
+        let mut events = Vec::with_capacity(w.events.len() + 1);
+        events.push(start_event(args, config, property, w.index));
+        events.extend(w.events.iter().cloned());
+        let name = format!("witness-{}-{:06}.jsonl", w.category.code(), w.index);
+        let path = std::path::Path::new(dir).join(&name);
+        std::fs::write(&path, events_to_json_lines(&events))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        if !quiet {
+            println!(
+                "             path {} ({}, {} at t={:.6}) -> {}",
+                w.index,
+                w.category.code(),
+                w.outcome.verdict,
+                w.outcome.end_time,
+                path.display()
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Generates and prints one seeded path (the `--trace` flag).
 fn print_sample_path(
+    args: &Args,
     net: &slim_automata::prelude::Network,
     property: &TimedReach,
     config: &SimConfig,
@@ -223,16 +289,21 @@ fn print_sample_path(
     let gen = PathGenerator::new(net, property, config.max_steps);
     let mut strategy = config.strategy.instantiate();
     let mut rng = path_rng(config.seed, 0);
-    let mut trace = VecTrace::default();
-    let outcome =
-        gen.generate_traced(strategy.as_mut(), &mut rng, &mut trace).map_err(|e| e.to_string())?;
+    let mut sink = MemorySink::default();
+    let outcome = {
+        let mut tracer = PathTracer::new(net, &mut sink);
+        tracer.emit(start_event(args, config, property, 0));
+        gen.generate_traced(strategy.as_mut(), &mut rng, &mut tracer)
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(path) = csv_path {
-        std::fs::write(path, trace.to_csv()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, events_to_csv(&sink.events))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("sample path (seed {}, path 0) written to {path}", config.seed);
         return Ok(());
     }
     println!("--- sample path (seed {}, path 0) ---", config.seed);
-    for event in &trace.events {
+    for event in &sink.events {
         println!("  {event}");
     }
     println!(
@@ -291,6 +362,12 @@ mod tests {
             assert!(report.phases.iter().any(|(n, _)| n == phase), "missing phase {phase}");
         }
         assert!(report.metrics.counters["sim.steps_total"] > 0);
+        // Schema v2: the convergence series is populated and ends at the
+        // final estimate.
+        assert!(!report.convergence.is_empty());
+        let last = report.convergence.last().unwrap();
+        assert_eq!(last.samples, report.estimate.samples);
+        assert!((last.mean - report.estimate.mean).abs() < 1e-12);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -2,7 +2,7 @@
 //! (the paper's GUI/manual mode, §III-B).
 
 use crate::args::Args;
-use crate::common::{load_bound, load_goal, load_network};
+use crate::common::{load_bound, load_config, load_goal, load_network, start_event};
 use slim_stats::rng::path_rng;
 use slimsim_core::prelude::*;
 use std::io::{BufRead, Write};
@@ -90,29 +90,44 @@ pub fn run(args: &Args) -> Result<(), String> {
     let goal = load_goal(args, &net)?;
     let bound = load_bound(args)?;
     let property = TimedReach::new(goal, bound);
-    let seed = args.opt_u64("seed", 0xC0FFEE)?;
+    let config = load_config(args)?;
+    let seed = config.seed;
 
-    let gen = PathGenerator::new(&net, &property, 1_000_000);
+    let gen = PathGenerator::new(&net, &property, config.max_steps);
     let mut rng = path_rng(seed, 0);
-    let mut trace = VecTrace::default();
+    let mut sink = MemorySink::default();
 
-    let result = if let Some(path) = args.options.get("script") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        let choices = parse_script(&text)?;
-        println!("replaying {} scripted decisions from {path}", choices.len());
-        let mut strategy = Input::new(ScriptedOracle::new(choices));
-        gen.generate_traced(&mut strategy, &mut rng, &mut trace)
-    } else {
-        println!("interactive simulation — P(◇[0,{bound}] goal); you are the strategy.");
-        println!("(Markovian transitions still race with your schedule.)");
-        let mut strategy = Input::new(StdinOracle);
-        gen.generate_traced(&mut strategy, &mut rng, &mut trace)
+    let result = {
+        let mut tracer = PathTracer::new(&net, &mut sink);
+        let mut header = start_event(args, &config, &property, 0);
+        if let TraceEvent::Start { strategy, .. } = &mut header {
+            // The path is driven by the user, not the configured strategy.
+            *strategy = "input".to_string();
+        }
+        tracer.emit(header);
+        if let Some(path) = args.options.get("script") {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let choices = parse_script(&text)?;
+            println!("replaying {} scripted decisions from {path}", choices.len());
+            let mut strategy = Input::new(ScriptedOracle::new(choices));
+            gen.generate_traced(&mut strategy, &mut rng, &mut tracer)
+        } else {
+            println!("interactive simulation — P(◇[0,{bound}] goal); you are the strategy.");
+            println!("(Markovian transitions still race with your schedule.)");
+            let mut strategy = Input::new(StdinOracle);
+            gen.generate_traced(&mut strategy, &mut rng, &mut tracer)
+        }
     };
     match result {
         Ok(outcome) => {
+            if let Some(path) = args.options.get("save-trace") {
+                std::fs::write(path, events_to_json_lines(&sink.events))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("trace written to {path} (replay with `slimsim replay {path}`)");
+            }
             println!("\n--- path ---");
-            for e in &trace.events {
+            for e in &sink.events {
                 println!("  {e}");
             }
             println!(

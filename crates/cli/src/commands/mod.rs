@@ -6,5 +6,6 @@ pub mod info;
 pub mod interactive;
 pub mod lint;
 pub mod rare;
+pub mod replay;
 pub mod report;
 pub mod validate;

@@ -139,6 +139,47 @@ pub fn load_hold(args: &Args, net: &Network) -> Result<Option<Goal>, String> {
     }
 }
 
+/// Model/goal option keys a trace `Start` header carries so `slimsim
+/// replay` can rebuild the run from the header alone (stable order).
+const HEADER_KEYS: &[&str] =
+    &["root", "name", "size", "goal-var", "goal-loc", "hold-var", "hold-loc"];
+
+/// Builds the self-describing [`TraceEvent::Start`] header for a trace
+/// recorded by this invocation.
+pub fn start_event(
+    args: &Args,
+    config: &SimConfig,
+    property: &TimedReach,
+    path_index: u64,
+) -> TraceEvent {
+    let kv = HEADER_KEYS
+        .iter()
+        .filter_map(|&k| args.options.get(k).map(|v| (k.to_string(), v.clone())))
+        .collect();
+    TraceEvent::Start {
+        format_version: TRACE_FORMAT_VERSION,
+        model: args.positional.first().cloned().unwrap_or_default(),
+        path_index,
+        seed: config.seed,
+        strategy: config.strategy.to_string(),
+        bound: property.bound,
+        max_steps: config.max_steps,
+        args: kv,
+    }
+}
+
+/// Rebuilds a synthetic argument set from a trace `Start` header, so the
+/// normal model/goal loaders apply to recorded traces.
+pub fn args_from_header(model: &str, bound: f64, kv: &[(String, String)]) -> Args {
+    let mut out = Args { command: "replay".to_string(), ..Args::default() };
+    out.positional.push(model.to_string());
+    for (k, v) in kv {
+        out.options.insert(k.clone(), v.clone());
+    }
+    out.options.insert("bound".to_string(), format!("{bound}"));
+    out
+}
+
 /// The property bound `--bound u` (required).
 pub fn load_bound(args: &Args) -> Result<f64, String> {
     let bound = args.opt_f64("bound", f64::NAN)?;
@@ -216,6 +257,32 @@ mod tests {
         assert!(load_config(&args("x --generator bogus")).is_err());
         assert!(load_config(&args("x --epsilon 2.0")).is_err());
         assert!(load_config(&args("x --deadlock maybe")).is_err());
+    }
+
+    #[test]
+    fn start_header_round_trips_through_args() {
+        let a = args(
+            "analyze sensor-filter --size 3 --bound 2.0 --goal-var monitor.system_failed --seed 42",
+        );
+        let cfg = load_config(&a).unwrap();
+        let net = load_network(&a).unwrap();
+        let goal = load_goal(&a, &net).unwrap();
+        let property = TimedReach::new(goal, load_bound(&a).unwrap());
+        let ev = start_event(&a, &cfg, &property, 7);
+        let TraceEvent::Start { model, path_index, seed, bound, args: kv, .. } = &ev else {
+            panic!("not a Start event");
+        };
+        assert_eq!(model, "sensor-filter");
+        assert_eq!(*path_index, 7);
+        assert_eq!(*seed, 42);
+        assert_eq!(*bound, 2.0);
+        let rebuilt = args_from_header(model, *bound, kv);
+        assert_eq!(rebuilt.opt("size", ""), "3");
+        assert_eq!(rebuilt.opt("goal-var", ""), "monitor.system_failed");
+        assert_eq!(load_bound(&rebuilt).unwrap(), 2.0);
+        let net2 = load_network(&rebuilt).unwrap();
+        assert_eq!(net2.automata().len(), net.automata().len());
+        assert!(load_goal(&rebuilt, &net2).is_ok());
     }
 
     #[test]

@@ -27,7 +27,8 @@ USAGE:
   slimsim ctmc <model> --bound <u> [options]      CTMC pipeline (untimed models)
   slimsim rare <model> --bound <u> --boost <k>    rare events (importance sampling)
   slimsim interactive <model> --bound <u>         step a path manually
-                      [--script <file>]           (or replay decisions)
+                      [--script <file>] [--save-trace <file>]
+  slimsim replay <trace.jsonl>                    verify a recorded trace
   slimsim info <model> [--dot]                    print the lowered network
   slimsim lint <model> [--json]                   static lint passes (S0xx/S1xx/S2xx)
   slimsim report <file.json>                      validate + summarize a run report
@@ -59,8 +60,10 @@ OPTIONS:
   --skip-lumping         (ctmc) skip the bisimulation reduction
   --trace                (analyze) print the first generated path
   --trace-csv <file>     (analyze) write the first path as CSV
+  --trace-dir <dir>      (analyze) write witness traces as JSON-lines files
+  --witnesses <k>        (analyze) keep first k goal + k lock paths [2]
   --report <file>        (analyze) write a JSON run report (see `slimsim report`)
-  --progress             (analyze) live progress line on stderr
+  --progress             (analyze) live progress line with p-hat ± half-width
 
 LINTS (lint/analyze):
   --json                 (lint) one JSON object per diagnostic, one per line
@@ -80,6 +83,7 @@ fn main() {
         "ctmc" => commands::ctmc::run(&args),
         "rare" => commands::rare::run(&args),
         "interactive" => commands::interactive::run(&args),
+        "replay" => commands::replay::run(&args),
         "info" => commands::info::run(&args),
         "lint" => commands::lint::run(&args),
         "report" => commands::report::run(&args),

@@ -15,7 +15,7 @@ use crate::error::SimError;
 use crate::obs::{PathDetail, SimObserver};
 use crate::property::TimedReach;
 use crate::strategy::{Decision, ScheduledCandidate, StepView, Strategy};
-use crate::trace::{TraceEvent, TraceSink};
+use crate::trace::PathTracer;
 use crate::verdict::{PathOutcome, Verdict};
 use slim_automata::interval::IntervalSet;
 use slim_automata::network::GlobalTransition;
@@ -34,9 +34,20 @@ pub struct PathGenerator<'a> {
 /// How a step resolved after racing the strategy's schedule against the
 /// Markovian transitions.
 enum Resolved {
-    Fire { delay: f64, transition: GlobalTransition, markovian: bool },
-    Wait { delay: f64 },
-    Lock { verdict: Verdict, horizon: f64 },
+    Fire {
+        delay: f64,
+        transition: GlobalTransition,
+        markovian: bool,
+        /// Winner's own rate and the total race exit rate (Markovian only).
+        rates: Option<(f64, f64)>,
+    },
+    Wait {
+        delay: f64,
+    },
+    Lock {
+        verdict: Verdict,
+        horizon: f64,
+    },
 }
 
 impl<'a> PathGenerator<'a> {
@@ -65,7 +76,7 @@ impl<'a> PathGenerator<'a> {
         strategy: &mut dyn Strategy,
         rng: &mut StdRng,
     ) -> Result<PathOutcome, SimError> {
-        self.generate_traced(strategy, rng, &mut crate::trace::NullTrace)
+        self.run(strategy, rng, None, 1.0, None).map(|(outcome, _)| outcome)
     }
 
     /// Generates one path, flushing per-path metrics (steps, firings,
@@ -87,7 +98,7 @@ impl<'a> PathGenerator<'a> {
         };
         let start = std::time::Instant::now();
         let mut detail = PathDetail::default();
-        let result = self.run(strategy, rng, &mut crate::trace::NullTrace, 1.0, Some(&mut detail));
+        let result = self.run(strategy, rng, None, 1.0, Some(&mut detail));
         if let Ok((outcome, _)) = &result {
             detail.nanos = start.elapsed().as_nanos() as u64;
             obs.record_path(outcome, &detail);
@@ -95,7 +106,10 @@ impl<'a> PathGenerator<'a> {
         result.map(|(outcome, _)| outcome)
     }
 
-    /// Generates one path, reporting every delay and firing to `sink`.
+    /// Generates one path, recording structured events on the tracer:
+    /// strategy decisions, delays, firings (with Markovian race rates),
+    /// valuation snapshots per [`crate::trace::TraceOptions`], and the
+    /// final verdict.
     ///
     /// # Errors
     /// See [`Self::generate`].
@@ -103,9 +117,11 @@ impl<'a> PathGenerator<'a> {
         &self,
         strategy: &mut dyn Strategy,
         rng: &mut StdRng,
-        sink: &mut dyn TraceSink,
+        tracer: &mut PathTracer<'_>,
     ) -> Result<PathOutcome, SimError> {
-        self.run(strategy, rng, sink, 1.0, None).map(|(outcome, _)| outcome)
+        let outcome = self.run(strategy, rng, Some(&mut *tracer), 1.0, None)?.0;
+        tracer.verdict(&outcome);
+        Ok(outcome)
     }
 
     /// Generates one path under an **importance-sampling bias**: every
@@ -128,7 +144,7 @@ impl<'a> PathGenerator<'a> {
         bias: f64,
     ) -> Result<(PathOutcome, f64), SimError> {
         assert!(bias > 0.0 && bias.is_finite(), "bias must be positive, got {bias}");
-        self.run(strategy, rng, &mut crate::trace::NullTrace, bias, None)
+        self.run(strategy, rng, None, bias, None)
     }
 
     /// The common engine loop; returns the outcome and the likelihood
@@ -137,7 +153,7 @@ impl<'a> PathGenerator<'a> {
         &self,
         strategy: &mut dyn Strategy,
         rng: &mut StdRng,
-        sink: &mut dyn TraceSink,
+        mut tracer: Option<&mut PathTracer<'_>>,
         bias: f64,
         mut detail: Option<&mut PathDetail>,
     ) -> Result<(PathOutcome, f64), SimError> {
@@ -235,6 +251,9 @@ impl<'a> PathGenerator<'a> {
                 &StepView { net: self.net, state: &state, window: &window, guarded: &guarded, cap },
                 rng,
             )?;
+            if let Some(t) = tracer.as_deref_mut() {
+                t.decision(steps, &state, &decision, &guarded);
+            }
             if let Some(d) = detail.as_deref_mut() {
                 match &decision {
                     Decision::Fire { .. } => d.decisions_fire += 1,
@@ -247,21 +266,22 @@ impl<'a> PathGenerator<'a> {
             // Markovian race: total-rate exponential + categorical winner.
             // Under importance sampling all rates are scaled by `bias`
             // (the winner distribution is unchanged — scaling is uniform).
-            let m_sample: Option<(f64, &GlobalTransition, f64)> = if markovian.is_empty() {
+            let m_sample: Option<(f64, &GlobalTransition, f64, f64)> = if markovian.is_empty() {
                 None
             } else {
                 let total: f64 = markovian.iter().map(|m| m.rate).sum();
                 let t = exponential_from_uniform(rng.gen::<f64>(), total * bias);
                 let mut pick = rng.gen::<f64>() * total;
-                let mut winner = &markovian[markovian.len() - 1].transition;
+                let last = &markovian[markovian.len() - 1];
+                let mut winner = (&last.transition, last.rate);
                 for m in &markovian {
                     if pick < m.rate {
-                        winner = &m.transition;
+                        winner = (&m.transition, m.rate);
                         break;
                     }
                     pick -= m.rate;
                 }
-                Some((t, winner, total))
+                Some((t, winner.0, total, winner.1))
             };
 
             // Likelihood-ratio bookkeeping for importance sampling:
@@ -274,39 +294,55 @@ impl<'a> PathGenerator<'a> {
             let resolved = match decision {
                 Decision::Abort => return Err(SimError::InputAborted),
                 Decision::Fire { delay, candidate } => match m_sample {
-                    Some((t, gt, total)) if t < delay => {
+                    Some((t, gt, total, rate)) if t < delay => {
                         log_weight += lr_fire(t, total);
-                        Resolved::Fire { delay: t, transition: gt.clone(), markovian: true }
+                        Resolved::Fire {
+                            delay: t,
+                            transition: gt.clone(),
+                            markovian: true,
+                            rates: Some((rate, total)),
+                        }
                     }
                     m => {
-                        if let Some((_, _, total)) = m {
+                        if let Some((_, _, total, _)) = m {
                             log_weight += lr_censor(delay, total);
                         }
                         Resolved::Fire {
                             delay,
                             transition: guarded[candidate].transition.clone(),
                             markovian: false,
+                            rates: None,
                         }
                     }
                 },
                 Decision::Wait { delay } => match m_sample {
-                    Some((t, gt, total)) if t < delay => {
+                    Some((t, gt, total, rate)) if t < delay => {
                         log_weight += lr_fire(t, total);
-                        Resolved::Fire { delay: t, transition: gt.clone(), markovian: true }
+                        Resolved::Fire {
+                            delay: t,
+                            transition: gt.clone(),
+                            markovian: true,
+                            rates: Some((rate, total)),
+                        }
                     }
                     m => {
-                        if let Some((_, _, total)) = m {
+                        if let Some((_, _, total, _)) = m {
                             log_weight += lr_censor(delay, total);
                         }
                         Resolved::Wait { delay }
                     }
                 },
                 Decision::Stuck => match m_sample {
-                    Some((t, gt, total)) if window.contains(t) => {
+                    Some((t, gt, total, rate)) if window.contains(t) => {
                         log_weight += lr_fire(t, total);
-                        Resolved::Fire { delay: t, transition: gt.clone(), markovian: true }
+                        Resolved::Fire {
+                            delay: t,
+                            transition: gt.clone(),
+                            markovian: true,
+                            rates: Some((rate, total)),
+                        }
                     }
-                    Some((_, _, total)) => {
+                    Some((_, _, total, _)) => {
                         let horizon = window.sup().unwrap_or(0.0);
                         log_weight += lr_censor(horizon, total);
                         Resolved::Lock { verdict: Verdict::Timelock, horizon }
@@ -326,7 +362,7 @@ impl<'a> PathGenerator<'a> {
             };
 
             match resolved {
-                Resolved::Fire { delay, transition, markovian } => {
+                Resolved::Fire { delay, transition, markovian, rates } => {
                     match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
                         Scan::Goal(hit) => {
                             return finish(
@@ -361,11 +397,22 @@ impl<'a> PathGenerator<'a> {
                         );
                     }
                     if delay > 0.0 {
-                        sink.event(TraceEvent::Delay { at: state.time, duration: delay });
+                        if let Some(t) = tracer.as_deref_mut() {
+                            t.delay(steps, &state, delay);
+                        }
                         state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
                     }
-                    sink.event(TraceEvent::fire(self.net, &state, &transition, markovian));
+                    if let Some(t) = tracer.as_deref_mut() {
+                        let (rate, rate_total) = match rates {
+                            Some((r, total)) => (Some(r), Some(total)),
+                            None => (None, None),
+                        };
+                        t.fire(steps, &state, &transition, markovian, rate, rate_total);
+                    }
                     state = self.net.apply(&state, &transition).map_err(SimError::Eval)?;
+                    if let Some(t) = tracer.as_deref_mut() {
+                        t.snapshot(steps, &state);
+                    }
                     if let Some(d) = detail.as_deref_mut() {
                         if markovian {
                             d.fires_markovian += 1;
@@ -408,8 +455,13 @@ impl<'a> PathGenerator<'a> {
                             log_weight,
                         );
                     }
-                    sink.event(TraceEvent::Delay { at: state.time, duration: delay });
+                    if let Some(t) = tracer.as_deref_mut() {
+                        t.delay(steps, &state, delay);
+                    }
                     state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
+                    if let Some(t) = tracer.as_deref_mut() {
+                        t.snapshot(steps, &state);
+                    }
                     if let Some(d) = detail.as_deref_mut() {
                         d.waits += 1;
                     }
@@ -486,7 +538,7 @@ mod tests {
     use super::*;
     use crate::property::Goal;
     use crate::strategy::{Asap, MaxTime, Progressive, StrategyKind};
-    use crate::trace::VecTrace;
+    use crate::trace::{MemorySink, TraceEvent};
     use slim_automata::prelude::*;
 
     fn rng(seed: u64) -> StdRng {
@@ -699,18 +751,40 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_delays_and_fires() {
+    fn trace_records_structured_events() {
         let (net, goal) = window_net();
         // Use a goal that requires the discrete transition to fire.
         let prop = TimedReach::new(Goal::expr(goal), 10.0);
         let gen = PathGenerator::new(&net, &prop, 1000);
-        let mut trace = VecTrace::default();
-        let out = gen.generate_traced(&mut Asap, &mut rng(1), &mut trace).unwrap();
+        let mut sink = MemorySink::default();
+        let out = {
+            let mut tracer = PathTracer::new(&net, &mut sink);
+            gen.generate_traced(&mut Asap, &mut rng(1), &mut tracer).unwrap()
+        };
         assert_eq!(out.verdict, Verdict::Satisfied);
         // Goal is hit exactly when firing; the trace contains the delay.
-        assert!(trace.events.iter().any(
+        assert!(sink.events.iter().any(
             |e| matches!(e, TraceEvent::Delay { duration, .. } if (*duration - 2.0).abs() < 1e-9)
         ));
+        // The strategy's decision is recorded with its candidate set.
+        assert!(sink.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Decision { kind, candidates, chosen: Some(0), .. }
+                if kind == "fire" && candidates.len() == 1
+        )));
+        // Snapshots carry the post-step valuation.
+        assert!(sink
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Snapshot { locations, .. } if !locations.is_empty())));
+        // The final event is the verdict.
+        match sink.events.last().unwrap() {
+            TraceEvent::Verdict { verdict, steps, .. } => {
+                assert_eq!(verdict, "satisfied");
+                assert_eq!(*steps, out.steps);
+            }
+            other => panic!("expected verdict last, got {other}"),
+        }
     }
 
     #[test]
@@ -847,17 +921,20 @@ mod tests {
             for seed in 0..10 {
                 let mut r = rng(seed);
                 let mut strategy = kind.instantiate();
-                let mut trace = VecTrace::default();
-                let _ = gen.generate_traced(strategy.as_mut(), &mut r, &mut trace).unwrap();
+                let mut sink = MemorySink::default();
+                {
+                    let mut tracer = PathTracer::new(&net, &mut sink);
+                    let _ = gen.generate_traced(strategy.as_mut(), &mut r, &mut tracer).unwrap();
+                }
                 // Until the urgent watchdog has fired, time must not pass
                 // its 2.0 enabling instant — so the FIRST discrete event
                 // of every path happens no later than 2.0.
-                let first_fire_at = trace
+                let first_fire_at = sink
                     .events
                     .iter()
                     .find_map(|e| match e {
                         TraceEvent::Fire { at, .. } => Some(*at),
-                        TraceEvent::Delay { .. } => None,
+                        _ => None,
                     })
                     .expect("some transition fires");
                 assert!(

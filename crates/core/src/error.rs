@@ -22,6 +22,9 @@ pub enum SimError {
     InvalidInput { detail: String },
     /// A worker thread panicked or disconnected.
     WorkerFailed { detail: String },
+    /// Replaying a recorded trace diverged from the model at the given
+    /// event index (0-based into the trace's event list).
+    ReplayMismatch { event: usize, detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +40,9 @@ impl fmt::Display for SimError {
             SimError::InputAborted => write!(f, "interactive input aborted"),
             SimError::InvalidInput { detail } => write!(f, "invalid input choice: {detail}"),
             SimError::WorkerFailed { detail } => write!(f, "worker failed: {detail}"),
+            SimError::ReplayMismatch { event, detail } => {
+                write!(f, "replay diverged at event {event}: {detail}")
+            }
         }
     }
 }

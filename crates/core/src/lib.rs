@@ -43,10 +43,12 @@ pub mod error;
 pub mod obs;
 pub mod property;
 pub mod rare_event;
+pub mod replay;
 pub mod runner;
 pub mod strategy;
 pub mod trace;
 pub mod verdict;
+pub mod witness;
 
 /// Convenient glob-import of the simulator API.
 pub mod prelude {
@@ -56,11 +58,16 @@ pub mod prelude {
     pub use crate::obs::{SimObserver, WorkerStat};
     pub use crate::property::{Goal, TimedReach};
     pub use crate::rare_event::{analyze_rare, RareEventConfig, RareEventResult};
+    pub use crate::replay::{replay_events, ReplayOutcome};
     pub use crate::runner::{analyze, analyze_observed, AnalysisResult};
     pub use crate::strategy::{
         Asap, Decision, Input, InputChoice, InputOracle, Local, MaxTime, Progressive,
         ScheduledCandidate, ScriptedOracle, StepView, Strategy, StrategyKind,
     };
-    pub use crate::trace::{NullTrace, TraceEvent, TraceSink, VecTrace};
+    pub use crate::trace::{
+        events_to_csv, events_to_json_lines, parse_trace, JsonLinesSink, MemorySink, PathTracer,
+        RingBufferSink, TraceEvent, TraceOptions, TraceSink, TRACE_FORMAT_VERSION,
+    };
     pub use crate::verdict::{PathOutcome, PathStats, Verdict};
+    pub use crate::witness::{capture_witnesses, Witness, WitnessCategory, WitnessSelector};
 }

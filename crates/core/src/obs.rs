@@ -11,12 +11,15 @@
 //! `(seed, workers)`-determinism.
 
 use crate::verdict::{PathOutcome, Verdict};
+use crate::witness::WitnessSelector;
 use slim_obs::metrics::{CounterId, HistogramId, MetricsRegistry, MetricsSnapshot};
+use slim_obs::report::ConvergencePoint;
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Progress callback: `(samples_consumed, known_target)`.
-pub type ProgressFn = Box<dyn Fn(u64, Option<u64>) + Send + Sync>;
+/// Progress callback: `(samples_consumed, known_target, estimate)` with
+/// `estimate = Some((p̂, half_width))` once at least one sample is in.
+pub type ProgressFn = Box<dyn Fn(u64, Option<u64>, Option<(f64, f64)>) + Send + Sync>;
 
 /// Per-worker counter handles.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +87,11 @@ pub struct SimObserver {
     // Cold path only: phase ends and report building.
     phases: Mutex<Vec<(String, Duration)>>,
     progress: Option<ProgressFn>,
+    // Estimator convergence checkpoints (consumer thread only; the Mutex
+    // is never contended on the sampling hot path).
+    convergence: Mutex<Vec<ConvergencePoint>>,
+    // Witness selection (consumer thread only, see `witness`).
+    witnesses: Option<Mutex<WitnessSelector>>,
 }
 
 impl std::fmt::Debug for SimObserver {
@@ -147,6 +155,8 @@ impl SimObserver {
             phases: Mutex::new(Vec::new()),
             registry: r,
             progress: None,
+            convergence: Mutex::new(Vec::new()),
+            witnesses: None,
         }
     }
 
@@ -156,6 +166,17 @@ impl SimObserver {
     #[must_use]
     pub fn with_progress(mut self, f: ProgressFn) -> SimObserver {
         self.progress = Some(f);
+        self
+    }
+
+    /// Enables witness capture: the runner offers every accepted sample
+    /// (in its deterministic consumption order) and the first `k` goal
+    /// and lock path *indices* are kept with O(k) memory. Retrieve the
+    /// selection with [`Self::witness_selection`] and re-generate the
+    /// traces with [`crate::witness::capture_witnesses`].
+    #[must_use]
+    pub fn with_witness_capture(mut self, k: usize) -> SimObserver {
+        self.witnesses = Some(Mutex::new(WitnessSelector::new(k)));
         self
     }
 
@@ -214,10 +235,45 @@ impl SimObserver {
     }
 
     /// Reports progress through the optional callback.
-    pub(crate) fn on_progress(&self, consumed: u64, target: Option<u64>) {
+    pub(crate) fn on_progress(
+        &self,
+        consumed: u64,
+        target: Option<u64>,
+        estimate: Option<(f64, f64)>,
+    ) {
         if let Some(f) = &self.progress {
-            f(consumed, target);
+            f(consumed, target, estimate);
         }
+    }
+
+    /// Offers one accepted sample to the witness selector (no-op without
+    /// [`Self::with_witness_capture`]).
+    pub(crate) fn offer_witness(&self, index: u64, verdict: Verdict) {
+        if let Some(w) = &self.witnesses {
+            w.lock().unwrap().offer(index, verdict);
+        }
+    }
+
+    /// The witness selection after a run (`None` without capture).
+    pub fn witness_selection(&self) -> Option<WitnessSelector> {
+        self.witnesses.as_ref().map(|w| w.lock().unwrap().clone())
+    }
+
+    /// Appends an estimator convergence checkpoint; a point repeating the
+    /// previous sample count is dropped, keeping the series strictly
+    /// increasing in `samples`.
+    pub(crate) fn record_convergence(&self, point: ConvergencePoint) {
+        let mut series = self.convergence.lock().unwrap();
+        if series.last().is_some_and(|last| last.samples >= point.samples) {
+            return;
+        }
+        series.push(point);
+    }
+
+    /// The recorded convergence series (per-checkpoint `p̂` and CI
+    /// half-width), in sample order.
+    pub fn convergence(&self) -> Vec<ConvergencePoint> {
+        self.convergence.lock().unwrap().clone()
     }
 
     /// Records a phase's wall time (accumulating on repeated names).
@@ -316,13 +372,43 @@ mod tests {
         use std::sync::Arc;
         let seen = Arc::new(AtomicU64::new(0));
         let seen2 = Arc::clone(&seen);
-        let obs = SimObserver::new(1).with_progress(Box::new(move |done, target| {
+        let obs = SimObserver::new(1).with_progress(Box::new(move |done, target, estimate| {
             assert_eq!(target, Some(100));
+            assert_eq!(estimate, Some((0.5, 0.05)));
             seen2.store(done, Ordering::Relaxed);
         }));
-        obs.on_progress(42, Some(100));
+        obs.on_progress(42, Some(100), Some((0.5, 0.05)));
         assert_eq!(seen.load(Ordering::Relaxed), 42);
         // Without a callback this is a no-op.
-        SimObserver::new(1).on_progress(1, None);
+        SimObserver::new(1).on_progress(1, None, None);
+    }
+
+    #[test]
+    fn witness_offers_flow_into_selector() {
+        let obs = SimObserver::new(1).with_witness_capture(1);
+        obs.offer_witness(0, Verdict::TimeBoundExceeded);
+        obs.offer_witness(1, Verdict::Satisfied);
+        obs.offer_witness(2, Verdict::Satisfied); // capacity reached
+        obs.offer_witness(3, Verdict::Timelock);
+        let sel = obs.witness_selection().unwrap();
+        assert_eq!(sel.goal(), &[1]);
+        assert_eq!(sel.lock(), &[3]);
+        // Without capture: no selector, offers are no-ops.
+        let plain = SimObserver::new(1);
+        plain.offer_witness(0, Verdict::Satisfied);
+        assert!(plain.witness_selection().is_none());
+    }
+
+    #[test]
+    fn convergence_series_stays_strictly_increasing() {
+        let obs = SimObserver::new(1);
+        obs.record_convergence(ConvergencePoint { samples: 1, mean: 1.0, half_width: 1.0 });
+        obs.record_convergence(ConvergencePoint { samples: 2, mean: 0.5, half_width: 0.9 });
+        // Duplicate and regressing sample counts are dropped.
+        obs.record_convergence(ConvergencePoint { samples: 2, mean: 0.5, half_width: 0.9 });
+        obs.record_convergence(ConvergencePoint { samples: 1, mean: 0.0, half_width: 0.1 });
+        let series = obs.convergence();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].samples, 2);
     }
 }

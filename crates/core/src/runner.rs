@@ -18,9 +18,11 @@ use crate::error::SimError;
 use crate::obs::SimObserver;
 use crate::property::TimedReach;
 use crate::strategy::Strategy;
-use crate::verdict::{PathOutcome, PathStats};
+use crate::verdict::{PathOutcome, PathStats, Verdict};
 use slim_automata::prelude::Network;
-use slim_stats::estimator::Estimate;
+use slim_obs::report::ConvergencePoint;
+use slim_stats::chernoff::Accuracy;
+use slim_stats::estimator::{Estimate, Generator};
 use slim_stats::parallel::{split_workload, RoundRobinCollector};
 use slim_stats::rng::path_rng;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -138,9 +140,47 @@ fn check_deadlock_policy(config: &SimConfig, outcome: &PathOutcome) -> Result<()
     Ok(())
 }
 
+/// The live `(p̂, half_width)` pair for progress lines and convergence
+/// checkpoints. The half-width is the Hoeffding bound at the current
+/// sample count (`Accuracy::epsilon_for_samples`) — a uniform,
+/// generator-independent measure of how tight the estimate is so far.
+fn current_estimate(generator: &dyn Generator, accuracy: Accuracy) -> Option<(f64, f64)> {
+    let n = generator.samples();
+    (n > 0).then(|| (generator.estimate().mean, accuracy.epsilon_for_samples(n)))
+}
+
+/// Geometric (~×1.25) checkpoint schedule over *accepted* samples.
+///
+/// Evaluated once per accepted sample — never per drain batch — so the
+/// recorded series is identical for every worker count and channel
+/// interleaving.
+struct ConvergenceSchedule {
+    next: u64,
+}
+
+impl ConvergenceSchedule {
+    fn new() -> ConvergenceSchedule {
+        ConvergenceSchedule { next: 1 }
+    }
+
+    fn after_sample(&mut self, generator: &dyn Generator, accuracy: Accuracy, obs: &SimObserver) {
+        let n = generator.samples();
+        if n < self.next {
+            return;
+        }
+        if let Some((mean, half_width)) = current_estimate(generator, accuracy) {
+            obs.record_convergence(ConvergencePoint { samples: n, mean, half_width });
+        }
+        while self.next <= n {
+            self.next += (self.next / 4).max(1);
+        }
+    }
+}
+
 fn finish_run(
     start: Instant,
-    generator: &dyn slim_stats::estimator::Generator,
+    generator: &dyn Generator,
+    accuracy: Accuracy,
     stats: PathStats,
     state_bytes: usize,
     obs: Option<&SimObserver>,
@@ -151,7 +191,17 @@ fn finish_run(
     if let Some(o) = obs {
         o.record_phase("simulate", sim_wall);
         o.record_phase("estimate", est_start.elapsed());
-        o.on_progress(generator.samples(), generator.known_target());
+        let est = current_estimate(generator, accuracy);
+        // Close the convergence series at the final sample count (the
+        // observer drops it if the last checkpoint already sits there).
+        if let Some((mean, half_width)) = est {
+            o.record_convergence(ConvergencePoint {
+                samples: generator.samples(),
+                mean,
+                half_width,
+            });
+        }
+        o.on_progress(generator.samples(), generator.known_target(), est);
     }
     AnalysisResult {
         estimate,
@@ -170,6 +220,7 @@ fn analyze_sequential_impl<S: PathSource>(
     let mut generator = config.generator.instantiate(config.accuracy);
     let mut strategy = config.strategy.instantiate();
     let mut stats = PathStats::default();
+    let mut convergence = ConvergenceSchedule::new();
     let mut index: u64 = 0;
 
     while !generator.is_complete() {
@@ -182,13 +233,27 @@ fn analyze_sequential_impl<S: PathSource>(
         stats.record(&outcome);
         generator.add(outcome.verdict.is_success());
         if let Some(o) = obs {
-            o.on_progress(generator.samples(), generator.known_target());
+            o.offer_witness(index, outcome.verdict);
+            convergence.after_sample(generator.as_ref(), config.accuracy, o);
+            o.on_progress(
+                generator.samples(),
+                generator.known_target(),
+                current_estimate(generator.as_ref(), config.accuracy),
+            );
         }
         index += 1;
     }
 
     let sim_wall = start.elapsed();
-    Ok(finish_run(start, generator.as_ref(), stats, source.state_bytes(), obs, sim_wall))
+    Ok(finish_run(
+        start,
+        generator.as_ref(),
+        config.accuracy,
+        stats,
+        source.state_bytes(),
+        obs,
+        sim_wall,
+    ))
 }
 
 fn analyze_parallel_impl<S: PathSource>(
@@ -207,12 +272,19 @@ fn analyze_parallel_impl<S: PathSource>(
     // round-robin collector removes arrival-order bias.
     let quota: Option<Vec<u64>> = generator.known_target().map(|n| split_workload(n, workers));
 
-    let mut collector = RoundRobinCollector::new(workers);
+    let mut collector: RoundRobinCollector<Verdict> = RoundRobinCollector::new(workers);
     let mut stats = PathStats::default();
     // Reused across every drain; the collector appends complete rounds
-    // into it instead of allocating a fresh Vec per received sample.
-    let mut round_buf: Vec<bool> = Vec::new();
+    // into it instead of allocating a fresh Vec per received sample. It
+    // carries full verdicts (not just success flags) so witness selection
+    // sees the deterministic consumption order.
+    let mut round_buf: Vec<Verdict> = Vec::new();
     let mut last_drain = Instant::now();
+    let mut convergence = ConvergenceSchedule::new();
+    // Before the stop flag is raised every drained round is complete
+    // (worker 0 first), so the j-th consumed sample is exactly path
+    // index j — the invariant witness capture builds on.
+    let mut consumed: u64 = 0;
 
     // A panic escaping a worker (or the drain loop) propagates out of
     // `std::thread::scope`; map that to a structured error as a backstop —
@@ -280,7 +352,7 @@ fn analyze_parallel_impl<S: PathSource>(
                             check_deadlock_policy(config, &outcome)?;
                         }
                         stats.record(&outcome);
-                        collector.push(w, outcome.verdict.is_success());
+                        collector.push(w, outcome.verdict);
                         round_buf.clear();
                         collector.drain_rounds_into(&mut round_buf);
                         if !round_buf.is_empty() {
@@ -292,13 +364,26 @@ fn analyze_parallel_impl<S: PathSource>(
                                 );
                                 last_drain = Instant::now();
                             }
-                            for &s in &round_buf {
+                            for &v in &round_buf {
                                 if !generator.is_complete() {
-                                    generator.add(s);
+                                    generator.add(v.is_success());
+                                    if let Some(o) = obs {
+                                        o.offer_witness(consumed, v);
+                                        convergence.after_sample(
+                                            generator.as_ref(),
+                                            config.accuracy,
+                                            o,
+                                        );
+                                    }
                                 }
+                                consumed += 1;
                             }
                             if let Some(o) = obs {
-                                o.on_progress(generator.samples(), generator.known_target());
+                                o.on_progress(
+                                    generator.samples(),
+                                    generator.known_target(),
+                                    current_estimate(generator.as_ref(), config.accuracy),
+                                );
                             }
                         }
                         if !complete && generator.is_complete() {
@@ -328,10 +413,15 @@ fn analyze_parallel_impl<S: PathSource>(
             if let (Some(o), false) = (obs, round_buf.is_empty()) {
                 o.record_drain(round_buf.len(), collector.buffered(), last_drain.elapsed());
             }
-            for &s in &round_buf {
+            for &v in &round_buf {
                 if !generator.is_complete() {
-                    generator.add(s);
+                    generator.add(v.is_success());
+                    if let Some(o) = obs {
+                        o.offer_witness(consumed, v);
+                        convergence.after_sample(generator.as_ref(), config.accuracy, o);
+                    }
                 }
+                consumed += 1;
             }
             Ok(())
         })
@@ -341,7 +431,15 @@ fn analyze_parallel_impl<S: PathSource>(
     result?;
 
     let sim_wall = start.elapsed();
-    Ok(finish_run(start, generator.as_ref(), stats, source.state_bytes(), obs, sim_wall))
+    Ok(finish_run(
+        start,
+        generator.as_ref(),
+        config.accuracy,
+        stats,
+        source.state_bytes(),
+        obs,
+        sim_wall,
+    ))
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -535,12 +633,86 @@ mod tests {
         let cfg = loose().with_accuracy(Accuracy::new(0.1, 0.1).unwrap()).with_workers(2);
         let last = Arc::new(AtomicU64::new(0));
         let last2 = Arc::clone(&last);
-        let obs = SimObserver::new(2).with_progress(Box::new(move |done, target| {
+        let obs = SimObserver::new(2).with_progress(Box::new(move |done, target, estimate| {
             assert!(target.is_some(), "CH bound has a known target");
+            if done > 0 {
+                let (mean, half_width) = estimate.expect("estimate available once sampled");
+                assert!((0.0..=1.0).contains(&mean));
+                assert!(half_width > 0.0);
+            }
             last2.store(done, Ordering::Relaxed);
         }));
         let r = analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
         assert_eq!(last.load(Ordering::Relaxed), r.estimate.samples);
+    }
+
+    #[test]
+    fn witness_selection_identical_across_worker_counts() {
+        let (net, prop) = exp_net(1.0);
+        let mut selections = Vec::new();
+        for workers in [1usize, 4] {
+            let cfg = loose()
+                .with_accuracy(Accuracy::new(0.05, 0.1).unwrap())
+                .with_workers(workers)
+                .with_seed(7);
+            let obs = SimObserver::new(workers).with_witness_capture(3);
+            analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+            selections.push(obs.witness_selection().unwrap());
+        }
+        assert_eq!(selections[0], selections[1], "witness indices depend on worker count");
+        assert!(!selections[0].goal().is_empty(), "λ=1 run should hit the goal");
+    }
+
+    #[test]
+    fn witness_selection_deterministic_with_sequential_generator() {
+        // Sequential stopping rules accept a worker-count-independent
+        // prefix of the consumption order, so witnesses still agree.
+        let (net, prop) = exp_net(1.0);
+        let mut selections = Vec::new();
+        for workers in [1usize, 3] {
+            let cfg =
+                loose().with_generator(GeneratorKind::Gauss).with_workers(workers).with_seed(13);
+            let obs = SimObserver::new(workers).with_witness_capture(2);
+            analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+            selections.push(obs.witness_selection().unwrap());
+        }
+        assert_eq!(selections[0], selections[1]);
+    }
+
+    #[test]
+    fn convergence_series_recorded_and_well_formed() {
+        let (net, prop) = exp_net(1.0);
+        for workers in [1usize, 2] {
+            let cfg = loose()
+                .with_accuracy(Accuracy::new(0.05, 0.1).unwrap())
+                .with_workers(workers)
+                .with_seed(5);
+            let obs = SimObserver::new(workers);
+            let r = analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+            let series = obs.convergence();
+            assert!(series.len() >= 2, "workers={workers}: series too short");
+            assert!(series.windows(2).all(|w| w[0].samples < w[1].samples));
+            assert!(series.windows(2).all(|w| w[0].half_width >= w[1].half_width));
+            let last = series.last().unwrap();
+            assert_eq!(last.samples, r.estimate.samples);
+            assert!((last.mean - r.estimate.mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convergence_checkpoints_independent_of_worker_count() {
+        let (net, prop) = exp_net(1.0);
+        let mut all = Vec::new();
+        for workers in [1usize, 4] {
+            let cfg = loose()
+                .with_accuracy(Accuracy::new(0.05, 0.1).unwrap())
+                .with_workers(workers)
+                .with_seed(7);
+            let obs = SimObserver::new(workers);
+            analyze_observed(&net, &prop, &cfg, Some(&obs)).unwrap();
+            all.push(obs.convergence());
+        }
+        assert_eq!(all[0], all[1], "convergence series depends on worker count");
     }
 
     // --- PathSource mocks: deterministic runner-protocol tests ---------

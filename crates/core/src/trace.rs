@@ -1,103 +1,185 @@
-//! Path trace recording (for the interactive mode and debugging).
+//! Engine-side structured path tracing.
+//!
+//! The typed event vocabulary and the sinks live in `slim_obs::trace`
+//! (re-exported here); this module adds the [`PathTracer`], which the
+//! engine drives to turn id-based network steps into the name-based
+//! [`TraceEvent`]s that trace files carry. The tracer is only consulted
+//! through `Option<&mut PathTracer>` — when absent the engine pays a
+//! single branch per emission point and never constructs an event.
 
+use crate::strategy::{Decision, ScheduledCandidate};
+use crate::verdict::PathOutcome;
 use slim_automata::network::GlobalTransition;
-use slim_automata::prelude::{NetState, Network};
-use std::fmt;
+use slim_automata::prelude::{NetState, Network, Value};
+use slim_obs::Json;
 
-/// One event along a generated path.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TraceEvent {
-    /// Time passed.
-    Delay {
-        /// Model time at the start of the delay.
-        at: f64,
-        /// Delay length.
-        duration: f64,
-    },
-    /// A discrete transition fired.
-    Fire {
-        /// Model time of the firing.
-        at: f64,
-        /// Action name (`"tau"` for internal/Markovian moves).
-        action: String,
-        /// Names of the participating automata.
-        participants: Vec<String>,
-        /// Whether the transition was Markovian.
-        markovian: bool,
-    },
+pub use slim_obs::trace::{
+    events_to_csv, events_to_json_lines, parse_trace, JsonLinesSink, MemorySink, RingBufferSink,
+    TraceEvent, TraceSink, TRACE_FORMAT_VERSION,
+};
+
+/// What a [`PathTracer`] records beyond the always-on movement events
+/// (delays, firings, verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Record [`TraceEvent::Decision`] events with the candidate set the
+    /// strategy considered.
+    pub decisions: bool,
+    /// Record a [`TraceEvent::Snapshot`] after every n-th step
+    /// (`0` disables snapshots, `1` snapshots every step).
+    pub snapshot_every: u64,
 }
 
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TraceEvent::Delay { at, duration } => write!(f, "t={at:.6}: delay {duration:.6}"),
-            TraceEvent::Fire { at, action, participants, markovian } => {
-                let kind = if *markovian { "markovian" } else { "guarded" };
-                write!(f, "t={at:.6}: fire {action} ({kind}; {})", participants.join("∥"))
-            }
-        }
+impl Default for TraceOptions {
+    fn default() -> TraceOptions {
+        TraceOptions { decisions: true, snapshot_every: 1 }
     }
 }
 
-impl TraceEvent {
-    /// Builds a fire event from a global transition.
-    pub fn fire(net: &Network, state: &NetState, gt: &GlobalTransition, markovian: bool) -> Self {
-        TraceEvent::Fire {
+/// Converts a network [`Value`] into its trace JSON form (booleans as
+/// JSON bools, integers and reals as JSON numbers).
+///
+/// The replay verifier compares valuations through this same conversion,
+/// so recorded and re-simulated values agree bit-for-bit whenever the
+/// underlying `f64`s do.
+pub fn value_to_json(v: Value) -> Json {
+    match v {
+        Value::Bool(b) => Json::Bool(b),
+        Value::Int(i) => Json::Num(i as f64),
+        Value::Real(r) => Json::Num(r),
+    }
+}
+
+/// Renders one scheduled candidate as `action @ window` (the form the
+/// interactive prompt and [`TraceEvent::Decision`] candidates share).
+pub fn render_candidate(net: &Network, c: &ScheduledCandidate) -> String {
+    format!("{} @ {}", net.actions()[c.transition.action.0].name, c.window)
+}
+
+/// Turns engine steps into structured [`TraceEvent`]s on a sink.
+///
+/// Created per path; the engine calls the `pub(crate)` emission hooks,
+/// front-ends add [`TraceEvent::Start`] headers via [`PathTracer::emit`].
+pub struct PathTracer<'a> {
+    net: &'a Network,
+    sink: &'a mut dyn TraceSink,
+    opts: TraceOptions,
+}
+
+impl std::fmt::Debug for PathTracer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathTracer").field("opts", &self.opts).finish_non_exhaustive()
+    }
+}
+
+impl<'a> PathTracer<'a> {
+    /// Creates a tracer with default options (decisions on, snapshot
+    /// every step).
+    pub fn new(net: &'a Network, sink: &'a mut dyn TraceSink) -> PathTracer<'a> {
+        PathTracer::with_options(net, sink, TraceOptions::default())
+    }
+
+    /// Creates a tracer with explicit recording options.
+    pub fn with_options(
+        net: &'a Network,
+        sink: &'a mut dyn TraceSink,
+        opts: TraceOptions,
+    ) -> PathTracer<'a> {
+        PathTracer { net, sink, opts }
+    }
+
+    /// Forwards an already-built event (used for [`TraceEvent::Start`]
+    /// headers, which carry run context the engine does not know).
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.sink.record(event);
+    }
+
+    pub(crate) fn delay(&mut self, step: u64, state: &NetState, duration: f64) {
+        self.sink.record(TraceEvent::Delay { step, at: state.time, duration });
+    }
+
+    pub(crate) fn decision(
+        &mut self,
+        step: u64,
+        state: &NetState,
+        decision: &Decision,
+        candidates: &[ScheduledCandidate],
+    ) {
+        if !self.opts.decisions {
+            return;
+        }
+        let rendered = candidates.iter().map(|c| render_candidate(self.net, c)).collect();
+        let (kind, chosen, delay) = match decision {
+            Decision::Fire { delay, candidate } => ("fire", Some(*candidate as u64), Some(*delay)),
+            Decision::Wait { delay } => ("wait", None, Some(*delay)),
+            Decision::Stuck => ("stuck", None, None),
+            Decision::Abort => ("abort", None, None),
+        };
+        self.sink.record(TraceEvent::Decision {
+            step,
             at: state.time,
-            action: net.actions()[gt.action.0].name.clone(),
-            participants: gt.parts.iter().map(|(p, _)| net.automata()[p.0].name.clone()).collect(),
+            kind: kind.to_string(),
+            candidates: rendered,
+            chosen,
+            delay,
+        });
+    }
+
+    pub(crate) fn fire(
+        &mut self,
+        step: u64,
+        state: &NetState,
+        gt: &GlobalTransition,
+        markovian: bool,
+        rate: Option<f64>,
+        rate_total: Option<f64>,
+    ) {
+        self.sink.record(TraceEvent::Fire {
+            step,
+            at: state.time,
+            action: self.net.actions()[gt.action.0].name.clone(),
             markovian,
+            rate,
+            rate_total,
+            parts: gt
+                .parts
+                .iter()
+                .map(|&(p, t)| (self.net.automata()[p.0].name.clone(), t.0 as u64))
+                .collect(),
+        });
+    }
+
+    pub(crate) fn snapshot(&mut self, step: u64, state: &NetState) {
+        let every = self.opts.snapshot_every;
+        if every == 0 || !step.is_multiple_of(every) {
+            return;
         }
+        self.sink.record(snapshot_event(self.net, step, state));
+    }
+
+    pub(crate) fn verdict(&mut self, outcome: &PathOutcome) {
+        self.sink.record(TraceEvent::Verdict {
+            verdict: outcome.verdict.code().to_string(),
+            at: outcome.end_time,
+            steps: outcome.steps,
+        });
     }
 }
 
-impl VecTrace {
-    /// Renders the recorded events as CSV
-    /// (`time,kind,action,markovian,participants`).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from("time,kind,action,markovian,participants\n");
-        for e in &self.events {
-            match e {
-                TraceEvent::Delay { at, duration } => {
-                    out.push_str(&format!("{at},delay,{duration},,\n"));
-                }
-                TraceEvent::Fire { at, action, participants, markovian } => {
-                    out.push_str(&format!(
-                        "{at},fire,{action},{markovian},{}\n",
-                        participants.join("|")
-                    ));
-                }
-            }
-        }
-        out
-    }
-}
-
-/// A sink receiving trace events; [`NullTrace`] discards, [`VecTrace`]
-/// records.
-pub trait TraceSink {
-    /// Receives one event.
-    fn event(&mut self, event: TraceEvent);
-}
-
-/// Discards all events (the fast path).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NullTrace;
-
-impl TraceSink for NullTrace {
-    fn event(&mut self, _event: TraceEvent) {}
-}
-
-/// Records all events in memory.
-#[derive(Debug, Clone, Default)]
-pub struct VecTrace {
-    /// Recorded events in order.
-    pub events: Vec<TraceEvent>,
-}
-
-impl TraceSink for VecTrace {
-    fn event(&mut self, event: TraceEvent) {
-        self.events.push(event);
+/// Builds a [`TraceEvent::Snapshot`] of `state` (locations in automaton
+/// order, variables in declaration order). Shared with the replay
+/// verifier, which re-derives snapshots through the same code path.
+pub fn snapshot_event(net: &Network, step: u64, state: &NetState) -> TraceEvent {
+    TraceEvent::Snapshot {
+        step,
+        at: state.time,
+        locations: state
+            .locs
+            .iter()
+            .enumerate()
+            .map(|(p, &l)| net.automata()[p].locations[l.0].name.clone())
+            .collect(),
+        values: state.nu.iter().map(|(v, val)| (net.name_of(v), value_to_json(val))).collect(),
     }
 }
 
@@ -106,43 +188,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn vec_trace_records_in_order() {
-        let mut t = VecTrace::default();
-        t.event(TraceEvent::Delay { at: 0.0, duration: 1.5 });
-        t.event(TraceEvent::Fire {
-            at: 1.5,
-            action: "go".into(),
-            participants: vec!["a".into(), "b".into()],
-            markovian: false,
-        });
-        assert_eq!(t.events.len(), 2);
-        assert!(t.events[0].to_string().contains("delay"));
-        assert!(t.events[1].to_string().contains("go"));
-        assert!(t.events[1].to_string().contains("a∥b"));
+    fn value_conversion_covers_all_variants() {
+        assert_eq!(value_to_json(Value::Bool(true)), Json::Bool(true));
+        assert_eq!(value_to_json(Value::Int(-3)), Json::Num(-3.0));
+        assert_eq!(value_to_json(Value::Real(2.5)), Json::Num(2.5));
     }
 
     #[test]
-    fn csv_export_shape() {
-        let mut t = VecTrace::default();
-        t.event(TraceEvent::Delay { at: 0.0, duration: 1.5 });
-        t.event(TraceEvent::Fire {
-            at: 1.5,
-            action: "tau".into(),
-            participants: vec!["a".into(), "b".into()],
-            markovian: true,
-        });
-        let csv = t.to_csv();
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("time,kind"));
-        assert!(lines[1].contains("delay"));
-        assert!(lines[2].contains("tau") && lines[2].contains("true") && lines[2].contains("a|b"));
-    }
-
-    #[test]
-    fn null_trace_discards() {
-        let mut t = NullTrace;
-        t.event(TraceEvent::Delay { at: 0.0, duration: 1.0 });
-        // nothing observable — just exercising the impl
+    fn default_options_record_everything() {
+        let o = TraceOptions::default();
+        assert!(o.decisions);
+        assert_eq!(o.snapshot_every, 1);
     }
 }

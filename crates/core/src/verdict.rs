@@ -36,6 +36,41 @@ impl Verdict {
     pub fn is_lock(self) -> bool {
         matches!(self, Verdict::Deadlock | Verdict::Timelock)
     }
+
+    /// Stable machine-readable code used in trace files and reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Verdict::Satisfied => "satisfied",
+            Verdict::TimeBoundExceeded => "time_bound_exceeded",
+            Verdict::HoldViolated => "hold_violated",
+            Verdict::Deadlock => "deadlock",
+            Verdict::Timelock => "timelock",
+            Verdict::StepLimit => "step_limit",
+        }
+    }
+
+    /// Parses a [`Self::code`] string back into a verdict.
+    pub fn from_code(code: &str) -> Option<Verdict> {
+        Some(match code {
+            "satisfied" => Verdict::Satisfied,
+            "time_bound_exceeded" => Verdict::TimeBoundExceeded,
+            "hold_violated" => Verdict::HoldViolated,
+            "deadlock" => Verdict::Deadlock,
+            "timelock" => Verdict::Timelock,
+            "step_limit" => Verdict::StepLimit,
+            _ => return None,
+        })
+    }
+
+    /// All verdicts, in [`Self::code`] order.
+    pub const ALL: [Verdict; 6] = [
+        Verdict::Satisfied,
+        Verdict::TimeBoundExceeded,
+        Verdict::HoldViolated,
+        Verdict::Deadlock,
+        Verdict::Timelock,
+        Verdict::StepLimit,
+    ];
 }
 
 impl fmt::Display for Verdict {
@@ -194,6 +229,14 @@ mod tests {
         assert!(Verdict::Deadlock.is_lock());
         assert!(Verdict::Timelock.is_lock());
         assert!(!Verdict::Satisfied.is_lock());
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for v in Verdict::ALL {
+            assert_eq!(Verdict::from_code(v.code()), Some(v));
+        }
+        assert_eq!(Verdict::from_code("nope"), None);
     }
 
     #[test]

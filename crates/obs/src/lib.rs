@@ -22,7 +22,11 @@
 //!   metrics, phase timings, host info), with a structural validator.
 //! * [`bench`] — the `BENCH_*.json` emitter used by the bench harness.
 //! * [`progress`] — a throttled live progress line (completed/target,
-//!   paths/sec, ETA when the sample target is known a priori).
+//!   paths/sec, current estimate, ETA when the sample target is known
+//!   a priori).
+//! * [`trace`] — structured per-path trace events ([`trace::TraceEvent`])
+//!   with in-memory, ring-buffer and JSON-lines sinks, and the codec the
+//!   replay verifier consumes (see `docs/tracing.md`).
 //!
 //! ## Example
 //!
@@ -46,13 +50,18 @@ pub mod metrics;
 pub mod progress;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use bench::{BenchEntry, BenchReport};
 pub use json::Json;
 pub use metrics::{Counter, CounterId, Histogram, HistogramId, MetricsRegistry, MetricsSnapshot};
 pub use progress::ProgressMeter;
 pub use report::{
-    ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, PropertyInfo, RunReport, WorkerInfo,
-    SCHEMA_VERSION,
+    ConfigInfo, ConvergencePoint, EstimateInfo, HostInfo, ModelInfo, PathInfo, PropertyInfo,
+    RunReport, WorkerInfo, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use span::PhaseClock;
+pub use trace::{
+    events_to_csv, events_to_json_lines, parse_trace, JsonLinesSink, MemorySink, RingBufferSink,
+    TraceEvent, TraceSink, TRACE_FORMAT_VERSION,
+};

@@ -25,8 +25,15 @@ impl ProgressMeter {
     ///
     /// `target` is the a-priori sample target when known (Chernoff
     /// fixed-sample runs); sequential rules pass `None` and the line
-    /// omits percentage and ETA.
-    pub fn tick(&mut self, completed: u64, target: Option<u64>) -> Option<String> {
+    /// omits percentage and ETA. `estimate` is the current
+    /// `(p̂, half-width)` pair from the estimator when available; it is
+    /// appended as `p̂≈0.632 ±0.010`.
+    pub fn tick(
+        &mut self,
+        completed: u64,
+        target: Option<u64>,
+        estimate: Option<(f64, f64)>,
+    ) -> Option<String> {
         let now = Instant::now();
         if let Some(last) = self.last_render {
             if now.duration_since(last) < self.min_interval {
@@ -34,17 +41,33 @@ impl ProgressMeter {
             }
         }
         self.last_render = Some(now);
-        Some(self.render(completed, target, now.duration_since(self.started)))
+        Some(self.render(completed, target, estimate, now.duration_since(self.started)))
     }
 
     /// Renders a final line regardless of throttling (for run end).
-    pub fn finish(&self, completed: u64, target: Option<u64>) -> String {
-        self.render(completed, target, self.started.elapsed())
+    pub fn finish(
+        &self,
+        completed: u64,
+        target: Option<u64>,
+        estimate: Option<(f64, f64)>,
+    ) -> String {
+        self.render(completed, target, estimate, self.started.elapsed())
     }
 
-    fn render(&self, completed: u64, target: Option<u64>, elapsed: Duration) -> String {
+    fn render(
+        &self,
+        completed: u64,
+        target: Option<u64>,
+        estimate: Option<(f64, f64)>,
+        elapsed: Duration,
+    ) -> String {
         let secs = elapsed.as_secs_f64();
         let rate = if secs > 0.0 { completed as f64 / secs } else { 0.0 };
+        let phat = match estimate {
+            Some((mean, hw)) if hw.is_finite() => format!(" · p̂≈{mean:.3} ±{hw:.3}"),
+            Some((mean, _)) => format!(" · p̂≈{mean:.3}"),
+            None => String::new(),
+        };
         match target {
             Some(t) if t > 0 => {
                 let pct = 100.0 * completed as f64 / t as f64;
@@ -53,9 +76,9 @@ impl ProgressMeter {
                 } else {
                     String::new()
                 };
-                format!("{completed}/{t} paths ({pct:.1}%) · {rate:.0} paths/s{eta}")
+                format!("{completed}/{t} paths ({pct:.1}%) · {rate:.0} paths/s{phat}{eta}")
             }
-            _ => format!("{completed} paths · {rate:.0} paths/s"),
+            _ => format!("{completed} paths · {rate:.0} paths/s{phat}"),
         }
     }
 }
@@ -67,15 +90,15 @@ mod tests {
     #[test]
     fn first_tick_renders_then_throttles() {
         let mut m = ProgressMeter::new(Duration::from_secs(3600));
-        assert!(m.tick(10, Some(100)).is_some());
-        assert!(m.tick(20, Some(100)).is_none());
+        assert!(m.tick(10, Some(100), None).is_some());
+        assert!(m.tick(20, Some(100), None).is_none());
     }
 
     #[test]
     fn renders_target_percentage_and_eta() {
         let mut m = ProgressMeter::new(Duration::ZERO);
         std::thread::sleep(Duration::from_millis(5));
-        let line = m.tick(50, Some(200)).unwrap();
+        let line = m.tick(50, Some(200), None).unwrap();
         assert!(line.contains("50/200"), "{line}");
         assert!(line.contains("25.0%"), "{line}");
         assert!(line.contains("ETA"), "{line}");
@@ -84,16 +107,27 @@ mod tests {
     #[test]
     fn unknown_target_omits_percentage() {
         let mut m = ProgressMeter::new(Duration::ZERO);
-        let line = m.tick(37, None).unwrap();
+        let line = m.tick(37, None, None).unwrap();
         assert!(line.starts_with("37 paths"), "{line}");
         assert!(!line.contains('%'), "{line}");
     }
 
     #[test]
+    fn renders_current_estimate_with_half_width() {
+        let mut m = ProgressMeter::new(Duration::ZERO);
+        let line = m.tick(100, Some(200), Some((0.6321, 0.0104))).unwrap();
+        assert!(line.contains("p̂≈0.632"), "{line}");
+        assert!(line.contains("±0.010"), "{line}");
+        // Sequential rules (no target) still show the estimate.
+        let line = m.finish(100, None, Some((0.25, f64::INFINITY)));
+        assert!(line.contains("p̂≈0.250") && !line.contains('±'), "{line}");
+    }
+
+    #[test]
     fn finish_ignores_throttle() {
         let mut m = ProgressMeter::new(Duration::from_secs(3600));
-        let _ = m.tick(1, Some(10));
-        let line = m.finish(10, Some(10));
+        let _ = m.tick(1, Some(10), None);
+        let line = m.finish(10, Some(10), None);
         assert!(line.contains("10/10"), "{line}");
         assert!(!line.contains("ETA"), "completed runs have no ETA: {line}");
     }

@@ -7,6 +7,10 @@
 //! per-worker throughput, and the raw metrics snapshot. The schema is
 //! versioned and has a structural [`RunReport::validate`] so CI can
 //! reject malformed artifacts.
+//!
+//! Schema history: **v2** added the `convergence` array (per-checkpoint
+//! estimate mean and CI half-width, see [`ConvergencePoint`]); the parser
+//! still accepts v1 documents, which simply have no convergence series.
 
 use std::collections::BTreeMap;
 
@@ -14,7 +18,47 @@ use crate::json::Json;
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 
 /// Schema version written into every report.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version the parser and validator still accept.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// One point of the estimator convergence series: the running estimate
+/// after `samples` consumed samples. Checkpoints are taken at
+/// deterministic sample counts, so the series is identical for a fixed
+/// `(seed, workers)` pair and can be plotted straight from the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// Samples consumed when the checkpoint was taken.
+    pub samples: u64,
+    /// Running estimate `p̂` at the checkpoint.
+    pub mean: f64,
+    /// Hoeffding CI half-width at the checkpoint (at the run's δ).
+    pub half_width: f64,
+}
+
+impl ConvergencePoint {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("samples", Json::Num(self.samples as f64)),
+            ("mean", Json::Num(self.mean)),
+            ("half_width", Json::Num(self.half_width)),
+        ])
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    /// A message naming the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<ConvergencePoint, String> {
+        Ok(ConvergencePoint {
+            samples: req_u64(v, "samples", "convergence")?,
+            mean: req_f64(v, "mean", "convergence")?,
+            half_width: req_f64(v, "half_width", "convergence")?,
+        })
+    }
+}
 
 /// Host provenance.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +224,8 @@ pub struct RunReport {
     pub config: ConfigInfo,
     /// Resulting estimate.
     pub estimate: EstimateInfo,
+    /// Estimator convergence series (schema v2; empty in v1 documents).
+    pub convergence: Vec<ConvergencePoint>,
     /// Per-verdict path accounting.
     pub paths: PathInfo,
     /// End-to-end wall time in milliseconds.
@@ -247,6 +293,7 @@ impl RunReport {
                     ("successes", Json::Num(self.estimate.successes as f64)),
                 ]),
             ),
+            ("convergence", Json::Arr(self.convergence.iter().map(|c| c.to_json()).collect())),
             (
                 "paths",
                 Json::obj([
@@ -349,6 +396,16 @@ impl RunReport {
                 samples: req_u64(estimate, "samples", "estimate")?,
                 successes: req_u64(estimate, "successes", "estimate")?,
             },
+            // Absent in v1 documents — parsed as an empty series.
+            convergence: match v.get("convergence") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(c) => c
+                    .as_arr()
+                    .ok_or("report: `convergence` must be an array")?
+                    .iter()
+                    .map(ConvergencePoint::from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
             paths: PathInfo {
                 satisfied: req_u64(paths, "satisfied", "paths")?,
                 time_bound_exceeded: req_u64(paths, "time_bound_exceeded", "paths")?,
@@ -395,9 +452,9 @@ impl RunReport {
     /// report is internally consistent). Used by `slimsim report` and CI.
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        if self.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             problems.push(format!(
-                "schema_version is {} but this tool expects {SCHEMA_VERSION}",
+                "schema_version is {} but this tool expects {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}",
                 self.schema_version
             ));
         }
@@ -460,6 +517,30 @@ impl RunReport {
         for (name, ms) in &self.phases {
             if !ms.is_finite() || *ms < 0.0 {
                 problems.push(format!("phase `{name}` has invalid duration {ms}"));
+            }
+        }
+        let mut prev_samples = 0u64;
+        for (i, c) in self.convergence.iter().enumerate() {
+            if c.samples <= prev_samples && i > 0 {
+                problems.push(format!(
+                    "convergence[{i}].samples ({}) not strictly increasing",
+                    c.samples
+                ));
+            }
+            prev_samples = c.samples;
+            if !(0.0..=1.0).contains(&c.mean) {
+                problems.push(format!("convergence[{i}].mean {} outside [0, 1]", c.mean));
+            }
+            if !c.half_width.is_finite() || c.half_width < 0.0 {
+                problems.push(format!("convergence[{i}].half_width {} invalid", c.half_width));
+            }
+        }
+        if let (Some(last), true) = (self.convergence.last(), self.schema_version >= 2) {
+            if last.samples > self.estimate.samples {
+                problems.push(format!(
+                    "convergence ends at {} samples, past estimate.samples ({})",
+                    last.samples, self.estimate.samples
+                ));
             }
         }
         problems
@@ -623,6 +704,11 @@ mod tests {
                 samples: 738,
                 successes: 184,
             },
+            convergence: vec![
+                ConvergencePoint { samples: 64, mean: 0.28125, half_width: 0.17 },
+                ConvergencePoint { samples: 256, mean: 0.26, half_width: 0.085 },
+                ConvergencePoint { samples: 738, mean: 0.25, half_width: 0.05 },
+            ],
             paths: PathInfo {
                 satisfied: 184,
                 time_bound_exceeded: 554,
@@ -696,6 +782,42 @@ mod tests {
         let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.paths.mean_satisfaction_time, None);
         assert_eq!(back, r);
+    }
+
+    /// A v1 document (no `convergence` member) — the fixture mirrors what
+    /// the tool wrote before the v2 migration.
+    fn v1_fixture() -> String {
+        let mut r = sample_report();
+        r.schema_version = 1;
+        r.convergence.clear();
+        let v = r.to_json();
+        // Strip the (empty) convergence member so the document is a true
+        // v1 file, not just a v2 file with an empty array.
+        let Json::Obj(members) = v else { unreachable!() };
+        Json::Obj(members.into_iter().filter(|(k, _)| k != "convergence").collect()).to_pretty()
+    }
+
+    #[test]
+    fn v1_reports_still_parse_and_validate() {
+        let text = v1_fixture();
+        assert!(!text.contains("convergence"));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(back.convergence.is_empty());
+        assert_eq!(back.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validate_catches_bad_convergence() {
+        let mut r = sample_report();
+        r.convergence[1].samples = 64; // not strictly increasing
+        r.convergence[2].mean = 2.0;
+        let problems = r.validate();
+        assert!(problems.iter().any(|p| p.contains("strictly increasing")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("convergence[2].mean")), "{problems:?}");
+        let mut r = sample_report();
+        r.convergence.last_mut().unwrap().samples = 10_000;
+        assert!(r.validate().iter().any(|p| p.contains("past estimate.samples")));
     }
 
     #[test]

@@ -15,21 +15,26 @@
 use std::collections::VecDeque;
 
 /// Per-worker FIFO buffers drained in synchronized rounds.
+///
+/// Generic in the sample type `T` (defaulting to the success flag the
+/// generators consume) so the runner can carry richer per-sample payloads
+/// — e.g. full verdicts for witness selection — through the same
+/// deterministic consumption order.
 #[derive(Debug, Clone)]
-pub struct RoundRobinCollector {
-    buffers: Vec<VecDeque<bool>>,
+pub struct RoundRobinCollector<T = bool> {
+    buffers: Vec<VecDeque<T>>,
     finished: Vec<bool>,
 }
 
-impl RoundRobinCollector {
+impl<T> RoundRobinCollector<T> {
     /// Creates a collector for `workers` parallel producers.
     ///
     /// # Panics
     /// Panics if `workers == 0`.
-    pub fn new(workers: usize) -> RoundRobinCollector {
+    pub fn new(workers: usize) -> RoundRobinCollector<T> {
         assert!(workers > 0, "need at least one worker");
         RoundRobinCollector {
-            buffers: vec![VecDeque::new(); workers],
+            buffers: (0..workers).map(|_| VecDeque::new()).collect(),
             finished: vec![false; workers],
         }
     }
@@ -44,9 +49,9 @@ impl RoundRobinCollector {
     /// # Panics
     /// Panics if the worker index is out of range or already marked
     /// finished.
-    pub fn push(&mut self, worker: usize, success: bool) {
+    pub fn push(&mut self, worker: usize, sample: T) {
         assert!(!self.finished[worker], "worker {worker} already finished");
-        self.buffers[worker].push_back(success);
+        self.buffers[worker].push_back(sample);
     }
 
     /// Marks a worker as producing no further samples (its buffered
@@ -78,7 +83,7 @@ impl RoundRobinCollector {
     ///
     /// Allocates a fresh `Vec` per call; hot loops should prefer
     /// [`Self::drain_rounds_into`] with a reused buffer.
-    pub fn drain_rounds(&mut self) -> Vec<bool> {
+    pub fn drain_rounds(&mut self) -> Vec<T> {
         let mut out = Vec::new();
         self.drain_rounds_into(&mut out);
         out
@@ -90,7 +95,7 @@ impl RoundRobinCollector {
     /// The allocation-free sibling of [`Self::drain_rounds`]: the parallel
     /// runner calls this once per received sample, so it reuses one buffer
     /// across the whole run instead of allocating per call.
-    pub fn drain_rounds_into(&mut self, out: &mut Vec<bool>) {
+    pub fn drain_rounds_into(&mut self, out: &mut Vec<T>) {
         while self.round_ready() {
             for buf in &mut self.buffers {
                 if let Some(s) = buf.pop_front() {
