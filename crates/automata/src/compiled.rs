@@ -1,0 +1,1736 @@
+//! Compiled simulation kernel: step tables + allocation-free stepping.
+//!
+//! The legacy semantics in [`crate::network`] re-walk guard/effect ASTs and
+//! allocate fresh `Vec`s/[`IntervalSet`]s on every step. This module
+//! compiles a [`Network`] once into [`StepTables`] — per-(process, location)
+//! transition indices, per-action sync skeletons, and postfix bytecode for
+//! guards, invariants, effects and flows — and evaluates steps through a
+//! reusable [`StepScratch`] workspace so that the steady-state hot path
+//! (`delay_window_into`, `guarded_candidates_into`,
+//! `markovian_candidates_into`, `advance_mut`, `apply_mut`) performs **zero
+//! heap allocations**.
+//!
+//! The compiled kernel is semantics-identical to the legacy methods: same
+//! candidate enumeration order (τ transitions by process then transition
+//! id, sync actions by action id with the last participant varying
+//! fastest), same empty-window filtering points, and same error values in
+//! the same evaluation order. Guards outside the linear-solvable happy set
+//! (e.g. numeric `if` in guard position) fall back to the legacy AST
+//! solver per guard — allocating, but byte-identical in behavior.
+//!
+//! One caveat: `=`/`!=` between Boolean and numeric operands is dispatched
+//! at *compile* time from declared variable types, where the legacy solver
+//! inspects runtime values. The two agree on every type-canonical state
+//! (which the engine maintains invariantly); hand-built states that store a
+//! value of the wrong kind in a variable are outside the compiled kernel's
+//! contract.
+
+use crate::automaton::{ActionId, GuardKind, LocId, ProcId, TransId};
+use crate::error::EvalError;
+use crate::eval::{eval_bin, Valuation};
+use crate::expr::{BinOp, Expr, VarId};
+use crate::interval::{Interval, IntervalSet};
+use crate::linear::{solve, Aff, DelayEnv};
+use crate::network::{Network, INVARIANT_TOLERANCE};
+use crate::state::NetState;
+use crate::value::{Value, VarType};
+
+// ---------------------------------------------------------------------------
+// Bytecode
+// ---------------------------------------------------------------------------
+
+/// One op of a compiled guard program. Set-valued ops work on a stack of
+/// pooled [`IntervalSet`]s, numeric ops on a stack of affine forms.
+#[derive(Debug, Clone)]
+enum SolveOp {
+    /// Push `[0, ∞)`.
+    SetTrue,
+    /// Push `∅`.
+    SetFalse,
+    /// Push the window of a Boolean variable (all/empty by its value).
+    SetVar(VarId),
+    /// Complement the top set.
+    Complement,
+    /// Intersect the top two sets.
+    Intersect,
+    /// Union the top two sets.
+    Union,
+    /// Symmetric difference of the top two sets.
+    Xor,
+    /// Boolean (co)incidence of the top two sets: `Eq` keeps delays where
+    /// both or neither hold, `Ne` its complement.
+    BoolEq,
+    BoolNe,
+    /// `if c then t else e` over the top three sets (c deepest).
+    IteSet,
+    /// Pop two affine forms `a`, `b` and push the delay set of `a op b`.
+    Cmp(BinOp),
+    /// Push a constant affine form.
+    AffConst(f64),
+    /// Push `ν(v) + rate(v)·d`.
+    AffVar(VarId),
+    /// Negate the top affine form.
+    AffNeg,
+    AffAdd,
+    AffSub,
+    /// Multiply; errors `NonLinear` (with the pre-rendered context at the
+    /// given index) unless one operand is constant.
+    AffMul(u32),
+    AffDiv(u32),
+    AffMin(u32),
+    AffMax(u32),
+}
+
+/// A compiled guard: postfix ops plus pre-rendered expression contexts for
+/// `NonLinear` diagnostics (cloned only on the error path).
+#[derive(Debug, Clone)]
+struct SolveProg {
+    ops: Vec<SolveOp>,
+    ctx: Vec<String>,
+}
+
+/// How a guard/invariant is evaluated at runtime.
+#[derive(Debug, Clone)]
+enum GuardCode {
+    /// State-independent: solved once at compile time.
+    Static(IntervalSet),
+    /// Compiled postfix program.
+    Prog(SolveProg),
+    /// Construct outside the compiled subset (e.g. numeric `if` inside a
+    /// guard): solved from the AST at runtime. Allocates, but preserves
+    /// legacy behavior exactly.
+    Fallback(Expr),
+}
+
+/// One op of a compiled value program (effects, flows).
+#[derive(Debug, Clone)]
+enum EvalOp {
+    Const(Value),
+    Var(VarId),
+    Not,
+    Neg,
+    /// Non-short-circuit binary op (arithmetic or comparison).
+    Bin(BinOp),
+    /// Pop a Boolean; on `false` push `false` and skip the next `n` ops.
+    AndJump(u32),
+    /// Pop a Boolean; on `true` push `true` and skip the next `n` ops.
+    OrJump(u32),
+    /// Pop a Boolean; on `false` push `true` and skip the next `n` ops.
+    ImpliesJump(u32),
+    /// Pop, require Boolean, push back (surfaces `as_bool` errors at the
+    /// same point the recursive evaluator would).
+    CastBool,
+    /// Pop `b` (require Boolean), pop `a`, push `a ^ b`.
+    Xor,
+    /// Pop a Boolean; on `false` skip the next `n` ops.
+    JumpIfFalse(u32),
+    /// Skip the next `n` ops.
+    Jump(u32),
+}
+
+/// A compiled value program.
+#[derive(Debug, Clone)]
+struct EvalProg {
+    ops: Vec<EvalOp>,
+}
+
+// ---------------------------------------------------------------------------
+// Step tables
+// ---------------------------------------------------------------------------
+
+/// A compiled guarded local transition.
+#[derive(Debug, Clone)]
+struct CompiledGuarded {
+    trans: TransId,
+    guard: GuardCode,
+    urgent: bool,
+}
+
+/// One participant of a synchronizing action: its process and, per
+/// location, the locally enabled transitions carrying the action.
+#[derive(Debug, Clone)]
+struct SyncPart {
+    proc: ProcId,
+    by_loc: Vec<Vec<CompiledGuarded>>,
+}
+
+/// Sync skeleton of one action: participants in participant-table order.
+#[derive(Debug, Clone)]
+struct SyncTable {
+    action: ActionId,
+    parts: Vec<SyncPart>,
+}
+
+/// Compiled effect `var := prog` with the target's declared type.
+#[derive(Debug, Clone)]
+struct CompiledEffect {
+    var: VarId,
+    ty: VarType,
+    prog: EvalProg,
+}
+
+/// Compiled local transition: target location + effects.
+#[derive(Debug, Clone)]
+struct CompiledTrans {
+    to: LocId,
+    effects: Vec<CompiledEffect>,
+}
+
+/// Compiled data flow. The target's name is captured at compile time so
+/// flow errors render identically to the legacy path without a network
+/// lookup.
+#[derive(Debug, Clone)]
+struct CompiledFlow {
+    target: VarId,
+    ty: VarType,
+    name: String,
+    prog: EvalProg,
+}
+
+/// Precomputed stepping tables of a [`Network`] — build once with
+/// [`Network::compile`], then drive steps through a [`StepScratch`].
+///
+/// The tables borrow nothing: they can be cloned per worker or shared
+/// behind a reference.
+#[derive(Debug, Clone)]
+pub struct StepTables {
+    /// τ-labeled Boolean transitions, `[proc][loc]`.
+    tau: Vec<Vec<Vec<CompiledGuarded>>>,
+    /// Markovian transitions `(id, rate)`, `[proc][loc]`.
+    markov: Vec<Vec<Vec<(TransId, f64)>>>,
+    /// Sync skeletons in ascending action order (τ and participant-less
+    /// actions excluded, like the legacy enumeration).
+    sync: Vec<SyncTable>,
+    /// Invariant per `[proc][loc]`; `None` when constant `true`.
+    invariants: Vec<Vec<Option<GuardCode>>>,
+    /// All local transitions, `[proc][trans]`.
+    trans: Vec<Vec<CompiledTrans>>,
+    /// Compiled flows in topological order.
+    flows: Vec<CompiledFlow>,
+    /// Rate baseline: 1.0 for clocks, 0.0 otherwise (location rates are
+    /// overlaid per state).
+    base_rates: Vec<f64>,
+}
+
+impl StepTables {
+    /// Number of guards/invariants that could not be flattened to solver
+    /// bytecode and fall back to the allocating AST solver at runtime.
+    ///
+    /// Zero means every evaluation in the stepping hot path runs on the
+    /// compiled programs — the precondition for the simulator's
+    /// zero-allocation steady state (see the `alloc_check` gate in the
+    /// bench crate).
+    pub fn fallback_guards(&self) -> usize {
+        let count = |cg: &CompiledGuarded| matches!(cg.guard, GuardCode::Fallback(_)) as usize;
+        self.tau.iter().flatten().flatten().map(count).sum::<usize>()
+            + self
+                .sync
+                .iter()
+                .flat_map(|t| &t.parts)
+                .flat_map(|p| &p.by_loc)
+                .flatten()
+                .map(count)
+                .sum::<usize>()
+            + self
+                .invariants
+                .iter()
+                .flatten()
+                .flatten()
+                .filter(|g| matches!(g, GuardCode::Fallback(_)))
+                .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch
+// ---------------------------------------------------------------------------
+
+/// Working stacks of the compiled guard solver.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    sets: Vec<IntervalSet>,
+    depth: usize,
+    affs: Vec<Aff>,
+    t1: IntervalSet,
+    t2: IntervalSet,
+    t3: IntervalSet,
+    t4: IntervalSet,
+}
+
+/// A raw guarded candidate produced by
+/// [`Network::guarded_candidates_into`] — the pooled, field-reusing
+/// counterpart of [`crate::network::GuardedCandidate`].
+#[derive(Debug, Clone)]
+pub struct CandidateBuf {
+    /// The synchronizing action (τ for internal moves).
+    pub action: ActionId,
+    /// Participating `(process, local transition)` pairs.
+    pub parts: Vec<(ProcId, TransId)>,
+    /// Delays at which all local guards hold (not yet intersected with the
+    /// invariant window).
+    pub window: IntervalSet,
+    /// True if any participating local transition is urgent.
+    pub urgent: bool,
+}
+
+impl Default for CandidateBuf {
+    fn default() -> Self {
+        CandidateBuf {
+            action: ActionId::TAU,
+            parts: Vec::new(),
+            window: IntervalSet::empty(),
+            urgent: false,
+        }
+    }
+}
+
+/// One participant option during sync cross-product construction.
+#[derive(Debug, Clone)]
+struct OptBuf {
+    trans: TransId,
+    window: IntervalSet,
+    urgent: bool,
+}
+
+impl Default for OptBuf {
+    fn default() -> Self {
+        OptBuf { trans: TransId(0), window: IntervalSet::empty(), urgent: false }
+    }
+}
+
+/// One partial combination during sync cross-product construction.
+#[derive(Debug, Clone, Default)]
+struct ComboBuf {
+    parts: Vec<(ProcId, TransId)>,
+    window: IntervalSet,
+    urgent: bool,
+}
+
+/// Reusable per-worker workspace for the compiled kernel.
+///
+/// All buffers grow to a high-water mark during the first few steps and
+/// are reused afterwards; in steady state no method taking a
+/// `&mut StepScratch` allocates (except guards compiled to
+/// [`GuardCode::Fallback`], which are rare and documented).
+#[derive(Debug)]
+pub struct StepScratch {
+    rates: Vec<f64>,
+    solver: SolveScratch,
+    vals: Vec<Value>,
+    guard_result: IntervalSet,
+    temp_w: IntervalSet,
+    cands: Vec<CandidateBuf>,
+    n_cands: usize,
+    opts: Vec<OptBuf>,
+    n_opts: usize,
+    opt_ranges: Vec<(usize, usize)>,
+    combo_a: Vec<ComboBuf>,
+    n_combo_a: usize,
+    combo_b: Vec<ComboBuf>,
+    n_combo_b: usize,
+    markov: Vec<(ProcId, TransId, f64)>,
+    writes: Vec<(VarId, Value)>,
+    backup: NetState,
+    // Dedicated to `invariants_violated`: its throwaway window output may
+    // not share a buffer with `temp_w`, which `delay_window_into` uses
+    // internally while that output is checked out.
+    inv_check: IntervalSet,
+}
+
+impl Default for StepScratch {
+    fn default() -> StepScratch {
+        StepScratch::new()
+    }
+}
+
+impl StepScratch {
+    /// Creates an empty workspace; buffers size themselves on first use.
+    pub fn new() -> StepScratch {
+        StepScratch {
+            rates: Vec::new(),
+            solver: SolveScratch::default(),
+            vals: Vec::new(),
+            guard_result: IntervalSet::empty(),
+            temp_w: IntervalSet::empty(),
+            cands: Vec::new(),
+            n_cands: 0,
+            opts: Vec::new(),
+            n_opts: 0,
+            opt_ranges: Vec::new(),
+            combo_a: Vec::new(),
+            n_combo_a: 0,
+            combo_b: Vec::new(),
+            n_combo_b: 0,
+            markov: Vec::new(),
+            writes: Vec::new(),
+            backup: NetState::new(Vec::new(), Valuation::new(Vec::new())),
+            inv_check: IntervalSet::empty(),
+        }
+    }
+
+    /// Candidates produced by the last
+    /// [`Network::guarded_candidates_into`] call, in legacy enumeration
+    /// order.
+    pub fn candidates(&self) -> &[CandidateBuf] {
+        &self.cands[..self.n_cands]
+    }
+
+    /// Markovian candidates `(proc, transition, rate)` produced by the
+    /// last [`Network::markovian_candidates_into`] call.
+    pub fn markovian(&self) -> &[(ProcId, TransId, f64)] {
+        &self.markov
+    }
+}
+
+/// Acquires the next candidate slot, reusing retired buffers.
+fn next_cand<'a>(pool: &'a mut Vec<CandidateBuf>, used: &mut usize) -> &'a mut CandidateBuf {
+    if *used == pool.len() {
+        pool.push(CandidateBuf::default());
+    }
+    *used += 1;
+    &mut pool[*used - 1]
+}
+
+fn next_opt<'a>(pool: &'a mut Vec<OptBuf>, used: &mut usize) -> &'a mut OptBuf {
+    if *used == pool.len() {
+        pool.push(OptBuf::default());
+    }
+    *used += 1;
+    &mut pool[*used - 1]
+}
+
+fn next_combo<'a>(pool: &'a mut Vec<ComboBuf>, used: &mut usize) -> &'a mut ComboBuf {
+    if *used == pool.len() {
+        pool.push(ComboBuf::default());
+    }
+    *used += 1;
+    &mut pool[*used - 1]
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Marker: the expression uses a construct the bytecode does not model;
+/// the whole guard falls back to the AST solver.
+struct Unsupported;
+
+fn compile_guard(e: &Expr, net: &Network) -> GuardCode {
+    let mut prog = SolveProg { ops: Vec::new(), ctx: Vec::new() };
+    if compile_solve(e, net, &mut prog).is_err() {
+        return GuardCode::Fallback(e.clone());
+    }
+    let state_dependent =
+        prog.ops.iter().any(|op| matches!(op, SolveOp::SetVar(_) | SolveOp::AffVar(_)));
+    if !state_dependent {
+        // Evaluate once; a deterministic runtime error (e.g. constant
+        // division by zero) keeps the program so the error surfaces on
+        // every call, exactly like the legacy solver.
+        let nu = Valuation::new(Vec::new());
+        let mut sv = SolveScratch::default();
+        if sv.run(&prog, &nu, &[]).is_ok() {
+            let mut set = IntervalSet::empty();
+            std::mem::swap(&mut set, &mut sv.sets[0]);
+            return GuardCode::Static(set);
+        }
+    }
+    GuardCode::Prog(prog)
+}
+
+fn compile_solve(e: &Expr, net: &Network, prog: &mut SolveProg) -> Result<(), Unsupported> {
+    match e {
+        Expr::Const(Value::Bool(true)) => prog.ops.push(SolveOp::SetTrue),
+        Expr::Const(Value::Bool(false)) => prog.ops.push(SolveOp::SetFalse),
+        Expr::Const(_) => return Err(Unsupported),
+        Expr::Var(v) => prog.ops.push(SolveOp::SetVar(*v)),
+        Expr::Not(x) => {
+            compile_solve(x, net, prog)?;
+            prog.ops.push(SolveOp::Complement);
+        }
+        Expr::Neg(_) => return Err(Unsupported),
+        Expr::Bin(op, a, b) => match op {
+            BinOp::And => {
+                compile_solve(a, net, prog)?;
+                compile_solve(b, net, prog)?;
+                prog.ops.push(SolveOp::Intersect);
+            }
+            BinOp::Or => {
+                compile_solve(a, net, prog)?;
+                compile_solve(b, net, prog)?;
+                prog.ops.push(SolveOp::Union);
+            }
+            BinOp::Implies => {
+                compile_solve(a, net, prog)?;
+                prog.ops.push(SolveOp::Complement);
+                compile_solve(b, net, prog)?;
+                prog.ops.push(SolveOp::Union);
+            }
+            BinOp::Xor => {
+                compile_solve(a, net, prog)?;
+                compile_solve(b, net, prog)?;
+                prog.ops.push(SolveOp::Xor);
+            }
+            BinOp::Eq | BinOp::Ne if is_boolish_decl(a, net) && is_boolish_decl(b, net) => {
+                compile_solve(a, net, prog)?;
+                compile_solve(b, net, prog)?;
+                prog.ops.push(if *op == BinOp::Eq { SolveOp::BoolEq } else { SolveOp::BoolNe });
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                compile_aff(a, prog)?;
+                compile_aff(b, prog)?;
+                prog.ops.push(SolveOp::Cmp(*op));
+            }
+            _ => return Err(Unsupported),
+        },
+        Expr::Ite(c, t, els) => {
+            compile_solve(c, net, prog)?;
+            compile_solve(t, net, prog)?;
+            compile_solve(els, net, prog)?;
+            prog.ops.push(SolveOp::IteSet);
+        }
+    }
+    Ok(())
+}
+
+fn compile_aff(e: &Expr, prog: &mut SolveProg) -> Result<(), Unsupported> {
+    match e {
+        Expr::Const(v) => match v.as_real() {
+            Ok(k) => prog.ops.push(SolveOp::AffConst(k)),
+            Err(_) => return Err(Unsupported),
+        },
+        Expr::Var(v) => prog.ops.push(SolveOp::AffVar(*v)),
+        Expr::Neg(x) => {
+            compile_aff(x, prog)?;
+            prog.ops.push(SolveOp::AffNeg);
+        }
+        Expr::Bin(op, a, b) => {
+            let with_ctx = matches!(op, BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max);
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max => {
+                    compile_aff(a, prog)?;
+                    compile_aff(b, prog)?;
+                    let ctx = if with_ctx {
+                        let i = prog.ctx.len() as u32;
+                        prog.ctx.push(format!("{e}"));
+                        i
+                    } else {
+                        0
+                    };
+                    prog.ops.push(match op {
+                        BinOp::Add => SolveOp::AffAdd,
+                        BinOp::Sub => SolveOp::AffSub,
+                        BinOp::Mul => SolveOp::AffMul(ctx),
+                        BinOp::Div => SolveOp::AffDiv(ctx),
+                        BinOp::Min => SolveOp::AffMin(ctx),
+                        BinOp::Max => SolveOp::AffMax(ctx),
+                        _ => unreachable!(),
+                    });
+                }
+                _ => return Err(Unsupported),
+            }
+        }
+        // Numeric `if` is lazy in the legacy solver (only the selected
+        // branch is evaluated); a postfix form would change error
+        // behavior, so the whole guard falls back.
+        _ => return Err(Unsupported),
+    }
+    Ok(())
+}
+
+/// Compile-time mirror of the legacy `is_boolish` dispatch, using declared
+/// variable types in place of runtime value kinds (identical on canonical
+/// states — see the module docs).
+fn is_boolish_decl(e: &Expr, net: &Network) -> bool {
+    match e {
+        Expr::Const(Value::Bool(_)) => true,
+        Expr::Var(v) => matches!(net.vars().get(v.0).map(|d| d.ty), Some(VarType::Bool)),
+        Expr::Not(_) => true,
+        Expr::Bin(op, ..) => op.is_logical() || op.is_comparison(),
+        Expr::Ite(_, t, _) => is_boolish_decl(t, net),
+        _ => false,
+    }
+}
+
+fn compile_eval(e: &Expr, ops: &mut Vec<EvalOp>) {
+    match e {
+        Expr::Const(v) => ops.push(EvalOp::Const(*v)),
+        Expr::Var(v) => ops.push(EvalOp::Var(*v)),
+        Expr::Not(x) => {
+            compile_eval(x, ops);
+            ops.push(EvalOp::Not);
+        }
+        Expr::Neg(x) => {
+            compile_eval(x, ops);
+            ops.push(EvalOp::Neg);
+        }
+        Expr::Bin(op, a, b) => match op {
+            BinOp::And | BinOp::Or | BinOp::Implies => {
+                compile_eval(a, ops);
+                let j = ops.len();
+                ops.push(EvalOp::Jump(0)); // placeholder
+                compile_eval(b, ops);
+                ops.push(EvalOp::CastBool);
+                let skip = (ops.len() - j - 1) as u32;
+                ops[j] = match op {
+                    BinOp::And => EvalOp::AndJump(skip),
+                    BinOp::Or => EvalOp::OrJump(skip),
+                    _ => EvalOp::ImpliesJump(skip),
+                };
+            }
+            BinOp::Xor => {
+                compile_eval(a, ops);
+                ops.push(EvalOp::CastBool);
+                compile_eval(b, ops);
+                ops.push(EvalOp::Xor);
+            }
+            _ => {
+                compile_eval(a, ops);
+                compile_eval(b, ops);
+                ops.push(EvalOp::Bin(*op));
+            }
+        },
+        Expr::Ite(c, t, els) => {
+            compile_eval(c, ops);
+            let j1 = ops.len();
+            ops.push(EvalOp::JumpIfFalse(0));
+            compile_eval(t, ops);
+            let j2 = ops.len();
+            ops.push(EvalOp::Jump(0));
+            ops[j1] = EvalOp::JumpIfFalse((ops.len() - j1 - 1) as u32);
+            compile_eval(els, ops);
+            ops[j2] = EvalOp::Jump((ops.len() - j2 - 1) as u32);
+        }
+    }
+}
+
+fn compile_prog(e: &Expr) -> EvalProg {
+    let mut ops = Vec::new();
+    compile_eval(e, &mut ops);
+    EvalProg { ops }
+}
+
+impl Network {
+    /// Compiles the network into reusable [`StepTables`]. Infallible: any
+    /// guard the bytecode cannot model is kept as an AST fallback with
+    /// identical runtime behavior.
+    pub fn compile(&self) -> StepTables {
+        let n_procs = self.automata().len();
+        let mut tau = Vec::with_capacity(n_procs);
+        let mut markov = Vec::with_capacity(n_procs);
+        let mut invariants = Vec::with_capacity(n_procs);
+        let mut trans = Vec::with_capacity(n_procs);
+        for a in self.automata() {
+            let n_locs = a.locations.len();
+            let mut a_tau: Vec<Vec<CompiledGuarded>> = vec![Vec::new(); n_locs];
+            let mut a_markov: Vec<Vec<(TransId, f64)>> = vec![Vec::new(); n_locs];
+            for (i, t) in a.transitions.iter().enumerate() {
+                match &t.guard {
+                    GuardKind::Boolean(g) if t.action.is_tau() => {
+                        a_tau[t.from.0].push(CompiledGuarded {
+                            trans: TransId(i),
+                            guard: compile_guard(g, self),
+                            urgent: t.urgent,
+                        });
+                    }
+                    GuardKind::Markovian(rate) => a_markov[t.from.0].push((TransId(i), *rate)),
+                    GuardKind::Boolean(_) => {}
+                }
+            }
+            tau.push(a_tau);
+            markov.push(a_markov);
+            invariants.push(
+                a.locations
+                    .iter()
+                    .map(|l| {
+                        if l.invariant.is_const_true() {
+                            None
+                        } else {
+                            Some(compile_guard(&l.invariant, self))
+                        }
+                    })
+                    .collect(),
+            );
+            trans.push(
+                a.transitions
+                    .iter()
+                    .map(|t| CompiledTrans {
+                        to: t.to,
+                        effects: t
+                            .effects
+                            .iter()
+                            .map(|eff| CompiledEffect {
+                                var: eff.var,
+                                ty: self.ty_of(eff.var),
+                                prog: compile_prog(&eff.expr),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            );
+        }
+
+        let mut sync = Vec::new();
+        for a_idx in 0..self.actions().len() {
+            let action = ActionId(a_idx);
+            let procs = self.participants(action);
+            if action.is_tau() || procs.is_empty() {
+                continue;
+            }
+            let parts = procs
+                .iter()
+                .map(|&p| {
+                    let a = &self.automata()[p.0];
+                    let mut by_loc: Vec<Vec<CompiledGuarded>> = vec![Vec::new(); a.locations.len()];
+                    for (i, t) in a.transitions.iter().enumerate() {
+                        if t.action != action {
+                            continue;
+                        }
+                        if let GuardKind::Boolean(g) = &t.guard {
+                            by_loc[t.from.0].push(CompiledGuarded {
+                                trans: TransId(i),
+                                guard: compile_guard(g, self),
+                                urgent: t.urgent,
+                            });
+                        }
+                    }
+                    SyncPart { proc: p, by_loc }
+                })
+                .collect();
+            sync.push(SyncTable { action, parts });
+        }
+
+        let flows = self
+            .flows()
+            .iter()
+            .map(|f| CompiledFlow {
+                target: f.target,
+                ty: self.ty_of(f.target),
+                name: self.name_of(f.target).to_string(),
+                prog: compile_prog(&f.expr),
+            })
+            .collect();
+
+        let base_rates =
+            self.vars().iter().map(|v| if v.ty == VarType::Clock { 1.0 } else { 0.0 }).collect();
+
+        StepTables { tau, markov, sync, invariants, trans, flows, base_rates }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: guard solving
+// ---------------------------------------------------------------------------
+
+impl SolveScratch {
+    fn push_slot(&mut self) -> usize {
+        if self.depth == self.sets.len() {
+            self.sets.push(IntervalSet::empty());
+        }
+        self.depth += 1;
+        self.depth - 1
+    }
+
+    /// Runs a compiled guard; the result is left in `sets[0]` with
+    /// `depth == 1`. The caller must reset `depth` after consuming it.
+    fn run(&mut self, prog: &SolveProg, nu: &Valuation, rates: &[f64]) -> Result<(), EvalError> {
+        self.depth = 0;
+        self.affs.clear();
+        for op in &prog.ops {
+            match op {
+                SolveOp::SetTrue => {
+                    let i = self.push_slot();
+                    self.sets[i].set_all();
+                }
+                SolveOp::SetFalse => {
+                    let i = self.push_slot();
+                    self.sets[i].clear();
+                }
+                SolveOp::SetVar(v) => {
+                    let i = self.push_slot();
+                    match nu.get(*v)? {
+                        Value::Bool(true) => self.sets[i].set_all(),
+                        Value::Bool(false) => self.sets[i].clear(),
+                        other => {
+                            return Err(EvalError::TypeConfusion {
+                                context: format!("numeric variable {other} as guard"),
+                            })
+                        }
+                    }
+                }
+                SolveOp::Complement => {
+                    let i = self.depth - 1;
+                    self.sets[i].complement_into(&mut self.t1);
+                    std::mem::swap(&mut self.sets[i], &mut self.t1);
+                }
+                SolveOp::Intersect => {
+                    let i = self.depth - 2;
+                    self.sets[i].intersect_into(&self.sets[i + 1], &mut self.t1);
+                    std::mem::swap(&mut self.sets[i], &mut self.t1);
+                    self.depth -= 1;
+                }
+                SolveOp::Union => {
+                    let i = self.depth - 2;
+                    self.sets[i].union_into(&self.sets[i + 1], &mut self.t1);
+                    std::mem::swap(&mut self.sets[i], &mut self.t1);
+                    self.depth -= 1;
+                }
+                SolveOp::Xor => {
+                    let i = self.depth - 2;
+                    self.sets[i + 1].complement_into(&mut self.t1);
+                    self.sets[i].intersect_into(&self.t1, &mut self.t2);
+                    self.sets[i].complement_into(&mut self.t1);
+                    self.sets[i + 1].intersect_into(&self.t1, &mut self.t3);
+                    self.t2.union_into(&self.t3, &mut self.t1);
+                    std::mem::swap(&mut self.sets[i], &mut self.t1);
+                    self.depth -= 1;
+                }
+                SolveOp::BoolEq | SolveOp::BoolNe => {
+                    let i = self.depth - 2;
+                    self.sets[i].intersect_into(&self.sets[i + 1], &mut self.t2);
+                    self.sets[i].complement_into(&mut self.t1);
+                    self.sets[i + 1].complement_into(&mut self.t3);
+                    self.t1.intersect_into(&self.t3, &mut self.t4);
+                    self.t2.union_into(&self.t4, &mut self.t1);
+                    if matches!(op, SolveOp::BoolNe) {
+                        self.t1.complement_into(&mut self.t2);
+                        std::mem::swap(&mut self.sets[i], &mut self.t2);
+                    } else {
+                        std::mem::swap(&mut self.sets[i], &mut self.t1);
+                    }
+                    self.depth -= 1;
+                }
+                SolveOp::IteSet => {
+                    let i = self.depth - 3; // [c, t, e]
+                    self.sets[i + 1].intersect_into(&self.sets[i], &mut self.t1);
+                    self.sets[i].complement_into(&mut self.t2);
+                    self.sets[i + 2].intersect_into(&self.t2, &mut self.t3);
+                    self.t1.union_into(&self.t3, &mut self.t2);
+                    std::mem::swap(&mut self.sets[i], &mut self.t2);
+                    self.depth -= 2;
+                }
+                SolveOp::Cmp(cmp) => {
+                    let fb = self.affs.pop().expect("aff stack underflow");
+                    let fa = self.affs.pop().expect("aff stack underflow");
+                    let i = self.push_slot();
+                    solve_cmp_into(*cmp, Aff { k: fa.k - fb.k, m: fa.m - fb.m }, &mut self.sets[i]);
+                }
+                SolveOp::AffConst(k) => self.affs.push(Aff::constant(*k)),
+                SolveOp::AffVar(v) => {
+                    let k = nu.get(*v)?.as_real()?;
+                    self.affs.push(Aff { k, m: rates.get(v.0).copied().unwrap_or(0.0) });
+                }
+                SolveOp::AffNeg => {
+                    let a = self.affs.pop().expect("aff stack underflow");
+                    self.affs.push(Aff { k: -a.k, m: -a.m });
+                }
+                SolveOp::AffAdd => {
+                    let fb = self.affs.pop().expect("aff stack underflow");
+                    let fa = self.affs.pop().expect("aff stack underflow");
+                    self.affs.push(Aff { k: fa.k + fb.k, m: fa.m + fb.m });
+                }
+                SolveOp::AffSub => {
+                    let fb = self.affs.pop().expect("aff stack underflow");
+                    let fa = self.affs.pop().expect("aff stack underflow");
+                    self.affs.push(Aff { k: fa.k - fb.k, m: fa.m - fb.m });
+                }
+                SolveOp::AffMul(c) => {
+                    let fb = self.affs.pop().expect("aff stack underflow");
+                    let fa = self.affs.pop().expect("aff stack underflow");
+                    if fa.is_constant() {
+                        self.affs.push(Aff { k: fa.k * fb.k, m: fa.k * fb.m });
+                    } else if fb.is_constant() {
+                        self.affs.push(Aff { k: fa.k * fb.k, m: fa.m * fb.k });
+                    } else {
+                        return Err(EvalError::NonLinear {
+                            context: prog.ctx[*c as usize].clone(),
+                        });
+                    }
+                }
+                SolveOp::AffDiv(c) => {
+                    let fb = self.affs.pop().expect("aff stack underflow");
+                    let fa = self.affs.pop().expect("aff stack underflow");
+                    if !fb.is_constant() {
+                        return Err(EvalError::NonLinear {
+                            context: prog.ctx[*c as usize].clone(),
+                        });
+                    }
+                    if fb.k == 0.0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    self.affs.push(Aff { k: fa.k / fb.k, m: fa.m / fb.k });
+                }
+                SolveOp::AffMin(c) | SolveOp::AffMax(c) => {
+                    let fb = self.affs.pop().expect("aff stack underflow");
+                    let fa = self.affs.pop().expect("aff stack underflow");
+                    if fa.m == fb.m {
+                        // Parallel lines (constants included): decided by
+                        // intercepts.
+                        let k = if matches!(op, SolveOp::AffMin(_)) {
+                            fa.k.min(fb.k)
+                        } else {
+                            fa.k.max(fb.k)
+                        };
+                        self.affs.push(Aff { k, m: fa.m });
+                    } else {
+                        return Err(EvalError::NonLinear {
+                            context: prog.ctx[*c as usize].clone(),
+                        });
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.depth, 1, "guard program leaves one set");
+        Ok(())
+    }
+}
+
+/// Allocation-free mirror of the legacy `solve_cmp`: solves
+/// `f(d) cmp 0` into `out`. Output-identical to the legacy routine,
+/// including the point/complement structure of `Eq`/`Ne`.
+fn solve_cmp_into(op: BinOp, f: Aff, out: &mut IntervalSet) {
+    out.clear();
+    if f.m == 0.0 {
+        let truth = match op {
+            BinOp::Eq => f.k == 0.0,
+            BinOp::Ne => f.k != 0.0,
+            BinOp::Lt => f.k < 0.0,
+            BinOp::Le => f.k <= 0.0,
+            BinOp::Gt => f.k > 0.0,
+            BinOp::Ge => f.k >= 0.0,
+            _ => unreachable!("caller dispatches comparisons only"),
+        };
+        if truth {
+            out.set_all();
+        }
+        return;
+    }
+    let root = -f.k / f.m;
+    let op = if f.m > 0.0 {
+        op
+    } else {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    };
+    match op {
+        BinOp::Eq => {
+            if root >= 0.0 {
+                out.set_point(root);
+            }
+        }
+        BinOp::Ne => {
+            if root >= 0.0 {
+                // Complement of the point {root} in [0, ∞): a gap below
+                // (empty when root == 0 or root == ∞ collapses it) and an
+                // open tail above.
+                if let Some(gap) = Interval::new(0.0, root, true, false) {
+                    out.push_interval_unchecked(gap);
+                }
+                if let Some(tail) = Interval::new(root, f64::INFINITY, false, false) {
+                    out.push_interval_unchecked(tail);
+                }
+            } else {
+                out.set_all();
+            }
+        }
+        BinOp::Lt => {
+            if let Some(iv) = Interval::closed_open(0.0, root) {
+                out.push_interval_unchecked(iv);
+            }
+        }
+        BinOp::Le => {
+            if let Some(iv) = Interval::closed(0.0, root) {
+                out.push_interval_unchecked(iv);
+            }
+        }
+        BinOp::Gt => {
+            if let Some(iv) = Interval::new(root.max(0.0), f64::INFINITY, root < 0.0, false) {
+                out.push_interval_unchecked(iv);
+            }
+        }
+        BinOp::Ge => {
+            if let Some(iv) = Interval::new(root.max(0.0), f64::INFINITY, true, false) {
+                out.push_interval_unchecked(iv);
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Evaluates a guard code into `out` using the solver scratch.
+fn eval_guard(
+    code: &GuardCode,
+    nu: &Valuation,
+    rates: &[f64],
+    sv: &mut SolveScratch,
+    out: &mut IntervalSet,
+) -> Result<(), EvalError> {
+    match code {
+        GuardCode::Static(set) => out.copy_from(set),
+        GuardCode::Prog(prog) => {
+            sv.run(prog, nu, rates)?;
+            std::mem::swap(out, &mut sv.sets[0]);
+            sv.depth = 0;
+        }
+        GuardCode::Fallback(e) => {
+            let rate = |v: VarId| rates.get(v.0).copied().unwrap_or(0.0);
+            let env = DelayEnv::new(nu, &rate);
+            *out = solve(e, &env)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: value programs
+// ---------------------------------------------------------------------------
+
+fn run_eval(prog: &EvalProg, nu: &Valuation, stack: &mut Vec<Value>) -> Result<Value, EvalError> {
+    stack.clear();
+    let mut pc = 0usize;
+    while pc < prog.ops.len() {
+        match &prog.ops[pc] {
+            EvalOp::Const(v) => stack.push(*v),
+            EvalOp::Var(v) => stack.push(nu.get(*v)?),
+            EvalOp::Not => {
+                let v = stack.pop().expect("value stack underflow");
+                stack.push(Value::Bool(!v.as_bool()?));
+            }
+            EvalOp::Neg => {
+                let v = stack.pop().expect("value stack underflow");
+                let r = match v {
+                    Value::Int(i) => i.checked_neg().map(Value::Int).ok_or(EvalError::Overflow)?,
+                    Value::Real(r) => Value::Real(-r),
+                    v => return Err(EvalError::TypeConfusion { context: format!("negating {v}") }),
+                };
+                stack.push(r);
+            }
+            EvalOp::Bin(op) => {
+                let vb = stack.pop().expect("value stack underflow");
+                let va = stack.pop().expect("value stack underflow");
+                stack.push(eval_bin(*op, va, vb)?);
+            }
+            EvalOp::AndJump(n) => {
+                let cond = stack.pop().expect("value stack underflow").as_bool()?;
+                if !cond {
+                    stack.push(Value::Bool(false));
+                    pc += *n as usize;
+                }
+            }
+            EvalOp::OrJump(n) => {
+                let cond = stack.pop().expect("value stack underflow").as_bool()?;
+                if cond {
+                    stack.push(Value::Bool(true));
+                    pc += *n as usize;
+                }
+            }
+            EvalOp::ImpliesJump(n) => {
+                let cond = stack.pop().expect("value stack underflow").as_bool()?;
+                if !cond {
+                    stack.push(Value::Bool(true));
+                    pc += *n as usize;
+                }
+            }
+            EvalOp::CastBool => {
+                let v = stack.pop().expect("value stack underflow");
+                stack.push(Value::Bool(v.as_bool()?));
+            }
+            EvalOp::Xor => {
+                let b = stack.pop().expect("value stack underflow").as_bool()?;
+                let a = stack.pop().expect("value stack underflow").as_bool()?;
+                stack.push(Value::Bool(a ^ b));
+            }
+            EvalOp::JumpIfFalse(n) => {
+                let cond = stack.pop().expect("value stack underflow").as_bool()?;
+                if !cond {
+                    pc += *n as usize;
+                }
+            }
+            EvalOp::Jump(n) => pc += *n as usize,
+        }
+        pc += 1;
+    }
+    Ok(stack.pop().expect("value program leaves one value"))
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: network stepping
+// ---------------------------------------------------------------------------
+
+impl Network {
+    /// Recomputes the active rates into `rates` (clock baseline overlaid
+    /// with the current locations' rates) — value-identical to
+    /// [`Network::active_rates`].
+    fn refresh_rates(&self, t: &StepTables, rates: &mut Vec<f64>, state: &NetState) {
+        rates.clear();
+        rates.extend_from_slice(&t.base_rates);
+        for (p, a) in self.automata().iter().enumerate() {
+            for &(v, r) in &a.locations[state.locs[p].0].rates {
+                rates[v.0] = r;
+            }
+        }
+    }
+
+    /// Allocation-free [`Network::delay_window`]: writes the invariant
+    /// delay window of `state` into `out`.
+    ///
+    /// # Errors
+    /// Identical to the legacy method.
+    pub fn delay_window_into(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
+        self.refresh_rates(t, &mut s.rates, state);
+        out.set_all();
+        for (p, by_loc) in t.invariants.iter().enumerate() {
+            let Some(code) = &by_loc[state.locs[p].0] else { continue };
+            eval_guard(code, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
+            let sat = &s.guard_result;
+            let holds_now =
+                sat.contains(0.0) || sat.inf().is_some_and(|lo| lo <= INVARIANT_TOLERANCE);
+            if !holds_now {
+                let a = &self.automata()[p];
+                return Err(EvalError::InvariantViolated {
+                    automaton: a.name.clone(),
+                    location: a.locations[state.locs[p].0].name.clone(),
+                });
+            }
+            out.intersect_into(sat, &mut s.temp_w);
+            std::mem::swap(out, &mut s.temp_w);
+        }
+        if let Some((hi, closed)) = out.prefix_from_zero() {
+            out.set_interval(
+                Interval::new(0.0, hi, true, closed)
+                    .expect("prefix window is nonempty: contains 0"),
+            );
+            return Ok(());
+        }
+        if let Some(first) = out.intervals().first().copied() {
+            if first.lo() <= INVARIANT_TOLERANCE {
+                out.set_interval(
+                    Interval::new(0.0, first.hi(), true, first.hi_closed())
+                        .expect("boundary window is nonempty"),
+                );
+                return Ok(());
+            }
+        }
+        out.set_point(0.0);
+        Ok(())
+    }
+
+    /// Allocation-free [`Network::guarded_candidates`]: fills the scratch
+    /// candidate pool (read it back via [`StepScratch::candidates`]) in the
+    /// exact legacy enumeration order.
+    ///
+    /// # Errors
+    /// Identical to the legacy method.
+    pub fn guarded_candidates_into(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+    ) -> Result<(), EvalError> {
+        self.refresh_rates(t, &mut s.rates, state);
+        s.n_cands = 0;
+
+        // Internal (τ) guarded transitions fire alone.
+        for (p, by_loc) in t.tau.iter().enumerate() {
+            for cg in &by_loc[state.locs[p].0] {
+                eval_guard(&cg.guard, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
+                if !s.guard_result.is_empty() {
+                    let c = next_cand(&mut s.cands, &mut s.n_cands);
+                    c.action = ActionId::TAU;
+                    c.parts.clear();
+                    c.parts.push((ProcId(p), cg.trans));
+                    std::mem::swap(&mut c.window, &mut s.guard_result);
+                    c.urgent = cg.urgent;
+                }
+            }
+        }
+
+        // Synchronizing actions: every participant must join.
+        for table in &t.sync {
+            // Collect each participant's locally enabled a-transitions.
+            s.n_opts = 0;
+            s.opt_ranges.clear();
+            let mut possible = true;
+            for part in &table.parts {
+                let start = s.n_opts;
+                for cg in &part.by_loc[state.locs[part.proc.0].0] {
+                    eval_guard(&cg.guard, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
+                    if !s.guard_result.is_empty() {
+                        let o = next_opt(&mut s.opts, &mut s.n_opts);
+                        o.trans = cg.trans;
+                        std::mem::swap(&mut o.window, &mut s.guard_result);
+                        o.urgent = cg.urgent;
+                    }
+                }
+                if s.n_opts == start {
+                    possible = false;
+                    break;
+                }
+                s.opt_ranges.push((start, s.n_opts));
+            }
+            if !possible {
+                continue;
+            }
+            // Cross product of the participants' choices, last participant
+            // varying fastest (legacy order).
+            s.n_combo_a = 0;
+            {
+                let c = next_combo(&mut s.combo_a, &mut s.n_combo_a);
+                c.parts.clear();
+                c.window.set_all();
+                c.urgent = false;
+            }
+            for (pi, part) in table.parts.iter().enumerate() {
+                let (lo, hi) = s.opt_ranges[pi];
+                s.n_combo_b = 0;
+                for ci in 0..s.n_combo_a {
+                    for oi in lo..hi {
+                        s.combo_a[ci].window.intersect_into(&s.opts[oi].window, &mut s.temp_w);
+                        if s.temp_w.is_empty() {
+                            continue;
+                        }
+                        let nc = next_combo(&mut s.combo_b, &mut s.n_combo_b);
+                        nc.parts.clear();
+                        nc.parts.extend_from_slice(&s.combo_a[ci].parts);
+                        nc.parts.push((part.proc, s.opts[oi].trans));
+                        std::mem::swap(&mut nc.window, &mut s.temp_w);
+                        nc.urgent = s.combo_a[ci].urgent || s.opts[oi].urgent;
+                    }
+                }
+                std::mem::swap(&mut s.combo_a, &mut s.combo_b);
+                std::mem::swap(&mut s.n_combo_a, &mut s.n_combo_b);
+                if s.n_combo_a == 0 {
+                    break;
+                }
+            }
+            for ci in 0..s.n_combo_a {
+                let c = next_cand(&mut s.cands, &mut s.n_cands);
+                c.action = table.action;
+                c.parts.clear();
+                c.parts.extend_from_slice(&s.combo_a[ci].parts);
+                c.window.copy_from(&s.combo_a[ci].window);
+                c.urgent = s.combo_a[ci].urgent;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocation-free [`Network::markovian_candidates`]: fills the
+    /// scratch Markovian list (read it back via
+    /// [`StepScratch::markovian`]) in the legacy enumeration order.
+    pub fn markovian_candidates_into(&self, t: &StepTables, s: &mut StepScratch, state: &NetState) {
+        s.markov.clear();
+        for (p, by_loc) in t.markov.iter().enumerate() {
+            for &(t_id, rate) in &by_loc[state.locs[p].0] {
+                s.markov.push((ProcId(p), t_id, rate));
+            }
+        }
+    }
+
+    /// In-place [`Network::advance`]: advances `state` by `d` against the
+    /// caller-supplied (untruncated) invariant `window` — the same set the
+    /// legacy method recomputes internally — including the
+    /// boundary-overshoot retreat.
+    ///
+    /// # Errors
+    /// Identical to the legacy method. On error the state may be partially
+    /// advanced; callers reset per path.
+    pub fn advance_mut(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &mut NetState,
+        d: f64,
+        window: &IntervalSet,
+    ) -> Result<(), EvalError> {
+        debug_assert!(d >= 0.0, "negative delay");
+        if !window.contains(d) {
+            return Err(EvalError::DelayNotAllowed {
+                requested: d,
+                allowed_up_to: window.sup().unwrap_or(0.0),
+            });
+        }
+        s.backup.copy_from(state);
+        self.refresh_rates(t, &mut s.rates, state);
+        advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d)?;
+        // Floating-point robustness: retreat from invariant-boundary
+        // overshoot exactly like the legacy `advance`.
+        if d > 0.0 && self.invariants_violated(t, s, state) {
+            for backoff in [1e-12, 1e-9] {
+                state.copy_from(&s.backup);
+                self.refresh_rates(t, &mut s.rates, state);
+                advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d * (1.0 - backoff))?;
+                if !self.invariants_violated(t, s, state) {
+                    return Ok(());
+                }
+            }
+            // Both retreats failed: return the full-d state, like legacy.
+            state.copy_from(&s.backup);
+            self.refresh_rates(t, &mut s.rates, state);
+            advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d)?;
+        }
+        Ok(())
+    }
+
+    /// True if [`Network::delay_window_into`] would fail on `state`.
+    fn invariants_violated(&self, t: &StepTables, s: &mut StepScratch, state: &NetState) -> bool {
+        let mut out = std::mem::take(&mut s.inv_check);
+        let violated = self.delay_window_into(t, s, state, &mut out).is_err();
+        s.inv_check = out;
+        violated
+    }
+
+    /// In-place [`Network::apply`]: fires the global transition given by
+    /// its participant list, applying effects (read against the
+    /// pre-state), moving locations, and re-establishing flows.
+    ///
+    /// # Errors
+    /// Identical to the legacy method. On error the state may be partially
+    /// updated; callers reset per path.
+    pub fn apply_mut(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &mut NetState,
+        parts: &[(ProcId, TransId)],
+    ) -> Result<(), EvalError> {
+        s.writes.clear();
+        for &(p, t_id) in parts {
+            let ct = &t.trans[p.0][t_id.0];
+            for eff in &ct.effects {
+                let v = run_eval(&eff.prog, &state.nu, &mut s.vals)?;
+                let v = eff.ty.canonicalize(v);
+                if !eff.ty.admits(v) {
+                    if let (VarType::Int { lo, hi }, Value::Int(i)) = (eff.ty, v) {
+                        return Err(EvalError::IntOutOfRange {
+                            variable: self.name_of(eff.var).to_string(),
+                            value: i,
+                            lo,
+                            hi,
+                        });
+                    }
+                    return Err(EvalError::TypeConfusion {
+                        context: format!(
+                            "effect on {} produced {}",
+                            self.name_of(eff.var),
+                            v.kind()
+                        ),
+                    });
+                }
+                s.writes.push((eff.var, v));
+            }
+            state.locs[p.0] = ct.to;
+        }
+        for i in 0..s.writes.len() {
+            let (var, v) = s.writes[i];
+            state.nu.set(var, v)?;
+        }
+        run_flows_inner(t, &mut s.vals, &mut state.nu)
+    }
+
+    /// Compiles a standalone Boolean predicate (a property goal) for
+    /// repeated window evaluation via
+    /// [`Network::predicate_window_into`].
+    pub fn compile_predicate(&self, e: &Expr) -> CompiledPredicate {
+        CompiledPredicate { code: compile_guard(e, self) }
+    }
+
+    /// Allocation-free equivalent of solving `pred` over the delay axis in
+    /// `state` (the compiled counterpart of goal-window evaluation).
+    ///
+    /// # Errors
+    /// Solver errors, as for guards.
+    pub fn predicate_window_into(
+        &self,
+        s: &mut StepScratch,
+        pred: &CompiledPredicate,
+        state: &NetState,
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
+        self.active_rates_into(state, &mut s.rates);
+        eval_guard(&pred.code, &state.nu, &s.rates, &mut s.solver, out)
+    }
+}
+
+/// A compiled Boolean predicate over network state and delay (used for
+/// property goals/hold conditions).
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    code: GuardCode,
+}
+
+/// Advances clocks/continuous variables and re-establishes flows, without
+/// boundary snapping.
+fn advance_unchecked_mut(
+    t: &StepTables,
+    rates: &[f64],
+    vals: &mut Vec<Value>,
+    state: &mut NetState,
+    d: f64,
+) -> Result<(), EvalError> {
+    for (i, r) in rates.iter().enumerate() {
+        if *r != 0.0 {
+            let cur = state.nu.get(VarId(i))?.as_real()?;
+            state.nu.set(VarId(i), Value::Real(cur + r * d))?;
+        }
+    }
+    state.time += d;
+    run_flows_inner(t, vals, &mut state.nu)
+}
+
+fn run_flows_inner(
+    t: &StepTables,
+    vals: &mut Vec<Value>,
+    nu: &mut Valuation,
+) -> Result<(), EvalError> {
+    for f in &t.flows {
+        let v = run_eval(&f.prog, nu, vals)?;
+        let v = f.ty.canonicalize(v);
+        if !f.ty.admits(v) {
+            if let (VarType::Int { lo, hi }, Value::Int(i)) = (f.ty, v) {
+                return Err(EvalError::IntOutOfRange {
+                    variable: f.name.clone(),
+                    value: i,
+                    lo,
+                    hi,
+                });
+            }
+            return Err(EvalError::TypeConfusion {
+                context: format!("flow into {} produced {}", f.name, v.kind()),
+            });
+        }
+        nu.set(f.target, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Effect;
+    use crate::network::NetworkBuilder;
+    use crate::network::{AutomatonBuilder, GuardedCandidate};
+
+    /// Deterministic linear-congruential driver for the differential walk.
+    fn lcg(s: &mut u64) -> u64 {
+        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *s >> 33
+    }
+
+    /// A network exercising sync cross-products, urgency, Markovian races,
+    /// invariants with rates, flows, and most guard constructs the
+    /// bytecode compiler handles natively.
+    fn torture_net() -> Network {
+        let mut net = NetworkBuilder::new();
+        let c = net.var("c", VarType::Clock, Value::Real(0.0));
+        let temp = net.var("temp", VarType::Continuous, Value::Real(0.0));
+        let b = net.var("b", VarType::Bool, Value::Bool(false));
+        let n = net.var("n", VarType::Int { lo: 0, hi: 10 }, Value::Int(0));
+        let r = net.var("r", VarType::Real, Value::Real(0.0));
+        net.flow(r, Expr::var(n).add(Expr::int(1)));
+        let go = net.action("go");
+
+        let mut a = AutomatonBuilder::new("a");
+        let l0 = a.location_with("l0", Expr::var(c).le(Expr::real(8.0)), [(temp, 0.5)]);
+        let l1 = a.location_with("l1", Expr::var(temp).le(Expr::real(6.0)), [(temp, 1.0)]);
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(c).ge(Expr::real(1.0)).and(Expr::var(c).le(Expr::real(5.0))),
+            [Effect::assign(n, Expr::var(n).add(Expr::int(1)).min(Expr::int(10)))],
+            l1,
+        );
+        a.guarded_urgent(
+            l0,
+            ActionId::TAU,
+            Expr::var(c).ge(Expr::real(3.0)),
+            [Effect::assign(c, Expr::real(0.0))],
+            l0,
+        );
+        // Guard-construct torture: data-free self loops.
+        a.guarded(l0, ActionId::TAU, Expr::var(b).xor(Expr::var(c).gt(Expr::real(6.0))), [], l0);
+        a.guarded(l0, ActionId::TAU, Expr::var(c).gt(Expr::real(1.0)).eq(Expr::var(b)), [], l0);
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            (Expr::var(c).div(Expr::real(2.0)).le(Expr::real(3.0)))
+                .and(Expr::real(2.0).mul(Expr::var(c)).ge(Expr::real(1.0))),
+            [],
+            l0,
+        );
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(c).min(Expr::var(c).add(Expr::real(2.0))).ge(Expr::real(3.0)),
+            [],
+            l0,
+        );
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::ite(
+                Expr::var(b),
+                Expr::var(c).le(Expr::real(4.0)),
+                Expr::var(c).ge(Expr::real(6.0)),
+            ),
+            [],
+            l0,
+        );
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(c).lt(Expr::real(3.0)).not().implies(Expr::var(b)),
+            [],
+            l0,
+        );
+        a.guarded(l1, ActionId::TAU, Expr::int(1).lt(Expr::int(2)), [], l1);
+        a.guarded(
+            l1,
+            ActionId::TAU,
+            Expr::ite(
+                Expr::var(b),
+                Expr::var(temp).le(Expr::real(2.0)),
+                Expr::var(temp).ge(Expr::real(1.0)),
+            ),
+            [Effect::assign(b, Expr::var(b).not()), Effect::assign(c, Expr::real(0.0))],
+            l0,
+        );
+        // Markovian race in a dedicated location (locations may not mix
+        // guarded and Markovian transitions).
+        let l2 = a.location("mk");
+        a.guarded(l1, ActionId::TAU, Expr::var(temp).ge(Expr::real(0.5)), [], l2);
+        a.markovian(
+            l2,
+            2.0,
+            [Effect::assign(n, Expr::var(n).sub(Expr::int(1)).max(Expr::int(0)))],
+            l0,
+        );
+        a.markovian(l2, 0.5, [], l1);
+        a.guarded(l0, go, Expr::var(c).le(Expr::real(4.0)), [], l0);
+        a.guarded(l0, go, Expr::var(c).ge(Expr::real(2.0)), [], l1);
+        net.add_automaton(a);
+
+        let mut bb = AutomatonBuilder::new("b");
+        let m0 = bb.location("m0");
+        let m1 = bb.location("m1");
+        bb.guarded(m0, go, Expr::TRUE, [], m1);
+        bb.guarded(m1, go, Expr::var(b).eq(Expr::FALSE), [], m0);
+        bb.guarded(m1, ActionId::TAU, Expr::var(n).ge(Expr::int(1)), [], m0);
+        net.add_automaton(bb);
+
+        net.build().expect("torture net validates")
+    }
+
+    fn assert_cands_eq(legacy: &[GuardedCandidate], compiled: &[CandidateBuf]) {
+        assert_eq!(legacy.len(), compiled.len(), "candidate count");
+        for (l, c) in legacy.iter().zip(compiled) {
+            assert_eq!(l.transition.action, c.action);
+            assert_eq!(l.transition.parts, c.parts);
+            assert_eq!(l.window, c.window);
+            assert_eq!(l.urgent, c.urgent);
+        }
+    }
+
+    /// The core differential test: a long pseudo-random walk where every
+    /// step compares the compiled kernel against the legacy allocating
+    /// API — windows, candidates, Markovian races, `advance`, `apply`.
+    #[test]
+    fn compiled_kernel_matches_legacy_walk() {
+        let net = torture_net();
+        let tables = net.compile();
+        let mut s = StepScratch::new();
+        let mut seed = 0xfeed_5eed_u64;
+
+        for path in 0..16u64 {
+            seed ^= path.wrapping_mul(0x9e37_79b9);
+            let mut st = net.initial_state().unwrap();
+            let mut st_c = st.clone();
+            let mut window = IntervalSet::empty();
+            for _ in 0..60 {
+                assert_eq!(st, st_c, "states diverged");
+                let w = net.delay_window(&st);
+                let w_c = net.delay_window_into(&tables, &mut s, &st_c, &mut window);
+                match (&w, &w_c) {
+                    (Ok(wl), Ok(())) => assert_eq!(*wl, window, "delay windows diverged"),
+                    (Err(el), Err(ec)) => {
+                        assert_eq!(el, ec);
+                        break;
+                    }
+                    _ => panic!("delay window result kind diverged: {w:?} vs {w_c:?}"),
+                }
+                let w = w.unwrap();
+
+                let cands = net.guarded_candidates(&st).unwrap();
+                net.guarded_candidates_into(&tables, &mut s, &st_c).unwrap();
+                assert_cands_eq(&cands, s.candidates());
+
+                let markov = net.markovian_candidates(&st);
+                net.markovian_candidates_into(&tables, &mut s, &st_c);
+                assert_eq!(markov.len(), s.markovian().len());
+                for (l, &(p, t, rate)) in markov.iter().zip(s.markovian()) {
+                    assert_eq!(l.transition.parts, vec![(p, t)]);
+                    assert_eq!(l.rate, rate);
+                }
+
+                // Drive: prefer a guarded candidate whose window intersects
+                // the invariant window; otherwise race a Markovian jump.
+                let pick = lcg(&mut seed) as usize;
+                let fired = cands
+                    .iter()
+                    .cycle()
+                    .skip(pick % cands.len().max(1))
+                    .take(cands.len())
+                    .find(|cand| !cand.window.intersect(&w).is_empty());
+                if let Some(cand) = fired {
+                    let joint = cand.window.intersect(&w);
+                    let frac = (lcg(&mut seed) % 101) as f64 / 100.0;
+                    let d = joint.earliest_point().unwrap()
+                        + joint.sup().filter(|s| s.is_finite()).map_or(0.0, |sup| {
+                            (sup - joint.earliest_point().unwrap()).max(0.0) * frac * 0.5
+                        });
+                    let d = if joint.contains(d) { d } else { joint.earliest_point().unwrap() };
+                    let adv = net.advance(&st, d);
+                    let adv_c = net.advance_mut(&tables, &mut s, &mut st_c, d, &window);
+                    match (adv, adv_c) {
+                        (Ok(next), Ok(())) => st = next,
+                        (Err(el), Err(ec)) => {
+                            assert_eq!(el, ec);
+                            break;
+                        }
+                        (a, b) => panic!("advance diverged: {a:?} vs {b:?}"),
+                    }
+                    assert_eq!(st, st_c, "advance diverged");
+                    let ap = net.apply(&st, &cand.transition);
+                    let ap_c = net.apply_mut(&tables, &mut s, &mut st_c, &cand.transition.parts);
+                    match (ap, ap_c) {
+                        (Ok(next), Ok(())) => st = next,
+                        (Err(el), Err(ec)) => {
+                            assert_eq!(el, ec);
+                            break;
+                        }
+                        (a, b) => panic!("apply diverged: {a:?} vs {b:?}"),
+                    }
+                } else if !markov.is_empty() {
+                    let sup = w.sup().unwrap_or(0.0);
+                    let d = if sup.is_finite() { sup * 0.9 } else { 1.0 };
+                    let next = net.advance(&st, d).unwrap();
+                    net.advance_mut(&tables, &mut s, &mut st_c, d, &window).unwrap();
+                    st = next;
+                    assert_eq!(st, st_c, "advance diverged");
+                    let m = &markov[lcg(&mut seed) as usize % markov.len()];
+                    let next = net.apply(&st, &m.transition).unwrap();
+                    net.apply_mut(&tables, &mut s, &mut st_c, &m.transition.parts).unwrap();
+                    st = next;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_independent_guard_is_precomputed() {
+        let mut net = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("a");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::int(1).lt(Expr::int(2)), [], l0);
+        net.add_automaton(a);
+        let net = net.build().unwrap();
+        let tables = net.compile();
+        assert!(
+            matches!(tables.tau[0][0][0].guard, GuardCode::Static(ref s) if !s.is_empty()),
+            "constant guard should be classified state-independent"
+        );
+    }
+
+    #[test]
+    fn unsupported_guard_falls_back_and_matches() {
+        let mut net = NetworkBuilder::new();
+        let c = net.var("c", VarType::Clock, Value::Real(0.0));
+        let b = net.var("b", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("a");
+        let l0 = a.location("l0");
+        // Numeric `if` in guard position: outside the bytecode subset.
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::ite(Expr::var(b), Expr::real(1.0), Expr::real(2.0)).le(Expr::var(c)),
+            [],
+            l0,
+        );
+        net.add_automaton(a);
+        let net = net.build().unwrap();
+        let tables = net.compile();
+        assert!(matches!(tables.tau[0][0][0].guard, GuardCode::Fallback(_)));
+
+        let mut s = StepScratch::new();
+        for b_val in [false, true] {
+            let mut st = net.initial_state().unwrap();
+            st.nu.set(b, Value::Bool(b_val)).unwrap();
+            let cands = net.guarded_candidates(&st).unwrap();
+            net.guarded_candidates_into(&tables, &mut s, &st).unwrap();
+            assert_cands_eq(&cands, s.candidates());
+        }
+    }
+
+    #[test]
+    fn nonlinear_guard_errors_identically() {
+        let mut net = NetworkBuilder::new();
+        let c = net.var("c", VarType::Clock, Value::Real(1.0));
+        let mut a = AutomatonBuilder::new("a");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::var(c).mul(Expr::var(c)).gt(Expr::real(1.0)), [], l0);
+        net.add_automaton(a);
+        let net = net.build().unwrap();
+        let tables = net.compile();
+        let mut s = StepScratch::new();
+        let st = net.initial_state().unwrap();
+        let legacy = net.guarded_candidates(&st).unwrap_err();
+        let compiled = net.guarded_candidates_into(&tables, &mut s, &st).unwrap_err();
+        assert_eq!(legacy, compiled);
+        assert!(matches!(legacy, EvalError::NonLinear { .. }));
+    }
+
+    #[test]
+    fn predicate_window_matches_guard_solver() {
+        let net = torture_net();
+        let c = net.var_id("c").unwrap();
+        let pred_expr = Expr::var(c).ge(Expr::real(2.0)).and(Expr::var(c).le(Expr::real(7.0)));
+        let pred = net.compile_predicate(&pred_expr);
+        let mut s = StepScratch::new();
+        let st = net.initial_state().unwrap();
+        let mut out = IntervalSet::empty();
+        net.predicate_window_into(&mut s, &pred, &st, &mut out).unwrap();
+        let rates = net.active_rates(&st);
+        let rate = |v: VarId| rates[v.0];
+        let env = DelayEnv::new(&st.nu, &rate);
+        assert_eq!(out, solve(&pred_expr, &env).unwrap());
+    }
+
+    #[test]
+    fn invariant_violation_errors_identically() {
+        let mut net = NetworkBuilder::new();
+        let c = net.var("c", VarType::Clock, Value::Real(5.0));
+        let mut a = AutomatonBuilder::new("a");
+        a.location_with("l0", Expr::var(c).le(Expr::real(1.0)), []);
+        net.add_automaton(a);
+        let net = net.build().unwrap();
+        let tables = net.compile();
+        let mut s = StepScratch::new();
+        let st = net.initial_state().unwrap();
+        let legacy = net.delay_window(&st).unwrap_err();
+        let mut out = IntervalSet::empty();
+        let compiled = net.delay_window_into(&tables, &mut s, &st, &mut out).unwrap_err();
+        assert_eq!(legacy, compiled);
+    }
+}

@@ -59,6 +59,13 @@ impl Valuation {
     pub fn as_slice(&self) -> &[Value] {
         &self.values
     }
+
+    /// Replaces the contents with a copy of `other`, reusing the buffer
+    /// (no allocation once capacities match).
+    pub fn copy_from(&mut self, other: &Valuation) {
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+    }
 }
 
 impl FromIterator<Value> for Valuation {
@@ -132,7 +139,7 @@ pub fn eval_real(expr: &Expr, nu: &Valuation) -> Result<f64, EvalError> {
     eval(expr, nu)?.as_real()
 }
 
-fn eval_bin(op: BinOp, va: Value, vb: Value) -> Result<Value, EvalError> {
+pub(crate) fn eval_bin(op: BinOp, va: Value, vb: Value) -> Result<Value, EvalError> {
     if op.is_comparison() {
         return eval_cmp(op, va, vb);
     }

@@ -215,19 +215,50 @@ impl IntervalSet {
         });
         let mut out: Vec<Interval> = Vec::with_capacity(v.len());
         for iv in v {
-            match out.last_mut() {
-                Some(last) if last.merges_with(&iv) => {
-                    if iv.hi > last.hi {
-                        last.hi = iv.hi;
-                        last.hi_closed = iv.hi_closed;
-                    } else if iv.hi == last.hi {
-                        last.hi_closed = last.hi_closed || iv.hi_closed;
-                    }
-                }
-                _ => out.push(iv),
-            }
+            push_merged(&mut out, iv);
         }
         IntervalSet { intervals: out }
+    }
+
+    /// Empties the set in place, keeping its buffer.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    /// Replaces the contents with a copy of `other`, reusing the buffer.
+    pub fn copy_from(&mut self, other: &IntervalSet) {
+        self.intervals.clear();
+        self.intervals.extend_from_slice(&other.intervals);
+    }
+
+    /// Replaces the contents with the full axis `[0, ∞)` in place.
+    pub fn set_all(&mut self) {
+        self.intervals.clear();
+        self.intervals.push(Interval {
+            lo: 0.0,
+            hi: f64::INFINITY,
+            lo_closed: true,
+            hi_closed: false,
+        });
+    }
+
+    /// Replaces the contents with the single point `[x, x]` in place.
+    pub fn set_point(&mut self, x: f64) {
+        self.intervals.clear();
+        self.intervals.push(Interval::point(x));
+    }
+
+    /// Replaces the contents with a single interval in place.
+    pub fn set_interval(&mut self, iv: Interval) {
+        self.intervals.clear();
+        self.intervals.push(iv);
+    }
+
+    /// Appends an interval without re-normalizing. The caller must keep the
+    /// sorted/disjoint/non-mergeable invariant (used by the compiled solver
+    /// whose emission orders are normalization-preserving by construction).
+    pub(crate) fn push_interval_unchecked(&mut self, iv: Interval) {
+        self.intervals.push(iv);
     }
 
     /// The member intervals, sorted and disjoint.
@@ -319,6 +350,108 @@ impl IntervalSet {
         }
     }
 
+    /// Allocation-free [`intersect`](Self::intersect): writes `self ∩ other`
+    /// into `out`, reusing its buffer.
+    ///
+    /// The pairwise intersections of two normalized sets, emitted in scan
+    /// order, are already sorted and non-mergeable (sub-intervals of
+    /// disjoint, non-mergeable intervals cannot merge), so no
+    /// re-normalization pass is needed — the output equals
+    /// `self.intersect(other)` exactly.
+    pub fn intersect_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.intervals.clear();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                if b.lo > a.hi {
+                    break;
+                }
+                if let Some(iv) = a.intersect(b) {
+                    out.intervals.push(iv);
+                }
+            }
+        }
+    }
+
+    /// Allocation-free [`union`](Self::union): writes `self ∪ other` into
+    /// `out`, reusing its buffer.
+    ///
+    /// A stable two-way merge of two already-sorted inputs is exactly the
+    /// stable sort `from_intervals` performs on their concatenation, so the
+    /// output equals `self.union(other)` exactly.
+    pub fn union_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.intervals.clear();
+        let a = &self.intervals;
+        let b = &other.intervals;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => {
+                    x.lo.partial_cmp(&y.lo)
+                        .expect("no NaN endpoints")
+                        .then_with(|| y.lo_closed.cmp(&x.lo_closed))
+                        != std::cmp::Ordering::Greater
+                }
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let iv = if take_a {
+                i += 1;
+                a[i - 1]
+            } else {
+                j += 1;
+                b[j - 1]
+            };
+            push_merged(&mut out.intervals, iv);
+        }
+    }
+
+    /// Allocation-free [`complement`](Self::complement): writes the
+    /// complement of `self` (w.r.t. `[0, ∞)`) into `out`.
+    ///
+    /// The cursor sweep emits gaps already sorted and separated by member
+    /// intervals, so the output needs no re-normalization and equals
+    /// `self.complement()` exactly.
+    pub fn complement_into(&self, out: &mut IntervalSet) {
+        out.intervals.clear();
+        let mut cursor = 0.0f64;
+        let mut cursor_closed = true; // whether `cursor` itself is still outside the set
+        for iv in &self.intervals {
+            if iv.hi < cursor || (iv.hi == cursor && !iv.hi_closed && !cursor_closed) {
+                continue;
+            }
+            if let Some(gap) =
+                Interval::new(cursor, iv.lo.max(cursor), cursor_closed, !iv.lo_closed)
+            {
+                // Guard against degenerate gaps swallowed by max().
+                if gap.lo < iv.lo || (gap.is_point() && !iv.contains(gap.lo)) {
+                    out.intervals.push(gap);
+                }
+            }
+            if iv.hi > cursor || (iv.hi == cursor && (iv.hi_closed || !cursor_closed)) {
+                cursor = iv.hi;
+                cursor_closed = !iv.hi_closed;
+            }
+        }
+        if cursor.is_finite() {
+            if let Some(tail) = Interval::new(cursor, f64::INFINITY, cursor_closed, false) {
+                out.intervals.push(tail);
+            }
+        }
+    }
+
+    /// Allocation-free [`truncate`](Self::truncate): writes `self ∩ [0, hi]`
+    /// into `out`.
+    pub fn truncate_into(&self, hi: f64, out: &mut IntervalSet) {
+        out.intervals.clear();
+        if let Some(cap) = Interval::closed(0.0, hi) {
+            for a in &self.intervals {
+                if let Some(iv) = a.intersect(&cap) {
+                    out.intervals.push(iv);
+                }
+            }
+        }
+    }
+
     /// The largest `d` such that the whole prefix `[0, d]` lies in the set,
     /// together with whether `d` itself is attainable. Returns `None` when
     /// `0` is not in the set, and `(INFINITY, false)` when the prefix is
@@ -361,13 +494,18 @@ impl IntervalSet {
             return None;
         }
         let u = u.clamp(0.0, 1.0 - f64::EPSILON);
-        let finite: Vec<&Interval> = self.intervals.iter().filter(|iv| iv.hi.is_finite()).collect();
-        let total: f64 = finite.iter().map(|iv| iv.measure()).sum();
+        // In a normalized set only the last interval can be unbounded, but
+        // the scans below filter on finiteness to stay robust.
+        let finite = |iv: &&Interval| iv.hi.is_finite();
+        let n_finite = self.intervals.iter().filter(finite).count();
+        let total: f64 = self.intervals.iter().filter(finite).map(Interval::measure).sum();
         if total > 0.0 {
+            let last_finite =
+                self.intervals.iter().rposition(|iv| iv.hi.is_finite()).expect("total > 0");
             let mut target = u * total;
-            for iv in &finite {
+            for (idx, iv) in self.intervals.iter().enumerate().filter(|(_, iv)| iv.hi.is_finite()) {
                 let m = iv.measure();
-                if target <= m || std::ptr::eq(*iv, *finite.last().unwrap()) {
+                if target <= m || idx == last_finite {
                     let x = iv.lo + target.min(m);
                     // Respect open endpoints.
                     if x == iv.lo && !iv.lo_closed {
@@ -384,12 +522,29 @@ impl IntervalSet {
         }
         // Measure-zero set: uniform over the points (all finite intervals
         // are points here).
-        if finite.is_empty() {
+        if n_finite == 0 {
             // Only an unbounded interval: fall back to its earliest point.
             return self.earliest_point();
         }
-        let idx = ((u * finite.len() as f64) as usize).min(finite.len() - 1);
-        Some(finite[idx].lo)
+        let idx = ((u * n_finite as f64) as usize).min(n_finite - 1);
+        self.intervals.iter().filter(finite).nth(idx).map(|iv| iv.lo)
+    }
+}
+
+/// Appends `iv` to a sorted run, merging it into the last element when the
+/// two overlap or touch — the merge step of `from_intervals`, shared with
+/// the in-place union.
+fn push_merged(out: &mut Vec<Interval>, iv: Interval) {
+    match out.last_mut() {
+        Some(last) if last.merges_with(&iv) => {
+            if iv.hi > last.hi {
+                last.hi = iv.hi;
+                last.hi_closed = iv.hi_closed;
+            } else if iv.hi == last.hi {
+                last.hi_closed = last.hi_closed || iv.hi_closed;
+            }
+        }
+        _ => out.push(iv),
     }
 }
 
@@ -565,6 +720,53 @@ mod tests {
     #[test]
     fn pick_empty_is_none() {
         assert_eq!(IntervalSet::empty().pick(0.5), None);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let sets = [
+            IntervalSet::empty(),
+            IntervalSet::all(),
+            IntervalSet::from(Interval::point(2.0)),
+            IntervalSet::from_intervals([cl(0.0, 1.0), cl(10.0, 11.0)]),
+            IntervalSet::from_intervals([
+                Interval::closed_open(0.0, 1.0).unwrap(),
+                Interval::open_closed(1.0, 2.0).unwrap(),
+                Interval::new(5.0, f64::INFINITY, false, false).unwrap(),
+            ]),
+            IntervalSet::from_intervals([Interval::open(0.5, 1.5).unwrap(), cl(3.0, 3.0)]),
+        ];
+        let mut out = IntervalSet::empty();
+        for a in &sets {
+            a.complement_into(&mut out);
+            assert_eq!(out, a.complement(), "complement of {a}");
+            for hi in [-1.0, 0.0, 0.75, 3.0, 20.0, f64::INFINITY] {
+                a.truncate_into(hi, &mut out);
+                assert_eq!(out, a.truncate(hi), "truncate {a} at {hi}");
+            }
+            for b in &sets {
+                a.intersect_into(b, &mut out);
+                assert_eq!(out, a.intersect(b), "{a} ∩ {b}");
+                a.union_into(b, &mut out);
+                assert_eq!(out, a.union(b), "{a} ∪ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_constructors() {
+        let mut s = IntervalSet::all();
+        s.clear();
+        assert!(s.is_empty());
+        s.set_all();
+        assert_eq!(s, IntervalSet::all());
+        s.set_point(3.0);
+        assert_eq!(s, IntervalSet::from(Interval::point(3.0)));
+        s.set_interval(cl(1.0, 2.0));
+        assert_eq!(s, IntervalSet::from(cl(1.0, 2.0)));
+        s.copy_from(&IntervalSet::from_intervals([cl(0.0, 1.0), cl(4.0, 5.0)]));
+        assert_eq!(s.intervals().len(), 2);
+        assert_eq!(s.measure(), 2.0);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod automaton;
+pub mod compiled;
 pub mod dot;
 pub mod error;
 pub mod eval;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::automaton::{
         ActionId, Automaton, Effect, GuardKind, LocId, Location, ProcId, TransId, Transition,
     };
+    pub use crate::compiled::{CandidateBuf, CompiledPredicate, StepScratch, StepTables};
     pub use crate::error::{EvalError, ModelError};
     pub use crate::eval::{eval, eval_bool, eval_real, Valuation};
     pub use crate::expr::{BinOp, Expr, VarId};

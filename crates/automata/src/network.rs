@@ -146,9 +146,10 @@ impl Network {
         self.vars[v.0].ty
     }
 
-    /// Name accessor used in diagnostics.
-    pub fn name_of(&self, v: VarId) -> String {
-        self.vars[v.0].name.clone()
+    /// Name accessor used in diagnostics and trace rendering (borrowed —
+    /// callers that need ownership convert explicitly).
+    pub fn name_of(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
     }
 
     /// The initial state (initial locations, initial values, flows
@@ -160,7 +161,7 @@ impl Network {
         let locs = self.automata.iter().map(|a| a.init).collect();
         let mut nu: Valuation = self.vars.iter().map(|v| v.ty.canonicalize(v.init)).collect();
         let ty = |v: VarId| self.ty_of(v);
-        let name = |v: VarId| self.name_of(v);
+        let name = |v: VarId| self.name_of(v).to_string();
         run_flows(&self.flows, &mut nu, &ty, &name)?;
         Ok(NetState::new(locs, nu))
     }
@@ -168,7 +169,16 @@ impl Network {
     /// The active derivative of every variable in `state`: 1 for clocks,
     /// the current location's rate for continuous variables, 0 otherwise.
     pub fn active_rates(&self, state: &NetState) -> Vec<f64> {
-        let mut rates = vec![0.0; self.vars.len()];
+        let mut rates = Vec::new();
+        self.active_rates_into(state, &mut rates);
+        rates
+    }
+
+    /// Allocation-free [`Network::active_rates`]: overwrites `rates`
+    /// in place, reusing its buffer.
+    pub fn active_rates_into(&self, state: &NetState, rates: &mut Vec<f64>) {
+        rates.clear();
+        rates.resize(self.vars.len(), 0.0);
         for (i, decl) in self.vars.iter().enumerate() {
             if decl.ty == VarType::Clock {
                 rates[i] = 1.0;
@@ -180,7 +190,6 @@ impl Network {
                 rates[v.0] = r;
             }
         }
-        rates
     }
 
     /// The set of delays during which *all* location invariants keep
@@ -404,7 +413,7 @@ impl Network {
         }
         next.time += d;
         let ty = |v: VarId| self.ty_of(v);
-        let name = |v: VarId| self.name_of(v);
+        let name = |v: VarId| self.name_of(v).to_string();
         run_flows(&self.flows, &mut next.nu, &ty, &name)?;
         Ok(next)
     }
@@ -431,7 +440,7 @@ impl Network {
                 if !ty.admits(v) {
                     if let (VarType::Int { lo, hi }, Value::Int(i)) = (ty, v) {
                         return Err(EvalError::IntOutOfRange {
-                            variable: self.name_of(eff.var),
+                            variable: self.name_of(eff.var).to_string(),
                             value: i,
                             lo,
                             hi,
@@ -453,7 +462,7 @@ impl Network {
             next.nu.set(var, v)?;
         }
         let ty = |v: VarId| self.ty_of(v);
-        let name = |v: VarId| self.name_of(v);
+        let name = |v: VarId| self.name_of(v).to_string();
         run_flows(&self.flows, &mut next.nu, &ty, &name)?;
         Ok(next)
     }
@@ -477,9 +486,11 @@ impl Network {
         use crate::expr::BinOp;
         match e {
             Expr::Const(v) => v.to_string(),
-            Expr::Var(v) => {
-                self.vars.get(v.0).map(|d| d.name.clone()).unwrap_or_else(|| format!("v{}", v.0))
-            }
+            Expr::Var(v) => self
+                .vars
+                .get(v.0)
+                .map(|d| d.name.as_str())
+                .map_or_else(|| format!("v{}", v.0), str::to_string),
             Expr::Not(x) => format!("(not {})", self.render_expr(x)),
             Expr::Neg(x) => format!("(-{})", self.render_expr(x)),
             Expr::Bin(BinOp::Min, a, b) => {

@@ -23,6 +23,16 @@ impl NetState {
         NetState { locs, nu, time: 0.0 }
     }
 
+    /// Replaces the contents with a copy of `other`, reusing both buffers
+    /// (no allocation once capacities match). The in-place per-path reset
+    /// of the compiled simulation kernel.
+    pub fn copy_from(&mut self, other: &NetState) {
+        self.locs.clear();
+        self.locs.extend_from_slice(&other.locs);
+        self.nu.copy_from(&other.nu);
+        self.time = other.time;
+    }
+
     /// A hashable key over locations and *discrete* variable values.
     ///
     /// Returns `None` if any variable holds a real value — such models have

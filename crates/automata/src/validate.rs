@@ -150,11 +150,15 @@ impl Validator<'_> {
                         continue;
                     }
                     if n.ty_of(v) != VarType::Continuous {
-                        self.errs.push(ModelError::RateOnDiscrete { variable: n.name_of(v) });
+                        self.errs.push(ModelError::RateOnDiscrete {
+                            variable: n.name_of(v).to_string(),
+                        });
                     }
                     match rate_owner.get(&v) {
                         Some(owner) if owner.0 != p => {
-                            self.errs.push(ModelError::RateConflict { variable: n.name_of(v) });
+                            self.errs.push(ModelError::RateConflict {
+                                variable: n.name_of(v).to_string(),
+                            });
                         }
                         _ => {
                             rate_owner.insert(v, ProcId(p));
@@ -298,7 +302,9 @@ impl Validator<'_> {
                 || rate_owner.contains_key(&f.target)
                 || n.ty_of(f.target).is_timed()
             {
-                self.errs.push(ModelError::FlowTargetConflict { variable: n.name_of(f.target) });
+                self.errs.push(ModelError::FlowTargetConflict {
+                    variable: n.name_of(f.target).to_string(),
+                });
             }
             let k = match f.expr.check(&|v| n.ty_of(v)) {
                 Ok(k) => k,

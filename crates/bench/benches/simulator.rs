@@ -2,7 +2,7 @@
 //! per model and strategy (the per-path cost that makes the simulator's
 //! Table I columns flat).
 
-use slim_automata::prelude::Expr;
+use slim_automata::prelude::{Expr, IntervalSet, StepScratch};
 use slim_models::gps::{gps_network, GpsParams};
 use slim_models::launcher::{launcher_network, LauncherParams};
 use slim_models::sensor_filter::{sensor_filter_network, SensorFilterParams, GOAL_VAR};
@@ -13,7 +13,9 @@ use slimsim_core::prelude::*;
 fn bench_path_generation(h: &mut Harness) {
     h.group("path_generation");
 
-    // Sensor–filter (untimed, Markovian) at two sizes.
+    // Sensor–filter (untimed, Markovian) at two sizes; the reused-scratch
+    // hot path (what the runner's workers execute) vs the per-path
+    // fresh-scratch wrapper.
     for size in [2, 6] {
         let net =
             sensor_filter_network(&SensorFilterParams { redundancy: size, ..Default::default() });
@@ -21,8 +23,15 @@ fn bench_path_generation(h: &mut Harness) {
         let prop = TimedReach::new(Goal::expr(Expr::var(failed)), 2.0);
         let gen = PathGenerator::new(&net, &prop, 100_000);
         let mut strategy = Asap;
+        let mut scratch = SimScratch::new();
         let mut i = 0u64;
         h.bench(&format!("sensor_filter/{size}"), || {
+            let mut rng = path_rng(1, i);
+            i += 1;
+            gen.generate_with(&mut scratch, &mut strategy, &mut rng).unwrap()
+        });
+        let mut i = 0u64;
+        h.bench(&format!("sensor_filter/{size}/fresh_scratch"), || {
             let mut rng = path_rng(1, i);
             i += 1;
             gen.generate(&mut strategy, &mut rng).unwrap()
@@ -36,11 +45,12 @@ fn bench_path_generation(h: &mut Harness) {
     let gen = PathGenerator::new(&net, &prop, 100_000);
     for kind in StrategyKind::ALL {
         let mut strategy = kind.instantiate();
+        let mut scratch = SimScratch::new();
         let mut i = 0u64;
         h.bench(&format!("launcher/{kind}"), || {
             let mut rng = path_rng(2, i);
             i += 1;
-            gen.generate(strategy.as_mut(), &mut rng).unwrap()
+            gen.generate_with(&mut scratch, strategy.as_mut(), &mut rng).unwrap()
         });
     }
 
@@ -50,23 +60,47 @@ fn bench_path_generation(h: &mut Harness) {
     let prop = TimedReach::new(goal, 10.0);
     let gen = PathGenerator::new(&net, &prop, 100_000);
     let mut strategy = Progressive;
+    let mut scratch = SimScratch::new();
     let mut i = 0u64;
     h.bench("gps/progressive", || {
         let mut rng = path_rng(3, i);
         i += 1;
-        gen.generate(&mut strategy, &mut rng).unwrap()
+        gen.generate_with(&mut scratch, &mut strategy, &mut rng).unwrap()
     });
 }
 
+/// Steps-per-second of the raw stepping primitives: the compiled kernel
+/// (`*_into` on a reused scratch) vs the legacy allocating methods.
 fn bench_step_primitives(h: &mut Harness) {
     h.group("step_primitives");
     let net = launcher_network(&LauncherParams::default());
+    let tables = net.compile();
+    let mut s = StepScratch::new();
     let state = net.initial_state().unwrap();
+    let mut window = IntervalSet::empty();
+    net.delay_window_into(&tables, &mut s, &state, &mut window).unwrap();
 
-    h.bench("guarded_candidates", || net.guarded_candidates(&state).unwrap());
-    h.bench("markovian_candidates", || net.markovian_candidates(&state));
-    h.bench("delay_window", || net.delay_window(&state).unwrap());
-    h.bench("advance", || net.advance(&state, 0.05).unwrap());
+    h.bench("guarded_candidates", || {
+        net.guarded_candidates_into(&tables, &mut s, &state).unwrap();
+        s.candidates().len()
+    });
+    h.bench("markovian_candidates", || {
+        net.markovian_candidates_into(&tables, &mut s, &state);
+        s.markovian().len()
+    });
+    h.bench("delay_window", || {
+        net.delay_window_into(&tables, &mut s, &state, &mut window).unwrap();
+    });
+    let mut adv = state.clone();
+    h.bench("advance", || {
+        adv.copy_from(&state);
+        net.advance_mut(&tables, &mut s, &mut adv, 0.05, &window).unwrap();
+    });
+
+    h.bench("legacy/guarded_candidates", || net.guarded_candidates(&state).unwrap());
+    h.bench("legacy/markovian_candidates", || net.markovian_candidates(&state));
+    h.bench("legacy/delay_window", || net.delay_window(&state).unwrap());
+    h.bench("legacy/advance", || net.advance(&state, 0.05).unwrap());
 }
 
 fn main() {

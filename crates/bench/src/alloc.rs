@@ -1,0 +1,66 @@
+//! A counting global allocator for the zero-allocation gate.
+//!
+//! The simulator's hot path contracts to perform **no heap allocation in
+//! steady state**: after a warm-up path has sized every pooled buffer in
+//! a [`slimsim_core::prelude::SimScratch`], subsequent paths must reuse
+//! those buffers exclusively. [`CountingAllocator`] wraps the system
+//! allocator and counts calls, so the `alloc_check` binary (and CI) can
+//! *prove* the contract instead of trusting it: warm up, reset the
+//! counters, simulate, and assert the delta is zero.
+//!
+//! The counter is intentionally global and lock-free (relaxed atomics):
+//! the check runs single-threaded, and approximate counts under
+//! concurrency would still flag a broken contract.
+
+// The one place in the workspace where unsafe is unavoidable: the
+// `GlobalAlloc` trait is unsafe by definition. The impl delegates every
+// call verbatim to `System` and only bumps atomics on the side.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of `alloc`/`realloc` calls since the last [`reset`].
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Number of bytes requested since the last [`reset`].
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation calls.
+///
+/// Install it in a binary with
+/// `#[global_allocator] static A: CountingAllocator = CountingAllocator;`
+/// — the library deliberately does *not* install it, so ordinary bench
+/// binaries keep the unwrapped system allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAllocator;
+
+// SAFETY: delegates verbatim to `System`; the counters have no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Resets both counters to zero.
+pub fn reset() {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    ALLOCATED_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// `(allocation calls, bytes requested)` since the last [`reset`].
+pub fn counts() -> (u64, u64) {
+    (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed))
+}

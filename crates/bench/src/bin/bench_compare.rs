@@ -1,0 +1,105 @@
+//! Compares a fresh `BENCH_simulator.json` against a committed baseline
+//! and flags throughput regressions.
+//!
+//! ```text
+//! cargo run -p slimsim-bench --release --bin bench_compare -- \
+//!     <baseline.json> <current.json> [--threshold PCT]
+//! ```
+//!
+//! Only `*.paths_per_sec` entries are compared: they are the per-model
+//! throughput the perf work optimises, and the remaining entries
+//! (probabilities, sample counts) are accuracy-driven rather than
+//! performance-driven. A model regresses when its fresh throughput drops
+//! more than `--threshold` percent (default 20) below the baseline.
+//!
+//! Exit codes: `0` — no regression; `1` — at least one regression
+//! (CI treats this as a soft failure: bench hosts are noisy, so the job
+//! annotates rather than blocks); `2` — usage or parse error.
+
+use slim_obs::{BenchReport, Json};
+use std::collections::BTreeMap;
+
+const METRIC_SUFFIX: &str = ".paths_per_sec";
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `model name -> paths/s` for every throughput entry in the report.
+fn throughputs(report: &BenchReport) -> BTreeMap<String, f64> {
+    report
+        .entries
+        .iter()
+        .filter_map(|e| {
+            e.name.strip_suffix(METRIC_SUFFIX).map(|model| (model.to_string(), e.value))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut threshold_pct = 20.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold_pct = t,
+                _ => {
+                    eprintln!("bench_compare: --threshold expects a positive percentage");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold PCT]");
+        std::process::exit(2);
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = throughputs(&baseline);
+    let cur = throughputs(&current);
+    if base.is_empty() {
+        eprintln!("bench_compare: baseline has no `{METRIC_SUFFIX}` entries");
+        std::process::exit(2);
+    }
+
+    let mut regressions = 0usize;
+    for (model, &base_v) in &base {
+        let Some(&cur_v) = cur.get(model) else {
+            eprintln!("{model:>14}: MISSING from current report");
+            regressions += 1;
+            continue;
+        };
+        let delta_pct = if base_v > 0.0 { (cur_v / base_v - 1.0) * 100.0 } else { 0.0 };
+        let verdict = if delta_pct < -threshold_pct { "REGRESSION" } else { "ok" };
+        println!(
+            "{model:>14}: {base_v:>12.0} -> {cur_v:>12.0} paths/s ({delta_pct:+6.1}%) [{verdict}]"
+        );
+        if verdict == "REGRESSION" {
+            regressions += 1;
+        }
+    }
+    for model in cur.keys().filter(|m| !base.contains_key(*m)) {
+        println!("{model:>14}: new entry (no baseline)");
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} model(s) regressed more than {threshold_pct}% \
+             vs {baseline_path}"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_compare: all models within {threshold_pct}% of {baseline_path}");
+}

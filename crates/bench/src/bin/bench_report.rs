@@ -2,8 +2,14 @@
 //! (`BENCH_simulator.json`) used to track throughput across commits.
 //!
 //! ```text
-//! cargo run -p slimsim-bench --release --bin bench_report [-- <out-dir>]
+//! cargo run -p slimsim-bench --release --bin bench_report \
+//!     [-- <out-dir> [--workers N]]
 //! ```
+//!
+//! `--workers N` pins the worker-thread count (default: available
+//! parallelism capped at 4). The committed baseline is recorded at
+//! `--workers 1` so throughput deltas measure per-core work, not the
+//! host's core count.
 //!
 //! Runs the instrumented simulator on the three untimed conformance
 //! models (sensor–filter, voting, repairable pair) plus the timed GPS
@@ -56,8 +62,23 @@ fn cases() -> Vec<Case> {
 }
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let mut out_dir = ".".to_string();
+    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let n = args.next().and_then(|v| v.parse::<usize>().ok());
+            match n {
+                Some(n) if n >= 1 => workers = n,
+                _ => {
+                    eprintln!("bench_report: --workers expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            out_dir = arg;
+        }
+    }
     let config = SimConfig::default()
         .with_accuracy(Accuracy::new(0.02, 0.05).expect("valid accuracy"))
         .with_strategy(StrategyKind::Asap)

@@ -11,6 +11,7 @@
 //!   strategy, permanent and recoverable variants;
 //! * `strategies` — §III-B: the GPS strategy study.
 
+pub mod alloc;
 pub mod harness;
 
 use slim_automata::prelude::{Expr, NetState, Network};

@@ -13,22 +13,109 @@
 
 use crate::error::SimError;
 use crate::obs::{PathDetail, SimObserver};
-use crate::property::TimedReach;
+use crate::property::{CompiledGoal, GoalPool, TimedReach};
 use crate::strategy::{Decision, ScheduledCandidate, StepView, Strategy};
 use crate::trace::PathTracer;
 use crate::verdict::{PathOutcome, Verdict};
+use slim_automata::automaton::{ActionId, ProcId, TransId};
+use slim_automata::error::EvalError;
 use slim_automata::interval::IntervalSet;
 use slim_automata::network::GlobalTransition;
-use slim_automata::prelude::Network;
+use slim_automata::prelude::{NetState, Network, StepScratch, StepTables, Valuation};
 use slim_stats::rng::exponential_from_uniform;
 use slim_stats::rng::StdRng;
 
 /// Generates sample paths for one (network, property) pair.
+///
+/// Construction compiles the network into [`StepTables`] and the property
+/// into [`CompiledGoal`]s once; every generated path then runs on the
+/// allocation-free stepping kernel. Pass a reusable [`SimScratch`] to the
+/// `*_with` variants to make steady-state path generation heap-allocation
+/// free; the plain variants allocate a fresh scratch per call.
 #[derive(Debug, Clone)]
 pub struct PathGenerator<'a> {
     net: &'a Network,
     property: &'a TimedReach,
     max_steps: u64,
+    tables: StepTables,
+    goal: CompiledGoal,
+    hold: Option<CompiledGoal>,
+    initial: Result<NetState, EvalError>,
+}
+
+/// Reusable per-worker workspace for the engine loop: the network-level
+/// [`StepScratch`] plus every engine-owned buffer (goal/invariant windows,
+/// scheduled candidates, temporaries). Allocated once, recycled across
+/// paths — after warm-up, generating a path performs no heap allocation.
+#[derive(Debug)]
+pub struct SimScratch {
+    step: StepScratch,
+    pool: GoalPool,
+    state: NetState,
+    goal_win: IntervalSet,
+    viol_win: IntervalSet,
+    hold_win: IntervalSet,
+    inv_window: IntervalSet,
+    window: IntervalSet,
+    schedulable: IntervalSet,
+    capped: IntervalSet,
+    tmp: IntervalSet,
+    tmp2: IntervalSet,
+    sched: Vec<ScheduledCandidate>,
+    n_sched: usize,
+}
+
+impl SimScratch {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> SimScratch {
+        SimScratch {
+            step: StepScratch::new(),
+            pool: GoalPool::new(),
+            state: NetState::new(Vec::new(), Valuation::new(Vec::new())),
+            goal_win: IntervalSet::empty(),
+            viol_win: IntervalSet::empty(),
+            hold_win: IntervalSet::empty(),
+            inv_window: IntervalSet::empty(),
+            window: IntervalSet::empty(),
+            schedulable: IntervalSet::empty(),
+            capped: IntervalSet::empty(),
+            tmp: IntervalSet::empty(),
+            tmp2: IntervalSet::empty(),
+            sched: Vec::new(),
+            n_sched: 0,
+        }
+    }
+}
+
+impl Default for SimScratch {
+    fn default() -> SimScratch {
+        SimScratch::new()
+    }
+}
+
+/// Acquires the next scheduled-candidate slot, reusing retired buffers
+/// (their `parts` and `window` capacity survives across steps).
+fn next_sched<'a>(
+    pool: &'a mut Vec<ScheduledCandidate>,
+    used: &mut usize,
+) -> &'a mut ScheduledCandidate {
+    if *used == pool.len() {
+        pool.push(ScheduledCandidate {
+            transition: GlobalTransition { action: ActionId::TAU, parts: Vec::new() },
+            window: IntervalSet::empty(),
+        });
+    }
+    let slot = &mut pool[*used];
+    *used += 1;
+    slot
+}
+
+/// Which transition a resolved step fires.
+enum FireSrc {
+    /// Index into the scheduled-candidate pool.
+    Guarded(usize),
+    /// The winning Markovian transition.
+    Markov((ProcId, TransId)),
 }
 
 /// How a step resolved after racing the strategy's schedule against the
@@ -36,8 +123,7 @@ pub struct PathGenerator<'a> {
 enum Resolved {
     Fire {
         delay: f64,
-        transition: GlobalTransition,
-        markovian: bool,
+        src: FireSrc,
         /// Winner's own rate and the total race exit rate (Markovian only).
         rates: Option<(f64, f64)>,
     },
@@ -51,9 +137,19 @@ enum Resolved {
 }
 
 impl<'a> PathGenerator<'a> {
-    /// Creates a generator.
+    /// Creates a generator, compiling the network and property onto the
+    /// allocation-free stepping kernel.
     pub fn new(net: &'a Network, property: &'a TimedReach, max_steps: u64) -> Self {
-        PathGenerator { net, property, max_steps }
+        let tables = net.compile();
+        let goal = property.goal.compile(net);
+        let hold = property.hold.as_ref().map(|h| h.compile(net));
+        let initial = net.initial_state();
+        PathGenerator { net, property, max_steps, tables, goal, hold, initial }
+    }
+
+    /// The compiled step tables driving this generator.
+    pub fn tables(&self) -> &StepTables {
+        &self.tables
     }
 
     /// The network under simulation.
@@ -76,7 +172,21 @@ impl<'a> PathGenerator<'a> {
         strategy: &mut dyn Strategy,
         rng: &mut StdRng,
     ) -> Result<PathOutcome, SimError> {
-        self.run(strategy, rng, None, 1.0, None).map(|(outcome, _)| outcome)
+        self.generate_with(&mut SimScratch::new(), strategy, rng)
+    }
+
+    /// [`Self::generate`] on a caller-supplied scratch: reusing the same
+    /// scratch across paths keeps the hot loop allocation-free.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    pub fn generate_with(
+        &self,
+        scratch: &mut SimScratch,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+    ) -> Result<PathOutcome, SimError> {
+        self.run(scratch, strategy, rng, None, 1.0, None).map(|(outcome, _)| outcome)
     }
 
     /// Generates one path, flushing per-path metrics (steps, firings,
@@ -93,12 +203,26 @@ impl<'a> PathGenerator<'a> {
         rng: &mut StdRng,
         obs: Option<&SimObserver>,
     ) -> Result<PathOutcome, SimError> {
+        self.generate_observed_with(&mut SimScratch::new(), strategy, rng, obs)
+    }
+
+    /// [`Self::generate_observed`] on a caller-supplied scratch.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    pub fn generate_observed_with(
+        &self,
+        scratch: &mut SimScratch,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        obs: Option<&SimObserver>,
+    ) -> Result<PathOutcome, SimError> {
         let Some(obs) = obs else {
-            return self.generate(strategy, rng);
+            return self.generate_with(scratch, strategy, rng);
         };
         let start = std::time::Instant::now();
         let mut detail = PathDetail::default();
-        let result = self.run(strategy, rng, None, 1.0, Some(&mut detail));
+        let result = self.run(scratch, strategy, rng, None, 1.0, Some(&mut detail));
         if let Ok((outcome, _)) = &result {
             detail.nanos = start.elapsed().as_nanos() as u64;
             obs.record_path(outcome, &detail);
@@ -119,7 +243,21 @@ impl<'a> PathGenerator<'a> {
         rng: &mut StdRng,
         tracer: &mut PathTracer<'_>,
     ) -> Result<PathOutcome, SimError> {
-        let outcome = self.run(strategy, rng, Some(&mut *tracer), 1.0, None)?.0;
+        self.generate_traced_with(&mut SimScratch::new(), strategy, rng, tracer)
+    }
+
+    /// [`Self::generate_traced`] on a caller-supplied scratch.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    pub fn generate_traced_with(
+        &self,
+        scratch: &mut SimScratch,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        tracer: &mut PathTracer<'_>,
+    ) -> Result<PathOutcome, SimError> {
+        let outcome = self.run(scratch, strategy, rng, Some(&mut *tracer), 1.0, None)?.0;
         tracer.verdict(&outcome);
         Ok(outcome)
     }
@@ -143,14 +281,36 @@ impl<'a> PathGenerator<'a> {
         rng: &mut StdRng,
         bias: f64,
     ) -> Result<(PathOutcome, f64), SimError> {
+        self.generate_biased_with(&mut SimScratch::new(), strategy, rng, bias)
+    }
+
+    /// [`Self::generate_biased`] on a caller-supplied scratch.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    ///
+    /// # Panics
+    /// Panics unless `bias > 0`.
+    pub fn generate_biased_with(
+        &self,
+        scratch: &mut SimScratch,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        bias: f64,
+    ) -> Result<(PathOutcome, f64), SimError> {
         assert!(bias > 0.0 && bias.is_finite(), "bias must be positive, got {bias}");
-        self.run(strategy, rng, None, bias, None)
+        self.run(scratch, strategy, rng, None, bias, None)
     }
 
     /// The common engine loop; returns the outcome and the likelihood
     /// ratio `exp(log_weight)` of the path under rate bias `bias`.
+    ///
+    /// Runs entirely on the compiled kernel: per-step windows, candidate
+    /// sets and state updates live in `s` and are recycled across steps
+    /// and paths, so steady-state execution performs no heap allocation.
     fn run(
         &self,
+        s: &mut SimScratch,
         strategy: &mut dyn Strategy,
         rng: &mut StdRng,
         mut tracer: Option<&mut PathTracer<'_>>,
@@ -159,7 +319,10 @@ impl<'a> PathGenerator<'a> {
     ) -> Result<(PathOutcome, f64), SimError> {
         let mut log_weight = 0.0f64;
         let finish = |outcome: PathOutcome, log_weight: f64| Ok((outcome, log_weight.exp()));
-        let mut state = self.net.initial_state().map_err(SimError::Eval)?;
+        match &self.initial {
+            Ok(init) => s.state.copy_from(init),
+            Err(e) => return Err(SimError::Eval(e.clone())),
+        }
         let mut steps: u64 = 0;
         // Margin past the horizon for truncating unbounded enabling
         // windows: any delay beyond `remaining` is verdict-equivalent, so
@@ -169,36 +332,42 @@ impl<'a> PathGenerator<'a> {
         loop {
             if steps >= self.max_steps {
                 return finish(
-                    PathOutcome { verdict: Verdict::StepLimit, steps, end_time: state.time },
+                    PathOutcome { verdict: Verdict::StepLimit, steps, end_time: s.state.time },
                     log_weight,
                 );
             }
             steps += 1;
 
-            let remaining = self.property.remaining(&state);
-            let goal_win = self.property.goal.window(self.net, &state).map_err(SimError::Eval)?;
+            let remaining = self.property.remaining(&s.state);
+            self.goal
+                .window_into(self.net, &mut s.step, &mut s.pool, &s.state, &mut s.goal_win)
+                .map_err(SimError::Eval)?;
             // For bounded until: the set of delays at which `hold` is
             // violated (empty for plain reachability).
-            let viol_win = match &self.property.hold {
-                None => IntervalSet::empty(),
-                Some(h) => h.window(self.net, &state).map_err(SimError::Eval)?.complement(),
-            };
-            if goal_win.contains(0.0) {
+            match &self.hold {
+                None => s.viol_win.clear(),
+                Some(h) => {
+                    h.window_into(self.net, &mut s.step, &mut s.pool, &s.state, &mut s.hold_win)
+                        .map_err(SimError::Eval)?;
+                    s.hold_win.complement_into(&mut s.viol_win);
+                }
+            }
+            if s.goal_win.contains(0.0) {
                 return finish(
                     PathOutcome {
                         verdict: Verdict::Satisfied,
                         steps: steps - 1,
-                        end_time: state.time,
+                        end_time: s.state.time,
                     },
                     log_weight,
                 );
             }
-            if viol_win.contains(0.0) {
+            if s.viol_win.contains(0.0) {
                 return finish(
                     PathOutcome {
                         verdict: Verdict::HoldViolated,
                         steps: steps - 1,
-                        end_time: state.time,
+                        end_time: s.state.time,
                     },
                     log_weight,
                 );
@@ -208,51 +377,79 @@ impl<'a> PathGenerator<'a> {
                     PathOutcome {
                         verdict: Verdict::TimeBoundExceeded,
                         steps: steps - 1,
-                        end_time: state.time,
+                        end_time: s.state.time,
                     },
                     log_weight,
                 );
             }
 
-            let invariant_window = self.net.delay_window(&state).map_err(SimError::Eval)?;
+            self.net
+                .delay_window_into(&self.tables, &mut s.step, &s.state, &mut s.inv_window)
+                .map_err(SimError::Eval)?;
             let cap = remaining + margin;
 
-            let raw = self.net.guarded_candidates(&state).map_err(SimError::Eval)?;
+            self.net
+                .guarded_candidates_into(&self.tables, &mut s.step, &s.state)
+                .map_err(SimError::Eval)?;
 
             // Urgency (AADL-eager transitions): time may not pass beyond
             // the first instant an urgent candidate becomes enabled.
             let mut urgency_cutoff = f64::INFINITY;
-            for c in &raw {
+            for c in s.step.candidates() {
                 if c.urgent {
-                    if let Some(inf) = c.window.intersect(&invariant_window).inf() {
+                    c.window.intersect_into(&s.inv_window, &mut s.tmp);
+                    if let Some(inf) = s.tmp.inf() {
                         urgency_cutoff = urgency_cutoff.min(inf);
                     }
                 }
             }
-            let window = if urgency_cutoff.is_finite() {
-                invariant_window.truncate(urgency_cutoff)
+            if urgency_cutoff.is_finite() {
+                s.inv_window.truncate_into(urgency_cutoff, &mut s.window);
             } else {
-                invariant_window
-            };
+                s.window.copy_from(&s.inv_window);
+            }
 
             // Guarded candidates: windows ∩ effective delay window,
-            // infinite tails capped at the horizon.
-            let mut guarded: Vec<ScheduledCandidate> = Vec::new();
-            for c in raw {
-                let w = c.window.intersect(&window);
-                let w = cap_infinite(&w, cap);
-                if !w.is_empty() {
-                    guarded.push(ScheduledCandidate { transition: c.transition, window: w });
+            // infinite tails capped at the horizon. Slots are recycled
+            // from the pool; only `..n_sched` is live this step.
+            s.n_sched = 0;
+            for c in s.step.candidates() {
+                c.window.intersect_into(&s.window, &mut s.tmp);
+                cap_infinite_into(&s.tmp, cap, &mut s.tmp2);
+                if !s.tmp2.is_empty() {
+                    let slot = next_sched(&mut s.sched, &mut s.n_sched);
+                    slot.transition.action = c.action;
+                    slot.transition.parts.clear();
+                    slot.transition.parts.extend_from_slice(&c.parts);
+                    slot.window.copy_from(&s.tmp2);
                 }
             }
-            let markovian = self.net.markovian_candidates(&state);
+            self.net.markovian_candidates_into(&self.tables, &mut s.step, &s.state);
+
+            // Precomputed strategy views: the schedulable union (left fold
+            // in candidate order, as Progressive computed it) and the
+            // horizon-capped delay window (Local/MaxTime).
+            s.schedulable.clear();
+            for i in 0..s.n_sched {
+                s.schedulable.union_into(&s.sched[i].window, &mut s.tmp);
+                std::mem::swap(&mut s.schedulable, &mut s.tmp);
+            }
+            cap_infinite_into(&s.window, cap, &mut s.capped);
 
             let decision = strategy.decide(
-                &StepView { net: self.net, state: &state, window: &window, guarded: &guarded, cap },
+                &StepView {
+                    net: self.net,
+                    state: &s.state,
+                    window: &s.window,
+                    guarded: &s.sched[..s.n_sched],
+                    cap,
+                    schedulable: Some(&s.schedulable),
+                    capped: Some(&s.capped),
+                },
                 rng,
             )?;
             if let Some(t) = tracer.as_deref_mut() {
-                t.decision(steps, &state, &decision, &guarded);
+                t.decision(steps, &s.state, &decision, &s.sched[..s.n_sched]);
             }
             if let Some(d) = detail.as_deref_mut() {
                 match &decision {
@@ -266,22 +463,25 @@ impl<'a> PathGenerator<'a> {
             // Markovian race: total-rate exponential + categorical winner.
             // Under importance sampling all rates are scaled by `bias`
             // (the winner distribution is unchanged — scaling is uniform).
-            let m_sample: Option<(f64, &GlobalTransition, f64, f64)> = if markovian.is_empty() {
-                None
-            } else {
-                let total: f64 = markovian.iter().map(|m| m.rate).sum();
-                let t = exponential_from_uniform(rng.gen::<f64>(), total * bias);
-                let mut pick = rng.gen::<f64>() * total;
-                let last = &markovian[markovian.len() - 1];
-                let mut winner = (&last.transition, last.rate);
-                for m in &markovian {
-                    if pick < m.rate {
-                        winner = (&m.transition, m.rate);
-                        break;
+            let m_sample: Option<(f64, (ProcId, TransId), f64, f64)> = {
+                let markovian = s.step.markovian();
+                if markovian.is_empty() {
+                    None
+                } else {
+                    let total: f64 = markovian.iter().map(|&(_, _, r)| r).sum();
+                    let t = exponential_from_uniform(rng.gen::<f64>(), total * bias);
+                    let mut pick = rng.gen::<f64>() * total;
+                    let (lp, lt, lr) = markovian[markovian.len() - 1];
+                    let mut winner = ((lp, lt), lr);
+                    for &(p, t_id, r) in markovian {
+                        if pick < r {
+                            winner = ((p, t_id), r);
+                            break;
+                        }
+                        pick -= r;
                     }
-                    pick -= m.rate;
+                    Some((t, winner.0, total, winner.1))
                 }
-                Some((t, winner.0, total, winner.1))
             };
 
             // Likelihood-ratio bookkeeping for importance sampling:
@@ -294,12 +494,11 @@ impl<'a> PathGenerator<'a> {
             let resolved = match decision {
                 Decision::Abort => return Err(SimError::InputAborted),
                 Decision::Fire { delay, candidate } => match m_sample {
-                    Some((t, gt, total, rate)) if t < delay => {
+                    Some((t, mt, total, rate)) if t < delay => {
                         log_weight += lr_fire(t, total);
                         Resolved::Fire {
                             delay: t,
-                            transition: gt.clone(),
-                            markovian: true,
+                            src: FireSrc::Markov(mt),
                             rates: Some((rate, total)),
                         }
                     }
@@ -307,21 +506,15 @@ impl<'a> PathGenerator<'a> {
                         if let Some((_, _, total, _)) = m {
                             log_weight += lr_censor(delay, total);
                         }
-                        Resolved::Fire {
-                            delay,
-                            transition: guarded[candidate].transition.clone(),
-                            markovian: false,
-                            rates: None,
-                        }
+                        Resolved::Fire { delay, src: FireSrc::Guarded(candidate), rates: None }
                     }
                 },
                 Decision::Wait { delay } => match m_sample {
-                    Some((t, gt, total, rate)) if t < delay => {
+                    Some((t, mt, total, rate)) if t < delay => {
                         log_weight += lr_fire(t, total);
                         Resolved::Fire {
                             delay: t,
-                            transition: gt.clone(),
-                            markovian: true,
+                            src: FireSrc::Markov(mt),
                             rates: Some((rate, total)),
                         }
                     }
@@ -333,26 +526,25 @@ impl<'a> PathGenerator<'a> {
                     }
                 },
                 Decision::Stuck => match m_sample {
-                    Some((t, gt, total, rate)) if window.contains(t) => {
+                    Some((t, mt, total, rate)) if s.window.contains(t) => {
                         log_weight += lr_fire(t, total);
                         Resolved::Fire {
                             delay: t,
-                            transition: gt.clone(),
-                            markovian: true,
+                            src: FireSrc::Markov(mt),
                             rates: Some((rate, total)),
                         }
                     }
                     Some((_, _, total, _)) => {
-                        let horizon = window.sup().unwrap_or(0.0);
+                        let horizon = s.window.sup().unwrap_or(0.0);
                         log_weight += lr_censor(horizon, total);
                         Resolved::Lock { verdict: Verdict::Timelock, horizon }
                     }
                     None => {
-                        let bounded = window.sup().is_none_or(f64::is_finite);
+                        let bounded = s.window.sup().is_none_or(f64::is_finite);
                         if bounded {
                             Resolved::Lock {
                                 verdict: Verdict::Timelock,
-                                horizon: window.sup().unwrap_or(0.0),
+                                horizon: s.window.sup().unwrap_or(0.0),
                             }
                         } else {
                             Resolved::Lock { verdict: Verdict::Deadlock, horizon: remaining }
@@ -362,14 +554,14 @@ impl<'a> PathGenerator<'a> {
             };
 
             match resolved {
-                Resolved::Fire { delay, transition, markovian, rates } => {
-                    match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
+                Resolved::Fire { delay, src, rates } => {
+                    match scan_delay(&s.goal_win, &s.viol_win, delay.min(remaining), &mut s.tmp) {
                         Scan::Goal(hit) => {
                             return finish(
                                 PathOutcome {
                                     verdict: Verdict::Satisfied,
                                     steps,
-                                    end_time: state.time + hit,
+                                    end_time: s.state.time + hit,
                                 },
                                 log_weight,
                             )
@@ -379,7 +571,7 @@ impl<'a> PathGenerator<'a> {
                                 PathOutcome {
                                     verdict: Verdict::HoldViolated,
                                     steps,
-                                    end_time: state.time + at,
+                                    end_time: s.state.time + at,
                                 },
                                 log_weight,
                             )
@@ -398,23 +590,56 @@ impl<'a> PathGenerator<'a> {
                     }
                     if delay > 0.0 {
                         if let Some(t) = tracer.as_deref_mut() {
-                            t.delay(steps, &state, delay);
+                            t.delay(steps, &s.state, delay);
                         }
-                        state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
+                        self.net
+                            .advance_mut(
+                                &self.tables,
+                                &mut s.step,
+                                &mut s.state,
+                                delay,
+                                &s.inv_window,
+                            )
+                            .map_err(SimError::Eval)?;
                     }
+                    let is_markov = matches!(src, FireSrc::Markov(_));
                     if let Some(t) = tracer.as_deref_mut() {
+                        // Cold path: materialize the transition only when
+                        // a tracer asks for it.
+                        let gt = match &src {
+                            FireSrc::Guarded(i) => s.sched[*i].transition.clone(),
+                            FireSrc::Markov((p, t_id)) => {
+                                GlobalTransition { action: ActionId::TAU, parts: vec![(*p, *t_id)] }
+                            }
+                        };
                         let (rate, rate_total) = match rates {
                             Some((r, total)) => (Some(r), Some(total)),
                             None => (None, None),
                         };
-                        t.fire(steps, &state, &transition, markovian, rate, rate_total);
+                        t.fire(steps, &s.state, &gt, is_markov, rate, rate_total);
                     }
-                    state = self.net.apply(&state, &transition).map_err(SimError::Eval)?;
+                    match src {
+                        FireSrc::Guarded(i) => self
+                            .net
+                            .apply_mut(
+                                &self.tables,
+                                &mut s.step,
+                                &mut s.state,
+                                &s.sched[i].transition.parts,
+                            )
+                            .map_err(SimError::Eval)?,
+                        FireSrc::Markov((p, t_id)) => {
+                            let parts = [(p, t_id)];
+                            self.net
+                                .apply_mut(&self.tables, &mut s.step, &mut s.state, &parts)
+                                .map_err(SimError::Eval)?;
+                        }
+                    }
                     if let Some(t) = tracer.as_deref_mut() {
-                        t.snapshot(steps, &state);
+                        t.snapshot(steps, &s.state);
                     }
                     if let Some(d) = detail.as_deref_mut() {
-                        if markovian {
+                        if is_markov {
                             d.fires_markovian += 1;
                         } else {
                             d.fires_guarded += 1;
@@ -422,13 +647,13 @@ impl<'a> PathGenerator<'a> {
                     }
                 }
                 Resolved::Wait { delay } => {
-                    match scan_delay(&goal_win, &viol_win, delay.min(remaining)) {
+                    match scan_delay(&s.goal_win, &s.viol_win, delay.min(remaining), &mut s.tmp) {
                         Scan::Goal(hit) => {
                             return finish(
                                 PathOutcome {
                                     verdict: Verdict::Satisfied,
                                     steps,
-                                    end_time: state.time + hit,
+                                    end_time: s.state.time + hit,
                                 },
                                 log_weight,
                             )
@@ -438,7 +663,7 @@ impl<'a> PathGenerator<'a> {
                                 PathOutcome {
                                     verdict: Verdict::HoldViolated,
                                     steps,
-                                    end_time: state.time + at,
+                                    end_time: s.state.time + at,
                                 },
                                 log_weight,
                             )
@@ -456,24 +681,26 @@ impl<'a> PathGenerator<'a> {
                         );
                     }
                     if let Some(t) = tracer.as_deref_mut() {
-                        t.delay(steps, &state, delay);
+                        t.delay(steps, &s.state, delay);
                     }
-                    state = self.net.advance(&state, delay).map_err(SimError::Eval)?;
+                    self.net
+                        .advance_mut(&self.tables, &mut s.step, &mut s.state, delay, &s.inv_window)
+                        .map_err(SimError::Eval)?;
                     if let Some(t) = tracer.as_deref_mut() {
-                        t.snapshot(steps, &state);
+                        t.snapshot(steps, &s.state);
                     }
                     if let Some(d) = detail.as_deref_mut() {
                         d.waits += 1;
                     }
                 }
                 Resolved::Lock { verdict, horizon } => {
-                    match scan_delay(&goal_win, &viol_win, horizon.min(remaining)) {
+                    match scan_delay(&s.goal_win, &s.viol_win, horizon.min(remaining), &mut s.tmp) {
                         Scan::Goal(hit) => {
                             return finish(
                                 PathOutcome {
                                     verdict: Verdict::Satisfied,
                                     steps,
-                                    end_time: state.time + hit,
+                                    end_time: s.state.time + hit,
                                 },
                                 log_weight,
                             )
@@ -483,7 +710,7 @@ impl<'a> PathGenerator<'a> {
                                 PathOutcome {
                                     verdict: Verdict::HoldViolated,
                                     steps,
-                                    end_time: state.time + at,
+                                    end_time: s.state.time + at,
                                 },
                                 log_weight,
                             )
@@ -491,7 +718,7 @@ impl<'a> PathGenerator<'a> {
                         Scan::Clear => {}
                     }
                     return finish(
-                        PathOutcome { verdict, steps, end_time: state.time },
+                        PathOutcome { verdict, steps, end_time: s.state.time },
                         log_weight,
                     );
                 }
@@ -513,9 +740,16 @@ enum Scan {
 /// Scans `[0, up_to]` for the first goal hit and the first hold
 /// violation; a tie counts as satisfaction (at the goal instant `hold`
 /// need not hold any more — standard until semantics).
-fn scan_delay(goal_win: &IntervalSet, viol_win: &IntervalSet, up_to: f64) -> Scan {
-    let goal_at = goal_win.truncate(up_to).inf();
-    let viol_at = viol_win.truncate(up_to).inf();
+fn scan_delay(
+    goal_win: &IntervalSet,
+    viol_win: &IntervalSet,
+    up_to: f64,
+    tmp: &mut IntervalSet,
+) -> Scan {
+    goal_win.truncate_into(up_to, tmp);
+    let goal_at = tmp.inf();
+    viol_win.truncate_into(up_to, tmp);
+    let viol_at = tmp.inf();
     match (goal_at, viol_at) {
         (Some(g), Some(v)) if g <= v => Scan::Goal(g),
         (Some(g), None) => Scan::Goal(g),
@@ -524,12 +758,13 @@ fn scan_delay(goal_win: &IntervalSet, viol_win: &IntervalSet, up_to: f64) -> Sca
     }
 }
 
-/// Replaces an infinite tail by a bounded one ending at `cap`.
-fn cap_infinite(set: &IntervalSet, cap: f64) -> IntervalSet {
+/// Replaces an infinite tail by a bounded one ending at `cap`,
+/// writing the result into `out` without allocating.
+fn cap_infinite_into(set: &IntervalSet, cap: f64, out: &mut IntervalSet) {
     match set.sup() {
-        Some(s) if s.is_finite() => set.clone(),
-        Some(_) => set.truncate(cap.max(set.inf().unwrap_or(0.0))),
-        None => IntervalSet::empty(),
+        Some(s) if s.is_finite() => out.copy_from(set),
+        Some(_) => set.truncate_into(cap.max(set.inf().unwrap_or(0.0)), out),
+        None => out.clear(),
     }
 }
 
@@ -954,6 +1189,27 @@ mod tests {
             let a = gen.generate(kind.instantiate().as_mut(), &mut rng(42)).unwrap();
             let b = gen.generate(kind.instantiate().as_mut(), &mut rng(42)).unwrap();
             assert_eq!(a, b, "strategy {kind} not reproducible");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // One SimScratch carried across many paths and strategies must
+        // yield exactly the outcomes of per-path fresh scratches: leftover
+        // pool contents and stale buffer lengths may never leak between
+        // paths.
+        let (net, goal) = window_net();
+        let prop = TimedReach::new(Goal::expr(goal), 10.0);
+        let gen = PathGenerator::new(&net, &prop, 1000);
+        let mut shared = SimScratch::new();
+        for kind in StrategyKind::ALL {
+            for seed in 0..25 {
+                let a = gen
+                    .generate_with(&mut shared, kind.instantiate().as_mut(), &mut rng(seed))
+                    .unwrap();
+                let b = gen.generate(kind.instantiate().as_mut(), &mut rng(seed)).unwrap();
+                assert_eq!(a, b, "strategy {kind}, seed {seed}");
+            }
         }
     }
 }

@@ -53,10 +53,10 @@ pub mod witness;
 /// Convenient glob-import of the simulator API.
 pub mod prelude {
     pub use crate::config::{DeadlockPolicy, SimConfig};
-    pub use crate::engine::PathGenerator;
+    pub use crate::engine::{PathGenerator, SimScratch};
     pub use crate::error::SimError;
     pub use crate::obs::{SimObserver, WorkerStat};
-    pub use crate::property::{Goal, TimedReach};
+    pub use crate::property::{CompiledGoal, Goal, GoalPool, TimedReach};
     pub use crate::rare_event::{analyze_rare, RareEventConfig, RareEventResult};
     pub use crate::replay::{replay_events, ReplayOutcome};
     pub use crate::runner::{analyze, analyze_observed, AnalysisResult};

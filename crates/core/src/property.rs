@@ -10,6 +10,102 @@ use slim_automata::interval::IntervalSet;
 use slim_automata::linear::{solve, DelayEnv};
 use slim_automata::prelude::*;
 
+/// A [`Goal`] lowered onto a network's compiled step tables: every
+/// expression atom becomes a [`CompiledPredicate`], so repeated window
+/// evaluation through [`CompiledGoal::window_into`] performs no heap
+/// allocation in steady state (combinator temporaries come from a
+/// [`GoalPool`] free-list).
+#[derive(Debug, Clone)]
+pub enum CompiledGoal {
+    /// A compiled Boolean expression over the network's variables.
+    Pred(CompiledPredicate),
+    /// True when automaton `proc` is in location `loc`.
+    InLocation(ProcId, LocId),
+    /// Conjunction.
+    And(Box<CompiledGoal>, Box<CompiledGoal>),
+    /// Disjunction.
+    Or(Box<CompiledGoal>, Box<CompiledGoal>),
+    /// Negation.
+    Not(Box<CompiledGoal>),
+}
+
+/// Free-list of interval sets recycled across goal-window evaluations.
+///
+/// `window_into` needs one temporary per combinator level; taking them
+/// from the pool (and returning them afterwards) keeps the recursion
+/// allocation-free once the pool has warmed up to the goal's depth.
+#[derive(Debug, Default)]
+pub struct GoalPool {
+    free: Vec<IntervalSet>,
+}
+
+impl GoalPool {
+    /// Creates an empty pool.
+    pub fn new() -> GoalPool {
+        GoalPool::default()
+    }
+
+    fn take(&mut self) -> IntervalSet {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, set: IntervalSet) {
+        self.free.push(set);
+    }
+}
+
+impl CompiledGoal {
+    /// Writes the goal's delay window in `state` into `out` — the compiled
+    /// counterpart of [`Goal::window`], byte-identical in result and error
+    /// behavior but free of per-call allocation.
+    ///
+    /// # Errors
+    /// Linear-solver errors for non-linear goal expressions.
+    pub fn window_into(
+        &self,
+        net: &Network,
+        step: &mut StepScratch,
+        pool: &mut GoalPool,
+        state: &NetState,
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
+        match self {
+            CompiledGoal::Pred(p) => net.predicate_window_into(step, p, state, out),
+            CompiledGoal::InLocation(p, l) => {
+                if state.locs[p.0] == *l {
+                    out.set_all();
+                } else {
+                    out.clear();
+                }
+                Ok(())
+            }
+            CompiledGoal::And(a, b) | CompiledGoal::Or(a, b) => {
+                a.window_into(net, step, pool, state, out)?;
+                let mut wb = pool.take();
+                b.window_into(net, step, pool, state, &mut wb)?;
+                let mut combined = pool.take();
+                if matches!(self, CompiledGoal::And(..)) {
+                    out.intersect_into(&wb, &mut combined);
+                } else {
+                    out.union_into(&wb, &mut combined);
+                }
+                std::mem::swap(out, &mut combined);
+                pool.put(wb);
+                pool.put(combined);
+                Ok(())
+            }
+            CompiledGoal::Not(a) => {
+                a.window_into(net, step, pool, state, out)?;
+                let mut flipped = pool.take();
+                out.complement_into(&mut flipped);
+                std::mem::swap(out, &mut flipped);
+                pool.put(flipped);
+                Ok(())
+            }
+        }
+    }
+}
+
 /// A state predicate over a network: data expressions plus location atoms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Goal {
@@ -84,6 +180,20 @@ impl Goal {
         let rate = |v: VarId| rates[v.0];
         let env = DelayEnv::new(&state.nu, &rate);
         self.window_in(&env, state)
+    }
+
+    /// Lowers the goal onto `net`'s compiled kernel for allocation-free
+    /// window evaluation via [`CompiledGoal::window_into`].
+    pub fn compile(&self, net: &Network) -> CompiledGoal {
+        match self {
+            Goal::Expr(e) => CompiledGoal::Pred(net.compile_predicate(e)),
+            Goal::InLocation(p, l) => CompiledGoal::InLocation(*p, *l),
+            Goal::And(a, b) => {
+                CompiledGoal::And(Box::new(a.compile(net)), Box::new(b.compile(net)))
+            }
+            Goal::Or(a, b) => CompiledGoal::Or(Box::new(a.compile(net)), Box::new(b.compile(net))),
+            Goal::Not(a) => CompiledGoal::Not(Box::new(a.compile(net))),
+        }
     }
 
     fn window_in(&self, env: &DelayEnv<'_>, state: &NetState) -> Result<IntervalSet, EvalError> {
@@ -212,6 +322,36 @@ mod tests {
         let b = Goal::expr(Expr::var(x).le(Expr::real(4.0)));
         let w = a.and(b).window(&net, &s).unwrap();
         assert!(w.contains(3.5) && !w.contains(4.5) && !w.contains(2.0));
+    }
+
+    #[test]
+    fn compiled_goal_window_matches_legacy() {
+        let net = clock_net();
+        let mut s = net.initial_state().unwrap();
+        s.time = 1.5;
+        let x = net.var_id("x").unwrap();
+        let a = Goal::expr(Expr::var(x).ge(Expr::real(3.0)));
+        let b = Goal::expr(Expr::var(x).le(Expr::real(4.0)));
+        let loc = Goal::in_location(&net, "p", "zero").unwrap();
+        let goals = [
+            a.clone(),
+            a.clone().and(b.clone()),
+            a.clone().or(b.clone()),
+            a.clone().not(),
+            loc.clone().and(a.or(b.not())),
+            loc.not(),
+        ];
+        let mut step = StepScratch::new();
+        let mut pool = GoalPool::new();
+        let mut out = IntervalSet::empty();
+        for g in &goals {
+            let compiled = g.compile(&net);
+            // Twice: the second pass runs on a warmed pool.
+            for _ in 0..2 {
+                compiled.window_into(&net, &mut step, &mut pool, &s, &mut out).unwrap();
+                assert_eq!(out, g.window(&net, &s).unwrap(), "goal {g:?}");
+            }
+        }
     }
 
     #[test]

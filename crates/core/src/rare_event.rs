@@ -14,7 +14,7 @@
 //! only the stochastic fault process is biased.
 
 use crate::config::DeadlockPolicy;
-use crate::engine::PathGenerator;
+use crate::engine::{PathGenerator, SimScratch};
 use crate::error::SimError;
 use crate::property::TimedReach;
 use crate::strategy::StrategyKind;
@@ -92,10 +92,12 @@ pub fn analyze_rare(
     let mut estimator = WeightedEstimator::new(config.rel_err, config.confidence);
     let mut stats = PathStats::default();
 
+    let mut scratch = SimScratch::new();
     let mut index = 0u64;
     while !estimator.is_complete() && index < config.max_paths {
         let mut rng = path_rng(config.seed, index);
-        let (outcome, weight) = gen.generate_biased(strategy.as_mut(), &mut rng, config.boost)?;
+        let (outcome, weight) =
+            gen.generate_biased_with(&mut scratch, strategy.as_mut(), &mut rng, config.boost)?;
         if config.deadlock_policy == DeadlockPolicy::Error && outcome.verdict.is_lock() {
             return Err(SimError::DeadlockDetected {
                 time: outcome.end_time,

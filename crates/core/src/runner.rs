@@ -13,7 +13,7 @@
 //! with deterministic mock samplers (panics, locks, slow late paths).
 
 use crate::config::{DeadlockPolicy, SimConfig};
-use crate::engine::PathGenerator;
+use crate::engine::{PathGenerator, SimScratch};
 use crate::error::SimError;
 use crate::obs::SimObserver;
 use crate::property::TimedReach;
@@ -55,10 +55,17 @@ impl AnalysisResult {
 /// index); tests substitute deterministic mocks to pin down the runner's
 /// failure and completion semantics without racing real simulations.
 pub(crate) trait PathSource: Sync {
+    /// Per-worker reusable workspace threaded through [`Self::sample`].
+    type Scratch;
+
+    /// Creates a fresh workspace (once per worker, not per path).
+    fn make_scratch(&self) -> Self::Scratch;
+
     /// Generates the outcome for path `index`.
     fn sample(
         &self,
         index: u64,
+        scratch: &mut Self::Scratch,
         strategy: &mut dyn Strategy,
         obs: Option<&SimObserver>,
     ) -> Result<PathOutcome, SimError>;
@@ -74,14 +81,21 @@ struct EngineSource<'a> {
 }
 
 impl PathSource for EngineSource<'_> {
+    type Scratch = SimScratch;
+
+    fn make_scratch(&self) -> SimScratch {
+        SimScratch::new()
+    }
+
     fn sample(
         &self,
         index: u64,
+        scratch: &mut SimScratch,
         strategy: &mut dyn Strategy,
         obs: Option<&SimObserver>,
     ) -> Result<PathOutcome, SimError> {
         let mut rng = path_rng(self.seed, index);
-        self.gen.generate_observed(strategy, &mut rng, obs)
+        self.gen.generate_observed_with(scratch, strategy, &mut rng, obs)
     }
 
     fn state_bytes(&self) -> usize {
@@ -219,13 +233,14 @@ fn analyze_sequential_impl<S: PathSource>(
     let start = Instant::now();
     let mut generator = config.generator.instantiate(config.accuracy);
     let mut strategy = config.strategy.instantiate();
+    let mut scratch = source.make_scratch();
     let mut stats = PathStats::default();
     let mut convergence = ConvergenceSchedule::new();
     let mut index: u64 = 0;
 
     while !generator.is_complete() {
         let sampled_at = obs.map(|_| Instant::now());
-        let outcome = source.sample(index, strategy.as_mut(), obs)?;
+        let outcome = source.sample(index, &mut scratch, strategy.as_mut(), obs)?;
         check_deadlock_policy(config, &outcome)?;
         if let (Some(o), Some(t0)) = (obs, sampled_at) {
             o.record_worker_path(0, &outcome, t0.elapsed());
@@ -303,6 +318,9 @@ fn analyze_parallel_impl<S: PathSource>(
                 scope.spawn(move || {
                     let body = std::panic::AssertUnwindSafe(|| {
                         let mut strategy = strategy_kind.instantiate();
+                        // Created inside the worker: the scratch never
+                        // crosses threads, so it needs no Send bound.
+                        let mut scratch = source.make_scratch();
                         // Worker w handles path indices w, w + k, w + 2k, …
                         let mut index = w as u64;
                         let mut produced: u64 = 0;
@@ -316,7 +334,7 @@ fn analyze_parallel_impl<S: PathSource>(
                                 }
                             }
                             let sampled_at = obs.map(|_| Instant::now());
-                            let out = source.sample(index, strategy.as_mut(), obs);
+                            let out = source.sample(index, &mut scratch, strategy.as_mut(), obs);
                             if let (Some(o), Some(t0), Ok(outcome)) = (obs, sampled_at, &out) {
                                 o.record_worker_path(w, outcome, t0.elapsed());
                             }
@@ -725,9 +743,14 @@ mod tests {
     struct FnSource<F: Fn(u64) -> Result<PathOutcome, SimError> + Sync>(F);
 
     impl<F: Fn(u64) -> Result<PathOutcome, SimError> + Sync> PathSource for FnSource<F> {
+        type Scratch = ();
+
+        fn make_scratch(&self) {}
+
         fn sample(
             &self,
             index: u64,
+            _scratch: &mut (),
             _strategy: &mut dyn Strategy,
             _obs: Option<&SimObserver>,
         ) -> Result<PathOutcome, SimError> {

@@ -47,6 +47,13 @@ pub struct StepView<'a> {
     pub guarded: &'a [ScheduledCandidate],
     /// Horizon cap used for truncating unbounded windows.
     pub cap: f64,
+    /// Union of all guarded candidate windows, when the engine has
+    /// precomputed it; `None` makes strategies compute it on the fly
+    /// (allocating — hand-built views in tests).
+    pub schedulable: Option<&'a IntervalSet>,
+    /// `window` with an infinite tail already capped at `cap`, when the
+    /// engine has precomputed it; `None` falls back to capping locally.
+    pub capped: Option<&'a IntervalSet>,
 }
 
 /// A strategy's decision for the current step.
@@ -91,12 +98,17 @@ pub trait Strategy: Send {
 /// Uniformly picks one index among the candidates enabled at delay `d`
 /// (the equiprobability rule). Returns `None` if none is enabled at `d`.
 fn uniform_enabled_at(guarded: &[ScheduledCandidate], d: f64, rng: &mut StdRng) -> Option<usize> {
-    let enabled: Vec<usize> =
-        guarded.iter().enumerate().filter(|(_, c)| c.window.contains(d)).map(|(i, _)| i).collect();
-    match enabled.len() {
+    // Count-then-select keeps this allocation-free; the RNG is consulted
+    // exactly as often as with a materialized index list (only for n > 1),
+    // so seeded streams are unchanged.
+    let n = guarded.iter().filter(|c| c.window.contains(d)).count();
+    match n {
         0 => None,
-        1 => Some(enabled[0]),
-        n => Some(enabled[rng.gen_range(0..n)]),
+        1 => guarded.iter().position(|c| c.window.contains(d)),
+        n => {
+            let k = rng.gen_range(0..n);
+            guarded.iter().enumerate().filter(|(_, c)| c.window.contains(d)).nth(k).map(|(i, _)| i)
+        }
     }
 }
 
@@ -150,10 +162,18 @@ impl Strategy for Progressive {
     }
 
     fn decide(&mut self, view: &StepView<'_>, rng: &mut StdRng) -> Result<Decision, SimError> {
-        let mut union = IntervalSet::empty();
-        for c in view.guarded {
-            union = union.union(&c.window);
-        }
+        let union_local;
+        let union = match view.schedulable {
+            Some(u) => u,
+            None => {
+                let mut u = IntervalSet::empty();
+                for c in view.guarded {
+                    u = u.union(&c.window);
+                }
+                union_local = u;
+                &union_local
+            }
+        };
         let Some(d) = union.pick(rng.gen::<f64>()) else {
             return Ok(Decision::Stuck);
         };
@@ -180,7 +200,14 @@ impl Strategy for Local {
         if view.guarded.is_empty() {
             return Ok(Decision::Stuck);
         }
-        let capped = cap_infinite(view.window, view.cap);
+        let capped_local;
+        let capped = match view.capped {
+            Some(c) => c,
+            None => {
+                capped_local = cap_infinite(view.window, view.cap);
+                &capped_local
+            }
+        };
         let Some(d) = capped.pick(rng.gen::<f64>()) else {
             return Ok(Decision::Stuck);
         };
@@ -220,7 +247,14 @@ impl Strategy for MaxTime {
     }
 
     fn decide(&mut self, view: &StepView<'_>, rng: &mut StdRng) -> Result<Decision, SimError> {
-        let capped = cap_infinite(view.window, view.cap);
+        let capped_local;
+        let capped = match view.capped {
+            Some(c) => c,
+            None => {
+                capped_local = cap_infinite(view.window, view.cap);
+                &capped_local
+            }
+        };
         let Some(d) = capped.latest_point() else {
             return Ok(Decision::Stuck);
         };
@@ -252,8 +286,14 @@ impl Strategy for TransitionFirst {
             return Ok(Decision::Stuck);
         }
         let candidate = rng.gen_range(0..view.guarded.len());
-        let window = cap_infinite(&view.guarded[candidate].window, view.cap);
-        match window.pick(rng.gen::<f64>()) {
+        let window = &view.guarded[candidate].window;
+        // Engine-supplied windows already have finite tails, so the
+        // cap-clone is only needed for hand-built unbounded windows.
+        let picked = match window.sup() {
+            Some(s) if s.is_finite() => window.pick(rng.gen::<f64>()),
+            _ => cap_infinite(window, view.cap).pick(rng.gen::<f64>()),
+        };
+        match picked {
             Some(delay) => Ok(Decision::Fire { delay, candidate }),
             None => Ok(Decision::Stuck),
         }
@@ -476,7 +516,7 @@ mod tests {
         window: &'a IntervalSet,
         guarded: &'a [ScheduledCandidate],
     ) -> StepView<'a> {
-        StepView { net, state, window, guarded, cap: 1000.0 }
+        StepView { net, state, window, guarded, cap: 1000.0, schedulable: None, capped: None }
     }
 
     #[test]

@@ -179,7 +179,11 @@ pub fn snapshot_event(net: &Network, step: u64, state: &NetState) -> TraceEvent 
             .enumerate()
             .map(|(p, &l)| net.automata()[p].locations[l.0].name.clone())
             .collect(),
-        values: state.nu.iter().map(|(v, val)| (net.name_of(v), value_to_json(val))).collect(),
+        values: state
+            .nu
+            .iter()
+            .map(|(v, val)| (net.name_of(v).to_string(), value_to_json(val)))
+            .collect(),
     }
 }
 

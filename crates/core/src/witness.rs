@@ -12,7 +12,7 @@
 //! byte-identical across runs and worker counts.
 
 use crate::config::SimConfig;
-use crate::engine::PathGenerator;
+use crate::engine::{PathGenerator, SimScratch};
 use crate::error::SimError;
 use crate::property::TimedReach;
 use crate::trace::{MemorySink, PathTracer, TraceEvent, TraceOptions};
@@ -127,6 +127,7 @@ pub fn capture_witnesses(
     opts: TraceOptions,
 ) -> Result<Vec<Witness>, SimError> {
     let gen = PathGenerator::new(net, property, config.max_steps);
+    let mut scratch = SimScratch::new();
     let mut out = Vec::new();
     for (category, index) in selector.selections() {
         let mut rng = path_rng(config.seed, index);
@@ -134,7 +135,7 @@ pub fn capture_witnesses(
         let mut sink = MemorySink::default();
         let outcome = {
             let mut tracer = PathTracer::with_options(net, &mut sink, opts);
-            gen.generate_traced(strategy.as_mut(), &mut rng, &mut tracer)?
+            gen.generate_traced_with(&mut scratch, strategy.as_mut(), &mut rng, &mut tracer)?
         };
         let matches = match category {
             WitnessCategory::Goal => outcome.verdict.is_success(),
