@@ -1,0 +1,455 @@
+//! Abstract interval domain over network variables.
+//!
+//! The domain pairs a three-valued Boolean with closed (possibly
+//! unbounded) numeric intervals — the classic non-relational interval
+//! abstraction. Every operation is a sound over-approximation of the
+//! concrete [`slim_automata::eval`] semantics: if the abstract evaluation
+//! of an expression yields a definite value, every concrete valuation
+//! drawn from the abstract environment agrees with it.
+//!
+//! The domain grew out of the lint crate's private S101 evaluator; it is
+//! exported here so the fixpoint engine, the lint passes, and the
+//! pre-verdict logic all share one source of truth.
+
+use slim_automata::expr::{BinOp, Expr, VarId};
+use slim_automata::value::{Value, VarType};
+
+/// Abstract value: a three-valued Boolean or a numeric interval (bounds
+/// may be infinite). Sound over-approximation of a set of concrete values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsVal {
+    /// `Some(b)` = definitely `b`; `None` = unknown.
+    Bool(Option<bool>),
+    /// All values in `[lo, hi]`.
+    Num(f64, f64),
+}
+
+/// The unknown Boolean (⊤ of the Boolean component).
+pub const UNKNOWN: AbsVal = AbsVal::Bool(None);
+/// The unbounded interval (⊤ of the numeric component).
+pub const TOP_NUM: AbsVal = AbsVal::Num(f64::NEG_INFINITY, f64::INFINITY);
+
+/// Sanitizing interval constructor: NaN bounds (from `∞ − ∞` and friends)
+/// widen to the corresponding infinity.
+pub fn num(lo: f64, hi: f64) -> AbsVal {
+    let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+    let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+    AbsVal::Num(lo, hi)
+}
+
+impl AbsVal {
+    /// The abstraction of every value a type admits. Timed variables
+    /// (clocks, continuous) are unbounded: their value drifts with time.
+    pub fn of_type(ty: VarType) -> AbsVal {
+        match ty {
+            VarType::Bool => AbsVal::Bool(None),
+            VarType::Int { lo, hi } => AbsVal::Num(lo as f64, hi as f64),
+            VarType::Real | VarType::Clock | VarType::Continuous => TOP_NUM,
+        }
+    }
+
+    /// The abstraction of one concrete value (a singleton).
+    pub fn exact(v: Value) -> AbsVal {
+        match v {
+            Value::Bool(b) => AbsVal::Bool(Some(b)),
+            Value::Int(i) => AbsVal::Num(i as f64, i as f64),
+            Value::Real(r) => AbsVal::Num(r, r),
+        }
+    }
+
+    /// Definite Boolean view (`None` when unknown or numeric).
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            AbsVal::Bool(b) => b,
+            AbsVal::Num(..) => None,
+        }
+    }
+
+    /// True when the interval holds exactly one value.
+    pub fn is_singleton(self) -> bool {
+        matches!(self, AbsVal::Num(lo, hi) if lo == hi && lo.is_finite())
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Bool(x), AbsVal::Bool(y)) => AbsVal::Bool(if x == y { x } else { None }),
+            (AbsVal::Num(al, ah), AbsVal::Num(bl, bh)) => AbsVal::Num(al.min(bl), ah.max(bh)),
+            // Mixed kinds cannot type-check; stay unknown.
+            _ => UNKNOWN,
+        }
+    }
+
+    /// Greatest lower bound; `None` is ⊥ (the intersection is empty, i.e.
+    /// the constraint is contradictory).
+    pub fn meet(self, other: AbsVal) -> Option<AbsVal> {
+        match (self, other) {
+            (AbsVal::Bool(None), b @ AbsVal::Bool(_)) => Some(b),
+            (b @ AbsVal::Bool(_), AbsVal::Bool(None)) => Some(b),
+            (AbsVal::Bool(Some(x)), AbsVal::Bool(Some(y))) => {
+                (x == y).then_some(AbsVal::Bool(Some(x)))
+            }
+            (AbsVal::Num(al, ah), AbsVal::Num(bl, bh)) => {
+                let (lo, hi) = (al.max(bl), ah.min(bh));
+                (lo <= hi).then_some(AbsVal::Num(lo, hi))
+            }
+            _ => Some(UNKNOWN),
+        }
+    }
+
+    /// Standard interval widening: any bound that moved since `self` jumps
+    /// to infinity, guaranteeing finite ascending chains. `newer` must be
+    /// an upper bound of `self` (i.e. the join of the old value with the
+    /// incoming one).
+    pub fn widen(self, newer: AbsVal) -> AbsVal {
+        match (self, newer) {
+            (AbsVal::Num(al, ah), AbsVal::Num(bl, bh)) => {
+                let lo = if bl < al { f64::NEG_INFINITY } else { al };
+                let hi = if bh > ah { f64::INFINITY } else { ah };
+                AbsVal::Num(lo, hi)
+            }
+            _ => newer,
+        }
+    }
+}
+
+/// Evaluates `e` over an abstract environment (`read` maps each variable
+/// to its abstract value).
+pub fn abs_eval(e: &Expr, read: &dyn Fn(VarId) -> AbsVal) -> AbsVal {
+    match e {
+        Expr::Const(Value::Bool(b)) => AbsVal::Bool(Some(*b)),
+        Expr::Const(Value::Int(i)) => AbsVal::Num(*i as f64, *i as f64),
+        Expr::Const(Value::Real(r)) => AbsVal::Num(*r, *r),
+        Expr::Var(v) => read(*v),
+        Expr::Not(x) => match abs_eval(x, read) {
+            AbsVal::Bool(b) => AbsVal::Bool(b.map(|b| !b)),
+            AbsVal::Num(..) => UNKNOWN,
+        },
+        Expr::Neg(x) => match abs_eval(x, read) {
+            AbsVal::Num(lo, hi) => num(-hi, -lo),
+            AbsVal::Bool(_) => TOP_NUM,
+        },
+        Expr::Bin(op, a, b) => abs_bin(*op, abs_eval(a, read), abs_eval(b, read)),
+        Expr::Ite(c, t, e) => match abs_eval(c, read) {
+            AbsVal::Bool(Some(true)) => abs_eval(t, read),
+            AbsVal::Bool(Some(false)) => abs_eval(e, read),
+            _ => abs_eval(t, read).join(abs_eval(e, read)),
+        },
+    }
+}
+
+/// Abstract binary operation.
+pub fn abs_bin(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    use BinOp::*;
+    match op {
+        And | Or | Xor | Implies => {
+            let (AbsVal::Bool(x), AbsVal::Bool(y)) = (a, b) else { return UNKNOWN };
+            AbsVal::Bool(match op {
+                And => match (x, y) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                },
+                Or => match (x, y) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                },
+                Xor => match (x, y) {
+                    (Some(x), Some(y)) => Some(x != y),
+                    _ => None,
+                },
+                Implies => match (x, y) {
+                    (Some(false), _) | (_, Some(true)) => Some(true),
+                    (Some(true), Some(false)) => Some(false),
+                    _ => None,
+                },
+                _ => unreachable!(),
+            })
+        }
+        Eq | Ne => {
+            let eq = match (a, b) {
+                (AbsVal::Bool(Some(x)), AbsVal::Bool(Some(y))) => Some(x == y),
+                (AbsVal::Num(al, ah), AbsVal::Num(bl, bh)) => {
+                    if al == ah && bl == bh && al == bl {
+                        Some(true)
+                    } else if ah < bl || bh < al {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            AbsVal::Bool(if op == Ne { eq.map(|e| !e) } else { eq })
+        }
+        Lt | Le | Gt | Ge => {
+            let (AbsVal::Num(al, ah), AbsVal::Num(bl, bh)) = (a, b) else { return UNKNOWN };
+            AbsVal::Bool(match op {
+                Lt => {
+                    if ah < bl {
+                        Some(true)
+                    } else if al >= bh {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Le => {
+                    if ah <= bl {
+                        Some(true)
+                    } else if al > bh {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Gt => {
+                    if al > bh {
+                        Some(true)
+                    } else if ah <= bl {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Ge => {
+                    if al >= bh {
+                        Some(true)
+                    } else if ah < bl {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+        Add | Sub | Mul | Div | Min | Max => {
+            let (AbsVal::Num(al, ah), AbsVal::Num(bl, bh)) = (a, b) else { return TOP_NUM };
+            match op {
+                Add => num(al + bl, ah + bh),
+                Sub => num(al - bh, ah - bl),
+                Mul => {
+                    let p = [
+                        mul_bound(al, bl),
+                        mul_bound(al, bh),
+                        mul_bound(ah, bl),
+                        mul_bound(ah, bh),
+                    ];
+                    num(
+                        p.iter().copied().fold(f64::INFINITY, f64::min),
+                        p.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    )
+                }
+                Div => {
+                    if bl <= 0.0 && 0.0 <= bh {
+                        TOP_NUM
+                    } else {
+                        let p = [al / bl, al / bh, ah / bl, ah / bh];
+                        num(
+                            p.iter().copied().fold(f64::INFINITY, f64::min),
+                            p.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        )
+                    }
+                }
+                Min => num(al.min(bl), ah.min(bh)),
+                Max => num(al.max(bl), ah.max(bh)),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Interval-product bound with the convention `0 · ±∞ = 0` (the zero
+/// endpoint is attainable, the infinity is a bound, so their product's
+/// contribution is 0, not NaN).
+fn mul_bound(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+/// Assumes `e == want` and narrows `frame` (indexed by [`VarId`]) in
+/// place. Returns `false` when the assumption is contradictory (⊥): no
+/// concrete valuation in `frame` satisfies it.
+///
+/// The refinement is conservative: it descends through conjunctions (and
+/// negated disjunctions), narrows variable operands of comparisons, and
+/// otherwise just checks the assumption against the abstract evaluation.
+pub fn refine(e: &Expr, want: bool, frame: &mut [AbsVal]) -> bool {
+    use BinOp::*;
+    match e {
+        Expr::Const(Value::Bool(b)) => *b == want,
+        Expr::Var(v) => match frame[v.0].meet(AbsVal::Bool(Some(want))) {
+            Some(m) => {
+                frame[v.0] = m;
+                true
+            }
+            None => false,
+        },
+        Expr::Not(x) => refine(x, !want, frame),
+        Expr::Bin(And, a, b) if want => refine(a, true, frame) && refine(b, true, frame),
+        Expr::Bin(Or, a, b) if !want => refine(a, false, frame) && refine(b, false, frame),
+        Expr::Bin(Implies, a, b) if !want => refine(a, true, frame) && refine(b, false, frame),
+        Expr::Bin(op, a, b) if op.is_comparison() => {
+            let op = if want { *op } else { negate_cmp(*op) };
+            refine_cmp(op, a, b, frame)
+        }
+        // Anything else: no narrowing, but a definite contradiction with
+        // the abstract evaluation still kills the path.
+        _ => abs_eval(e, &|v| frame[v.0]) != AbsVal::Bool(Some(!want)),
+    }
+}
+
+/// The comparison holding exactly when `op` does not.
+fn negate_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        _ => unreachable!("not a comparison: {op:?}"),
+    }
+}
+
+/// Assumes `a op b` and narrows variable operands.
+fn refine_cmp(op: BinOp, a: &Expr, b: &Expr, frame: &mut [AbsVal]) -> bool {
+    // Boolean equality refines like a variable assumption.
+    if op == BinOp::Eq {
+        match (a, b) {
+            (Expr::Var(v), Expr::Const(Value::Bool(c)))
+            | (Expr::Const(Value::Bool(c)), Expr::Var(v)) => {
+                return match frame[v.0].meet(AbsVal::Bool(Some(*c))) {
+                    Some(m) => {
+                        frame[v.0] = m;
+                        true
+                    }
+                    None => false,
+                };
+            }
+            _ => {}
+        }
+    }
+    if op == BinOp::Ne {
+        // No interval narrowing from disequality; consistency check only.
+        let e = abs_bin(BinOp::Ne, abs_eval(a, &|v| frame[v.0]), abs_eval(b, &|v| frame[v.0]));
+        return e != AbsVal::Bool(Some(false));
+    }
+    // Narrow a numeric variable on either side against the other side's
+    // interval. Strict bounds are relaxed to non-strict (sound: closed
+    // intervals cannot express open endpoints).
+    let bv = abs_eval(b, &|v| frame[v.0]);
+    if let (Expr::Var(v), AbsVal::Num(bl, bh)) = (a, bv) {
+        if let AbsVal::Num(..) = frame[v.0] {
+            let bound = match op {
+                BinOp::Lt | BinOp::Le => AbsVal::Num(f64::NEG_INFINITY, bh),
+                BinOp::Gt | BinOp::Ge => AbsVal::Num(bl, f64::INFINITY),
+                BinOp::Eq => AbsVal::Num(bl, bh),
+                _ => TOP_NUM,
+            };
+            match frame[v.0].meet(bound) {
+                Some(m) => frame[v.0] = m,
+                None => return false,
+            }
+        }
+    }
+    let av = abs_eval(a, &|v| frame[v.0]);
+    if let (Expr::Var(v), AbsVal::Num(al, ah)) = (b, av) {
+        if let AbsVal::Num(..) = frame[v.0] {
+            let bound = match op {
+                // a ≤ v ⇒ v ≥ a's lower bound, and dually.
+                BinOp::Lt | BinOp::Le => AbsVal::Num(al, f64::INFINITY),
+                BinOp::Gt | BinOp::Ge => AbsVal::Num(f64::NEG_INFINITY, ah),
+                BinOp::Eq => AbsVal::Num(al, ah),
+                _ => TOP_NUM,
+            };
+            match frame[v.0].meet(bound) {
+                Some(m) => frame[v.0] = m,
+                None => return false,
+            }
+        }
+    }
+    // Final consistency check over the (possibly narrowed) frame.
+    abs_bin(op, abs_eval(a, &|v| frame[v.0]), abs_eval(b, &|v| frame[v.0]))
+        != AbsVal::Bool(Some(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_eval_decides_range_comparisons() {
+        let read = |_: VarId| AbsVal::Num(0.0, 5.0);
+        let x = || Expr::var(VarId(0));
+        assert_eq!(abs_eval(&x().ge(Expr::int(10)), &read), AbsVal::Bool(Some(false)));
+        assert_eq!(abs_eval(&x().le(Expr::int(5)), &read), AbsVal::Bool(Some(true)));
+        assert_eq!(abs_eval(&x().ge(Expr::int(3)), &read), AbsVal::Bool(None));
+        assert_eq!(abs_eval(&x().lt(Expr::int(0)), &read), AbsVal::Bool(Some(false)));
+    }
+
+    #[test]
+    fn meet_detects_contradictions() {
+        assert_eq!(AbsVal::Num(0.0, 2.0).meet(AbsVal::Num(3.0, 9.0)), None);
+        assert_eq!(AbsVal::Bool(Some(true)).meet(AbsVal::Bool(Some(false))), None);
+        assert_eq!(AbsVal::Num(0.0, 5.0).meet(AbsVal::Num(3.0, 9.0)), Some(AbsVal::Num(3.0, 5.0)));
+    }
+
+    #[test]
+    fn widen_jumps_moving_bounds_to_infinity() {
+        let old = AbsVal::Num(0.0, 1.0);
+        let grown = old.join(AbsVal::Num(0.0, 2.0));
+        assert_eq!(old.widen(grown), AbsVal::Num(0.0, f64::INFINITY));
+        assert_eq!(old.widen(old), old);
+    }
+
+    #[test]
+    fn refine_narrows_conjunctions_of_comparisons() {
+        let x = || Expr::var(VarId(0));
+        let mut frame = vec![AbsVal::Num(0.0, 10.0)];
+        let g = x().ge(Expr::int(3)).and(x().le(Expr::int(7)));
+        assert!(refine(&g, true, &mut frame));
+        assert_eq!(frame[0], AbsVal::Num(3.0, 7.0));
+    }
+
+    #[test]
+    fn refine_detects_per_conjunct_contradictions_over_unbounded_vars() {
+        // The per-atom evaluator alone cannot decide `x < 1 ∧ x > 2` over
+        // an unbounded variable; refinement can.
+        let x = || Expr::var(VarId(0));
+        let mut frame = vec![TOP_NUM];
+        let g = x().lt(Expr::real(1.0)).and(x().gt(Expr::real(2.0)));
+        assert!(!refine(&g, true, &mut frame));
+    }
+
+    #[test]
+    fn refine_negation_flips_polarity() {
+        let x = || Expr::var(VarId(0));
+        let mut frame = vec![AbsVal::Num(0.0, 10.0)];
+        assert!(refine(&x().lt(Expr::int(4)).not(), true, &mut frame));
+        assert_eq!(frame[0], AbsVal::Num(4.0, 10.0));
+    }
+
+    #[test]
+    fn refine_boolean_variables() {
+        let mut frame = vec![AbsVal::Bool(None)];
+        assert!(refine(&Expr::var(VarId(0)), true, &mut frame));
+        assert_eq!(frame[0], AbsVal::Bool(Some(true)));
+        assert!(!refine(&Expr::var(VarId(0)), false, &mut frame));
+    }
+
+    #[test]
+    fn refine_both_sides_variables() {
+        // x ≤ y with x ∈ [4, 10], y ∈ [0, 6] narrows both to [4, 6].
+        let mut frame = vec![AbsVal::Num(4.0, 10.0), AbsVal::Num(0.0, 6.0)];
+        let g = Expr::var(VarId(0)).le(Expr::var(VarId(1)));
+        assert!(refine(&g, true, &mut frame));
+        assert_eq!(frame[0], AbsVal::Num(4.0, 6.0));
+        assert_eq!(frame[1], AbsVal::Num(4.0, 6.0));
+    }
+}

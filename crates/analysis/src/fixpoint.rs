@@ -1,0 +1,948 @@
+//! Worklist fixpoint over the synchronized network.
+//!
+//! Computes, per (process, location), an over-approximation of the
+//! variable valuations reachable there, by abstract interpretation of
+//! τ/Markovian/sync transitions with interval environments
+//! ([`crate::domain`]):
+//!
+//! * **Flow-sensitive** tracking for *private* variables — owned by one
+//!   automaton, written only by its effects, and not a flow target. Each
+//!   (process, location) pair carries its own interval per private
+//!   variable.
+//! * A **flow-insensitive global store** for everything else (shared
+//!   variables and flow targets). Timed variables (clocks, continuous)
+//!   are pinned to ⊤: their values drift with time.
+//! * **Guard refinement** narrows the frame before effects run (the
+//!   transition fires only where the guard holds), **invariant
+//!   refinement** narrows it on entry (violating runs abort), and
+//!   **widening** (after [`WIDEN_AFTER`] growing joins) guarantees
+//!   termination of loops like `n := n + 1`.
+//!
+//! Sync transitions propagate only while their action is *available* —
+//! every participant has at least one guard-satisfiable transition from a
+//! reachable location. This is the action-closed view that makes the dead
+//! set sound for pruning: if any participant lacks a live option, no
+//! participant can ever fire the action.
+//!
+//! Soundness notes. Runs that abort (invariant violated on entry,
+//! integer assignment out of range, evaluation errors) have no successor
+//! states, so cutting them from propagation over-approximates exactly the
+//! set of states *completed* steps can reach. Urgency and time ordering
+//! are ignored — both only restrict which successors occur, never add
+//! new ones.
+
+use crate::domain::{abs_eval, refine, AbsVal, TOP_NUM};
+use slim_automata::automaton::{ActionId, GuardKind, LocId, ProcId, TransId};
+use slim_automata::expr::{BinOp, Expr, VarId};
+use slim_automata::network::{Network, PrunePlan};
+use slim_automata::value::VarType;
+
+/// Joins tolerated per (process, location) env — and per store variable —
+/// before widening kicks in.
+const WIDEN_AFTER: u32 = 8;
+
+/// Why a transition can or cannot fire, in the final fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransStatus {
+    /// May fire (not provably dead).
+    Live,
+    /// Its source location is unreachable; the guard is never evaluated.
+    DeadSource,
+    /// Its guard is unsatisfiable in every valuation reaching the source.
+    DeadGuard,
+    /// Guard and source are fine, but the sync action can never fire:
+    /// some participant has no live transition carrying it.
+    SyncBlocked,
+}
+
+/// Result of [`analyze_network`]: reachability, per-transition liveness,
+/// and abstract environments, plus iteration statistics.
+#[derive(Debug, Clone)]
+pub struct Fixpoint {
+    /// Location reachability, `[proc][loc]`.
+    reachable: Vec<Vec<bool>>,
+    /// Abstract env per `[proc][loc]` over that proc's private variables
+    /// (`None` until the location is reached).
+    envs: Vec<Vec<Option<Vec<AbsVal>>>>,
+    /// Private variables of each process, in frame order.
+    priv_vars: Vec<Vec<VarId>>,
+    /// Flow-insensitive store over all variables (timed vars pinned ⊤).
+    store: Vec<AbsVal>,
+    /// Final classification, `[proc][trans]`.
+    status: Vec<Vec<TransStatus>>,
+    /// Live transitions with an effect provably outside its target's
+    /// range (the step always errors): `(proc, trans, effect index)`.
+    doomed_effects: Vec<(ProcId, TransId, usize)>,
+    /// Fixpoint rounds until stabilization.
+    pub rounds: usize,
+    /// Number of widening applications.
+    pub widenings: usize,
+}
+
+/// Runs the fixpoint over `net` (which should have passed validation;
+/// on malformed networks the analysis may panic on out-of-range indices).
+pub fn analyze_network(net: &Network) -> Fixpoint {
+    Engine::new(net).run()
+}
+
+struct Engine<'n> {
+    net: &'n Network,
+    timed: Vec<bool>,
+    priv_vars: Vec<Vec<VarId>>,
+    /// Global var → index into its owner's `priv_vars` list.
+    priv_idx: Vec<Option<(usize, usize)>>,
+    reachable: Vec<Vec<bool>>,
+    envs: Vec<Vec<Option<Vec<AbsVal>>>>,
+    env_joins: Vec<Vec<u32>>,
+    store: Vec<AbsVal>,
+    store_joins: Vec<u32>,
+    /// Guard-satisfiable-from-reachable-source flags (monotone).
+    live: Vec<Vec<bool>>,
+    changed: bool,
+    rounds: usize,
+    widenings: usize,
+}
+
+impl<'n> Engine<'n> {
+    fn new(net: &'n Network) -> Engine<'n> {
+        let vars = net.vars();
+        let nvars = vars.len();
+        let timed: Vec<bool> = vars.iter().map(|d| d.ty.is_timed()).collect();
+
+        // A variable is private to its owner when only the owner's
+        // effects ever write it and no flow re-derives it; everything
+        // else lives in the global store.
+        let mut flow_target = vec![false; nvars];
+        for f in net.flows() {
+            flow_target[f.target.0] = true;
+        }
+        let mut foreign_write = vec![false; nvars];
+        for (p, a) in net.automata().iter().enumerate() {
+            for t in &a.transitions {
+                for eff in &t.effects {
+                    if vars[eff.var.0].owner != Some(ProcId(p)) {
+                        foreign_write[eff.var.0] = true;
+                    }
+                }
+            }
+        }
+        let mut priv_vars: Vec<Vec<VarId>> = vec![Vec::new(); net.automata().len()];
+        let mut priv_idx: Vec<Option<(usize, usize)>> = vec![None; nvars];
+        for (v, decl) in vars.iter().enumerate() {
+            if let Some(owner) = decl.owner {
+                if !timed[v] && !flow_target[v] && !foreign_write[v] {
+                    priv_idx[v] = Some((owner.0, priv_vars[owner.0].len()));
+                    priv_vars[owner.0].push(VarId(v));
+                }
+            }
+        }
+
+        // Initial store: declared values exactly, timed pinned to ⊤,
+        // then the flows overwrite their targets (the declared initial
+        // value of a flow target is never observable).
+        let mut store: Vec<AbsVal> = vars
+            .iter()
+            .enumerate()
+            .map(|(v, d)| if timed[v] { TOP_NUM } else { AbsVal::exact(d.ty.canonicalize(d.init)) })
+            .collect();
+        for f in net.flows() {
+            let val = abs_eval(&f.expr, &|v| store[v.0]);
+            store[f.target.0] = val
+                .meet(AbsVal::of_type(vars[f.target.0].ty))
+                .unwrap_or_else(|| AbsVal::of_type(vars[f.target.0].ty));
+        }
+
+        let reachable: Vec<Vec<bool>> = net
+            .automata()
+            .iter()
+            .map(|a| {
+                let mut r = vec![false; a.locations.len()];
+                r[a.init.0] = true;
+                r
+            })
+            .collect();
+        let envs: Vec<Vec<Option<Vec<AbsVal>>>> = net
+            .automata()
+            .iter()
+            .enumerate()
+            .map(|(p, a)| {
+                let mut e: Vec<Option<Vec<AbsVal>>> = vec![None; a.locations.len()];
+                e[a.init.0] = Some(priv_vars[p].iter().map(|v| store[v.0]).collect());
+                e
+            })
+            .collect();
+        let env_joins = net.automata().iter().map(|a| vec![0; a.locations.len()]).collect();
+        let live = net.automata().iter().map(|a| vec![false; a.transitions.len()]).collect();
+
+        Engine {
+            net,
+            timed,
+            priv_vars,
+            priv_idx,
+            reachable,
+            envs,
+            env_joins,
+            store_joins: vec![0; nvars],
+            store,
+            live,
+            changed: false,
+            rounds: 0,
+            widenings: 0,
+        }
+    }
+
+    /// Frame over all variables as seen from `(p, l)`.
+    fn frame(&self, p: usize, l: usize) -> Vec<AbsVal> {
+        let mut f = self.store.clone();
+        if let Some(env) = &self.envs[p][l] {
+            for (i, v) in self.priv_vars[p].iter().enumerate() {
+                f[v.0] = env[i];
+            }
+        }
+        f
+    }
+
+    /// Every participant of `action` has a live transition carrying it.
+    fn action_available(&self, action: ActionId) -> bool {
+        self.net.participants(action).iter().all(|q| {
+            self.net.automata()[q.0]
+                .transitions
+                .iter()
+                .enumerate()
+                .any(|(i, t)| t.action == action && self.live[q.0][i])
+        })
+    }
+
+    fn run(mut self) -> Fixpoint {
+        loop {
+            self.rounds += 1;
+            self.changed = false;
+            for p in 0..self.net.automata().len() {
+                for l in 0..self.net.automata()[p].locations.len() {
+                    if self.reachable[p][l] {
+                        self.process_location(p, l);
+                    }
+                }
+            }
+            if !self.changed {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    fn process_location(&mut self, p: usize, l: usize) {
+        let ntrans = self.net.automata()[p].transitions.len();
+        for t in 0..ntrans {
+            let trans = &self.net.automata()[p].transitions[t];
+            if trans.from.0 != l {
+                continue;
+            }
+            let (to, action) = (trans.to.0, trans.action);
+            let mut fr = self.frame(p, l);
+            match &trans.guard {
+                GuardKind::Markovian(_) => {
+                    if !self.live[p][t] {
+                        self.live[p][t] = true;
+                        self.changed = true;
+                    }
+                }
+                GuardKind::Boolean(g) => {
+                    if !refine(g, true, &mut fr) {
+                        continue; // guard unsatisfiable from here
+                    }
+                    if !self.live[p][t] {
+                        self.live[p][t] = true;
+                        self.changed = true;
+                    }
+                    if !action.is_tau() && !self.action_available(action) {
+                        continue;
+                    }
+                }
+            }
+            self.transfer(p, t, to, fr);
+        }
+    }
+
+    /// Applies effects, flows, and the target invariant to the refined
+    /// source frame, then joins the result into `(p, to)` and the store.
+    fn transfer(&mut self, p: usize, t: usize, to: usize, mut fr: Vec<AbsVal>) {
+        let trans = &self.net.automata()[p].transitions[t];
+        // Effects read the pre-state simultaneously, then write.
+        let mut writes: Vec<(VarId, AbsVal)> = Vec::with_capacity(trans.effects.len());
+        for eff in &trans.effects {
+            let val = abs_eval(&eff.expr, &|v| fr[v.0]);
+            if self.timed[eff.var.0] {
+                continue; // re-pinned to ⊤ below
+            }
+            let Some(val) = val.meet(AbsVal::of_type(self.net.ty_of(eff.var))) else {
+                return; // provably out of range: the step always errors
+            };
+            writes.push((eff.var, val));
+        }
+        for (v, val) in &writes {
+            fr[v.0] = *val;
+        }
+        // Time may pass before the frame is next observed.
+        for (v, timed) in self.timed.iter().enumerate() {
+            if *timed {
+                fr[v] = TOP_NUM;
+            }
+        }
+        // Flows re-derive their targets in every state.
+        for f in self.net.flows() {
+            let val = abs_eval(&f.expr, &|v| fr[v.0]);
+            let Some(val) = val.meet(AbsVal::of_type(self.net.ty_of(f.target))) else {
+                return;
+            };
+            fr[f.target.0] = val;
+            writes.push((f.target, val));
+        }
+        // Entering a location whose invariant the new valuation violates
+        // aborts the run; surviving runs satisfy it.
+        let inv = &self.net.automata()[p].locations[to].invariant;
+        if !inv.is_const_true() && !refine(inv, true, &mut fr) {
+            return;
+        }
+
+        if !self.reachable[p][to] {
+            self.reachable[p][to] = true;
+            self.changed = true;
+        }
+        self.join_env(p, to, &fr);
+        for (v, _) in writes {
+            if self.priv_idx[v.0].is_none() {
+                self.join_store(v, fr[v.0]);
+            }
+        }
+    }
+
+    fn join_env(&mut self, p: usize, to: usize, fr: &[AbsVal]) {
+        let vals: Vec<AbsVal> = self.priv_vars[p].iter().map(|v| fr[v.0]).collect();
+        let widen = self.env_joins[p][to] >= WIDEN_AFTER;
+        let mut grew = false;
+        match &mut self.envs[p][to] {
+            slot @ None => {
+                *slot = Some(vals);
+                grew = true;
+            }
+            Some(old) => {
+                for (i, nv) in vals.iter().enumerate() {
+                    let joined = old[i].join(*nv);
+                    if joined != old[i] {
+                        old[i] = if widen {
+                            self.widenings += 1;
+                            let ty = self.net.ty_of(self.priv_vars[p][i]);
+                            old[i]
+                                .widen(joined)
+                                .meet(AbsVal::of_type(ty))
+                                .unwrap_or_else(|| AbsVal::of_type(ty))
+                        } else {
+                            joined
+                        };
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if grew {
+            self.changed = true;
+            self.env_joins[p][to] += 1;
+            // Keep the store an upper bound of every location env, so
+            // cross-process reads of private variables stay sound.
+            let env: Vec<AbsVal> = self.envs[p][to].as_ref().expect("just set").clone();
+            for (i, v) in self.priv_vars[p].clone().into_iter().enumerate() {
+                self.join_store_raw(v, env[i]);
+            }
+        }
+    }
+
+    fn join_store(&mut self, v: VarId, val: AbsVal) {
+        if self.timed[v.0] {
+            return;
+        }
+        self.join_store_raw(v, val);
+    }
+
+    fn join_store_raw(&mut self, v: VarId, val: AbsVal) {
+        let joined = self.store[v.0].join(val);
+        if joined != self.store[v.0] {
+            self.store[v.0] = if self.store_joins[v.0] >= WIDEN_AFTER {
+                self.widenings += 1;
+                let ty = self.net.ty_of(v);
+                self.store[v.0]
+                    .widen(joined)
+                    .meet(AbsVal::of_type(ty))
+                    .unwrap_or_else(|| AbsVal::of_type(ty))
+            } else {
+                joined
+            };
+            self.store_joins[v.0] += 1;
+            self.changed = true;
+        }
+    }
+
+    /// Final classification of every transition against the stabilized
+    /// environments.
+    fn finish(mut self) -> Fixpoint {
+        let nprocs = self.net.automata().len();
+        let mut status: Vec<Vec<TransStatus>> = Vec::with_capacity(nprocs);
+        // Satisfiability against the final envs (recomputed so the flags
+        // are consistent with the published environments).
+        let mut sat: Vec<Vec<bool>> = Vec::with_capacity(nprocs);
+        for (p, a) in self.net.automata().iter().enumerate() {
+            let mut s = Vec::with_capacity(a.transitions.len());
+            for trans in &a.transitions {
+                let ok = self.reachable[p][trans.from.0]
+                    && match &trans.guard {
+                        GuardKind::Markovian(_) => true,
+                        GuardKind::Boolean(g) => {
+                            let mut fr = self.frame(p, trans.from.0);
+                            refine(g, true, &mut fr)
+                        }
+                    };
+                s.push(ok);
+            }
+            sat.push(s);
+        }
+        self.live = sat.clone();
+        let mut doomed_effects = Vec::new();
+        for (p, a) in self.net.automata().iter().enumerate() {
+            let mut st = Vec::with_capacity(a.transitions.len());
+            for (t, trans) in a.transitions.iter().enumerate() {
+                let s = if !self.reachable[p][trans.from.0] {
+                    TransStatus::DeadSource
+                } else if !sat[p][t] {
+                    TransStatus::DeadGuard
+                } else if !trans.action.is_tau() && !self.action_available(trans.action) {
+                    TransStatus::SyncBlocked
+                } else {
+                    // Live: flag effects that provably always error.
+                    let mut fr = self.frame(p, trans.from.0);
+                    if let GuardKind::Boolean(g) = &trans.guard {
+                        refine(g, true, &mut fr);
+                    }
+                    for (i, eff) in trans.effects.iter().enumerate() {
+                        if self.timed[eff.var.0] {
+                            continue;
+                        }
+                        let val = abs_eval(&eff.expr, &|v| fr[v.0]);
+                        if val.meet(AbsVal::of_type(self.net.ty_of(eff.var))).is_none() {
+                            doomed_effects.push((ProcId(p), TransId(t), i));
+                        }
+                    }
+                    TransStatus::Live
+                };
+                st.push(s);
+            }
+            status.push(st);
+        }
+        Fixpoint {
+            reachable: self.reachable,
+            envs: self.envs,
+            priv_vars: self.priv_vars,
+            store: self.store,
+            status,
+            doomed_effects,
+            rounds: self.rounds,
+            widenings: self.widenings,
+        }
+    }
+}
+
+impl Fixpoint {
+    /// Whether `(p, l)` is reachable in the abstraction. Unreachable here
+    /// means unreachable in *every* concrete run.
+    pub fn loc_reachable(&self, p: ProcId, l: LocId) -> bool {
+        self.reachable[p.0][l.0]
+    }
+
+    /// Final classification of transition `(p, t)`.
+    pub fn trans_status(&self, p: ProcId, t: TransId) -> TransStatus {
+        self.status[p.0][t.0]
+    }
+
+    /// Live transitions with an effect that provably assigns outside its
+    /// target's declared range (the step always errors at runtime), as
+    /// `(proc, trans, effect index)`.
+    pub fn doomed_effects(&self) -> &[(ProcId, TransId, usize)] {
+        &self.doomed_effects
+    }
+
+    /// Global abstract value of a variable: an upper bound over every
+    /// reachable state (⊤ interval for timed variables).
+    pub fn global(&self, v: VarId) -> AbsVal {
+        self.store[v.0]
+    }
+
+    /// Abstractly evaluates a predicate over the global store.
+    /// `Some(b)` means the predicate is `b` in **every** reachable state;
+    /// `None` means the abstraction cannot decide it.
+    pub fn may_expr(&self, e: &Expr) -> Option<bool> {
+        abs_eval(e, &|v| self.store[v.0]).as_bool()
+    }
+
+    /// The guard-refined frame a live transition fires under (`None` for
+    /// dead/blocked transitions). Indexed by [`VarId`].
+    pub fn transition_frame(&self, net: &Network, p: ProcId, t: TransId) -> Option<Vec<AbsVal>> {
+        if self.status[p.0][t.0] != TransStatus::Live {
+            return None;
+        }
+        let trans = &net.automata()[p.0].transitions[t.0];
+        let mut fr = self.store.clone();
+        if let Some(env) = &self.envs[p.0][trans.from.0] {
+            for (i, v) in self.priv_vars[p.0].iter().enumerate() {
+                fr[v.0] = env[i];
+            }
+        }
+        if let GuardKind::Boolean(g) = &trans.guard {
+            refine(g, true, &mut fr);
+        }
+        Some(fr)
+    }
+
+    /// Computes which transitions and locations can be removed without
+    /// changing any observable `(seed, workers)` outcome — see
+    /// [`Network::prune`].
+    ///
+    /// A transition is dropped when it is provably never *fired* **and**
+    /// dropping it cannot change runtime behavior:
+    ///
+    /// * unreachable source — its guard is never even evaluated;
+    /// * dead guard or blocked sync from a reachable source — the guard
+    ///   *is* evaluated each step, so it must additionally be **total**
+    ///   (evaluation can never error) for removal to be invisible;
+    /// * sync alphabets are preserved action-wise: either every
+    ///   transition of an action goes (the action can never fire and
+    ///   disappears entirely) or each participant keeps at least one, so
+    ///   the participant table of the pruned network is unchanged for
+    ///   every action that can still fire.
+    ///
+    /// Locations are dropped when unreachable and unreferenced by any
+    /// kept transition.
+    pub fn prune_plan(&self, net: &Network) -> PrunePlan {
+        let nprocs = net.automata().len();
+        let mut drop_trans: Vec<Vec<bool>> =
+            net.automata().iter().map(|a| vec![false; a.transitions.len()]).collect();
+
+        // Per-action bookkeeping over sync transitions.
+        let nactions = net.actions().len();
+        // action → (proc, trans) of every transition carrying it.
+        let mut carriers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nactions];
+        for (p, a) in net.automata().iter().enumerate() {
+            for (t, trans) in a.transitions.iter().enumerate() {
+                if !trans.action.is_tau() {
+                    carriers[trans.action.0].push((p, t));
+                }
+                // τ and Markovian transitions have no alphabet impact.
+                let dead =
+                    matches!(self.status[p][t], TransStatus::DeadSource | TransStatus::DeadGuard);
+                if trans.action.is_tau() && dead && self.removable(net, p, t) {
+                    drop_trans[p][t] = true;
+                }
+            }
+        }
+
+        for (act, carry) in carriers.iter().enumerate() {
+            if carry.is_empty() {
+                continue;
+            }
+            let action = ActionId(act);
+            let fully_dead = net.participants(action).iter().any(|q| {
+                net.automata()[q.0].transitions.iter().enumerate().all(|(t, trans)| {
+                    trans.action != action
+                        || matches!(
+                            self.status[q.0][t],
+                            TransStatus::DeadSource | TransStatus::DeadGuard
+                        )
+                })
+            });
+            if fully_dead {
+                // The action can never fire. Either all its transitions
+                // go (the action vanishes network-wide) or only the
+                // alphabet-preserving subset does.
+                if carry.iter().all(|&(p, t)| self.removable(net, p, t)) {
+                    for &(p, t) in carry {
+                        drop_trans[p][t] = true;
+                    }
+                } else {
+                    self.drop_alphabet_preserving(net, carry, &mut drop_trans, |s| {
+                        s == TransStatus::DeadSource
+                    });
+                }
+            } else {
+                // The action may fire: drop individual dead transitions,
+                // keeping every participant's alphabet intact.
+                self.drop_alphabet_preserving(net, carry, &mut drop_trans, |s| {
+                    matches!(s, TransStatus::DeadSource | TransStatus::DeadGuard)
+                });
+            }
+        }
+
+        // Locations: unreachable and unreferenced by anything kept.
+        let mut drop_locs: Vec<Vec<bool>> = Vec::with_capacity(nprocs);
+        for (p, a) in net.automata().iter().enumerate() {
+            let mut drop = vec![false; a.locations.len()];
+            for (l, r) in self.reachable[p].iter().enumerate() {
+                drop[l] = !r && LocId(l) != a.init;
+            }
+            for (t, trans) in a.transitions.iter().enumerate() {
+                if !drop_trans[p][t] {
+                    drop[trans.from.0] = false;
+                    drop[trans.to.0] = false;
+                }
+            }
+            drop_locs.push(drop);
+        }
+        PrunePlan { drop_trans, drop_locs }
+    }
+
+    /// Dropping `(p, t)` cannot change runtime behavior: either its guard
+    /// is never evaluated (unreachable source) or its evaluation is total.
+    fn removable(&self, net: &Network, p: usize, t: usize) -> bool {
+        if self.status[p][t] == TransStatus::DeadSource {
+            return true;
+        }
+        match &net.automata()[p].transitions[t].guard {
+            GuardKind::Markovian(_) => false, // live from a reachable source
+            GuardKind::Boolean(g) => guard_total(g, net, &|v| self.store[v.0]),
+        }
+    }
+
+    /// Marks droppable transitions among `carry`, keeping ≥ 1 transition
+    /// of the action per automaton so alphabets (and hence the pruned
+    /// network's participant table) are unchanged.
+    fn drop_alphabet_preserving(
+        &self,
+        net: &Network,
+        carry: &[(usize, usize)],
+        drop_trans: &mut [Vec<bool>],
+        droppable_status: impl Fn(TransStatus) -> bool,
+    ) {
+        for (p, drops) in drop_trans.iter_mut().enumerate() {
+            let mine: Vec<usize> =
+                carry.iter().filter(|&&(q, _)| q == p).map(|&(_, t)| t).collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let droppable: Vec<bool> = mine
+                .iter()
+                .map(|&t| droppable_status(self.status[p][t]) && self.removable(net, p, t))
+                .collect();
+            let fixed_keep = droppable.iter().filter(|d| !**d).count();
+            // If nothing is forced to stay, keep one droppable transition
+            // anyway so the automaton's alphabet is unchanged.
+            let mut budget = if fixed_keep > 0 { usize::MAX } else { mine.len() - 1 };
+            for (i, &t) in mine.iter().enumerate() {
+                if droppable[i] && budget > 0 {
+                    drops[t] = true;
+                    budget = budget.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Renders the proof-artifact summary.
+    pub fn summary(&self, net: &Network) -> crate::summary::AnalysisSummary {
+        crate::summary::AnalysisSummary::build(self, net)
+    }
+
+    pub(crate) fn reachable_matrix(&self) -> &[Vec<bool>] {
+        &self.reachable
+    }
+
+    pub(crate) fn status_matrix(&self) -> &[Vec<TransStatus>] {
+        &self.status
+    }
+}
+
+/// True when evaluating `e` as a guard can never raise an evaluation
+/// error — neither `NonLinear` (from the affine delay solver's fragment
+/// limits) nor `DivisionByZero` — for any valuation the store admits.
+///
+/// This is the gate that makes removing an *evaluated-but-dead* guard
+/// invisible: the legacy and compiled solvers evaluate guards eagerly, so
+/// a dead transition whose guard could error must be kept.
+pub fn guard_total(e: &Expr, net: &Network, read: &dyn Fn(VarId) -> AbsVal) -> bool {
+    total_bool(e, net, read)
+}
+
+fn delay_free(e: &Expr, net: &Network) -> bool {
+    !e.reads_any_var(&|v| net.ty_of(v).is_timed())
+}
+
+fn total_bool(e: &Expr, net: &Network, read: &dyn Fn(VarId) -> AbsVal) -> bool {
+    use BinOp::*;
+    match e {
+        Expr::Const(slim_automata::value::Value::Bool(_)) => true,
+        Expr::Var(v) => net.ty_of(*v) == VarType::Bool,
+        Expr::Not(x) => total_bool(x, net, read),
+        Expr::Bin(And | Or | Xor | Implies, a, b) => {
+            total_bool(a, net, read) && total_bool(b, net, read)
+        }
+        Expr::Bin(Eq | Ne, a, b) => {
+            (total_bool(a, net, read) && total_bool(b, net, read))
+                || (total_num(a, net, read) && total_num(b, net, read))
+        }
+        Expr::Bin(Lt | Le | Gt | Ge, a, b) => total_num(a, net, read) && total_num(b, net, read),
+        // Boolean-branch `if`: the solver solves all three sets eagerly.
+        Expr::Ite(c, t, els) => {
+            total_bool(c, net, read) && total_bool(t, net, read) && total_bool(els, net, read)
+        }
+        _ => false,
+    }
+}
+
+fn total_num(e: &Expr, net: &Network, read: &dyn Fn(VarId) -> AbsVal) -> bool {
+    use BinOp::*;
+    match e {
+        Expr::Const(slim_automata::value::Value::Int(_))
+        | Expr::Const(slim_automata::value::Value::Real(_)) => true,
+        Expr::Var(v) => net.ty_of(*v) != VarType::Bool,
+        Expr::Neg(x) => total_num(x, net, read),
+        Expr::Bin(Add | Sub, a, b) => total_num(a, net, read) && total_num(b, net, read),
+        // The affine solver multiplies only when one side is constant in
+        // the delay; a delay-free side is.
+        Expr::Bin(Mul, a, b) => {
+            total_num(a, net, read)
+                && total_num(b, net, read)
+                && (delay_free(a, net) || delay_free(b, net))
+        }
+        // Division needs a delay-constant, provably nonzero divisor.
+        Expr::Bin(Div, a, b) => {
+            total_num(a, net, read) && total_num(b, net, read) && delay_free(b, net) && {
+                match abs_eval(b, read) {
+                    AbsVal::Num(lo, hi) => lo > 0.0 || hi < 0.0,
+                    AbsVal::Bool(_) => false,
+                }
+            }
+        }
+        // min/max of non-parallel affine lines is out of fragment; be
+        // conservative and require both sides delay-free.
+        Expr::Bin(Min | Max, a, b) => {
+            total_num(a, net, read)
+                && total_num(b, net, read)
+                && delay_free(a, net)
+                && delay_free(b, net)
+        }
+        // Numeric `if` solves its condition; a delay-free condition is
+        // all-or-nothing, after which only the chosen branch evaluates.
+        Expr::Ite(c, t, els) => {
+            total_bool(c, net, read)
+                && delay_free(c, net)
+                && total_num(t, net, read)
+                && total_num(els, net, read)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_automata::automaton::Effect;
+    use slim_automata::network::{AutomatonBuilder, NetworkBuilder};
+    use slim_automata::value::Value;
+
+    #[test]
+    fn constant_propagation_kills_guard_type_ranges_cannot() {
+        // n ∈ int[0..10] but is never written, so only n = 0 is reachable;
+        // the type range alone cannot decide `n ≥ 5`.
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 10 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(5)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+
+        let fix = analyze_network(&net);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(0)), TransStatus::DeadGuard);
+        assert!(!fix.loc_reachable(ProcId(0), LocId(1)));
+        assert_eq!(fix.global(n), AbsVal::Num(0.0, 0.0));
+
+        let plan = fix.prune_plan(&net);
+        assert_eq!(plan.dropped_transitions(), 1);
+        assert_eq!(plan.dropped_locations(), 1);
+        let (pruned, maps) = net.prune(&plan);
+        assert_eq!(pruned.automata()[0].transitions.len(), 0);
+        assert_eq!(pruned.automata()[0].locations.len(), 1);
+        assert_eq!(maps.locs[0][1], None);
+        assert_eq!(maps.trans[0][0], None);
+    }
+
+    #[test]
+    fn widening_terminates_counting_loops_and_keeps_targets_reachable() {
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 1_000_000 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("loop");
+        let l1 = a.location("out");
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::TRUE,
+            [Effect::assign(n, Expr::var(n).add(Expr::int(1)))],
+            l0,
+        );
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(10)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        assert!(fix.widenings > 0, "the counting loop must trigger widening");
+        assert!(fix.rounds < 100, "fixpoint must converge quickly ({} rounds)", fix.rounds);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(1)), TransStatus::Live);
+        assert!(fix.loc_reachable(ProcId(0), LocId(1)));
+        assert!(fix.prune_plan(&net).is_noop());
+    }
+
+    #[test]
+    fn blocked_sync_is_action_closed_and_prunable() {
+        // `right` can never offer `go` (its offering location is
+        // unreachable), so `left`'s go-transition is sync-blocked and the
+        // whole action can be pruned network-wide.
+        let mut b = NetworkBuilder::new();
+        let go = b.action("go");
+        let mut a1 = AutomatonBuilder::new("left");
+        let l0 = a1.location("start");
+        let l1 = a1.location("after_go");
+        a1.guarded(l0, go, Expr::TRUE, [], l1);
+        b.add_automaton(a1);
+        let mut a2 = AutomatonBuilder::new("right");
+        let _r0 = a2.location("idle");
+        let r1 = a2.location("offers_go");
+        let r2 = a2.location("done");
+        a2.guarded(r1, go, Expr::TRUE, [], r2);
+        b.add_automaton(a2);
+        let net = b.build().unwrap();
+
+        let fix = analyze_network(&net);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(0)), TransStatus::SyncBlocked);
+        assert_eq!(fix.trans_status(ProcId(1), TransId(0)), TransStatus::DeadSource);
+        assert!(!fix.loc_reachable(ProcId(0), LocId(1)));
+
+        let plan = fix.prune_plan(&net);
+        assert_eq!(plan.dropped_transitions(), 2);
+        let (pruned, _) = net.prune(&plan);
+        assert_eq!(pruned.automata()[0].locations.len(), 1);
+        assert_eq!(pruned.automata()[1].locations.len(), 1);
+        assert!(pruned.participants(go).is_empty());
+    }
+
+    #[test]
+    fn private_variables_are_tracked_flow_sensitively() {
+        // After the assignment, the *location* env knows n = 5 even
+        // though the global join over all locations would be [0, 5].
+        let mut b = NetworkBuilder::new();
+        let n = b.var_owned("n", VarType::Int { lo: 0, hi: 10 }, Value::Int(0), ProcId(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(n, Expr::int(5))], l1);
+        a.guarded(l1, ActionId::TAU, Expr::var(n).le(Expr::int(4)), [], l2);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(1)), TransStatus::DeadGuard);
+        assert!(!fix.loc_reachable(ProcId(0), LocId(2)));
+        // The global view still covers both locations.
+        assert_eq!(fix.global(n), AbsVal::Num(0.0, 5.0));
+    }
+
+    #[test]
+    fn doomed_effects_are_flagged_but_never_pruned() {
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(n, Expr::int(7))], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(0)), TransStatus::Live);
+        assert_eq!(fix.doomed_effects(), &[(ProcId(0), TransId(0), 0)]);
+        // The erroring step must stay: removing it would suppress the
+        // runtime error.
+        assert!(fix.prune_plan(&net).dropped_transitions() == 0);
+        // ... and its always-erroring step has no successor.
+        assert!(!fix.loc_reachable(ProcId(0), LocId(1)));
+    }
+
+    #[test]
+    fn may_expr_decides_goal_unreachability() {
+        let mut b = NetworkBuilder::new();
+        let goal = b.var("goal", VarType::Bool, Value::Bool(false));
+        let aux = b.var("aux", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(aux, Expr::bool(true))], l0);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        assert_eq!(fix.may_expr(&Expr::var(goal)), Some(false));
+        assert_eq!(fix.may_expr(&Expr::var(aux)), None);
+        assert_eq!(fix.may_expr(&Expr::var(goal).and(Expr::var(aux))), Some(false));
+        assert_eq!(fix.may_expr(&Expr::var(goal).not()), Some(true));
+    }
+
+    #[test]
+    fn guard_total_gates_error_prone_shapes() {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let n = b.var("n", VarType::Int { lo: 1, hi: 5 }, Value::Int(1));
+        let z = b.var("z", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        a.location("l0");
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let read = |v: VarId| {
+            if v == n {
+                AbsVal::Num(1.0, 5.0)
+            } else if v == z {
+                AbsVal::Num(0.0, 5.0)
+            } else {
+                TOP_NUM
+            }
+        };
+        // Affine clock comparison: total.
+        assert!(guard_total(&Expr::var(x).le(Expr::int(3)), &net, &read));
+        // Division by a provably nonzero, delay-free divisor: total.
+        let div_ok = Expr::var(x).div(Expr::var(n)).le(Expr::int(3));
+        assert!(guard_total(&div_ok, &net, &read));
+        // Divisor range contains zero: may error.
+        let div_zero = Expr::var(x).div(Expr::var(z)).le(Expr::int(3));
+        assert!(!guard_total(&div_zero, &net, &read));
+        // Clock × clock is outside the affine fragment.
+        let nonlinear = Expr::var(x).mul(Expr::var(x)).le(Expr::int(3));
+        assert!(!guard_total(&nonlinear, &net, &read));
+        // Delay-dependent numeric-if condition may raise NonLinear.
+        let ite =
+            Expr::ite(Expr::var(x).gt(Expr::int(1)), Expr::int(1), Expr::int(2)).le(Expr::var(x));
+        assert!(!guard_total(&ite, &net, &read));
+    }
+
+    #[test]
+    fn summary_counts_and_json_render() {
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 10 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(5)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        let s = fix.summary(&net);
+        assert_eq!(s.procs.len(), 1);
+        assert_eq!(s.procs[0].reachable, 1);
+        assert_eq!(s.dead.len(), 1);
+        assert_eq!(s.dead[0].reason, "dead-guard");
+        let json = s.render_json();
+        assert!(json.contains("\"dead_transitions\":[{"), "{json}");
+        assert!(json.contains("\"reason\":\"dead-guard\""), "{json}");
+        assert!(s.render_text().contains("1/2 locations reachable"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Static pre-analysis of SLIM networks by abstract interpretation.
+//!
+//! A worklist fixpoint over the synchronized network computes, per
+//! (process, location), an over-approximation of the reachable variable
+//! valuations — interval environments for data variables, action-closed
+//! propagation through sync vectors, guard/invariant refinement, and
+//! widening for loops (see [`fixpoint`] for the construction and its
+//! soundness argument).
+//!
+//! The fixpoint feeds three consumers:
+//!
+//! 1. **Property pre-verdicts** — `slimsim-core` short-circuits `analyze`
+//!    with an exact `P = 0` when the goal is unreachable in the
+//!    abstraction (zero samples drawn);
+//! 2. **Model pruning** — [`Fixpoint::prune_plan`] computes the
+//!    transitions/locations `Network::prune` can strip with a
+//!    byte-identical differential guarantee on live models;
+//! 3. **Semantic lints** — `slim-lint`'s S1xx/S3xx passes consult the
+//!    same fixpoint instead of re-deriving weaker syntactic facts.
+//!
+//! Every verdict is conservative: `unreachable`/`dead` answers are
+//! definite facts about all concrete runs; everything the abstraction
+//! cannot decide stays "maybe".
+
+pub mod domain;
+pub mod fixpoint;
+pub mod summary;
+
+pub use domain::{abs_eval, refine, AbsVal};
+pub use fixpoint::{analyze_network, guard_total, Fixpoint, TransStatus};
+pub use summary::AnalysisSummary;

@@ -1,0 +1,171 @@
+//! Proof-artifact summary of a fixpoint run.
+//!
+//! The summary is the auditable record of what the static analysis
+//! established: per-process reachability counts, the dead/blocked
+//! transitions with their reasons, and the iteration statistics
+//! (rounds/widenings) that show the fixpoint converged. It renders as
+//! human-readable text and as JSON (hand-rolled — the artifact is small
+//! and the workspace carries no serde dependency).
+
+use crate::fixpoint::{Fixpoint, TransStatus};
+use slim_automata::network::Network;
+use std::fmt::Write as _;
+
+/// One dead or blocked transition.
+#[derive(Debug, Clone)]
+pub struct DeadTransition {
+    /// Automaton name.
+    pub automaton: String,
+    /// Source and target location names.
+    pub from: String,
+    /// Target location name.
+    pub to: String,
+    /// Why it can never fire (`dead-source`, `dead-guard`, `sync-blocked`).
+    pub reason: &'static str,
+}
+
+/// Per-automaton reachability counts.
+#[derive(Debug, Clone)]
+pub struct ProcSummary {
+    /// Automaton name.
+    pub automaton: String,
+    /// Total locations.
+    pub locations: usize,
+    /// Locations the abstraction can reach.
+    pub reachable: usize,
+    /// Total transitions.
+    pub transitions: usize,
+    /// Transitions that may fire.
+    pub live: usize,
+}
+
+/// The proof artifact of one [`crate::analyze_network`] run.
+#[derive(Debug, Clone)]
+pub struct AnalysisSummary {
+    /// Per-automaton counts.
+    pub procs: Vec<ProcSummary>,
+    /// Every provably-dead transition.
+    pub dead: Vec<DeadTransition>,
+    /// Fixpoint rounds until stabilization.
+    pub rounds: usize,
+    /// Widening applications.
+    pub widenings: usize,
+}
+
+fn status_reason(s: TransStatus) -> Option<&'static str> {
+    match s {
+        TransStatus::Live => None,
+        TransStatus::DeadSource => Some("dead-source"),
+        TransStatus::DeadGuard => Some("dead-guard"),
+        TransStatus::SyncBlocked => Some("sync-blocked"),
+    }
+}
+
+impl AnalysisSummary {
+    pub(crate) fn build(fix: &Fixpoint, net: &Network) -> AnalysisSummary {
+        let mut procs = Vec::new();
+        let mut dead = Vec::new();
+        for (p, a) in net.automata().iter().enumerate() {
+            let reach = &fix.reachable_matrix()[p];
+            let st = &fix.status_matrix()[p];
+            procs.push(ProcSummary {
+                automaton: a.name.clone(),
+                locations: a.locations.len(),
+                reachable: reach.iter().filter(|r| **r).count(),
+                transitions: a.transitions.len(),
+                live: st.iter().filter(|s| **s == TransStatus::Live).count(),
+            });
+            for (t, trans) in a.transitions.iter().enumerate() {
+                if let Some(reason) = status_reason(st[t]) {
+                    dead.push(DeadTransition {
+                        automaton: a.name.clone(),
+                        from: a.locations[trans.from.0].name.clone(),
+                        to: a.locations[trans.to.0].name.clone(),
+                        reason,
+                    });
+                }
+            }
+        }
+        AnalysisSummary { procs, dead, rounds: fix.rounds, widenings: fix.widenings }
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "static analysis: {} round(s), {} widening(s)",
+            self.rounds, self.widenings
+        );
+        for p in &self.procs {
+            let _ = writeln!(
+                out,
+                "  {}: {}/{} locations reachable, {}/{} transitions live",
+                p.automaton, p.reachable, p.locations, p.live, p.transitions
+            );
+        }
+        for d in &self.dead {
+            let _ =
+                writeln!(out, "  dead: {} `{}` -> `{}` ({})", d.automaton, d.from, d.to, d.reason);
+        }
+        out
+    }
+
+    /// JSON rendering of the proof artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"rounds\":{},\"widenings\":{},", self.rounds, self.widenings);
+        out.push_str("\"automata\":[");
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"locations\":{},\"reachable\":{},\"transitions\":{},\"live\":{}}}",
+                json_str(&p.automaton),
+                p.locations,
+                p.reachable,
+                p.transitions,
+                p.live
+            );
+        }
+        out.push_str("],\"dead_transitions\":[");
+        for (i, d) in self.dead.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"automaton\":{},\"from\":{},\"to\":{},\"reason\":{}}}",
+                json_str(&d.automaton),
+                json_str(&d.from),
+                json_str(&d.to),
+                json_str(d.reason)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

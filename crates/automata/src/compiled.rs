@@ -14,9 +14,11 @@
 //! candidate enumeration order (τ transitions by process then transition
 //! id, sync actions by action id with the last participant varying
 //! fastest), same empty-window filtering points, and same error values in
-//! the same evaluation order. Guards outside the linear-solvable happy set
-//! (e.g. numeric `if` in guard position) fall back to the legacy AST
-//! solver per guard — allocating, but byte-identical in behavior.
+//! the same evaluation order. Every well-typed guard compiles — numeric
+//! `if` included, via lazy branch ops that mirror the legacy solver's
+//! evaluation order exactly. Ill-typed guards (which validated networks
+//! never contain) fall back to the legacy AST solver per guard —
+//! allocating, but byte-identical in behavior.
 //!
 //! One caveat: `=`/`!=` between Boolean and numeric operands is dispatched
 //! at *compile* time from declared variable types, where the legacy solver
@@ -79,6 +81,17 @@ enum SolveOp {
     AffDiv(u32),
     AffMin(u32),
     AffMax(u32),
+    /// Lazy numeric `if`: pop the condition set. Falls through into the
+    /// then-branch when the condition holds at *every* delay, skips
+    /// `else_skip` ops (into the else-branch) when it holds at none, and
+    /// otherwise errors `NonLinear` with the context at `ctx` — mirroring
+    /// the legacy solver, which evaluates only the selected branch.
+    AffBranch {
+        ctx: u32,
+        else_skip: u32,
+    },
+    /// Skip the next `n` ops (jump over an else-branch).
+    AffJump(u32),
 }
 
 /// A compiled guard: postfix ops plus pre-rendered expression contexts for
@@ -239,6 +252,355 @@ impl StepTables {
                 .filter(|g| matches!(g, GuardCode::Fallback(_)))
                 .count()
     }
+
+    /// Verifies every compiled bytecode program in the tables: stack
+    /// discipline (no underflow, correct final depth on both the set and
+    /// the affine stack), jump targets within bounds, context and variable
+    /// indices in range, and consistent stack depths at every join point.
+    ///
+    /// [`Network::compile`] re-checks its own output with this in debug
+    /// builds; the CLI exposes it as `slimsim lint --verify-bytecode` so a
+    /// model author can audit the exact programs the simulator will run.
+    ///
+    /// # Errors
+    /// The first violation found, locating the offending program and op.
+    pub fn verify_bytecode(&self) -> Result<BytecodeReport, BytecodeError> {
+        let n_vars = self.base_rates.len();
+        let mut report = BytecodeReport::default();
+
+        let guard = |code: &GuardCode,
+                     at: &dyn Fn() -> String,
+                     report: &mut BytecodeReport|
+         -> Result<(), BytecodeError> {
+            match code {
+                GuardCode::Static(_) => report.static_guards += 1,
+                GuardCode::Fallback(_) => report.fallback_guards += 1,
+                GuardCode::Prog(p) => {
+                    verify_solve(p, n_vars).map_err(|(pc, reason)| BytecodeError {
+                        program: at(),
+                        pc,
+                        reason,
+                    })?;
+                    report.guard_programs += 1;
+                    report.ops += p.ops.len();
+                }
+            }
+            Ok(())
+        };
+
+        for (p, by_loc) in self.tau.iter().enumerate() {
+            for (l, cgs) in by_loc.iter().enumerate() {
+                for (i, cg) in cgs.iter().enumerate() {
+                    guard(&cg.guard, &|| format!("tau guard proc {p} loc {l} #{i}"), &mut report)?;
+                }
+            }
+        }
+        for table in &self.sync {
+            for part in &table.parts {
+                for (l, cgs) in part.by_loc.iter().enumerate() {
+                    for (i, cg) in cgs.iter().enumerate() {
+                        guard(
+                            &cg.guard,
+                            &|| {
+                                format!(
+                                    "sync guard action {} proc {} loc {l} #{i}",
+                                    table.action.0, part.proc.0
+                                )
+                            },
+                            &mut report,
+                        )?;
+                    }
+                }
+            }
+        }
+        for (p, by_loc) in self.invariants.iter().enumerate() {
+            for (l, code) in by_loc.iter().enumerate() {
+                if let Some(code) = code {
+                    guard(code, &|| format!("invariant proc {p} loc {l}"), &mut report)?;
+                }
+            }
+        }
+
+        let value = |prog: &EvalProg,
+                     target: VarId,
+                     at: &dyn Fn() -> String,
+                     report: &mut BytecodeReport|
+         -> Result<(), BytecodeError> {
+            if target.0 >= n_vars {
+                return Err(BytecodeError {
+                    program: at(),
+                    pc: 0,
+                    reason: format!("target v{} out of bounds ({n_vars} variables)", target.0),
+                });
+            }
+            verify_eval(prog, n_vars).map_err(|(pc, reason)| BytecodeError {
+                program: at(),
+                pc,
+                reason,
+            })?;
+            report.value_programs += 1;
+            report.ops += prog.ops.len();
+            Ok(())
+        };
+
+        for (p, ts) in self.trans.iter().enumerate() {
+            for (t, ct) in ts.iter().enumerate() {
+                for (i, eff) in ct.effects.iter().enumerate() {
+                    value(
+                        &eff.prog,
+                        eff.var,
+                        &|| format!("effect proc {p} trans {t} #{i}"),
+                        &mut report,
+                    )?;
+                }
+            }
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            value(&f.prog, f.target, &|| format!("flow #{i} ({})", f.name), &mut report)?;
+        }
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode verification
+// ---------------------------------------------------------------------------
+
+/// A bytecode verification failure: which program, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytecodeError {
+    /// The program that failed (e.g. `tau guard proc 0 loc 1 #2`).
+    pub program: String,
+    /// Offending op index; `ops.len()` for end-of-program violations.
+    pub pc: usize,
+    /// What the check found.
+    pub reason: String,
+}
+
+impl std::fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at pc {}: {}", self.program, self.pc, self.reason)
+    }
+}
+
+impl std::error::Error for BytecodeError {}
+
+/// Statistics from a successful [`StepTables::verify_bytecode`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytecodeReport {
+    /// Solver (guard/invariant) programs verified.
+    pub guard_programs: usize,
+    /// Value (effect/flow) programs verified.
+    pub value_programs: usize,
+    /// Guards resolved to constant windows at compile time (nothing to
+    /// verify).
+    pub static_guards: usize,
+    /// Guards kept as AST fallbacks (checked by the network validator, not
+    /// the bytecode verifier).
+    pub fallback_guards: usize,
+    /// Total ops across all verified programs.
+    pub ops: usize,
+}
+
+impl BytecodeReport {
+    /// Total programs inspected, including static and fallback guards.
+    pub fn programs(&self) -> usize {
+        self.guard_programs + self.value_programs + self.static_guards + self.fallback_guards
+    }
+}
+
+/// Checks a jump landing `skip + 1` ops past `pc`; `len` itself is a valid
+/// target (end of program).
+fn jump_target(pc: usize, skip: u32, len: usize) -> Result<usize, (usize, String)> {
+    let target = pc + skip as usize + 1;
+    if target > len {
+        return Err((pc, format!("jump target {target} out of bounds (program length {len})")));
+    }
+    Ok(target)
+}
+
+/// Abstractly runs a solver program over every control path, tracking the
+/// depths of the interval-set stack and the affine-form stack per pc. The
+/// compiler only emits straight-line code joined by forward jumps, so each
+/// pc has exactly one consistent depth pair; a conflict, an underflow, an
+/// out-of-range index, or a wrong final depth means the program was not
+/// produced by the compiler (or was corrupted since).
+fn verify_solve(prog: &SolveProg, n_vars: usize) -> Result<(), (usize, String)> {
+    let len = prog.ops.len();
+    let n_ctx = prog.ctx.len();
+    let mut seen: Vec<Option<(usize, usize)>> = vec![None; len + 1];
+    let mut work: Vec<(usize, usize, usize)> = vec![(0, 0, 0)];
+    while let Some((pc, set, aff)) = work.pop() {
+        if let Some(prev) = seen[pc] {
+            if prev != (set, aff) {
+                return Err((
+                    pc,
+                    format!(
+                        "inconsistent stack depths at join: (set {}, aff {}) vs (set {set}, aff {aff})",
+                        prev.0, prev.1
+                    ),
+                ));
+            }
+            continue;
+        }
+        seen[pc] = Some((set, aff));
+        if pc == len {
+            if set != 1 || aff != 0 {
+                return Err((
+                    pc,
+                    format!("program ends with set depth {set}, aff depth {aff} (want 1, 0)"),
+                ));
+            }
+            continue;
+        }
+        let need_set = |n: usize| -> Result<(), (usize, String)> {
+            if set < n {
+                Err((pc, format!("set stack underflow: op needs {n}, depth is {set}")))
+            } else {
+                Ok(())
+            }
+        };
+        let need_aff = |n: usize| -> Result<(), (usize, String)> {
+            if aff < n {
+                Err((pc, format!("aff stack underflow: op needs {n}, depth is {aff}")))
+            } else {
+                Ok(())
+            }
+        };
+        let need_ctx = |c: u32| -> Result<(), (usize, String)> {
+            if (c as usize) < n_ctx {
+                Ok(())
+            } else {
+                Err((pc, format!("context index {c} out of bounds ({n_ctx} contexts)")))
+            }
+        };
+        let need_var = |v: VarId| -> Result<(), (usize, String)> {
+            if v.0 < n_vars {
+                Ok(())
+            } else {
+                Err((pc, format!("variable v{} out of bounds ({n_vars} variables)", v.0)))
+            }
+        };
+        match &prog.ops[pc] {
+            SolveOp::SetTrue | SolveOp::SetFalse => work.push((pc + 1, set + 1, aff)),
+            SolveOp::SetVar(v) => {
+                need_var(*v)?;
+                work.push((pc + 1, set + 1, aff));
+            }
+            SolveOp::Complement => {
+                need_set(1)?;
+                work.push((pc + 1, set, aff));
+            }
+            SolveOp::Intersect
+            | SolveOp::Union
+            | SolveOp::Xor
+            | SolveOp::BoolEq
+            | SolveOp::BoolNe => {
+                need_set(2)?;
+                work.push((pc + 1, set - 1, aff));
+            }
+            SolveOp::IteSet => {
+                need_set(3)?;
+                work.push((pc + 1, set - 2, aff));
+            }
+            SolveOp::Cmp(_) => {
+                need_aff(2)?;
+                work.push((pc + 1, set + 1, aff - 2));
+            }
+            SolveOp::AffConst(_) => work.push((pc + 1, set, aff + 1)),
+            SolveOp::AffVar(v) => {
+                need_var(*v)?;
+                work.push((pc + 1, set, aff + 1));
+            }
+            SolveOp::AffNeg => {
+                need_aff(1)?;
+                work.push((pc + 1, set, aff));
+            }
+            SolveOp::AffAdd | SolveOp::AffSub => {
+                need_aff(2)?;
+                work.push((pc + 1, set, aff - 1));
+            }
+            SolveOp::AffMul(c) | SolveOp::AffDiv(c) | SolveOp::AffMin(c) | SolveOp::AffMax(c) => {
+                need_aff(2)?;
+                need_ctx(*c)?;
+                work.push((pc + 1, set, aff - 1));
+            }
+            SolveOp::AffBranch { ctx, else_skip } => {
+                need_set(1)?;
+                need_ctx(*ctx)?;
+                work.push((pc + 1, set - 1, aff));
+                work.push((jump_target(pc, *else_skip, len)?, set - 1, aff));
+            }
+            SolveOp::AffJump(n) => work.push((jump_target(pc, *n, len)?, set, aff)),
+        }
+    }
+    Ok(())
+}
+
+/// Abstractly runs a value program over every control path, tracking the
+/// value-stack depth per pc (same discipline as [`verify_solve`], one
+/// stack).
+fn verify_eval(prog: &EvalProg, n_vars: usize) -> Result<(), (usize, String)> {
+    let len = prog.ops.len();
+    let mut seen: Vec<Option<usize>> = vec![None; len + 1];
+    let mut work: Vec<(usize, usize)> = vec![(0, 0)];
+    while let Some((pc, depth)) = work.pop() {
+        if let Some(prev) = seen[pc] {
+            if prev != depth {
+                return Err((pc, format!("inconsistent stack depths at join: {prev} vs {depth}")));
+            }
+            continue;
+        }
+        seen[pc] = Some(depth);
+        if pc == len {
+            if depth != 1 {
+                return Err((pc, format!("program ends with stack depth {depth} (want 1)")));
+            }
+            continue;
+        }
+        let need = |n: usize| -> Result<(), (usize, String)> {
+            if depth < n {
+                Err((pc, format!("value stack underflow: op needs {n}, depth is {depth}")))
+            } else {
+                Ok(())
+            }
+        };
+        match &prog.ops[pc] {
+            EvalOp::Const(_) => work.push((pc + 1, depth + 1)),
+            EvalOp::Var(v) => {
+                if v.0 >= n_vars {
+                    return Err((
+                        pc,
+                        format!("variable v{} out of bounds ({n_vars} variables)", v.0),
+                    ));
+                }
+                work.push((pc + 1, depth + 1));
+            }
+            EvalOp::Not | EvalOp::Neg | EvalOp::CastBool => {
+                need(1)?;
+                work.push((pc + 1, depth));
+            }
+            EvalOp::Bin(_) | EvalOp::Xor => {
+                need(2)?;
+                work.push((pc + 1, depth - 1));
+            }
+            // Pops the condition; when the jump is taken it pushes the
+            // short-circuit result back, so the jump target sees the
+            // pre-pop depth and the fall-through sees one less.
+            EvalOp::AndJump(n) | EvalOp::OrJump(n) | EvalOp::ImpliesJump(n) => {
+                need(1)?;
+                work.push((pc + 1, depth - 1));
+                work.push((jump_target(pc, *n, len)?, depth));
+            }
+            EvalOp::JumpIfFalse(n) => {
+                need(1)?;
+                work.push((pc + 1, depth - 1));
+                work.push((jump_target(pc, *n, len)?, depth - 1));
+            }
+            EvalOp::Jump(n) => work.push((jump_target(pc, *n, len)?, depth)),
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -476,8 +838,8 @@ fn compile_solve(e: &Expr, net: &Network, prog: &mut SolveProg) -> Result<(), Un
                 prog.ops.push(if *op == BinOp::Eq { SolveOp::BoolEq } else { SolveOp::BoolNe });
             }
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                compile_aff(a, prog)?;
-                compile_aff(b, prog)?;
+                compile_aff(a, net, prog)?;
+                compile_aff(b, net, prog)?;
                 prog.ops.push(SolveOp::Cmp(*op));
             }
             _ => return Err(Unsupported),
@@ -492,7 +854,7 @@ fn compile_solve(e: &Expr, net: &Network, prog: &mut SolveProg) -> Result<(), Un
     Ok(())
 }
 
-fn compile_aff(e: &Expr, prog: &mut SolveProg) -> Result<(), Unsupported> {
+fn compile_aff(e: &Expr, net: &Network, prog: &mut SolveProg) -> Result<(), Unsupported> {
     match e {
         Expr::Const(v) => match v.as_real() {
             Ok(k) => prog.ops.push(SolveOp::AffConst(k)),
@@ -500,15 +862,15 @@ fn compile_aff(e: &Expr, prog: &mut SolveProg) -> Result<(), Unsupported> {
         },
         Expr::Var(v) => prog.ops.push(SolveOp::AffVar(*v)),
         Expr::Neg(x) => {
-            compile_aff(x, prog)?;
+            compile_aff(x, net, prog)?;
             prog.ops.push(SolveOp::AffNeg);
         }
         Expr::Bin(op, a, b) => {
             let with_ctx = matches!(op, BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max);
             match op {
                 BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max => {
-                    compile_aff(a, prog)?;
-                    compile_aff(b, prog)?;
+                    compile_aff(a, net, prog)?;
+                    compile_aff(b, net, prog)?;
                     let ctx = if with_ctx {
                         let i = prog.ctx.len() as u32;
                         prog.ctx.push(format!("{e}"));
@@ -529,9 +891,27 @@ fn compile_aff(e: &Expr, prog: &mut SolveProg) -> Result<(), Unsupported> {
                 _ => return Err(Unsupported),
             }
         }
-        // Numeric `if` is lazy in the legacy solver (only the selected
-        // branch is evaluated); a postfix form would change error
-        // behavior, so the whole guard falls back.
+        // Numeric `if` is lazy in the legacy solver: the condition is
+        // solved first and only the selected branch is evaluated. The
+        // compiled form preserves that with a branch op that dispatches on
+        // the condition's delay set, so errors in the unselected branch
+        // never surface — identical to `lin_eval`.
+        Expr::Ite(c, t, els) => {
+            compile_solve(c, net, prog)?;
+            let ctx = prog.ctx.len() as u32;
+            prog.ctx.push(format!("delay-dependent condition in {e}"));
+            let jb = prog.ops.len();
+            prog.ops.push(SolveOp::AffJump(0)); // placeholder for the branch
+            compile_aff(t, net, prog)?;
+            let jt = prog.ops.len();
+            prog.ops.push(SolveOp::AffJump(0)); // placeholder: skip the else
+            prog.ops[jb] = SolveOp::AffBranch { ctx, else_skip: (prog.ops.len() - jb - 1) as u32 };
+            compile_aff(els, net, prog)?;
+            prog.ops[jt] = SolveOp::AffJump((prog.ops.len() - jt - 1) as u32);
+        }
+        // `not`/logical operators in numeric position are ill-typed;
+        // validated networks never reach here, but the fallback keeps
+        // `compile` infallible on arbitrary networks.
         _ => return Err(Unsupported),
     }
     Ok(())
@@ -713,7 +1093,12 @@ impl Network {
         let base_rates =
             self.vars().iter().map(|v| if v.ty == VarType::Clock { 1.0 } else { 0.0 }).collect();
 
-        StepTables { tau, markov, sync, invariants, trans, flows, base_rates }
+        let tables = StepTables { tau, markov, sync, invariants, trans, flows, base_rates };
+        #[cfg(debug_assertions)]
+        if let Err(e) = tables.verify_bytecode() {
+            panic!("internal error: compiled bytecode failed verification: {e}");
+        }
+        tables
     }
 }
 
@@ -735,8 +1120,9 @@ impl SolveScratch {
     fn run(&mut self, prog: &SolveProg, nu: &Valuation, rates: &[f64]) -> Result<(), EvalError> {
         self.depth = 0;
         self.affs.clear();
-        for op in &prog.ops {
-            match op {
+        let mut pc = 0usize;
+        while pc < prog.ops.len() {
+            match &prog.ops[pc] {
                 SolveOp::SetTrue => {
                     let i = self.push_slot();
                     self.sets[i].set_all();
@@ -784,7 +1170,7 @@ impl SolveScratch {
                     std::mem::swap(&mut self.sets[i], &mut self.t1);
                     self.depth -= 1;
                 }
-                SolveOp::BoolEq | SolveOp::BoolNe => {
+                op @ (SolveOp::BoolEq | SolveOp::BoolNe) => {
                     let i = self.depth - 2;
                     self.sets[i].intersect_into(&self.sets[i + 1], &mut self.t2);
                     self.sets[i].complement_into(&mut self.t1);
@@ -859,7 +1245,7 @@ impl SolveScratch {
                     }
                     self.affs.push(Aff { k: fa.k / fb.k, m: fa.m / fb.k });
                 }
-                SolveOp::AffMin(c) | SolveOp::AffMax(c) => {
+                op @ (SolveOp::AffMin(c) | SolveOp::AffMax(c)) => {
                     let fb = self.affs.pop().expect("aff stack underflow");
                     let fa = self.affs.pop().expect("aff stack underflow");
                     if fa.m == fb.m {
@@ -877,11 +1263,33 @@ impl SolveScratch {
                         });
                     }
                 }
+                SolveOp::AffBranch { ctx, else_skip } => {
+                    self.depth -= 1;
+                    let cond = &self.sets[self.depth];
+                    if set_is_all(cond) {
+                        // Fall through into the then-branch.
+                    } else if cond.is_empty() {
+                        pc += *else_skip as usize;
+                    } else {
+                        return Err(EvalError::NonLinear {
+                            context: prog.ctx[*ctx as usize].clone(),
+                        });
+                    }
+                }
+                SolveOp::AffJump(n) => pc += *n as usize,
             }
+            pc += 1;
         }
         debug_assert_eq!(self.depth, 1, "guard program leaves one set");
         Ok(())
     }
+}
+
+/// Allocation-free equivalent of `set == IntervalSet::all()`: true iff the
+/// (normalized) set is exactly `[0, ∞)`.
+fn set_is_all(s: &IntervalSet) -> bool {
+    matches!(s.intervals(),
+        [iv] if iv.lo() == 0.0 && iv.lo_closed() && iv.hi() == f64::INFINITY && !iv.hi_closed())
 }
 
 /// Allocation-free mirror of the legacy `solve_cmp`: solves
@@ -1369,6 +1777,24 @@ pub struct CompiledPredicate {
     code: GuardCode,
 }
 
+impl CompiledPredicate {
+    /// Verifies the predicate's compiled program (no-op for static and
+    /// fallback forms); `n_vars` bounds variable references.
+    ///
+    /// # Errors
+    /// The first violation found, as for [`StepTables::verify_bytecode`].
+    pub fn verify(&self, n_vars: usize) -> Result<(), BytecodeError> {
+        if let GuardCode::Prog(p) = &self.code {
+            verify_solve(p, n_vars).map_err(|(pc, reason)| BytecodeError {
+                program: "predicate".to_string(),
+                pc,
+                reason,
+            })?;
+        }
+        Ok(())
+    }
+}
+
 /// Advances clocks/continuous variables and re-establishes flows, without
 /// boundary snapping.
 fn advance_unchecked_mut(
@@ -1490,6 +1916,15 @@ mod tests {
             l0,
             ActionId::TAU,
             Expr::var(c).lt(Expr::real(3.0)).not().implies(Expr::var(b)),
+            [],
+            l0,
+        );
+        // Numeric `if` with a delay-independent condition: compiled via
+        // the lazy branch ops.
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(c).le(Expr::ite(Expr::var(b), Expr::real(4.0), Expr::real(7.0))),
             [],
             l0,
         );
@@ -1654,13 +2089,13 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_guard_falls_back_and_matches() {
+    fn numeric_ite_guard_compiles_and_matches() {
         let mut net = NetworkBuilder::new();
         let c = net.var("c", VarType::Clock, Value::Real(0.0));
         let b = net.var("b", VarType::Bool, Value::Bool(false));
         let mut a = AutomatonBuilder::new("a");
         let l0 = a.location("l0");
-        // Numeric `if` in guard position: outside the bytecode subset.
+        // Numeric `if` in guard position: compiled lazily, both branches.
         a.guarded(
             l0,
             ActionId::TAU,
@@ -1671,7 +2106,10 @@ mod tests {
         net.add_automaton(a);
         let net = net.build().unwrap();
         let tables = net.compile();
-        assert!(matches!(tables.tau[0][0][0].guard, GuardCode::Fallback(_)));
+        assert!(
+            matches!(tables.tau[0][0][0].guard, GuardCode::Prog(_)),
+            "numeric `if` guard should compile to bytecode"
+        );
 
         let mut s = StepScratch::new();
         for b_val in [false, true] {
@@ -1681,6 +2119,54 @@ mod tests {
             net.guarded_candidates_into(&tables, &mut s, &st).unwrap();
             assert_cands_eq(&cands, s.candidates());
         }
+    }
+
+    #[test]
+    fn numeric_ite_delay_dependent_condition_errors_identically() {
+        let mut net = NetworkBuilder::new();
+        let c = net.var("c", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("a");
+        let l0 = a.location("l0");
+        // At c = 0 the condition `c > 1` holds on (1, ∞): neither always
+        // nor never, so the branch selection is delay-dependent.
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::ite(Expr::var(c).gt(Expr::real(1.0)), Expr::real(1.0), Expr::real(2.0))
+                .le(Expr::var(c)),
+            [],
+            l0,
+        );
+        net.add_automaton(a);
+        let net = net.build().unwrap();
+        let tables = net.compile();
+        let mut s = StepScratch::new();
+        let st = net.initial_state().unwrap();
+        let legacy = net.guarded_candidates(&st).unwrap_err();
+        let compiled = net.guarded_candidates_into(&tables, &mut s, &st).unwrap_err();
+        assert_eq!(legacy, compiled);
+        assert!(matches!(legacy, EvalError::NonLinear { .. }));
+    }
+
+    #[test]
+    fn ill_typed_guard_falls_back_and_errors_identically() {
+        // Validated networks never contain ill-typed guards; assemble
+        // without validation to exercise the AST-fallback safety net.
+        let mut net = NetworkBuilder::new();
+        let c = net.var("c", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("a");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::var(c).le(Expr::TRUE), [], l0);
+        net.add_automaton(a);
+        let net = net.assemble_for_validation().unwrap();
+        let tables = net.compile();
+        assert!(matches!(tables.tau[0][0][0].guard, GuardCode::Fallback(_)));
+
+        let mut s = StepScratch::new();
+        let st = net.initial_state().unwrap();
+        let legacy = net.guarded_candidates(&st).unwrap_err();
+        let compiled = net.guarded_candidates_into(&tables, &mut s, &st).unwrap_err();
+        assert_eq!(legacy, compiled);
     }
 
     #[test]
@@ -1732,5 +2218,90 @@ mod tests {
         let mut out = IntervalSet::empty();
         let compiled = net.delay_window_into(&tables, &mut s, &st, &mut out).unwrap_err();
         assert_eq!(legacy, compiled);
+    }
+
+    #[test]
+    fn verifier_accepts_all_compiled_programs() {
+        let tables = torture_net().compile();
+        let report = tables.verify_bytecode().expect("compiler output verifies");
+        assert!(report.guard_programs > 0, "torture net has compiled guards");
+        assert!(report.value_programs > 0, "torture net has effects/flows");
+        assert!(report.ops > 0);
+        assert_eq!(report.fallback_guards, 0, "torture net compiles fully");
+        assert_eq!(
+            report.programs(),
+            report.guard_programs + report.value_programs + report.static_guards
+        );
+    }
+
+    /// Find the first compiled guard program in the τ tables (mutably).
+    fn first_tau_prog(tables: &mut StepTables) -> &mut SolveProg {
+        tables
+            .tau
+            .iter_mut()
+            .flatten()
+            .flatten()
+            .find_map(|cg| match &mut cg.guard {
+                GuardCode::Prog(p) => Some(p),
+                _ => None,
+            })
+            .expect("torture net has a compiled tau guard")
+    }
+
+    #[test]
+    fn verifier_rejects_corrupted_programs() {
+        // Stack underflow: an extra Intersect with only one set pushed.
+        let mut tables = torture_net().compile();
+        first_tau_prog(&mut tables).ops.insert(1, SolveOp::Intersect);
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("underflow"), "got: {err}");
+
+        // Jump out of bounds.
+        let mut tables = torture_net().compile();
+        let prog = first_tau_prog(&mut tables);
+        prog.ops.push(SolveOp::AffJump(u32::MAX));
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("jump target"), "got: {err}");
+
+        // Wrong final depth: a trailing extra set.
+        let mut tables = torture_net().compile();
+        first_tau_prog(&mut tables).ops.push(SolveOp::SetTrue);
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("ends with"), "got: {err}");
+
+        // Context index out of range on an error-reporting op.
+        let mut tables = torture_net().compile();
+        let prog = first_tau_prog(&mut tables);
+        let n_ctx = prog.ctx.len() as u32;
+        prog.ops.insert(0, SolveOp::AffConst(1.0));
+        prog.ops.insert(1, SolveOp::AffConst(2.0));
+        prog.ops.insert(2, SolveOp::AffMul(n_ctx));
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("context index"), "got: {err}");
+
+        // Variable reference past the table width, in a value program.
+        let mut tables = torture_net().compile();
+        let n_vars = tables.base_rates.len();
+        let eff = tables
+            .trans
+            .iter_mut()
+            .flatten()
+            .find_map(|ct| ct.effects.first_mut())
+            .expect("torture net has an effect");
+        eff.prog.ops.insert(0, EvalOp::Var(VarId(n_vars)));
+        eff.prog.ops.insert(1, EvalOp::Bin(BinOp::Add));
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("out of bounds"), "got: {err}");
+        assert!(err.program.contains("effect"), "got: {err}");
+    }
+
+    #[test]
+    fn verifier_rejects_wrong_final_depth_in_value_program() {
+        let mut tables = torture_net().compile();
+        let flow = tables.flows.first_mut().expect("torture net has a flow");
+        flow.prog.ops.push(EvalOp::Const(Value::Int(0)));
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("ends with"), "got: {err}");
+        assert!(err.program.contains("flow"), "got: {err}");
     }
 }

@@ -65,7 +65,9 @@ pub mod prelude {
     pub use crate::automaton::{
         ActionId, Automaton, Effect, GuardKind, LocId, Location, ProcId, TransId, Transition,
     };
-    pub use crate::compiled::{CandidateBuf, CompiledPredicate, StepScratch, StepTables};
+    pub use crate::compiled::{
+        BytecodeError, BytecodeReport, CandidateBuf, CompiledPredicate, StepScratch, StepTables,
+    };
     pub use crate::error::{EvalError, ModelError};
     pub use crate::eval::{eval, eval_bool, eval_real, Valuation};
     pub use crate::expr::{BinOp, Expr, VarId};

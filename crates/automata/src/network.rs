@@ -655,6 +655,138 @@ impl AutomatonBuilder {
     }
 }
 
+/// Which transitions and locations a [`Network::prune`] call removes.
+///
+/// Produced by the `slim-analysis` fixpoint engine (its `prune_plan`
+/// method); the shape is plain per-automaton flags so a plan can be
+/// audited — or adjusted with [`PrunePlan::keep_location`] — before it is
+/// applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunePlan {
+    /// `[proc][trans]` — transitions to remove.
+    pub drop_trans: Vec<Vec<bool>>,
+    /// `[proc][loc]` — locations to remove. Must be unreferenced by any
+    /// kept transition and never an initial location.
+    pub drop_locs: Vec<Vec<bool>>,
+}
+
+impl PrunePlan {
+    /// Number of transitions the plan removes.
+    pub fn dropped_transitions(&self) -> usize {
+        self.drop_trans.iter().flatten().filter(|d| **d).count()
+    }
+
+    /// Number of locations the plan removes.
+    pub fn dropped_locations(&self) -> usize {
+        self.drop_locs.iter().flatten().filter(|d| **d).count()
+    }
+
+    /// True when the plan removes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.dropped_transitions() == 0 && self.dropped_locations() == 0
+    }
+
+    /// Forces a location to survive pruning (e.g. because a goal
+    /// predicate names it).
+    pub fn keep_location(&mut self, p: ProcId, l: LocId) {
+        self.drop_locs[p.0][l.0] = false;
+    }
+}
+
+/// Old-index → new-index maps produced by [`Network::prune`], for
+/// translating [`LocId`]/[`TransId`] references (goals, traces) onto the
+/// pruned network. `None` means the index was removed.
+#[derive(Debug, Clone)]
+pub struct PruneMaps {
+    /// `[proc][old_loc]` → new location index.
+    pub locs: Vec<Vec<Option<LocId>>>,
+    /// `[proc][old_trans]` → new transition index.
+    pub trans: Vec<Vec<Option<TransId>>>,
+}
+
+impl Network {
+    /// Applies a [`PrunePlan`]: removes the planned transitions and
+    /// locations, renumbers [`LocId`]s/[`TransId`]s densely, and
+    /// recomputes the per-action participant table from the surviving
+    /// alphabets. Actions, variables, and flows are untouched, so
+    /// [`VarId`]/[`ActionId`] references stay valid.
+    ///
+    /// With a plan from the `slim-analysis` fixpoint, the pruned network
+    /// is *observationally identical* on every `(seed, workers)` run: the
+    /// removed transitions are provably never fired, their guards either
+    /// were never evaluated (unreachable source) or can never error, and
+    /// alphabets are preserved action-wise (an action loses either all of
+    /// its transitions or none per automaton), keeping the candidate
+    /// enumeration order of everything that can still fire unchanged.
+    ///
+    /// Note that pruning renumbers transitions, so recorded witness
+    /// traces replay only against the network they were produced on.
+    ///
+    /// # Panics
+    /// Panics if the plan's shape does not match this network, drops an
+    /// initial location, or leaves a kept transition referencing a
+    /// dropped location.
+    pub fn prune(&self, plan: &PrunePlan) -> (Network, PruneMaps) {
+        assert_eq!(plan.drop_trans.len(), self.automata.len(), "plan/network mismatch");
+        assert_eq!(plan.drop_locs.len(), self.automata.len(), "plan/network mismatch");
+        let mut automata = Vec::with_capacity(self.automata.len());
+        let mut loc_maps = Vec::with_capacity(self.automata.len());
+        let mut trans_maps = Vec::with_capacity(self.automata.len());
+        for (p, a) in self.automata.iter().enumerate() {
+            assert_eq!(plan.drop_trans[p].len(), a.transitions.len(), "plan/network mismatch");
+            assert_eq!(plan.drop_locs[p].len(), a.locations.len(), "plan/network mismatch");
+            let mut loc_map: Vec<Option<LocId>> = Vec::with_capacity(a.locations.len());
+            let mut locations = Vec::new();
+            for (l, loc) in a.locations.iter().enumerate() {
+                if plan.drop_locs[p][l] {
+                    loc_map.push(None);
+                } else {
+                    loc_map.push(Some(LocId(locations.len())));
+                    locations.push(loc.clone());
+                }
+            }
+            let init = loc_map[a.init.0].expect("initial location must not be pruned");
+            let mut trans_map: Vec<Option<TransId>> = Vec::with_capacity(a.transitions.len());
+            let mut transitions = Vec::new();
+            for (t, trans) in a.transitions.iter().enumerate() {
+                if plan.drop_trans[p][t] {
+                    trans_map.push(None);
+                } else {
+                    trans_map.push(Some(TransId(transitions.len())));
+                    let from = loc_map[trans.from.0]
+                        .expect("kept transition references a pruned source location");
+                    let to = loc_map[trans.to.0]
+                        .expect("kept transition references a pruned target location");
+                    transitions.push(Transition { from, to, ..trans.clone() });
+                }
+            }
+            automata.push(Automaton { name: a.name.clone(), locations, init, transitions });
+            loc_maps.push(loc_map);
+            trans_maps.push(trans_map);
+        }
+        // Recompute participants from the surviving alphabets (mirrors
+        // assembly in the builder).
+        let mut participants: Vec<Vec<ProcId>> = vec![Vec::new(); self.actions.len()];
+        for (p, a) in automata.iter().enumerate() {
+            for act in a.alphabet() {
+                participants[act.0].push(ProcId(p));
+            }
+        }
+        let net = Network {
+            actions: self.actions.clone(),
+            vars: self.vars.clone(),
+            automata,
+            flows: self.flows.clone(),
+            participants,
+        };
+        debug_assert!(
+            validate_network(&net).is_ok(),
+            "pruning a validated network must preserve well-formedness"
+        );
+        (net, PruneMaps { locs: loc_maps, trans: trans_maps })
+    }
+}
+
 /// Builder for a [`Network`]: declare actions and variables, add automata
 /// and flows, then [`NetworkBuilder::build`] validates everything.
 #[derive(Debug, Clone)]

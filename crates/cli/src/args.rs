@@ -28,6 +28,8 @@ const FLAG_KEYS: &[&str] = &[
     "deny-lints",
     "json",
     "progress",
+    "prune",
+    "verify-bytecode",
 ];
 
 impl Args {

@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::common::{load_bound, load_config, load_goal, load_hold, load_network, start_event};
+use slim_automata::network::{PruneMaps, PrunePlan};
 use slim_obs::{
     ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, ProgressMeter, PropertyInfo,
     RunReport, WorkerInfo, SCHEMA_VERSION,
@@ -41,6 +42,57 @@ pub fn run(args: &Args) -> Result<(), String> {
     let property = match hold {
         None => TimedReach::new(goal, bound),
         Some(h) => TimedReach::until(h, goal, bound),
+    };
+
+    // Static-analysis consumers: `--analysis-summary <path>` writes the
+    // fixpoint's proof artifact; `--prune` strips statically dead
+    // transitions and locations before the step tables are compiled.
+    // Pruning is observationally invisible — estimates are byte-identical
+    // at any fixed (seed, workers); see `Network::prune`. The summary
+    // always describes the network as loaded, pre-prune.
+    let summary_path = args.options.get("analysis-summary");
+    let (net, property) = if summary_path.is_some() || args.has_flag("prune") {
+        let fix = slim_analysis::analyze_network(&net);
+        if let Some(path) = summary_path {
+            let text = fix.summary(&net).render_json() + "\n";
+            std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            if !args.has_flag("quiet") {
+                println!("analysis   : proof summary written to {path}");
+            }
+        }
+        if args.has_flag("prune") {
+            let mut plan = fix.prune_plan(&net);
+            // Locations named by the property must survive so their
+            // `LocId`s can be remapped onto the pruned network.
+            keep_goal_locations(&property.goal, &mut plan);
+            if let Some(h) = &property.hold {
+                keep_goal_locations(h, &mut plan);
+            }
+            if plan.is_noop() {
+                if !args.has_flag("quiet") {
+                    println!("prune      : nothing statically dead to remove");
+                }
+                (net, property)
+            } else {
+                let (dropped_t, dropped_l) = (plan.dropped_transitions(), plan.dropped_locations());
+                let (pruned, maps) = net.prune(&plan);
+                if !args.has_flag("quiet") {
+                    println!(
+                        "prune      : removed {dropped_t} transition(s), {dropped_l} location(s)"
+                    );
+                }
+                let property = TimedReach {
+                    goal: remap_goal(property.goal, &maps),
+                    hold: property.hold.map(|h| remap_goal(h, &maps)),
+                    bound: property.bound,
+                };
+                (pruned, property)
+            }
+        } else {
+            (net, property)
+        }
+    } else {
+        (net, property)
     };
 
     if args.has_flag("trace") {
@@ -104,6 +156,12 @@ pub fn run(args: &Args) -> Result<(), String> {
         println!("strategy   : {}", config.strategy);
         println!("generator  : {}", config.generator);
         println!("workers    : {}", config.workers);
+        if let Some(p) = result.pre_verdict.exact_probability() {
+            println!(
+                "pre-verdict: {} — exact P = {p} from the static fixpoint, no samples drawn",
+                result.pre_verdict
+            );
+        }
         println!(
             "paths      : {} (satisfied {}, bound-exceeded {}, hold-violated {}, deadlock {}, timelock {})",
             result.stats.total(),
@@ -198,6 +256,7 @@ fn build_report(
             successes: result.estimate.successes,
         },
         convergence: obs.convergence(),
+        pre_verdict: Some(result.pre_verdict.as_str().to_string()),
         paths: PathInfo {
             satisfied: stats.satisfied,
             time_bound_exceeded: stats.time_bound_exceeded,
@@ -221,6 +280,37 @@ fn build_report(
             .collect(),
         workers,
         metrics: obs.snapshot(),
+    }
+}
+
+/// Pins every location the goal names into the prune plan, so the
+/// property stays expressible on the pruned network.
+fn keep_goal_locations(goal: &Goal, plan: &mut PrunePlan) {
+    match goal {
+        Goal::Expr(_) => {}
+        Goal::InLocation(p, l) => plan.keep_location(*p, *l),
+        Goal::And(a, b) | Goal::Or(a, b) => {
+            keep_goal_locations(a, plan);
+            keep_goal_locations(b, plan);
+        }
+        Goal::Not(a) => keep_goal_locations(a, plan),
+    }
+}
+
+/// Rewrites the goal's location atoms through the prune maps. Variables
+/// are never pruned, so expression atoms pass through unchanged.
+fn remap_goal(goal: Goal, maps: &PruneMaps) -> Goal {
+    match goal {
+        Goal::Expr(e) => Goal::Expr(e),
+        Goal::InLocation(p, l) => {
+            let new = maps.locs[p.0][l.0].expect("goal locations are pinned before pruning");
+            Goal::InLocation(p, new)
+        }
+        Goal::And(a, b) => {
+            Goal::And(Box::new(remap_goal(*a, maps)), Box::new(remap_goal(*b, maps)))
+        }
+        Goal::Or(a, b) => Goal::Or(Box::new(remap_goal(*a, maps)), Box::new(remap_goal(*b, maps))),
+        Goal::Not(a) => Goal::Not(Box::new(remap_goal(*a, maps))),
     }
 }
 
@@ -368,6 +458,60 @@ mod tests {
         let last = report.convergence.last().unwrap();
         assert_eq!(last.samples, report.estimate.samples);
         assert!((last.mean - report.estimate.mean).abs() < 1e-12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Path of a model under `examples/models/` relative to this crate.
+    fn example(name: &str) -> String {
+        format!("{}/../../examples/models/{name}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn prune_differential_identical_reports() {
+        // `--prune` must be observationally invisible: at a fixed
+        // (seed, workers) the pruned and unpruned runs draw the same
+        // paths and produce bit-identical estimates.
+        let model = example("prunable.slim");
+        let base = std::env::temp_dir().join("slimsim_test_prune_base.json");
+        let pruned = std::env::temp_dir().join("slimsim_test_prune_pruned.json");
+        let common = format!(
+            "analyze {model} --root Pump.Main --bound 1.0 --goal-var root.done \
+             --no-lint --seed 11 --epsilon 0.1 --delta 0.1 --quiet"
+        );
+        run(&args(&format!("{common} --report {}", base.display()))).expect("unpruned run");
+        run(&args(&format!("{common} --prune --report {}", pruned.display()))).expect("pruned run");
+        let read = |p: &std::path::Path| {
+            let text = std::fs::read_to_string(p).unwrap();
+            RunReport::from_json(&slim_obs::Json::parse(&text).unwrap()).expect("schema parses")
+        };
+        let (a, b) = (read(&base), read(&pruned));
+        assert_eq!(a.estimate.mean.to_bits(), b.estimate.mean.to_bits());
+        assert_eq!(a.estimate.samples, b.estimate.samples);
+        assert_eq!(a.estimate.successes, b.estimate.successes);
+        assert_eq!(a.paths.total_steps, b.paths.total_steps);
+        assert!(a.estimate.samples > 0, "goal must be reachable so sampling runs");
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&pruned);
+    }
+
+    #[test]
+    fn pre_verdict_unreachable_skips_sampling() {
+        // The static fixpoint proves `done` unreachable in broken.slim,
+        // so the analysis returns exact P = 0 without drawing a sample.
+        let path = std::env::temp_dir().join("slimsim_test_preverdict_report.json");
+        let a = args(&format!(
+            "analyze {} --root Probe.Main --bound 2.0 --goal-var root.done \
+             --no-lint --quiet --report {}",
+            example("broken.slim"),
+            path.display()
+        ));
+        run(&a).expect("analysis succeeds");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report =
+            RunReport::from_json(&slim_obs::Json::parse(&text).unwrap()).expect("schema parses");
+        assert_eq!(report.pre_verdict.as_deref(), Some("unreachable"));
+        assert_eq!(report.estimate.samples, 0);
+        assert_eq!(report.estimate.mean, 0.0);
         let _ = std::fs::remove_file(&path);
     }
 

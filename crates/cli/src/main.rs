@@ -30,7 +30,7 @@ USAGE:
                       [--script <file>] [--save-trace <file>]
   slimsim replay <trace.jsonl>                    verify a recorded trace
   slimsim info <model> [--dot]                    print the lowered network
-  slimsim lint <model> [--json]                   static lint passes (S0xx/S1xx/S2xx)
+  slimsim lint <model> [--json]                   static lint passes (S0xx-S3xx)
   slimsim report <file.json>                      validate + summarize a run report
   slimsim validate <file.slim> [--root Type.Impl] static analysis + lowering check
 
@@ -64,12 +64,15 @@ OPTIONS:
   --witnesses <k>        (analyze) keep first k goal + k lock paths [2]
   --report <file>        (analyze) write a JSON run report (see `slimsim report`)
   --progress             (analyze) live progress line with p-hat ± half-width
+  --prune                (analyze) strip statically dead transitions/locations
+  --analysis-summary <file> (analyze) write the fixpoint proof artifact JSON
 
 LINTS (lint/analyze):
   --json                 (lint) one JSON object per diagnostic, one per line
   --allow/--warn/--deny <codes>  comma-separated lint codes or names
   --deny-lints           treat warning-level lints as errors
   --no-lint              (analyze) skip the pre-flight lint stage
+  --verify-bytecode      (lint) verify the compiled step-table bytecode
 ";
 
 fn main() {

@@ -34,6 +34,12 @@ pub struct SimConfig {
     pub seed: u64,
     /// Number of worker threads (1 = sequential).
     pub workers: usize,
+    /// Consult the static fixpoint analysis before sampling and
+    /// short-circuit with an exact `P = 0` / `P = 1` when it decides the
+    /// property (see [`crate::preverdict`]). On by default; disable to
+    /// force sampling (e.g. to reproduce dynamic errors a short-circuited
+    /// run would skip).
+    pub static_pre_verdicts: bool,
 }
 
 impl Default for SimConfig {
@@ -46,6 +52,7 @@ impl Default for SimConfig {
             max_steps: 1_000_000,
             seed: 0xC0_FF_EE,
             workers: 1,
+            static_pre_verdicts: true,
         }
     }
 }
@@ -88,6 +95,12 @@ impl SimConfig {
     /// Builder-style deadlock-policy setter.
     pub fn with_deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
         self.deadlock_policy = policy;
+        self
+    }
+
+    /// Builder-style toggle for static property pre-verdicts.
+    pub fn with_static_pre_verdicts(mut self, enabled: bool) -> Self {
+        self.static_pre_verdicts = enabled;
         self
     }
 }

@@ -41,6 +41,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod obs;
+pub mod preverdict;
 pub mod property;
 pub mod rare_event;
 pub mod replay;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::engine::{PathGenerator, SimScratch};
     pub use crate::error::SimError;
     pub use crate::obs::{SimObserver, WorkerStat};
+    pub use crate::preverdict::{pre_verdict, PreVerdict};
     pub use crate::property::{CompiledGoal, Goal, GoalPool, TimedReach};
     pub use crate::rare_event::{analyze_rare, RareEventConfig, RareEventResult};
     pub use crate::replay::{replay_events, ReplayOutcome};

@@ -1,0 +1,188 @@
+//! Static property pre-verdicts — consumer 1 of the `slim-analysis`
+//! fixpoint engine.
+//!
+//! Before any path is generated, [`crate::runner::analyze`] consults the
+//! abstract-interpretation fixpoint: when the goal predicate is false in
+//! *every* state of the over-approximation, the timed-reachability
+//! probability is exactly 0 and the run completes with **zero samples**;
+//! dually, a goal that already holds in the concrete initial state has
+//! probability exactly 1, because `◇[0,u]` includes time 0 (and for
+//! bounded until there is no earlier instant at which `hold` could fail).
+//!
+//! Soundness rests on the fixpoint's global store being an upper bound of
+//! every reachable valuation with timed variables pinned to ⊤ — so a
+//! definite `false` from the abstract evaluation covers states reached
+//! *mid-delay* as well as at transition instants, and location atoms are
+//! delay-invariant by construction.
+//!
+//! Pre-verdicts answer the probability question only: a short-circuited
+//! run draws no paths, so dynamic errors a simulation would have surfaced
+//! (deadlocks under [`crate::config::DeadlockPolicy::Error`], non-linear
+//! guard evaluation errors) are not reproduced. Disable with
+//! [`crate::config::SimConfig::with_static_pre_verdicts`] to force
+//! sampling.
+
+use crate::property::{Goal, TimedReach};
+use slim_analysis::Fixpoint;
+use slim_automata::prelude::Network;
+
+/// Outcome of the static pre-analysis of a property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreVerdict {
+    /// The abstraction cannot decide the property; sampling proceeds.
+    #[default]
+    Unknown,
+    /// The goal is unreachable in the abstraction: exactly `P = 0`.
+    Unreachable,
+    /// The goal holds in the initial state: exactly `P = 1`.
+    InitiallySatisfied,
+}
+
+impl PreVerdict {
+    /// The exact probability this verdict pins down, if any.
+    pub fn exact_probability(&self) -> Option<f64> {
+        match self {
+            PreVerdict::Unknown => None,
+            PreVerdict::Unreachable => Some(0.0),
+            PreVerdict::InitiallySatisfied => Some(1.0),
+        }
+    }
+
+    /// Stable machine-readable name (used in run reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PreVerdict::Unknown => "unknown",
+            PreVerdict::Unreachable => "unreachable",
+            PreVerdict::InitiallySatisfied => "initially-satisfied",
+        }
+    }
+}
+
+impl std::fmt::Display for PreVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Computes the pre-verdict for `property` on `net`.
+///
+/// Errors during the concrete initial-state check make that check
+/// inconclusive rather than failing the analysis — the simulation will
+/// deterministically reproduce them on the first path.
+pub fn pre_verdict(net: &Network, property: &TimedReach) -> PreVerdict {
+    if let Ok(init) = net.initial_state() {
+        if property.goal.holds(net, &init) == Ok(true) {
+            return PreVerdict::InitiallySatisfied;
+        }
+    }
+    let fix = slim_analysis::analyze_network(net);
+    if may_hold(&property.goal, &fix) == Some(false) {
+        return PreVerdict::Unreachable;
+    }
+    PreVerdict::Unknown
+}
+
+/// Three-valued abstract evaluation of a goal over the stabilized
+/// fixpoint: `Some(b)` means the goal evaluates to `b` in **every** state
+/// of the over-approximation (hence in every reachable state), `None`
+/// means undecided.
+fn may_hold(goal: &Goal, fix: &Fixpoint) -> Option<bool> {
+    match goal {
+        Goal::Expr(e) => fix.may_expr(e),
+        Goal::InLocation(p, l) => {
+            if fix.loc_reachable(*p, *l) {
+                None
+            } else {
+                Some(false)
+            }
+        }
+        Goal::And(a, b) => match (may_hold(a, fix), may_hold(b, fix)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Goal::Or(a, b) => match (may_hold(a, fix), may_hold(b, fix)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Goal::Not(a) => may_hold(a, fix).map(|b| !b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_automata::prelude::*;
+
+    /// `idle --x≥5--> alarm` plus an unreachable `never` location; a flag
+    /// that is never set.
+    fn net() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let _flag = b.var("flag", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let idle = a.location("idle");
+        let alarm = a.location("alarm");
+        let never = a.location("never");
+        a.guarded(idle, ActionId::TAU, Expr::var(x).ge(Expr::real(5.0)), [], alarm);
+        a.guarded(alarm, ActionId::TAU, Expr::FALSE, [], never);
+        b.add_automaton(a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unreachable_location_gives_zero() {
+        let net = net();
+        let goal = Goal::in_location(&net, "p", "never").unwrap();
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 10.0)), PreVerdict::Unreachable);
+    }
+
+    #[test]
+    fn dead_flag_expression_gives_zero() {
+        let net = net();
+        let flag = net.var_id("flag").unwrap();
+        let goal = Goal::expr(Expr::var(flag));
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 10.0)), PreVerdict::Unreachable);
+    }
+
+    #[test]
+    fn initially_true_goal_gives_one() {
+        let net = net();
+        let goal = Goal::in_location(&net, "p", "idle").unwrap();
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 10.0)), PreVerdict::InitiallySatisfied);
+    }
+
+    #[test]
+    fn reachable_goal_stays_unknown() {
+        let net = net();
+        let goal = Goal::in_location(&net, "p", "alarm").unwrap();
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 10.0)), PreVerdict::Unknown);
+    }
+
+    #[test]
+    fn combinators_compose_three_valued() {
+        let net = net();
+        let dead = Goal::in_location(&net, "p", "never").unwrap();
+        let maybe = Goal::in_location(&net, "p", "alarm").unwrap();
+        // dead ∧ maybe is still dead; dead ∨ maybe is undecided; ¬dead is
+        // definitely true (P = 1: it holds initially too, but the And/Or
+        // paths below bypass the concrete check).
+        let p = TimedReach::new(dead.clone().and(maybe.clone()), 10.0);
+        assert_eq!(pre_verdict(&net, &p), PreVerdict::Unreachable);
+        let p = TimedReach::new(dead.clone().or(maybe), 10.0);
+        assert_eq!(pre_verdict(&net, &p), PreVerdict::Unknown);
+        let p = TimedReach::new(dead.not(), 10.0);
+        assert_eq!(pre_verdict(&net, &p), PreVerdict::InitiallySatisfied);
+    }
+
+    #[test]
+    fn timed_goals_are_never_decided_dead_by_the_clock() {
+        // x ≥ 5 is false initially but reachable mid-delay: the store pins
+        // timed variables to ⊤, so the abstraction must stay undecided.
+        let net = net();
+        let x = net.var_id("x").unwrap();
+        let goal = Goal::expr(Expr::var(x).ge(Expr::real(5.0)));
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 10.0)), PreVerdict::Unknown);
+    }
+}

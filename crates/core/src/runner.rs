@@ -16,6 +16,7 @@ use crate::config::{DeadlockPolicy, SimConfig};
 use crate::engine::{PathGenerator, SimScratch};
 use crate::error::SimError;
 use crate::obs::SimObserver;
+use crate::preverdict::{pre_verdict, PreVerdict};
 use crate::property::TimedReach;
 use crate::strategy::Strategy;
 use crate::verdict::{PathOutcome, PathStats, Verdict};
@@ -40,6 +41,10 @@ pub struct AnalysisResult {
     /// Approximate peak memory attributable to the analysis (state size +
     /// bookkeeping), in bytes — the simulator's memory column of Table I.
     pub approx_memory_bytes: usize,
+    /// Static pre-verdict: [`PreVerdict::Unknown`] when the estimate was
+    /// sampled, otherwise the exact short-circuit that produced it (with
+    /// `estimate.samples == 0`).
+    pub pre_verdict: PreVerdict,
 }
 
 impl AnalysisResult {
@@ -133,6 +138,13 @@ pub fn analyze_observed(
     config: &SimConfig,
     obs: Option<&SimObserver>,
 ) -> Result<AnalysisResult, SimError> {
+    if config.static_pre_verdicts {
+        let start = Instant::now();
+        let verdict = pre_verdict(net, property);
+        if let Some(p) = verdict.exact_probability() {
+            return Ok(exact_result(net, verdict, p, start, obs));
+        }
+    }
     let source = EngineSource {
         gen: PathGenerator::new(net, property, config.max_steps),
         seed: config.seed,
@@ -141,6 +153,31 @@ pub fn analyze_observed(
         analyze_sequential_impl(&source, config, obs)
     } else {
         analyze_parallel_impl(&source, config, obs)
+    }
+}
+
+/// Builds the zero-sample result of a decisive static pre-verdict. The
+/// estimate is exact (`epsilon = 0`, `confidence = 1`), and the `static`
+/// phase records the fixpoint time so instrumented reports stay non-empty.
+fn exact_result(
+    net: &Network,
+    verdict: PreVerdict,
+    p: f64,
+    start: Instant,
+    obs: Option<&SimObserver>,
+) -> AnalysisResult {
+    let stats = PathStats::default();
+    let estimate = Estimate { mean: p, samples: 0, successes: 0, epsilon: 0.0, confidence: 1.0 };
+    if let Some(o) = obs {
+        o.record_phase("static", start.elapsed());
+        o.on_progress(0, Some(0), Some((p, 0.0)));
+    }
+    AnalysisResult {
+        estimate,
+        stats,
+        wall: start.elapsed(),
+        approx_memory_bytes: approx_memory(net.state_size_bytes(), &stats),
+        pre_verdict: verdict,
     }
 }
 
@@ -222,6 +259,7 @@ fn finish_run(
         stats,
         wall: start.elapsed(),
         approx_memory_bytes: approx_memory(state_bytes, &stats),
+        pre_verdict: PreVerdict::Unknown,
     }
 }
 
@@ -544,13 +582,54 @@ mod tests {
         b.add_automaton(a);
         let net = b.build().unwrap();
         let prop = TimedReach::new(Goal::expr(Expr::FALSE), 1.0);
-        let cfg = loose().with_deadlock_policy(DeadlockPolicy::Error);
+        // A constant-false goal is decided statically; disable pre-verdicts
+        // to exercise the dynamic deadlock machinery.
+        let cfg =
+            loose().with_deadlock_policy(DeadlockPolicy::Error).with_static_pre_verdicts(false);
         assert!(matches!(analyze(&net, &prop, &cfg), Err(SimError::DeadlockDetected { .. })));
         // Falsify counts them as false samples instead.
-        let cfg = loose().with_deadlock_policy(DeadlockPolicy::Falsify);
+        let cfg =
+            loose().with_deadlock_policy(DeadlockPolicy::Falsify).with_static_pre_verdicts(false);
         let r = analyze(&net, &prop, &cfg).unwrap();
         assert_eq!(r.probability(), 0.0);
         assert_eq!(r.stats.deadlocks, r.stats.total());
+        // With pre-verdicts on (the default), the same property
+        // short-circuits to an exact zero before any path is drawn — even
+        // under the Error policy, which a zero-sample run cannot trip.
+        let r = analyze(&net, &prop, &loose().with_deadlock_policy(DeadlockPolicy::Error)).unwrap();
+        assert_eq!(r.pre_verdict, PreVerdict::Unreachable);
+        assert_eq!(r.probability(), 0.0);
+        assert_eq!(r.estimate.samples, 0);
+    }
+
+    #[test]
+    fn pre_verdicts_short_circuit_before_sampling() {
+        let (net, prop) = exp_net(1.0);
+        // Unreachable goal: conjunction with constant false.
+        let dead = TimedReach::new(prop.goal.clone().and(Goal::expr(Expr::FALSE)), 1.0);
+        let r = analyze(&net, &dead, &loose()).unwrap();
+        assert_eq!(r.pre_verdict, PreVerdict::Unreachable);
+        assert_eq!(r.estimate.samples, 0);
+        assert_eq!(r.estimate.epsilon, 0.0);
+        assert_eq!(r.estimate.confidence, 1.0);
+        assert_eq!(r.probability(), 0.0);
+        assert_eq!(r.stats.total(), 0);
+        // Initially-satisfied goal: the `ok` location.
+        let init = TimedReach::new(Goal::in_location(&net, "err", "ok").unwrap(), 1.0);
+        let r = analyze(&net, &init, &loose()).unwrap();
+        assert_eq!(r.pre_verdict, PreVerdict::InitiallySatisfied);
+        assert_eq!(r.estimate.samples, 0);
+        assert_eq!(r.probability(), 1.0);
+        // The sampled path reports Unknown.
+        let r = analyze(&net, &prop, &loose()).unwrap();
+        assert_eq!(r.pre_verdict, PreVerdict::Unknown);
+        assert!(r.estimate.samples > 0);
+        // Observed short-circuits record a non-empty phase list.
+        let obs = SimObserver::new(1);
+        analyze_observed(&net, &dead, &loose(), Some(&obs)).unwrap();
+        let phases = obs.phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "static");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   variables/events ([`passes`]);
 //! * **`S2xx`** — network well-formedness rules, i.e. the
 //!   [`slim_automata::validate::validate_all`] violations re-expressed as
-//!   diagnostics ([`wellformed`]).
+//!   diagnostics ([`wellformed`]);
+//! * **`S3xx`** — semantic lints backed by the `slim-analysis`
+//!   abstract-interpretation fixpoint: provably out-of-range assignments
+//!   and guard comparisons on provably-constant variables ([`passes`]).
 //!
 //! ## Example
 //!

@@ -1,12 +1,19 @@
-//! Network-level static lint passes (`S1xx`) over an instantiated,
+//! Network-level static lint passes (`S1xx`/`S3xx`) over an instantiated,
 //! well-formed [`Network`].
 //!
-//! The passes are conservative: they only report what can be established
-//! from the static structure (graph reachability through transitions and
-//! sync vectors, abstract ranges derived from variable types, the linear
-//! delay solver at the initial state). A reported `S10x` is a definite
-//! structural fact about the network; the *interpretation* (deadlock,
-//! timelock) is a possibility, which is why those lints default to notes.
+//! The passes are backed by the abstract-interpretation fixpoint of
+//! [`slim_analysis`]: location reachability, transition liveness and
+//! variable ranges all come from one [`Fixpoint`], the same analysis the
+//! simulator's pre-verdicts and the pruner consult. That makes the
+//! verdicts strictly stronger than per-transition type-range checks
+//! (constant propagation, guard refinement and sync-closure feed into
+//! every answer) and keeps each structural fact reported exactly once: a
+//! dead guard is an S101, and the location it strands is *not* repeated
+//! as an S100 unless something else also makes it unreachable.
+//!
+//! A reported lint is a definite structural fact about the network; the
+//! *interpretation* (deadlock, timelock) is a possibility, which is why
+//! those lints default to notes.
 //!
 //! **Precondition:** the network passed [`slim_automata::validate`]
 //! well-formedness (all indices in range, guards Boolean). Call
@@ -15,128 +22,92 @@
 
 use crate::diagnostic::Diagnostic;
 use crate::registry::Code;
-use slim_automata::automaton::GuardKind;
+use slim_analysis::{analyze_network, AbsVal, Fixpoint, TransStatus};
+use slim_automata::automaton::{GuardKind, LocId, ProcId, TransId};
 use slim_automata::expr::{BinOp, Expr, VarId};
 use slim_automata::linear::{solve, DelayEnv};
 use slim_automata::network::Network;
-use slim_automata::value::{Value, VarType};
 
 /// Runs every network-level pass, returning diagnostics at their codes'
 /// default severities (apply a [`crate::LintConfig`] afterwards).
 pub fn network_passes(net: &Network) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let reach = reachable_locations(net);
-    unreachable_locations(net, &reach, &mut out);
-    unsatisfiable_guards(net, &mut out);
+    let fix = analyze_network(net);
+    unreachable_locations(net, &fix, &mut out);
+    unsatisfiable_guards(net, &fix, &mut out);
     entry_invariants(net, &mut out);
-    absorbing_and_timelock(net, &reach, &mut out);
+    absorbing_and_timelock(net, &fix, &mut out);
     sync_mismatches(net, &mut out);
     unused_variables(net, &mut out);
     unused_actions(net, &mut out);
+    out_of_range_effects(net, &fix, &mut out);
+    constant_guard_comparisons(net, &fix, &mut out);
     out
 }
 
-/// Per-automaton location reachability, over-approximating synchronization:
-/// a transition labeled with a sync action is considered usable once every
-/// participant of that action has the action available from some location
-/// currently known reachable. Internal (τ) and Markovian transitions are
-/// always usable from a reachable source. Guards that are statically
-/// unsatisfiable (the same abstract interval evaluation S101 reports on)
-/// are non-traversable; all other guards are ignored (any location this
-/// fixpoint misses is unreachable under *every* valuation).
-fn reachable_locations(net: &Network) -> Vec<Vec<bool>> {
-    let automata = net.automata();
-    let ty_of = |v: VarId| net.ty_of(v);
-    let dead_guard = |g: &Expr| abs_eval(g, &ty_of) == Abs::Bool(Some(false));
-    let mut reach: Vec<Vec<bool>> = automata
-        .iter()
-        .map(|a| {
-            let mut r = vec![false; a.locations.len()];
-            if a.init.0 < r.len() {
-                r[a.init.0] = true;
-            }
-            r
-        })
-        .collect();
-    loop {
-        let mut changed = false;
-        for (p, a) in automata.iter().enumerate() {
-            for t in &a.transitions {
-                if !reach[p][t.from.0] || reach[p][t.to.0] {
-                    continue;
-                }
-                let usable = match &t.guard {
-                    GuardKind::Markovian(_) => true,
-                    GuardKind::Boolean(g) if dead_guard(g) => false,
-                    GuardKind::Boolean(_) => {
-                        t.action.is_tau()
-                            || net.participants(t.action).iter().all(|&q| {
-                                q.0 == p
-                                    || automata[q.0]
-                                        .transitions
-                                        .iter()
-                                        .any(|u| u.action == t.action && reach[q.0][u.from.0])
-                            })
-                    }
-                };
-                if usable {
-                    reach[p][t.to.0] = true;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    reach
-}
-
-/// S100: locations the reachability fixpoint never marks.
-fn unreachable_locations(net: &Network, reach: &[Vec<bool>], out: &mut Vec<Diagnostic>) {
+/// S100: locations the fixpoint proves unreachable in every concrete run.
+///
+/// A location whose every incoming transition is itself reported as an
+/// unsatisfiable guard (S101) is *not* repeated here: the S101 already
+/// pinpoints the root cause and the S100 would restate it. Cascaded
+/// unreachability — incoming edges from other unreachable locations,
+/// sync-blocked edges, or no incoming edge at all — is still reported.
+fn unreachable_locations(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
     for (p, a) in net.automata().iter().enumerate() {
         for (l, loc) in a.locations.iter().enumerate() {
-            if !reach[p][l] {
-                out.push(
-                    Diagnostic::new(
-                        Code::UnreachableLocation,
-                        format!("location `{}` of automaton `{}` is unreachable", loc.name, a.name),
-                    )
-                    .with_help(
-                        "no sequence of internal, Markovian, or synchronizable \
-                         transitions can reach it from the initial location",
-                    ),
-                );
+            if fix.loc_reachable(ProcId(p), LocId(l)) {
+                continue;
             }
+            let mut incoming = a.transitions.iter().enumerate().filter(|(_, t)| t.to.0 == l);
+            let explained_by_s101 = incoming.clone().next().is_some()
+                && incoming.all(|(t, _)| {
+                    fix.trans_status(ProcId(p), TransId(t)) == TransStatus::DeadGuard
+                });
+            if explained_by_s101 {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    Code::UnreachableLocation,
+                    format!("location `{}` of automaton `{}` is unreachable", loc.name, a.name),
+                )
+                .with_help(
+                    "no sequence of internal, Markovian, or synchronizable \
+                     transitions can reach it from the initial location",
+                ),
+            );
         }
     }
 }
 
-/// S101: Boolean guards that are false for every valuation admitted by
-/// the variables' declared types (abstract interval evaluation).
-fn unsatisfiable_guards(net: &Network, out: &mut Vec<Diagnostic>) {
-    let ty_of = |v: VarId| net.ty_of(v);
-    for a in net.automata() {
-        for t in &a.transitions {
-            let GuardKind::Boolean(g) = &t.guard else { continue };
-            if abs_eval(g, &ty_of) == Abs::Bool(Some(false)) {
-                let from = &a.locations[t.from.0].name;
-                let to = &a.locations[t.to.0].name;
-                out.push(
-                    Diagnostic::new(
-                        Code::UnsatisfiableGuard,
-                        format!(
-                            "guard `{}` on transition `{from}` -> `{to}` of `{}` can never be true",
-                            net.render_expr(g),
-                            a.name
-                        ),
-                    )
-                    .with_help(
-                        "the guard is unsatisfiable for every valuation within \
-                         the variables' declared ranges; the transition is dead",
-                    ),
-                );
+/// S101: transitions whose Boolean guard is unsatisfiable in every
+/// valuation the fixpoint admits at their (reachable) source location.
+/// Guards on transitions from unreachable sources are not reported — the
+/// guard is never evaluated there, and the source's own diagnostic
+/// already covers the dead code.
+fn unsatisfiable_guards(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
+    for (p, a) in net.automata().iter().enumerate() {
+        for (t, trans) in a.transitions.iter().enumerate() {
+            if fix.trans_status(ProcId(p), TransId(t)) != TransStatus::DeadGuard {
+                continue;
             }
+            let GuardKind::Boolean(g) = &trans.guard else { continue };
+            let from = &a.locations[trans.from.0].name;
+            let to = &a.locations[trans.to.0].name;
+            out.push(
+                Diagnostic::new(
+                    Code::UnsatisfiableGuard,
+                    format!(
+                        "guard `{}` on transition `{from}` -> `{to}` of `{}` can never be true",
+                        net.render_expr(g),
+                        a.name
+                    ),
+                )
+                .with_help(
+                    "the guard is unsatisfiable for every valuation the analysis \
+                     admits at the source location; the transition is dead",
+                ),
+            );
         }
     }
 }
@@ -180,10 +151,12 @@ fn entry_invariants(net: &Network, out: &mut Vec<Diagnostic>) {
 /// With a time-bounded invariant that is a potential timelock (S104:
 /// time cannot pass beyond the bound and there is no escape); otherwise a
 /// potential deadlock (S103, often an intentional failure sink).
-fn absorbing_and_timelock(net: &Network, reach: &[Vec<bool>], out: &mut Vec<Diagnostic>) {
+fn absorbing_and_timelock(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
     for (p, a) in net.automata().iter().enumerate() {
         for (l, loc) in a.locations.iter().enumerate() {
-            if !reach[p][l] || a.transitions.iter().any(|t| t.from.0 == l) {
+            if !fix.loc_reachable(ProcId(p), LocId(l))
+                || a.transitions.iter().any(|t| t.from.0 == l)
+            {
                 continue;
             }
             let time_bounded = !loc.invariant.is_const_true()
@@ -318,204 +291,101 @@ fn unused_actions(net: &Network, out: &mut Vec<Diagnostic>) {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Abstract interval evaluation over declared variable ranges (for S101).
-// ---------------------------------------------------------------------------
-
-/// Abstract value: a three-valued Boolean or a numeric interval (bounds
-/// may be infinite). Sound over-approximation of every concrete valuation
-/// admitted by the variables' declared types.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Abs {
-    /// `Some(b)` = definitely `b`; `None` = unknown.
-    Bool(Option<bool>),
-    /// All values in `[lo, hi]`.
-    Num(f64, f64),
-}
-
-const UNKNOWN: Abs = Abs::Bool(None);
-const TOP_NUM: Abs = Abs::Num(f64::NEG_INFINITY, f64::INFINITY);
-
-/// Sanitizing constructor: NaN bounds (from ∞ − ∞ and friends) widen to
-/// the corresponding infinity.
-fn num(lo: f64, hi: f64) -> Abs {
-    let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
-    let hi = if hi.is_nan() { f64::INFINITY } else { hi };
-    Abs::Num(lo, hi)
-}
-
-fn range_of(ty: VarType) -> Abs {
-    match ty {
-        VarType::Bool => Abs::Bool(None),
-        VarType::Int { lo, hi } => Abs::Num(lo as f64, hi as f64),
-        VarType::Real | VarType::Clock | VarType::Continuous => TOP_NUM,
+/// S300: effects on live transitions that provably assign outside their
+/// target's declared range — every firing of the transition aborts the
+/// run with a range error at exactly that assignment.
+fn out_of_range_effects(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
+    for &(p, t, i) in fix.doomed_effects() {
+        let a = &net.automata()[p.0];
+        let trans = &a.transitions[t.0];
+        let eff = &trans.effects[i];
+        let var = &net.vars()[eff.var.0].name;
+        let from = &a.locations[trans.from.0].name;
+        let to = &a.locations[trans.to.0].name;
+        out.push(
+            Diagnostic::new(
+                Code::EffectOutOfRange,
+                format!(
+                    "effect `{var} := {}` on transition `{from}` -> `{to}` of `{}` provably \
+                     assigns outside the declared range of `{var}`",
+                    net.render_expr(&eff.expr),
+                    a.name
+                ),
+            )
+            .with_help(
+                "every firing aborts the run with a range error; widen the \
+                 variable's type or fix the expression",
+            ),
+        );
     }
 }
 
-/// Evaluates `e` over the abstract ranges of its variables' types.
-fn abs_eval(e: &Expr, ty_of: &dyn Fn(VarId) -> VarType) -> Abs {
-    match e {
-        Expr::Const(Value::Bool(b)) => Abs::Bool(Some(*b)),
-        Expr::Const(Value::Int(i)) => Abs::Num(*i as f64, *i as f64),
-        Expr::Const(Value::Real(r)) => Abs::Num(*r, *r),
-        Expr::Var(v) => range_of(ty_of(*v)),
-        Expr::Not(x) => match abs_eval(x, ty_of) {
-            Abs::Bool(b) => Abs::Bool(b.map(|b| !b)),
-            Abs::Num(..) => UNKNOWN,
-        },
-        Expr::Neg(x) => match abs_eval(x, ty_of) {
-            Abs::Num(lo, hi) => num(-hi, -lo),
-            Abs::Bool(_) => TOP_NUM,
-        },
-        Expr::Bin(op, a, b) => abs_bin(*op, abs_eval(a, ty_of), abs_eval(b, ty_of)),
-        Expr::Ite(c, t, e) => match abs_eval(c, ty_of) {
-            Abs::Bool(Some(true)) => abs_eval(t, ty_of),
-            Abs::Bool(Some(false)) => abs_eval(e, ty_of),
-            _ => join(abs_eval(t, ty_of), abs_eval(e, ty_of)),
-        },
-    }
-}
-
-/// Least upper bound of two abstract values (for unknown-condition `ite`).
-fn join(a: Abs, b: Abs) -> Abs {
-    match (a, b) {
-        (Abs::Bool(x), Abs::Bool(y)) => Abs::Bool(if x == y { x } else { None }),
-        (Abs::Num(al, ah), Abs::Num(bl, bh)) => Abs::Num(al.min(bl), ah.max(bh)),
-        // Mixed kinds cannot type-check; stay unknown.
-        _ => UNKNOWN,
-    }
-}
-
-fn abs_bin(op: BinOp, a: Abs, b: Abs) -> Abs {
-    use BinOp::*;
-    match op {
-        And | Or | Xor | Implies => {
-            let (Abs::Bool(x), Abs::Bool(y)) = (a, b) else { return UNKNOWN };
-            Abs::Bool(match op {
-                And => match (x, y) {
-                    (Some(false), _) | (_, Some(false)) => Some(false),
-                    (Some(true), Some(true)) => Some(true),
-                    _ => None,
-                },
-                Or => match (x, y) {
-                    (Some(true), _) | (_, Some(true)) => Some(true),
-                    (Some(false), Some(false)) => Some(false),
-                    _ => None,
-                },
-                Xor => match (x, y) {
-                    (Some(x), Some(y)) => Some(x != y),
-                    _ => None,
-                },
-                Implies => match (x, y) {
-                    (Some(false), _) | (_, Some(true)) => Some(true),
-                    (Some(true), Some(false)) => Some(false),
-                    _ => None,
-                },
-                _ => unreachable!(),
-            })
-        }
-        Eq | Ne => {
-            let eq = match (a, b) {
-                (Abs::Bool(Some(x)), Abs::Bool(Some(y))) => Some(x == y),
-                (Abs::Num(al, ah), Abs::Num(bl, bh)) => {
-                    if al == ah && bl == bh && al == bl {
-                        Some(true)
-                    } else if ah < bl || bh < al {
-                        Some(false)
-                    } else {
-                        None
-                    }
-                }
-                _ => None,
-            };
-            Abs::Bool(if op == Ne { eq.map(|e| !e) } else { eq })
-        }
-        Lt | Le | Gt | Ge => {
-            let (Abs::Num(al, ah), Abs::Num(bl, bh)) = (a, b) else { return UNKNOWN };
-            Abs::Bool(match op {
-                Lt => {
-                    if ah < bl {
-                        Some(true)
-                    } else if al >= bh {
-                        Some(false)
-                    } else {
-                        None
-                    }
-                }
-                Le => {
-                    if ah <= bl {
-                        Some(true)
-                    } else if al > bh {
-                        Some(false)
-                    } else {
-                        None
-                    }
-                }
-                Gt => {
-                    if al > bh {
-                        Some(true)
-                    } else if ah <= bl {
-                        Some(false)
-                    } else {
-                        None
-                    }
-                }
-                Ge => {
-                    if al >= bh {
-                        Some(true)
-                    } else if ah < bl {
-                        Some(false)
-                    } else {
-                        None
-                    }
-                }
-                _ => unreachable!(),
-            })
-        }
-        Add | Sub | Mul | Div | Min | Max => {
-            let (Abs::Num(al, ah), Abs::Num(bl, bh)) = (a, b) else { return TOP_NUM };
-            match op {
-                Add => num(al + bl, ah + bh),
-                Sub => num(al - bh, ah - bl),
-                Mul => {
-                    let p = [
-                        mul_bound(al, bl),
-                        mul_bound(al, bh),
-                        mul_bound(ah, bl),
-                        mul_bound(ah, bh),
-                    ];
-                    num(
-                        p.iter().copied().fold(f64::INFINITY, f64::min),
-                        p.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+/// S301: comparisons inside live guards that read a variable the fixpoint
+/// proves constant over all reachable states. The comparison contributes
+/// nothing at runtime — often a sign the variable was meant to be updated
+/// somewhere. Dead guards are excluded (they are S101's to report).
+fn constant_guard_comparisons(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
+    for (p, a) in net.automata().iter().enumerate() {
+        for (t, trans) in a.transitions.iter().enumerate() {
+            if fix.trans_status(ProcId(p), TransId(t)) != TransStatus::Live {
+                continue;
+            }
+            let GuardKind::Boolean(g) = &trans.guard else { continue };
+            let mut vars = Vec::new();
+            constant_comparison_vars(g, net, fix, &mut vars);
+            for v in vars {
+                let AbsVal::Num(c, _) = fix.global(v) else { continue };
+                let from = &a.locations[trans.from.0].name;
+                let to = &a.locations[trans.to.0].name;
+                out.push(
+                    Diagnostic::new(
+                        Code::ConstantGuardComparison,
+                        format!(
+                            "guard `{}` of transition `{from}` -> `{to}` of `{}` compares \
+                             `{}`, which provably always equals {c}",
+                            net.render_expr(g),
+                            a.name,
+                            net.vars()[v.0].name
+                        ),
                     )
-                }
-                Div => {
-                    if bl <= 0.0 && 0.0 <= bh {
-                        TOP_NUM
-                    } else {
-                        let p = [al / bl, al / bh, ah / bl, ah / bh];
-                        num(
-                            p.iter().copied().fold(f64::INFINITY, f64::min),
-                            p.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                        )
-                    }
-                }
-                Min => num(al.min(bl), ah.min(bh)),
-                Max => num(al.max(bl), ah.max(bh)),
-                _ => unreachable!(),
+                    .with_help(
+                        "the comparison is decided before the model runs; simplify the \
+                         guard, or check whether the variable should be updated",
+                    ),
+                );
             }
         }
     }
 }
 
-/// Interval-product bound with the convention `0 · ±∞ = 0` (the zero
-/// endpoint is attainable, the infinity is a bound, so their product's
-/// contribution is 0, not NaN).
-fn mul_bound(a: f64, b: f64) -> f64 {
-    if a == 0.0 || b == 0.0 {
-        0.0
-    } else {
-        a * b
+/// Collects variables read by comparison atoms of `e` whose global
+/// abstract value is a single number. Timed variables never qualify (the
+/// store pins them to ⊤ because their values drift with time), and each
+/// variable is reported once per guard, in first-read order.
+fn constant_comparison_vars(e: &Expr, net: &Network, fix: &Fixpoint, out: &mut Vec<VarId>) {
+    use BinOp::*;
+    match e {
+        Expr::Bin(Lt | Le | Gt | Ge | Eq | Ne, a, b) => {
+            for side in [a, b] {
+                for v in side.vars() {
+                    if !net.ty_of(v).is_timed() && fix.global(v).is_singleton() && !out.contains(&v)
+                    {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            constant_comparison_vars(a, net, fix, out);
+            constant_comparison_vars(b, net, fix, out);
+        }
+        Expr::Not(x) | Expr::Neg(x) => constant_comparison_vars(x, net, fix, out),
+        Expr::Ite(c, t, els) => {
+            constant_comparison_vars(c, net, fix, out);
+            constant_comparison_vars(t, net, fix, out);
+            constant_comparison_vars(els, net, fix, out);
+        }
+        Expr::Const(_) | Expr::Var(_) => {}
     }
 }
 
@@ -524,6 +394,7 @@ mod tests {
     use super::*;
     use slim_automata::automaton::{ActionId, Effect};
     use slim_automata::network::{AutomatonBuilder, NetworkBuilder};
+    use slim_automata::value::{Value, VarType};
 
     fn codes(diags: &[Diagnostic]) -> Vec<Code> {
         diags.iter().map(|d| d.code).collect()
@@ -531,54 +402,6 @@ mod tests {
 
     fn by_code(diags: &[Diagnostic], code: Code) -> Vec<&Diagnostic> {
         diags.iter().filter(|d| d.code == code).collect()
-    }
-
-    // ---- abstract evaluation ----
-
-    #[test]
-    fn abs_eval_decides_range_comparisons() {
-        let ty = |_: VarId| VarType::Int { lo: 0, hi: 5 };
-        let x = || Expr::var(VarId(0));
-        assert_eq!(abs_eval(&x().ge(Expr::int(10)), &ty), Abs::Bool(Some(false)));
-        assert_eq!(abs_eval(&x().le(Expr::int(5)), &ty), Abs::Bool(Some(true)));
-        assert_eq!(abs_eval(&x().ge(Expr::int(3)), &ty), Abs::Bool(None));
-        assert_eq!(abs_eval(&x().lt(Expr::int(0)), &ty), Abs::Bool(Some(false)));
-        assert_eq!(abs_eval(&Expr::FALSE.and(x().ge(Expr::int(0))), &ty), Abs::Bool(Some(false)));
-    }
-
-    #[test]
-    fn abs_eval_arithmetic_ranges() {
-        let ty = |_: VarId| VarType::Int { lo: 1, hi: 3 };
-        let x = || Expr::var(VarId(0));
-        // x + x ∈ [2, 6]; x*x ∈ [1, 9]; -x ∈ [-3, -1].
-        assert_eq!(abs_eval(&x().add(x()).gt(Expr::int(6)), &ty), Abs::Bool(Some(false)));
-        assert_eq!(abs_eval(&x().mul(x()).le(Expr::int(9)), &ty), Abs::Bool(Some(true)));
-        assert_eq!(abs_eval(&x().neg().ge(Expr::int(0)), &ty), Abs::Bool(Some(false)));
-        // Division by a range containing zero is unknown.
-        let zero_div = x().div(x().sub(Expr::int(2))).gt(Expr::int(100));
-        assert_eq!(abs_eval(&zero_div, &ty), Abs::Bool(None));
-        // min/max tighten.
-        assert_eq!(abs_eval(&x().min(Expr::int(0)).le(Expr::int(0)), &ty), Abs::Bool(Some(true)));
-    }
-
-    #[test]
-    fn abs_eval_unbounded_vars_stay_unknown() {
-        let ty = |_: VarId| VarType::Clock;
-        let x = || Expr::var(VarId(0));
-        assert_eq!(abs_eval(&x().ge(Expr::real(1e12)), &ty), Abs::Bool(None));
-        // ... but contradictory conjunctions over the same clock are not
-        // detected (per-atom abstraction): document that as unknown.
-        let e = x().lt(Expr::real(1.0)).and(x().gt(Expr::real(2.0)));
-        assert_eq!(abs_eval(&e, &ty), Abs::Bool(None));
-    }
-
-    #[test]
-    fn abs_eval_ite_joins_branches() {
-        let ty = |v: VarId| if v.0 == 0 { VarType::Bool } else { VarType::Int { lo: 0, hi: 1 } };
-        let e = Expr::ite(Expr::var(VarId(0)), Expr::int(2), Expr::int(5)).gt(Expr::int(1));
-        assert_eq!(abs_eval(&e, &ty), Abs::Bool(Some(true)));
-        let e = Expr::ite(Expr::var(VarId(0)), Expr::int(2), Expr::int(5)).gt(Expr::int(3));
-        assert_eq!(abs_eval(&e, &ty), Abs::Bool(None));
     }
 
     // ---- passes over small networks ----
@@ -610,6 +433,8 @@ mod tests {
         assert!(msgs.iter().any(|m| m.contains("`offers_go`")), "{msgs:?}");
         assert!(msgs.iter().any(|m| m.contains("`done`")), "{msgs:?}");
         assert_eq!(unreachable.len(), 3, "{msgs:?}");
+        // Sync-blocked and dead-source transitions are not dead *guards*.
+        assert!(by_code(&diags, Code::UnsatisfiableGuard).is_empty(), "{diags:?}");
     }
 
     #[test]
@@ -634,7 +459,7 @@ mod tests {
     }
 
     #[test]
-    fn s101_dead_guard_detected() {
+    fn s101_dead_guard_detected_without_duplicate_s100() {
         let mut b = NetworkBuilder::new();
         let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
         let mut a = AutomatonBuilder::new("p");
@@ -647,8 +472,48 @@ mod tests {
         let dead = by_code(&diags, Code::UnsatisfiableGuard);
         assert_eq!(dead.len(), 1, "{diags:?}");
         assert!(dead[0].message.contains("can never be true"), "{}", dead[0].message);
-        // The target is also unreachable (the dead guard is its only way in).
-        assert!(!by_code(&diags, Code::UnreachableLocation).is_empty());
+        // `l1` is stranded *solely* by the reported dead guard: the S101
+        // is the root cause, so no S100 restates it.
+        assert!(by_code(&diags, Code::UnreachableLocation).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn s101_fixpoint_beats_type_ranges() {
+        // n ∈ int[0..5] admits n ≥ 3, but n is never written, so the
+        // fixpoint's constant propagation knows n = 0 everywhere. A
+        // per-guard type-range check could not decide this guard.
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(3)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert_eq!(by_code(&diags, Code::UnsatisfiableGuard).len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn s100_cascade_past_dead_guard_is_still_reported() {
+        // l0 -[dead]-> l1 -TRUE-> l2: the dead guard is S101 and explains
+        // l1 (suppressed), but l2 is stranded by a dead-*source* edge and
+        // is still reported.
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(10)), [], l1);
+        a.guarded(l1, ActionId::TAU, Expr::TRUE, [], l2);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert_eq!(by_code(&diags, Code::UnsatisfiableGuard).len(), 1, "{diags:?}");
+        let unreachable = by_code(&diags, Code::UnreachableLocation);
+        assert_eq!(unreachable.len(), 1, "{diags:?}");
+        assert!(unreachable[0].message.contains("`l2`"), "{}", unreachable[0].message);
     }
 
     #[test]
@@ -733,6 +598,69 @@ mod tests {
         let net = b.build().unwrap();
         let diags = network_passes(&net);
         assert!(by_code(&diags, Code::UnusedVariable).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn s300_out_of_range_effect_flagged() {
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(n, Expr::int(7))], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let doomed = by_code(&diags, Code::EffectOutOfRange);
+        assert_eq!(doomed.len(), 1, "{diags:?}");
+        assert!(doomed[0].message.contains("`n := 7`"), "{}", doomed[0].message);
+        assert!(doomed[0].message.contains("declared range"), "{}", doomed[0].message);
+    }
+
+    #[test]
+    fn s301_constant_guard_comparison_flagged() {
+        // `lo` is never written, so `lo <= 3` is decided before the model
+        // runs; `m` does get written, so `m >= 1` is a real comparison.
+        let mut b = NetworkBuilder::new();
+        let lo = b.var("lo", VarType::Int { lo: 0, hi: 9 }, Value::Int(2));
+        let m = b.var("m", VarType::Int { lo: 0, hi: 9 }, Value::Int(0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.guarded(l0, ActionId::TAU, Expr::TRUE, [Effect::assign(m, Expr::int(4))], l1);
+        a.guarded(
+            l1,
+            ActionId::TAU,
+            Expr::var(lo).le(Expr::int(3)).and(Expr::var(m).ge(Expr::int(1))),
+            [],
+            l0,
+        );
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let constant = by_code(&diags, Code::ConstantGuardComparison);
+        assert_eq!(constant.len(), 1, "{diags:?}");
+        assert!(constant[0].message.contains("`lo`"), "{}", constant[0].message);
+        assert!(constant[0].message.contains("always equals 2"), "{}", constant[0].message);
+    }
+
+    #[test]
+    fn s301_skips_dead_guards_and_clocks() {
+        let mut b = NetworkBuilder::new();
+        let n = b.var("n", VarType::Int { lo: 0, hi: 5 }, Value::Int(0));
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        // Dead guard reading the constant `n`: S101's to report, not S301's.
+        a.guarded(l0, ActionId::TAU, Expr::var(n).ge(Expr::int(3)), [], l1);
+        // Clock comparison: clocks drift, never constant.
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::real(1.0)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        assert_eq!(by_code(&diags, Code::UnsatisfiableGuard).len(), 1, "{diags:?}");
+        assert!(by_code(&diags, Code::ConstantGuardComparison).is_empty(), "{diags:?}");
     }
 
     #[test]

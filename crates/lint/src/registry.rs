@@ -54,7 +54,9 @@ macro_rules! lints {
         /// * `S0xx` — front-end lints over the parsed SLIM model;
         /// * `S1xx` — static passes over the instantiated network;
         /// * `S2xx` — network well-formedness rules (from
-        ///   [`slim_automata::validate::validate_all`]).
+        ///   [`slim_automata::validate::validate_all`]);
+        /// * `S3xx` — semantic lints backed by the `slim-analysis`
+        ///   abstract-interpretation fixpoint.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         pub enum Code {
             $(#[doc = $desc] $variant,)+
@@ -221,6 +223,14 @@ lints! {
     WfIndexOutOfRange =>
         "S213", "wf-index-out-of-range", Deny,
         "an internal index (location, variable, action) is out of range";
+
+    // ---- S3xx: semantic lints from the abstract-interpretation fixpoint ----
+    EffectOutOfRange =>
+        "S300", "effect-out-of-range", Warn,
+        "an effect provably assigns a value outside its variable's declared range";
+    ConstantGuardComparison =>
+        "S301", "constant-guard-comparison", Note,
+        "a guard comparison reads a variable that is provably constant";
 }
 
 impl fmt::Display for Code {

@@ -9,8 +9,12 @@
 //! reject malformed artifacts.
 //!
 //! Schema history: **v2** added the `convergence` array (per-checkpoint
-//! estimate mean and CI half-width, see [`ConvergencePoint`]); the parser
-//! still accepts v1 documents, which simply have no convergence series.
+//! estimate mean and CI half-width, see [`ConvergencePoint`]); **v3**
+//! added the optional `pre_verdict` string (`unknown`, `unreachable`, or
+//! `initially-satisfied`) recording whether the static fixpoint analysis
+//! decided the property before sampling — decisive verdicts come with
+//! `estimate.samples == 0`. The parser still accepts v1/v2 documents,
+//! which simply have no convergence series / no pre-verdict.
 
 use std::collections::BTreeMap;
 
@@ -18,7 +22,7 @@ use crate::json::Json;
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 
 /// Schema version written into every report.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version the parser and validator still accept.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -224,6 +228,9 @@ pub struct RunReport {
     pub config: ConfigInfo,
     /// Resulting estimate.
     pub estimate: EstimateInfo,
+    /// Static pre-verdict (`unknown`, `unreachable`, `initially-satisfied`;
+    /// schema v3). `None` in pre-v3 documents.
+    pub pre_verdict: Option<String>,
     /// Estimator convergence series (schema v2; empty in v1 documents).
     pub convergence: Vec<ConvergencePoint>,
     /// Per-verdict path accounting.
@@ -293,6 +300,7 @@ impl RunReport {
                     ("successes", Json::Num(self.estimate.successes as f64)),
                 ]),
             ),
+            ("pre_verdict", self.pre_verdict.as_deref().map(Json::str).unwrap_or(Json::Null)),
             ("convergence", Json::Arr(self.convergence.iter().map(|c| c.to_json()).collect())),
             (
                 "paths",
@@ -395,6 +403,15 @@ impl RunReport {
                 confidence: req_f64(estimate, "confidence", "estimate")?,
                 samples: req_u64(estimate, "samples", "estimate")?,
                 successes: req_u64(estimate, "successes", "estimate")?,
+            },
+            // Absent in pre-v3 documents.
+            pre_verdict: match v.get("pre_verdict") {
+                None | Some(Json::Null) => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .map(str::to_string)
+                        .ok_or("report: `pre_verdict` must be string or null")?,
+                ),
             },
             // Absent in v1 documents — parsed as an empty series.
             convergence: match v.get("convergence") {
@@ -510,6 +527,25 @@ impl RunReport {
                     self.paths.satisfied
                 ));
             }
+        }
+        match self.pre_verdict.as_deref() {
+            None | Some("unknown") => {}
+            Some(v @ ("unreachable" | "initially-satisfied")) => {
+                if self.estimate.samples != 0 {
+                    problems.push(format!(
+                        "pre_verdict `{v}` but estimate.samples is {} (expected 0)",
+                        self.estimate.samples
+                    ));
+                }
+                let exact = if v == "unreachable" { 0.0 } else { 1.0 };
+                if self.estimate.mean != exact {
+                    problems.push(format!(
+                        "pre_verdict `{v}` but estimate.mean is {} (expected {exact})",
+                        self.estimate.mean
+                    ));
+                }
+            }
+            Some(other) => problems.push(format!("unknown pre_verdict `{other}`")),
         }
         if self.phases.is_empty() {
             problems.push("phases is empty; expected at least `simulate`".to_string());
@@ -704,6 +740,7 @@ mod tests {
                 samples: 738,
                 successes: 184,
             },
+            pre_verdict: Some("unknown".to_string()),
             convergence: vec![
                 ConvergencePoint { samples: 64, mean: 0.28125, half_width: 0.17 },
                 ConvergencePoint { samples: 256, mean: 0.26, half_width: 0.085 },
@@ -784,27 +821,57 @@ mod tests {
         assert_eq!(back, r);
     }
 
-    /// A v1 document (no `convergence` member) — the fixture mirrors what
-    /// the tool wrote before the v2 migration.
+    /// A v1 document (no `convergence`, no `pre_verdict`) — the fixture
+    /// mirrors what the tool wrote before the v2/v3 migrations.
     fn v1_fixture() -> String {
         let mut r = sample_report();
         r.schema_version = 1;
         r.convergence.clear();
+        r.pre_verdict = None;
         let v = r.to_json();
-        // Strip the (empty) convergence member so the document is a true
-        // v1 file, not just a v2 file with an empty array.
+        // Strip the empty convergence/pre_verdict members so the document
+        // is a true v1 file, not just a v3 file with null placeholders.
         let Json::Obj(members) = v else { unreachable!() };
-        Json::Obj(members.into_iter().filter(|(k, _)| k != "convergence").collect()).to_pretty()
+        Json::Obj(
+            members.into_iter().filter(|(k, _)| k != "convergence" && k != "pre_verdict").collect(),
+        )
+        .to_pretty()
     }
 
     #[test]
     fn v1_reports_still_parse_and_validate() {
         let text = v1_fixture();
         assert!(!text.contains("convergence"));
+        assert!(!text.contains("pre_verdict"));
         let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.schema_version, 1);
         assert!(back.convergence.is_empty());
+        assert_eq!(back.pre_verdict, None);
         assert_eq!(back.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn pre_verdict_consistency_is_validated() {
+        // A decisive pre-verdict with sampled data is inconsistent.
+        let mut r = sample_report();
+        r.pre_verdict = Some("unreachable".to_string());
+        let problems = r.validate();
+        assert!(problems.iter().any(|p| p.contains("expected 0")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("estimate.mean")), "{problems:?}");
+        // Unrecognized verdict names are flagged.
+        let mut r = sample_report();
+        r.pre_verdict = Some("maybe".to_string());
+        assert!(r.validate().iter().any(|p| p.contains("unknown pre_verdict")));
+        // A proper zero-sample short-circuit validates clean.
+        let mut r = sample_report();
+        r.pre_verdict = Some("unreachable".to_string());
+        r.estimate =
+            EstimateInfo { mean: 0.0, epsilon: 0.0, confidence: 1.0, samples: 0, successes: 0 };
+        r.paths = PathInfo::default();
+        r.convergence.clear();
+        r.workers.clear();
+        r.phases = vec![("static".to_string(), 0.5)];
+        assert_eq!(r.validate(), Vec::<String>::new());
     }
 
     #[test]

@@ -154,8 +154,12 @@ fn deadlock_policy_end_to_end() {
     let net = lower(&model, "Stuck", "Impl", "s").unwrap().network;
     let prop = TimedReach::new(Goal::expr(Expr::FALSE), 1.0);
 
+    // `false` is statically unreachable, so the fixpoint pre-verdict
+    // would answer P = 0 without sampling; disable it — this test is
+    // about what the *paths* do when they deadlock.
     let falsify = SimConfig::default()
         .with_accuracy(Accuracy::new(0.1, 0.1).unwrap())
+        .with_static_pre_verdicts(false)
         .with_deadlock_policy(DeadlockPolicy::Falsify);
     let r = analyze(&net, &prop, &falsify).unwrap();
     assert_eq!(r.probability(), 0.0);
