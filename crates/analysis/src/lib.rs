@@ -22,6 +22,8 @@
 //! definite facts about all concrete runs; everything the abstraction
 //! cannot decide stays "maybe".
 
+#![forbid(unsafe_code)]
+
 pub mod domain;
 pub mod fixpoint;
 pub mod summary;

@@ -46,6 +46,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod automaton;
 pub mod compiled;
 pub mod dot;

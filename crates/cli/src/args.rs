@@ -30,6 +30,8 @@ const FLAG_KEYS: &[&str] = &[
     "progress",
     "prune",
     "verify-bytecode",
+    "thorough",
+    "no-shrink",
 ];
 
 impl Args {

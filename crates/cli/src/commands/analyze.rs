@@ -23,15 +23,21 @@ pub fn run(args: &Args) -> Result<(), String> {
     // escalates warnings to hard errors.
     if !args.has_flag("no-lint") {
         let cfg = super::lint::load_lint_config(args)?;
-        let diags = slim_lint::lint_network(&net, &cfg);
-        if !diags.is_empty() && !args.has_flag("quiet") {
-            eprintln!("{}", slim_lint::render_text_all(&diags, None));
-        }
-        let errors = slim_lint::error_count(&diags);
-        if errors > 0 {
-            return Err(format!(
-                "{errors} error-level lint(s); fix the model or pass --no-lint to proceed anyway"
-            ));
+        match slim_lint::preflight(&net, &cfg) {
+            Ok(diags) => {
+                if !diags.is_empty() && !args.has_flag("quiet") {
+                    eprintln!("{}", slim_lint::render_text_all(&diags, None));
+                }
+            }
+            Err(diags) => {
+                if !args.has_flag("quiet") {
+                    eprintln!("{}", slim_lint::render_text_all(&diags, None));
+                }
+                let errors = slim_lint::error_count(&diags);
+                return Err(format!(
+                    "{errors} error-level lint(s); fix the model or pass --no-lint to proceed anyway"
+                ));
+            }
         }
     }
 

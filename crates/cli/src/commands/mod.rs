@@ -2,6 +2,7 @@
 
 pub mod analyze;
 pub mod ctmc;
+pub mod fuzz;
 pub mod info;
 pub mod interactive;
 pub mod lint;

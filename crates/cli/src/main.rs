@@ -13,6 +13,8 @@
 //! `<model>` is a `.slim` file (with `--root Type.Impl`) or a built-in:
 //! `gps`, `launcher`, `launcher-permanent`, `sensor-filter [--size n]`.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 mod common;
@@ -33,6 +35,8 @@ USAGE:
   slimsim lint <model> [--json]                   static lint passes (S0xx-S3xx)
   slimsim report <file.json>                      validate + summarize a run report
   slimsim validate <file.slim> [--root Type.Impl] static analysis + lowering check
+  slimsim fuzz [--seed n] [--count k]             differential fuzzing campaign
+               [--replay <dir>]                   replay the regression corpus
 
 MODELS:
   a .slim file (requires --root Type.Impl [--name instance]) or a built-in:
@@ -84,6 +88,7 @@ fn main() {
     let result = match args.command.as_str() {
         "analyze" => commands::analyze::run(&args),
         "ctmc" => commands::ctmc::run(&args),
+        "fuzz" => commands::fuzz::run(&args),
         "rare" => commands::rare::run(&args),
         "interactive" => commands::interactive::run(&args),
         "replay" => commands::replay::run(&args),

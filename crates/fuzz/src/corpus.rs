@@ -1,0 +1,261 @@
+//! The committed regression corpus.
+//!
+//! Every failure the campaign finds is shrunk and written as one
+//! self-contained `.slim` file whose leading `--` comment lines carry the
+//! metadata needed to replay it: the oracle that failed, the `(seed,
+//! index)` provenance, the goal/bound of the property, and the exact CLI
+//! repro command. [`replay_corpus`] parses the files back and re-runs the
+//! full oracle stack on each — a normal `cargo test` (and the CI
+//! `fuzz-smoke` job) replays the corpus and fails on any regression.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::generate::{GeneratedModel, GoalSpec};
+use crate::oracle::{run_oracles, OracleConfig, OracleFailure, OracleKind};
+
+/// One corpus entry: a minimized failing model plus replay metadata.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The oracle that failed when the entry was captured.
+    pub oracle: OracleKind,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Model index within the campaign.
+    pub index: u64,
+    /// [`crate::GenParams::fingerprint`] of the generating family.
+    pub params: String,
+    /// Root component (`Type.Impl`).
+    pub root_type: String,
+    /// Root implementation name.
+    pub root_impl: String,
+    /// The reachability goal.
+    pub goal: GoalSpec,
+    /// Property time bound.
+    pub bound: f64,
+    /// One-line failure description at capture time.
+    pub detail: String,
+    /// Exact CLI command that reproduces the campaign hit.
+    pub repro: String,
+    /// Minimized `.slim` source.
+    pub source: String,
+}
+
+impl CorpusEntry {
+    /// Builds an entry from a (shrunk) model and its failure.
+    pub fn new(model: &GeneratedModel, failure: &OracleFailure, params: &str) -> CorpusEntry {
+        CorpusEntry {
+            oracle: failure.kind,
+            seed: model.seed,
+            index: model.index,
+            params: params.to_string(),
+            root_type: model.root_type.clone(),
+            root_impl: model.root_impl.clone(),
+            goal: model.goal.clone(),
+            bound: model.bound,
+            detail: failure.detail.replace('\n', " "),
+            repro: format!(
+                "slimsim fuzz --seed {} --start-index {} --count 1 --thorough",
+                model.seed, model.index
+            ),
+            source: model.source.clone(),
+        }
+    }
+
+    /// Stable file name for this entry.
+    pub fn file_name(&self) -> String {
+        format!("{}-s{}-i{}.slim", self.oracle.name(), self.seed, self.index)
+    }
+
+    /// Renders the entry as a self-contained `.slim` file.
+    pub fn render(&self) -> String {
+        format!(
+            "-- slim-fuzz regression case (see docs/fuzzing.md)\n\
+             -- oracle: {}\n\
+             -- seed: {}\n\
+             -- index: {}\n\
+             -- params: {}\n\
+             -- root: {}.{}\n\
+             -- goal: {}\n\
+             -- bound: {}\n\
+             -- repro: {}\n\
+             -- detail: {}\n\
+             {}",
+            self.oracle.name(),
+            self.seed,
+            self.index,
+            self.params,
+            self.root_type,
+            self.root_impl,
+            self.goal.describe(),
+            self.bound,
+            self.repro,
+            self.detail,
+            self.source
+        )
+    }
+
+    /// Parses a rendered entry back. The model text is everything after
+    /// the leading comment block (comments are also legal SLIM, so the
+    /// whole file parses as a model too).
+    ///
+    /// # Errors
+    /// Describes the missing or malformed header field.
+    pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut body_start = 0;
+        for line in text.lines() {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("--") {
+                if let Some((k, v)) = rest.split_once(':') {
+                    fields.push((k.trim().to_string(), v.trim().to_string()));
+                }
+                body_start += line.len() + 1;
+            } else {
+                break;
+            }
+        }
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("corpus entry is missing the `-- {key}:` header"))
+        };
+        let oracle = OracleKind::parse(&get("oracle")?)
+            .ok_or_else(|| "unknown oracle name in corpus header".to_string())?;
+        let (root_type, root_impl) = {
+            let root = get("root")?;
+            let (t, i) = root
+                .split_once('.')
+                .ok_or_else(|| format!("`-- root:` must be Type.Impl, got `{root}`"))?;
+            (t.to_string(), i.to_string())
+        };
+        let goal = GoalSpec::parse(&get("goal")?)
+            .ok_or_else(|| "malformed `-- goal:` header".to_string())?;
+        let parse_u64 =
+            |v: String| v.parse::<u64>().map_err(|e| format!("bad integer header: {e}"));
+        Ok(CorpusEntry {
+            oracle,
+            seed: parse_u64(get("seed")?)?,
+            index: parse_u64(get("index")?)?,
+            params: get("params").unwrap_or_default(),
+            root_type,
+            root_impl,
+            goal,
+            bound: get("bound")?.parse().map_err(|e| format!("bad `-- bound:` header: {e}"))?,
+            detail: get("detail").unwrap_or_default(),
+            repro: get("repro").unwrap_or_default(),
+            source: text[body_start.min(text.len())..].to_string(),
+        })
+    }
+
+    /// Rebuilds the generated-model view for replay, restoring the
+    /// `(seed, index)` provenance so oracle RNG streams match the
+    /// original failure exactly.
+    ///
+    /// # Errors
+    /// Parse errors in the stored source.
+    pub fn to_model(&self) -> Result<GeneratedModel, String> {
+        let mut gm = GeneratedModel::from_source(
+            &self.source,
+            &self.root_type,
+            &self.root_impl,
+            self.goal.clone(),
+            self.bound,
+        )?;
+        gm.seed = self.seed;
+        gm.index = self.index;
+        Ok(gm)
+    }
+}
+
+/// Writes `entry` into `dir` (created if missing); returns the path.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_corpus_entry(dir: &Path, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(entry.file_name());
+    fs::write(&path, entry.render())?;
+    Ok(path)
+}
+
+/// Replays every `.slim` entry under `dir` (sorted by file name) through
+/// the full oracle stack. Returns one `(file name, result)` row per
+/// entry: `Ok(())` when all oracles pass — the regression stays fixed —
+/// and `Err(description)` on a parse problem or a re-failing oracle.
+///
+/// A missing directory replays as an empty corpus (no failures): the
+/// corpus is optional until the first bug is found.
+///
+/// # Errors
+/// Propagates filesystem errors from reading the directory itself.
+pub fn replay_corpus(
+    dir: &Path,
+    cfg: &OracleConfig,
+) -> io::Result<Vec<(String, Result<(), String>)>> {
+    let mut entries = Vec::new();
+    if !dir.exists() {
+        return Ok(entries);
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "slim"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let text = fs::read_to_string(&path)?;
+        let result = replay_one(&text, cfg);
+        entries.push((name, result));
+    }
+    Ok(entries)
+}
+
+fn replay_one(text: &str, cfg: &OracleConfig) -> Result<(), String> {
+    let entry = CorpusEntry::parse(text)?;
+    let model = entry.to_model()?;
+    match run_oracles(&model, cfg).failure {
+        None => Ok(()),
+        Some(f) => Err(format!(
+            "regression: oracle `{}` fails again: {} (captured failure was `{}`: {})",
+            f.kind.name(),
+            f.detail,
+            entry.oracle.name(),
+            entry.detail
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::oracle::OracleFailure;
+    use crate::params::GenParams;
+
+    #[test]
+    fn corpus_entry_round_trips() {
+        let model = generate(11, 3, &GenParams::tiny());
+        let failure = OracleFailure {
+            kind: OracleKind::FixpointSoundness,
+            detail: "fixpoint claims P = 0 but path 4 hits the goal".to_string(),
+        };
+        let entry = CorpusEntry::new(&model, &failure, &GenParams::tiny().fingerprint());
+        let parsed = CorpusEntry::parse(&entry.render()).expect("rendered entry parses");
+        assert_eq!(parsed.oracle, entry.oracle);
+        assert_eq!(parsed.seed, entry.seed);
+        assert_eq!(parsed.index, entry.index);
+        assert_eq!(parsed.goal, entry.goal);
+        assert_eq!(parsed.bound, entry.bound);
+        assert_eq!(parsed.source.trim_end(), entry.source.trim_end());
+        let rebuilt = parsed.to_model().expect("stored source parses");
+        assert_eq!(rebuilt.seed, 11);
+        assert_eq!(rebuilt.index, 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Tunable knobs of the parametric model generator.
+
+/// Size and shape knobs for [`crate::generate`].
+///
+/// Every knob is a hard range or probability the generator respects
+/// exactly, so a `(seed, GenParams)` pair is a complete, reproducible
+/// description of one model family. The defaults produce small models
+/// (1–4 components, 2–4 locations each) that stress structural diversity
+/// rather than raw size — the right regime for differential testing,
+/// where thousands of cheap models beat tens of large ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Minimum number of behavioral components (≥ 1).
+    pub min_components: usize,
+    /// Maximum number of behavioral components (≥ `min_components`).
+    pub max_components: usize,
+    /// Maximum locations per component (≥ 2).
+    pub max_locations: usize,
+    /// Maximum extra (non-structural) transitions added per component.
+    pub max_extra_transitions: usize,
+    /// Probability that a component is drawn from the distributed-systems
+    /// vocabulary (server with failure/repair, lossy link, bounded queue)
+    /// instead of the free-form grammar.
+    pub vocabulary_prob: f64,
+    /// Probability that a generated component carries an exponential
+    /// fault self-loop or failure branch (the "fault rate" knob).
+    pub fault_prob: f64,
+    /// Fault/repair rate range (log-uniform draw), per time unit.
+    pub rate_range: (f64, f64),
+    /// Probability that two components are wired by a synchronized event
+    /// connection (per candidate pair, producer → consumer).
+    pub sync_prob: f64,
+    /// Probability that a guarded transition is urgent.
+    pub urgent_prob: f64,
+    /// Probability that a location carries a clock-bound invariant.
+    pub invariant_prob: f64,
+    /// Maximum depth of generated guard/effect expressions over discrete
+    /// variables (clock guards stay affine regardless).
+    pub max_expr_depth: usize,
+    /// Probability that the model gets an error model + fault injection
+    /// woven in (§II-D model extension).
+    pub injection_prob: f64,
+    /// Probability that the goal is a location atom rather than the
+    /// Boolean goal variable.
+    pub goal_loc_prob: f64,
+    /// Probability that a real literal is drawn from the extreme pool
+    /// (very large / very small magnitudes) instead of the small pool —
+    /// exercises numeric printing and parsing edges.
+    pub extreme_real_prob: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            min_components: 1,
+            max_components: 4,
+            max_locations: 4,
+            max_extra_transitions: 3,
+            vocabulary_prob: 0.5,
+            fault_prob: 0.6,
+            rate_range: (0.01, 16.0),
+            sync_prob: 0.5,
+            urgent_prob: 0.2,
+            invariant_prob: 0.5,
+            max_expr_depth: 3,
+            injection_prob: 0.3,
+            goal_loc_prob: 0.3,
+            extreme_real_prob: 0.05,
+        }
+    }
+}
+
+impl GenParams {
+    /// Tiny models (1–2 components) — the shrinker's target regime and
+    /// the fastest smoke configuration.
+    pub fn tiny() -> Self {
+        GenParams {
+            min_components: 1,
+            max_components: 2,
+            max_locations: 3,
+            max_extra_transitions: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Larger models for overnight triage runs.
+    pub fn stress() -> Self {
+        GenParams {
+            min_components: 3,
+            max_components: 8,
+            max_locations: 6,
+            max_extra_transitions: 6,
+            ..Self::default()
+        }
+    }
+
+    /// A short stable fingerprint of the knob values, recorded in corpus
+    /// entries so a repro names the exact family it came from.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "c{}-{}/l{}/t{}/v{:.2}/f{:.2}/s{:.2}",
+            self.min_components,
+            self.max_components,
+            self.max_locations,
+            self.max_extra_transitions,
+            self.vocabulary_prob,
+            self.fault_prob,
+            self.sync_prob
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_coherent() {
+        let p = GenParams::default();
+        assert!(p.min_components >= 1 && p.min_components <= p.max_components);
+        assert!(p.max_locations >= 2);
+        assert!(p.rate_range.0 > 0.0 && p.rate_range.0 < p.rate_range.1);
+        for prob in [
+            p.vocabulary_prob,
+            p.fault_prob,
+            p.sync_prob,
+            p.urgent_prob,
+            p.invariant_prob,
+            p.injection_prob,
+            p.goal_loc_prob,
+            p.extreme_real_prob,
+        ] {
+            assert!((0.0..=1.0).contains(&prob));
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        assert_eq!(GenParams::default().fingerprint(), GenParams::default().fingerprint());
+        assert_ne!(GenParams::default().fingerprint(), GenParams::stress().fingerprint());
+    }
+}

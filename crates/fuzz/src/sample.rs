@@ -1,0 +1,75 @@
+//! Small sampling combinators over the workspace's seeded RNG.
+//!
+//! The generator deliberately uses only [`slim_stats::rng::StdRng`] — the
+//! same splittable xoshiro generator the simulator itself runs on — so a
+//! `(seed, index)` pair identifies one generated model forever, across
+//! runs, platforms, and worker counts.
+
+pub use slim_stats::rng::StdRng;
+
+/// Uniform `f64` in `[lo, hi)`.
+pub fn f64_in(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen::<f64>() * (hi - lo)
+}
+
+/// Uniform `i64` in `[lo, hi]` (inclusive; `lo <= hi`).
+pub fn i64_in(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    lo + rng.gen_range(0..(hi - lo + 1) as usize) as i64
+}
+
+/// Uniform `usize` in `[lo, hi]` (inclusive; `lo <= hi`).
+pub fn usize_in(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    rng.gen_range(lo..hi + 1)
+}
+
+/// A uniformly chosen element of `items`.
+///
+/// # Panics
+/// Panics if `items` is empty.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// True with probability `p`.
+pub fn chance(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_bool(p)
+}
+
+/// A rate drawn log-uniformly from `[lo, hi]` — fault/repair rates span
+/// orders of magnitude in realistic availability models, and a log-uniform
+/// draw exercises both the fast and the rare regimes.
+pub fn rate_in(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let r = f64_in(rng, llo, lhi).exp();
+    // Round to a multiple of 1/1024 — dyadic, so the value survives text
+    // round-trips exactly — keeping at least one tick so the rate stays
+    // strictly positive.
+    (r * 1024.0).round().max(1.0) / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_inclusive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = usize_in(&mut rng, 2, 3);
+            assert!(v == 2 || v == 3);
+            let i = i64_in(&mut rng, -1, 1);
+            assert!((-1..=1).contains(&i));
+        }
+    }
+
+    #[test]
+    fn rates_positive_and_round_trip_stable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let r = rate_in(&mut rng, 0.001, 100.0);
+            assert!(r > 0.0 && r.is_finite());
+            let printed = format!("{r}");
+            assert_eq!(printed.parse::<f64>().unwrap(), r);
+        }
+    }
+}

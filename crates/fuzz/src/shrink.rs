@@ -1,0 +1,305 @@
+//! Deterministic greedy shrinker for failing models.
+//!
+//! Given a model on which an oracle fails, [`shrink`] repeatedly applies
+//! the first size-reducing edit that preserves the *same* failing oracle
+//! kind, until no edit applies. Edits are enumerated in a fixed order
+//! (large structural deletions first, then local simplifications), every
+//! candidate is re-checked by re-running the oracle stack, and progress
+//! is measured by the pretty-printed source length — strictly decreasing,
+//! so the loop terminates. The result is a 1-minimal model: no single
+//! enumerated edit can be applied without losing the failure.
+//!
+//! Edits are allowed to produce broken models (dangling references,
+//! unlowerable structure): the acceptance check — "still fails with the
+//! same oracle kind" — filters them out, which keeps the edit set simple
+//! and the shrinker honest.
+
+use slim_lang::ast::{Expr, Model, QName};
+
+use crate::generate::{GeneratedModel, GoalSpec};
+use crate::oracle::{run_oracles, OracleConfig, OracleFailure};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized model (still failing).
+    pub model: GeneratedModel,
+    /// The failure exhibited by the minimized model (same kind as the
+    /// original's; the detail text may differ).
+    pub failure: OracleFailure,
+    /// Accepted edits (size-reducing steps taken).
+    pub rounds: usize,
+    /// Candidate edits tried, accepted or not.
+    pub attempts: usize,
+}
+
+/// Minimizes `model` while it keeps failing with the same oracle kind.
+///
+/// Returns `None` when the model does not fail at all under `cfg` —
+/// there is nothing to shrink.
+pub fn shrink(model: &GeneratedModel, cfg: &OracleConfig) -> Option<ShrinkResult> {
+    let mut failure = run_oracles(model, cfg).failure?;
+    let kind = failure.kind;
+    let mut current = model.clone();
+    let mut rounds = 0;
+    let mut attempts = 0;
+
+    loop {
+        let mut improved = false;
+        for candidate in edits(&current) {
+            if candidate.source.len() >= current.source.len() {
+                continue;
+            }
+            attempts += 1;
+            if let Some(f) = run_oracles(&candidate, cfg).failure {
+                if f.kind == kind {
+                    current = candidate;
+                    failure = f;
+                    rounds += 1;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return Some(ShrinkResult { model: current, failure, rounds, attempts });
+        }
+    }
+}
+
+/// All candidate one-step reductions of `gm`, in priority order.
+fn edits(gm: &GeneratedModel) -> Vec<GeneratedModel> {
+    let m = &gm.model;
+    let mut out = Vec::new();
+
+    // 1. Drop a whole component instance (and its now-unused decls).
+    if let Some(root) = m.find_impl(&gm.root_type, &gm.root_impl) {
+        for sub in &root.subcomponents {
+            if let slim_lang::ast::Subcomponent::Instance { name, .. } = sub {
+                if let Some(next) = remove_component(gm, name) {
+                    out.push(gm.with_model(next));
+                }
+            }
+        }
+    }
+
+    // 2. Drop a fault injection (and its error model when unused).
+    for i in 0..m.injections.len() {
+        let mut next = m.clone();
+        next.injections.remove(i);
+        drop_unused_error_models(&mut next);
+        out.push(gm.with_model(next));
+    }
+
+    // 3. Drop a non-initial mode plus every transition touching it.
+    for (ii, im) in m.impls.iter().enumerate() {
+        for mode in &im.modes {
+            if mode.initial || goal_names_location(&gm.goal, &mode.name) {
+                continue;
+            }
+            let mut next = m.clone();
+            let target = &mut next.impls[ii];
+            let name = mode.name.clone();
+            target.modes.retain(|md| md.name != name);
+            target.transitions.retain(|t| t.from != name && t.to != name);
+            out.push(gm.with_model(next));
+        }
+    }
+
+    // 4. Drop a single transition.
+    for (ii, im) in m.impls.iter().enumerate() {
+        for ti in 0..im.transitions.len() {
+            let mut next = m.clone();
+            next.impls[ii].transitions.remove(ti);
+            out.push(gm.with_model(next));
+        }
+    }
+
+    // 5. Narrow the goal flow: replace an `or` with either branch.
+    for (ii, im) in m.impls.iter().enumerate() {
+        for (fi, flow) in im.flows.iter().enumerate() {
+            for replacement in or_halves(&flow.expr) {
+                let mut next = m.clone();
+                next.impls[ii].flows[fi].expr = replacement;
+                out.push(gm.with_model(next));
+            }
+        }
+    }
+
+    // 6. Drop one effect from a transition.
+    for (ii, im) in m.impls.iter().enumerate() {
+        for (ti, t) in im.transitions.iter().enumerate() {
+            for ei in 0..t.effects.len() {
+                let mut next = m.clone();
+                next.impls[ii].transitions[ti].effects.remove(ei);
+                out.push(gm.with_model(next));
+            }
+        }
+    }
+
+    // 7. Drop a guard or an invariant (both mean `true`).
+    for (ii, im) in m.impls.iter().enumerate() {
+        for (ti, t) in im.transitions.iter().enumerate() {
+            if t.guard.is_some() {
+                let mut next = m.clone();
+                next.impls[ii].transitions[ti].guard = None;
+                out.push(gm.with_model(next));
+            }
+            if t.urgent {
+                let mut next = m.clone();
+                next.impls[ii].transitions[ti].urgent = false;
+                out.push(gm.with_model(next));
+            }
+        }
+        for (mi, mode) in im.modes.iter().enumerate() {
+            if mode.invariant.is_some() {
+                let mut next = m.clone();
+                next.impls[ii].modes[mi].invariant = None;
+                out.push(gm.with_model(next));
+            }
+        }
+    }
+
+    // 8. Drop a connection.
+    for (ii, im) in m.impls.iter().enumerate() {
+        for ci in 0..im.connections.len() {
+            let mut next = m.clone();
+            next.impls[ii].connections.remove(ci);
+            out.push(gm.with_model(next));
+        }
+    }
+
+    // 9. Drop a feature or a data subcomponent (blind: acceptance
+    // filters out edits that break references the failure depends on).
+    for (ty_i, ty) in m.types.iter().enumerate() {
+        for fi in 0..ty.features.len() {
+            let mut next = m.clone();
+            next.types[ty_i].features.remove(fi);
+            out.push(gm.with_model(next));
+        }
+    }
+    for (ii, im) in m.impls.iter().enumerate() {
+        for si in 0..im.subcomponents.len() {
+            if matches!(im.subcomponents[si], slim_lang::ast::Subcomponent::Data { .. }) {
+                let mut next = m.clone();
+                next.impls[ii].subcomponents.remove(si);
+                out.push(gm.with_model(next));
+            }
+        }
+    }
+
+    out
+}
+
+/// Removes instance `inst` from the root implementation, patches every
+/// reference (connections, flow atoms, injections), and drops the
+/// instance's type/impl when no other instance uses them. Returns `None`
+/// when the edit cannot keep the goal expressible (location goal on the
+/// instance, or the goal flow would lose its last atom).
+fn remove_component(gm: &GeneratedModel, inst: &str) -> Option<Model> {
+    if let GoalSpec::Loc(auto, _) = &gm.goal {
+        if auto.split('.').nth(1) == Some(inst) {
+            return None;
+        }
+    }
+    let mut next = gm.model.clone();
+    let root_idx =
+        next.impls.iter().position(|im| im.name.0 == gm.root_type && im.name.1 == gm.root_impl)?;
+
+    let mut removed_ref: Option<(String, String)> = None;
+    {
+        let root = &mut next.impls[root_idx];
+        let before = root.subcomponents.len();
+        root.subcomponents.retain(|s| match s {
+            slim_lang::ast::Subcomponent::Instance { name, impl_ref, .. } if name == inst => {
+                removed_ref = Some(impl_ref.clone());
+                false
+            }
+            _ => true,
+        });
+        if root.subcomponents.len() == before {
+            return None;
+        }
+        root.connections.retain(|c| !mentions(&c.from, inst) && !mentions(&c.to, inst));
+        for flow in &mut root.flows {
+            flow.expr = prune_atoms(&flow.expr, inst)?;
+        }
+    }
+    next.injections.retain(|inj| inj.target.segments().get(1).map(String::as_str) != Some(inst));
+    drop_unused_error_models(&mut next);
+
+    if let Some((ty, im)) = removed_ref {
+        let still_used = next.impls.iter().any(|ci| {
+            ci.subcomponents.iter().any(|s| {
+                matches!(s, slim_lang::ast::Subcomponent::Instance { impl_ref, .. }
+                    if impl_ref.0 == ty)
+            })
+        });
+        if !still_used {
+            next.types.retain(|t| t.name != ty);
+            next.impls.retain(|ci| !(ci.name.0 == ty && ci.name.1 == im));
+        }
+    }
+    Some(next)
+}
+
+fn mentions(q: &QName, inst: &str) -> bool {
+    q.segments().first().map(String::as_str) == Some(inst)
+}
+
+/// Rewrites a goal-flow expression with every atom referring to `inst`
+/// removed; `None` when nothing would remain.
+fn prune_atoms(e: &Expr, inst: &str) -> Option<Expr> {
+    match e {
+        Expr::Bin(slim_lang::ast::BinOp::Or, a, b) => {
+            match (prune_atoms(a, inst), prune_atoms(b, inst)) {
+                (Some(x), Some(y)) => {
+                    Some(Expr::Bin(slim_lang::ast::BinOp::Or, Box::new(x), Box::new(y)))
+                }
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
+        _ if expr_mentions(e, inst) => None,
+        _ => Some(e.clone()),
+    }
+}
+
+fn expr_mentions(e: &Expr, inst: &str) -> bool {
+    match e {
+        Expr::Lit(_) => false,
+        Expr::Name(q) => mentions(q, inst),
+        Expr::Not(x) | Expr::Neg(x) => expr_mentions(x, inst),
+        Expr::Bin(_, a, b) => expr_mentions(a, inst) || expr_mentions(b, inst),
+        Expr::Ite(c, a, b) => {
+            expr_mentions(c, inst) || expr_mentions(a, inst) || expr_mentions(b, inst)
+        }
+    }
+}
+
+/// Both halves of every `or` node in `e` (the classic disjunction
+/// narrowing used to minimize goal flows).
+fn or_halves(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Bin(slim_lang::ast::BinOp::Or, a, b) => {
+            let mut v = vec![(**a).clone(), (**b).clone()];
+            for half in or_halves(a) {
+                v.push(Expr::Bin(slim_lang::ast::BinOp::Or, Box::new(half), b.clone()));
+            }
+            for half in or_halves(b) {
+                v.push(Expr::Bin(slim_lang::ast::BinOp::Or, a.clone(), Box::new(half)));
+            }
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn goal_names_location(goal: &GoalSpec, loc: &str) -> bool {
+    matches!(goal, GoalSpec::Loc(_, l) if l == loc)
+}
+
+fn drop_unused_error_models(m: &mut Model) {
+    let used: Vec<String> = m.injections.iter().map(|i| i.error_model.clone()).collect();
+    m.error_models.retain(|em| used.contains(&em.name));
+}

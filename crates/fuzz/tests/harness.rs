@@ -1,0 +1,110 @@
+//! End-to-end tests for the fuzz harness itself: generator determinism,
+//! the injected-unsoundness acceptance check, and shrinker stability.
+
+use slim_automata::network::Network;
+use slim_fuzz::{generate, run_oracles, shrink, GenParams, OracleConfig, OracleKind};
+use slimsim_core::prelude::{PreVerdict, TimedReach};
+
+/// Same `(seed, index, params)` must yield byte-identical sources — the
+/// whole harness (repro commands, corpus entries, CI) leans on this.
+#[test]
+fn generator_is_deterministic() {
+    for params in [GenParams::tiny(), GenParams::default(), GenParams::stress()] {
+        for index in 0..20u64 {
+            let a = generate(0xD5_2015, index, &params);
+            let b = generate(0xD5_2015, index, &params);
+            assert_eq!(a.source, b.source, "index {index}, params {}", params.fingerprint());
+            assert_eq!(a.goal, b.goal);
+            assert_eq!(a.bound, b.bound);
+        }
+    }
+}
+
+/// Different indices must not collapse onto one model (a stuck RNG
+/// stream would silently turn a 10k-model campaign into one model).
+#[test]
+fn generator_varies_across_indices() {
+    let sources: Vec<String> =
+        (0..12).map(|i| generate(5, i, &GenParams::default()).source).collect();
+    let distinct: std::collections::HashSet<&str> = sources.iter().map(String::as_str).collect();
+    assert!(distinct.len() >= 10, "only {} distinct models in 12 indices", distinct.len());
+}
+
+/// A pre-verdict function that is unsound by construction: it claims
+/// `P = 0` for every property. Any model whose goal is actually
+/// reachable within the bound must trip the soundness oracle.
+fn always_unreachable(_: &Network, _: &TimedReach) -> PreVerdict {
+    PreVerdict::Unreachable
+}
+
+/// Cheap oracle configuration for the injection tests: few paths, short
+/// walks — the corrupted claim falls over on the first goal-hitting path.
+fn injected_cfg() -> OracleConfig {
+    let mut cfg = OracleConfig::quick();
+    cfg.soundness_paths = 8;
+    cfg.equivalence_steps = 20;
+    cfg.equivalence_walks = 1;
+    cfg.pre_verdict_fn = always_unreachable;
+    cfg
+}
+
+/// Finds a seeded model that reaches its goal, so the corrupted `P = 0`
+/// claim is observably false.
+fn first_caught_index() -> u64 {
+    let cfg = injected_cfg();
+    for index in 0..200 {
+        let model = generate(1, index, &GenParams::tiny());
+        if let Some(failure) = run_oracles(&model, &cfg).failure {
+            assert_eq!(
+                failure.kind,
+                OracleKind::FixpointSoundness,
+                "corrupted pre-verdict tripped the wrong oracle: {}",
+                failure.detail
+            );
+            return index;
+        }
+    }
+    panic!("no model in 200 tiny seeds reaches its goal — generator envelope regressed");
+}
+
+/// The acceptance check from the issue: an intentionally unsound
+/// fixpoint claim is caught by the soundness oracle and shrunk to a
+/// model that still exhibits the failure.
+#[test]
+fn injected_unsoundness_is_caught_and_shrunk() {
+    let cfg = injected_cfg();
+    let index = first_caught_index();
+    let model = generate(1, index, &GenParams::tiny());
+
+    let result = shrink(&model, &cfg).expect("model fails, so shrink returns a result");
+    assert_eq!(result.failure.kind, OracleKind::FixpointSoundness);
+    assert!(result.model.source.len() <= model.source.len(), "shrinking may never grow the model");
+    // The minimized model must still fail on its own.
+    let check = run_oracles(&result.model, &cfg);
+    assert_eq!(
+        check.failure.map(|f| f.kind),
+        Some(OracleKind::FixpointSoundness),
+        "minimized model no longer fails"
+    );
+    // ... and must pass cleanly under the real, sound pre-verdict: the
+    // bug lived in the injected claim, not the model.
+    let sound = run_oracles(&result.model, &OracleConfig::quick());
+    assert!(
+        sound.failure.is_none(),
+        "minimized model fails even without the injected bug: {:?}",
+        sound.failure
+    );
+}
+
+/// Shrinking is deterministic: two runs from the same failing model take
+/// the same edits and land on byte-identical minimized sources.
+#[test]
+fn shrinker_output_is_stable() {
+    let cfg = injected_cfg();
+    let model = generate(1, first_caught_index(), &GenParams::tiny());
+    let a = shrink(&model, &cfg).expect("first shrink");
+    let b = shrink(&model, &cfg).expect("second shrink");
+    assert_eq!(a.model.source, b.model.source);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.attempts, b.attempts);
+}

@@ -41,6 +41,8 @@
 //! # Ok::<(), slim_automata::error::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod diagnostic;
 pub mod passes;
 pub mod registry;
@@ -64,6 +66,25 @@ pub fn lint_network(net: &Network, config: &LintConfig) -> Vec<Diagnostic> {
         diags = passes::network_passes(net);
     }
     config.apply(diags)
+}
+
+/// The pre-flight gate shared by `slimsim analyze` and the fuzz harness:
+/// lints the network and splits on the deny decision. `Ok(diags)` means
+/// analysis may proceed (possibly with warnings to show); `Err(diags)`
+/// carries at least one deny-level diagnostic and the caller must refuse
+/// to simulate. Keeping the decision in one place guarantees the CLI and
+/// the differential oracles can never drift apart on what "rejected"
+/// means.
+///
+/// # Errors
+/// The diagnostics themselves, when any of them is deny-level.
+pub fn preflight(net: &Network, config: &LintConfig) -> Result<Vec<Diagnostic>, Vec<Diagnostic>> {
+    let diags = lint_network(net, config);
+    if has_errors(&diags) {
+        Err(diags)
+    } else {
+        Ok(diags)
+    }
 }
 
 #[cfg(test)]

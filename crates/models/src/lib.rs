@@ -19,6 +19,8 @@
 //!   first-passage closed form), also conformance-checkable.
 //! * [`slim_sources`] — ready-made SLIM sources for tests and the CLI.
 
+#![forbid(unsafe_code)]
+
 pub mod gps;
 pub mod launcher;
 pub mod power_system;

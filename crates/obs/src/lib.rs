@@ -44,6 +44,8 @@
 //! assert_eq!(snap.histograms["steps_per_path"].count, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod json;
 pub mod metrics;

@@ -206,11 +206,26 @@ fn lit_str(l: Literal) -> String {
 }
 
 /// Formats a real so it re-lexes as a real (forces a decimal point).
+///
+/// `{r:.1}` covers small whole values, but whole reals at or above 1e15
+/// format via `{r}` as bare integers (`1000000000000000`), which re-lex
+/// as `Int` — or overflow the lexer's i64 beyond 2^63. Appending `.0`
+/// whenever the default rendering has neither a `.` nor an exponent
+/// keeps the token a real in every range.
 fn num_str(r: f64) -> String {
     if r == r.trunc() && r.abs() < 1e15 {
-        format!("{r:.1}")
+        return format!("{r:.1}");
+    }
+    let s = format!("{r}");
+    if s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+        || s.contains("inf")
+        || s.contains("NaN")
+    {
+        s
     } else {
-        format!("{r}")
+        format!("{s}.0")
     }
 }
 
@@ -305,6 +320,25 @@ mod tests {
         assert_eq!(num_str(3.0), "3.0");
         assert_eq!(num_str(0.001), "0.001");
         assert_eq!(lit_str(Literal::Real(2.0)), "2.0");
+    }
+
+    #[test]
+    fn extreme_whole_reals_keep_decimal_point() {
+        // Found by the round-trip fuzz oracle: whole reals >= 1e15 used to
+        // print as bare integers and re-lex as Int (or overflow the
+        // lexer's i64 beyond 2^63).
+        assert_eq!(num_str(1e15), "1000000000000000.0");
+        assert_eq!(num_str(1e16), "10000000000000000.0");
+        assert_eq!(num_str(4e18), "4000000000000000000.0");
+        assert_eq!(num_str(2e19), "20000000000000000000.0");
+        for r in [1e15, 1e16, 4e18, 2e19, 9007199254740993.0_f64] {
+            let src = format!("system implementation T.I flows x := {}; end T.I;", num_str(r));
+            let m = parse(&src).unwrap_or_else(|e| panic!("re-lex failed for {r}: {e}"));
+            match &m.impls[0].flows[0].expr {
+                Expr::Lit(Literal::Real(back)) => assert_eq!(*back, r, "value drifted for {r}"),
+                other => panic!("real {r} re-lexed as {other:?}"),
+            }
+        }
     }
 
     #[test]

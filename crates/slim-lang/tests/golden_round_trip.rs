@@ -1,0 +1,41 @@
+//! Golden round-trip tests: every committed example model must survive
+//! `parse → pretty → parse` with an identical AST, and `pretty` must be a
+//! fixed point of that loop. The fuzz harness checks the same property on
+//! generated models; this pins it on the real models users start from.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn example_models() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/models");
+    let mut out: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension().is_some_and(|x| x == "slim")).then_some(path)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no .slim example models found in {}", dir.display());
+    out
+}
+
+#[test]
+fn example_models_round_trip() {
+    for path in example_models() {
+        let source = fs::read_to_string(&path).unwrap();
+        let m1 = slim_lang::parse(&source)
+            .unwrap_or_else(|e| panic!("{} fails to parse: {e}", path.display()));
+        let printed = slim_lang::pretty(&m1);
+        let m2 = slim_lang::parse(&printed).unwrap_or_else(|e| {
+            panic!("{}: pretty output fails to re-parse: {e}\n{printed}", path.display())
+        });
+        assert_eq!(m1, m2, "{}: reparsed AST differs", path.display());
+        assert_eq!(
+            printed,
+            slim_lang::pretty(&m2),
+            "{}: pretty is not a fixed point",
+            path.display()
+        );
+    }
+}

@@ -27,6 +27,8 @@
 //! # Ok::<(), slim_stats::chernoff::AccuracyError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chernoff;
 pub mod estimator;
 pub mod math;

@@ -19,6 +19,7 @@
 //! | [`lang`] | the SLIM front-end: parser, model extension, lowering |
 //! | [`lint`] | diagnostics with stable lint codes, static lint passes |
 //! | [`models`] | the paper's models: GPS, sensor–filter, launcher |
+//! | [`fuzz`] | seeded model generator, differential oracles, shrinker |
 //!
 //! ## Quick start
 //!
@@ -44,8 +45,11 @@
 //! See the `examples/` directory for runnable scenarios and
 //! `EXPERIMENTS.md` for the paper-reproduction harness.
 
+#![forbid(unsafe_code)]
+
 pub use slim_automata as automata;
 pub use slim_ctmc as ctmc;
+pub use slim_fuzz as fuzz;
 pub use slim_lang as lang;
 pub use slim_lint as lint;
 pub use slim_models as models;

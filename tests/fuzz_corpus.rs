@@ -1,0 +1,21 @@
+//! Replays the committed fuzz regression corpus (`tests/corpus/*.slim`)
+//! through the full oracle stack. Every entry is a previously-found,
+//! since-fixed failure; any entry failing again is a regression. This is
+//! the same gate CI runs via `slimsim fuzz --replay tests/corpus`.
+
+use std::path::PathBuf;
+
+use slimsim::fuzz::{replay_corpus, OracleConfig};
+
+#[test]
+fn committed_corpus_stays_fixed() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    assert!(dir.exists(), "the regression corpus directory is missing: {}", dir.display());
+    let rows = replay_corpus(&dir, &OracleConfig::quick()).expect("corpus directory reads");
+    assert!(!rows.is_empty(), "the corpus exists but holds no .slim entries");
+    let regressions: Vec<String> = rows
+        .iter()
+        .filter_map(|(name, r)| r.as_ref().err().map(|e| format!("{name}: {e}")))
+        .collect();
+    assert!(regressions.is_empty(), "corpus regressions:\n{}", regressions.join("\n"));
+}
