@@ -67,6 +67,12 @@ enum SolveOp {
     IteSet,
     /// Pop two affine forms `a`, `b` and push the delay set of `a op b`.
     Cmp(BinOp),
+    /// Fused `AffVar(v); AffConst(k); Cmp(op)`: push the delay set of
+    /// `ν(v) + rate(v)·d  op  k` directly, skipping the affine stack.
+    CmpVarConst(BinOp, VarId, f64),
+    /// Fused `AffConst(k); AffVar(v); Cmp(op)`: push the delay set of
+    /// `k  op  ν(v) + rate(v)·d`.
+    CmpConstVar(BinOp, f64, VarId),
     /// Push a constant affine form.
     AffConst(f64),
     /// Push `ν(v) + rate(v)·d`.
@@ -109,6 +115,13 @@ enum GuardCode {
     Static(IntervalSet),
     /// Compiled postfix program.
     Prog(SolveProg),
+    /// A compiled program none of whose variables can ever carry a
+    /// nonzero rate: every affine form it builds is constant over the
+    /// delay axis, so its window is all-or-nothing and the program runs
+    /// on the Boolean interpreter ([`SolveScratch::run_bool`]) instead of
+    /// the interval-set machine. Same ops, same evaluation order, same
+    /// errors — only the set algebra collapses to `bool`.
+    DelayFree(SolveProg),
     /// Construct outside the compiled subset (e.g. numeric `if` inside a
     /// guard): solved from the AST at runtime. Allocates, but preserves
     /// legacy behavior exactly.
@@ -223,6 +236,14 @@ pub struct StepTables {
     /// Rate baseline: 1.0 for clocks, 0.0 otherwise (location rates are
     /// overlaid per state).
     base_rates: Vec<f64>,
+    /// False when every location invariant is constant `true`: delay
+    /// windows are then always `[0, ∞)` and post-advance invariant
+    /// re-checks are skipped.
+    has_invariants: bool,
+    /// False when no variable can ever carry a nonzero rate (no clocks,
+    /// no location rate declarations): the rate buffer is then all-zero
+    /// in every state and per-step refreshes are skipped.
+    has_rates: bool,
 }
 
 impl StepTables {
@@ -275,7 +296,7 @@ impl StepTables {
             match code {
                 GuardCode::Static(_) => report.static_guards += 1,
                 GuardCode::Fallback(_) => report.fallback_guards += 1,
-                GuardCode::Prog(p) => {
+                GuardCode::Prog(p) | GuardCode::DelayFree(p) => {
                     verify_solve(p, n_vars).map_err(|(pc, reason)| BytecodeError {
                         program: at(),
                         pc,
@@ -507,6 +528,10 @@ fn verify_solve(prog: &SolveProg, n_vars: usize) -> Result<(), (usize, String)> 
                 need_aff(2)?;
                 work.push((pc + 1, set + 1, aff - 2));
             }
+            SolveOp::CmpVarConst(_, v, _) | SolveOp::CmpConstVar(_, _, v) => {
+                need_var(*v)?;
+                work.push((pc + 1, set + 1, aff));
+            }
             SolveOp::AffConst(_) => work.push((pc + 1, set, aff + 1)),
             SolveOp::AffVar(v) => {
                 need_var(*v)?;
@@ -617,6 +642,10 @@ struct SolveScratch {
     t2: IntervalSet,
     t3: IntervalSet,
     t4: IntervalSet,
+    /// Boolean/constant stacks of the delay-free interpreter
+    /// ([`SolveScratch::run_bool`]); mirror `sets`/`affs`.
+    bools: Vec<bool>,
+    consts: Vec<f64>,
 }
 
 /// A raw guarded candidate produced by
@@ -777,6 +806,42 @@ fn next_combo<'a>(pool: &'a mut Vec<ComboBuf>, used: &mut usize) -> &'a mut Comb
 /// the whole guard falls back to the AST solver.
 struct Unsupported;
 
+/// True for every variable that can carry a nonzero rate in some
+/// location: clocks (base rate 1) plus any variable a location rate
+/// declaration drives. A guard whose affine ops reference none of these
+/// builds constant forms only, in every reachable state.
+fn rated_vars(net: &Network) -> Vec<bool> {
+    let mut rated: Vec<bool> = net.vars().iter().map(|v| v.ty == VarType::Clock).collect();
+    for a in net.automata() {
+        for l in &a.locations {
+            for &(v, r) in &l.rates {
+                if r != 0.0 {
+                    rated[v.0] = true;
+                }
+            }
+        }
+    }
+    rated
+}
+
+/// Downgrades a compiled program to the Boolean interpreter
+/// ([`GuardCode::DelayFree`]) when none of its affine ops can produce a
+/// non-constant form.
+fn specialize_delay_free(code: GuardCode, rated: &[bool]) -> GuardCode {
+    let delay_free = |p: &SolveProg| {
+        p.ops.iter().all(|op| match op {
+            SolveOp::AffVar(v) | SolveOp::CmpVarConst(_, v, _) | SolveOp::CmpConstVar(_, _, v) => {
+                !rated.get(v.0).copied().unwrap_or(false)
+            }
+            _ => true,
+        })
+    };
+    match code {
+        GuardCode::Prog(p) if delay_free(&p) => GuardCode::DelayFree(p),
+        other => other,
+    }
+}
+
 fn compile_guard(e: &Expr, net: &Network) -> GuardCode {
     let mut prog = SolveProg { ops: Vec::new(), ctx: Vec::new() };
     if compile_solve(e, net, &mut prog).is_err() {
@@ -796,7 +861,41 @@ fn compile_guard(e: &Expr, net: &Network) -> GuardCode {
             return GuardCode::Static(set);
         }
     }
+    fuse_solve(&mut prog);
     GuardCode::Prog(prog)
+}
+
+/// Peephole superinstruction fusion: collapses the ubiquitous
+/// `variable cmp constant` pattern (and its mirrored form) from three ops
+/// to one, removing two affine-stack round-trips per comparison in the
+/// guard-evaluation hot loop. Programs containing jumps are left alone —
+/// fusing would shift their targets.
+fn fuse_solve(prog: &mut SolveProg) {
+    if prog.ops.iter().any(|op| matches!(op, SolveOp::AffBranch { .. } | SolveOp::AffJump(_))) {
+        return;
+    }
+    let mut fused: Vec<SolveOp> = Vec::with_capacity(prog.ops.len());
+    for op in prog.ops.drain(..) {
+        if let SolveOp::Cmp(cmp) = op {
+            let n = fused.len();
+            if n >= 2 {
+                if let (SolveOp::AffVar(v), SolveOp::AffConst(k)) = (&fused[n - 2], &fused[n - 1]) {
+                    let (v, k) = (*v, *k);
+                    fused.truncate(n - 2);
+                    fused.push(SolveOp::CmpVarConst(cmp, v, k));
+                    continue;
+                }
+                if let (SolveOp::AffConst(k), SolveOp::AffVar(v)) = (&fused[n - 2], &fused[n - 1]) {
+                    let (k, v) = (*k, *v);
+                    fused.truncate(n - 2);
+                    fused.push(SolveOp::CmpConstVar(cmp, k, v));
+                    continue;
+                }
+            }
+        }
+        fused.push(op);
+    }
+    prog.ops = fused;
 }
 
 fn compile_solve(e: &Expr, net: &Network, prog: &mut SolveProg) -> Result<(), Unsupported> {
@@ -994,6 +1093,8 @@ impl Network {
     /// guard the bytecode cannot model is kept as an AST fallback with
     /// identical runtime behavior.
     pub fn compile(&self) -> StepTables {
+        let rated = rated_vars(self);
+        let guard = |g: &Expr| specialize_delay_free(compile_guard(g, self), &rated);
         let n_procs = self.automata().len();
         let mut tau = Vec::with_capacity(n_procs);
         let mut markov = Vec::with_capacity(n_procs);
@@ -1008,7 +1109,7 @@ impl Network {
                     GuardKind::Boolean(g) if t.action.is_tau() => {
                         a_tau[t.from.0].push(CompiledGuarded {
                             trans: TransId(i),
-                            guard: compile_guard(g, self),
+                            guard: guard(g),
                             urgent: t.urgent,
                         });
                     }
@@ -1021,13 +1122,15 @@ impl Network {
             invariants.push(
                 a.locations
                     .iter()
-                    .map(|l| {
-                        if l.invariant.is_const_true() {
-                            None
-                        } else {
-                            Some(compile_guard(&l.invariant, self))
-                        }
-                    })
+                    .map(
+                        |l| {
+                            if l.invariant.is_const_true() {
+                                None
+                            } else {
+                                Some(guard(&l.invariant))
+                            }
+                        },
+                    )
                     .collect(),
             );
             trans.push(
@@ -1068,7 +1171,7 @@ impl Network {
                         if let GuardKind::Boolean(g) = &t.guard {
                             by_loc[t.from.0].push(CompiledGuarded {
                                 trans: TransId(i),
-                                guard: compile_guard(g, self),
+                                guard: guard(g),
                                 urgent: t.urgent,
                             });
                         }
@@ -1093,7 +1196,19 @@ impl Network {
         let base_rates =
             self.vars().iter().map(|v| if v.ty == VarType::Clock { 1.0 } else { 0.0 }).collect();
 
-        let tables = StepTables { tau, markov, sync, invariants, trans, flows, base_rates };
+        let has_invariants = invariants.iter().flatten().any(Option::is_some);
+        let has_rates = rated_vars(self).iter().any(|&r| r);
+        let tables = StepTables {
+            tau,
+            markov,
+            sync,
+            invariants,
+            trans,
+            flows,
+            base_rates,
+            has_invariants,
+            has_rates,
+        };
         #[cfg(debug_assertions)]
         if let Err(e) = tables.verify_bytecode() {
             panic!("internal error: compiled bytecode failed verification: {e}");
@@ -1200,6 +1315,18 @@ impl SolveScratch {
                     let i = self.push_slot();
                     solve_cmp_into(*cmp, Aff { k: fa.k - fb.k, m: fa.m - fb.m }, &mut self.sets[i]);
                 }
+                SolveOp::CmpVarConst(cmp, v, kc) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    let m = rates.get(v.0).copied().unwrap_or(0.0);
+                    let i = self.push_slot();
+                    solve_cmp_into(*cmp, Aff { k: x - kc, m }, &mut self.sets[i]);
+                }
+                SolveOp::CmpConstVar(cmp, kc, v) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    let m = rates.get(v.0).copied().unwrap_or(0.0);
+                    let i = self.push_slot();
+                    solve_cmp_into(*cmp, Aff { k: kc - x, m: -m }, &mut self.sets[i]);
+                }
                 SolveOp::AffConst(k) => self.affs.push(Aff::constant(*k)),
                 SolveOp::AffVar(v) => {
                     let k = nu.get(*v)?.as_real()?;
@@ -1282,6 +1409,133 @@ impl SolveScratch {
         }
         debug_assert_eq!(self.depth, 1, "guard program leaves one set");
         Ok(())
+    }
+
+    /// Runs a [`GuardCode::DelayFree`] program on plain `bool`/`f64`
+    /// stacks. Sound because every variable the program reads has rate 0
+    /// in every location (checked at compile time): each affine form is
+    /// constant, so each pushed set is exactly `[0, ∞)` or `∅` and the
+    /// set algebra collapses to Boolean algebra. Ops execute in the same
+    /// order with the same error cases as [`SolveScratch::run`], keeping
+    /// diagnostics identical; the `NonLinear` arms of that interpreter
+    /// are unreachable here (constant operands, all-or-nothing branch
+    /// conditions).
+    fn run_bool(&mut self, prog: &SolveProg, nu: &Valuation) -> Result<bool, EvalError> {
+        self.bools.clear();
+        self.consts.clear();
+        let mut pc = 0usize;
+        while pc < prog.ops.len() {
+            match &prog.ops[pc] {
+                SolveOp::SetTrue => self.bools.push(true),
+                SolveOp::SetFalse => self.bools.push(false),
+                SolveOp::SetVar(v) => match nu.get(*v)? {
+                    Value::Bool(b) => self.bools.push(b),
+                    other => {
+                        return Err(EvalError::TypeConfusion {
+                            context: format!("numeric variable {other} as guard"),
+                        })
+                    }
+                },
+                SolveOp::Complement => {
+                    let b = self.bools.last_mut().expect("bool stack underflow");
+                    *b = !*b;
+                }
+                SolveOp::Intersect => {
+                    let b = self.bools.pop().expect("bool stack underflow");
+                    *self.bools.last_mut().expect("bool stack underflow") &= b;
+                }
+                SolveOp::Union => {
+                    let b = self.bools.pop().expect("bool stack underflow");
+                    *self.bools.last_mut().expect("bool stack underflow") |= b;
+                }
+                SolveOp::Xor | SolveOp::BoolNe => {
+                    let b = self.bools.pop().expect("bool stack underflow");
+                    *self.bools.last_mut().expect("bool stack underflow") ^= b;
+                }
+                SolveOp::BoolEq => {
+                    let b = self.bools.pop().expect("bool stack underflow");
+                    *self.bools.last_mut().expect("bool stack underflow") ^= !b;
+                }
+                SolveOp::IteSet => {
+                    let e = self.bools.pop().expect("bool stack underflow");
+                    let t = self.bools.pop().expect("bool stack underflow");
+                    let c = self.bools.last_mut().expect("bool stack underflow");
+                    *c = if *c { t } else { e };
+                }
+                SolveOp::Cmp(cmp) => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    let fa = self.consts.pop().expect("const stack underflow");
+                    self.bools.push(cmp_truth(*cmp, fa - fb));
+                }
+                SolveOp::CmpVarConst(cmp, v, kc) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    self.bools.push(cmp_truth(*cmp, x - kc));
+                }
+                SolveOp::CmpConstVar(cmp, kc, v) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    self.bools.push(cmp_truth(*cmp, kc - x));
+                }
+                SolveOp::AffConst(k) => self.consts.push(*k),
+                SolveOp::AffVar(v) => self.consts.push(nu.get(*v)?.as_real()?),
+                SolveOp::AffNeg => {
+                    let k = self.consts.last_mut().expect("const stack underflow");
+                    *k = -*k;
+                }
+                SolveOp::AffAdd => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    *self.consts.last_mut().expect("const stack underflow") += fb;
+                }
+                SolveOp::AffSub => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    *self.consts.last_mut().expect("const stack underflow") -= fb;
+                }
+                SolveOp::AffMul(_) => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    *self.consts.last_mut().expect("const stack underflow") *= fb;
+                }
+                SolveOp::AffDiv(_) => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    if fb == 0.0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    *self.consts.last_mut().expect("const stack underflow") /= fb;
+                }
+                SolveOp::AffMin(_) => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    let fa = self.consts.last_mut().expect("const stack underflow");
+                    *fa = fa.min(fb);
+                }
+                SolveOp::AffMax(_) => {
+                    let fb = self.consts.pop().expect("const stack underflow");
+                    let fa = self.consts.last_mut().expect("const stack underflow");
+                    *fa = fa.max(fb);
+                }
+                SolveOp::AffBranch { else_skip, .. } => {
+                    let c = self.bools.pop().expect("bool stack underflow");
+                    if !c {
+                        pc += *else_skip as usize;
+                    }
+                }
+                SolveOp::AffJump(n) => pc += *n as usize,
+            }
+            pc += 1;
+        }
+        debug_assert_eq!(self.bools.len(), 1, "guard program leaves one value");
+        Ok(self.bools.pop().expect("bool stack underflow"))
+    }
+}
+
+/// Truth of `k cmp 0` — the `m == 0` arm of [`solve_cmp_into`], which is
+/// the only arm a delay-free program can reach.
+fn cmp_truth(op: BinOp, k: f64) -> bool {
+    match op {
+        BinOp::Eq => k == 0.0,
+        BinOp::Ne => k != 0.0,
+        BinOp::Lt => k < 0.0,
+        BinOp::Le => k <= 0.0,
+        BinOp::Gt => k > 0.0,
+        BinOp::Ge => k >= 0.0,
+        _ => unreachable!("caller dispatches comparisons only"),
     }
 }
 
@@ -1384,6 +1638,13 @@ fn eval_guard(
             std::mem::swap(out, &mut sv.sets[0]);
             sv.depth = 0;
         }
+        GuardCode::DelayFree(prog) => {
+            if sv.run_bool(prog, nu)? {
+                out.set_all();
+            } else {
+                out.clear();
+            }
+        }
         GuardCode::Fallback(e) => {
             let rate = |v: VarId| rates.get(v.0).copied().unwrap_or(0.0);
             let env = DelayEnv::new(nu, &rate);
@@ -1474,6 +1735,12 @@ impl Network {
     /// with the current locations' rates) — value-identical to
     /// [`Network::active_rates`].
     fn refresh_rates(&self, t: &StepTables, rates: &mut Vec<f64>, state: &NetState) {
+        // Rate-free models keep an all-zero buffer forever: once filled it can
+        // never change (base rates are zero and no location overlays a nonzero
+        // rate), so the refresh is a no-op after the first call.
+        if !t.has_rates && rates.len() == t.base_rates.len() {
+            return;
+        }
         rates.clear();
         rates.extend_from_slice(&t.base_rates);
         for (p, a) in self.automata().iter().enumerate() {
@@ -1481,6 +1748,15 @@ impl Network {
                 rates[v.0] = r;
             }
         }
+    }
+
+    /// Recomputes the per-variable flow rates of `state` into the scratch
+    /// rate buffer — the single refresh a rated stepping sequence (the
+    /// `*_rated` methods) shares for a whole step. Rates depend only on
+    /// the current locations, so the buffer stays valid until a transition
+    /// fires; delays never invalidate it.
+    pub fn rates_refresh(&self, t: &StepTables, s: &mut StepScratch, state: &NetState) {
+        self.refresh_rates(t, &mut s.rates, state);
     }
 
     /// Allocation-free [`Network::delay_window`]: writes the invariant
@@ -1496,7 +1772,29 @@ impl Network {
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
         self.refresh_rates(t, &mut s.rates, state);
+        self.delay_window_rated(t, s, state, out)
+    }
+
+    /// [`Network::delay_window_into`] without the rate refresh: evaluates
+    /// against the rates left in the scratch by [`Network::rates_refresh`]
+    /// (or any refreshing `*_into` call). Valid as long as no transition
+    /// has fired since the refresh — bit-identical to the refreshing form.
+    ///
+    /// # Errors
+    /// Identical to the legacy method.
+    pub fn delay_window_rated(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
         out.set_all();
+        if !t.has_invariants {
+            // The general path below reduces to `prefix_from_zero` on
+            // `[0, ∞)`, which reproduces `set_all` bit-for-bit.
+            return Ok(());
+        }
         for (p, by_loc) in t.invariants.iter().enumerate() {
             let Some(code) = &by_loc[state.locs[p].0] else { continue };
             eval_guard(code, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
@@ -1546,20 +1844,50 @@ impl Network {
         state: &NetState,
     ) -> Result<(), EvalError> {
         self.refresh_rates(t, &mut s.rates, state);
+        self.guarded_candidates_rated(t, s, state)
+    }
+
+    /// [`Network::guarded_candidates_into`] without the rate refresh (see
+    /// [`Network::delay_window_rated`] for the contract).
+    ///
+    /// # Errors
+    /// Identical to the legacy method.
+    pub fn guarded_candidates_rated(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+    ) -> Result<(), EvalError> {
         s.n_cands = 0;
 
-        // Internal (τ) guarded transitions fire alone.
+        // Internal (τ) guarded transitions fire alone. Delay-free guards
+        // short-circuit on the Boolean interpreter: disabled guards cost
+        // one `run_bool`, enabled ones a `set_all` — no interval-set
+        // round-trip (the windows are identical either way).
         for (p, by_loc) in t.tau.iter().enumerate() {
             for cg in &by_loc[state.locs[p].0] {
-                eval_guard(&cg.guard, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
-                if !s.guard_result.is_empty() {
-                    let c = next_cand(&mut s.cands, &mut s.n_cands);
-                    c.action = ActionId::TAU;
-                    c.parts.clear();
-                    c.parts.push((ProcId(p), cg.trans));
+                let all = if let GuardCode::DelayFree(prog) = &cg.guard {
+                    if !s.solver.run_bool(prog, &state.nu)? {
+                        continue;
+                    }
+                    true
+                } else {
+                    eval_guard(&cg.guard, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
+                    if s.guard_result.is_empty() {
+                        continue;
+                    }
+                    false
+                };
+                let c = next_cand(&mut s.cands, &mut s.n_cands);
+                c.action = ActionId::TAU;
+                c.parts.clear();
+                c.parts.push((ProcId(p), cg.trans));
+                if all {
+                    c.window.set_all();
+                } else {
                     std::mem::swap(&mut c.window, &mut s.guard_result);
-                    c.urgent = cg.urgent;
                 }
+                c.urgent = cg.urgent;
             }
         }
 
@@ -1572,13 +1900,32 @@ impl Network {
             for part in &table.parts {
                 let start = s.n_opts;
                 for cg in &part.by_loc[state.locs[part.proc.0].0] {
-                    eval_guard(&cg.guard, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
-                    if !s.guard_result.is_empty() {
-                        let o = next_opt(&mut s.opts, &mut s.n_opts);
-                        o.trans = cg.trans;
+                    let all = if let GuardCode::DelayFree(prog) = &cg.guard {
+                        if !s.solver.run_bool(prog, &state.nu)? {
+                            continue;
+                        }
+                        true
+                    } else {
+                        eval_guard(
+                            &cg.guard,
+                            &state.nu,
+                            &s.rates,
+                            &mut s.solver,
+                            &mut s.guard_result,
+                        )?;
+                        if s.guard_result.is_empty() {
+                            continue;
+                        }
+                        false
+                    };
+                    let o = next_opt(&mut s.opts, &mut s.n_opts);
+                    o.trans = cg.trans;
+                    if all {
+                        o.window.set_all();
+                    } else {
                         std::mem::swap(&mut o.window, &mut s.guard_result);
-                        o.urgent = cg.urgent;
                     }
+                    o.urgent = cg.urgent;
                 }
                 if s.n_opts == start {
                     possible = false;
@@ -1661,6 +2008,26 @@ impl Network {
         d: f64,
         window: &IntervalSet,
     ) -> Result<(), EvalError> {
+        self.refresh_rates(t, &mut s.rates, state);
+        self.advance_rated(t, s, state, d, window)
+    }
+
+    /// [`Network::advance_mut`] without rate refreshes: advancing never
+    /// changes locations, so the scratch rates stay valid through the
+    /// internal boundary-overshoot retreats too (see
+    /// [`Network::delay_window_rated`] for the contract).
+    ///
+    /// # Errors
+    /// Identical to the legacy method. On error the state may be partially
+    /// advanced; callers reset per path.
+    pub fn advance_rated(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &mut NetState,
+        d: f64,
+        window: &IntervalSet,
+    ) -> Result<(), EvalError> {
         debug_assert!(d >= 0.0, "negative delay");
         if !window.contains(d) {
             return Err(EvalError::DelayNotAllowed {
@@ -1668,15 +2035,16 @@ impl Network {
                 allowed_up_to: window.sup().unwrap_or(0.0),
             });
         }
-        s.backup.copy_from(state);
-        self.refresh_rates(t, &mut s.rates, state);
+        if t.has_invariants {
+            s.backup.copy_from(state);
+        }
         advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d)?;
         // Floating-point robustness: retreat from invariant-boundary
-        // overshoot exactly like the legacy `advance`.
-        if d > 0.0 && self.invariants_violated(t, s, state) {
+        // overshoot exactly like the legacy `advance`. Invariant-free
+        // models have nothing to overshoot.
+        if t.has_invariants && d > 0.0 && self.invariants_violated(t, s, state) {
             for backoff in [1e-12, 1e-9] {
                 state.copy_from(&s.backup);
-                self.refresh_rates(t, &mut s.rates, state);
                 advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d * (1.0 - backoff))?;
                 if !self.invariants_violated(t, s, state) {
                     return Ok(());
@@ -1684,16 +2052,17 @@ impl Network {
             }
             // Both retreats failed: return the full-d state, like legacy.
             state.copy_from(&s.backup);
-            self.refresh_rates(t, &mut s.rates, state);
             advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d)?;
         }
         Ok(())
     }
 
-    /// True if [`Network::delay_window_into`] would fail on `state`.
+    /// True if [`Network::delay_window_rated`] would fail on `state`. The
+    /// scratch rates are already valid at every call site (locations are
+    /// unchanged since the caller's refresh).
     fn invariants_violated(&self, t: &StepTables, s: &mut StepScratch, state: &NetState) -> bool {
         let mut out = std::mem::take(&mut s.inv_check);
-        let violated = self.delay_window_into(t, s, state, &mut out).is_err();
+        let violated = self.delay_window_rated(t, s, state, &mut out).is_err();
         s.inv_check = out;
         violated
     }
@@ -1750,7 +2119,8 @@ impl Network {
     /// repeated window evaluation via
     /// [`Network::predicate_window_into`].
     pub fn compile_predicate(&self, e: &Expr) -> CompiledPredicate {
-        CompiledPredicate { code: compile_guard(e, self) }
+        let rated = rated_vars(self);
+        CompiledPredicate { code: specialize_delay_free(compile_guard(e, self), &rated) }
     }
 
     /// Allocation-free equivalent of solving `pred` over the delay axis in
@@ -1766,6 +2136,21 @@ impl Network {
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
         self.active_rates_into(state, &mut s.rates);
+        self.predicate_window_rated(s, pred, state, out)
+    }
+
+    /// [`Network::predicate_window_into`] without the rate refresh (see
+    /// [`Network::delay_window_rated`] for the contract).
+    ///
+    /// # Errors
+    /// Solver errors, as for guards.
+    pub fn predicate_window_rated(
+        &self,
+        s: &mut StepScratch,
+        pred: &CompiledPredicate,
+        state: &NetState,
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
         eval_guard(&pred.code, &state.nu, &s.rates, &mut s.solver, out)
     }
 }
@@ -1784,7 +2169,7 @@ impl CompiledPredicate {
     /// # Errors
     /// The first violation found, as for [`StepTables::verify_bytecode`].
     pub fn verify(&self, n_vars: usize) -> Result<(), BytecodeError> {
-        if let GuardCode::Prog(p) = &self.code {
+        if let GuardCode::Prog(p) | GuardCode::DelayFree(p) = &self.code {
             verify_solve(p, n_vars).map_err(|(pc, reason)| BytecodeError {
                 program: "predicate".to_string(),
                 pc,
@@ -1804,13 +2189,21 @@ fn advance_unchecked_mut(
     state: &mut NetState,
     d: f64,
 ) -> Result<(), EvalError> {
+    let mut moved = false;
     for (i, r) in rates.iter().enumerate() {
         if *r != 0.0 {
             let cur = state.nu.get(VarId(i))?.as_real()?;
             state.nu.set(VarId(i), Value::Real(cur + r * d))?;
+            moved = true;
         }
     }
     state.time += d;
+    if !moved {
+        // No rated variable changed, so every flow (a pure function of
+        // the valuation — time is not in scope) re-evaluates to the value
+        // it already established; skip the re-run.
+        return Ok(());
+    }
     run_flows_inner(t, vals, &mut state.nu)
 }
 

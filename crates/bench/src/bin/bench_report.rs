@@ -88,11 +88,17 @@ fn main() {
     report.push("config.epsilon", config.accuracy.epsilon(), "1");
     report.push("config.delta", config.accuracy.delta(), "1");
     report.push("config.workers", config.workers as f64, "threads");
+    report.push("config.batch_lanes", config.batch_lanes as f64, "lanes");
 
     for case in cases() {
         let goal =
             Goal::expr(slim_automata::prelude::Expr::var(case.net.var_id(case.goal_var).unwrap()));
         let property = TimedReach::new(goal, case.bound);
+        // Untimed warm-up pass: faults in the binary's pages, grows the
+        // per-worker scratch to steady-state capacity and settles branch
+        // predictors, so the timed pass below measures sustained
+        // throughput rather than process cold-start.
+        analyze_observed(&case.net, &property, &config, None).expect("bench warm-up succeeds");
         let obs = SimObserver::new(config.workers);
         let result = analyze_observed(&case.net, &property, &config, Some(&obs))
             .expect("bench analysis succeeds");

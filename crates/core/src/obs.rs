@@ -210,6 +210,57 @@ impl SimObserver {
         }
     }
 
+    /// Flushes a whole batch of path details with one pass over the
+    /// shared counters: per-path work is reduced to the value-dependent
+    /// histogram records, everything summable lands in locals first. The
+    /// final counter values are identical to calling
+    /// [`Self::record_path`] per path; `micros` is the per-lane wall time
+    /// the caller attributes to every path of the batch.
+    pub(crate) fn record_path_batch<'a, I>(&self, paths: I, micros: u64)
+    where
+        I: Iterator<Item = (&'a PathOutcome, &'a PathDetail)>,
+    {
+        let r = &self.registry;
+        let mut verdicts = [0u64; 6];
+        let mut agg = PathDetail::default();
+        let mut steps_total = 0u64;
+        let mut n = 0u64;
+        for (outcome, detail) in paths {
+            verdicts[verdict_slot(outcome.verdict)] += 1;
+            steps_total += outcome.steps;
+            agg.fires_markovian += detail.fires_markovian;
+            agg.fires_guarded += detail.fires_guarded;
+            agg.waits += detail.waits;
+            agg.decisions_fire += detail.decisions_fire;
+            agg.decisions_wait += detail.decisions_wait;
+            agg.decisions_stuck += detail.decisions_stuck;
+            r.record(self.h_steps_per_path, outcome.steps);
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        for (slot, &count) in verdicts.iter().enumerate() {
+            if count > 0 {
+                r.add(self.c_verdicts[slot], count);
+            }
+        }
+        r.add(self.c_steps_total, steps_total);
+        r.add(self.c_fires_markovian, agg.fires_markovian);
+        r.add(self.c_fires_guarded, agg.fires_guarded);
+        r.add(self.c_waits, agg.waits);
+        r.add(self.c_decisions_fire, agg.decisions_fire);
+        r.add(self.c_decisions_wait, agg.decisions_wait);
+        r.add(self.c_decisions_stuck, agg.decisions_stuck);
+        r.record_n(self.h_path_micros, micros, n);
+        if verdicts[verdict_slot(Verdict::Deadlock)] > 0 {
+            r.add(self.c_deadlocks, verdicts[verdict_slot(Verdict::Deadlock)]);
+        }
+        if verdicts[verdict_slot(Verdict::Timelock)] > 0 {
+            r.add(self.c_timelocks, verdicts[verdict_slot(Verdict::Timelock)]);
+        }
+    }
+
     /// Attributes one path to worker `w` (called by the runner). Indices
     /// beyond the observer's worker count are counted globally but not
     /// attributed.
@@ -220,6 +271,28 @@ impl SimObserver {
                 self.registry.inc(ids.satisfied);
             }
             self.registry.add(ids.busy_nanos, busy.as_nanos() as u64);
+        }
+    }
+
+    /// Attributes `paths` paths (of which `satisfied` succeeded, each
+    /// busy for `busy_each`) to worker `w` in one counter pass — the
+    /// aggregate of `paths` [`Self::record_worker_path`] calls.
+    pub(crate) fn record_worker_batch(
+        &self,
+        w: usize,
+        paths: u64,
+        satisfied: u64,
+        busy_each: Duration,
+    ) {
+        if paths == 0 {
+            return;
+        }
+        if let Some(ids) = self.workers.get(w) {
+            self.registry.add(ids.paths, paths);
+            if satisfied > 0 {
+                self.registry.add(ids.satisfied, satisfied);
+            }
+            self.registry.add(ids.busy_nanos, (busy_each.as_nanos() as u64).wrapping_mul(paths));
         }
     }
 

@@ -69,8 +69,45 @@ impl CompiledGoal {
         state: &NetState,
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
+        self.window_with(net, step, pool, state, out, false)
+    }
+
+    /// [`CompiledGoal::window_into`] without the per-atom rate refresh:
+    /// evaluates every predicate atom against the rates already in the
+    /// step scratch (see [`Network::rates_refresh`]), so a stepping loop
+    /// that refreshes once per step pays for exactly one refresh no matter
+    /// how many atoms the goal has. Bit-identical to the refreshing form.
+    ///
+    /// # Errors
+    /// Linear-solver errors for non-linear goal expressions.
+    pub fn window_rated(
+        &self,
+        net: &Network,
+        step: &mut StepScratch,
+        pool: &mut GoalPool,
+        state: &NetState,
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
+        self.window_with(net, step, pool, state, out, true)
+    }
+
+    fn window_with(
+        &self,
+        net: &Network,
+        step: &mut StepScratch,
+        pool: &mut GoalPool,
+        state: &NetState,
+        out: &mut IntervalSet,
+        rated: bool,
+    ) -> Result<(), EvalError> {
         match self {
-            CompiledGoal::Pred(p) => net.predicate_window_into(step, p, state, out),
+            CompiledGoal::Pred(p) => {
+                if rated {
+                    net.predicate_window_rated(step, p, state, out)
+                } else {
+                    net.predicate_window_into(step, p, state, out)
+                }
+            }
             CompiledGoal::InLocation(p, l) => {
                 if state.locs[p.0] == *l {
                     out.set_all();
@@ -80,9 +117,9 @@ impl CompiledGoal {
                 Ok(())
             }
             CompiledGoal::And(a, b) | CompiledGoal::Or(a, b) => {
-                a.window_into(net, step, pool, state, out)?;
+                a.window_with(net, step, pool, state, out, rated)?;
                 let mut wb = pool.take();
-                b.window_into(net, step, pool, state, &mut wb)?;
+                b.window_with(net, step, pool, state, &mut wb, rated)?;
                 let mut combined = pool.take();
                 if matches!(self, CompiledGoal::And(..)) {
                     out.intersect_into(&wb, &mut combined);
@@ -95,7 +132,7 @@ impl CompiledGoal {
                 Ok(())
             }
             CompiledGoal::Not(a) => {
-                a.window_into(net, step, pool, state, out)?;
+                a.window_with(net, step, pool, state, out, rated)?;
                 let mut flipped = pool.take();
                 out.complement_into(&mut flipped);
                 std::mem::swap(out, &mut flipped);

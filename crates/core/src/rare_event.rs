@@ -14,13 +14,12 @@
 //! only the stochastic fault process is biased.
 
 use crate::config::DeadlockPolicy;
-use crate::engine::{PathGenerator, SimScratch};
+use crate::engine::{BatchScratch, PathGenerator};
 use crate::error::SimError;
 use crate::property::TimedReach;
 use crate::strategy::StrategyKind;
-use crate::verdict::PathStats;
+use crate::verdict::{PathOutcome, PathStats};
 use slim_automata::prelude::Network;
-use slim_stats::rng::path_rng;
 use slim_stats::weighted::{WeightedEstimate, WeightedEstimator};
 use std::time::{Duration, Instant};
 
@@ -43,6 +42,9 @@ pub struct RareEventConfig {
     pub deadlock_policy: DeadlockPolicy,
     /// Master seed.
     pub seed: u64,
+    /// Lane width of the batched path kernel (see
+    /// [`crate::config::SimConfig::batch_lanes`]); `1` disables batching.
+    pub batch_lanes: usize,
 }
 
 impl Default for RareEventConfig {
@@ -56,6 +58,7 @@ impl Default for RareEventConfig {
             max_steps: 1_000_000,
             deadlock_policy: DeadlockPolicy::Falsify,
             seed: 0xAE0C0FFE,
+            batch_lanes: 16,
         }
     }
 }
@@ -92,21 +95,41 @@ pub fn analyze_rare(
     let mut estimator = WeightedEstimator::new(config.rel_err, config.confidence);
     let mut stats = PathStats::default();
 
-    let mut scratch = SimScratch::new();
+    let mut scratch = BatchScratch::new();
+    let mut batch: Vec<Result<(PathOutcome, f64), SimError>> = Vec::new();
+    let lanes = config.batch_lanes.max(1);
     let mut index = 0u64;
-    while !estimator.is_complete() && index < config.max_paths {
-        let mut rng = path_rng(config.seed, index);
-        let (outcome, weight) =
-            gen.generate_biased_with(&mut scratch, strategy.as_mut(), &mut rng, config.boost)?;
-        if config.deadlock_policy == DeadlockPolicy::Error && outcome.verdict.is_lock() {
-            return Err(SimError::DeadlockDetected {
-                time: outcome.end_time,
-                description: format!("{} after {} steps", outcome.verdict, outcome.steps),
-            });
+    'outer: while !estimator.is_complete() && index < config.max_paths {
+        // Never batch past the path cap, so a capped run reports exactly
+        // `max_paths` samples; a lane generated after the estimator
+        // completed mid-batch is discarded unconsumed — the scalar loop
+        // would never have sampled it.
+        let count = (config.max_paths - index).min(lanes as u64) as usize;
+        gen.generate_batch_biased_with(
+            &mut scratch,
+            strategy.as_mut(),
+            config.seed,
+            index,
+            1,
+            count,
+            config.boost,
+            &mut batch,
+        );
+        for res in batch.drain(..) {
+            if estimator.is_complete() {
+                break 'outer;
+            }
+            let (outcome, weight) = res?;
+            if config.deadlock_policy == DeadlockPolicy::Error && outcome.verdict.is_lock() {
+                return Err(SimError::DeadlockDetected {
+                    time: outcome.end_time,
+                    description: format!("{} after {} steps", outcome.verdict, outcome.steps),
+                });
+            }
+            stats.record(&outcome);
+            estimator.add(outcome.verdict.is_success(), weight);
         }
-        stats.record(&outcome);
-        estimator.add(outcome.verdict.is_success(), weight);
-        index += 1;
+        index += count as u64;
     }
 
     Ok(RareEventResult {
@@ -122,6 +145,7 @@ mod tests {
     use super::*;
     use crate::property::Goal;
     use slim_automata::prelude::*;
+    use slim_stats::rng::path_rng;
 
     /// ok --λ--> failed with a tiny λ: P(◇[0,1] failed) = 1 − e^{−λ}.
     fn rare_net(lambda: f64) -> (Network, TimedReach) {

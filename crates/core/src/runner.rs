@@ -13,7 +13,7 @@
 //! with deterministic mock samplers (panics, locks, slow late paths).
 
 use crate::config::{DeadlockPolicy, SimConfig};
-use crate::engine::{PathGenerator, SimScratch};
+use crate::engine::{BatchScratch, PathGenerator};
 use crate::error::SimError;
 use crate::obs::SimObserver;
 use crate::preverdict::{pre_verdict, PreVerdict};
@@ -75,32 +75,70 @@ pub(crate) trait PathSource: Sync {
         obs: Option<&SimObserver>,
     ) -> Result<PathOutcome, SimError>;
 
+    /// Generates the outcomes of the `count` paths at indices `start`,
+    /// `start + stride`, `start + 2·stride`, …, clearing `out` and
+    /// pushing one result per path in index order. The default
+    /// implementation loops [`Self::sample`]; the engine source
+    /// overrides it with the batched structure-of-arrays kernel
+    /// (identical per-path results, amortized dispatch).
+    #[allow(clippy::too_many_arguments)]
+    fn sample_batch(
+        &self,
+        start: u64,
+        stride: u64,
+        count: usize,
+        scratch: &mut Self::Scratch,
+        strategy: &mut dyn Strategy,
+        obs: Option<&SimObserver>,
+        out: &mut Vec<Result<PathOutcome, SimError>>,
+    ) {
+        out.clear();
+        for j in 0..count as u64 {
+            out.push(self.sample(start + stride * j, scratch, strategy, obs));
+        }
+    }
+
     /// Size of one simulation state in bytes (for the memory estimate).
     fn state_bytes(&self) -> usize;
 }
 
-/// The production source: one seeded engine run per path index.
+/// The production source: one seeded engine run per path index, lifted
+/// onto the batched structure-of-arrays kernel when the runner asks for
+/// whole lanes at once.
 struct EngineSource<'a> {
     gen: PathGenerator<'a>,
     seed: u64,
 }
 
 impl PathSource for EngineSource<'_> {
-    type Scratch = SimScratch;
+    type Scratch = BatchScratch;
 
-    fn make_scratch(&self) -> SimScratch {
-        SimScratch::new()
+    fn make_scratch(&self) -> BatchScratch {
+        BatchScratch::new()
     }
 
     fn sample(
         &self,
         index: u64,
-        scratch: &mut SimScratch,
+        scratch: &mut BatchScratch,
         strategy: &mut dyn Strategy,
         obs: Option<&SimObserver>,
     ) -> Result<PathOutcome, SimError> {
         let mut rng = path_rng(self.seed, index);
-        self.gen.generate_observed_with(scratch, strategy, &mut rng, obs)
+        self.gen.generate_observed_with(scratch.sim_mut(), strategy, &mut rng, obs)
+    }
+
+    fn sample_batch(
+        &self,
+        start: u64,
+        stride: u64,
+        count: usize,
+        scratch: &mut BatchScratch,
+        strategy: &mut dyn Strategy,
+        obs: Option<&SimObserver>,
+        out: &mut Vec<Result<PathOutcome, SimError>>,
+    ) {
+        self.gen.generate_batch_with(scratch, strategy, self.seed, start, stride, count, obs, out);
     }
 
     fn state_bytes(&self) -> usize {
@@ -275,26 +313,73 @@ fn analyze_sequential_impl<S: PathSource>(
     let mut stats = PathStats::default();
     let mut convergence = ConvergenceSchedule::new();
     let mut index: u64 = 0;
+    let lanes = config.batch_lanes.max(1);
+    let mut batch: Vec<Result<PathOutcome, SimError>> = Vec::new();
 
     while !generator.is_complete() {
+        // Batch width: never overshoot a known sample target, so a
+        // fixed-count (Chernoff) run samples exactly its target and the
+        // estimate matches the scalar loop bit-for-bit. Sequential
+        // stopping rules have no target; an overshoot of at most
+        // `lanes − 1` paths is drained below under the same consumption
+        // gating the parallel collector applies to in-flight samples.
+        let count = match generator.known_target() {
+            Some(n) => n.saturating_sub(generator.samples()).min(lanes as u64).max(1) as usize,
+            None => lanes,
+        };
         let sampled_at = obs.map(|_| Instant::now());
-        let outcome = source.sample(index, &mut scratch, strategy.as_mut(), obs)?;
-        check_deadlock_policy(config, &outcome)?;
-        if let (Some(o), Some(t0)) = (obs, sampled_at) {
-            o.record_worker_path(0, &outcome, t0.elapsed());
+        source.sample_batch(index, 1, count, &mut scratch, strategy.as_mut(), obs, &mut batch);
+        let per_path = sampled_at.map(|t0| t0.elapsed() / count as u32);
+        // Worker attribution is flushed once per batch (one counter pass
+        // instead of one per path) — the totals are identical.
+        let mut w_paths = 0u64;
+        let mut w_satisfied = 0u64;
+        let flush_worker = |o: Option<&SimObserver>, paths: u64, satisfied: u64| {
+            if let (Some(o), Some(d)) = (o, per_path) {
+                o.record_worker_batch(0, paths, satisfied, d);
+            }
+        };
+        for (j, res) in batch.drain(..).enumerate() {
+            let complete = generator.is_complete();
+            match res {
+                Ok(outcome) => {
+                    if !complete {
+                        if let Err(e) = check_deadlock_policy(config, &outcome) {
+                            flush_worker(obs, w_paths, w_satisfied);
+                            return Err(e);
+                        }
+                    }
+                    if per_path.is_some() {
+                        w_paths += 1;
+                        w_satisfied += u64::from(outcome.verdict.is_success());
+                    }
+                    stats.record(&outcome);
+                    if !complete {
+                        generator.add(outcome.verdict.is_success());
+                        if let Some(o) = obs {
+                            o.offer_witness(index + j as u64, outcome.verdict);
+                            convergence.after_sample(generator.as_ref(), config.accuracy, o);
+                            o.on_progress(
+                                generator.samples(),
+                                generator.known_target(),
+                                current_estimate(generator.as_ref(), config.accuracy),
+                            );
+                        }
+                    }
+                }
+                // An error past completion belongs to a path the scalar
+                // loop would never have sampled: ignore it, like the
+                // parallel drain ignores late worker errors.
+                Err(e) => {
+                    if !complete {
+                        flush_worker(obs, w_paths, w_satisfied);
+                        return Err(e);
+                    }
+                }
+            }
         }
-        stats.record(&outcome);
-        generator.add(outcome.verdict.is_success());
-        if let Some(o) = obs {
-            o.offer_witness(index, outcome.verdict);
-            convergence.after_sample(generator.as_ref(), config.accuracy, o);
-            o.on_progress(
-                generator.samples(),
-                generator.known_target(),
-                current_estimate(generator.as_ref(), config.accuracy),
-            );
-        }
-        index += 1;
+        flush_worker(obs, w_paths, w_satisfied);
+        index += count as u64;
     }
 
     let sim_wall = start.elapsed();
@@ -317,6 +402,7 @@ fn analyze_parallel_impl<S: PathSource>(
     let start = Instant::now();
     let mut generator = config.generator.instantiate(config.accuracy);
     let workers = config.workers;
+    let lanes = config.batch_lanes.max(1);
     let stop = AtomicBool::new(false);
 
     // With an a-priori known sample count (CH bound), split statically:
@@ -362,26 +448,50 @@ fn analyze_parallel_impl<S: PathSource>(
                         // Worker w handles path indices w, w + k, w + 2k, …
                         let mut index = w as u64;
                         let mut produced: u64 = 0;
-                        loop {
+                        let mut batch: Vec<Result<PathOutcome, SimError>> = Vec::new();
+                        'work: loop {
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            if let Some(q) = quota {
-                                if produced >= q {
-                                    break;
+                            // Quota'd (fixed-target) runs batch up to the
+                            // configured lane width — the target is known
+                            // a priori, so whole lanes can be committed.
+                            // Sequential stopping rules sample one path at
+                            // a time: completion must be able to react
+                            // between outcomes, and a batch finished as a
+                            // unit would deliver its early outcomes as
+                            // late as its slowest lane.
+                            let count = match quota {
+                                Some(q) => {
+                                    if produced >= q {
+                                        break;
+                                    }
+                                    (q - produced).min(lanes as u64) as usize
+                                }
+                                None => 1,
+                            };
+                            let sampled_at = obs.map(|_| Instant::now());
+                            source.sample_batch(
+                                index,
+                                workers as u64,
+                                count,
+                                &mut scratch,
+                                strategy.as_mut(),
+                                obs,
+                                &mut batch,
+                            );
+                            let per_path = sampled_at.map(|t0| t0.elapsed() / count as u32);
+                            for out in batch.drain(..) {
+                                if let (Some(o), Some(d), Ok(outcome)) = (obs, per_path, &out) {
+                                    o.record_worker_path(w, outcome, d);
+                                }
+                                let failed = out.is_err();
+                                if tx.send((w, out)).is_err() || failed {
+                                    break 'work;
                                 }
                             }
-                            let sampled_at = obs.map(|_| Instant::now());
-                            let out = source.sample(index, &mut scratch, strategy.as_mut(), obs);
-                            if let (Some(o), Some(t0), Ok(outcome)) = (obs, sampled_at, &out) {
-                                o.record_worker_path(w, outcome, t0.elapsed());
-                            }
-                            let failed = out.is_err();
-                            if tx.send((w, out)).is_err() || failed {
-                                break;
-                            }
-                            produced += 1;
-                            index += workers as u64;
+                            produced += count as u64;
+                            index += workers as u64 * count as u64;
                         }
                     });
                     // A panicking worker reports itself as a structured

@@ -13,8 +13,8 @@ use slim_lint::LintConfig;
 use slim_stats::chernoff::Accuracy;
 use slim_stats::rng::{derive_seed, path_rng};
 use slimsim_core::prelude::{
-    analyze, pre_verdict, DeadlockPolicy, Goal, PathGenerator, PreVerdict, SimConfig, SimError,
-    SimScratch, StrategyKind, TimedReach,
+    analyze, pre_verdict, BatchScratch, DeadlockPolicy, Goal, PathGenerator, PathOutcome,
+    PreVerdict, SimConfig, SimError, SimScratch, StrategyKind, TimedReach,
 };
 
 use crate::generate::{GeneratedModel, GoalSpec};
@@ -26,7 +26,10 @@ const SOUNDNESS_SEED_TAG: u64 = 0x00f1_7b0a_57ab_1e00;
 /// Tag for the prune-invariance runs, distinct from every other stream.
 const INVARIANCE_SEED_TAG: u64 = 0x0b5e_55ed;
 
-/// The six checked claims, in pipeline order.
+/// Tag for the batch-equivalence paths, distinct from every other stream.
+const BATCH_SEED_TAG: u64 = 0x000b_a7c1_1ed0_u64;
+
+/// The seven checked claims, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// `parse(pretty(m)) == m`, and `pretty` is a fixed point of the
@@ -43,6 +46,9 @@ pub enum OracleKind {
     /// a seeded pseudo-random walk: delay windows, candidate lists
     /// (order included), Markovian rates, successor states.
     CompiledEquivalence,
+    /// The batched SoA path kernel reproduces the scalar engine's
+    /// per-path outcome (or error) lane-exactly at every lane width.
+    BatchEquivalence,
     /// A `P = 0` pre-verdict is never contradicted by a simulated goal
     /// hit; a `P = 1` pre-verdict never sees a failing path.
     FixpointSoundness,
@@ -59,6 +65,7 @@ impl OracleKind {
             OracleKind::Lint => "lint",
             OracleKind::Bytecode => "bytecode",
             OracleKind::CompiledEquivalence => "compiled-equivalence",
+            OracleKind::BatchEquivalence => "batch-equivalence",
             OracleKind::FixpointSoundness => "fixpoint-soundness",
             OracleKind::PruneInvariance => "prune-invariance",
         }
@@ -70,11 +77,12 @@ impl OracleKind {
     }
 
     /// All oracles, in pipeline order.
-    pub const ALL: [OracleKind; 6] = [
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::RoundTrip,
         OracleKind::Lint,
         OracleKind::Bytecode,
         OracleKind::CompiledEquivalence,
+        OracleKind::BatchEquivalence,
         OracleKind::FixpointSoundness,
         OracleKind::PruneInvariance,
     ];
@@ -214,6 +222,12 @@ pub fn run_oracles(model: &GeneratedModel, cfg: &OracleConfig) -> OracleOutcome 
             return out;
         }
     };
+
+    if let Err(detail) = batch_equivalence(model, &net, &property, cfg) {
+        out.failure = Some(OracleFailure { kind: OracleKind::BatchEquivalence, detail });
+        return out;
+    }
+    out.ran.push(OracleKind::BatchEquivalence);
 
     match fixpoint_soundness(model, &net, &property, cfg) {
         Ok(pre_exact) => out.pre_exact = pre_exact,
@@ -499,6 +513,72 @@ fn fixpoint_soundness(
         }
     }
     Ok(Some(claim))
+}
+
+// ---- batch equivalence ----
+
+/// Challenges the batched SoA kernel's lane determinism contract: every
+/// path generated through a batch must reproduce the scalar engine's
+/// outcome for the same `(seed, index)` — verdict, step count, end time,
+/// or the *same* error — at every lane width, on a scratch deliberately
+/// left dirty between widths.
+fn batch_equivalence(
+    model: &GeneratedModel,
+    net: &Network,
+    property: &TimedReach,
+    cfg: &OracleConfig,
+) -> Result<(), String> {
+    let generator = PathGenerator::new(net, property, cfg.max_steps);
+    let sim_seed = derive_seed(model.seed, model.index ^ BATCH_SEED_TAG);
+    let total = cfg.soundness_paths;
+
+    // Scalar reference stream, one fresh RNG per path index.
+    let mut scratch = SimScratch::new();
+    let mut scalar: Vec<Result<PathOutcome, String>> = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        let mut rng = path_rng(sim_seed, i);
+        let mut strategy = StrategyKind::Asap.instantiate();
+        scalar.push(
+            generator
+                .generate_with(&mut scratch, strategy.as_mut(), &mut rng)
+                .map_err(|e| e.to_string()),
+        );
+    }
+
+    // The same stream through the batched kernel; the scratch stays
+    // dirty across widths so stale lane state can never leak.
+    let mut batch_scratch = BatchScratch::new();
+    let mut batch = Vec::new();
+    for lanes in [4usize, 8] {
+        let mut strategy = StrategyKind::Asap.instantiate();
+        let mut i = 0u64;
+        while i < total {
+            let count = ((total - i) as usize).min(lanes);
+            generator.generate_batch_with(
+                &mut batch_scratch,
+                strategy.as_mut(),
+                sim_seed,
+                i,
+                1,
+                count,
+                None,
+                &mut batch,
+            );
+            for (j, got) in batch.drain(..).enumerate() {
+                let index = i + j as u64;
+                let got = got.map_err(|e| e.to_string());
+                let want = &scalar[index as usize];
+                if got != *want {
+                    return Err(format!(
+                        "path {index} (seed {sim_seed}) diverged at lane width {lanes}: \
+                         scalar {want:?}, batched {got:?}"
+                    ));
+                }
+            }
+            i += count as u64;
+        }
+    }
+    Ok(())
 }
 
 // ---- prune invariance ----

@@ -63,9 +63,10 @@ fn ctmc_reference(case: &Case) -> f64 {
         .probability
 }
 
-/// Runs the seeded simulator and asserts the estimate lands within its
-/// Chernoff half-width ε of the CTMC reference.
-fn assert_conformance(case: &Case, epsilon: f64, workers: usize) {
+/// Runs the seeded simulator at an explicit batch lane width and asserts
+/// the estimate lands within its Chernoff half-width ε of the CTMC
+/// reference.
+fn assert_conformance_lanes(case: &Case, epsilon: f64, workers: usize, lanes: usize) {
     let reference = ctmc_reference(case);
     let goal = Goal::expr(Expr::var(case.net.var_id(case.goal_var).unwrap()));
     let prop = TimedReach::new(goal, case.bound);
@@ -73,14 +74,20 @@ fn assert_conformance(case: &Case, epsilon: f64, workers: usize) {
         .with_accuracy(Accuracy::new(epsilon, 0.05).unwrap())
         .with_strategy(StrategyKind::Asap)
         .with_seed(0xD5A1)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_batch_lanes(lanes);
     let r = analyze(&case.net, &prop, &cfg).unwrap();
     assert!(
         (r.probability() - reference).abs() <= epsilon,
-        "{}: simulator {} vs CTMC {reference} (ε = {epsilon}, workers {workers})",
+        "{}: simulator {} vs CTMC {reference} (ε = {epsilon}, workers {workers}, lanes {lanes})",
         case.name,
         r.probability()
     );
+}
+
+/// [`assert_conformance_lanes`] at the default lane width.
+fn assert_conformance(case: &Case, epsilon: f64, workers: usize) {
+    assert_conformance_lanes(case, epsilon, workers, SimConfig::default().batch_lanes);
 }
 
 #[test]
@@ -135,6 +142,30 @@ fn sequential_generators_conform_on_sensor_filter() {
     }
 }
 
+/// The batched SoA kernel, explicitly exercised at lane widths away from
+/// the default (including `1`, which disables batching), must conform to
+/// the same CTMC references. Lane determinism makes all widths produce
+/// the *same* estimate, so a conformance failure here isolates a batched
+/// stepping bug rather than a statistical fluke.
+#[test]
+fn batched_kernel_conforms_to_ctmc_on_all_untimed_models() {
+    for case in cases() {
+        for lanes in [1usize, 8, 64] {
+            assert_conformance_lanes(&case, 0.03, 1, lanes);
+        }
+    }
+}
+
+/// The batched kernel under parallel workers: each worker strides its
+/// lanes through the shared path-index space (`start + workers·j`), and
+/// the merged estimate must still conform.
+#[test]
+fn batched_kernel_conforms_with_parallel_workers() {
+    for case in cases() {
+        assert_conformance_lanes(&case, 0.03, 4, 32);
+    }
+}
+
 #[test]
 #[ignore = "tier-2: tight-accuracy conformance (hundreds of thousands of paths)"]
 fn tight_epsilon_conformance_sequential() {
@@ -148,5 +179,13 @@ fn tight_epsilon_conformance_sequential() {
 fn tight_epsilon_conformance_parallel() {
     for case in cases() {
         assert_conformance(&case, 0.005, 4);
+    }
+}
+
+#[test]
+#[ignore = "tier-2: tight-accuracy conformance through the batched kernel"]
+fn tight_epsilon_conformance_batched() {
+    for case in cases() {
+        assert_conformance_lanes(&case, 0.005, 1, 64);
     }
 }
