@@ -36,6 +36,7 @@ use crate::linear::{solve, Aff, DelayEnv};
 use crate::network::{Network, INVARIANT_TOLERANCE};
 use crate::state::NetState;
 use crate::value::{Value, VarType};
+use slim_obs::profile::{NoopProfile, ProfileHooks, ProfileLabels, ProfileShape};
 
 // ---------------------------------------------------------------------------
 // Bytecode
@@ -855,7 +856,7 @@ fn compile_guard(e: &Expr, net: &Network) -> GuardCode {
         // every call, exactly like the legacy solver.
         let nu = Valuation::new(Vec::new());
         let mut sv = SolveScratch::default();
-        if sv.run(&prog, &nu, &[]).is_ok() {
+        if sv.run(&prog, &nu, &[], &mut NoopProfile).is_ok() {
             let mut set = IntervalSet::empty();
             std::mem::swap(&mut set, &mut sv.sets[0]);
             return GuardCode::Static(set);
@@ -1232,11 +1233,21 @@ impl SolveScratch {
 
     /// Runs a compiled guard; the result is left in `sets[0]` with
     /// `depth == 1`. The caller must reset `depth` after consuming it.
-    fn run(&mut self, prog: &SolveProg, nu: &Valuation, rates: &[f64]) -> Result<(), EvalError> {
+    fn run<P: ProfileHooks>(
+        &mut self,
+        prog: &SolveProg,
+        nu: &Valuation,
+        rates: &[f64],
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
         self.depth = 0;
         self.affs.clear();
+        prof.eval_begin();
         let mut pc = 0usize;
         while pc < prog.ops.len() {
+            if P::ENABLED {
+                prof.eval_op(solve_op_index(&prog.ops[pc]));
+            }
             match &prog.ops[pc] {
                 SolveOp::SetTrue => {
                     let i = self.push_slot();
@@ -1420,11 +1431,20 @@ impl SolveScratch {
     /// diagnostics identical; the `NonLinear` arms of that interpreter
     /// are unreachable here (constant operands, all-or-nothing branch
     /// conditions).
-    fn run_bool(&mut self, prog: &SolveProg, nu: &Valuation) -> Result<bool, EvalError> {
+    fn run_bool<P: ProfileHooks>(
+        &mut self,
+        prog: &SolveProg,
+        nu: &Valuation,
+        prof: &mut P,
+    ) -> Result<bool, EvalError> {
         self.bools.clear();
         self.consts.clear();
+        prof.eval_begin();
         let mut pc = 0usize;
         while pc < prog.ops.len() {
+            if P::ENABLED {
+                prof.eval_op(solve_op_index(&prog.ops[pc]));
+            }
             match &prog.ops[pc] {
                 SolveOp::SetTrue => self.bools.push(true),
                 SolveOp::SetFalse => self.bools.push(false),
@@ -1624,22 +1644,23 @@ fn solve_cmp_into(op: BinOp, f: Aff, out: &mut IntervalSet) {
 }
 
 /// Evaluates a guard code into `out` using the solver scratch.
-fn eval_guard(
+fn eval_guard<P: ProfileHooks>(
     code: &GuardCode,
     nu: &Valuation,
     rates: &[f64],
     sv: &mut SolveScratch,
     out: &mut IntervalSet,
+    prof: &mut P,
 ) -> Result<(), EvalError> {
     match code {
         GuardCode::Static(set) => out.copy_from(set),
         GuardCode::Prog(prog) => {
-            sv.run(prog, nu, rates)?;
+            sv.run(prog, nu, rates, prof)?;
             std::mem::swap(out, &mut sv.sets[0]);
             sv.depth = 0;
         }
         GuardCode::DelayFree(prog) => {
-            if sv.run_bool(prog, nu)? {
+            if sv.run_bool(prog, nu, prof)? {
                 out.set_all();
             } else {
                 out.clear();
@@ -1658,10 +1679,19 @@ fn eval_guard(
 // Runtime: value programs
 // ---------------------------------------------------------------------------
 
-fn run_eval(prog: &EvalProg, nu: &Valuation, stack: &mut Vec<Value>) -> Result<Value, EvalError> {
+fn run_eval<P: ProfileHooks>(
+    prog: &EvalProg,
+    nu: &Valuation,
+    stack: &mut Vec<Value>,
+    prof: &mut P,
+) -> Result<Value, EvalError> {
     stack.clear();
+    prof.eval_begin();
     let mut pc = 0usize;
     while pc < prog.ops.len() {
+        if P::ENABLED {
+            prof.eval_op(eval_op_index(&prog.ops[pc]));
+        }
         match &prog.ops[pc] {
             EvalOp::Const(v) => stack.push(*v),
             EvalOp::Var(v) => stack.push(nu.get(*v)?),
@@ -1789,6 +1819,25 @@ impl Network {
         state: &NetState,
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
+        self.delay_window_rated_prof(t, s, state, out, &mut NoopProfile)
+    }
+
+    /// [`Network::delay_window_rated`] with profiling hooks: records one
+    /// delay-window solve plus every guard-program opcode executed. The
+    /// [`NoopProfile`] instantiation is what the unprofiled entry point
+    /// monomorphizes to — zero extra work.
+    ///
+    /// # Errors
+    /// Identical to the legacy method.
+    pub fn delay_window_rated_prof<P: ProfileHooks>(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+        out: &mut IntervalSet,
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
+        prof.delay_solve();
         out.set_all();
         if !t.has_invariants {
             // The general path below reduces to `prefix_from_zero` on
@@ -1797,7 +1846,7 @@ impl Network {
         }
         for (p, by_loc) in t.invariants.iter().enumerate() {
             let Some(code) = &by_loc[state.locs[p].0] else { continue };
-            eval_guard(code, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
+            eval_guard(code, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result, prof)?;
             let sat = &s.guard_result;
             let holds_now =
                 sat.contains(0.0) || sat.inf().is_some_and(|lo| lo <= INVARIANT_TOLERANCE);
@@ -1858,6 +1907,22 @@ impl Network {
         s: &mut StepScratch,
         state: &NetState,
     ) -> Result<(), EvalError> {
+        self.guarded_candidates_rated_prof(t, s, state, &mut NoopProfile)
+    }
+
+    /// [`Network::guarded_candidates_rated`] with profiling hooks: records
+    /// one guard evaluation (with its enabled/disabled outcome) per guard
+    /// visited, plus every guard-program opcode executed.
+    ///
+    /// # Errors
+    /// Identical to the legacy method.
+    pub fn guarded_candidates_rated_prof<P: ProfileHooks>(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
         s.n_cands = 0;
 
         // Internal (τ) guarded transitions fire alone. Delay-free guards
@@ -1867,13 +1932,24 @@ impl Network {
         for (p, by_loc) in t.tau.iter().enumerate() {
             for cg in &by_loc[state.locs[p].0] {
                 let all = if let GuardCode::DelayFree(prog) = &cg.guard {
-                    if !s.solver.run_bool(prog, &state.nu)? {
+                    let enabled = s.solver.run_bool(prog, &state.nu, prof)?;
+                    prof.guard_eval(p, cg.trans.0, enabled);
+                    if !enabled {
                         continue;
                     }
                     true
                 } else {
-                    eval_guard(&cg.guard, &state.nu, &s.rates, &mut s.solver, &mut s.guard_result)?;
-                    if s.guard_result.is_empty() {
+                    eval_guard(
+                        &cg.guard,
+                        &state.nu,
+                        &s.rates,
+                        &mut s.solver,
+                        &mut s.guard_result,
+                        prof,
+                    )?;
+                    let enabled = !s.guard_result.is_empty();
+                    prof.guard_eval(p, cg.trans.0, enabled);
+                    if !enabled {
                         continue;
                     }
                     false
@@ -1901,7 +1977,9 @@ impl Network {
                 let start = s.n_opts;
                 for cg in &part.by_loc[state.locs[part.proc.0].0] {
                     let all = if let GuardCode::DelayFree(prog) = &cg.guard {
-                        if !s.solver.run_bool(prog, &state.nu)? {
+                        let enabled = s.solver.run_bool(prog, &state.nu, prof)?;
+                        prof.guard_eval(part.proc.0, cg.trans.0, enabled);
+                        if !enabled {
                             continue;
                         }
                         true
@@ -1912,8 +1990,11 @@ impl Network {
                             &s.rates,
                             &mut s.solver,
                             &mut s.guard_result,
+                            prof,
                         )?;
-                        if s.guard_result.is_empty() {
+                        let enabled = !s.guard_result.is_empty();
+                        prof.guard_eval(part.proc.0, cg.trans.0, enabled);
+                        if !enabled {
                             continue;
                         }
                         false
@@ -2028,6 +2109,25 @@ impl Network {
         d: f64,
         window: &IntervalSet,
     ) -> Result<(), EvalError> {
+        self.advance_rated_prof(t, s, state, d, window, &mut NoopProfile)
+    }
+
+    /// [`Network::advance_rated`] with profiling hooks: records the flow
+    /// re-establishment opcodes and any invariant re-checks the
+    /// boundary-overshoot retreat performs.
+    ///
+    /// # Errors
+    /// Identical to the legacy method. On error the state may be partially
+    /// advanced; callers reset per path.
+    pub fn advance_rated_prof<P: ProfileHooks>(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &mut NetState,
+        d: f64,
+        window: &IntervalSet,
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
         debug_assert!(d >= 0.0, "negative delay");
         if !window.contains(d) {
             return Err(EvalError::DelayNotAllowed {
@@ -2038,21 +2138,21 @@ impl Network {
         if t.has_invariants {
             s.backup.copy_from(state);
         }
-        advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d)?;
+        advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d, prof)?;
         // Floating-point robustness: retreat from invariant-boundary
         // overshoot exactly like the legacy `advance`. Invariant-free
         // models have nothing to overshoot.
-        if t.has_invariants && d > 0.0 && self.invariants_violated(t, s, state) {
+        if t.has_invariants && d > 0.0 && self.invariants_violated(t, s, state, prof) {
             for backoff in [1e-12, 1e-9] {
                 state.copy_from(&s.backup);
-                advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d * (1.0 - backoff))?;
-                if !self.invariants_violated(t, s, state) {
+                advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d * (1.0 - backoff), prof)?;
+                if !self.invariants_violated(t, s, state, prof) {
                     return Ok(());
                 }
             }
             // Both retreats failed: return the full-d state, like legacy.
             state.copy_from(&s.backup);
-            advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d)?;
+            advance_unchecked_mut(t, &s.rates, &mut s.vals, state, d, prof)?;
         }
         Ok(())
     }
@@ -2060,9 +2160,15 @@ impl Network {
     /// True if [`Network::delay_window_rated`] would fail on `state`. The
     /// scratch rates are already valid at every call site (locations are
     /// unchanged since the caller's refresh).
-    fn invariants_violated(&self, t: &StepTables, s: &mut StepScratch, state: &NetState) -> bool {
+    fn invariants_violated<P: ProfileHooks>(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &NetState,
+        prof: &mut P,
+    ) -> bool {
         let mut out = std::mem::take(&mut s.inv_check);
-        let violated = self.delay_window_rated(t, s, state, &mut out).is_err();
+        let violated = self.delay_window_rated_prof(t, s, state, &mut out, prof).is_err();
         s.inv_check = out;
         violated
     }
@@ -2081,11 +2187,29 @@ impl Network {
         state: &mut NetState,
         parts: &[(ProcId, TransId)],
     ) -> Result<(), EvalError> {
+        self.apply_mut_prof(t, s, state, parts, &mut NoopProfile)
+    }
+
+    /// [`Network::apply_mut`] with profiling hooks: records one firing per
+    /// participant plus the effect- and flow-program opcodes executed.
+    ///
+    /// # Errors
+    /// Identical to the legacy method. On error the state may be partially
+    /// updated; callers reset per path.
+    pub fn apply_mut_prof<P: ProfileHooks>(
+        &self,
+        t: &StepTables,
+        s: &mut StepScratch,
+        state: &mut NetState,
+        parts: &[(ProcId, TransId)],
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
         s.writes.clear();
         for &(p, t_id) in parts {
+            prof.fired(p.0, t_id.0);
             let ct = &t.trans[p.0][t_id.0];
             for eff in &ct.effects {
-                let v = run_eval(&eff.prog, &state.nu, &mut s.vals)?;
+                let v = run_eval(&eff.prog, &state.nu, &mut s.vals, prof)?;
                 let v = eff.ty.canonicalize(v);
                 if !eff.ty.admits(v) {
                     if let (VarType::Int { lo, hi }, Value::Int(i)) = (eff.ty, v) {
@@ -2112,7 +2236,7 @@ impl Network {
             let (var, v) = s.writes[i];
             state.nu.set(var, v)?;
         }
-        run_flows_inner(t, &mut s.vals, &mut state.nu)
+        run_flows_inner(t, &mut s.vals, &mut state.nu, prof)
     }
 
     /// Compiles a standalone Boolean predicate (a property goal) for
@@ -2151,7 +2275,23 @@ impl Network {
         state: &NetState,
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
-        eval_guard(&pred.code, &state.nu, &s.rates, &mut s.solver, out)
+        self.predicate_window_rated_prof(s, pred, state, out, &mut NoopProfile)
+    }
+
+    /// [`Network::predicate_window_rated`] with profiling hooks: records
+    /// the predicate-program opcodes executed.
+    ///
+    /// # Errors
+    /// Solver errors, as for guards.
+    pub fn predicate_window_rated_prof<P: ProfileHooks>(
+        &self,
+        s: &mut StepScratch,
+        pred: &CompiledPredicate,
+        state: &NetState,
+        out: &mut IntervalSet,
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
+        eval_guard(&pred.code, &state.nu, &s.rates, &mut s.solver, out, prof)
     }
 }
 
@@ -2182,12 +2322,13 @@ impl CompiledPredicate {
 
 /// Advances clocks/continuous variables and re-establishes flows, without
 /// boundary snapping.
-fn advance_unchecked_mut(
+fn advance_unchecked_mut<P: ProfileHooks>(
     t: &StepTables,
     rates: &[f64],
     vals: &mut Vec<Value>,
     state: &mut NetState,
     d: f64,
+    prof: &mut P,
 ) -> Result<(), EvalError> {
     let mut moved = false;
     for (i, r) in rates.iter().enumerate() {
@@ -2204,16 +2345,17 @@ fn advance_unchecked_mut(
         // it already established; skip the re-run.
         return Ok(());
     }
-    run_flows_inner(t, vals, &mut state.nu)
+    run_flows_inner(t, vals, &mut state.nu, prof)
 }
 
-fn run_flows_inner(
+fn run_flows_inner<P: ProfileHooks>(
     t: &StepTables,
     vals: &mut Vec<Value>,
     nu: &mut Valuation,
+    prof: &mut P,
 ) -> Result<(), EvalError> {
     for f in &t.flows {
-        let v = run_eval(&f.prog, nu, vals)?;
+        let v = run_eval(&f.prog, nu, vals, prof)?;
         let v = f.ty.canonicalize(v);
         if !f.ty.admits(v) {
             if let (VarType::Int { lo, hi }, Value::Int(i)) = (f.ty, v) {
@@ -2231,6 +2373,191 @@ fn run_flows_inner(
         nu.set(f.target, v)?;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Profiling: the unified opcode namespace and the counter layout
+// ---------------------------------------------------------------------------
+
+/// Structural [`EvalOp`] opcodes (everything except `Bin`, which gets one
+/// profiling slot per [`BinOp`]).
+const N_EVAL_STRUCT_OPS: usize = 11;
+/// Number of [`BinOp`] variants.
+const N_BIN_OPS: usize = 16;
+/// Number of [`SolveOp`] variants.
+const N_SOLVE_OPS: usize = 24;
+/// First id of the solver ops inside the unified namespace.
+const SOLVE_OP_BASE: usize = N_EVAL_STRUCT_OPS + N_BIN_OPS;
+
+/// Display names of the unified profiling opcode namespace, indexed by the
+/// ids handed to [`ProfileHooks::eval_op`]: the value-program (`eval.*`)
+/// opcodes first — with `EvalOp::Bin` split into one slot per [`BinOp`] so
+/// digram mining sees the actual arithmetic — then the guard-solver
+/// (`solve.*`) opcodes. [`profile_shape`] sizes the opcode counters from
+/// this table's length.
+pub const PROFILE_OP_NAMES: [&str; SOLVE_OP_BASE + N_SOLVE_OPS] = [
+    "eval.const",
+    "eval.var",
+    "eval.not",
+    "eval.neg",
+    "eval.cast_bool",
+    "eval.xor",
+    "eval.and_jump",
+    "eval.or_jump",
+    "eval.implies_jump",
+    "eval.jump_if_false",
+    "eval.jump",
+    "eval.add",
+    "eval.sub",
+    "eval.mul",
+    "eval.div",
+    "eval.min",
+    "eval.max",
+    "eval.and",
+    "eval.or",
+    "eval.bin_xor",
+    "eval.implies",
+    "eval.eq",
+    "eval.ne",
+    "eval.lt",
+    "eval.le",
+    "eval.gt",
+    "eval.ge",
+    "solve.set_true",
+    "solve.set_false",
+    "solve.set_var",
+    "solve.complement",
+    "solve.intersect",
+    "solve.union",
+    "solve.xor",
+    "solve.bool_eq",
+    "solve.bool_ne",
+    "solve.ite",
+    "solve.cmp",
+    "solve.cmp_var_const",
+    "solve.cmp_const_var",
+    "solve.aff_const",
+    "solve.aff_var",
+    "solve.aff_neg",
+    "solve.aff_add",
+    "solve.aff_sub",
+    "solve.aff_mul",
+    "solve.aff_div",
+    "solve.aff_min",
+    "solve.aff_max",
+    "solve.aff_branch",
+    "solve.aff_jump",
+];
+
+fn bin_op_index(op: BinOp) -> usize {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Min => 4,
+        BinOp::Max => 5,
+        BinOp::And => 6,
+        BinOp::Or => 7,
+        BinOp::Xor => 8,
+        BinOp::Implies => 9,
+        BinOp::Eq => 10,
+        BinOp::Ne => 11,
+        BinOp::Lt => 12,
+        BinOp::Le => 13,
+        BinOp::Gt => 14,
+        BinOp::Ge => 15,
+    }
+}
+
+#[inline]
+fn eval_op_index(op: &EvalOp) -> usize {
+    match op {
+        EvalOp::Const(_) => 0,
+        EvalOp::Var(_) => 1,
+        EvalOp::Not => 2,
+        EvalOp::Neg => 3,
+        EvalOp::CastBool => 4,
+        EvalOp::Xor => 5,
+        EvalOp::AndJump(_) => 6,
+        EvalOp::OrJump(_) => 7,
+        EvalOp::ImpliesJump(_) => 8,
+        EvalOp::JumpIfFalse(_) => 9,
+        EvalOp::Jump(_) => 10,
+        EvalOp::Bin(b) => N_EVAL_STRUCT_OPS + bin_op_index(*b),
+    }
+}
+
+#[inline]
+fn solve_op_index(op: &SolveOp) -> usize {
+    SOLVE_OP_BASE
+        + match op {
+            SolveOp::SetTrue => 0,
+            SolveOp::SetFalse => 1,
+            SolveOp::SetVar(_) => 2,
+            SolveOp::Complement => 3,
+            SolveOp::Intersect => 4,
+            SolveOp::Union => 5,
+            SolveOp::Xor => 6,
+            SolveOp::BoolEq => 7,
+            SolveOp::BoolNe => 8,
+            SolveOp::IteSet => 9,
+            SolveOp::Cmp(_) => 10,
+            SolveOp::CmpVarConst(..) => 11,
+            SolveOp::CmpConstVar(..) => 12,
+            SolveOp::AffConst(_) => 13,
+            SolveOp::AffVar(_) => 14,
+            SolveOp::AffNeg => 15,
+            SolveOp::AffAdd => 16,
+            SolveOp::AffSub => 17,
+            SolveOp::AffMul(_) => 18,
+            SolveOp::AffDiv(_) => 19,
+            SolveOp::AffMin(_) => 20,
+            SolveOp::AffMax(_) => 21,
+            SolveOp::AffBranch { .. } => 22,
+            SolveOp::AffJump(_) => 23,
+        }
+}
+
+/// Builds the dense counter layout a [`slim_obs::profile::KernelProfile`]
+/// needs to profile this network's compiled kernel: the unified opcode
+/// count plus flat per-(process, transition) and per-(process, location)
+/// index spaces in declaration order.
+pub fn profile_shape(net: &Network) -> ProfileShape {
+    let mut trans_offsets = Vec::with_capacity(net.automata().len() + 1);
+    let mut loc_offsets = Vec::with_capacity(net.automata().len() + 1);
+    trans_offsets.push(0);
+    loc_offsets.push(0);
+    for a in net.automata() {
+        let t = *trans_offsets.last().expect("seeded with 0") + a.transitions.len();
+        trans_offsets.push(t);
+        let l = *loc_offsets.last().expect("seeded with 0") + a.locations.len();
+        loc_offsets.push(l);
+    }
+    ProfileShape { n_ops: PROFILE_OP_NAMES.len(), trans_offsets, loc_offsets }
+}
+
+/// Builds display labels aligned with [`profile_shape`]: opcode names from
+/// [`PROFILE_OP_NAMES`], `"process: from -> to"` transition labels and
+/// `"process.location"` location labels. Source spans are left unset;
+/// front ends that kept the AST overlay them (see `slimsim profile`).
+pub fn profile_labels(net: &Network) -> ProfileLabels {
+    let op_names = PROFILE_OP_NAMES.iter().map(|s| (*s).to_string()).collect();
+    let mut transitions = Vec::new();
+    let mut locations = Vec::new();
+    for a in net.automata() {
+        for tr in &a.transitions {
+            let label = format!(
+                "{}: {} -> {}",
+                a.name, a.locations[tr.from.0].name, a.locations[tr.to.0].name
+            );
+            transitions.push((label, None));
+        }
+        for l in &a.locations {
+            locations.push(format!("{}.{}", a.name, l.name));
+        }
+    }
+    ProfileLabels { op_names, transitions, locations }
 }
 
 #[cfg(test)]
@@ -2696,5 +3023,87 @@ mod tests {
         let err = tables.verify_bytecode().unwrap_err();
         assert!(err.reason.contains("ends with"), "got: {err}");
         assert!(err.program.contains("flow"), "got: {err}");
+    }
+
+    #[test]
+    fn profile_op_names_are_unique_and_dense() {
+        let mut seen = std::collections::HashSet::new();
+        for name in PROFILE_OP_NAMES {
+            assert!(seen.insert(name), "duplicate opcode name {name}");
+        }
+        assert_eq!(PROFILE_OP_NAMES.len(), N_EVAL_STRUCT_OPS + N_BIN_OPS + N_SOLVE_OPS);
+        assert_eq!(eval_op_index(&EvalOp::Bin(BinOp::Ge)), SOLVE_OP_BASE - 1);
+        assert_eq!(solve_op_index(&SolveOp::AffJump(0)), PROFILE_OP_NAMES.len() - 1);
+    }
+
+    #[test]
+    fn profile_shape_and_labels_align() {
+        let net = torture_net();
+        let shape = profile_shape(&net);
+        let labels = profile_labels(&net);
+        assert_eq!(shape.n_ops, PROFILE_OP_NAMES.len());
+        assert_eq!(labels.op_names.len(), shape.n_ops);
+        assert_eq!(labels.transitions.len(), shape.n_trans());
+        assert_eq!(labels.locations.len(), shape.n_locs());
+        let total: usize = net.automata().iter().map(|a| a.transitions.len()).sum();
+        assert_eq!(shape.n_trans(), total);
+    }
+
+    /// The profiled kernel is count-deterministic and the profiled step
+    /// sequence leaves the state exactly where the unprofiled one does.
+    #[test]
+    fn profiled_walk_is_deterministic_and_state_identical() {
+        use slim_obs::profile::KernelProfile;
+
+        let net = torture_net();
+        let tables = net.compile();
+
+        let run_walk = |prof: &mut KernelProfile| {
+            let mut s = StepScratch::new();
+            let mut seed = 0x0bad_cafe_u64;
+            let mut st = net.initial_state().unwrap();
+            let mut window = IntervalSet::empty();
+            for _ in 0..200 {
+                net.rates_refresh(&tables, &mut s, &st);
+                if net.delay_window_rated_prof(&tables, &mut s, &st, &mut window, prof).is_err() {
+                    break;
+                }
+                net.guarded_candidates_rated_prof(&tables, &mut s, &st, prof).unwrap();
+                let n = s.candidates().len();
+                if n == 0 {
+                    break;
+                }
+                let pick = lcg(&mut seed) as usize % n;
+                let cand = &s.candidates()[pick];
+                let joint = cand.window.intersect(&window);
+                let Some(d) = joint.earliest_point() else { continue };
+                let parts: Vec<_> = cand.parts.clone();
+                if net.advance_rated_prof(&tables, &mut s, &mut st, d, &window, prof).is_err() {
+                    break;
+                }
+                if net.apply_mut_prof(&tables, &mut s, &mut st, &parts, prof).is_err() {
+                    break;
+                }
+            }
+            st
+        };
+
+        let shape = profile_shape(&net);
+        let mut p1 = KernelProfile::new(shape.clone());
+        let st1 = run_walk(&mut p1);
+        let mut p2 = KernelProfile::new(shape);
+        let st2 = run_walk(&mut p2);
+
+        assert_eq!(st1, st2, "profiled walk must be deterministic");
+        assert!(p1.total_ops() > 0, "walk executed bytecode");
+        assert!(p1.delay_solve_count() > 0, "walk solved delay windows");
+        assert_eq!(p1.op_counts(), p2.op_counts());
+        assert_eq!(p1.digram_counts(), p2.digram_counts());
+        let fired: u64 = (0..p1.shape().n_trans()).map(|i| p1.fired_count(i)).sum();
+        assert!(fired > 0, "walk fired transitions");
+        let (evals, truth): (u64, u64) = (0..p1.shape().n_trans())
+            .map(|i| p1.guard_counts(i))
+            .fold((0, 0), |(e, t), (ge, gt)| (e + ge, t + gt));
+        assert!(evals >= truth && evals > 0, "guard eval counts recorded");
     }
 }

@@ -68,7 +68,8 @@ pub mod prelude {
         ActionId, Automaton, Effect, GuardKind, LocId, Location, ProcId, TransId, Transition,
     };
     pub use crate::compiled::{
-        BytecodeError, BytecodeReport, CandidateBuf, CompiledPredicate, StepScratch, StepTables,
+        profile_labels, profile_shape, BytecodeError, BytecodeReport, CandidateBuf,
+        CompiledPredicate, StepScratch, StepTables, PROFILE_OP_NAMES,
     };
     pub use crate::error::{EvalError, ModelError};
     pub use crate::eval::{eval, eval_bool, eval_real, Valuation};

@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! cargo run -p slimsim-bench --release --bin bench_report \
-//!     [-- <out-dir> [--workers N]]
+//!     [-- <out-dir> [--workers N] [--repeat K]]
 //! ```
 //!
 //! `--workers N` pins the worker-thread count (default: available
 //! parallelism capped at 4). The committed baseline is recorded at
 //! `--workers 1` so throughput deltas measure per-core work, not the
-//! host's core count.
+//! host's core count. `--repeat K` (default 1) runs each model's timed
+//! pass `K` times and records the fastest one: each pass takes only a
+//! few milliseconds, so on shared hosts a single pass measures scheduler
+//! luck as much as the simulator — the best-of-`K` pass is the stable
+//! throughput signal CI should compare against the baseline.
 //!
 //! Runs the instrumented simulator on the three untimed conformance
 //! models (sensor–filter, voting, repairable pair) plus the timed GPS
@@ -64,14 +68,21 @@ fn cases() -> Vec<Case> {
 fn main() {
     let mut out_dir = ".".to_string();
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let mut repeat = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--workers" {
+        if arg == "--workers" || arg == "--repeat" {
             let n = args.next().and_then(|v| v.parse::<usize>().ok());
             match n {
-                Some(n) if n >= 1 => workers = n,
+                Some(n) if n >= 1 => {
+                    if arg == "--workers" {
+                        workers = n;
+                    } else {
+                        repeat = n;
+                    }
+                }
                 _ => {
-                    eprintln!("bench_report: --workers expects a positive integer");
+                    eprintln!("bench_report: {arg} expects a positive integer");
                     std::process::exit(2);
                 }
             }
@@ -89,6 +100,7 @@ fn main() {
     report.push("config.delta", config.accuracy.delta(), "1");
     report.push("config.workers", config.workers as f64, "threads");
     report.push("config.batch_lanes", config.batch_lanes as f64, "lanes");
+    report.push("config.repeat", repeat as f64, "passes");
 
     for case in cases() {
         let goal =
@@ -99,9 +111,19 @@ fn main() {
         // predictors, so the timed pass below measures sustained
         // throughput rather than process cold-start.
         analyze_observed(&case.net, &property, &config, None).expect("bench warm-up succeeds");
-        let obs = SimObserver::new(config.workers);
-        let result = analyze_observed(&case.net, &property, &config, Some(&obs))
-            .expect("bench analysis succeeds");
+        // Best-of-`repeat`: keep the fastest timed pass (and its metrics
+        // snapshot). The passes are identical work — same seed, same
+        // sample count — so the spread between them is host noise.
+        let mut best: Option<(AnalysisResult, SimObserver)> = None;
+        for _ in 0..repeat {
+            let obs = SimObserver::new(config.workers);
+            let result = analyze_observed(&case.net, &property, &config, Some(&obs))
+                .expect("bench analysis succeeds");
+            if best.as_ref().is_none_or(|(b, _)| result.wall < b.wall) {
+                best = Some((result, obs));
+            }
+        }
+        let (result, obs) = best.expect("repeat >= 1");
         let wall_secs = result.wall.as_secs_f64();
         let samples = result.estimate.samples;
         let prefix = case.name;

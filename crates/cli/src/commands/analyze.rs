@@ -1,11 +1,14 @@
 //! `slimsim analyze` — Monte Carlo timed-reachability analysis.
 
 use crate::args::Args;
-use crate::common::{load_bound, load_config, load_goal, load_hold, load_network, start_event};
+use crate::common::{
+    load_bound, load_config, load_goal, load_hold, load_network_spanned, profile_labels_with_spans,
+    start_event,
+};
 use slim_automata::network::{PruneMaps, PrunePlan};
 use slim_obs::{
-    ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, ProgressMeter, PropertyInfo,
-    RunReport, WorkerInfo, SCHEMA_VERSION,
+    ConfigInfo, EstimateInfo, HostInfo, ModelInfo, PathInfo, ProfileReport, ProgressMeter,
+    PropertyInfo, RunReport, WorkerInfo, SCHEMA_VERSION,
 };
 use slim_stats::rng::path_rng;
 use slimsim_core::prelude::*;
@@ -15,7 +18,7 @@ use std::time::{Duration, Instant};
 /// Runs the analysis and prints the estimate.
 pub fn run(args: &Args) -> Result<(), String> {
     let load_start = Instant::now();
-    let net = load_network(args)?;
+    let (net, mut spans) = load_network_spanned(args)?;
     let load_time = load_start.elapsed();
 
     // Pre-flight lint stage: surface suspicious model structure before
@@ -92,6 +95,10 @@ pub fn run(args: &Args) -> Result<(), String> {
                     hold: property.hold.map(|h| remap_goal(h, &maps)),
                     bound: property.bound,
                 };
+                // Pruning renumbers transitions, so the lowering's span
+                // table no longer aligns; profiles fall back to
+                // structural labels.
+                spans.clear();
                 (pruned, property)
             }
         } else {
@@ -135,8 +142,35 @@ pub fn run(args: &Args) -> Result<(), String> {
         None
     };
 
-    let result =
-        analyze_observed(&net, &property, &config, observer.as_ref()).map_err(|e| e.to_string())?;
+    // `--profile <file>` swaps in the profiled runner: same estimate and
+    // metrics, plus a kernel profile written as its own JSON document
+    // (and embedded into the run report when `--report` is also given).
+    // The profiled runner skips the pre-verdict short-circuit and
+    // requires a fixed-target generator; see `analyze_profiled`.
+    let profile_path = args.options.get("profile");
+    let (result, profile_report) = if let Some(ppath) = profile_path {
+        let (result, profile) = analyze_profiled(&net, &property, &config, observer.as_ref())
+            .map_err(|e| e.to_string())?;
+        let labels = profile_labels_with_spans(&net, &spans);
+        let model = args.positional.first().cloned().unwrap_or_default();
+        let report = ProfileReport::from_profile(
+            &profile,
+            &labels,
+            &model,
+            config.seed,
+            result.estimate.samples,
+        );
+        let text = report.to_json().to_pretty() + "\n";
+        std::fs::write(ppath, text).map_err(|e| format!("cannot write `{ppath}`: {e}"))?;
+        if !args.has_flag("quiet") {
+            println!("profile    : {ppath}");
+        }
+        (result, Some(report))
+    } else {
+        let result = analyze_observed(&net, &property, &config, observer.as_ref())
+            .map_err(|e| e.to_string())?;
+        (result, None)
+    };
     if want_progress {
         eprintln!();
     }
@@ -145,7 +179,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         write_witnesses(args, &net, &property, &config, obs, trace_dir.map(String::as_str))?;
     }
     if let (Some(path), Some(obs)) = (report_path, observer.as_ref()) {
-        let report = build_report(args, &net, &property, &config, &result, obs);
+        let report = build_report(args, &net, &property, &config, &result, obs, profile_report);
         let text = report.to_json().to_pretty() + "\n";
         std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         if !args.has_flag("quiet") {
@@ -202,6 +236,7 @@ fn build_report(
     config: &SimConfig,
     result: &AnalysisResult,
     obs: &SimObserver,
+    profile: Option<ProfileReport>,
 ) -> RunReport {
     let goal = match (args.options.get("goal-var"), args.options.get("goal-loc")) {
         (Some(v), Some(l)) => format!("var {v} | loc {l}"),
@@ -286,6 +321,7 @@ fn build_report(
             .collect(),
         workers,
         metrics: obs.snapshot(),
+        profile,
     }
 }
 

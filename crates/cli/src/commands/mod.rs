@@ -6,6 +6,7 @@ pub mod fuzz;
 pub mod info;
 pub mod interactive;
 pub mod lint;
+pub mod profile;
 pub mod rare;
 pub mod replay;
 pub mod report;

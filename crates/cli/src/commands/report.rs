@@ -1,33 +1,72 @@
-//! `slimsim report` — parse, validate and summarize a run report.
+//! `slimsim report` — parse, validate and summarize a report document.
 //!
-//! Reads a JSON document written by `slimsim analyze --report <path>`,
-//! checks it against the schema ([`RunReport::from_json`]) and the
-//! structural validator ([`RunReport::validate`]), and prints a short
-//! summary. Exits non-zero on any schema or consistency problem, which
-//! is what the CI smoke job keys on.
+//! Reads a JSON document written by `slimsim analyze --report <path>`
+//! (a [`RunReport`]) or by `slimsim profile --out <path>` /
+//! `analyze --profile <path>` (a [`ProfileReport`], recognized by its
+//! `"kind": "kernel-profile"` member), checks it against the schema and
+//! the structural validator, and prints a short summary. Exits non-zero
+//! on any schema or consistency problem, which is what the CI smoke
+//! jobs key on.
 
 use crate::args::Args;
-use slim_obs::{Json, RunReport};
+use slim_obs::{Json, ProfileReport, RunReport, PROFILE_KIND};
 
 /// Validates the report file and prints its summary.
 pub fn run(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("expected a report file: slimsim report <path>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let report = RunReport::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
-    let problems = report.validate();
-    if !problems.is_empty() {
-        let mut msg = format!("{path}: report fails validation:");
-        for p in &problems {
-            msg.push_str("\n  - ");
-            msg.push_str(p);
+    // Kernel-profile documents are self-describing via their `kind`.
+    if json.get("kind").and_then(Json::as_str) == Some(PROFILE_KIND) {
+        let report = ProfileReport::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        fail_on_problems(path, report.validate())?;
+        if !args.has_flag("quiet") {
+            println!("{path}: valid kernel profile (schema v{})", report.schema_version);
+            print_profile_summary(&report);
         }
-        return Err(msg);
+        return Ok(());
     }
+    let report = RunReport::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    fail_on_problems(path, report.validate())?;
     if !args.has_flag("quiet") {
         print_summary(path, &report);
     }
     Ok(())
+}
+
+fn fail_on_problems(path: &str, problems: Vec<String>) -> Result<(), String> {
+    if problems.is_empty() {
+        return Ok(());
+    }
+    let mut msg = format!("{path}: report fails validation:");
+    for p in &problems {
+        msg.push_str("\n  - ");
+        msg.push_str(p);
+    }
+    Err(msg)
+}
+
+fn print_profile_summary(p: &ProfileReport) {
+    println!("  model    : {} (seed {}, {} paths)", p.model, p.seed, p.samples);
+    println!(
+        "  kernel   : {} ops across {} opcodes, {} digrams, {} delay solves",
+        p.total_ops,
+        p.ops.len(),
+        p.digrams.len(),
+        p.delay_solves
+    );
+    println!(
+        "  heat     : {} guards, {} transitions, {} locations ranked",
+        p.guards.len(),
+        p.transitions.len(),
+        p.locations.len()
+    );
+    if p.batches > 0 {
+        println!("  batches  : {} ({} scalar drains)", p.batches, p.scalar_drains);
+    }
+    if let Some(hot) = p.ops.first() {
+        println!("  hottest  : {} ({} executions)", hot.label, hot.count);
+    }
 }
 
 fn print_summary(path: &str, r: &RunReport) {
@@ -74,6 +113,10 @@ fn print_summary(path: &str, r: &RunReport) {
             w.worker, w.paths, w.satisfied, w.busy_ms, w.paths_per_sec
         );
     }
+    if let Some(p) = &r.profile {
+        println!("  profile  : embedded kernel profile (schema v{})", p.schema_version);
+        print_profile_summary(p);
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +142,51 @@ mod tests {
         let v = args(&format!("report {} --quiet", path.display()));
         run(&v).expect("fresh report validates");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_report_then_validate() {
+        let path = tmp("slimsim_test_report_profile_cmd.json");
+        let a = args(&format!(
+            "profile sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet \
+             --out {}",
+            path.display()
+        ));
+        super::super::profile::run(&a).expect("profiled run succeeds");
+        let v = args(&format!("report {} --quiet", path.display()));
+        run(&v).expect("fresh kernel profile validates");
+        // Corrupt an invariant: total_ops must equal the op-count sum.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut report = ProfileReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        report.total_ops += 1;
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap();
+        let err = run(&args(&format!("report {}", path.display()))).unwrap_err();
+        assert!(err.contains("fails validation"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn embedded_profile_in_run_report_validates() {
+        let report_path = tmp("slimsim_test_report_embedded.json");
+        let profile_path = tmp("slimsim_test_report_embedded_profile.json");
+        let a = args(&format!(
+            "analyze sensor-filter --size 2 --bound 1.0 --epsilon 0.2 --delta 0.2 --quiet \
+             --report {} --profile {}",
+            report_path.display(),
+            profile_path.display()
+        ));
+        super::super::analyze::run(&a).expect("profiled analysis succeeds");
+        run(&args(&format!("report {} --quiet", report_path.display()))).expect("report validates");
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let embedded = report.profile.expect("profile section embedded");
+        // The embedded section is the same document as the standalone file.
+        let standalone = std::fs::read_to_string(&profile_path).unwrap();
+        let standalone = ProfileReport::from_json(&Json::parse(&standalone).unwrap()).unwrap();
+        assert_eq!(embedded, standalone);
+        assert!(embedded.total_ops > 0);
+        let _ = std::fs::remove_file(&report_path);
+        let _ = std::fs::remove_file(&profile_path);
     }
 
     #[test]

@@ -2,8 +2,14 @@
 //! configuration assembly.
 
 use crate::args::Args;
-use slim_automata::prelude::{Expr, Network};
+use slim_automata::prelude::{profile_labels, profile_shape, Expr, Network};
 use slim_lang::{lower, parse};
+use slim_obs::ProfileLabels;
+
+/// Per-transition source spans (`file:line:col`), indexed
+/// `[automaton][transition]` in network order. Empty for built-in
+/// models; `None` entries mark synthesized transitions.
+pub type SpanTable = Vec<Vec<Option<String>>>;
 use slim_models::{
     gps_network, launcher_network, power_system_network, repair_network, sensor_filter_network,
     voting_network, DpuFaultMode, GpsParams, LauncherParams, PowerSystemParams, RepairParams,
@@ -16,30 +22,40 @@ use slimsim_core::prelude::*;
 /// or a built-in model (`gps`, `launcher`, `launcher-permanent`,
 /// `sensor-filter`, with optional `--size n`).
 pub fn load_network(args: &Args) -> Result<Network, String> {
+    load_network_spanned(args).map(|(net, _)| net)
+}
+
+/// Like [`load_network`], but also returns the per-transition source
+/// spans as `file:line:col` strings, indexed `[automaton][transition]`
+/// in network order. Built-in models are constructed programmatically
+/// and have no source text, so their span table is empty; profile
+/// consumers fall back to structural labels.
+pub fn load_network_spanned(args: &Args) -> Result<(Network, SpanTable), String> {
     let target = args
         .positional
         .first()
         .ok_or("expected a model: a .slim file or gps|launcher|launcher-permanent|launcher-threeclass|power-system|sensor-filter|voting|repair")?;
+    let no_spans = |net: Network| (net, Vec::new());
     match target.as_str() {
-        "gps" => Ok(gps_network(&GpsParams::default())),
-        "launcher" => Ok(launcher_network(&LauncherParams::default())),
-        "launcher-permanent" => Ok(launcher_network(&LauncherParams {
+        "gps" => Ok(no_spans(gps_network(&GpsParams::default()))),
+        "launcher" => Ok(no_spans(launcher_network(&LauncherParams::default()))),
+        "launcher-permanent" => Ok(no_spans(launcher_network(&LauncherParams {
             dpu_faults: DpuFaultMode::Permanent,
             ..Default::default()
-        })),
-        "launcher-threeclass" => Ok(launcher_network(&LauncherParams {
+        }))),
+        "launcher-threeclass" => Ok(no_spans(launcher_network(&LauncherParams {
             dpu_faults: DpuFaultMode::ThreeClass,
             ..Default::default()
-        })),
-        "power-system" => Ok(power_system_network(&PowerSystemParams::default())),
-        "voting" => Ok(voting_network(&VotingParams::default())),
-        "repair" => Ok(repair_network(&RepairParams::default())),
+        }))),
+        "power-system" => Ok(no_spans(power_system_network(&PowerSystemParams::default()))),
+        "voting" => Ok(no_spans(voting_network(&VotingParams::default()))),
+        "repair" => Ok(no_spans(repair_network(&RepairParams::default()))),
         "sensor-filter" => {
             let size = args.opt_usize("size", 2)?;
-            Ok(sensor_filter_network(&SensorFilterParams {
+            Ok(no_spans(sensor_filter_network(&SensorFilterParams {
                 redundancy: size,
                 ..Default::default()
-            }))
+            })))
         }
         path => {
             let src =
@@ -50,9 +66,39 @@ pub fn load_network(args: &Args) -> Result<Network, String> {
                 .split_once('.')
                 .ok_or_else(|| format!("--root must be Type.Impl, got `{root}`"))?;
             let name = args.opt("name", "root");
-            Ok(lower(&model, ty, im, name).map_err(|e| format!("{path}: {e}"))?.network)
+            let lowered = lower(&model, ty, im, name).map_err(|e| format!("{path}: {e}"))?;
+            let spans = lowered
+                .transition_spans
+                .iter()
+                .map(|ts| ts.iter().map(|p| p.map(|pos| format!("{path}:{pos}"))).collect())
+                .collect();
+            Ok((lowered.network, spans))
         }
     }
+}
+
+/// Builds [`ProfileLabels`] for `net`, overlaying source spans from the
+/// lowering's span table (see [`load_network_spanned`]) onto the
+/// structural transition labels. An empty span table (built-in models)
+/// leaves every span `None`.
+pub fn profile_labels_with_spans(net: &Network, spans: &SpanTable) -> ProfileLabels {
+    let mut labels = profile_labels(net);
+    if spans.is_empty() {
+        return labels;
+    }
+    let shape = profile_shape(net);
+    for (p, ts) in spans.iter().enumerate() {
+        for (t, span) in ts.iter().enumerate() {
+            if let Some(s) = span {
+                if let Some(slot) =
+                    shape.trans_offsets.get(p).and_then(|off| labels.transitions.get_mut(off + t))
+                {
+                    slot.1 = Some(s.clone());
+                }
+            }
+        }
+    }
+    labels
 }
 
 /// Builds the goal from `--goal-var <name>` (Boolean variable) and/or

@@ -31,9 +31,12 @@ USAGE:
   slimsim interactive <model> --bound <u>         step a path manually
                       [--script <file>] [--save-trace <file>]
   slimsim replay <trace.jsonl>                    verify a recorded trace
+  slimsim profile <model> --bound <u> [options]   kernel heat maps + phase times
+                  [--out <file>] [--top <k>]
   slimsim info <model> [--dot]                    print the lowered network
   slimsim lint <model> [--json]                   static lint passes (S0xx-S3xx)
-  slimsim report <file.json>                      validate + summarize a run report
+  slimsim report <file.json>                      validate + summarize a run or
+                                                  kernel-profile report
   slimsim validate <file.slim> [--root Type.Impl] static analysis + lowering check
   slimsim fuzz [--seed n] [--count k]             differential fuzzing campaign
                [--replay <dir>]                   replay the regression corpus
@@ -67,6 +70,9 @@ OPTIONS:
   --trace-dir <dir>      (analyze) write witness traces as JSON-lines files
   --witnesses <k>        (analyze) keep first k goal + k lock paths [2]
   --report <file>        (analyze) write a JSON run report (see `slimsim report`)
+  --profile <file>       (analyze) profile the kernel, write the profile JSON
+  --out <file>           (profile) write the profile report JSON
+  --top <k>              (profile) heat-map rows per section [10]
   --progress             (analyze) live progress line with p-hat ± half-width
   --prune                (analyze) strip statically dead transitions/locations
   --analysis-summary <file> (analyze) write the fixpoint proof artifact JSON
@@ -94,6 +100,7 @@ fn main() {
         "replay" => commands::replay::run(&args),
         "info" => commands::info::run(&args),
         "lint" => commands::lint::run(&args),
+        "profile" => commands::profile::run(&args),
         "report" => commands::report::run(&args),
         "validate" => commands::validate::run(&args),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),

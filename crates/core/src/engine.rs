@@ -22,6 +22,7 @@ use slim_automata::error::EvalError;
 use slim_automata::interval::IntervalSet;
 use slim_automata::network::GlobalTransition;
 use slim_automata::prelude::{NetState, Network, StepScratch, StepTables, Valuation};
+use slim_obs::profile::{NoopProfile, ProfileHooks};
 use slim_stats::rng::{exponential_from_uniform, path_rng, StdRng};
 
 /// Generates sample paths for one (network, property) pair.
@@ -185,7 +186,8 @@ impl<'a> PathGenerator<'a> {
         strategy: &mut dyn Strategy,
         rng: &mut StdRng,
     ) -> Result<PathOutcome, SimError> {
-        self.run(scratch, strategy, rng, None, 1.0, None).map(|(outcome, _)| outcome)
+        self.run(scratch, strategy, rng, None, 1.0, None, &mut NoopProfile)
+            .map(|(outcome, _)| outcome)
     }
 
     /// Generates one path, flushing per-path metrics (steps, firings,
@@ -221,7 +223,8 @@ impl<'a> PathGenerator<'a> {
         };
         let start = std::time::Instant::now();
         let mut detail = PathDetail::default();
-        let result = self.run(scratch, strategy, rng, None, 1.0, Some(&mut detail));
+        let result =
+            self.run(scratch, strategy, rng, None, 1.0, Some(&mut detail), &mut NoopProfile);
         if let Ok((outcome, _)) = &result {
             detail.nanos = start.elapsed().as_nanos() as u64;
             obs.record_path(outcome, &detail);
@@ -256,7 +259,8 @@ impl<'a> PathGenerator<'a> {
         rng: &mut StdRng,
         tracer: &mut PathTracer<'_>,
     ) -> Result<PathOutcome, SimError> {
-        let outcome = self.run(scratch, strategy, rng, Some(&mut *tracer), 1.0, None)?.0;
+        let outcome =
+            self.run(scratch, strategy, rng, Some(&mut *tracer), 1.0, None, &mut NoopProfile)?.0;
         tracer.verdict(&outcome);
         Ok(outcome)
     }
@@ -298,7 +302,25 @@ impl<'a> PathGenerator<'a> {
         bias: f64,
     ) -> Result<(PathOutcome, f64), SimError> {
         assert!(bias > 0.0 && bias.is_finite(), "bias must be positive, got {bias}");
-        self.run(scratch, strategy, rng, None, bias, None)
+        self.run(scratch, strategy, rng, None, bias, None, &mut NoopProfile)
+    }
+
+    /// [`Self::generate_with`] under a profiling sink: the generated path
+    /// is bit-identical to the unprofiled one (hooks never touch the RNG
+    /// or the step logic), with every kernel counter — opcodes, digrams,
+    /// guard outcomes, firings, location occupancy, delay solves —
+    /// recorded into `prof`.
+    ///
+    /// # Errors
+    /// See [`Self::generate`].
+    pub fn generate_profiled_with<P: ProfileHooks>(
+        &self,
+        scratch: &mut SimScratch,
+        strategy: &mut dyn Strategy,
+        rng: &mut StdRng,
+        prof: &mut P,
+    ) -> Result<PathOutcome, SimError> {
+        self.run(scratch, strategy, rng, None, 1.0, None, prof).map(|(outcome, _)| outcome)
     }
 
     /// The common engine loop; returns the outcome and the likelihood
@@ -307,7 +329,8 @@ impl<'a> PathGenerator<'a> {
     /// Runs entirely on the compiled kernel: per-step windows, candidate
     /// sets and state updates live in `s` and are recycled across steps
     /// and paths, so steady-state execution performs no heap allocation.
-    fn run(
+    #[allow(clippy::too_many_arguments)]
+    fn run<P: ProfileHooks>(
         &self,
         s: &mut SimScratch,
         strategy: &mut dyn Strategy,
@@ -315,6 +338,7 @@ impl<'a> PathGenerator<'a> {
         mut tracer: Option<&mut PathTracer<'_>>,
         bias: f64,
         mut detail: Option<&mut PathDetail>,
+        prof: &mut P,
     ) -> Result<(PathOutcome, f64), SimError> {
         // Lend the scratch-owned state buffer to the shared step function,
         // which borrows the state and the scratch separately so the
@@ -341,6 +365,7 @@ impl<'a> PathGenerator<'a> {
                         &mut steps,
                         &mut log_weight,
                         margin,
+                        prof,
                     ) {
                         Ok(None) => {}
                         Ok(Some(outcome)) => break Ok((outcome, log_weight.exp())),
@@ -366,7 +391,7 @@ impl<'a> PathGenerator<'a> {
     /// which is what makes batched generation bit-identical to scalar
     /// generation lane by lane.
     #[allow(clippy::too_many_arguments)]
-    fn step_path(
+    fn step_path<P: ProfileHooks>(
         &self,
         s: &mut SimScratch,
         state: &mut NetState,
@@ -378,6 +403,7 @@ impl<'a> PathGenerator<'a> {
         steps: &mut u64,
         log_weight: &mut f64,
         margin: f64,
+        prof: &mut P,
     ) -> Result<Option<PathOutcome>, SimError> {
         if *steps >= self.max_steps {
             return Ok(Some(PathOutcome {
@@ -389,6 +415,15 @@ impl<'a> PathGenerator<'a> {
         *steps += 1;
         let steps_now = *steps;
 
+        // Location occupancy: one tick per (process, current location)
+        // per engine step. The `ENABLED` guard keeps the unprofiled
+        // instantiation free of the per-process loop entirely.
+        if P::ENABLED {
+            for (p, loc) in state.locs.iter().enumerate() {
+                prof.loc_step(p, loc.0);
+            }
+        }
+
         // One rate refresh serves the whole step: rates depend only on
         // the locations, which no delay changes (see
         // `Network::rates_refresh`), so every `*_rated` call below
@@ -397,15 +432,22 @@ impl<'a> PathGenerator<'a> {
 
         let remaining = self.property.remaining(state);
         self.goal
-            .window_rated(self.net, &mut s.step, &mut s.pool, state, &mut s.goal_win)
+            .window_rated_prof(self.net, &mut s.step, &mut s.pool, state, &mut s.goal_win, prof)
             .map_err(SimError::Eval)?;
         // For bounded until: the set of delays at which `hold` is
         // violated (empty for plain reachability).
         match &self.hold {
             None => s.viol_win.clear(),
             Some(h) => {
-                h.window_rated(self.net, &mut s.step, &mut s.pool, state, &mut s.hold_win)
-                    .map_err(SimError::Eval)?;
+                h.window_rated_prof(
+                    self.net,
+                    &mut s.step,
+                    &mut s.pool,
+                    state,
+                    &mut s.hold_win,
+                    prof,
+                )
+                .map_err(SimError::Eval)?;
                 s.hold_win.complement_into(&mut s.viol_win);
             }
         }
@@ -432,12 +474,12 @@ impl<'a> PathGenerator<'a> {
         }
 
         self.net
-            .delay_window_rated(&self.tables, &mut s.step, state, &mut s.inv_window)
+            .delay_window_rated_prof(&self.tables, &mut s.step, state, &mut s.inv_window, prof)
             .map_err(SimError::Eval)?;
         let cap = remaining + margin;
 
         self.net
-            .guarded_candidates_rated(&self.tables, &mut s.step, state)
+            .guarded_candidates_rated_prof(&self.tables, &mut s.step, state, prof)
             .map_err(SimError::Eval)?;
 
         // Urgency (AADL-eager transitions): time may not pass beyond
@@ -632,7 +674,14 @@ impl<'a> PathGenerator<'a> {
                         t.delay(steps_now, state, delay);
                     }
                     self.net
-                        .advance_rated(&self.tables, &mut s.step, state, delay, &s.inv_window)
+                        .advance_rated_prof(
+                            &self.tables,
+                            &mut s.step,
+                            state,
+                            delay,
+                            &s.inv_window,
+                            prof,
+                        )
                         .map_err(SimError::Eval)?;
                 }
                 let is_markov = matches!(src, FireSrc::Markov(_));
@@ -654,12 +703,18 @@ impl<'a> PathGenerator<'a> {
                 match src {
                     FireSrc::Guarded(i) => self
                         .net
-                        .apply_mut(&self.tables, &mut s.step, state, &s.sched[i].transition.parts)
+                        .apply_mut_prof(
+                            &self.tables,
+                            &mut s.step,
+                            state,
+                            &s.sched[i].transition.parts,
+                            prof,
+                        )
                         .map_err(SimError::Eval)?,
                     FireSrc::Markov((p, t_id)) => {
                         let parts = [(p, t_id)];
                         self.net
-                            .apply_mut(&self.tables, &mut s.step, state, &parts)
+                            .apply_mut_prof(&self.tables, &mut s.step, state, &parts, prof)
                             .map_err(SimError::Eval)?;
                     }
                 }
@@ -703,7 +758,14 @@ impl<'a> PathGenerator<'a> {
                     t.delay(steps_now, state, delay);
                 }
                 self.net
-                    .advance_rated(&self.tables, &mut s.step, state, delay, &s.inv_window)
+                    .advance_rated_prof(
+                        &self.tables,
+                        &mut s.step,
+                        state,
+                        delay,
+                        &s.inv_window,
+                        prof,
+                    )
                     .map_err(SimError::Eval)?;
                 if let Some(t) = tracer.as_deref_mut() {
                     t.snapshot(steps_now, state);
@@ -774,8 +836,47 @@ impl<'a> PathGenerator<'a> {
         out: &mut Vec<Result<PathOutcome, SimError>>,
     ) {
         let t0 = obs.map(|_| std::time::Instant::now());
-        self.run_batch(scratch, strategy, seed, start, stride, count, 1.0, obs.is_some());
+        self.run_batch(
+            scratch,
+            strategy,
+            seed,
+            start,
+            stride,
+            count,
+            1.0,
+            obs.is_some(),
+            &mut NoopProfile,
+        );
         scratch.record_batch(count, obs, t0);
+        out.clear();
+        out.extend(
+            scratch.results[..count]
+                .iter_mut()
+                .map(|slot| slot.take().expect("lane finished").map(|(o, _)| o)),
+        );
+    }
+
+    /// [`Self::generate_batch_with`] with a kernel profiler attached: every
+    /// lane records opcode, guard, firing and occupancy counts into `prof`,
+    /// and the batch as a whole contributes one lane-utilization sample
+    /// (see [`slim_obs::profile::ProfileHooks::batch`]). Lane outcomes stay
+    /// bit-identical to the unprofiled batch on the same streams.
+    ///
+    /// # Panics
+    /// Panics when `stride == 0` while `count > 1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_batch_profiled_with<P: ProfileHooks>(
+        &self,
+        scratch: &mut BatchScratch,
+        strategy: &mut dyn Strategy,
+        seed: u64,
+        start: u64,
+        stride: u64,
+        count: usize,
+        prof: &mut P,
+        out: &mut Vec<Result<PathOutcome, SimError>>,
+    ) {
+        self.run_batch(scratch, strategy, seed, start, stride, count, 1.0, false, prof);
         out.clear();
         out.extend(
             scratch.results[..count]
@@ -804,7 +905,17 @@ impl<'a> PathGenerator<'a> {
         out: &mut Vec<Result<(PathOutcome, f64), SimError>>,
     ) {
         assert!(bias > 0.0 && bias.is_finite(), "bias must be positive, got {bias}");
-        self.run_batch(scratch, strategy, seed, start, stride, count, bias, false);
+        self.run_batch(
+            scratch,
+            strategy,
+            seed,
+            start,
+            stride,
+            count,
+            bias,
+            false,
+            &mut NoopProfile,
+        );
         out.clear();
         out.extend(
             scratch.results[..count].iter_mut().map(|slot| slot.take().expect("lane finished")),
@@ -815,7 +926,7 @@ impl<'a> PathGenerator<'a> {
     /// round-robin, advancing every live lane by one engine step per pass
     /// until the batch drains. Results land in `scratch.results`.
     #[allow(clippy::too_many_arguments)]
-    fn run_batch(
+    fn run_batch<P: ProfileHooks>(
         &self,
         b: &mut BatchScratch,
         strategy: &mut dyn Strategy,
@@ -825,6 +936,7 @@ impl<'a> PathGenerator<'a> {
         count: usize,
         bias: f64,
         observed: bool,
+        prof: &mut P,
     ) {
         assert!(stride > 0 || count <= 1, "stride must be positive for multi-lane batches");
         b.ensure_lanes(count);
@@ -869,6 +981,7 @@ impl<'a> PathGenerator<'a> {
                     &mut b.steps[j],
                     &mut b.log_weights[j],
                     margin,
+                    prof,
                 ) {
                     Ok(None) => {}
                     Ok(Some(outcome)) => break Ok((outcome, b.log_weights[j].exp())),
@@ -876,6 +989,9 @@ impl<'a> PathGenerator<'a> {
                 }
             };
             b.results[j] = Some(result);
+        }
+        if P::ENABLED && count > 0 {
+            prof.batch(&b.steps[..count]);
         }
     }
 }
@@ -896,6 +1012,7 @@ pub struct BatchScratch {
     log_weights: Vec<f64>,
     results: Vec<Option<Result<(PathOutcome, f64), SimError>>>,
     details: Vec<PathDetail>,
+    lane_sort: Vec<u64>,
 }
 
 impl BatchScratch {
@@ -909,6 +1026,7 @@ impl BatchScratch {
             log_weights: Vec::new(),
             results: Vec::new(),
             details: Vec::new(),
+            lane_sort: Vec::new(),
         }
     }
 
@@ -942,6 +1060,10 @@ impl BatchScratch {
         t0: Option<std::time::Instant>,
     ) {
         let (Some(obs), Some(t0)) = (obs, t0) else { return };
+        self.lane_sort.clear();
+        self.lane_sort.extend_from_slice(&self.steps[..count]);
+        self.lane_sort.sort_unstable_by(|a, b| b.cmp(a));
+        obs.record_batch_lanes(&self.lane_sort);
         let per_lane = (t0.elapsed().as_nanos() as u64) / count.max(1) as u64;
         for d in self.details.iter_mut().take(count) {
             d.nanos = per_lane;

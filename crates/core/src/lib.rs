@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::property::{CompiledGoal, Goal, GoalPool, TimedReach};
     pub use crate::rare_event::{analyze_rare, RareEventConfig, RareEventResult};
     pub use crate::replay::{replay_events, ReplayOutcome};
-    pub use crate::runner::{analyze, analyze_observed, AnalysisResult};
+    pub use crate::runner::{analyze, analyze_observed, analyze_profiled, AnalysisResult};
     pub use crate::strategy::{
         Asap, Decision, Input, InputChoice, InputOracle, Local, MaxTime, Progressive,
         ScheduledCandidate, ScriptedOracle, StepView, Strategy, StrategyKind,

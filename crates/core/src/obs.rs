@@ -82,6 +82,10 @@ pub struct SimObserver {
     h_buffer_depth: HistogramId,
     h_drain_batch: HistogramId,
     h_drain_gap_micros: HistogramId,
+    // Batched-kernel lane utilization (flushed once per batch).
+    c_batches: CounterId,
+    c_scalar_drains: CounterId,
+    h_active_lanes: HistogramId,
     // Per-worker.
     workers: Vec<WorkerIds>,
     // Cold path only: phase ends and report building.
@@ -144,6 +148,9 @@ impl SimObserver {
             h_buffer_depth: r.histogram("collector.buffer_depth"),
             h_drain_batch: r.histogram("collector.drain_batch"),
             h_drain_gap_micros: r.histogram("collector.drain_gap_micros"),
+            c_batches: r.counter("batch.batches"),
+            c_scalar_drains: r.counter("batch.scalar_drains"),
+            h_active_lanes: r.histogram("batch.active_lanes"),
             workers: (0..workers)
                 .map(|w| WorkerIds {
                     paths: r.counter(&format!("worker.{w}.paths")),
@@ -258,6 +265,31 @@ impl SimObserver {
         }
         if verdicts[verdict_slot(Verdict::Timelock)] > 0 {
             r.add(self.c_timelocks, verdicts[verdict_slot(Verdict::Timelock)]);
+        }
+    }
+
+    /// Records one batched-kernel sweep's lane utilization from the
+    /// per-lane step counts sorted descending: for each rank `j`, the
+    /// engine spent `sorted[j] - sorted[j+1]` steps with exactly `j + 1`
+    /// lanes active, so the `batch.active_lanes` histogram weights each
+    /// active-lane count by the steps spent there. A single-lane batch is
+    /// a scalar drain — the batched kernel degenerating to the scalar
+    /// one — counted separately so `bench_report` can explain
+    /// batched-vs-scalar throughput deltas.
+    pub(crate) fn record_batch_lanes(&self, sorted_desc: &[u64]) {
+        if sorted_desc.is_empty() {
+            return;
+        }
+        let r = &self.registry;
+        r.inc(self.c_batches);
+        if sorted_desc.len() == 1 {
+            r.inc(self.c_scalar_drains);
+        }
+        for (j, &hi) in sorted_desc.iter().enumerate() {
+            let lo = sorted_desc.get(j + 1).copied().unwrap_or(0);
+            if hi > lo {
+                r.record_n(self.h_active_lanes, (j + 1) as u64, hi - lo);
+            }
         }
     }
 
@@ -437,6 +469,26 @@ mod tests {
         let phases = obs.phases();
         assert_eq!(phases[0], ("simulate".to_string(), Duration::from_millis(5)));
         assert_eq!(phases[1].0, "estimate");
+    }
+
+    #[test]
+    fn batch_lane_utilization_weights_ranks_by_steps() {
+        let obs = SimObserver::new(1);
+        // 3 lanes: steps 10, 7, 7 (sorted desc). Rank 1 active for
+        // 10-7 = 3 steps, rank 2 for 0 (tie skipped), rank 3 for 7.
+        obs.record_batch_lanes(&[10, 7, 7]);
+        // A single-lane batch is a scalar drain.
+        obs.record_batch_lanes(&[5]);
+        obs.record_batch_lanes(&[]); // no-op
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["batch.batches"], 2);
+        assert_eq!(snap.counters["batch.scalar_drains"], 1);
+        let h = &snap.histograms["batch.active_lanes"];
+        // Records: (1, n=3), (3, n=7) from the first batch; (1, n=5)
+        // from the drain. Total count 15, sum 3·1 + 7·3 + 5·1 = 29.
+        assert_eq!(h.count, 15);
+        assert_eq!(h.sum, 29);
+        assert_eq!(h.max, 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use slim_automata::error::EvalError;
 use slim_automata::interval::IntervalSet;
 use slim_automata::linear::{solve, DelayEnv};
 use slim_automata::prelude::*;
+use slim_obs::profile::{NoopProfile, ProfileHooks};
 
 /// A [`Goal`] lowered onto a network's compiled step tables: every
 /// expression atom becomes a [`CompiledPredicate`], so repeated window
@@ -69,7 +70,7 @@ impl CompiledGoal {
         state: &NetState,
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
-        self.window_with(net, step, pool, state, out, false)
+        self.window_with(net, step, pool, state, out, false, &mut NoopProfile)
     }
 
     /// [`CompiledGoal::window_into`] without the per-atom rate refresh:
@@ -88,10 +89,28 @@ impl CompiledGoal {
         state: &NetState,
         out: &mut IntervalSet,
     ) -> Result<(), EvalError> {
-        self.window_with(net, step, pool, state, out, true)
+        self.window_with(net, step, pool, state, out, true, &mut NoopProfile)
     }
 
-    fn window_with(
+    /// [`CompiledGoal::window_rated`] with profiling hooks: records the
+    /// predicate-program opcodes every atom executes.
+    ///
+    /// # Errors
+    /// Linear-solver errors for non-linear goal expressions.
+    pub fn window_rated_prof<P: ProfileHooks>(
+        &self,
+        net: &Network,
+        step: &mut StepScratch,
+        pool: &mut GoalPool,
+        state: &NetState,
+        out: &mut IntervalSet,
+        prof: &mut P,
+    ) -> Result<(), EvalError> {
+        self.window_with(net, step, pool, state, out, true, prof)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn window_with<P: ProfileHooks>(
         &self,
         net: &Network,
         step: &mut StepScratch,
@@ -99,11 +118,12 @@ impl CompiledGoal {
         state: &NetState,
         out: &mut IntervalSet,
         rated: bool,
+        prof: &mut P,
     ) -> Result<(), EvalError> {
         match self {
             CompiledGoal::Pred(p) => {
                 if rated {
-                    net.predicate_window_rated(step, p, state, out)
+                    net.predicate_window_rated_prof(step, p, state, out, prof)
                 } else {
                     net.predicate_window_into(step, p, state, out)
                 }
@@ -117,9 +137,9 @@ impl CompiledGoal {
                 Ok(())
             }
             CompiledGoal::And(a, b) | CompiledGoal::Or(a, b) => {
-                a.window_with(net, step, pool, state, out, rated)?;
+                a.window_with(net, step, pool, state, out, rated, prof)?;
                 let mut wb = pool.take();
-                b.window_with(net, step, pool, state, &mut wb, rated)?;
+                b.window_with(net, step, pool, state, &mut wb, rated, prof)?;
                 let mut combined = pool.take();
                 if matches!(self, CompiledGoal::And(..)) {
                     out.intersect_into(&wb, &mut combined);
@@ -132,7 +152,7 @@ impl CompiledGoal {
                 Ok(())
             }
             CompiledGoal::Not(a) => {
-                a.window_with(net, step, pool, state, out, rated)?;
+                a.window_with(net, step, pool, state, out, rated, prof)?;
                 let mut flipped = pool.take();
                 out.complement_into(&mut flipped);
                 std::mem::swap(out, &mut flipped);

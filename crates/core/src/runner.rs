@@ -20,7 +20,8 @@ use crate::preverdict::{pre_verdict, PreVerdict};
 use crate::property::TimedReach;
 use crate::strategy::Strategy;
 use crate::verdict::{PathOutcome, PathStats, Verdict};
-use slim_automata::prelude::Network;
+use slim_automata::prelude::{profile_shape, Network};
+use slim_obs::profile::KernelProfile;
 use slim_obs::report::ConvergencePoint;
 use slim_stats::chernoff::Accuracy;
 use slim_stats::estimator::{Estimate, Generator};
@@ -192,6 +193,147 @@ pub fn analyze_observed(
     } else {
         analyze_parallel_impl(&source, config, obs)
     }
+}
+
+/// Runs the statistical analysis with the kernel profiler attached,
+/// returning the merged [`KernelProfile`] alongside the analysis result.
+///
+/// Determinism contract: the profile is a pure function of `(model,
+/// property, seed, accuracy, batch_lanes)` — in particular it is
+/// byte-identical for every worker count. Three ingredients make this
+/// hold:
+///
+/// * profiling requires a generator with an a-priori known sample target
+///   (the Chernoff–Hoeffding bound), so the sampled path set is exactly
+///   `0..target` with no completion race between workers;
+/// * paths are partitioned into blocks of `batch_lanes` *consecutive*
+///   indices distributed block-cyclically over the workers, so batch
+///   composition — and with it the lane-utilization histogram — does not
+///   depend on the worker count;
+/// * per-worker profiles are merged with wrapping adds in worker-index
+///   order, and the static pre-verdict short-circuit is skipped (a
+///   decisive pre-verdict samples zero paths, leaving nothing to
+///   profile).
+///
+/// Outcomes are consumed in path-index order, so the estimate, the
+/// deadlock policy and error propagation match the sequential runner
+/// exactly.
+///
+/// # Errors
+/// * [`SimError::InvalidInput`] when `config.generator` has no known
+///   sample target (sequential stopping rules consume a
+///   worker-count-dependent path set — there is no deterministic profile
+///   to report);
+/// * everything [`analyze`] can raise.
+pub fn analyze_profiled(
+    net: &Network,
+    property: &TimedReach,
+    config: &SimConfig,
+    obs: Option<&SimObserver>,
+) -> Result<(AnalysisResult, KernelProfile), SimError> {
+    let start = Instant::now();
+    let mut generator = config.generator.instantiate(config.accuracy);
+    let Some(target) = generator.known_target() else {
+        return Err(SimError::InvalidInput {
+            detail: "profiling requires a fixed-target generator (chernoff); sequential \
+                     stopping rules sample a worker-count-dependent path set"
+                .to_string(),
+        });
+    };
+    let gen = PathGenerator::new(net, property, config.max_steps);
+    let shape = profile_shape(net);
+    let workers = config.workers.max(1);
+    let lanes = config.batch_lanes.max(1) as u64;
+    let n_blocks = target.div_ceil(lanes);
+
+    // Worker w simulates blocks w, w + workers, w + 2·workers, … into a
+    // local profile and a local queue of per-block outcome vectors.
+    type BlockOutcomes = Vec<Vec<Result<PathOutcome, SimError>>>;
+    let joined: Vec<std::thread::Result<(KernelProfile, BlockOutcomes)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let gen = &gen;
+                    let shape = &shape;
+                    scope.spawn(move || {
+                        let mut prof = KernelProfile::new(shape.clone());
+                        let mut strategy = config.strategy.instantiate();
+                        let mut scratch = BatchScratch::new();
+                        let mut blocks: BlockOutcomes = Vec::new();
+                        let mut b = w as u64;
+                        while b < n_blocks {
+                            let first = b * lanes;
+                            let count = (target - first).min(lanes) as usize;
+                            let block_t0 = obs.map(|_| Instant::now());
+                            let mut out = Vec::with_capacity(count);
+                            gen.generate_batch_profiled_with(
+                                &mut scratch,
+                                strategy.as_mut(),
+                                config.seed,
+                                first,
+                                1,
+                                count,
+                                &mut prof,
+                                &mut out,
+                            );
+                            if let (Some(o), Some(t0)) = (obs, block_t0) {
+                                let satisfied = out
+                                    .iter()
+                                    .filter(|r| matches!(r, Ok(oc) if oc.verdict.is_success()))
+                                    .count();
+                                o.record_worker_batch(
+                                    w,
+                                    count as u64,
+                                    satisfied as u64,
+                                    t0.elapsed() / count.max(1) as u32,
+                                );
+                            }
+                            blocks.push(out);
+                            b += workers as u64;
+                        }
+                        (prof, blocks)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+    let mut profile = KernelProfile::new(shape);
+    let mut queues: Vec<std::vec::IntoIter<Vec<Result<PathOutcome, SimError>>>> =
+        Vec::with_capacity(workers);
+    for res in joined {
+        let (wprof, blocks) =
+            res.map_err(|p| SimError::WorkerFailed { detail: panic_message(p.as_ref()) })?;
+        profile.merge(&wprof);
+        queues.push(blocks.into_iter());
+    }
+
+    // Consume outcomes in global path-index order: block b lives at the
+    // front of worker (b mod workers)'s queue.
+    let mut stats = PathStats::default();
+    for b in 0..n_blocks {
+        let block = queues[(b % workers as u64) as usize].next().expect("block schedule");
+        for out in block {
+            let outcome = out?;
+            check_deadlock_policy(config, &outcome)?;
+            stats.record(&outcome);
+            if !generator.is_complete() {
+                generator.add(outcome.verdict.is_success());
+            }
+        }
+    }
+
+    let sim_wall = start.elapsed();
+    let result = finish_run(
+        start,
+        generator.as_ref(),
+        config.accuracy,
+        stats,
+        net.state_size_bytes(),
+        obs,
+        sim_wall,
+    );
+    Ok((result, profile))
 }
 
 /// Builds the zero-sample result of a decisive static pre-verdict. The
@@ -667,6 +809,139 @@ mod tests {
             r.probability()
         );
         assert_eq!(r.stats.total(), r.estimate.samples);
+    }
+
+    #[test]
+    fn profiled_analysis_is_worker_count_invariant() {
+        let (net, prop) = guarded_net();
+        let base = loose().with_seed(7).with_batch_lanes(4);
+        let (r1, p1) = analyze_profiled(&net, &prop, &base.with_workers(1), None).unwrap();
+        let (r4, p4) = analyze_profiled(&net, &prop, &base.with_workers(4), None).unwrap();
+        assert_eq!(r1.estimate, r4.estimate);
+        assert_eq!(p1.op_counts(), p4.op_counts());
+        assert_eq!(p1.digram_counts(), p4.digram_counts());
+        assert_eq!(p1.batch_counts(), p4.batch_counts());
+        assert!(p1.total_ops() > 0);
+        assert!(p1.delay_solve_count() > 0);
+        // The estimate also matches the unprofiled runner on the same
+        // config (same path set, same consumption order).
+        let plain = analyze(&net, &prop, &base.with_workers(1)).unwrap();
+        assert_eq!(r1.estimate, plain.estimate);
+    }
+
+    /// The worker-count test's model: a Markovian race plus a
+    /// clock-guarded process, so profiles see solver bytecode.
+    fn guarded_net() -> (Network, TimedReach) {
+        let mut b = NetworkBuilder::new();
+        let c = b.var("c", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("err");
+        let ok = a.location("ok");
+        let failed = a.location("failed");
+        a.markovian(ok, 1.0, [], failed);
+        b.add_automaton(a);
+        let mut g = AutomatonBuilder::new("g");
+        let idle = g.location("idle");
+        let done = g.location("done");
+        g.guarded(idle, ActionId::TAU, Expr::var(c).ge(Expr::real(0.2)), [], done);
+        b.add_automaton(g);
+        let net = b.build().unwrap();
+        let goal = Goal::in_location(&net, "err", "failed").unwrap();
+        (net, TimedReach::new(goal, 1.0))
+    }
+
+    #[test]
+    fn profiled_path_has_exact_golden_counts() {
+        // Pins the profiler to exact per-opcode and digram counts for one
+        // seeded path: any change to the compiled kernel's instruction
+        // stream — reordering, fusion, extra evals — shows up here as a
+        // count diff, not as a silent profile drift.
+        use crate::engine::{PathGenerator, SimScratch};
+        use slim_stats::rng::path_rng;
+
+        // A compound clock guard so the solver executes a multi-op
+        // program (comparisons joined by an intersection) and the digram
+        // table is non-trivial.
+        let mut b = NetworkBuilder::new();
+        let c = b.var("c", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("err");
+        let ok = a.location("ok");
+        let failed = a.location("failed");
+        a.markovian(ok, 1.0, [], failed);
+        b.add_automaton(a);
+        let mut g = AutomatonBuilder::new("g");
+        let idle = g.location("idle");
+        let done = g.location("done");
+        let guard = Expr::var(c).ge(Expr::real(0.2)).and(Expr::var(c).le(Expr::real(0.8)));
+        g.guarded(idle, ActionId::TAU, guard, [], done);
+        b.add_automaton(g);
+        let net = b.build().unwrap();
+        let goal = Goal::in_location(&net, "err", "failed").unwrap();
+        let prop = TimedReach::new(goal, 1.0);
+
+        let gen = PathGenerator::new(&net, &prop, 10_000);
+        let run_one = || {
+            let mut strategy = StrategyKind::Asap.instantiate();
+            let mut scratch = SimScratch::new();
+            let mut prof = KernelProfile::new(profile_shape(&net));
+            for path in 0..4 {
+                let mut rng = path_rng(7, path);
+                gen.generate_profiled_with(&mut scratch, strategy.as_mut(), &mut rng, &mut prof)
+                    .unwrap();
+            }
+            prof
+        };
+        let prof = run_one();
+        let ops: Vec<(&str, u64)> = prof
+            .op_counts()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (PROFILE_OP_NAMES[i], c))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![("solve.intersect", 4), ("solve.cmp_var_const", 8)],
+            "opcode counts drifted; update the golden vector deliberately"
+        );
+        let n_ops = prof.shape().n_ops;
+        let digrams: Vec<(String, u64)> = prof
+            .digram_counts()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(cell, &c)| {
+                (
+                    format!(
+                        "{} -> {}",
+                        PROFILE_OP_NAMES[cell / n_ops],
+                        PROFILE_OP_NAMES[cell % n_ops]
+                    ),
+                    c,
+                )
+            })
+            .collect();
+        // cmp -> cmp (the two comparisons) then cmp -> intersect (the
+        // join), once per guard evaluation.
+        assert_eq!(
+            digrams,
+            vec![
+                ("solve.cmp_var_const -> solve.intersect".to_string(), 4),
+                ("solve.cmp_var_const -> solve.cmp_var_const".to_string(), 4),
+            ]
+        );
+        // And the counts are a pure function of the seed: a second run
+        // reproduces them exactly.
+        let again = run_one();
+        assert_eq!(prof.op_counts(), again.op_counts());
+        assert_eq!(prof.digram_counts(), again.digram_counts());
+    }
+
+    #[test]
+    fn profiled_analysis_rejects_sequential_generators() {
+        let (net, prop) = exp_net(1.0);
+        let cfg = loose().with_generator(GeneratorKind::Gauss);
+        let err = analyze_profiled(&net, &prop, &cfg, None).unwrap_err();
+        assert!(matches!(err, SimError::InvalidInput { .. }));
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * [`report`] — the [`report::RunReport`] schema: one JSON document
 //!   per analysis run (config, seed, estimate, path stats, per-worker
 //!   metrics, phase timings, host info), with a structural validator.
+//! * [`profile`] — the kernel profiler: [`profile::ProfileHooks`]
+//!   compile-time hooks (the [`profile::NoopProfile`] instantiation
+//!   monomorphizes to nothing), [`profile::KernelProfile`] id-indexed
+//!   counters with deterministic wrapping-sum merges, the hierarchical
+//!   [`profile::PhaseProfiler`] span tree, and the versioned
+//!   [`profile::ProfileReport`] JSON document with its text heat-map
+//!   renderer (see `docs/profiling.md`).
 //! * [`bench`] — the `BENCH_*.json` emitter used by the bench harness.
 //! * [`progress`] — a throttled live progress line (completed/target,
 //!   paths/sec, current estimate, ETA when the sample target is known
@@ -49,6 +56,7 @@
 pub mod bench;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod report;
 pub mod span;
@@ -57,6 +65,11 @@ pub mod trace;
 pub use bench::{BenchEntry, BenchReport};
 pub use json::Json;
 pub use metrics::{Counter, CounterId, Histogram, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use profile::{
+    GuardEntry, KernelProfile, NoopProfile, PhaseProfiler, ProfileEntry, ProfileHooks,
+    ProfileLabels, ProfileReport, ProfileShape, TransitionEntry, PROFILE_KIND,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use progress::ProgressMeter;
 pub use report::{
     ConfigInfo, ConvergencePoint, EstimateInfo, HostInfo, ModelInfo, PathInfo, PropertyInfo,

@@ -13,8 +13,11 @@
 //! added the optional `pre_verdict` string (`unknown`, `unreachable`, or
 //! `initially-satisfied`) recording whether the static fixpoint analysis
 //! decided the property before sampling — decisive verdicts come with
-//! `estimate.samples == 0`. The parser still accepts v1/v2 documents,
-//! which simply have no convergence series / no pre-verdict.
+//! `estimate.samples == 0`; **v4** added the optional `profile` object,
+//! an embedded kernel-profile document (see
+//! [`crate::profile::ProfileReport`]) present when the run was profiled.
+//! The parser still accepts v1/v2/v3 documents, which simply have no
+//! convergence series / pre-verdict / profile.
 
 use std::collections::BTreeMap;
 
@@ -22,7 +25,7 @@ use crate::json::Json;
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 
 /// Schema version written into every report.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version the parser and validator still accept.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -245,6 +248,9 @@ pub struct RunReport {
     pub workers: Vec<WorkerInfo>,
     /// Raw metrics snapshot.
     pub metrics: MetricsSnapshot,
+    /// Embedded kernel profile (schema v4). `None` unless the run was
+    /// profiled, and in pre-v4 documents.
+    pub profile: Option<crate::profile::ProfileReport>,
 }
 
 impl RunReport {
@@ -350,6 +356,13 @@ impl RunReport {
                 ),
             ),
             ("metrics", metrics_to_json(&self.metrics)),
+            (
+                "profile",
+                self.profile
+                    .as_ref()
+                    .map(crate::profile::ProfileReport::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 
@@ -462,6 +475,11 @@ impl RunReport {
                 })
                 .collect::<Result<Vec<_>, String>>()?,
             metrics: metrics_from_json(v.get("metrics").ok_or("report: missing `metrics`")?)?,
+            // Absent in pre-v4 documents, and in unprofiled runs.
+            profile: match v.get("profile") {
+                None | Some(Json::Null) => None,
+                Some(p) => Some(crate::profile::ProfileReport::from_json(p)?),
+            },
         })
     }
 
@@ -578,6 +596,9 @@ impl RunReport {
                     last.samples, self.estimate.samples
                 ));
             }
+        }
+        if let Some(profile) = &self.profile {
+            problems.extend(profile.validate().into_iter().map(|p| format!("profile: {p}")));
         }
         problems
     }
@@ -781,6 +802,7 @@ mod tests {
                 },
             ],
             metrics: reg.snapshot(),
+            profile: None,
         }
     }
 
@@ -848,6 +870,58 @@ mod tests {
         assert!(back.convergence.is_empty());
         assert_eq!(back.pre_verdict, None);
         assert_eq!(back.validate(), Vec::<String>::new());
+    }
+
+    /// A v3 document (no `profile`) — the fixture mirrors what the tool
+    /// wrote before the v4 migration.
+    fn v3_fixture() -> String {
+        let mut r = sample_report();
+        r.schema_version = 3;
+        let v = r.to_json();
+        // Strip the null profile member so the document is a true v3
+        // file, not just a v4 file with a null placeholder.
+        let Json::Obj(members) = v else { unreachable!() };
+        Json::Obj(members.into_iter().filter(|(k, _)| k != "profile").collect()).to_pretty()
+    }
+
+    #[test]
+    fn v3_reports_still_parse_and_validate() {
+        let text = v3_fixture();
+        assert!(!text.contains("\"profile\""));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.profile, None);
+        assert_eq!(back.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn embedded_profile_roundtrips_and_is_validated() {
+        use crate::profile::{ProfileEntry, ProfileReport, PROFILE_SCHEMA_VERSION};
+        let mut r = sample_report();
+        r.profile = Some(ProfileReport {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            model: "sensor-filter".to_string(),
+            seed: 0xC0_FF_EE,
+            samples: 738,
+            total_ops: 10,
+            ops: vec![ProfileEntry { label: "LoadVar".to_string(), count: 10 }],
+            digrams: Vec::new(),
+            guards: Vec::new(),
+            transitions: Vec::new(),
+            locations: Vec::new(),
+            delay_solves: 0,
+            batches: 0,
+            scalar_drains: 0,
+            lane_occupancy: Vec::new(),
+        });
+        let text = r.to_json().to_pretty();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(r.validate(), Vec::<String>::new());
+        // A broken embedded profile surfaces through the run report's
+        // validator, prefixed so the problem is attributable.
+        r.profile.as_mut().unwrap().total_ops = 7; // op sum is 10
+        assert!(r.validate().iter().any(|p| p.starts_with("profile: ")), "{:?}", r.validate());
     }
 
     #[test]

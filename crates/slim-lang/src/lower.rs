@@ -26,6 +26,14 @@ pub struct Lowered {
     /// (`top.gps1.fix`); automaton names are instance paths, error
     /// automata are `<path>.error_<model>`.
     pub network: Network,
+    /// Source position of each transition, indexed
+    /// `[automaton][transition]` in network order — the side table the
+    /// profiler uses to resolve hot guards back to `file:line:col`.
+    /// Every lowered transition traces back to a `trans` declaration (or
+    /// an error-model transition), so entries are `Some` for `.slim`
+    /// input; consumers must still tolerate `None` for forward
+    /// compatibility with synthesized transitions.
+    pub transition_spans: Vec<Vec<Option<Pos>>>,
 }
 
 fn err(kind: LangErrorKind) -> LangError {
@@ -53,6 +61,7 @@ pub fn lower(
         event_ports: HashMap::new(),
         uf: UnionFind::default(),
         actions: HashMap::new(),
+        spans: Vec::new(),
     };
     lw.declare_vars(&root)?;
     lw.register_event_ports(&root)?;
@@ -61,7 +70,7 @@ pub fn lower(
     lw.process_flows(&root)?;
     lw.weave_injections(&root)?;
     let network = lw.builder.build().map_err(|e| err(LangErrorKind::Lowering(e.to_string())))?;
-    Ok(Lowered { network })
+    Ok(Lowered { network, transition_spans: lw.spans })
 }
 
 /// Simple union-find over event-port indices.
@@ -106,6 +115,9 @@ struct Lowering<'m> {
     /// Union-find class representative (path of the class's first port) →
     /// action.
     actions: HashMap<usize, ActionId>,
+    /// Per added automaton: source position of each transition, in the
+    /// order the transitions are added (= network transition ids).
+    spans: Vec<Vec<Option<Pos>>>,
 }
 
 impl<'m> Lowering<'m> {
@@ -301,6 +313,7 @@ impl<'m> Lowering<'m> {
             })?;
             ab.set_init(initial);
 
+            let mut spans = Vec::with_capacity(ci.transitions.len());
             for t in &ci.transitions {
                 let from = *mode_ids.get(&t.from).ok_or_else(|| {
                     err(LangErrorKind::Unknown(format!("mode `{}` in `{}`", t.from, inst.path)))
@@ -362,8 +375,10 @@ impl<'m> Lowering<'m> {
                         }
                     }
                 }
+                spans.push(Some(t.pos));
             }
             self.builder.add_automaton(ab);
+            self.spans.push(spans);
         }
         Ok(())
     }
@@ -460,6 +475,7 @@ impl<'m> Lowering<'m> {
                     .push(Effect::assign(target, literal_expr(*value)));
             }
 
+            let mut spans = Vec::with_capacity(em.transitions.len());
             for t in &em.transitions {
                 let from = *state_ids.get(&t.from).ok_or_else(|| {
                     err(LangErrorKind::Unknown(format!("error state `{}`", t.from)))
@@ -484,8 +500,10 @@ impl<'m> Lowering<'m> {
                         ab.guarded(from, action, Expr::TRUE, effects, to);
                     }
                 }
+                spans.push(Some(t.pos));
             }
             self.builder.add_automaton(ab);
+            self.spans.push(spans);
         }
         Ok(())
     }
@@ -604,6 +622,48 @@ mod tests {
         let s = net.initial_state().unwrap();
         let w = net.delay_window(&s).unwrap();
         assert_eq!(w.prefix_from_zero(), Some((120.0, true)));
+        // The span side table aligns with the network and points at the
+        // `trans` declaration's source line.
+        assert_eq!(l.transition_spans.len(), 1);
+        assert_eq!(l.transition_spans[0].len(), net.automata()[0].transitions.len());
+        let pos = l.transition_spans[0][0].expect("slim transitions carry a span");
+        assert_eq!(pos.line, 13);
+    }
+
+    #[test]
+    fn span_table_covers_error_automata() {
+        let l = lower_src(
+            r#"
+            device Unit
+            end Unit;
+            device implementation Unit.I
+              modes
+                on: initial mode;
+                off: mode;
+              transitions
+                on -[ rate 0.5 ]-> off;
+            end Unit.I;
+            error model Fail
+              states
+                ok: initial state;
+                dead: state;
+              transitions
+                ok -[ rate 0.01 ]-> dead;
+            end Fail;
+            fault injection on root using Fail
+            end;
+            "#,
+            "Unit",
+            "I",
+        )
+        .unwrap();
+        let net = &l.network;
+        assert_eq!(net.automata().len(), 2);
+        assert_eq!(l.transition_spans.len(), 2);
+        for (a, spans) in net.automata().iter().zip(&l.transition_spans) {
+            assert_eq!(a.transitions.len(), spans.len(), "automaton {}", a.name);
+            assert!(spans.iter().all(Option::is_some));
+        }
     }
 
     #[test]
