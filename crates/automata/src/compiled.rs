@@ -99,14 +99,64 @@ enum SolveOp {
     },
     /// Skip the next `n` ops (jump over an else-branch).
     AffJump(u32),
+    /// Fused `SetVar(v); Complement`: push the negated window of a
+    /// Boolean variable. Errors exactly where `SetVar` would.
+    SetVarNot(VarId),
+    /// Fused Boolean-conditioned numeric `if` over constants — the exact
+    /// five-op window `SetVar(v); AffBranch; AffConst(t); AffJump;
+    /// AffConst(e)` — pushing the selected constant affine form in one
+    /// dispatch. The branch's `NonLinear` arm is unreachable here (a
+    /// Boolean variable's window is all-or-nothing), so no context index
+    /// is carried.
+    AffSelVar {
+        v: VarId,
+        t: f64,
+        e: f64,
+    },
+    /// Fused `CmpVarConst(op, v, k); Intersect`: solve the compare
+    /// window and intersect it with the set below it in one dispatch —
+    /// the `… && x op k` conjunction tail that dominates the discrete
+    /// zoo models' digram profiles. Reads and errors exactly as the
+    /// two-op sequence does.
+    CmpVarConstAnd(BinOp, VarId, f64),
+    /// Fused `CmpVarConst(op, v, k); Union` — the `… || x op k`
+    /// disjunction tail.
+    CmpVarConstOr(BinOp, VarId, f64),
+}
+
+/// Whole-program shapes [`fuse_solve`] recognizes after fusion. A guard
+/// whose entire program is one of these skips the stack machine: the
+/// unprofiled interpreters dispatch on the shape directly
+/// ([`SolveScratch::run_spec_into`] / [`spec_truth`]), bit-identical to
+/// executing the program op by op. Profiled runs always execute the
+/// program so opcode/digram streams stay observable.
+#[derive(Debug, Clone)]
+enum GuardSpec {
+    /// `[SetVar(v)]` — the window of a Boolean variable.
+    BoolVar(VarId),
+    /// `[SetVarNot(v)]`.
+    BoolVarNot(VarId),
+    /// `[CmpVarConst(op, v, k)]`.
+    CmpVarConst(BinOp, VarId, f64),
+    /// `[CmpConstVar(op, k, v)]`.
+    CmpConstVar(BinOp, f64, VarId),
+    /// A pure conjunction of `var op const` atoms: only `CmpVarConst`
+    /// pushes joined by `Intersect`s. Atoms are stored in program order,
+    /// so reads (and their errors) happen in the same order as the
+    /// program; intersection is associative bit-exactly on the normalized
+    /// interval representation, so the left fold below equals any
+    /// association the program used.
+    Conj(Box<[(BinOp, VarId, f64)]>),
 }
 
 /// A compiled guard: postfix ops plus pre-rendered expression contexts for
-/// `NonLinear` diagnostics (cloned only on the error path).
+/// `NonLinear` diagnostics (cloned only on the error path), and the
+/// recognized whole-program shape, if any.
 #[derive(Debug, Clone)]
 struct SolveProg {
     ops: Vec<SolveOp>,
     ctx: Vec<String>,
+    spec: Option<GuardSpec>,
 }
 
 /// How a guard/invariant is evaluated at runtime.
@@ -153,12 +203,59 @@ enum EvalOp {
     JumpIfFalse(u32),
     /// Skip the next `n` ops.
     Jump(u32),
+    /// Fused `Var(v); Const(k); Bin(op)`: push `ν(v) op k`.
+    VarConstBin(BinOp, VarId, Value),
+    /// Fused `Var(a); Var(b); Bin(op)`: push `ν(a) op ν(b)`.
+    VarVarBin(BinOp, VarId, VarId),
+    /// Fused `Const(k); Bin(op)`: pop `a`, push `a op k`.
+    BinConst(BinOp, Value),
+    /// Fused `Var(v); Const(k); Bin(op); JumpIfFalse(skip)`: evaluate
+    /// `ν(v) op k`, require Boolean, and skip on `false` — the compiled
+    /// `if var op const then … else …` header in one dispatch.
+    VarCmpConstJumpFalse {
+        op: BinOp,
+        v: VarId,
+        k: Value,
+        skip: u32,
+    },
+    /// Fused Boolean select — the exact five-op diamond `Var(v);
+    /// JumpIfFalse(2); Const(t); Jump(1); Const(e)`, i.e. the compiled
+    /// `if b then t else e` over constants — pushing the chosen constant
+    /// in one dispatch. Requires Boolean exactly where `JumpIfFalse`
+    /// would.
+    VarSelConst {
+        v: VarId,
+        t: Value,
+        e: Value,
+    },
 }
 
-/// A compiled value program.
+/// Whole-program shapes [`fuse_eval`] recognizes after fusion, evaluated
+/// by [`run_eval_spec`] without touching the value stack. Like
+/// [`GuardSpec`], only unprofiled runs take the shortcut.
+#[derive(Debug, Clone)]
+enum EvalSpec {
+    /// `[Const(v)]`.
+    Const(Value),
+    /// `[Var(v)]` — an aliasing assignment.
+    Var(VarId),
+    /// `[VarConstBin(op, v, k)]` — e.g. the counter bump `n + 1`.
+    VarConstBin(BinOp, VarId, Value),
+    /// `[VarVarBin(op, a, b)]`.
+    VarVarBin(BinOp, VarId, VarId),
+    /// `[VarConstBin(op1, v, k1); BinConst(op2, k2)]` — e.g. the clamped
+    /// update `(n + 1) min 10`.
+    VarConstBinConst(BinOp, VarId, Value, BinOp, Value),
+    /// `[VarSelConst { v, t, e }]` — the whole program is one Boolean
+    /// select, `if b then t else e` over constants.
+    VarSelConst(VarId, Value, Value),
+}
+
+/// A compiled value program, plus its recognized whole-program shape.
 #[derive(Debug, Clone)]
 struct EvalProg {
     ops: Vec<EvalOp>,
+    spec: Option<EvalSpec>,
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +298,11 @@ struct CompiledEffect {
 struct CompiledTrans {
     to: LocId,
     effects: Vec<CompiledEffect>,
+    /// Bit `i` set ⇒ flow `i` must re-run after this transition's effects:
+    /// the write-set closure of the effect targets over the topologically
+    /// ordered flow list. All-ones when masking is disabled or the network
+    /// has more than 64 flows (run everything, the pre-masking behavior).
+    flow_mask: u64,
 }
 
 /// Compiled data flow. The target's name is captured at compile time so
@@ -211,6 +313,9 @@ struct CompiledFlow {
     target: VarId,
     ty: VarType,
     name: String,
+    /// Variables the flow expression reads — the edge set the write-set
+    /// closure in [`flow_mask_from`] walks.
+    reads: Vec<VarId>,
     prog: EvalProg,
 }
 
@@ -245,6 +350,10 @@ pub struct StepTables {
     /// no location rate declarations): the rate buffer is then all-zero
     /// in every state and per-step refreshes are skipped.
     has_rates: bool,
+    /// Flow mask for time advances: the write-set closure of the rated
+    /// variables (the only ones `advance` mutates). All-ones when masking
+    /// is disabled.
+    advance_flow_mask: u64,
 }
 
 impl StepTables {
@@ -558,6 +667,19 @@ fn verify_solve(prog: &SolveProg, n_vars: usize) -> Result<(), (usize, String)> 
                 work.push((jump_target(pc, *else_skip, len)?, set - 1, aff));
             }
             SolveOp::AffJump(n) => work.push((jump_target(pc, *n, len)?, set, aff)),
+            SolveOp::SetVarNot(v) => {
+                need_var(*v)?;
+                work.push((pc + 1, set + 1, aff));
+            }
+            SolveOp::AffSelVar { v, .. } => {
+                need_var(*v)?;
+                work.push((pc + 1, set, aff + 1));
+            }
+            SolveOp::CmpVarConstAnd(_, v, _) | SolveOp::CmpVarConstOr(_, v, _) => {
+                need_var(*v)?;
+                need_set(1)?;
+                work.push((pc + 1, set, aff));
+            }
         }
     }
     Ok(())
@@ -624,6 +746,54 @@ fn verify_eval(prog: &EvalProg, n_vars: usize) -> Result<(), (usize, String)> {
                 work.push((jump_target(pc, *n, len)?, depth - 1));
             }
             EvalOp::Jump(n) => work.push((jump_target(pc, *n, len)?, depth)),
+            EvalOp::VarConstBin(_, v, _) => {
+                if v.0 >= n_vars {
+                    return Err((
+                        pc,
+                        format!("variable v{} out of bounds ({n_vars} variables)", v.0),
+                    ));
+                }
+                work.push((pc + 1, depth + 1));
+            }
+            EvalOp::VarVarBin(_, a, b) => {
+                for v in [a, b] {
+                    if v.0 >= n_vars {
+                        return Err((
+                            pc,
+                            format!("variable v{} out of bounds ({n_vars} variables)", v.0),
+                        ));
+                    }
+                }
+                work.push((pc + 1, depth + 1));
+            }
+            EvalOp::BinConst(..) => {
+                need(1)?;
+                work.push((pc + 1, depth));
+            }
+            // Net stack effect zero on both paths: the fused window pushes
+            // the variable, the constant, pops both for the comparison and
+            // pops the condition again. Its remapped jump lands on an op
+            // boundary by construction of the fusion pass; `jump_target`
+            // still bounds it.
+            EvalOp::VarCmpConstJumpFalse { v, skip, .. } => {
+                if v.0 >= n_vars {
+                    return Err((
+                        pc,
+                        format!("variable v{} out of bounds ({n_vars} variables)", v.0),
+                    ));
+                }
+                work.push((pc + 1, depth));
+                work.push((jump_target(pc, *skip, len)?, depth));
+            }
+            EvalOp::VarSelConst { v, .. } => {
+                if v.0 >= n_vars {
+                    return Err((
+                        pc,
+                        format!("variable v{} out of bounds ({n_vars} variables)", v.0),
+                    ));
+                }
+                work.push((pc + 1, depth + 1));
+            }
         }
     }
     Ok(())
@@ -843,8 +1013,35 @@ fn specialize_delay_free(code: GuardCode, rated: &[bool]) -> GuardCode {
     }
 }
 
-fn compile_guard(e: &Expr, net: &Network) -> GuardCode {
-    let mut prog = SolveProg { ops: Vec::new(), ctx: Vec::new() };
+/// Compilation knobs for [`Network::compile_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the optimizing tiers: superinstruction fusion
+    /// ([`fuse_solve`]/[`fuse_eval`]), whole-program specialization
+    /// ([`GuardSpec`]/[`EvalSpec`]), and write-set flow masking. On by
+    /// default; [`CompileOptions::reference`] turns it off, producing the
+    /// maximally conservative op-by-op kernel that re-establishes every
+    /// flow — the baseline the fusion-equivalence fuzz oracle compares
+    /// against.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions { optimize: true }
+    }
+}
+
+impl CompileOptions {
+    /// The unoptimized reference configuration: no fusion, no
+    /// specialization, no flow masking.
+    pub fn reference() -> CompileOptions {
+        CompileOptions { optimize: false }
+    }
+}
+
+fn compile_guard(e: &Expr, net: &Network, optimize: bool) -> GuardCode {
+    let mut prog = SolveProg { ops: Vec::new(), ctx: Vec::new(), spec: None };
     if compile_solve(e, net, &mut prog).is_err() {
         return GuardCode::Fallback(e.clone());
     }
@@ -862,41 +1059,269 @@ fn compile_guard(e: &Expr, net: &Network) -> GuardCode {
             return GuardCode::Static(set);
         }
     }
-    fuse_solve(&mut prog);
+    if optimize {
+        fuse_solve(&mut prog);
+        prog.spec = solve_spec_of(&prog.ops);
+    }
     GuardCode::Prog(prog)
 }
 
-/// Peephole superinstruction fusion: collapses the ubiquitous
-/// `variable cmp constant` pattern (and its mirrored form) from three ops
-/// to one, removing two affine-stack round-trips per comparison in the
-/// guard-evaluation hot loop. Programs containing jumps are left alone —
-/// fusing would shift their targets.
+/// One original jump as `(source pc, target pc)` pairs, for both fusers.
+fn jump_edges<T>(ops: &[T], target_of: impl Fn(usize, &T) -> Option<usize>) -> Vec<(usize, usize)> {
+    ops.iter().enumerate().filter_map(|(pc, op)| target_of(pc, op).map(|t| (pc, t))).collect()
+}
+
+/// True when the window `[i, i+n)` may fuse: no jump from outside the
+/// window lands strictly inside it (targets at `i` or `i+n` are op
+/// boundaries and stay valid). Jumps *inside* the window are consumed or
+/// remapped together with it.
+fn window_ok(jumps: &[(usize, usize)], i: usize, n: usize) -> bool {
+    jumps.iter().all(|&(src, tgt)| (src >= i && src < i + n) || tgt <= i || tgt >= i + n)
+}
+
+/// Peephole superinstruction fusion over a solver program. The windows —
+/// mined from the `KernelProfile` digram reports on the model zoo (see
+/// docs/performance.md) — are matched longest-first at each position:
+///
+/// * `SetVar; AffBranch; AffConst; AffJump; AffConst` → [`SolveOp::AffSelVar`]
+///   (the `(if b then t else e)` quorum-counting pattern),
+/// * `AffVar; AffConst; Cmp; Intersect` → [`SolveOp::CmpVarConstAnd`]
+///   (and `… ; Union` → [`SolveOp::CmpVarConstOr`]) — the conjunction /
+///   disjunction tails of multi-atom guards,
+/// * `AffVar; AffConst; Cmp` → [`SolveOp::CmpVarConst`] (and mirrored →
+///   [`SolveOp::CmpConstVar`]) — the ubiquitous `variable cmp constant`,
+/// * `SetVar; Complement` → [`SolveOp::SetVarNot`] (negated-flag
+///   conjunctions).
+///
+/// Programs with jumps fuse too: surviving jumps are remapped through a
+/// position table after the rewrite, and [`window_ok`] refuses any window
+/// an outside jump lands inside, so every remapped target is an op
+/// boundary in the fused program.
 fn fuse_solve(prog: &mut SolveProg) {
-    if prog.ops.iter().any(|op| matches!(op, SolveOp::AffBranch { .. } | SolveOp::AffJump(_))) {
-        return;
-    }
-    let mut fused: Vec<SolveOp> = Vec::with_capacity(prog.ops.len());
-    for op in prog.ops.drain(..) {
-        if let SolveOp::Cmp(cmp) = op {
-            let n = fused.len();
-            if n >= 2 {
-                if let (SolveOp::AffVar(v), SolveOp::AffConst(k)) = (&fused[n - 2], &fused[n - 1]) {
-                    let (v, k) = (*v, *k);
-                    fused.truncate(n - 2);
-                    fused.push(SolveOp::CmpVarConst(cmp, v, k));
-                    continue;
-                }
-                if let (SolveOp::AffConst(k), SolveOp::AffVar(v)) = (&fused[n - 2], &fused[n - 1]) {
-                    let (k, v) = (*k, *v);
-                    fused.truncate(n - 2);
-                    fused.push(SolveOp::CmpConstVar(cmp, k, v));
+    let ops = std::mem::take(&mut prog.ops);
+    let len = ops.len();
+    let target_of = |pc: usize, op: &SolveOp| match op {
+        SolveOp::AffBranch { else_skip, .. } => Some(pc + *else_skip as usize + 1),
+        SolveOp::AffJump(n) => Some(pc + *n as usize + 1),
+        _ => None,
+    };
+    let jumps = jump_edges(&ops, target_of);
+    let mut fused: Vec<SolveOp> = Vec::with_capacity(len);
+    // `(fused index, original target)` of every surviving jump.
+    let mut live_jumps: Vec<(usize, usize)> = Vec::new();
+    let mut new_pc_of: Vec<usize> = vec![usize::MAX; len + 1];
+    let mut i = 0;
+    while i < len {
+        new_pc_of[i] = fused.len();
+        if i + 5 <= len && window_ok(&jumps, i, 5) {
+            if let [SolveOp::SetVar(v), SolveOp::AffBranch { else_skip: 2, .. }, SolveOp::AffConst(t), SolveOp::AffJump(1), SolveOp::AffConst(e)] =
+                &ops[i..i + 5]
+            {
+                fused.push(SolveOp::AffSelVar { v: *v, t: *t, e: *e });
+                i += 5;
+                continue;
+            }
+        }
+        if i + 4 <= len && window_ok(&jumps, i, 4) {
+            if let [SolveOp::AffVar(v), SolveOp::AffConst(k), SolveOp::Cmp(cmp), join] =
+                &ops[i..i + 4]
+            {
+                let tail = match join {
+                    SolveOp::Intersect => Some(SolveOp::CmpVarConstAnd(*cmp, *v, *k)),
+                    SolveOp::Union => Some(SolveOp::CmpVarConstOr(*cmp, *v, *k)),
+                    _ => None,
+                };
+                if let Some(op) = tail {
+                    fused.push(op);
+                    i += 4;
                     continue;
                 }
             }
         }
-        fused.push(op);
+        if i + 3 <= len && window_ok(&jumps, i, 3) {
+            match &ops[i..i + 3] {
+                [SolveOp::AffVar(v), SolveOp::AffConst(k), SolveOp::Cmp(cmp)] => {
+                    fused.push(SolveOp::CmpVarConst(*cmp, *v, *k));
+                    i += 3;
+                    continue;
+                }
+                [SolveOp::AffConst(k), SolveOp::AffVar(v), SolveOp::Cmp(cmp)] => {
+                    fused.push(SolveOp::CmpConstVar(*cmp, *k, *v));
+                    i += 3;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if i + 2 <= len && window_ok(&jumps, i, 2) {
+            if let [SolveOp::SetVar(v), SolveOp::Complement] = &ops[i..i + 2] {
+                fused.push(SolveOp::SetVarNot(*v));
+                i += 2;
+                continue;
+            }
+        }
+        if let Some(t) = target_of(i, &ops[i]) {
+            live_jumps.push((fused.len(), t));
+        }
+        fused.push(ops[i].clone());
+        i += 1;
+    }
+    new_pc_of[len] = fused.len();
+    for (idx, old_t) in live_jumps {
+        let new_t = new_pc_of[old_t];
+        debug_assert_ne!(new_t, usize::MAX, "jump target is an op boundary");
+        let skip = (new_t - idx - 1) as u32;
+        match &mut fused[idx] {
+            SolveOp::AffBranch { else_skip, .. } => *else_skip = skip,
+            SolveOp::AffJump(n) => *n = skip,
+            _ => unreachable!("only jump ops record targets"),
+        }
     }
     prog.ops = fused;
+}
+
+/// Recognizes a fused solver program that is, in its entirety, one of the
+/// [`GuardSpec`] shapes.
+fn solve_spec_of(ops: &[SolveOp]) -> Option<GuardSpec> {
+    match ops {
+        [SolveOp::SetVar(v)] => Some(GuardSpec::BoolVar(*v)),
+        [SolveOp::SetVarNot(v)] => Some(GuardSpec::BoolVarNot(*v)),
+        [SolveOp::CmpVarConst(op, v, k)] => Some(GuardSpec::CmpVarConst(*op, *v, *k)),
+        [SolveOp::CmpConstVar(op, k, v)] => Some(GuardSpec::CmpConstVar(*op, *k, *v)),
+        _ => {
+            // Conjunction shape: `CmpVarConst` pushes joined by
+            // `Intersect`s (or their fused `CmpVarConstAnd` form) with
+            // valid postfix stack discipline, in any association.
+            let mut atoms = Vec::new();
+            let mut depth = 0usize;
+            for op in ops {
+                match op {
+                    SolveOp::CmpVarConst(c, v, k) => {
+                        atoms.push((*c, *v, *k));
+                        depth += 1;
+                    }
+                    SolveOp::CmpVarConstAnd(c, v, k) => {
+                        if depth < 1 {
+                            return None;
+                        }
+                        atoms.push((*c, *v, *k));
+                    }
+                    SolveOp::Intersect => {
+                        if depth < 2 {
+                            return None;
+                        }
+                        depth -= 1;
+                    }
+                    _ => return None,
+                }
+            }
+            (depth == 1 && atoms.len() >= 2).then(|| GuardSpec::Conj(atoms.into_boxed_slice()))
+        }
+    }
+}
+
+/// Peephole superinstruction fusion over a value program — same remapping
+/// machinery as [`fuse_solve`], with the value-program windows:
+/// `Var; Const; Bin; JumpIfFalse` → [`EvalOp::VarCmpConstJumpFalse`],
+/// `Var; Const; Bin` → [`EvalOp::VarConstBin`], `Var; Var; Bin` →
+/// [`EvalOp::VarVarBin`], and `Const; Bin` → [`EvalOp::BinConst`].
+fn fuse_eval(prog: &mut EvalProg) {
+    let ops = std::mem::take(&mut prog.ops);
+    let len = ops.len();
+    let target_of = |pc: usize, op: &EvalOp| match op {
+        EvalOp::AndJump(n)
+        | EvalOp::OrJump(n)
+        | EvalOp::ImpliesJump(n)
+        | EvalOp::JumpIfFalse(n)
+        | EvalOp::Jump(n) => Some(pc + *n as usize + 1),
+        _ => None,
+    };
+    let jumps = jump_edges(&ops, target_of);
+    let mut fused: Vec<EvalOp> = Vec::with_capacity(len);
+    let mut live_jumps: Vec<(usize, usize)> = Vec::new();
+    let mut new_pc_of: Vec<usize> = vec![usize::MAX; len + 1];
+    let mut i = 0;
+    while i < len {
+        new_pc_of[i] = fused.len();
+        if i + 5 <= len && window_ok(&jumps, i, 5) {
+            if let [EvalOp::Var(v), EvalOp::JumpIfFalse(2), EvalOp::Const(t), EvalOp::Jump(1), EvalOp::Const(e)] =
+                &ops[i..i + 5]
+            {
+                fused.push(EvalOp::VarSelConst { v: *v, t: *t, e: *e });
+                i += 5;
+                continue;
+            }
+        }
+        if i + 4 <= len && window_ok(&jumps, i, 4) {
+            if let [EvalOp::Var(v), EvalOp::Const(k), EvalOp::Bin(op), EvalOp::JumpIfFalse(skip)] =
+                &ops[i..i + 4]
+            {
+                live_jumps.push((fused.len(), i + 3 + *skip as usize + 1));
+                fused.push(EvalOp::VarCmpConstJumpFalse { op: *op, v: *v, k: *k, skip: *skip });
+                i += 4;
+                continue;
+            }
+        }
+        if i + 3 <= len && window_ok(&jumps, i, 3) {
+            match &ops[i..i + 3] {
+                [EvalOp::Var(v), EvalOp::Const(k), EvalOp::Bin(op)] => {
+                    fused.push(EvalOp::VarConstBin(*op, *v, *k));
+                    i += 3;
+                    continue;
+                }
+                [EvalOp::Var(a), EvalOp::Var(b), EvalOp::Bin(op)] => {
+                    fused.push(EvalOp::VarVarBin(*op, *a, *b));
+                    i += 3;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if i + 2 <= len && window_ok(&jumps, i, 2) {
+            if let [EvalOp::Const(k), EvalOp::Bin(op)] = &ops[i..i + 2] {
+                fused.push(EvalOp::BinConst(*op, *k));
+                i += 2;
+                continue;
+            }
+        }
+        if let Some(t) = target_of(i, &ops[i]) {
+            live_jumps.push((fused.len(), t));
+        }
+        fused.push(ops[i].clone());
+        i += 1;
+    }
+    new_pc_of[len] = fused.len();
+    for (idx, old_t) in live_jumps {
+        let new_t = new_pc_of[old_t];
+        debug_assert_ne!(new_t, usize::MAX, "jump target is an op boundary");
+        let skip = (new_t - idx - 1) as u32;
+        match &mut fused[idx] {
+            EvalOp::AndJump(n)
+            | EvalOp::OrJump(n)
+            | EvalOp::ImpliesJump(n)
+            | EvalOp::JumpIfFalse(n)
+            | EvalOp::Jump(n) => *n = skip,
+            EvalOp::VarCmpConstJumpFalse { skip: s, .. } => *s = skip,
+            _ => unreachable!("only jump ops record targets"),
+        }
+    }
+    prog.ops = fused;
+}
+
+/// Recognizes a fused value program that is one of the [`EvalSpec`]
+/// shapes.
+fn eval_spec_of(ops: &[EvalOp]) -> Option<EvalSpec> {
+    match ops {
+        [EvalOp::Const(v)] => Some(EvalSpec::Const(*v)),
+        [EvalOp::Var(v)] => Some(EvalSpec::Var(*v)),
+        [EvalOp::VarConstBin(op, v, k)] => Some(EvalSpec::VarConstBin(*op, *v, *k)),
+        [EvalOp::VarVarBin(op, a, b)] => Some(EvalSpec::VarVarBin(*op, *a, *b)),
+        [EvalOp::VarConstBin(op1, v, k1), EvalOp::BinConst(op2, k2)] => {
+            Some(EvalSpec::VarConstBinConst(*op1, *v, *k1, *op2, *k2))
+        }
+        [EvalOp::VarSelConst { v, t, e }] => Some(EvalSpec::VarSelConst(*v, *t, *e)),
+        _ => None,
+    }
 }
 
 fn compile_solve(e: &Expr, net: &Network, prog: &mut SolveProg) -> Result<(), Unsupported> {
@@ -1083,24 +1508,73 @@ fn compile_eval(e: &Expr, ops: &mut Vec<EvalOp>) {
     }
 }
 
-fn compile_prog(e: &Expr) -> EvalProg {
+fn compile_prog(e: &Expr, optimize: bool) -> EvalProg {
     let mut ops = Vec::new();
     compile_eval(e, &mut ops);
-    EvalProg { ops }
+    let mut prog = EvalProg { ops, spec: None };
+    if optimize {
+        fuse_eval(&mut prog);
+        prog.spec = eval_spec_of(&prog.ops);
+    }
+    prog
+}
+
+/// Write-set closure over the topologically ordered flow list: bit `i` is
+/// set when flow `i` reads a variable some seed (or an earlier triggered
+/// flow) writes. One forward pass reaches the fixed point because
+/// [`crate::flow::toposort_flows`] guarantees every flow runs after the
+/// flows defining the variables it reads. Conservative all-ones when the
+/// network has more than 64 flows.
+fn flow_mask_from(
+    flows: &[CompiledFlow],
+    n_vars: usize,
+    seeds: impl Iterator<Item = VarId>,
+) -> u64 {
+    if flows.len() > 64 {
+        return u64::MAX;
+    }
+    let mut written = vec![false; n_vars];
+    for v in seeds {
+        if v.0 < n_vars {
+            written[v.0] = true;
+        }
+    }
+    let mut mask = 0u64;
+    for (i, f) in flows.iter().enumerate() {
+        if f.reads.iter().any(|v| v.0 < n_vars && written[v.0]) {
+            mask |= 1 << i;
+            if f.target.0 < n_vars {
+                written[f.target.0] = true;
+            }
+        }
+    }
+    mask
 }
 
 impl Network {
-    /// Compiles the network into reusable [`StepTables`]. Infallible: any
-    /// guard the bytecode cannot model is kept as an AST fallback with
-    /// identical runtime behavior.
+    /// Compiles the network into reusable [`StepTables`] with all
+    /// optimizing tiers enabled — shorthand for [`Network::compile_with`]
+    /// on the default [`CompileOptions`]. Infallible: any guard the
+    /// bytecode cannot model is kept as an AST fallback with identical
+    /// runtime behavior.
     pub fn compile(&self) -> StepTables {
+        self.compile_with(&CompileOptions::default())
+    }
+
+    /// Compiles the network into reusable [`StepTables`] under explicit
+    /// [`CompileOptions`]. Every configuration is bit-identical in
+    /// observable behavior (windows, candidate order, errors, RNG
+    /// consumption); the options only trade compile-time optimization for
+    /// interpreter simplicity.
+    pub fn compile_with(&self, opts: &CompileOptions) -> StepTables {
+        let optimize = opts.optimize;
         let rated = rated_vars(self);
-        let guard = |g: &Expr| specialize_delay_free(compile_guard(g, self), &rated);
+        let guard = |g: &Expr| specialize_delay_free(compile_guard(g, self, optimize), &rated);
         let n_procs = self.automata().len();
         let mut tau = Vec::with_capacity(n_procs);
         let mut markov = Vec::with_capacity(n_procs);
         let mut invariants = Vec::with_capacity(n_procs);
-        let mut trans = Vec::with_capacity(n_procs);
+        let mut trans: Vec<Vec<CompiledTrans>> = Vec::with_capacity(n_procs);
         for a in self.automata() {
             let n_locs = a.locations.len();
             let mut a_tau: Vec<Vec<CompiledGuarded>> = vec![Vec::new(); n_locs];
@@ -1145,9 +1619,11 @@ impl Network {
                             .map(|eff| CompiledEffect {
                                 var: eff.var,
                                 ty: self.ty_of(eff.var),
-                                prog: compile_prog(&eff.expr),
+                                prog: compile_prog(&eff.expr, optimize),
                             })
                             .collect(),
+                        // Filled in below, once the flows are compiled.
+                        flow_mask: u64::MAX,
                     })
                     .collect(),
             );
@@ -1183,22 +1659,39 @@ impl Network {
             sync.push(SyncTable { action, parts });
         }
 
-        let flows = self
+        let flows: Vec<CompiledFlow> = self
             .flows()
             .iter()
             .map(|f| CompiledFlow {
                 target: f.target,
                 ty: self.ty_of(f.target),
                 name: self.name_of(f.target).to_string(),
-                prog: compile_prog(&f.expr),
+                reads: f.expr.vars(),
+                prog: compile_prog(&f.expr, optimize),
             })
             .collect();
+
+        let n_vars = self.vars().len();
+        let advance_flow_mask = if optimize {
+            flow_mask_from(
+                &flows,
+                n_vars,
+                rated.iter().enumerate().filter(|&(_, &r)| r).map(|(i, _)| VarId(i)),
+            )
+        } else {
+            u64::MAX
+        };
+        if optimize {
+            for ct in trans.iter_mut().flatten() {
+                ct.flow_mask = flow_mask_from(&flows, n_vars, ct.effects.iter().map(|eff| eff.var));
+            }
+        }
 
         let base_rates =
             self.vars().iter().map(|v| if v.ty == VarType::Clock { 1.0 } else { 0.0 }).collect();
 
         let has_invariants = invariants.iter().flatten().any(Option::is_some);
-        let has_rates = rated_vars(self).iter().any(|&r| r);
+        let has_rates = rated.iter().any(|&r| r);
         let tables = StepTables {
             tau,
             markov,
@@ -1209,6 +1702,7 @@ impl Network {
             base_rates,
             has_invariants,
             has_rates,
+            advance_flow_mask,
         };
         #[cfg(debug_assertions)]
         if let Err(e) = tables.verify_bytecode() {
@@ -1338,6 +1832,22 @@ impl SolveScratch {
                     let i = self.push_slot();
                     solve_cmp_into(*cmp, Aff { k: kc - x, m: -m }, &mut self.sets[i]);
                 }
+                SolveOp::CmpVarConstAnd(cmp, v, kc) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    let m = rates.get(v.0).copied().unwrap_or(0.0);
+                    solve_cmp_into(*cmp, Aff { k: x - kc, m }, &mut self.t2);
+                    let i = self.depth - 1;
+                    self.sets[i].intersect_into(&self.t2, &mut self.t1);
+                    std::mem::swap(&mut self.sets[i], &mut self.t1);
+                }
+                SolveOp::CmpVarConstOr(cmp, v, kc) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    let m = rates.get(v.0).copied().unwrap_or(0.0);
+                    solve_cmp_into(*cmp, Aff { k: x - kc, m }, &mut self.t2);
+                    let i = self.depth - 1;
+                    self.sets[i].union_into(&self.t2, &mut self.t1);
+                    std::mem::swap(&mut self.sets[i], &mut self.t1);
+                }
                 SolveOp::AffConst(k) => self.affs.push(Aff::constant(*k)),
                 SolveOp::AffVar(v) => {
                     let k = nu.get(*v)?.as_real()?;
@@ -1415,10 +1925,86 @@ impl SolveScratch {
                     }
                 }
                 SolveOp::AffJump(n) => pc += *n as usize,
+                SolveOp::SetVarNot(v) => {
+                    let i = self.push_slot();
+                    match nu.get(*v)? {
+                        Value::Bool(true) => self.sets[i].clear(),
+                        Value::Bool(false) => self.sets[i].set_all(),
+                        other => {
+                            return Err(EvalError::TypeConfusion {
+                                context: format!("numeric variable {other} as guard"),
+                            })
+                        }
+                    }
+                }
+                SolveOp::AffSelVar { v, t, e } => match nu.get(*v)? {
+                    Value::Bool(b) => self.affs.push(Aff::constant(if b { *t } else { *e })),
+                    other => {
+                        return Err(EvalError::TypeConfusion {
+                            context: format!("numeric variable {other} as guard"),
+                        })
+                    }
+                },
             }
             pc += 1;
         }
         debug_assert_eq!(self.depth, 1, "guard program leaves one set");
+        Ok(())
+    }
+
+    /// Evaluates a recognized whole-program shape straight into `out` —
+    /// no stack machine, no per-op dispatch. Bit-identical to running the
+    /// fused program: same variable read order, same errors, and (for
+    /// [`GuardSpec::Conj`]) an intersection fold that matches any
+    /// association the program used, since `intersect_into` derives
+    /// endpoints by min/max selection only.
+    fn run_spec_into(
+        &mut self,
+        spec: &GuardSpec,
+        nu: &Valuation,
+        rates: &[f64],
+        out: &mut IntervalSet,
+    ) -> Result<(), EvalError> {
+        let bool_window = |v: VarId, negate: bool, out: &mut IntervalSet| match nu.get(v)? {
+            Value::Bool(b) => {
+                if b != negate {
+                    out.set_all();
+                } else {
+                    out.clear();
+                }
+                Ok(())
+            }
+            other => Err(EvalError::TypeConfusion {
+                context: format!("numeric variable {other} as guard"),
+            }),
+        };
+        match spec {
+            GuardSpec::BoolVar(v) => bool_window(*v, false, out)?,
+            GuardSpec::BoolVarNot(v) => bool_window(*v, true, out)?,
+            GuardSpec::CmpVarConst(op, v, k) => {
+                let x = nu.get(*v)?.as_real()?;
+                let m = rates.get(v.0).copied().unwrap_or(0.0);
+                solve_cmp_into(*op, Aff { k: x - k, m }, out);
+            }
+            GuardSpec::CmpConstVar(op, k, v) => {
+                let x = nu.get(*v)?.as_real()?;
+                let m = rates.get(v.0).copied().unwrap_or(0.0);
+                solve_cmp_into(*op, Aff { k: k - x, m: -m }, out);
+            }
+            GuardSpec::Conj(atoms) => {
+                let (op0, v0, k0) = atoms[0];
+                let x = nu.get(v0)?.as_real()?;
+                let m = rates.get(v0.0).copied().unwrap_or(0.0);
+                solve_cmp_into(op0, Aff { k: x - k0, m }, out);
+                for &(op, v, k) in &atoms[1..] {
+                    let x = nu.get(v)?.as_real()?;
+                    let m = rates.get(v.0).copied().unwrap_or(0.0);
+                    solve_cmp_into(op, Aff { k: x - k, m }, &mut self.t1);
+                    out.intersect_into(&self.t1, &mut self.t2);
+                    std::mem::swap(out, &mut self.t2);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -1537,12 +2123,81 @@ impl SolveScratch {
                     }
                 }
                 SolveOp::AffJump(n) => pc += *n as usize,
+                SolveOp::SetVarNot(v) => match nu.get(*v)? {
+                    Value::Bool(b) => self.bools.push(!b),
+                    other => {
+                        return Err(EvalError::TypeConfusion {
+                            context: format!("numeric variable {other} as guard"),
+                        })
+                    }
+                },
+                SolveOp::AffSelVar { v, t, e } => match nu.get(*v)? {
+                    Value::Bool(b) => self.consts.push(if b { *t } else { *e }),
+                    other => {
+                        return Err(EvalError::TypeConfusion {
+                            context: format!("numeric variable {other} as guard"),
+                        })
+                    }
+                },
+                SolveOp::CmpVarConstAnd(cmp, v, kc) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    *self.bools.last_mut().expect("bool stack underflow") &=
+                        cmp_truth(*cmp, x - kc);
+                }
+                SolveOp::CmpVarConstOr(cmp, v, kc) => {
+                    let x = nu.get(*v)?.as_real()?;
+                    *self.bools.last_mut().expect("bool stack underflow") |=
+                        cmp_truth(*cmp, x - kc);
+                }
             }
             pc += 1;
         }
         debug_assert_eq!(self.bools.len(), 1, "guard program leaves one value");
         Ok(self.bools.pop().expect("bool stack underflow"))
     }
+}
+
+/// Truth of a recognized whole-program shape on the Boolean tier — the
+/// [`GuardCode::DelayFree`] counterpart of
+/// [`SolveScratch::run_spec_into`]. [`GuardSpec::Conj`] evaluates every
+/// atom (no short-circuit), like the program it replaces.
+fn spec_truth(spec: &GuardSpec, nu: &Valuation) -> Result<bool, EvalError> {
+    let bool_var = |v: VarId| match nu.get(v)? {
+        Value::Bool(b) => Ok(b),
+        other => {
+            Err(EvalError::TypeConfusion { context: format!("numeric variable {other} as guard") })
+        }
+    };
+    match spec {
+        GuardSpec::BoolVar(v) => bool_var(*v),
+        GuardSpec::BoolVarNot(v) => Ok(!bool_var(*v)?),
+        GuardSpec::CmpVarConst(op, v, k) => Ok(cmp_truth(*op, nu.get(*v)?.as_real()? - k)),
+        GuardSpec::CmpConstVar(op, k, v) => Ok(cmp_truth(*op, k - nu.get(*v)?.as_real()?)),
+        GuardSpec::Conj(atoms) => {
+            let mut acc = true;
+            for &(op, v, k) in atoms.iter() {
+                acc &= cmp_truth(op, nu.get(v)?.as_real()? - k);
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Evaluates a [`GuardCode::DelayFree`] program's truth, taking the
+/// [`GuardSpec`] shortcut when one was recognized and profiling is off
+/// (profiled runs execute the program so its opcodes stay observable).
+fn delay_free_truth<P: ProfileHooks>(
+    prog: &SolveProg,
+    nu: &Valuation,
+    sv: &mut SolveScratch,
+    prof: &mut P,
+) -> Result<bool, EvalError> {
+    if !P::ENABLED {
+        if let Some(spec) = &prog.spec {
+            return spec_truth(spec, nu);
+        }
+    }
+    sv.run_bool(prog, nu, prof)
 }
 
 /// Truth of `k cmp 0` — the `m == 0` arm of [`solve_cmp_into`], which is
@@ -1655,12 +2310,17 @@ fn eval_guard<P: ProfileHooks>(
     match code {
         GuardCode::Static(set) => out.copy_from(set),
         GuardCode::Prog(prog) => {
+            if !P::ENABLED {
+                if let Some(spec) = &prog.spec {
+                    return sv.run_spec_into(spec, nu, rates, out);
+                }
+            }
             sv.run(prog, nu, rates, prof)?;
             std::mem::swap(out, &mut sv.sets[0]);
             sv.depth = 0;
         }
         GuardCode::DelayFree(prog) => {
-            if sv.run_bool(prog, nu, prof)? {
+            if delay_free_truth(prog, nu, sv, prof)? {
                 out.set_all();
             } else {
                 out.clear();
@@ -1685,6 +2345,11 @@ fn run_eval<P: ProfileHooks>(
     stack: &mut Vec<Value>,
     prof: &mut P,
 ) -> Result<Value, EvalError> {
+    if !P::ENABLED {
+        if let Some(spec) = &prog.spec {
+            return run_eval_spec(spec, nu);
+        }
+    }
     stack.clear();
     prof.eval_begin();
     let mut pc = 0usize;
@@ -1750,10 +2415,52 @@ fn run_eval<P: ProfileHooks>(
                 }
             }
             EvalOp::Jump(n) => pc += *n as usize,
+            EvalOp::VarConstBin(op, v, k) => {
+                let a = nu.get(*v)?;
+                stack.push(eval_bin(*op, a, *k)?);
+            }
+            EvalOp::VarVarBin(op, va, vb) => {
+                let a = nu.get(*va)?;
+                let b = nu.get(*vb)?;
+                stack.push(eval_bin(*op, a, b)?);
+            }
+            EvalOp::BinConst(op, k) => {
+                let a = stack.pop().expect("value stack underflow");
+                stack.push(eval_bin(*op, a, *k)?);
+            }
+            EvalOp::VarCmpConstJumpFalse { op, v, k, skip } => {
+                let a = nu.get(*v)?;
+                let cond = eval_bin(*op, a, *k)?.as_bool()?;
+                if !cond {
+                    pc += *skip as usize;
+                }
+            }
+            EvalOp::VarSelConst { v, t, e } => {
+                let c = nu.get(*v)?.as_bool()?;
+                stack.push(if c { *t } else { *e });
+            }
         }
         pc += 1;
     }
     Ok(stack.pop().expect("value program leaves one value"))
+}
+
+/// Evaluates a recognized whole-program value shape without the stack
+/// machine — same read order and errors as running the fused program.
+fn run_eval_spec(spec: &EvalSpec, nu: &Valuation) -> Result<Value, EvalError> {
+    match spec {
+        EvalSpec::Const(v) => Ok(*v),
+        EvalSpec::Var(v) => nu.get(*v),
+        EvalSpec::VarConstBin(op, v, k) => eval_bin(*op, nu.get(*v)?, *k),
+        EvalSpec::VarVarBin(op, a, b) => eval_bin(*op, nu.get(*a)?, nu.get(*b)?),
+        EvalSpec::VarSelConst(v, t, e) => {
+            let c = nu.get(*v)?.as_bool()?;
+            Ok(if c { *t } else { *e })
+        }
+        EvalSpec::VarConstBinConst(op1, v, k1, op2, k2) => {
+            eval_bin(*op2, eval_bin(*op1, nu.get(*v)?, *k1)?, *k2)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1932,7 +2639,7 @@ impl Network {
         for (p, by_loc) in t.tau.iter().enumerate() {
             for cg in &by_loc[state.locs[p].0] {
                 let all = if let GuardCode::DelayFree(prog) = &cg.guard {
-                    let enabled = s.solver.run_bool(prog, &state.nu, prof)?;
+                    let enabled = delay_free_truth(prog, &state.nu, &mut s.solver, prof)?;
                     prof.guard_eval(p, cg.trans.0, enabled);
                     if !enabled {
                         continue;
@@ -1977,7 +2684,7 @@ impl Network {
                 let start = s.n_opts;
                 for cg in &part.by_loc[state.locs[part.proc.0].0] {
                     let all = if let GuardCode::DelayFree(prog) = &cg.guard {
-                        let enabled = s.solver.run_bool(prog, &state.nu, prof)?;
+                        let enabled = delay_free_truth(prog, &state.nu, &mut s.solver, prof)?;
                         prof.guard_eval(part.proc.0, cg.trans.0, enabled);
                         if !enabled {
                             continue;
@@ -2205,9 +2912,11 @@ impl Network {
         prof: &mut P,
     ) -> Result<(), EvalError> {
         s.writes.clear();
+        let mut flow_mask = 0u64;
         for &(p, t_id) in parts {
             prof.fired(p.0, t_id.0);
             let ct = &t.trans[p.0][t_id.0];
+            flow_mask |= ct.flow_mask;
             for eff in &ct.effects {
                 let v = run_eval(&eff.prog, &state.nu, &mut s.vals, prof)?;
                 let v = eff.ty.canonicalize(v);
@@ -2236,15 +2945,24 @@ impl Network {
             let (var, v) = s.writes[i];
             state.nu.set(var, v)?;
         }
-        run_flows_inner(t, &mut s.vals, &mut state.nu, prof)
+        run_flows_inner(t, flow_mask, &mut s.vals, &mut state.nu, prof)
     }
 
     /// Compiles a standalone Boolean predicate (a property goal) for
     /// repeated window evaluation via
     /// [`Network::predicate_window_into`].
     pub fn compile_predicate(&self, e: &Expr) -> CompiledPredicate {
+        self.compile_predicate_with(e, &CompileOptions::default())
+    }
+
+    /// [`Network::compile_predicate`] under explicit [`CompileOptions`]
+    /// (pass [`CompileOptions::reference`] for the unfused reference
+    /// predicate used by differential testing).
+    pub fn compile_predicate_with(&self, e: &Expr, opts: &CompileOptions) -> CompiledPredicate {
         let rated = rated_vars(self);
-        CompiledPredicate { code: specialize_delay_free(compile_guard(e, self), &rated) }
+        CompiledPredicate {
+            code: specialize_delay_free(compile_guard(e, self, opts.optimize), &rated),
+        }
     }
 
     /// Allocation-free equivalent of solving `pred` over the delay axis in
@@ -2345,16 +3063,25 @@ fn advance_unchecked_mut<P: ProfileHooks>(
         // it already established; skip the re-run.
         return Ok(());
     }
-    run_flows_inner(t, vals, &mut state.nu, prof)
+    run_flows_inner(t, t.advance_flow_mask, vals, &mut state.nu, prof)
 }
 
+/// Re-establishes flows in definition (topological) order. Bit `i` of
+/// `mask` clear means flow `i`'s reads are untouched by the triggering
+/// writes (including transitively, via earlier flows), so it would
+/// re-evaluate to the value it already holds — skip it. An all-ones mask
+/// runs everything, which is also the fallback for >64 flows.
 fn run_flows_inner<P: ProfileHooks>(
     t: &StepTables,
+    mask: u64,
     vals: &mut Vec<Value>,
     nu: &mut Valuation,
     prof: &mut P,
 ) -> Result<(), EvalError> {
-    for f in &t.flows {
+    for (i, f) in t.flows.iter().enumerate() {
+        if mask != u64::MAX && (mask >> i) & 1 == 0 {
+            continue;
+        }
         let v = run_eval(&f.prog, nu, vals, prof)?;
         let v = f.ty.canonicalize(v);
         if !f.ty.admits(v) {
@@ -2381,11 +3108,11 @@ fn run_flows_inner<P: ProfileHooks>(
 
 /// Structural [`EvalOp`] opcodes (everything except `Bin`, which gets one
 /// profiling slot per [`BinOp`]).
-const N_EVAL_STRUCT_OPS: usize = 11;
+const N_EVAL_STRUCT_OPS: usize = 16;
 /// Number of [`BinOp`] variants.
 const N_BIN_OPS: usize = 16;
 /// Number of [`SolveOp`] variants.
-const N_SOLVE_OPS: usize = 24;
+const N_SOLVE_OPS: usize = 28;
 /// First id of the solver ops inside the unified namespace.
 const SOLVE_OP_BASE: usize = N_EVAL_STRUCT_OPS + N_BIN_OPS;
 
@@ -2407,6 +3134,11 @@ pub const PROFILE_OP_NAMES: [&str; SOLVE_OP_BASE + N_SOLVE_OPS] = [
     "eval.implies_jump",
     "eval.jump_if_false",
     "eval.jump",
+    "eval.var_const_bin",
+    "eval.var_var_bin",
+    "eval.bin_const",
+    "eval.var_cmp_const_jump_false",
+    "eval.var_sel_const",
     "eval.add",
     "eval.sub",
     "eval.mul",
@@ -2447,6 +3179,10 @@ pub const PROFILE_OP_NAMES: [&str; SOLVE_OP_BASE + N_SOLVE_OPS] = [
     "solve.aff_max",
     "solve.aff_branch",
     "solve.aff_jump",
+    "solve.set_var_not",
+    "solve.aff_sel_var",
+    "solve.cmp_var_const_and",
+    "solve.cmp_var_const_or",
 ];
 
 fn bin_op_index(op: BinOp) -> usize {
@@ -2484,6 +3220,11 @@ fn eval_op_index(op: &EvalOp) -> usize {
         EvalOp::ImpliesJump(_) => 8,
         EvalOp::JumpIfFalse(_) => 9,
         EvalOp::Jump(_) => 10,
+        EvalOp::VarConstBin(..) => 11,
+        EvalOp::VarVarBin(..) => 12,
+        EvalOp::BinConst(..) => 13,
+        EvalOp::VarCmpConstJumpFalse { .. } => 14,
+        EvalOp::VarSelConst { .. } => 15,
         EvalOp::Bin(b) => N_EVAL_STRUCT_OPS + bin_op_index(*b),
     }
 }
@@ -2516,7 +3257,81 @@ fn solve_op_index(op: &SolveOp) -> usize {
             SolveOp::AffMax(_) => 21,
             SolveOp::AffBranch { .. } => 22,
             SolveOp::AffJump(_) => 23,
+            SolveOp::SetVarNot(_) => 24,
+            SolveOp::AffSelVar { .. } => 25,
+            SolveOp::CmpVarConstAnd(..) => 26,
+            SolveOp::CmpVarConstOr(..) => 27,
         }
+}
+
+/// The fused opcode (if any) whose introduction covers the profiled
+/// digram `(a, b)`, both named as in [`PROFILE_OP_NAMES`]. This is the
+/// map `slimsim profile --suggest-fusions` renders so users can see which
+/// hot digrams the peephole pass already folds and which remain open.
+#[must_use]
+pub fn fusion_for_digram(a: &str, b: &str) -> Option<&'static str> {
+    match (a, b) {
+        // `x <op> k`: AffVar;AffConst;Cmp — both digrams of the window.
+        ("solve.aff_var", "solve.aff_const") => Some("solve.cmp_var_const"),
+        ("solve.aff_const", "solve.cmp") => Some("solve.cmp_var_const"),
+        // `k <op> x`, the mirrored window.
+        ("solve.aff_const", "solve.aff_var") => Some("solve.cmp_const_var"),
+        ("solve.aff_var", "solve.cmp") => Some("solve.cmp_const_var"),
+        // `!b` as a guard atom.
+        ("solve.set_var", "solve.complement") => Some("solve.set_var_not"),
+        // Conjunction / disjunction tails: the compare (itself fused)
+        // followed by the combine with the set below it.
+        ("solve.cmp_var_const", "solve.intersect") => Some("solve.cmp_var_const_and"),
+        ("solve.cmp_var_const", "solve.union") => Some("solve.cmp_var_const_or"),
+        // `if b then t else e` over constants: every digram of the
+        // five-op branch diamond folds into the one selector op.
+        ("solve.set_var", "solve.aff_branch")
+        | ("solve.aff_branch", "solve.aff_const")
+        | ("solve.aff_const", "solve.aff_jump")
+        | ("solve.aff_jump", "solve.aff_const") => Some("solve.aff_sel_var"),
+        // Value programs: `x <op> k`, `x <op> y`, `<top> <op> k`.
+        ("eval.var", "eval.const") => Some("eval.var_const_bin"),
+        ("eval.var", "eval.var") => Some("eval.var_var_bin"),
+        ("eval.const", _) if b.starts_with("eval.") && is_profiled_bin(b) => Some("eval.bin_const"),
+        // `if x <op> k { … }`: comparison feeding a conditional jump.
+        (_, "eval.jump_if_false") if is_profiled_bin(a) => Some("eval.var_cmp_const_jump_false"),
+        // `if b then t else e` over constants on the eval side: the
+        // five-op branch diamond `Var; JumpIfFalse; Const; Jump; Const`.
+        ("eval.var", "eval.jump_if_false")
+        | ("eval.jump_if_false", "eval.const")
+        | ("eval.const", "eval.jump")
+        | ("eval.jump", "eval.const") => Some("eval.var_sel_const"),
+        _ => None,
+    }
+}
+
+/// Whether `name` (a [`PROFILE_OP_NAMES`] entry) is itself a fused
+/// superinstruction — a digram touching one of these is already the
+/// *output* of the peephole pass, since profiled runs execute the fused
+/// bytecode.
+#[must_use]
+pub fn is_fused_op_name(name: &str) -> bool {
+    matches!(
+        name,
+        "solve.cmp_var_const"
+            | "solve.cmp_const_var"
+            | "solve.set_var_not"
+            | "solve.aff_sel_var"
+            | "solve.cmp_var_const_and"
+            | "solve.cmp_var_const_or"
+            | "eval.var_const_bin"
+            | "eval.var_var_bin"
+            | "eval.bin_const"
+            | "eval.var_cmp_const_jump_false"
+            | "eval.var_sel_const"
+    )
+}
+
+/// Whether `name` is one of the per-[`BinOp`] `eval.*` profiling slots.
+fn is_profiled_bin(name: &str) -> bool {
+    let lo = N_EVAL_STRUCT_OPS;
+    let hi = N_EVAL_STRUCT_OPS + N_BIN_OPS;
+    PROFILE_OP_NAMES[lo..hi].contains(&name)
 }
 
 /// Builds the dense counter layout a [`slim_obs::profile::KernelProfile`]
@@ -2583,6 +3398,7 @@ mod tests {
         let b = net.var("b", VarType::Bool, Value::Bool(false));
         let n = net.var("n", VarType::Int { lo: 0, hi: 10 }, Value::Int(0));
         let r = net.var("r", VarType::Real, Value::Real(0.0));
+        let sel = net.var("sel", VarType::Real, Value::Real(0.0));
         net.flow(r, Expr::var(n).add(Expr::int(1)));
         let go = net.action("go");
 
@@ -2657,7 +3473,12 @@ mod tests {
                 Expr::var(temp).le(Expr::real(2.0)),
                 Expr::var(temp).ge(Expr::real(1.0)),
             ),
-            [Effect::assign(b, Expr::var(b).not()), Effect::assign(c, Expr::real(0.0))],
+            [
+                Effect::assign(b, Expr::var(b).not()),
+                Effect::assign(c, Expr::real(0.0)),
+                // Eval-side branch diamond: `if b then 2 else 5`.
+                Effect::assign(sel, Expr::ite(Expr::var(b), Expr::real(2.0), Expr::real(5.0))),
+            ],
             l0,
         );
         // Markovian race in a dedicated location (locations may not mix
@@ -3033,7 +3854,60 @@ mod tests {
         }
         assert_eq!(PROFILE_OP_NAMES.len(), N_EVAL_STRUCT_OPS + N_BIN_OPS + N_SOLVE_OPS);
         assert_eq!(eval_op_index(&EvalOp::Bin(BinOp::Ge)), SOLVE_OP_BASE - 1);
-        assert_eq!(solve_op_index(&SolveOp::AffJump(0)), PROFILE_OP_NAMES.len() - 1);
+        assert_eq!(
+            solve_op_index(&SolveOp::CmpVarConstOr(BinOp::Le, VarId(0), 1.0)),
+            PROFILE_OP_NAMES.len() - 1
+        );
+        assert_eq!(
+            PROFILE_OP_NAMES[solve_op_index(&SolveOp::CmpVarConstAnd(BinOp::Le, VarId(0), 1.0))],
+            "solve.cmp_var_const_and"
+        );
+        assert_eq!(
+            PROFILE_OP_NAMES
+                [eval_op_index(&EvalOp::VarConstBin(BinOp::Add, VarId(0), Value::Int(1)))],
+            "eval.var_const_bin"
+        );
+        assert_eq!(
+            PROFILE_OP_NAMES[solve_op_index(&SolveOp::SetVarNot(VarId(0)))],
+            "solve.set_var_not"
+        );
+    }
+
+    #[test]
+    fn fusion_digram_map_names_exist_in_namespace() {
+        // Every digram endpoint and every suggested fusion the map can
+        // emit must be a real opcode name, or `--suggest-fusions` would
+        // render labels the profiler never produces.
+        let pairs = [
+            ("solve.aff_var", "solve.aff_const"),
+            ("solve.aff_const", "solve.cmp"),
+            ("solve.aff_const", "solve.aff_var"),
+            ("solve.aff_var", "solve.cmp"),
+            ("solve.set_var", "solve.complement"),
+            ("solve.set_var", "solve.aff_branch"),
+            ("solve.aff_branch", "solve.aff_const"),
+            ("solve.aff_const", "solve.aff_jump"),
+            ("solve.aff_jump", "solve.aff_const"),
+            ("solve.cmp_var_const", "solve.intersect"),
+            ("solve.cmp_var_const", "solve.union"),
+            ("eval.var", "eval.const"),
+            ("eval.var", "eval.var"),
+            ("eval.const", "eval.min"),
+            ("eval.ge", "eval.jump_if_false"),
+            ("eval.var", "eval.jump_if_false"),
+            ("eval.jump_if_false", "eval.const"),
+            ("eval.const", "eval.jump"),
+            ("eval.jump", "eval.const"),
+        ];
+        for (a, b) in pairs {
+            let fused = fusion_for_digram(a, b)
+                .unwrap_or_else(|| panic!("({a}, {b}) should suggest a fusion"));
+            for name in [a, b, fused] {
+                assert!(PROFILE_OP_NAMES.contains(&name), "unknown opcode name {name}");
+            }
+        }
+        assert_eq!(fusion_for_digram("eval.const", "eval.var"), None);
+        assert_eq!(fusion_for_digram("solve.intersect", "solve.intersect"), None);
     }
 
     #[test]
@@ -3105,5 +3979,270 @@ mod tests {
             .map(|i| p1.guard_counts(i))
             .fold((0, 0), |(e, t), (ge, gt)| (e + ge, t + gt));
         assert!(evals >= truth && evals > 0, "guard eval counts recorded");
+    }
+
+    fn collect_solve(t: &StepTables) -> Vec<&SolveProg> {
+        fn push<'a>(out: &mut Vec<&'a SolveProg>, code: &'a GuardCode) {
+            if let GuardCode::Prog(p) | GuardCode::DelayFree(p) = code {
+                out.push(p);
+            }
+        }
+        let mut out = Vec::new();
+        for cg in t.tau.iter().flatten().flatten() {
+            push(&mut out, &cg.guard);
+        }
+        for table in &t.sync {
+            for cg in table.parts.iter().flat_map(|p| p.by_loc.iter().flatten()) {
+                push(&mut out, &cg.guard);
+            }
+        }
+        for inv in t.invariants.iter().flatten().flatten() {
+            push(&mut out, inv);
+        }
+        out
+    }
+
+    fn collect_eval(t: &StepTables) -> Vec<&EvalProg> {
+        let mut out: Vec<&EvalProg> = t
+            .trans
+            .iter()
+            .flatten()
+            .flat_map(|ct| ct.effects.iter().map(|eff| &eff.prog))
+            .collect();
+        out.extend(t.flows.iter().map(|f| &f.prog));
+        out
+    }
+
+    /// The peephole pass rewrites the statically hot windows the digram
+    /// reports identified, and the whole-program recognizers fire on the
+    /// shapes the zoo models actually use.
+    #[test]
+    fn fusion_rewrites_hot_windows() {
+        let net = torture_net();
+        let tables = net.compile();
+
+        let solve = collect_solve(&tables);
+        // `c <= (if b then 4 else 7)`: the five-op branch diamond folds
+        // into one selector dispatch.
+        assert!(
+            solve.iter().any(|p| p.ops.iter().any(|o| matches!(o, SolveOp::AffSelVar { .. }))),
+            "Boolean-conditioned numeric if should fuse to AffSelVar"
+        );
+        // `c >= 1 && c <= 5` fuses its conjunction tail into one
+        // compare-and-intersect dispatch and specializes to a
+        // conjunction of compare atoms.
+        assert!(
+            solve.iter().any(|p| p.ops.iter().any(|o| matches!(o, SolveOp::CmpVarConstAnd(..)))),
+            "conjunction tail should fuse to CmpVarConstAnd"
+        );
+        assert!(
+            solve
+                .iter()
+                .any(|p| matches!(&p.spec, Some(GuardSpec::Conj(atoms)) if atoms.len() == 2)),
+            "two-sided clock window should specialize to Conj"
+        );
+        // `c >= 3` (the urgent reset guard) is a single fused compare.
+        assert!(
+            solve.iter().any(|p| matches!(&p.spec, Some(GuardSpec::CmpVarConst(..)))),
+            "single compare guard should specialize"
+        );
+
+        let eval = collect_eval(&tables);
+        // The counter bump inside `(n + 1) min 10` and the flow `n + 1`.
+        assert!(
+            eval.iter().any(|p| p.ops.iter().any(|o| matches!(o, EvalOp::VarConstBin(..)))),
+            "var-const arithmetic should fuse"
+        );
+        // ... and the clamped update specializes whole-program.
+        assert!(
+            eval.iter().any(|p| matches!(&p.spec, Some(EvalSpec::VarConstBinConst(..)))),
+            "(n + 1) min 10 should specialize to VarConstBinConst"
+        );
+        // `r := if b then 2 else 5` folds its five-op branch diamond into
+        // one selector dispatch and specializes whole-program.
+        assert!(
+            eval.iter().any(|p| matches!(&p.spec, Some(EvalSpec::VarSelConst(..)))),
+            "Boolean select over constants should specialize to VarSelConst"
+        );
+
+        // `!b` as a guard compiles to the one-op SetVarNot and specializes.
+        let mut nb = NetworkBuilder::new();
+        let b = nb.var("b", VarType::Bool, Value::Bool(true));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        a.guarded(l0, ActionId::TAU, Expr::var(b).not(), [], l0);
+        nb.add_automaton(a);
+        let t2 = nb.build().unwrap().compile();
+        assert!(
+            collect_solve(&t2).iter().any(|p| matches!(&p.spec, Some(GuardSpec::BoolVarNot(_)))),
+            "negated Boolean guard should specialize to BoolVarNot"
+        );
+    }
+
+    /// `CompileOptions::reference()` must produce the maximally plain
+    /// kernel: no fused opcodes, no whole-program shapes, no flow masking
+    /// — the fixed point the fusion-equivalence oracle diffs against.
+    #[test]
+    fn reference_compile_disables_fusion_spec_and_masks() {
+        let net = torture_net();
+        let t = net.compile_with(&CompileOptions::reference());
+        for p in collect_solve(&t) {
+            assert!(p.spec.is_none(), "reference solve program carries a spec");
+            assert!(
+                !p.ops.iter().any(|o| matches!(
+                    o,
+                    SolveOp::CmpVarConst(..)
+                        | SolveOp::CmpConstVar(..)
+                        | SolveOp::SetVarNot(_)
+                        | SolveOp::AffSelVar { .. }
+                        | SolveOp::CmpVarConstAnd(..)
+                        | SolveOp::CmpVarConstOr(..)
+                )),
+                "reference solve program contains fused ops"
+            );
+        }
+        for p in collect_eval(&t) {
+            assert!(p.spec.is_none(), "reference eval program carries a spec");
+            assert!(
+                !p.ops.iter().any(|o| matches!(
+                    o,
+                    EvalOp::VarConstBin(..)
+                        | EvalOp::VarVarBin(..)
+                        | EvalOp::BinConst(..)
+                        | EvalOp::VarCmpConstJumpFalse { .. }
+                        | EvalOp::VarSelConst { .. }
+                )),
+                "reference eval program contains fused ops"
+            );
+        }
+        assert_eq!(t.advance_flow_mask, u64::MAX);
+        for ct in t.trans.iter().flatten() {
+            assert_eq!(ct.flow_mask, u64::MAX);
+        }
+        // The fused tables, by contrast, do mask.
+        let fused = net.compile();
+        assert_ne!(fused.advance_flow_mask, u64::MAX);
+    }
+
+    /// The unprofiled kernel takes the whole-program shortcuts and the
+    /// masked flow path; the profiled kernel executes every fused program
+    /// op by op. Both must land in exactly the same states.
+    #[test]
+    fn spec_shortcut_matches_program_execution() {
+        use slim_obs::profile::KernelProfile;
+
+        fn walk<P: ProfileHooks>(net: &Network, tables: &StepTables, prof: &mut P) -> NetState {
+            let mut s = StepScratch::new();
+            let mut seed = 0x5bec_14e5_u64;
+            let mut st = net.initial_state().unwrap();
+            let mut window = IntervalSet::empty();
+            for _ in 0..200 {
+                net.rates_refresh(tables, &mut s, &st);
+                if net.delay_window_rated_prof(tables, &mut s, &st, &mut window, prof).is_err() {
+                    break;
+                }
+                net.guarded_candidates_rated_prof(tables, &mut s, &st, prof).unwrap();
+                let n = s.candidates().len();
+                if n == 0 {
+                    break;
+                }
+                let pick = lcg(&mut seed) as usize % n;
+                let cand = &s.candidates()[pick];
+                let joint = cand.window.intersect(&window);
+                let Some(d) = joint.earliest_point() else { continue };
+                let parts: Vec<_> = cand.parts.clone();
+                if net.advance_rated_prof(tables, &mut s, &mut st, d, &window, prof).is_err() {
+                    break;
+                }
+                if net.apply_mut_prof(tables, &mut s, &mut st, &parts, prof).is_err() {
+                    break;
+                }
+            }
+            st
+        }
+
+        let net = torture_net();
+        let tables = net.compile();
+        let st_spec = walk(&net, &tables, &mut NoopProfile);
+        let mut prof = KernelProfile::new(profile_shape(&net));
+        let st_prog = walk(&net, &tables, &mut prof);
+        assert_eq!(st_spec, st_prog, "spec shortcut diverged from program execution");
+        assert!(prof.total_ops() > 0, "profiled walk executed bytecode");
+    }
+
+    /// Write-set masks cover exactly the flows a transition's effects (or
+    /// the rated variables, for delay advancement) can reach.
+    #[test]
+    fn flow_masks_track_write_sets() {
+        let net = torture_net();
+        let t = net.compile();
+        assert_eq!(t.flows.len(), 1, "torture net has the one flow r := n + 1");
+        // The flow reads `n`, which never carries a rate: delay
+        // advancement can always skip re-establishing it.
+        assert_eq!(t.advance_flow_mask, 0);
+        let (mut hit, mut miss) = (false, false);
+        for (p, by_proc) in t.trans.iter().enumerate() {
+            for (i, ct) in by_proc.iter().enumerate() {
+                let writes_n = net.automata()[p].transitions[i]
+                    .effects
+                    .iter()
+                    .any(|e| net.name_of(e.var) == "n");
+                if writes_n {
+                    assert_eq!(ct.flow_mask, 1, "writer of n must re-run the flow");
+                    hit = true;
+                } else {
+                    assert_eq!(ct.flow_mask, 0, "non-writer of n must skip the flow");
+                    miss = true;
+                }
+            }
+        }
+        assert!(hit && miss, "torture net has both kinds of transition");
+    }
+
+    /// The verifier's stack-effect tables cover the fused opcodes:
+    /// corrupted fused programs are rejected, well-formed ones pass.
+    #[test]
+    fn corrupted_fused_programs_are_rejected() {
+        let sp = |ops: Vec<SolveOp>| SolveProg { ops, ctx: Vec::new(), spec: None };
+        // Out-of-bounds variables inside fused ops.
+        assert!(verify_solve(&sp(vec![SolveOp::SetVarNot(VarId(7))]), 2).is_err());
+        assert!(
+            verify_solve(&sp(vec![SolveOp::AffSelVar { v: VarId(7), t: 1.0, e: 0.0 }]), 2).is_err()
+        );
+        // AffSelVar leaves an affine operand, not a solved window.
+        let (_, reason) =
+            verify_solve(&sp(vec![SolveOp::AffSelVar { v: VarId(0), t: 1.0, e: 0.0 }]), 2)
+                .unwrap_err();
+        assert!(reason.contains("ends with"), "got: {reason}");
+        assert!(verify_solve(&sp(vec![SolveOp::SetVarNot(VarId(0))]), 2).is_ok());
+
+        let ep = |ops: Vec<EvalOp>| EvalProg { ops, spec: None };
+        // BinConst pops an operand no one pushed.
+        let (_, reason) =
+            verify_eval(&ep(vec![EvalOp::BinConst(BinOp::Add, Value::Int(1))]), 2).unwrap_err();
+        assert!(reason.contains("underflow"), "got: {reason}");
+        assert!(
+            verify_eval(&ep(vec![EvalOp::VarVarBin(BinOp::Add, VarId(0), VarId(9))]), 2).is_err()
+        );
+        // The fused compare-and-branch may not jump past the end.
+        let bad_jump = vec![
+            EvalOp::VarCmpConstJumpFalse { op: BinOp::Ge, v: VarId(0), k: Value::Int(1), skip: 3 },
+            EvalOp::Const(Value::Int(1)),
+        ];
+        let (_, reason) = verify_eval(&ep(bad_jump), 2).unwrap_err();
+        assert!(reason.contains("out of bounds"), "got: {reason}");
+        assert!(verify_eval(
+            &ep(vec![EvalOp::VarConstBin(BinOp::Add, VarId(0), Value::Int(1))]),
+            2
+        )
+        .is_ok());
+
+        // End to end: a tampered fused flow program fails table
+        // verification.
+        let mut tables = torture_net().compile();
+        let flow = tables.flows.first_mut().expect("torture net has a flow");
+        flow.prog.ops = vec![EvalOp::VarVarBin(BinOp::Add, VarId(0), VarId(99))];
+        let err = tables.verify_bytecode().unwrap_err();
+        assert!(err.reason.contains("out of bounds"), "got: {err}");
     }
 }

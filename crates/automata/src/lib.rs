@@ -68,8 +68,9 @@ pub mod prelude {
         ActionId, Automaton, Effect, GuardKind, LocId, Location, ProcId, TransId, Transition,
     };
     pub use crate::compiled::{
-        profile_labels, profile_shape, BytecodeError, BytecodeReport, CandidateBuf,
-        CompiledPredicate, StepScratch, StepTables, PROFILE_OP_NAMES,
+        fusion_for_digram, is_fused_op_name, profile_labels, profile_shape, BytecodeError,
+        BytecodeReport, CandidateBuf, CompileOptions, CompiledPredicate, StepScratch, StepTables,
+        PROFILE_OP_NAMES,
     };
     pub use crate::error::{EvalError, ModelError};
     pub use crate::eval::{eval, eval_bool, eval_real, Valuation};

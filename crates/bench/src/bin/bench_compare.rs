@@ -9,8 +9,12 @@
 //! Only `*.paths_per_sec` entries are compared: they are the per-model
 //! throughput the perf work optimises, and the remaining entries
 //! (probabilities, sample counts) are accuracy-driven rather than
-//! performance-driven. A model regresses when its fresh throughput drops
-//! more than `--threshold` percent (default 20) below the baseline.
+//! performance-driven. Since the artifact moved to median-of-K passes,
+//! each compared value is a per-model median, and the recorded per-pass
+//! spread (`*.paths_per_sec_min` / `_max`, when present) is printed next
+//! to the verdict so a regression on a noisy host is recognizable as
+//! such. A model regresses when its fresh median throughput drops more
+//! than `--threshold` percent (default 20) below the baseline.
 //!
 //! Exit codes: `0` — no regression; `1` — at least one regression
 //! (CI treats this as a soft failure: bench hosts are noisy, so the job
@@ -28,12 +32,30 @@ fn load(path: &str) -> Result<BenchReport, String> {
 }
 
 /// `model name -> paths/s` for every throughput entry in the report.
+/// `_min`/`_max` spread entries don't end in the bare suffix, so they
+/// never leak into the comparison set.
 fn throughputs(report: &BenchReport) -> BTreeMap<String, f64> {
     report
         .entries
         .iter()
         .filter_map(|e| {
             e.name.strip_suffix(METRIC_SUFFIX).map(|model| (model.to_string(), e.value))
+        })
+        .collect()
+}
+
+/// `model name -> (min, max)` per-pass spread, for reports produced with
+/// `bench_report --repeat K` (absent from older single-pass artifacts).
+fn spreads(report: &BenchReport) -> BTreeMap<String, (f64, f64)> {
+    let find = |name: &str| report.entries.iter().find(|e| e.name == name).map(|e| e.value);
+    report
+        .entries
+        .iter()
+        .filter_map(|e| e.name.strip_suffix(METRIC_SUFFIX))
+        .filter_map(|model| {
+            let lo = find(&format!("{model}{METRIC_SUFFIX}_min"))?;
+            let hi = find(&format!("{model}{METRIC_SUFFIX}_max"))?;
+            Some((model.to_string(), (lo, hi)))
         })
         .collect()
 }
@@ -69,6 +91,7 @@ fn main() {
     };
     let base = throughputs(&baseline);
     let cur = throughputs(&current);
+    let cur_spread = spreads(&current);
     if base.is_empty() {
         eprintln!("bench_compare: baseline has no `{METRIC_SUFFIX}` entries");
         std::process::exit(2);
@@ -83,8 +106,13 @@ fn main() {
         };
         let delta_pct = if base_v > 0.0 { (cur_v / base_v - 1.0) * 100.0 } else { 0.0 };
         let verdict = if delta_pct < -threshold_pct { "REGRESSION" } else { "ok" };
+        let spread = cur_spread
+            .get(model)
+            .map(|(lo, hi)| format!(" (pass spread {lo:.0}..{hi:.0})"))
+            .unwrap_or_default();
         println!(
-            "{model:>14}: {base_v:>12.0} -> {cur_v:>12.0} paths/s ({delta_pct:+6.1}%) [{verdict}]"
+            "{model:>14}: {base_v:>12.0} -> {cur_v:>12.0} paths/s ({delta_pct:+6.1}%) \
+             [{verdict}]{spread}"
         );
         if verdict == "REGRESSION" {
             regressions += 1;

@@ -10,10 +10,14 @@
 //! parallelism capped at 4). The committed baseline is recorded at
 //! `--workers 1` so throughput deltas measure per-core work, not the
 //! host's core count. `--repeat K` (default 1) runs each model's timed
-//! pass `K` times and records the fastest one: each pass takes only a
-//! few milliseconds, so on shared hosts a single pass measures scheduler
-//! luck as much as the simulator — the best-of-`K` pass is the stable
-//! throughput signal CI should compare against the baseline.
+//! pass `K` times and records the **median** pass (by wall time): each
+//! pass takes only a few milliseconds, so on shared hosts a single pass
+//! measures scheduler luck as much as the simulator. The median is
+//! robust against a slow scheduler window in either direction — unlike
+//! best-of-`K`, one anomalously *fast* pass cannot skew the artifact —
+//! and the per-pass spread is recorded alongside
+//! (`<model>.paths_per_sec_min` / `_max`) so `bench_compare` can report
+//! how noisy the host was.
 //!
 //! Runs the instrumented simulator on the three untimed conformance
 //! models (sensor–filter, voting, repairable pair) plus the timed GPS
@@ -111,29 +115,39 @@ fn main() {
         // predictors, so the timed pass below measures sustained
         // throughput rather than process cold-start.
         analyze_observed(&case.net, &property, &config, None).expect("bench warm-up succeeds");
-        // Best-of-`repeat`: keep the fastest timed pass (and its metrics
-        // snapshot). The passes are identical work — same seed, same
-        // sample count — so the spread between them is host noise.
-        let mut best: Option<(AnalysisResult, SimObserver)> = None;
+        // Median-of-`repeat`: run every timed pass, keep the pass with
+        // the median wall time (lower median for even `K`). The passes
+        // are identical work — same seed, same sample count — so the
+        // spread between them is host noise; the median is what CI
+        // should compare, and the min/max entries record the spread.
+        let mut passes: Vec<(AnalysisResult, SimObserver)> = Vec::with_capacity(repeat);
         for _ in 0..repeat {
             let obs = SimObserver::new(config.workers);
             let result = analyze_observed(&case.net, &property, &config, Some(&obs))
                 .expect("bench analysis succeeds");
-            if best.as_ref().is_none_or(|(b, _)| result.wall < b.wall) {
-                best = Some((result, obs));
-            }
+            passes.push((result, obs));
         }
-        let (result, obs) = best.expect("repeat >= 1");
+        passes.sort_by_key(|(a, _)| a.wall);
+        let pps = |r: &AnalysisResult| {
+            let secs = r.wall.as_secs_f64();
+            if secs > 0.0 {
+                r.estimate.samples as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        // Fastest pass = max paths/s; slowest = min.
+        let pps_max = pps(&passes.first().expect("repeat >= 1").0);
+        let pps_min = pps(&passes.last().expect("repeat >= 1").0);
+        let (result, obs) = passes.remove((passes.len() - 1) / 2);
         let wall_secs = result.wall.as_secs_f64();
         let samples = result.estimate.samples;
         let prefix = case.name;
         report.push(format!("{prefix}.paths"), samples as f64, "paths");
         report.push(format!("{prefix}.wall_ms"), wall_secs * 1e3, "ms");
-        report.push(
-            format!("{prefix}.paths_per_sec"),
-            if wall_secs > 0.0 { samples as f64 / wall_secs } else { 0.0 },
-            "paths/s",
-        );
+        report.push(format!("{prefix}.paths_per_sec"), pps(&result), "paths/s");
+        report.push(format!("{prefix}.paths_per_sec_min"), pps_min, "paths/s");
+        report.push(format!("{prefix}.paths_per_sec_max"), pps_max, "paths/s");
         report.push(format!("{prefix}.probability"), result.estimate.mean, "1");
         report.push(format!("{prefix}.mean_steps_per_path"), result.stats.mean_steps(), "steps");
         report.push(
@@ -148,9 +162,12 @@ fn main() {
             "us",
         );
         eprintln!(
-            "{prefix:>14}: {samples} paths in {:.1} ms ({:.0} paths/s), P = {:.5}",
+            "{prefix:>14}: {samples} paths in {:.1} ms ({:.0} paths/s median, \
+             spread {:.0}..{:.0} over {repeat} pass(es)), P = {:.5}",
             wall_secs * 1e3,
             samples as f64 / wall_secs.max(1e-9),
+            pps_min,
+            pps_max,
             result.estimate.mean,
         );
     }

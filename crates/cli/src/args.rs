@@ -32,6 +32,7 @@ const FLAG_KEYS: &[&str] = &[
     "verify-bytecode",
     "thorough",
     "no-shrink",
+    "suggest-fusions",
 ];
 
 impl Args {

@@ -21,7 +21,9 @@ use slim_automata::automaton::{ActionId, ProcId, TransId};
 use slim_automata::error::EvalError;
 use slim_automata::interval::IntervalSet;
 use slim_automata::network::GlobalTransition;
-use slim_automata::prelude::{NetState, Network, StepScratch, StepTables, Valuation};
+use slim_automata::prelude::{
+    CompileOptions, NetState, Network, StepScratch, StepTables, Valuation,
+};
 use slim_obs::profile::{NoopProfile, ProfileHooks};
 use slim_stats::rng::{exponential_from_uniform, path_rng, StdRng};
 
@@ -140,9 +142,21 @@ impl<'a> PathGenerator<'a> {
     /// Creates a generator, compiling the network and property onto the
     /// allocation-free stepping kernel.
     pub fn new(net: &'a Network, property: &'a TimedReach, max_steps: u64) -> Self {
-        let tables = net.compile();
-        let goal = property.goal.compile(net);
-        let hold = property.hold.as_ref().map(|h| h.compile(net));
+        Self::with_compile_options(net, property, max_steps, &CompileOptions::default())
+    }
+
+    /// [`PathGenerator::new`] under explicit [`CompileOptions`]: the
+    /// fusion-equivalence harnesses pin [`CompileOptions::reference`] to
+    /// get the unfused, unspecialized kernel for differential comparison.
+    pub fn with_compile_options(
+        net: &'a Network,
+        property: &'a TimedReach,
+        max_steps: u64,
+        opts: &CompileOptions,
+    ) -> Self {
+        let tables = net.compile_with(opts);
+        let goal = property.goal.compile_with(net, opts);
+        let hold = property.hold.as_ref().map(|h| h.compile_with(net, opts));
         let initial = net.initial_state();
         PathGenerator { net, property, max_steps, tables, goal, hold, initial }
     }

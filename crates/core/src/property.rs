@@ -242,14 +242,25 @@ impl Goal {
     /// Lowers the goal onto `net`'s compiled kernel for allocation-free
     /// window evaluation via [`CompiledGoal::window_into`].
     pub fn compile(&self, net: &Network) -> CompiledGoal {
+        self.compile_with(net, &CompileOptions::default())
+    }
+
+    /// [`Goal::compile`] under explicit [`CompileOptions`] — the
+    /// differential harnesses use [`CompileOptions::reference`] to pin the
+    /// unfused predicate kernel.
+    pub fn compile_with(&self, net: &Network, opts: &CompileOptions) -> CompiledGoal {
         match self {
-            Goal::Expr(e) => CompiledGoal::Pred(net.compile_predicate(e)),
+            Goal::Expr(e) => CompiledGoal::Pred(net.compile_predicate_with(e, opts)),
             Goal::InLocation(p, l) => CompiledGoal::InLocation(*p, *l),
-            Goal::And(a, b) => {
-                CompiledGoal::And(Box::new(a.compile(net)), Box::new(b.compile(net)))
-            }
-            Goal::Or(a, b) => CompiledGoal::Or(Box::new(a.compile(net)), Box::new(b.compile(net))),
-            Goal::Not(a) => CompiledGoal::Not(Box::new(a.compile(net))),
+            Goal::And(a, b) => CompiledGoal::And(
+                Box::new(a.compile_with(net, opts)),
+                Box::new(b.compile_with(net, opts)),
+            ),
+            Goal::Or(a, b) => CompiledGoal::Or(
+                Box::new(a.compile_with(net, opts)),
+                Box::new(b.compile_with(net, opts)),
+            ),
+            Goal::Not(a) => CompiledGoal::Not(Box::new(a.compile_with(net, opts))),
         }
     }
 

@@ -900,7 +900,7 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![("solve.intersect", 4), ("solve.cmp_var_const", 8)],
+            vec![("solve.cmp_var_const", 4), ("solve.cmp_var_const_and", 4)],
             "opcode counts drifted; update the golden vector deliberately"
         );
         let n_ops = prof.shape().n_ops;
@@ -920,14 +920,11 @@ mod tests {
                 )
             })
             .collect();
-        // cmp -> cmp (the two comparisons) then cmp -> intersect (the
-        // join), once per guard evaluation.
+        // The two-atom conjunction fuses to `cmp; cmp_and`, leaving one
+        // digram per guard evaluation.
         assert_eq!(
             digrams,
-            vec![
-                ("solve.cmp_var_const -> solve.intersect".to_string(), 4),
-                ("solve.cmp_var_const -> solve.cmp_var_const".to_string(), 4),
-            ]
+            vec![("solve.cmp_var_const -> solve.cmp_var_const_and".to_string(), 4)]
         );
         // And the counts are a pure function of the seed: a second run
         // reproduces them exactly.

@@ -18,6 +18,8 @@
 //! | [`OracleKind::Lint`] | front-end + network lints never panic, are deterministic, and the deny verdict matches the `analyze` pre-flight |
 //! | [`OracleKind::Bytecode`] | `Network::compile()` output passes `verify_bytecode` |
 //! | [`OracleKind::CompiledEquivalence`] | compiled step tables reproduce the legacy interpreter exactly on sampled prefixes |
+//! | [`OracleKind::BatchEquivalence`] | the batched SoA kernel reproduces the scalar engine's per-path outcome lane-exactly at every lane width |
+//! | [`OracleKind::FusionEquivalence`] | the fused/specialized kernel and the unfused reference kernel produce bit-identical per-path outcomes |
 //! | [`OracleKind::FixpointSoundness`] | a `P = 0` pre-verdict is never contradicted by a simulated goal hit (and dually for `P = 1`) |
 //! | [`OracleKind::PruneInvariance`] | `--prune` leaves estimates bit-identical at fixed `(seed, workers)` |
 //!

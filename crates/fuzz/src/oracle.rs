@@ -8,7 +8,7 @@
 
 use slim_analysis::analyze_network;
 use slim_automata::network::{Network, PruneMaps, PrunePlan};
-use slim_automata::prelude::{Expr, IntervalSet, StepScratch};
+use slim_automata::prelude::{CompileOptions, Expr, IntervalSet, StepScratch};
 use slim_lint::LintConfig;
 use slim_stats::chernoff::Accuracy;
 use slim_stats::rng::{derive_seed, path_rng};
@@ -29,7 +29,10 @@ const INVARIANCE_SEED_TAG: u64 = 0x0b5e_55ed;
 /// Tag for the batch-equivalence paths, distinct from every other stream.
 const BATCH_SEED_TAG: u64 = 0x000b_a7c1_1ed0_u64;
 
-/// The seven checked claims, in pipeline order.
+/// Tag for the fusion-equivalence paths, distinct from every other stream.
+const FUSION_SEED_TAG: u64 = 0x000f_05ed_0000_u64;
+
+/// The eight checked claims, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// `parse(pretty(m)) == m`, and `pretty` is a fixed point of the
@@ -49,6 +52,10 @@ pub enum OracleKind {
     /// The batched SoA path kernel reproduces the scalar engine's
     /// per-path outcome (or error) lane-exactly at every lane width.
     BatchEquivalence,
+    /// The fused/specialized kernel (`CompileOptions::default`) and the
+    /// plain reference kernel (`CompileOptions::reference`) produce
+    /// bit-identical per-path verdict streams (or the same errors).
+    FusionEquivalence,
     /// A `P = 0` pre-verdict is never contradicted by a simulated goal
     /// hit; a `P = 1` pre-verdict never sees a failing path.
     FixpointSoundness,
@@ -66,6 +73,7 @@ impl OracleKind {
             OracleKind::Bytecode => "bytecode",
             OracleKind::CompiledEquivalence => "compiled-equivalence",
             OracleKind::BatchEquivalence => "batch-equivalence",
+            OracleKind::FusionEquivalence => "fusion-equivalence",
             OracleKind::FixpointSoundness => "fixpoint-soundness",
             OracleKind::PruneInvariance => "prune-invariance",
         }
@@ -77,12 +85,13 @@ impl OracleKind {
     }
 
     /// All oracles, in pipeline order.
-    pub const ALL: [OracleKind; 7] = [
+    pub const ALL: [OracleKind; 8] = [
         OracleKind::RoundTrip,
         OracleKind::Lint,
         OracleKind::Bytecode,
         OracleKind::CompiledEquivalence,
         OracleKind::BatchEquivalence,
+        OracleKind::FusionEquivalence,
         OracleKind::FixpointSoundness,
         OracleKind::PruneInvariance,
     ];
@@ -228,6 +237,12 @@ pub fn run_oracles(model: &GeneratedModel, cfg: &OracleConfig) -> OracleOutcome 
         return out;
     }
     out.ran.push(OracleKind::BatchEquivalence);
+
+    if let Err(detail) = fusion_equivalence(model, &net, &property, cfg) {
+        out.failure = Some(OracleFailure { kind: OracleKind::FusionEquivalence, detail });
+        return out;
+    }
+    out.ran.push(OracleKind::FusionEquivalence);
 
     match fixpoint_soundness(model, &net, &property, cfg) {
         Ok(pre_exact) => out.pre_exact = pre_exact,
@@ -576,6 +591,52 @@ fn batch_equivalence(
                 }
             }
             i += count as u64;
+        }
+    }
+    Ok(())
+}
+
+// ---- fusion equivalence ----
+
+/// Challenges the optimizing compile tiers (superinstruction fusion,
+/// whole-step specialization, write-set–masked flow re-establishment):
+/// the default kernel and the reference kernel must produce bit-identical
+/// per-path outcomes — verdict, step count, end time — or the *same*
+/// error, for the same `(seed, index)` stream.
+fn fusion_equivalence(
+    model: &GeneratedModel,
+    net: &Network,
+    property: &TimedReach,
+    cfg: &OracleConfig,
+) -> Result<(), String> {
+    let fused = PathGenerator::new(net, property, cfg.max_steps);
+    let reference = PathGenerator::with_compile_options(
+        net,
+        property,
+        cfg.max_steps,
+        &CompileOptions::reference(),
+    );
+    let sim_seed = derive_seed(model.seed, model.index ^ FUSION_SEED_TAG);
+
+    let mut scratch = SimScratch::new();
+    for i in 0..cfg.soundness_paths {
+        let mut rng = path_rng(sim_seed, i);
+        let mut strategy = StrategyKind::Asap.instantiate();
+        let want = reference
+            .generate_with(&mut scratch, strategy.as_mut(), &mut rng)
+            .map_err(|e| e.to_string());
+
+        let mut rng = path_rng(sim_seed, i);
+        let mut strategy = StrategyKind::Asap.instantiate();
+        let got = fused
+            .generate_with(&mut scratch, strategy.as_mut(), &mut rng)
+            .map_err(|e| e.to_string());
+
+        if got != want {
+            return Err(format!(
+                "path {i} (seed {sim_seed}) diverged between the fused and reference \
+                 kernels: reference {want:?}, fused {got:?}"
+            ));
         }
     }
     Ok(())
