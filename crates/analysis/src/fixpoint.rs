@@ -32,14 +32,32 @@
 //! new ones.
 
 use crate::domain::{abs_eval, refine, AbsVal, TOP_NUM};
+use crate::zone::{constrain_expr, max_literal, Dbm, ZoneCtx};
 use slim_automata::automaton::{ActionId, GuardKind, LocId, ProcId, TransId};
 use slim_automata::expr::{BinOp, Expr, VarId};
 use slim_automata::network::{Network, PrunePlan};
-use slim_automata::value::VarType;
+use slim_automata::value::{Value, VarType};
 
 /// Joins tolerated per (process, location) env — and per store variable —
-/// before widening kicks in.
+/// before widening kicks in. Zone joins use the same threshold.
 const WIDEN_AFTER: u32 = 8;
+
+/// Tuning knobs for [`analyze_network_with`].
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Run the clock-zone (DBM) product next to the interval store. On by
+    /// default; disable to reproduce the untimed fixpoint exactly.
+    pub zones: bool,
+    /// Property deadline, folded into the extrapolation constant `k` so
+    /// elapsed-time bounds near the deadline survive extrapolation.
+    pub deadline: Option<f64>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions { zones: true, deadline: None }
+    }
+}
 
 /// Why a transition can or cannot fire, in the final fixpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,16 +91,41 @@ pub struct Fixpoint {
     /// Live transitions with an effect provably outside its target's
     /// range (the step always errors): `(proc, trans, effect index)`.
     doomed_effects: Vec<(ProcId, TransId, usize)>,
+    /// Whether the clock-zone product ran.
+    zones_enabled: bool,
+    /// Extrapolation constant used by the zone domain.
+    extrapolation_k: f64,
+    /// Total tracked clock slots across all processes.
+    zone_clock_count: usize,
+    /// Zone lower bound on elapsed global time when residing at
+    /// `[proc][loc]` (`None` when unreachable or zones are off).
+    min_time: Vec<Vec<Option<f64>>>,
+    /// Transitions dead *only* because of the zone domain (interval-live
+    /// but zone-empty guard), `[proc][trans]` — the S302 attribution set.
+    zone_dead: Vec<Vec<bool>>,
+    /// Reachable locations whose invariant bounds residence while every
+    /// outgoing transition is dead, at least one of them only under the
+    /// zone domain — static timelocks the untimed pass cannot see (S303).
+    timelocks: Vec<(ProcId, LocId)>,
+    /// Zone lower bound on elapsed global time when `[proc][trans]` can
+    /// first fire (`None` for dead transitions or with zones off).
+    trans_min_time: Vec<Vec<Option<f64>>>,
     /// Fixpoint rounds until stabilization.
     pub rounds: usize,
     /// Number of widening applications.
     pub widenings: usize,
 }
 
-/// Runs the fixpoint over `net` (which should have passed validation;
-/// on malformed networks the analysis may panic on out-of-range indices).
+/// Runs the fixpoint over `net` with default options (zone product on;
+/// the network should have passed validation — on malformed networks the
+/// analysis may panic on out-of-range indices).
 pub fn analyze_network(net: &Network) -> Fixpoint {
-    Engine::new(net).run()
+    analyze_network_with(net, &AnalysisOptions::default())
+}
+
+/// Runs the fixpoint over `net` with explicit [`AnalysisOptions`].
+pub fn analyze_network_with(net: &Network, opts: &AnalysisOptions) -> Fixpoint {
+    Engine::new(net, opts).run()
 }
 
 struct Engine<'n> {
@@ -98,13 +141,24 @@ struct Engine<'n> {
     store_joins: Vec<u32>,
     /// Guard-satisfiable-from-reachable-source flags (monotone).
     live: Vec<Vec<bool>>,
+    /// Zone product: tracked clocks per process (DBM indices 1..), with
+    /// the synthetic global-time clock T as the last index.
+    zones_on: bool,
+    k: f64,
+    zclocks: Vec<Vec<VarId>>,
+    /// Per process: var → 1-based DBM index of its tracked clock.
+    zidx: Vec<Vec<Option<usize>>>,
+    /// Residence zone per `[proc][loc]` (`None` until reached). May be
+    /// non-canonical after widening/extrapolation; readers re-close.
+    zones: Vec<Vec<Option<Dbm>>>,
+    zone_joins: Vec<Vec<u32>>,
     changed: bool,
     rounds: usize,
     widenings: usize,
 }
 
 impl<'n> Engine<'n> {
-    fn new(net: &'n Network) -> Engine<'n> {
+    fn new(net: &'n Network, opts: &AnalysisOptions) -> Engine<'n> {
         let vars = net.vars();
         let nvars = vars.len();
         let timed: Vec<bool> = vars.iter().map(|d| d.ty.is_timed()).collect();
@@ -174,6 +228,101 @@ impl<'n> Engine<'n> {
         let env_joins = net.automata().iter().map(|a| vec![0; a.locations.len()]).collect();
         let live = net.automata().iter().map(|a| vec![false; a.transitions.len()]).collect();
 
+        // Clock-zone product setup. A clock is tracked by process `p`
+        // when only `p`'s effects can reset it (never-written clocks are
+        // tracked by everyone): then "whenever p is at l, the clock
+        // valuation lies in the zone" holds regardless of interleaving,
+        // because no foreign step can move the tracked clocks. Flow
+        // targets and rate-listed clocks are excluded (their dynamics are
+        // not plain rate-1 elapse).
+        let nprocs = net.automata().len();
+        let zones_on = opts.zones;
+        let mut zclocks: Vec<Vec<VarId>> = vec![Vec::new(); nprocs];
+        let mut zidx: Vec<Vec<Option<usize>>> = vec![vec![None; nvars]; nprocs];
+        let mut k = opts.deadline.unwrap_or(0.0).abs();
+        if zones_on {
+            let mut writer: Vec<Option<usize>> = vec![None; nvars];
+            let mut multi_writer = vec![false; nvars];
+            let mut rate_listed = vec![false; nvars];
+            for (p, a) in net.automata().iter().enumerate() {
+                for l in &a.locations {
+                    k = k.max(max_literal(&l.invariant));
+                    for (v, _) in &l.rates {
+                        rate_listed[v.0] = true;
+                    }
+                }
+                for t in &a.transitions {
+                    if let GuardKind::Boolean(g) = &t.guard {
+                        k = k.max(max_literal(g));
+                    }
+                    for eff in &t.effects {
+                        k = k.max(max_literal(&eff.expr));
+                        match writer[eff.var.0] {
+                            None => writer[eff.var.0] = Some(p),
+                            Some(q) if q == p => {}
+                            Some(_) => multi_writer[eff.var.0] = true,
+                        }
+                    }
+                }
+            }
+            for f in net.flows() {
+                k = k.max(max_literal(&f.expr));
+            }
+            for (v, decl) in vars.iter().enumerate() {
+                if decl.ty != VarType::Clock || flow_target[v] || multi_writer[v] || rate_listed[v]
+                {
+                    continue;
+                }
+                if let Value::Real(r) = decl.ty.canonicalize(decl.init) {
+                    k = k.max(r.abs());
+                }
+                let mut track = |p: usize, zclocks: &mut Vec<Vec<VarId>>| {
+                    zidx[p][v] = Some(zclocks[p].len() + 1);
+                    zclocks[p].push(VarId(v));
+                };
+                match writer[v] {
+                    Some(p) => track(p, &mut zclocks),
+                    None => (0..nprocs).for_each(|p| track(p, &mut zclocks)),
+                }
+            }
+            k = k.max(1.0);
+        }
+        // Initial residence zones: the exact initial point (clock inits
+        // plus global time T = 0), intersected with the init location's
+        // invariant, elapsed, and re-intersected.
+        let zones: Vec<Vec<Option<Dbm>>> = net
+            .automata()
+            .iter()
+            .enumerate()
+            .map(|(p, a)| {
+                let mut zs: Vec<Option<Dbm>> = vec![None; a.locations.len()];
+                if zones_on {
+                    let mut vals: Vec<f64> = zclocks[p]
+                        .iter()
+                        .map(|v| match vars[v.0].ty.canonicalize(vars[v.0].init) {
+                            Value::Real(r) => r,
+                            Value::Int(i) => i as f64,
+                            Value::Bool(_) => 0.0,
+                        })
+                        .collect();
+                    vals.push(0.0); // global time T
+                    let entry = Dbm::point(&vals);
+                    let inv = &a.locations[a.init.0].invariant;
+                    let ctx = ZoneCtx { zidx: &zidx[p], read: &|v| store[v.0] };
+                    let mut met = entry.clone();
+                    if !inv.is_const_true() {
+                        constrain_expr(&mut met, &ctx, inv, true);
+                    }
+                    // An initially violated invariant aborts at t = 0;
+                    // keep the point zone rather than ⊥ (sound).
+                    let met = if met.close() { met } else { entry };
+                    zs[a.init.0] = Some(residence_zone(met, inv, &ctx, k));
+                }
+                zs
+            })
+            .collect();
+        let zone_joins = net.automata().iter().map(|a| vec![0; a.locations.len()]).collect();
+
         Engine {
             net,
             timed,
@@ -185,10 +334,37 @@ impl<'n> Engine<'n> {
             store_joins: vec![0; nvars],
             store,
             live,
+            zones_on,
+            k,
+            zclocks,
+            zidx,
+            zones,
+            zone_joins,
             changed: false,
             rounds: 0,
             widenings: 0,
         }
+    }
+
+    /// Canonical copy of the residence zone at `(p, l)`, `None` with the
+    /// zone product off. Stored zones are non-empty by construction; a
+    /// failed close (cannot happen) degrades to the unconstrained zone.
+    fn residence_at(&self, p: usize, l: usize) -> Option<Dbm> {
+        if !self.zones_on {
+            return None;
+        }
+        let dim = self.zclocks[p].len() + 2;
+        Some(match &self.zones[p][l] {
+            Some(z) => {
+                let mut c = z.clone();
+                if c.close() {
+                    c
+                } else {
+                    Dbm::unconstrained(dim)
+                }
+            }
+            None => Dbm::unconstrained(dim),
+        })
     }
 
     /// Frame over all variables as seen from `(p, l)`.
@@ -232,6 +408,7 @@ impl<'n> Engine<'n> {
     }
 
     fn process_location(&mut self, p: usize, l: usize) {
+        let res_zone = self.residence_at(p, l);
         let ntrans = self.net.automata()[p].transitions.len();
         for t in 0..ntrans {
             let trans = &self.net.automata()[p].transitions[t];
@@ -240,6 +417,7 @@ impl<'n> Engine<'n> {
             }
             let (to, action) = (trans.to.0, trans.action);
             let mut fr = self.frame(p, l);
+            let mut zone = res_zone.clone();
             match &trans.guard {
                 GuardKind::Markovian(_) => {
                     if !self.live[p][t] {
@@ -251,6 +429,16 @@ impl<'n> Engine<'n> {
                     if !refine(g, true, &mut fr) {
                         continue; // guard unsatisfiable from here
                     }
+                    // Zone product: intersect the residence zone with the
+                    // guard's difference constraints. An empty meet means
+                    // no time-consistent valuation satisfies the guard.
+                    if let Some(z) = &mut zone {
+                        let ctx = ZoneCtx { zidx: &self.zidx[p], read: &|v| fr[v.0] };
+                        constrain_expr(z, &ctx, g, true);
+                        if !z.close() {
+                            continue; // zone-dead guard from here
+                        }
+                    }
                     if !self.live[p][t] {
                         self.live[p][t] = true;
                         self.changed = true;
@@ -260,14 +448,42 @@ impl<'n> Engine<'n> {
                     }
                 }
             }
-            self.transfer(p, t, to, fr);
+            self.transfer(p, t, to, fr, zone);
         }
     }
 
     /// Applies effects, flows, and the target invariant to the refined
     /// source frame, then joins the result into `(p, to)` and the store.
-    fn transfer(&mut self, p: usize, t: usize, to: usize, mut fr: Vec<AbsVal>) {
+    /// `zone` is the canonical guard-met zone at the source (`None` with
+    /// the zone product off).
+    fn transfer(&mut self, p: usize, t: usize, to: usize, mut fr: Vec<AbsVal>, zone: Option<Dbm>) {
         let trans = &self.net.automata()[p].transitions[t];
+        // Clock resets in the zone, evaluated over the pre-state frame
+        // (before the interval writes land). A singleton value is an
+        // exact reset; anything else frees the clock to the value's
+        // interval hull.
+        let mut zone = zone;
+        if let Some(z) = &mut zone {
+            for eff in &trans.effects {
+                let Some(i) = self.zidx[p][eff.var.0] else { continue };
+                match abs_eval(&eff.expr, &|v| fr[v.0]) {
+                    AbsVal::Num(lo, hi) if lo == hi && lo.is_finite() => z.reset(i, lo),
+                    AbsVal::Num(lo, hi) => {
+                        z.free(i);
+                        if hi.is_finite() {
+                            z.constrain(i, 0, hi);
+                        }
+                        if lo.is_finite() {
+                            z.constrain(0, i, -lo);
+                        }
+                        if !z.close() {
+                            return; // unreachable: bounding a freed clock
+                        }
+                    }
+                    AbsVal::Bool(_) => z.free(i),
+                }
+            }
+        }
         // Effects read the pre-state simultaneously, then write.
         let mut writes: Vec<(VarId, AbsVal)> = Vec::with_capacity(trans.effects.len());
         for eff in &trans.effects {
@@ -304,10 +520,27 @@ impl<'n> Engine<'n> {
         if !inv.is_const_true() && !refine(inv, true, &mut fr) {
             return;
         }
+        // Zone side of the entry check, then the residence closure: the
+        // target zone is every valuation reachable by elapsing time from
+        // a surviving entry while the invariant keeps holding.
+        let mut zjoin: Option<Dbm> = None;
+        if let Some(mut ze) = zone {
+            let ctx = ZoneCtx { zidx: &self.zidx[p], read: &|v| fr[v.0] };
+            if !inv.is_const_true() {
+                constrain_expr(&mut ze, &ctx, inv, true);
+            }
+            if !ze.close() {
+                return; // every entering run aborts on the invariant
+            }
+            zjoin = Some(residence_zone(ze, inv, &ctx, self.k));
+        }
 
         if !self.reachable[p][to] {
             self.reachable[p][to] = true;
             self.changed = true;
+        }
+        if let Some(w) = zjoin {
+            self.join_zone(p, to, w);
         }
         self.join_env(p, to, &fr);
         for (v, _) in writes {
@@ -357,6 +590,28 @@ impl<'n> Engine<'n> {
         }
     }
 
+    /// Joins a residence zone into `(p, to)`, widening (grown entries
+    /// jump to ∞) once the per-location join budget is spent.
+    fn join_zone(&mut self, p: usize, to: usize, w: Dbm) {
+        match &mut self.zones[p][to] {
+            slot @ None => {
+                *slot = Some(w);
+                self.zone_joins[p][to] = 1;
+                self.changed = true;
+            }
+            Some(old) => {
+                let widen = self.zone_joins[p][to] >= WIDEN_AFTER;
+                if old.join_widen(&w, widen) {
+                    if widen {
+                        self.widenings += 1;
+                    }
+                    self.zone_joins[p][to] += 1;
+                    self.changed = true;
+                }
+            }
+        }
+    }
+
     fn join_store(&mut self, v: VarId, val: AbsVal) {
         if self.timed[v.0] {
             return;
@@ -387,13 +642,21 @@ impl<'n> Engine<'n> {
     fn finish(mut self) -> Fixpoint {
         let nprocs = self.net.automata().len();
         let mut status: Vec<Vec<TransStatus>> = Vec::with_capacity(nprocs);
-        // Satisfiability against the final envs (recomputed so the flags
-        // are consistent with the published environments).
-        let mut sat: Vec<Vec<bool>> = Vec::with_capacity(nprocs);
+        // Satisfiability against the final envs and zones (recomputed so
+        // the flags are consistent with the published environments). The
+        // interval and zone verdicts are kept apart so lints can
+        // attribute zone-only deadness (S302) precisely.
+        let mut int_sat: Vec<Vec<bool>> = Vec::with_capacity(nprocs);
+        let mut zone_sat: Vec<Vec<bool>> = Vec::with_capacity(nprocs);
+        let mut trans_min_time: Vec<Vec<Option<f64>>> = Vec::with_capacity(nprocs);
         for (p, a) in self.net.automata().iter().enumerate() {
-            let mut s = Vec::with_capacity(a.transitions.len());
+            let tidx = self.zclocks[p].len() + 1;
+            let mut si = Vec::with_capacity(a.transitions.len());
+            let mut sz = Vec::with_capacity(a.transitions.len());
+            let mut mt = Vec::with_capacity(a.transitions.len());
             for trans in &a.transitions {
-                let ok = self.reachable[p][trans.from.0]
+                let reach = self.reachable[p][trans.from.0];
+                let ok = reach
                     && match &trans.guard {
                         GuardKind::Markovian(_) => true,
                         GuardKind::Boolean(g) => {
@@ -401,10 +664,44 @@ impl<'n> Engine<'n> {
                             refine(g, true, &mut fr)
                         }
                     };
-                s.push(ok);
+                // Zone verdict only matters where the interval side says
+                // "live"; it also yields the earliest global time the
+                // transition can fire (lower bound on T in the met zone).
+                let (zok, zmin) = if !ok {
+                    (true, None)
+                } else {
+                    match self.residence_at(p, trans.from.0) {
+                        None => (true, None),
+                        Some(res) => match &trans.guard {
+                            GuardKind::Markovian(_) => (true, Some(res.lower(tidx).max(0.0))),
+                            GuardKind::Boolean(g) => {
+                                let mut fr = self.frame(p, trans.from.0);
+                                refine(g, true, &mut fr);
+                                let mut zg = res;
+                                let ctx = ZoneCtx { zidx: &self.zidx[p], read: &|v| fr[v.0] };
+                                constrain_expr(&mut zg, &ctx, g, true);
+                                if zg.close() {
+                                    (true, Some(zg.lower(tidx).max(0.0)))
+                                } else {
+                                    (false, None)
+                                }
+                            }
+                        },
+                    }
+                };
+                si.push(ok);
+                sz.push(zok);
+                mt.push(zmin);
             }
-            sat.push(s);
+            int_sat.push(si);
+            zone_sat.push(sz);
+            trans_min_time.push(mt);
         }
+        let sat: Vec<Vec<bool>> = int_sat
+            .iter()
+            .zip(zone_sat.iter())
+            .map(|(a, b)| a.iter().zip(b.iter()).map(|(x, y)| *x && *y).collect())
+            .collect();
         self.live = sat.clone();
         let mut doomed_effects = Vec::new();
         for (p, a) in self.net.automata().iter().enumerate() {
@@ -437,6 +734,47 @@ impl<'n> Engine<'n> {
             }
             status.push(st);
         }
+        // Zone-only deadness (reachable, interval-live, zone-empty), the
+        // per-location minimum elapsed time, and static timelocks: a
+        // bounded-residence location where every exit is dead and at
+        // least one only the zone domain could kill.
+        let mut zone_dead: Vec<Vec<bool>> = Vec::with_capacity(nprocs);
+        for (p, a) in self.net.automata().iter().enumerate() {
+            let mut zd = Vec::with_capacity(a.transitions.len());
+            for (t, _) in a.transitions.iter().enumerate() {
+                zd.push(int_sat[p][t] && !zone_sat[p][t]);
+            }
+            zone_dead.push(zd);
+        }
+        let mut min_time: Vec<Vec<Option<f64>>> = Vec::with_capacity(nprocs);
+        let mut timelocks: Vec<(ProcId, LocId)> = Vec::new();
+        for (p, a) in self.net.automata().iter().enumerate() {
+            let tidx = self.zclocks[p].len() + 1;
+            let mut mt = Vec::with_capacity(a.locations.len());
+            for l in 0..a.locations.len() {
+                let res = if self.reachable[p][l] { self.residence_at(p, l) } else { None };
+                mt.push(res.as_ref().map(|z| z.lower(tidx).max(0.0)));
+                let Some(res) = res else { continue };
+                let outgoing: Vec<usize> = a
+                    .transitions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, tr)| tr.from.0 == l)
+                    .map(|(t, _)| t)
+                    .collect();
+                if outgoing.is_empty()
+                    || !outgoing.iter().all(|&t| !sat[p][t])
+                    || !outgoing.iter().any(|&t| zone_dead[p][t])
+                {
+                    continue;
+                }
+                let bounded = (1..tidx).any(|i| res.upper(i).is_finite());
+                if bounded {
+                    timelocks.push((ProcId(p), LocId(l)));
+                }
+            }
+            min_time.push(mt);
+        }
         Fixpoint {
             reachable: self.reachable,
             envs: self.envs,
@@ -444,10 +782,34 @@ impl<'n> Engine<'n> {
             store: self.store,
             status,
             doomed_effects,
+            zones_enabled: self.zones_on,
+            extrapolation_k: if self.zones_on { self.k } else { 0.0 },
+            zone_clock_count: self.zclocks.iter().map(Vec::len).sum(),
+            min_time,
+            zone_dead,
+            timelocks,
+            trans_min_time,
             rounds: self.rounds,
             widenings: self.widenings,
         }
     }
+}
+
+/// The residence closure of a canonical, invariant-satisfying entry zone:
+/// elapse time, re-intersect the invariant, close, extrapolate. The entry
+/// zone itself is the (sound) fallback should closure ever fail — it
+/// cannot for a convex invariant, since the entry zone is a subset.
+fn residence_zone(entry: Dbm, inv: &Expr, ctx: &ZoneCtx<'_>, k: f64) -> Dbm {
+    let mut w = entry.clone();
+    w.up();
+    if !inv.is_const_true() {
+        constrain_expr(&mut w, ctx, inv, true);
+    }
+    if !w.close() {
+        w = entry;
+    }
+    w.extrapolate(k);
+    w
 }
 
 impl Fixpoint {
@@ -642,9 +1004,101 @@ impl Fixpoint {
         }
     }
 
+    /// Whether the clock-zone product ran in this fixpoint.
+    pub fn zones_enabled(&self) -> bool {
+        self.zones_enabled
+    }
+
+    /// The k-extrapolation constant the zone domain used (0 when off).
+    pub fn extrapolation_k(&self) -> f64 {
+        self.extrapolation_k
+    }
+
+    /// Total tracked clock slots across all processes.
+    pub fn zone_clock_count(&self) -> usize {
+        self.zone_clock_count
+    }
+
+    /// Zone lower bound on the global elapsed time whenever `(p, l)` is
+    /// occupied: every concrete run entering `l` does so at time ≥ this.
+    /// `None` when unreachable or with zones off.
+    pub fn min_time_to_loc(&self, p: ProcId, l: LocId) -> Option<f64> {
+        self.min_time[p.0][l.0]
+    }
+
+    /// True when `(p, t)` is dead *only* under the zone domain — its
+    /// source is reachable and the interval side finds the guard
+    /// satisfiable, but no time-consistent valuation does (S302).
+    pub fn zone_dead_guard(&self, p: ProcId, t: TransId) -> bool {
+        self.zone_dead[p.0][t.0]
+    }
+
+    /// Reachable locations that are static timelocks under the zone
+    /// domain: residence is invariant-bounded, every outgoing transition
+    /// is dead, and at least one of them only the zones could kill (S303).
+    pub fn static_timelocks(&self) -> &[(ProcId, LocId)] {
+        &self.timelocks
+    }
+
+    /// Zone lower bound on the global elapsed time at which `(p, t)` can
+    /// first fire. `None` for dead transitions or with zones off.
+    pub fn trans_min_fire_time(&self, p: ProcId, t: TransId) -> Option<f64> {
+        self.trans_min_time[p.0][t.0]
+    }
+
+    /// Per-location minimum number of transitions (within each process's
+    /// own graph, over live transitions) to reach any of `targets`; a
+    /// target's `u64` is its base offset (e.g. 1 for "one more firing
+    /// makes the goal expression true"). `None` = no live path. This is
+    /// the fixpoint-derived level function seam for rare-event splitting.
+    pub fn distance_steps(
+        &self,
+        net: &Network,
+        targets: &[(ProcId, LocId, u64)],
+    ) -> Vec<Vec<Option<u64>>> {
+        let mut dist: Vec<Vec<Option<u64>>> =
+            net.automata().iter().map(|a| vec![None; a.locations.len()]).collect();
+        for &(p, l, off) in targets {
+            let slot = &mut dist[p.0][l.0];
+            *slot = Some(slot.map_or(off, |d| d.min(off)));
+        }
+        // Backward relaxation over live transitions until stable; the
+        // graphs are small, so the quadratic loop is fine.
+        loop {
+            let mut changed = false;
+            for (p, a) in net.automata().iter().enumerate() {
+                for (t, trans) in a.transitions.iter().enumerate() {
+                    if self.status[p][t] != TransStatus::Live {
+                        continue;
+                    }
+                    let Some(dt) = dist[p][trans.to.0] else { continue };
+                    let cand = dt.saturating_add(1);
+                    if dist[p][trans.from.0].is_none_or(|d| cand < d) {
+                        dist[p][trans.from.0] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
     /// Renders the proof-artifact summary.
     pub fn summary(&self, net: &Network) -> crate::summary::AnalysisSummary {
-        crate::summary::AnalysisSummary::build(self, net)
+        crate::summary::AnalysisSummary::build(self, net, None)
+    }
+
+    /// Renders the summary with the per-location distance-to-goal map
+    /// computed against `targets` (see [`Fixpoint::distance_steps`]).
+    pub fn summary_with_goals(
+        &self,
+        net: &Network,
+        targets: &[(ProcId, LocId, u64)],
+    ) -> crate::summary::AnalysisSummary {
+        crate::summary::AnalysisSummary::build(self, net, Some(targets))
     }
 
     pub(crate) fn reachable_matrix(&self) -> &[Vec<bool>] {
@@ -653,6 +1107,14 @@ impl Fixpoint {
 
     pub(crate) fn status_matrix(&self) -> &[Vec<TransStatus>] {
         &self.status
+    }
+
+    pub(crate) fn zone_dead_matrix(&self) -> &[Vec<bool>] {
+        &self.zone_dead
+    }
+
+    pub(crate) fn min_time_matrix(&self) -> &[Vec<Option<f64>>] {
+        &self.min_time
     }
 }
 
@@ -941,8 +1403,115 @@ mod tests {
         assert_eq!(s.dead.len(), 1);
         assert_eq!(s.dead[0].reason, "dead-guard");
         let json = s.render_json();
+        assert!(json.contains("\"kind\":\"analysis-summary\""), "{json}");
+        assert!(json.contains("\"schema_version\":2"), "{json}");
         assert!(json.contains("\"dead_transitions\":[{"), "{json}");
         assert!(json.contains("\"reason\":\"dead-guard\""), "{json}");
         assert!(s.render_text().contains("1/2 locations reachable"));
+    }
+
+    /// Clock chain: l0 −(x ≥ 5)→ l1 −(x ≤ 2)→ l2, x never reset. The
+    /// interval domain pins clocks to ⊤ so both guards look satisfiable;
+    /// the zone domain knows x ≥ 5 holds forever after the first hop.
+    fn clock_chain() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::int(5)), [], l1);
+        a.guarded(l1, ActionId::TAU, Expr::var(x).le(Expr::int(2)), [], l2);
+        b.add_automaton(a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zones_kill_clock_dead_guards_intervals_cannot() {
+        let net = clock_chain();
+        let fix = analyze_network(&net);
+        assert!(fix.zones_enabled());
+        assert_eq!(fix.zone_clock_count(), 1);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(0)), TransStatus::Live);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(1)), TransStatus::DeadGuard);
+        assert!(fix.zone_dead_guard(ProcId(0), TransId(1)), "dead only via the zone domain");
+        assert!(!fix.zone_dead_guard(ProcId(0), TransId(0)));
+        assert!(!fix.loc_reachable(ProcId(0), LocId(2)));
+
+        // The same model with zones disabled degrades to the old verdict.
+        let off = analyze_network_with(&net, &AnalysisOptions { zones: false, deadline: None });
+        assert!(!off.zones_enabled());
+        assert_eq!(off.trans_status(ProcId(0), TransId(1)), TransStatus::Live);
+        assert!(off.loc_reachable(ProcId(0), LocId(2)));
+        assert_eq!(off.min_time_to_loc(ProcId(0), LocId(1)), None);
+    }
+
+    #[test]
+    fn min_time_tracks_guard_lower_bounds_through_resets() {
+        // l0 −(x ≥ 3, x := 0)→ l1 −(x ≥ 2)→ l2: the reset pins x while the
+        // synthetic global clock keeps the elapsed 3, so l2 costs ≥ 5.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.guarded(
+            l0,
+            ActionId::TAU,
+            Expr::var(x).ge(Expr::int(3)),
+            [Effect::assign(x, Expr::real(0.0))],
+            l1,
+        );
+        a.guarded(l1, ActionId::TAU, Expr::var(x).ge(Expr::int(2)), [], l2);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        assert_eq!(fix.min_time_to_loc(ProcId(0), LocId(0)), Some(0.0));
+        assert_eq!(fix.min_time_to_loc(ProcId(0), LocId(1)), Some(3.0));
+        assert_eq!(fix.min_time_to_loc(ProcId(0), LocId(2)), Some(5.0));
+        assert_eq!(fix.trans_min_fire_time(ProcId(0), TransId(0)), Some(3.0));
+        assert_eq!(fix.trans_min_fire_time(ProcId(0), TransId(1)), Some(5.0));
+    }
+
+    #[test]
+    fn invariant_guard_gap_is_a_static_timelock() {
+        // Invariant x ≤ 2 but the only exit needs x ≥ 5: time runs out.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("stuck", Expr::var(x).le(Expr::int(2)), []);
+        let l1 = a.location("out");
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::int(5)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let fix = analyze_network(&net);
+        assert_eq!(fix.trans_status(ProcId(0), TransId(0)), TransStatus::DeadGuard);
+        assert!(fix.zone_dead_guard(ProcId(0), TransId(0)));
+        assert_eq!(fix.static_timelocks(), &[(ProcId(0), LocId(0))]);
+
+        let s = fix.summary(&net);
+        assert_eq!(s.dead[0].reason, "zone-dead-guard");
+        let z = s.zones.as_ref().expect("zones ran");
+        assert_eq!(z.zone_dead_guards, 1);
+        assert_eq!(z.timelocks, 1);
+        assert!(s.render_json().contains("\"reason\":\"zone-dead-guard\""));
+    }
+
+    #[test]
+    fn distance_steps_relax_backwards_over_live_transitions() {
+        let net = clock_chain();
+        let fix = analyze_network(&net);
+        // Goal l1 (live chain prefix): l0 is one live hop away; l2 is
+        // unreachable and gets no distance.
+        let steps = fix.distance_steps(&net, &[(ProcId(0), LocId(1), 0)]);
+        assert_eq!(steps[0][1], Some(0));
+        assert_eq!(steps[0][0], Some(1));
+        assert_eq!(steps[0][2], None);
+
+        let s = fix.summary_with_goals(&net, &[(ProcId(0), LocId(1), 0)]);
+        let json = s.render_json();
+        assert!(json.contains("\"steps_to_goal\":1"), "{json}");
+        assert!(json.contains("\"min_time\":5.0"), "{json}");
     }
 }

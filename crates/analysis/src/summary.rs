@@ -2,14 +2,31 @@
 //!
 //! The summary is the auditable record of what the static analysis
 //! established: per-process reachability counts, the dead/blocked
-//! transitions with their reasons, and the iteration statistics
+//! transitions with their reasons, zone-domain statistics, the
+//! per-location distance-to-goal map, and the iteration statistics
 //! (rounds/widenings) that show the fixpoint converged. It renders as
 //! human-readable text and as JSON (hand-rolled — the artifact is small
 //! and the workspace carries no serde dependency).
+//!
+//! Schema history:
+//!
+//! * **v1** — `rounds`, `widenings`, `automata[]`, `dead_transitions[]`
+//!   (no `kind`/`schema_version` members).
+//! * **v2** — adds `kind: "analysis-summary"`, `schema_version`, the
+//!   `zones` object (tracked clocks, extrapolation `k`, zone-dead guard
+//!   and timelock counts; `null` with zones off), a `locations[]` array
+//!   with `min_time`/`steps_to_goal` per location, and the
+//!   `zone-dead-guard` dead reason.
 
 use crate::fixpoint::{Fixpoint, TransStatus};
+use slim_automata::automaton::{LocId, ProcId};
 use slim_automata::network::Network;
 use std::fmt::Write as _;
+
+/// Current JSON schema version of the artifact.
+pub const SUMMARY_SCHEMA_VERSION: u64 = 2;
+/// The `kind` member identifying the document.
+pub const SUMMARY_KIND: &str = "analysis-summary";
 
 /// One dead or blocked transition.
 #[derive(Debug, Clone)]
@@ -20,7 +37,8 @@ pub struct DeadTransition {
     pub from: String,
     /// Target location name.
     pub to: String,
-    /// Why it can never fire (`dead-source`, `dead-guard`, `sync-blocked`).
+    /// Why it can never fire (`dead-source`, `dead-guard`,
+    /// `zone-dead-guard`, `sync-blocked`).
     pub reason: &'static str,
 }
 
@@ -39,6 +57,34 @@ pub struct ProcSummary {
     pub live: usize,
 }
 
+/// Zone-domain statistics (present when the clock-zone product ran).
+#[derive(Debug, Clone)]
+pub struct ZoneSummary {
+    /// Tracked clock slots across all processes.
+    pub clocks: usize,
+    /// Extrapolation constant.
+    pub k: f64,
+    /// Transitions dead only under the zone domain.
+    pub zone_dead_guards: usize,
+    /// Static timelocks detected.
+    pub timelocks: usize,
+}
+
+/// Per-location row of the distance-to-goal map.
+#[derive(Debug, Clone)]
+pub struct LocationSummary {
+    /// Automaton name.
+    pub automaton: String,
+    /// Location name.
+    pub location: String,
+    /// Whether the abstraction can reach it.
+    pub reachable: bool,
+    /// Zone lower bound on elapsed time when occupying it.
+    pub min_time: Option<f64>,
+    /// Minimum live transitions to a goal location (when goals given).
+    pub steps_to_goal: Option<u64>,
+}
+
 /// The proof artifact of one [`crate::analyze_network`] run.
 #[derive(Debug, Clone)]
 pub struct AnalysisSummary {
@@ -46,6 +92,10 @@ pub struct AnalysisSummary {
     pub procs: Vec<ProcSummary>,
     /// Every provably-dead transition.
     pub dead: Vec<DeadTransition>,
+    /// Zone-domain statistics (`None` with zones off).
+    pub zones: Option<ZoneSummary>,
+    /// Per-location reachability / distance rows.
+    pub locations: Vec<LocationSummary>,
     /// Fixpoint rounds until stabilization.
     pub rounds: usize,
     /// Widening applications.
@@ -62,9 +112,15 @@ fn status_reason(s: TransStatus) -> Option<&'static str> {
 }
 
 impl AnalysisSummary {
-    pub(crate) fn build(fix: &Fixpoint, net: &Network) -> AnalysisSummary {
+    pub(crate) fn build(
+        fix: &Fixpoint,
+        net: &Network,
+        goals: Option<&[(ProcId, LocId, u64)]>,
+    ) -> AnalysisSummary {
+        let steps = goals.map(|targets| fix.distance_steps(net, targets));
         let mut procs = Vec::new();
         let mut dead = Vec::new();
+        let mut locations = Vec::new();
         for (p, a) in net.automata().iter().enumerate() {
             let reach = &fix.reachable_matrix()[p];
             let st = &fix.status_matrix()[p];
@@ -77,6 +133,8 @@ impl AnalysisSummary {
             });
             for (t, trans) in a.transitions.iter().enumerate() {
                 if let Some(reason) = status_reason(st[t]) {
+                    let reason =
+                        if fix.zone_dead_matrix()[p][t] { "zone-dead-guard" } else { reason };
                     dead.push(DeadTransition {
                         automaton: a.name.clone(),
                         from: a.locations[trans.from.0].name.clone(),
@@ -85,8 +143,34 @@ impl AnalysisSummary {
                     });
                 }
             }
+            for (l, loc) in a.locations.iter().enumerate() {
+                locations.push(LocationSummary {
+                    automaton: a.name.clone(),
+                    location: loc.name.clone(),
+                    reachable: reach[l],
+                    min_time: fix.min_time_matrix()[p][l],
+                    steps_to_goal: steps.as_ref().and_then(|s| s[p][l]),
+                });
+            }
         }
-        AnalysisSummary { procs, dead, rounds: fix.rounds, widenings: fix.widenings }
+        let zones = fix.zones_enabled().then(|| ZoneSummary {
+            clocks: fix.zone_clock_count(),
+            k: fix.extrapolation_k(),
+            zone_dead_guards: fix
+                .zone_dead_matrix()
+                .iter()
+                .map(|r| r.iter().filter(|d| **d).count())
+                .sum(),
+            timelocks: fix.static_timelocks().len(),
+        });
+        AnalysisSummary {
+            procs,
+            dead,
+            zones,
+            locations,
+            rounds: fix.rounds,
+            widenings: fix.widenings,
+        }
     }
 
     /// Human-readable rendering.
@@ -97,6 +181,13 @@ impl AnalysisSummary {
             "static analysis: {} round(s), {} widening(s)",
             self.rounds, self.widenings
         );
+        if let Some(z) = &self.zones {
+            let _ = writeln!(
+                out,
+                "  zones: {} clock(s), k = {}, {} zone-dead guard(s), {} timelock(s)",
+                z.clocks, z.k, z.zone_dead_guards, z.timelocks
+            );
+        }
         for p in &self.procs {
             let _ = writeln!(
                 out,
@@ -108,13 +199,42 @@ impl AnalysisSummary {
             let _ =
                 writeln!(out, "  dead: {} `{}` -> `{}` ({})", d.automaton, d.from, d.to, d.reason);
         }
+        for l in &self.locations {
+            if l.min_time.is_some() || l.steps_to_goal.is_some() {
+                let _ = writeln!(
+                    out,
+                    "  loc: {} `{}` min_time={} steps_to_goal={}",
+                    l.automaton,
+                    l.location,
+                    l.min_time.map_or("-".into(), |t| format!("{t}")),
+                    l.steps_to_goal.map_or("-".into(), |s: u64| format!("{s}")),
+                );
+            }
+        }
         out
     }
 
-    /// JSON rendering of the proof artifact.
+    /// JSON rendering of the proof artifact (schema v2).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
-        let _ = write!(out, "\"rounds\":{},\"widenings\":{},", self.rounds, self.widenings);
+        let _ = write!(
+            out,
+            "\"kind\":{},\"schema_version\":{},\"rounds\":{},\"widenings\":{},",
+            json_str(SUMMARY_KIND),
+            SUMMARY_SCHEMA_VERSION,
+            self.rounds,
+            self.widenings
+        );
+        match &self.zones {
+            None => out.push_str("\"zones\":null,"),
+            Some(z) => {
+                let _ = write!(
+                    out,
+                    "\"zones\":{{\"clocks\":{},\"k\":{},\"zone_dead_guards\":{},\"timelocks\":{}}},",
+                    z.clocks, json_f64(z.k), z.zone_dead_guards, z.timelocks
+                );
+            }
+        }
         out.push_str("\"automata\":[");
         for (i, p) in self.procs.iter().enumerate() {
             if i > 0 {
@@ -128,6 +248,21 @@ impl AnalysisSummary {
                 p.reachable,
                 p.transitions,
                 p.live
+            );
+        }
+        out.push_str("],\"locations\":[");
+        for (i, l) in self.locations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"automaton\":{},\"location\":{},\"reachable\":{},\"min_time\":{},\"steps_to_goal\":{}}}",
+                json_str(&l.automaton),
+                json_str(&l.location),
+                l.reachable,
+                l.min_time.map_or("null".to_string(), json_f64),
+                l.steps_to_goal.map_or("null".to_string(), |s| s.to_string()),
             );
         }
         out.push_str("],\"dead_transitions\":[");
@@ -146,6 +281,20 @@ impl AnalysisSummary {
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// Finite floats render plainly (with a decimal point so they re-parse as
+/// reals); infinities have no JSON literal and degrade to `null`.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let v = if v == 0.0 { 0.0 } else { v }; // normalize -0.0
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
     }
 }
 

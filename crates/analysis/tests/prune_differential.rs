@@ -8,7 +8,7 @@
 //! the live model zoo and over a hand-built fixture where pruning
 //! provably removes at least one transition.
 
-use slim_analysis::analyze_network;
+use slim_analysis::{analyze_network, analyze_network_with, AnalysisOptions};
 use slim_automata::prelude::*;
 use slim_models::{
     gps_network, launcher_network, power_system_network, repair_network, sensor_filter_network,
@@ -171,6 +171,74 @@ fn fixture_prunes_a_transition_and_stays_equivalent() {
     assert_eq!(a.estimate.mean.to_bits(), b.estimate.mean.to_bits());
     assert_eq!(a.estimate.samples, b.estimate.samples);
     assert!(a.estimate.samples > 0, "pre-verdict must not short-circuit a live goal");
+}
+
+/// A network where a transition is dead *only* under the clock-zone
+/// domain: the clock `x` is never reset, so by the time `work` is
+/// entered (guard `x >= 1`) the exit guard `x <= 0` can no longer hold.
+/// The interval domain pins clocks to ⊤ and keeps the transition live.
+fn zone_prunable_network() -> Network {
+    let mut b = NetworkBuilder::new();
+    let x = b.var("x", VarType::Clock, Value::Real(0.0));
+    let mut a = AutomatonBuilder::new("p");
+    let idle = a.location("idle");
+    let work = a.location("work");
+    let stuck = a.location("stuck");
+    a.guarded(idle, ActionId::TAU, Expr::var(x).ge(Expr::int(1)), [], work);
+    a.guarded(work, ActionId::TAU, Expr::var(x).le(Expr::int(0)), [], stuck);
+    a.guarded(work, ActionId::TAU, Expr::var(x).ge(Expr::int(2)), [], idle);
+    b.add_automaton(a);
+    b.build().expect("fixture network is well-formed")
+}
+
+#[test]
+fn zone_dead_transition_is_gated_on_the_zone_domain() {
+    let net = zone_prunable_network();
+    // Interval-only analysis cannot prove the guard dead: the plan is a
+    // no-op, so zone-gated pruning never fires without the zone domain.
+    let off = analyze_network_with(&net, &AnalysisOptions { zones: false, deadline: None });
+    assert!(off.prune_plan(&net).is_noop(), "interval-only plan must be a no-op");
+    // With zones on, the guard is provably dead and `stuck` unreachable.
+    let fix = analyze_network(&net);
+    let plan = fix.prune_plan(&net);
+    assert!(plan.dropped_transitions() >= 1, "zone-dead transition removed");
+    assert!(plan.dropped_locations() >= 1, "`stuck` becomes unreachable");
+}
+
+#[test]
+fn zone_gated_pruning_estimates_stay_bit_identical() {
+    let net = zone_prunable_network();
+    let plan = analyze_network(&net).prune_plan(&net);
+    let (pruned, maps) = net.prune(&plan);
+
+    let p = net.proc_id("p").unwrap();
+    let (_, work) = net.loc_id("p", "work").unwrap();
+    let work_new = maps.locs[p.0][work.0].expect("live location keeps an id");
+    let property = TimedReach::new(Goal::InLocation(p, work), 1.5);
+    let property_pruned = TimedReach::new(Goal::InLocation(p, work_new), 1.5);
+
+    let before = verdict_stream(&net, &property, 5, 300);
+    let after = verdict_stream(&pruned, &property_pruned, 5, 300);
+    assert_eq!(before, after, "verdict stream changed after zone-gated pruning");
+    assert!(
+        before.iter().any(|(v, _, _)| *v == Verdict::Satisfied),
+        "the goal must be reachable so the differential is not vacuous"
+    );
+
+    for workers in [1, 2] {
+        let cfg = config(42, workers);
+        let a = analyze(&net, &property, &cfg).expect("analysis succeeds");
+        let b = analyze(&pruned, &property_pruned, &cfg).expect("analysis succeeds");
+        assert_eq!(
+            a.estimate.mean.to_bits(),
+            b.estimate.mean.to_bits(),
+            "estimate changed after zone-gated pruning (workers={workers})"
+        );
+        assert_eq!(a.estimate.samples, b.estimate.samples, "samples (workers={workers})");
+        assert_eq!(a.estimate.successes, b.estimate.successes, "successes (workers={workers})");
+        assert_eq!(a.stats, b.stats, "path statistics (workers={workers})");
+        assert!(a.estimate.samples > 0, "pre-verdict must not short-circuit a live goal");
+    }
 }
 
 #[test]

@@ -25,6 +25,7 @@ const FLAG_KEYS: &[&str] = &[
     "dot",
     "paper-accuracy",
     "no-lint",
+    "no-zones",
     "deny-lints",
     "json",
     "progress",

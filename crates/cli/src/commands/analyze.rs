@@ -61,9 +61,19 @@ pub fn run(args: &Args) -> Result<(), String> {
     // always describes the network as loaded, pre-prune.
     let summary_path = args.options.get("analysis-summary");
     let (net, property) = if summary_path.is_some() || args.has_flag("prune") {
-        let fix = slim_analysis::analyze_network(&net);
+        let opts = slim_analysis::AnalysisOptions {
+            zones: !args.has_flag("no-zones"),
+            deadline: Some(property.bound),
+        };
+        let fix = slim_analysis::analyze_network_with(&net, &opts);
         if let Some(path) = summary_path {
-            let text = fix.summary(&net).render_json() + "\n";
+            // Seed the distance-to-goal map from the property's goal, so
+            // the summary carries per-location splitting levels.
+            let mut targets = goal_distance_targets(&net, &fix, &property.goal);
+            if let Some(h) = &property.hold {
+                targets.extend(goal_distance_targets(&net, &fix, h));
+            }
+            let text = fix.summary_with_goals(&net, &targets).render_json() + "\n";
             std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
             if !args.has_flag("quiet") {
                 println!("analysis   : proof summary written to {path}");
@@ -95,10 +105,10 @@ pub fn run(args: &Args) -> Result<(), String> {
                     hold: property.hold.map(|h| remap_goal(h, &maps)),
                     bound: property.bound,
                 };
-                // Pruning renumbers transitions, so the lowering's span
-                // table no longer aligns; profiles fall back to
-                // structural labels.
-                spans.clear();
+                // Pruning renumbers transitions; remap the lowering's
+                // span table through the id maps so profiler heat maps
+                // and lints keep file:line:col on the pruned model.
+                spans = remap_spans(&spans, &pruned, &maps);
                 (pruned, property)
             }
         } else {
@@ -323,6 +333,26 @@ fn build_report(
         metrics: obs.snapshot(),
         profile,
     }
+}
+
+/// Rebuilds the transition span table for a pruned network: surviving
+/// transitions keep their original `file:line:col`, dropped ones vanish
+/// with their rows renumbered densely, matching the pruned ids.
+fn remap_spans(
+    spans: &[Vec<Option<String>>],
+    pruned: &slim_automata::prelude::Network,
+    maps: &PruneMaps,
+) -> Vec<Vec<Option<String>>> {
+    let mut out: Vec<Vec<Option<String>>> =
+        pruned.automata().iter().map(|a| vec![None; a.transitions.len()]).collect();
+    for (p, row) in spans.iter().enumerate() {
+        for (t, span) in row.iter().enumerate() {
+            if let Some(new_t) = maps.trans.get(p).and_then(|m| m.get(t)).copied().flatten() {
+                out[p][new_t.0] = span.clone();
+            }
+        }
+    }
+    out
 }
 
 /// Pins every location the goal names into the prune plan, so the
@@ -555,6 +585,88 @@ mod tests {
         assert_eq!(report.estimate.samples, 0);
         assert_eq!(report.estimate.mean, 0.0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deadline_miss_pre_verdict_skips_sampling() {
+        // The clock-zone fixpoint proves `done` cannot be set before
+        // t = 8, so a bound of 2 short-circuits with exact P = 0.
+        let path = std::env::temp_dir().join("slimsim_test_deadline_report.json");
+        let common = format!(
+            "analyze {} --root Timer.Main --bound 2.0 --goal-var root.done \
+             --no-lint --epsilon 0.2 --delta 0.2 --quiet",
+            example("deadline.slim")
+        );
+        run(&args(&format!("{common} --report {}", path.display()))).expect("analysis succeeds");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report =
+            RunReport::from_json(&slim_obs::Json::parse(&text).unwrap()).expect("schema parses");
+        assert_eq!(report.validate(), Vec::<String>::new());
+        assert_eq!(report.pre_verdict.as_deref(), Some("deadline-unreachable"));
+        assert_eq!(report.estimate.samples, 0);
+        assert_eq!(report.estimate.mean, 0.0);
+
+        // `--no-zones` opts out: interval-only analysis cannot decide the
+        // deadline, so the run falls back to sampling.
+        run(&args(&format!("{common} --no-zones --report {}", path.display())))
+            .expect("no-zones analysis succeeds");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report =
+            RunReport::from_json(&slim_obs::Json::parse(&text).unwrap()).expect("schema parses");
+        assert_eq!(report.pre_verdict.as_deref(), Some("unknown"));
+        assert!(report.estimate.samples > 0, "sampling must actually run");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prune_keeps_spans_for_profile_labels() {
+        // PR 8 cleared the span table under `--prune`; spans must now be
+        // remapped through the prune id maps so profiler heat maps keep
+        // file:line:col labels on the surviving transitions.
+        let ppath = std::env::temp_dir().join("slimsim_test_prune_profile.json");
+        let a = args(&format!(
+            "analyze {} --root Pump.Main --bound 1.0 --goal-var root.done \
+             --no-lint --seed 11 --epsilon 0.2 --delta 0.2 --quiet --prune --profile {}",
+            example("prunable.slim"),
+            ppath.display()
+        ));
+        run(&a).expect("pruned profiled run succeeds");
+        let text = std::fs::read_to_string(&ppath).unwrap();
+        assert!(
+            text.contains("prunable.slim:"),
+            "profile labels lost their source spans under --prune: {text}"
+        );
+        let _ = std::fs::remove_file(&ppath);
+    }
+
+    #[test]
+    fn analysis_summary_carries_distance_to_goal() {
+        let spath = std::env::temp_dir().join("slimsim_test_summary_distance.json");
+        let a = args(&format!(
+            "analyze {} --root Timer.Main --bound 20.0 --goal-var root.done \
+             --no-lint --epsilon 0.2 --delta 0.2 --quiet --analysis-summary {}",
+            example("deadline.slim"),
+            spath.display()
+        ));
+        run(&a).expect("analysis with summary succeeds");
+        let text = std::fs::read_to_string(&spath).unwrap();
+        assert!(text.contains("\"kind\":\"analysis-summary\""), "{text}");
+        assert!(text.contains("\"schema_version\":2"), "{text}");
+        // The goal writes `done` from mode `ready`, so `ready` is the
+        // offset-1 seed and `arm` sits one live hop further out.
+        assert!(
+            text.contains(
+                "\"location\":\"ready\",\"reachable\":true,\"min_time\":5.0,\"steps_to_goal\":1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "\"location\":\"arm\",\"reachable\":true,\"min_time\":0.0,\"steps_to_goal\":2"
+            ),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&spath);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! `slimsim report` — parse, validate and summarize a report document.
 //!
 //! Reads a JSON document written by `slimsim analyze --report <path>`
-//! (a [`RunReport`]) or by `slimsim profile --out <path>` /
+//! (a [`RunReport`]), by `slimsim profile --out <path>` /
 //! `analyze --profile <path>` (a [`ProfileReport`], recognized by its
-//! `"kind": "kernel-profile"` member), checks it against the schema and
-//! the structural validator, and prints a short summary. Exits non-zero
-//! on any schema or consistency problem, which is what the CI smoke
-//! jobs key on.
+//! `"kind": "kernel-profile"` member), or by
+//! `analyze --analysis-summary <path>` (an analysis summary, recognized
+//! by `"kind": "analysis-summary"` — or, for v1 documents predating the
+//! `kind` member, by its `automata` + `dead_transitions` arrays), checks
+//! it against the schema and the structural validator, and prints a
+//! short summary. Exits non-zero on any schema or consistency problem,
+//! which is what the CI smoke jobs key on.
 
 use crate::args::Args;
 use slim_obs::{Json, ProfileReport, RunReport, PROFILE_KIND};
@@ -26,12 +29,128 @@ pub fn run(args: &Args) -> Result<(), String> {
         }
         return Ok(());
     }
+    // Analysis summaries: v2 documents carry `kind`; v1 documents are
+    // recognized structurally so pre-bump artifacts keep validating.
+    let is_summary = json.get("kind").and_then(Json::as_str) == Some("analysis-summary")
+        || (json.get("kind").is_none()
+            && json.get("automata").is_some()
+            && json.get("dead_transitions").is_some());
+    if is_summary {
+        let problems = validate_analysis_summary(&json);
+        fail_on_problems(path, problems)?;
+        if !args.has_flag("quiet") {
+            print_analysis_summary(path, &json);
+        }
+        return Ok(());
+    }
     let report = RunReport::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
     fail_on_problems(path, report.validate())?;
     if !args.has_flag("quiet") {
         print_summary(path, &report);
     }
     Ok(())
+}
+
+/// Structural validation of an analysis-summary document (v1 or v2).
+fn validate_analysis_summary(json: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let version = json.get("schema_version").and_then(Json::as_u64).unwrap_or(1);
+    if version == 0 || version > 2 {
+        problems.push(format!("unknown analysis-summary schema_version {version}"));
+    }
+    let Some(automata) = json.get("automata").and_then(Json::as_arr) else {
+        problems.push("missing `automata` array".to_string());
+        return problems;
+    };
+    if automata.is_empty() {
+        problems.push("`automata` is empty".to_string());
+    }
+    for a in automata {
+        let name = a.get("name").and_then(Json::as_str).unwrap_or("?");
+        let locs = a.get("locations").and_then(Json::as_u64).unwrap_or(0);
+        let reach = a.get("reachable").and_then(Json::as_u64).unwrap_or(0);
+        let trans = a.get("transitions").and_then(Json::as_u64).unwrap_or(0);
+        let live = a.get("live").and_then(Json::as_u64).unwrap_or(0);
+        if reach > locs {
+            problems.push(format!("automaton `{name}`: reachable {reach} > locations {locs}"));
+        }
+        if live > trans {
+            problems.push(format!("automaton `{name}`: live {live} > transitions {trans}"));
+        }
+    }
+    let dead = json.get("dead_transitions").and_then(Json::as_arr);
+    match dead {
+        None => problems.push("missing `dead_transitions` array".to_string()),
+        Some(rows) => {
+            for d in rows {
+                match d.get("reason").and_then(Json::as_str) {
+                    Some("dead-source" | "dead-guard" | "zone-dead-guard" | "sync-blocked") => {}
+                    Some(other) => problems.push(format!("unknown dead reason `{other}`")),
+                    None => problems.push("dead transition without `reason`".to_string()),
+                }
+            }
+        }
+    }
+    if version >= 2 {
+        match json.get("locations").and_then(Json::as_arr) {
+            None => problems.push("v2 summary missing `locations` array".to_string()),
+            Some(rows) => {
+                for l in rows {
+                    if l.get("automaton").and_then(Json::as_str).is_none()
+                        || l.get("location").and_then(Json::as_str).is_none()
+                    {
+                        problems.push("location row missing automaton/location".to_string());
+                    }
+                    if let Some(t) = l.get("min_time").and_then(Json::as_f64) {
+                        if t < 0.0 {
+                            problems.push(format!("negative min_time {t}"));
+                        }
+                    }
+                }
+            }
+        }
+        if json.get("zones").is_none() {
+            problems.push("v2 summary missing `zones` member".to_string());
+        }
+    }
+    problems
+}
+
+fn print_analysis_summary(path: &str, json: &Json) {
+    let version = json.get("schema_version").and_then(Json::as_u64).unwrap_or(1);
+    println!("{path}: valid analysis summary (schema v{version})");
+    let rounds = json.get("rounds").and_then(Json::as_u64).unwrap_or(0);
+    let widenings = json.get("widenings").and_then(Json::as_u64).unwrap_or(0);
+    println!("  fixpoint : {rounds} round(s), {widenings} widening(s)");
+    if let Some(z) = json.get("zones") {
+        if !matches!(z, Json::Null) {
+            println!(
+                "  zones    : {} clock(s), k = {}, {} zone-dead guard(s), {} timelock(s)",
+                z.get("clocks").and_then(Json::as_u64).unwrap_or(0),
+                z.get("k").and_then(Json::as_f64).unwrap_or(0.0),
+                z.get("zone_dead_guards").and_then(Json::as_u64).unwrap_or(0),
+                z.get("timelocks").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+    }
+    for a in json.get("automata").and_then(Json::as_arr).unwrap_or(&[]) {
+        println!(
+            "  {} : {}/{} locations reachable, {}/{} transitions live",
+            a.get("name").and_then(Json::as_str).unwrap_or("?"),
+            a.get("reachable").and_then(Json::as_u64).unwrap_or(0),
+            a.get("locations").and_then(Json::as_u64).unwrap_or(0),
+            a.get("live").and_then(Json::as_u64).unwrap_or(0),
+            a.get("transitions").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    let dead = json.get("dead_transitions").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+    println!("  dead     : {dead} transition(s)");
+    let with_goal = json.get("locations").and_then(Json::as_arr).map_or(0, |rows| {
+        rows.iter().filter(|l| l.get("steps_to_goal").and_then(Json::as_u64).is_some()).count()
+    });
+    if with_goal > 0 {
+        println!("  distance : {with_goal} location(s) with a goal distance");
+    }
 }
 
 fn fail_on_problems(path: &str, problems: Vec<String>) -> Result<(), String> {
@@ -187,6 +306,58 @@ mod tests {
         assert!(embedded.total_ops > 0);
         let _ = std::fs::remove_file(&report_path);
         let _ = std::fs::remove_file(&profile_path);
+    }
+
+    #[test]
+    fn analysis_summary_then_validate() {
+        let model = format!("{}/../../examples/models/deadline.slim", env!("CARGO_MANIFEST_DIR"));
+        let path = tmp("slimsim_test_report_analysis_summary.json");
+        let a = args(&format!(
+            "analyze {model} --root Timer.Main --goal-var root.done --bound 20 \
+             --epsilon 0.2 --delta 0.2 --quiet --analysis-summary {}",
+            path.display()
+        ));
+        super::super::analyze::run(&a).expect("analysis with summary succeeds");
+        run(&args(&format!("report {} --quiet", path.display()))).expect("v2 summary validates");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_analysis_summary_fixture_still_validates() {
+        // Committed artifact predating the `kind`/`schema_version` bump:
+        // recognized structurally, validated under v1 rules.
+        let fixture =
+            format!("{}/../../tests/golden/analysis-summary-v1.json", env!("CARGO_MANIFEST_DIR"));
+        run(&args(&format!("report {fixture} --quiet"))).expect("v1 fixture validates");
+    }
+
+    #[test]
+    fn rejects_inconsistent_analysis_summaries() {
+        let path = tmp("slimsim_test_report_bad_summary.json");
+        // reachable > locations and an unknown dead reason.
+        std::fs::write(
+            &path,
+            "{\"kind\":\"analysis-summary\",\"schema_version\":2,\"rounds\":1,\"widenings\":0,\
+             \"zones\":null,\
+             \"automata\":[{\"name\":\"p\",\"locations\":1,\"reachable\":2,\"transitions\":0,\"live\":0}],\
+             \"locations\":[],\
+             \"dead_transitions\":[{\"automaton\":\"p\",\"from\":\"a\",\"to\":\"b\",\"reason\":\"bogus\"}]}",
+        )
+        .unwrap();
+        let err = run(&args(&format!("report {}", path.display()))).unwrap_err();
+        assert!(err.contains("reachable 2 > locations 1"), "{err}");
+        assert!(err.contains("unknown dead reason `bogus`"), "{err}");
+        // A v2 document missing its `locations` array is also rejected.
+        std::fs::write(
+            &path,
+            "{\"kind\":\"analysis-summary\",\"schema_version\":2,\"rounds\":1,\"widenings\":0,\
+             \"zones\":null,\"automata\":[{\"name\":\"p\",\"locations\":1,\"reachable\":1,\
+             \"transitions\":0,\"live\":0}],\"dead_transitions\":[]}",
+        )
+        .unwrap();
+        let err = run(&args(&format!("report {}", path.display()))).unwrap_err();
+        assert!(err.contains("missing `locations`"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

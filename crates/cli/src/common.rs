@@ -161,7 +161,8 @@ pub fn load_config(args: &Args) -> Result<SimConfig, String> {
         .with_generator(generator)
         .with_deadlock_policy(deadlock_policy)
         .with_seed(args.opt_u64("seed", 0xC0FFEE)?)
-        .with_workers(args.opt_usize("workers", 1)?.max(1)))
+        .with_workers(args.opt_usize("workers", 1)?.max(1))
+        .with_zone_pre_verdicts(!args.has_flag("no-zones")))
 }
 
 /// Builds the optional `hold` predicate (`--hold-var` / `--hold-loc`) of

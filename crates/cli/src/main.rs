@@ -76,6 +76,8 @@ OPTIONS:
   --progress             (analyze) live progress line with p-hat ± half-width
   --prune                (analyze) strip statically dead transitions/locations
   --analysis-summary <file> (analyze) write the fixpoint proof artifact JSON
+  --no-zones             (analyze) disable the clock-zone domain (interval-only
+                         fixpoint; no deadline-unreachable pre-verdicts)
 
 LINTS (lint/analyze):
   --json                 (lint) one JSON object per diagnostic, one per line

@@ -47,6 +47,12 @@ pub struct SimConfig {
     /// force sampling (e.g. to reproduce dynamic errors a short-circuited
     /// run would skip).
     pub static_pre_verdicts: bool,
+    /// Let the pre-verdict fixpoint run the clock-zone domain, enabling
+    /// timed `P = 0` verdicts (`deadline-unreachable`) for goals that
+    /// are location-reachable but provably miss the property deadline.
+    /// On by default; ignored when [`Self::static_pre_verdicts`] is off.
+    /// This is the `--no-zones` opt-out.
+    pub zone_pre_verdicts: bool,
 }
 
 impl Default for SimConfig {
@@ -61,6 +67,7 @@ impl Default for SimConfig {
             workers: 1,
             batch_lanes: 16,
             static_pre_verdicts: true,
+            zone_pre_verdicts: true,
         }
     }
 }
@@ -119,6 +126,12 @@ impl SimConfig {
     /// Builder-style toggle for static property pre-verdicts.
     pub fn with_static_pre_verdicts(mut self, enabled: bool) -> Self {
         self.static_pre_verdicts = enabled;
+        self
+    }
+
+    /// Builder-style toggle for the clock-zone domain inside pre-verdicts.
+    pub fn with_zone_pre_verdicts(mut self, enabled: bool) -> Self {
+        self.zone_pre_verdicts = enabled;
         self
     }
 }

@@ -15,15 +15,28 @@
 //! *mid-delay* as well as at transition instants, and location atoms are
 //! delay-invariant by construction.
 //!
+//! The clock-zone product adds a second family of `P = 0` verdicts:
+//! when the goal *is* location-reachable but the zone lower bound on
+//! elapsed time at every way the goal can first hold exceeds the
+//! property deadline, `◇[0,u] goal` has probability exactly 0
+//! ([`PreVerdict::DeadlineUnreachable`]). The bound comes from
+//! [`slim_analysis::Fixpoint::min_time_to_loc`] /
+//! [`slim_analysis::Fixpoint::trans_min_fire_time`], both lower bounds on
+//! global elapsed time in every concrete run, so claiming `lb > u` is
+//! conservative.
+//!
 //! Pre-verdicts answer the probability question only: a short-circuited
 //! run draws no paths, so dynamic errors a simulation would have surfaced
 //! (deadlocks under [`crate::config::DeadlockPolicy::Error`], non-linear
 //! guard evaluation errors) are not reproduced. Disable with
 //! [`crate::config::SimConfig::with_static_pre_verdicts`] to force
-//! sampling.
+//! sampling, or keep the untimed verdicts and drop only the zone-derived
+//! ones with [`crate::config::SimConfig::with_zone_pre_verdicts`].
 
 use crate::property::{Goal, TimedReach};
-use slim_analysis::Fixpoint;
+use slim_analysis::{AnalysisOptions, Fixpoint, TransStatus};
+use slim_automata::automaton::{LocId, ProcId, TransId};
+use slim_automata::expr::VarId;
 use slim_automata::prelude::Network;
 
 /// Outcome of the static pre-analysis of a property.
@@ -34,6 +47,9 @@ pub enum PreVerdict {
     Unknown,
     /// The goal is unreachable in the abstraction: exactly `P = 0`.
     Unreachable,
+    /// The goal is location-reachable but provably not before the
+    /// property deadline: exactly `P = 0`.
+    DeadlineUnreachable,
     /// The goal holds in the initial state: exactly `P = 1`.
     InitiallySatisfied,
 }
@@ -43,7 +59,7 @@ impl PreVerdict {
     pub fn exact_probability(&self) -> Option<f64> {
         match self {
             PreVerdict::Unknown => None,
-            PreVerdict::Unreachable => Some(0.0),
+            PreVerdict::Unreachable | PreVerdict::DeadlineUnreachable => Some(0.0),
             PreVerdict::InitiallySatisfied => Some(1.0),
         }
     }
@@ -53,6 +69,7 @@ impl PreVerdict {
         match self {
             PreVerdict::Unknown => "unknown",
             PreVerdict::Unreachable => "unreachable",
+            PreVerdict::DeadlineUnreachable => "deadline-unreachable",
             PreVerdict::InitiallySatisfied => "initially-satisfied",
         }
     }
@@ -70,16 +87,157 @@ impl std::fmt::Display for PreVerdict {
 /// inconclusive rather than failing the analysis — the simulation will
 /// deterministically reproduce them on the first path.
 pub fn pre_verdict(net: &Network, property: &TimedReach) -> PreVerdict {
+    pre_verdict_with(net, property, true)
+}
+
+/// [`pre_verdict`] with explicit control over the clock-zone domain.
+///
+/// With `zones = false` the fixpoint runs interval-only and the
+/// [`PreVerdict::DeadlineUnreachable`] verdict is never produced — this
+/// is the `--no-zones` opt-out, mirroring
+/// [`crate::config::SimConfig::with_static_pre_verdicts`].
+pub fn pre_verdict_with(net: &Network, property: &TimedReach, zones: bool) -> PreVerdict {
     if let Ok(init) = net.initial_state() {
         if property.goal.holds(net, &init) == Ok(true) {
             return PreVerdict::InitiallySatisfied;
         }
     }
-    let fix = slim_analysis::analyze_network(net);
+    let opts = AnalysisOptions { zones, deadline: Some(property.bound) };
+    let fix = slim_analysis::analyze_network_with(net, &opts);
     if may_hold(&property.goal, &fix) == Some(false) {
         return PreVerdict::Unreachable;
     }
+    if fix.zones_enabled() && goal_min_time(&property.goal, net, &fix) > property.bound {
+        return PreVerdict::DeadlineUnreachable;
+    }
     PreVerdict::Unknown
+}
+
+/// Lower bound on the global elapsed time at which `goal` can first hold
+/// in any concrete run — `0.0` whenever the abstraction cannot make a
+/// claim (so a caller comparing against the deadline stays sound), `∞`
+/// when the goal can never hold at all.
+fn goal_min_time(goal: &Goal, net: &Network, fix: &Fixpoint) -> f64 {
+    match goal {
+        Goal::InLocation(p, l) => {
+            if !fix.loc_reachable(*p, *l) {
+                f64::INFINITY
+            } else {
+                fix.min_time_to_loc(*p, *l).unwrap_or(0.0).max(0.0)
+            }
+        }
+        Goal::Expr(e) => {
+            // Only claim a bound when the expression is concretely false
+            // at t = 0 and can only flip through an effect write: then
+            // the earliest it can hold is the earliest such write.
+            let initially_false =
+                net.initial_state().is_ok_and(|init| goal.holds(net, &init) == Ok(false));
+            if !initially_false {
+                return 0.0;
+            }
+            let Some(cone) = delay_free_cone(net, e) else {
+                return 0.0; // reads a timed variable: may flip mid-delay
+            };
+            let mut lb = f64::INFINITY;
+            for (p, a) in net.automata().iter().enumerate() {
+                for (t, trans) in a.transitions.iter().enumerate() {
+                    if fix.trans_status(ProcId(p), TransId(t)) != TransStatus::Live {
+                        continue;
+                    }
+                    if !trans.effects.iter().any(|eff| cone.contains(&eff.var)) {
+                        continue;
+                    }
+                    match fix.trans_min_fire_time(ProcId(p), TransId(t)) {
+                        Some(t0) => lb = lb.min(t0),
+                        None => return 0.0,
+                    }
+                }
+            }
+            lb
+        }
+        // Both conjuncts must hold simultaneously / either suffices.
+        Goal::And(a, b) => goal_min_time(a, net, fix).max(goal_min_time(b, net, fix)),
+        Goal::Or(a, b) => goal_min_time(a, net, fix).min(goal_min_time(b, net, fix)),
+        // ¬a can hold whenever a fails — no useful lower bound.
+        Goal::Not(_) => 0.0,
+    }
+}
+
+/// The variables `e` transitively depends on (closing over data flows),
+/// or `None` if any of them is timed — in which case the expression's
+/// value can change during a delay and effect writes don't bound it.
+fn delay_free_cone(net: &Network, e: &slim_automata::prelude::Expr) -> Option<Vec<VarId>> {
+    let mut cone = e.vars();
+    // Close over flows: a flow target changes whenever its sources do.
+    loop {
+        let mut grew = false;
+        for f in net.flows() {
+            if cone.contains(&f.target) {
+                for v in f.expr.vars() {
+                    if !cone.contains(&v) {
+                        cone.push(v);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    if cone.iter().any(|v| net.vars()[v.0].ty.is_timed()) {
+        None
+    } else {
+        Some(cone)
+    }
+}
+
+/// Goal locations for the distance-to-goal map: `(process, location,
+/// step offset)` seeds for [`Fixpoint::distance_steps`].
+///
+/// Location atoms seed their own location at offset 0; expression atoms
+/// seed the *source* locations of live transitions that write the
+/// expression's cone at offset 1 (one hop fires the write). This is a
+/// heuristic level map for splitting, not a soundness artifact, so
+/// combinators just union their operands.
+pub fn goal_distance_targets(
+    net: &Network,
+    fix: &Fixpoint,
+    goal: &Goal,
+) -> Vec<(ProcId, LocId, u64)> {
+    let mut out = Vec::new();
+    collect_targets(net, fix, goal, &mut out);
+    out.sort_by_key(|&(p, l, o)| (p.0, l.0, o));
+    out.dedup();
+    out
+}
+
+fn collect_targets(
+    net: &Network,
+    fix: &Fixpoint,
+    goal: &Goal,
+    out: &mut Vec<(ProcId, LocId, u64)>,
+) {
+    match goal {
+        Goal::InLocation(p, l) => out.push((*p, *l, 0)),
+        Goal::Expr(e) => {
+            let cone = delay_free_cone(net, e).unwrap_or_else(|| e.vars());
+            for (p, a) in net.automata().iter().enumerate() {
+                for (t, trans) in a.transitions.iter().enumerate() {
+                    let live = fix.trans_status(ProcId(p), TransId(t)) == TransStatus::Live;
+                    let writes = trans.effects.iter().any(|eff| cone.contains(&eff.var));
+                    if live && writes {
+                        out.push((ProcId(p), trans.from, 1));
+                    }
+                }
+            }
+        }
+        Goal::And(a, b) | Goal::Or(a, b) => {
+            collect_targets(net, fix, a, out);
+            collect_targets(net, fix, b, out);
+        }
+        Goal::Not(a) => collect_targets(net, fix, a, out),
+    }
 }
 
 /// Three-valued abstract evaluation of a goal over the stabilized
@@ -184,5 +342,63 @@ mod tests {
         let x = net.var_id("x").unwrap();
         let goal = Goal::expr(Expr::var(x).ge(Expr::real(5.0)));
         assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 10.0)), PreVerdict::Unknown);
+    }
+
+    #[test]
+    fn deadline_miss_is_decided_by_the_zone_domain() {
+        // alarm needs x ≥ 5 with x never reset, so it cannot be entered
+        // before t = 5: a deadline of 2 is a provable miss, a deadline of
+        // 5 (non-strict) is not.
+        let net = net();
+        let goal = Goal::in_location(&net, "p", "alarm").unwrap();
+        assert_eq!(
+            pre_verdict(&net, &TimedReach::new(goal.clone(), 2.0)),
+            PreVerdict::DeadlineUnreachable
+        );
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal.clone(), 5.0)), PreVerdict::Unknown);
+        // The opt-out degrades the timed verdict back to unknown.
+        assert_eq!(pre_verdict_with(&net, &TimedReach::new(goal, 2.0), false), PreVerdict::Unknown);
+        assert_eq!(PreVerdict::DeadlineUnreachable.exact_probability(), Some(0.0),);
+        assert_eq!(PreVerdict::DeadlineUnreachable.as_str(), "deadline-unreachable");
+    }
+
+    #[test]
+    fn expression_goals_bound_through_effect_writes() {
+        // flag := true only on a transition guarded by x ≥ 5, so the
+        // boolean goal `flag` inherits the clock bound through the cone.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let flag = b.var("flag", VarType::Bool, Value::Bool(false));
+        let mut a = AutomatonBuilder::new("p");
+        let idle = a.location("idle");
+        let done = a.location("done");
+        a.guarded(
+            idle,
+            ActionId::TAU,
+            Expr::var(x).ge(Expr::real(5.0)),
+            [Effect::assign(flag, Expr::TRUE)],
+            done,
+        );
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let goal = Goal::expr(Expr::var(flag));
+        assert_eq!(
+            pre_verdict(&net, &TimedReach::new(goal.clone(), 2.0)),
+            PreVerdict::DeadlineUnreachable
+        );
+        assert_eq!(pre_verdict(&net, &TimedReach::new(goal, 6.0)), PreVerdict::Unknown);
+    }
+
+    #[test]
+    fn goal_targets_seed_locations_and_cone_writers() {
+        let net = net();
+        let fix = slim_analysis::analyze_network(&net);
+        let goal = Goal::in_location(&net, "p", "alarm").unwrap();
+        assert_eq!(goal_distance_targets(&net, &fix, &goal), vec![(ProcId(0), LocId(1), 0)]);
+        // An expression goal seeds the sources of live transitions that
+        // write its cone (`flag` is never written → no targets).
+        let flag = net.var_id("flag").unwrap();
+        let goal = Goal::expr(Expr::var(flag));
+        assert!(goal_distance_targets(&net, &fix, &goal).is_empty());
     }
 }

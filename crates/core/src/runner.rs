@@ -16,7 +16,7 @@ use crate::config::{DeadlockPolicy, SimConfig};
 use crate::engine::{BatchScratch, PathGenerator};
 use crate::error::SimError;
 use crate::obs::SimObserver;
-use crate::preverdict::{pre_verdict, PreVerdict};
+use crate::preverdict::{pre_verdict_with, PreVerdict};
 use crate::property::TimedReach;
 use crate::strategy::Strategy;
 use crate::verdict::{PathOutcome, PathStats, Verdict};
@@ -179,7 +179,7 @@ pub fn analyze_observed(
 ) -> Result<AnalysisResult, SimError> {
     if config.static_pre_verdicts {
         let start = Instant::now();
-        let verdict = pre_verdict(net, property);
+        let verdict = pre_verdict_with(net, property, config.zone_pre_verdicts);
         if let Some(p) = verdict.exact_probability() {
             return Ok(exact_result(net, verdict, p, start, obs));
         }

@@ -514,9 +514,12 @@ fn fixpoint_soundness(
         };
         let success = outcome.verdict.is_success();
         if claim == 0.0 && success {
+            // Covers timed claims too: a success verdict means the goal
+            // was reached *inside* the property deadline, so it refutes
+            // `deadline-unreachable` exactly as it refutes `unreachable`.
             return Err(format!(
-                "fixpoint claims P = 0 but path {i} (seed {sim_seed}) hits the goal at \
-                 t = {}",
+                "fixpoint claims P = 0 ({pv}) but path {i} (seed {sim_seed}) hits the \
+                 goal at t = {}",
                 outcome.end_time
             ));
         }

@@ -96,6 +96,51 @@ fn injected_unsoundness_is_caught_and_shrunk() {
     );
 }
 
+/// The timed flavor of the injected unsoundness: a pre-verdict that
+/// claims every goal provably misses its deadline. A path reaching the
+/// goal *inside* the bound refutes it exactly like a plain `P = 0`.
+fn always_deadline_unreachable(_: &Network, _: &TimedReach) -> PreVerdict {
+    PreVerdict::DeadlineUnreachable
+}
+
+#[test]
+fn injected_timed_unsoundness_is_caught_and_shrunk() {
+    let mut cfg = injected_cfg();
+    cfg.pre_verdict_fn = always_deadline_unreachable;
+    let index = (0..200)
+        .find(|&i| {
+            let model = generate(1, i, &GenParams::tiny());
+            run_oracles(&model, &cfg).failure.as_ref().is_some_and(|f| {
+                assert_eq!(
+                    f.kind,
+                    OracleKind::FixpointSoundness,
+                    "corrupted timed pre-verdict tripped the wrong oracle: {}",
+                    f.detail
+                );
+                assert!(
+                    f.detail.contains("deadline-unreachable"),
+                    "refutation must name the timed verdict: {}",
+                    f.detail
+                );
+                true
+            })
+        })
+        .expect("no model in 200 tiny seeds reaches its goal in time");
+
+    let model = generate(1, index, &GenParams::tiny());
+    let result = shrink(&model, &cfg).expect("model fails, so shrink returns a result");
+    assert_eq!(result.failure.kind, OracleKind::FixpointSoundness);
+    let check = run_oracles(&result.model, &cfg);
+    assert_eq!(check.failure.map(|f| f.kind), Some(OracleKind::FixpointSoundness));
+    // The real, zone-enabled pre-verdict makes no such claim here.
+    let sound = run_oracles(&result.model, &OracleConfig::quick());
+    assert!(
+        sound.failure.is_none(),
+        "minimized model fails even without the injected bug: {:?}",
+        sound.failure
+    );
+}
+
 /// Shrinking is deterministic: two runs from the same failing model take
 /// the same edits and land on byte-identical minimized sources.
 #[test]

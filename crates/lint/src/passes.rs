@@ -42,6 +42,8 @@ pub fn network_passes(net: &Network) -> Vec<Diagnostic> {
     unused_actions(net, &mut out);
     out_of_range_effects(net, &fix, &mut out);
     constant_guard_comparisons(net, &fix, &mut out);
+    zone_dead_guards(net, &fix, &mut out);
+    static_timelocks(net, &fix, &mut out);
     out
 }
 
@@ -84,11 +86,14 @@ fn unreachable_locations(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic
 /// valuation the fixpoint admits at their (reachable) source location.
 /// Guards on transitions from unreachable sources are not reported — the
 /// guard is never evaluated there, and the source's own diagnostic
-/// already covers the dead code.
+/// already covers the dead code. Guards dead only under the clock-zone
+/// domain are S302's to report, keeping the two codes disjoint.
 fn unsatisfiable_guards(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
     for (p, a) in net.automata().iter().enumerate() {
         for (t, trans) in a.transitions.iter().enumerate() {
-            if fix.trans_status(ProcId(p), TransId(t)) != TransStatus::DeadGuard {
+            if fix.trans_status(ProcId(p), TransId(t)) != TransStatus::DeadGuard
+                || fix.zone_dead_guard(ProcId(p), TransId(t))
+            {
                 continue;
             }
             let GuardKind::Boolean(g) = &trans.guard else { continue };
@@ -389,6 +394,68 @@ fn constant_comparison_vars(e: &Expr, net: &Network, fix: &Fixpoint, out: &mut V
     }
 }
 
+/// S302: transitions whose guard is satisfiable for the interval domain
+/// but unsatisfiable given the clock zones at their source — the timed
+/// counterpart of S101. Transitions out of a location already reported
+/// as a static timelock (S303) are skipped: the timelock diagnostic
+/// covers every exit at once.
+fn zone_dead_guards(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
+    for (p, a) in net.automata().iter().enumerate() {
+        for (t, trans) in a.transitions.iter().enumerate() {
+            if !fix.zone_dead_guard(ProcId(p), TransId(t)) {
+                continue;
+            }
+            if fix.static_timelocks().contains(&(ProcId(p), trans.from)) {
+                continue;
+            }
+            let GuardKind::Boolean(g) = &trans.guard else { continue };
+            let from = &a.locations[trans.from.0].name;
+            let to = &a.locations[trans.to.0].name;
+            out.push(
+                Diagnostic::new(
+                    Code::ZoneDeadGuard,
+                    format!(
+                        "guard `{}` on transition `{from}` -> `{to}` of `{}` is \
+                         unsatisfiable given the clock zones",
+                        net.render_expr(g),
+                        a.name
+                    ),
+                )
+                .with_help(
+                    "interval reasoning alone admits the guard, but the clock-zone \
+                     analysis proves the clocks can never satisfy it when the \
+                     source location is occupied; the transition is dead",
+                ),
+            );
+        }
+    }
+}
+
+/// S303: reachable locations whose invariant's time window closes before
+/// any outgoing guard can become true — the run is stuck with time
+/// forbidden to pass, a timelock the untimed pass cannot see.
+fn static_timelocks(net: &Network, fix: &Fixpoint, out: &mut Vec<Diagnostic>) {
+    for &(p, l) in fix.static_timelocks() {
+        let a = &net.automata()[p.0];
+        let loc = &a.locations[l.0];
+        out.push(
+            Diagnostic::new(
+                Code::StaticTimelock,
+                format!(
+                    "location `{}` of automaton `{}` is a static timelock: its \
+                     invariant expires before any outgoing guard can fire",
+                    loc.name, a.name
+                ),
+            )
+            .with_help(
+                "every exit guard is unsatisfiable within the invariant's time \
+                 window, so once entered the location can neither be left nor \
+                 let time pass beyond the invariant bound",
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,5 +743,48 @@ mod tests {
         let net = b.build().unwrap();
         let diags = network_passes(&net);
         assert!(diags.is_empty(), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn zone_dead_guard_is_s302_not_s101() {
+        // x is never reset, so after the x ≥ 5 hop the x ≤ 2 guard can
+        // never be true — invisible to intervals (clocks are ⊤ there).
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::real(5.0)), [], l1);
+        a.guarded(l1, ActionId::TAU, Expr::var(x).le(Expr::real(2.0)), [], l2);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let s302 = by_code(&diags, Code::ZoneDeadGuard);
+        assert_eq!(s302.len(), 1, "{diags:?}");
+        assert!(s302[0].message.contains("`l1` -> `l2`"), "{:?}", s302[0].message);
+        assert!(by_code(&diags, Code::UnsatisfiableGuard).is_empty(), "{diags:?}");
+        assert!(by_code(&diags, Code::StaticTimelock).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn static_timelock_is_s303_and_suppresses_its_s302s() {
+        // Invariant x ≤ 2 but the only exit needs x ≥ 5: time runs out
+        // before the guard can fire. The per-exit S302 is folded into the
+        // location-level S303.
+        let mut b = NetworkBuilder::new();
+        let x = b.var("x", VarType::Clock, Value::Real(0.0));
+        let mut a = AutomatonBuilder::new("p");
+        let l0 = a.location_with("stuck", Expr::var(x).le(Expr::real(2.0)), []);
+        let l1 = a.location("out");
+        a.guarded(l0, ActionId::TAU, Expr::var(x).ge(Expr::real(5.0)), [], l1);
+        b.add_automaton(a);
+        let net = b.build().unwrap();
+        let diags = network_passes(&net);
+        let s303 = by_code(&diags, Code::StaticTimelock);
+        assert_eq!(s303.len(), 1, "{diags:?}");
+        assert!(s303[0].message.contains("`stuck`"), "{:?}", s303[0].message);
+        assert!(by_code(&diags, Code::ZoneDeadGuard).is_empty(), "{diags:?}");
+        assert!(by_code(&diags, Code::UnsatisfiableGuard).is_empty(), "{diags:?}");
     }
 }

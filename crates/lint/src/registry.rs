@@ -231,6 +231,12 @@ lints! {
     ConstantGuardComparison =>
         "S301", "constant-guard-comparison", Note,
         "a guard comparison reads a variable that is provably constant";
+    ZoneDeadGuard =>
+        "S302", "zone-dead-guard", Warn,
+        "a transition guard is unsatisfiable given the clock zones (timed, distinct from S101)";
+    StaticTimelock =>
+        "S303", "static-timelock", Warn,
+        "a reachable location's invariant expires before any outgoing guard can fire";
 }
 
 impl fmt::Display for Code {

@@ -10,9 +10,10 @@
 //!
 //! Schema history: **v2** added the `convergence` array (per-checkpoint
 //! estimate mean and CI half-width, see [`ConvergencePoint`]); **v3**
-//! added the optional `pre_verdict` string (`unknown`, `unreachable`, or
-//! `initially-satisfied`) recording whether the static fixpoint analysis
-//! decided the property before sampling — decisive verdicts come with
+//! added the optional `pre_verdict` string (`unknown`, `unreachable`,
+//! `deadline-unreachable`, or `initially-satisfied`) recording whether
+//! the static fixpoint analysis decided the property before sampling —
+//! decisive verdicts come with
 //! `estimate.samples == 0`; **v4** added the optional `profile` object,
 //! an embedded kernel-profile document (see
 //! [`crate::profile::ProfileReport`]) present when the run was profiled.
@@ -231,8 +232,9 @@ pub struct RunReport {
     pub config: ConfigInfo,
     /// Resulting estimate.
     pub estimate: EstimateInfo,
-    /// Static pre-verdict (`unknown`, `unreachable`, `initially-satisfied`;
-    /// schema v3). `None` in pre-v3 documents.
+    /// Static pre-verdict (`unknown`, `unreachable`,
+    /// `deadline-unreachable`, `initially-satisfied`; schema v3). `None`
+    /// in pre-v3 documents.
     pub pre_verdict: Option<String>,
     /// Estimator convergence series (schema v2; empty in v1 documents).
     pub convergence: Vec<ConvergencePoint>,
@@ -548,14 +550,14 @@ impl RunReport {
         }
         match self.pre_verdict.as_deref() {
             None | Some("unknown") => {}
-            Some(v @ ("unreachable" | "initially-satisfied")) => {
+            Some(v @ ("unreachable" | "deadline-unreachable" | "initially-satisfied")) => {
                 if self.estimate.samples != 0 {
                     problems.push(format!(
                         "pre_verdict `{v}` but estimate.samples is {} (expected 0)",
                         self.estimate.samples
                     ));
                 }
-                let exact = if v == "unreachable" { 0.0 } else { 1.0 };
+                let exact = if v == "initially-satisfied" { 1.0 } else { 0.0 };
                 if self.estimate.mean != exact {
                     problems.push(format!(
                         "pre_verdict `{v}` but estimate.mean is {} (expected {exact})",
